@@ -1,0 +1,178 @@
+// Benchmarks for the Elasticutor reproduction.
+//
+// One benchmark per paper artifact (BenchmarkFig6 … BenchmarkTable3): each
+// iteration regenerates that table/figure at quick scale, so -bench '.'
+// doubles as an end-to-end smoke of the experiment harness:
+//
+//	go test -bench=Fig8 -benchmem
+//	go test -bench=. -benchmem          # everything (several minutes)
+//
+// Component microbenches (BenchmarkComponent*) cover the hot paths of the
+// substrate: event dispatch, sampling, matching, balancing, scheduling.
+package elasticutor_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/qmodel"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+	"repro/internal/workload/sse"
+)
+
+// runExperiment drives one registered experiment per iteration and writes
+// its tables to io.Discard (formatting is part of the deliverable).
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := exp.Run(experiments.Quick)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+		for j := range tables {
+			tables[j].Print(io.Discard)
+		}
+	}
+}
+
+// Paper artifacts (§5). Each regenerates the corresponding table/figure.
+
+func BenchmarkFig6(b *testing.B)   { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)   { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9a(b *testing.B)  { runExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { runExperiment(b, "fig9b") }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)  { runExperiment(b, "fig13") }
+func BenchmarkFig15(b *testing.B)  { runExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)  { runExperiment(b, "fig16") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkAblation regenerates the design-choice ablations (state sharing,
+// locality optimization, θ, scheduler cadence) — our additions beyond the
+// paper's own artifacts.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// Component microbenches.
+
+func BenchmarkComponentClockEvents(b *testing.B) {
+	b.ReportAllocs()
+	clock := simtime.NewClock()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			clock.After(simtime.Microsecond, tick)
+		}
+	}
+	clock.After(0, tick)
+	b.ResetTimer()
+	clock.Run()
+}
+
+func BenchmarkComponentZipfSample(b *testing.B) {
+	z := workload.NewZipf(10000, 0.5, simtime.NewRand(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Sample()
+	}
+}
+
+func BenchmarkComponentOrderBookSubmit(b *testing.B) {
+	cfg := sse.DefaultGeneratorConfig()
+	cfg.Stocks = 1
+	gen := sse.NewGenerator(cfg, simtime.NewRand(2))
+	book := sse.NewBook(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		book.Submit(gen.Next(simtime.Time(i)))
+	}
+}
+
+func BenchmarkComponentRebalance(b *testing.B) {
+	rng := simtime.NewRand(3)
+	const shards, tasks = 256, 8
+	loads := make([]float64, shards)
+	assign := make([]int, shards)
+	for i := range loads {
+		loads[i] = rng.Float64() * 10
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = balancer.Rebalance(loads, assign, tasks, 1.2, 0)
+	}
+}
+
+func BenchmarkComponentAllocate(b *testing.B) {
+	rng := simtime.NewRand(4)
+	loads := make([]qmodel.ExecutorLoad, 32)
+	var l0 float64
+	for j := range loads {
+		loads[j] = qmodel.ExecutorLoad{Lambda: rng.Float64() * 5000, Mu: 1000}
+		l0 += loads[j].Lambda
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = qmodel.Allocate(loads, l0, 50*simtime.Millisecond, 224)
+	}
+}
+
+func BenchmarkComponentAssign(b *testing.B) {
+	// Table 3's scheduling-time metric at paper scale: 32 nodes, 32+11
+	// executors. This is the wall-clock cost of one scheduling decision.
+	const nodes, m = 32, 43
+	in := scheduler.Input{
+		Capacity:      make([]int, nodes),
+		Local:         make([]int, m),
+		StateBytes:    make([]float64, m),
+		DataIntensity: make([]float64, m),
+		Existing:      make([][]int, nodes),
+		Alloc:         make([]int, m),
+	}
+	rng := simtime.NewRand(5)
+	for i := 0; i < nodes; i++ {
+		in.Capacity[i] = 8
+		in.Existing[i] = make([]int, m)
+	}
+	for j := 0; j < m; j++ {
+		in.Local[j] = j % nodes
+		in.StateBytes[j] = 8 << 20
+		in.DataIntensity[j] = rng.Float64() * 2 * scheduler.DefaultPhi
+		in.Alloc[j] = 1 + rng.Intn(5)
+		in.Existing[in.Local[j]][j] = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scheduler.Assign(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComponentHistogramObserve(b *testing.B) {
+	h := metrics.NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(simtime.Duration(i%1000)*simtime.Microsecond, 1)
+	}
+}

@@ -1,0 +1,72 @@
+// Command elasticutor-bench regenerates the tables and figures of the
+// Elasticutor paper's evaluation (SIGMOD 2019, §5).
+//
+// Usage:
+//
+//	elasticutor-bench                 # run every experiment at quick scale
+//	elasticutor-bench -run fig6       # one experiment
+//	elasticutor-bench -run fig6,fig8  # several
+//	elasticutor-bench -full           # paper-scale dimensions (slower)
+//	elasticutor-bench -list           # show the experiment registry
+//
+// Quick scale uses a 4-node simulated cluster and short virtual runs so the
+// whole suite finishes in minutes; -full uses the paper's 32 × 8-core
+// dimensions. Shapes, not absolute numbers, are the reproduction target —
+// see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		full   = flag.Bool("full", false, "use the paper's 32-node dimensions")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	var selected []experiments.Experiment
+	if *runIDs == "" {
+		selected = experiments.All
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("Elasticutor reproduction — %d experiment(s) at %s scale\n\n", len(selected), scale)
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(scale)
+		for i := range tables {
+			tables[i].Print(os.Stdout)
+		}
+		fmt.Printf("[%s completed in %v wall time]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,91 @@
+// Command elasticutor-sim runs a single configured simulation of the
+// micro-benchmark topology and prints its report — a quick way to poke at
+// one scenario without the full experiment harness.
+//
+// Example:
+//
+//	elasticutor-sim -paradigm elasticutor -nodes 8 -omega 4 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+func paradigmOf(s string) (engine.Paradigm, error) {
+	switch s {
+	case "static":
+		return engine.Static, nil
+	case "rc":
+		return engine.ResourceCentric, nil
+	case "naive-ec":
+		return engine.NaiveEC, nil
+	case "elasticutor", "ec":
+		return engine.Elasticutor, nil
+	}
+	return 0, fmt.Errorf("unknown paradigm %q (static|rc|naive-ec|elasticutor)", s)
+}
+
+func main() {
+	var (
+		paradigm = flag.String("paradigm", "elasticutor", "static | rc | naive-ec | elasticutor")
+		nodes    = flag.Int("nodes", 8, "cluster nodes (8 cores each)")
+		y        = flag.Int("y", 0, "executors per operator (0 = paper default)")
+		z        = flag.Int("z", 0, "shards per executor (0 = paper default)")
+		omega    = flag.Float64("omega", 2, "key shuffles per minute")
+		rate     = flag.Float64("rate", 0, "offered tuples/s (0 = saturating)")
+		cost     = flag.Duration("cost", time.Millisecond, "CPU cost per tuple")
+		bytes    = flag.Int("bytes", 128, "tuple size in bytes")
+		stateKB  = flag.Int("state", 32, "shard state size in KB")
+		duration = flag.Duration("duration", 30*time.Second, "virtual time to simulate")
+		warmup   = flag.Duration("warmup", 5*time.Second, "warm-up excluded from metrics")
+		seed     = flag.Uint64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	p, err := paradigmOf(*paradigm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec := workload.DefaultSpec()
+	spec.ShufflesPerMin = *omega
+	spec.CPUCost = *cost
+	spec.TupleBytes = *bytes
+	spec.ShardStateKB = *stateKB
+
+	m, err := core.NewMicro(core.MicroOptions{
+		Paradigm: p,
+		Nodes:    *nodes,
+		Y:        *y,
+		Z:        *z,
+		Spec:     spec,
+		Rate:     *rate,
+		Seed:     *seed,
+		WarmUp:   *warmup,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("simulating %s on %d nodes, ω=%v, offered %.0f tuples/s, %v virtual time…\n",
+		p, *nodes, *omega, m.Rate, *duration)
+
+	start := time.Now()
+	r := m.Engine.Run(*duration)
+	fmt.Printf("\n%v\n", r)
+	fmt.Printf("\nthroughput: %.0f tuples/s (mean over measured span)\n", r.ThroughputMean)
+	fmt.Printf("latency:    mean=%v p50=%v p99=%v max=%v\n",
+		r.Latency.Mean(), r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.Latency.Max())
+	fmt.Printf("elasticity: %d shard reassignments (%d inter-node), %d RC repartitions\n",
+		r.Reassignments, r.InterNodeReassigns, r.Repartitions)
+	fmt.Printf("traffic:    migration %.2f MB/s, remote transfer %.2f MB/s\n",
+		r.MigrationRate/(1<<20), r.RemoteRate/(1<<20))
+	fmt.Printf("simulated %d events in %v wall time\n", r.Events, time.Since(start).Round(time.Millisecond))
+}

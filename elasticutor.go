@@ -1,0 +1,233 @@
+// Package elasticutor is a Go reproduction of "Elasticutor: Rapid Elasticity
+// for Realtime Stateful Stream Processing" (Wang, Fu, Ma, Winslett, Zhang;
+// SIGMOD 2019). It provides a deterministic simulated stream-processing
+// engine with four execution paradigms — static, resource-centric, naive
+// executor-centric, and Elasticutor — plus the elastic executors, dynamic
+// scheduler, and baselines the paper evaluates.
+//
+// The public API is a small facade over the internal packages:
+//
+//	b := elasticutor.NewBuilder("wordcount")
+//	src := b.Spout("sentences", elasticutor.SpoutConfig{
+//		Rate:   elasticutor.ConstantRate(50000),
+//		Sample: func(now elasticutor.Time) (elasticutor.Key, int, interface{}) { ... },
+//	})
+//	count := b.Bolt("count", elasticutor.BoltConfig{
+//		Cost:    time.Millisecond,
+//		Handler: func(t elasticutor.Tuple, s elasticutor.State) []elasticutor.Tuple { ... },
+//	})
+//	b.Connect(src, count)
+//	report, err := b.Run(elasticutor.Options{
+//		Paradigm: elasticutor.Elasticutor,
+//		Nodes:    32,
+//		Duration: 60 * time.Second,
+//	})
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// architecture and the simulation substitutions.
+package elasticutor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+)
+
+// Re-exported domain types. Aliases keep the internal packages as the single
+// source of truth while giving users one import.
+type (
+	// Key is a tuple's partitioning key.
+	Key = stream.Key
+	// Tuple is one unit of data (possibly a weighted batch).
+	Tuple = stream.Tuple
+	// State is the per-key state accessor handed to bolt handlers.
+	State = stream.StateAccessor
+	// Time is a point in virtual time.
+	Time = simtime.Time
+	// Report is the measurement output of a run.
+	Report = engine.Report
+	// Paradigm selects the execution paradigm.
+	Paradigm = engine.Paradigm
+)
+
+// Execution paradigms (paper §2.2, §5).
+const (
+	Static          = engine.Static
+	ResourceCentric = engine.ResourceCentric
+	NaiveEC         = engine.NaiveEC
+	Elasticutor     = engine.Elasticutor
+)
+
+// ConstantRate returns a fixed offered-load function (tuples per second).
+func ConstantRate(perSec float64) func(Time) float64 {
+	return func(Time) float64 { return perSec }
+}
+
+// SpoutConfig describes a source operator.
+type SpoutConfig struct {
+	// Rate is the aggregate offered load in tuples/s.
+	Rate func(now Time) float64
+	// Sample draws the next tuple's key, wire size in bytes, and payload.
+	Sample func(now Time) (Key, int, interface{})
+}
+
+// BoltConfig describes a processing operator.
+type BoltConfig struct {
+	// Cost is the CPU time to process one tuple (required).
+	Cost time.Duration
+	// CostFn optionally replaces Cost with a per-tuple model.
+	CostFn func(Tuple) time.Duration
+	// Handler is the user logic: read/update per-key state, return emissions.
+	Handler func(Tuple, State) []Tuple
+	// OutBytes is the default wire size of emitted tuples.
+	OutBytes int
+	// Selectivity synthesizes outputs-per-input when Handler is nil.
+	Selectivity float64
+	// StatePerShardKB sizes each shard's resident state (default 32).
+	StatePerShardKB int
+}
+
+// NodeID identifies an operator in a builder.
+type NodeID int
+
+// Builder assembles a topology.
+type Builder struct {
+	tp      *stream.Topology
+	sources map[stream.OperatorID]*engine.SourceDriver
+	err     error
+}
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		tp:      stream.NewTopology(name),
+		sources: make(map[stream.OperatorID]*engine.SourceDriver),
+	}
+}
+
+// Spout adds a source operator.
+func (b *Builder) Spout(name string, cfg SpoutConfig) NodeID {
+	op := b.tp.Add(&stream.Operator{Name: name, Source: true})
+	if cfg.Rate == nil || cfg.Sample == nil {
+		b.err = fmt.Errorf("elasticutor: spout %q needs Rate and Sample", name)
+		return NodeID(op.ID)
+	}
+	b.sources[op.ID] = &engine.SourceDriver{Rate: cfg.Rate, Sample: cfg.Sample}
+	return NodeID(op.ID)
+}
+
+// Bolt adds a processing operator.
+func (b *Builder) Bolt(name string, cfg BoltConfig) NodeID {
+	var cost stream.CostModel
+	switch {
+	case cfg.CostFn != nil:
+		cost = stream.CostModel(cfg.CostFn)
+	case cfg.Cost > 0:
+		cost = stream.FixedCost(cfg.Cost)
+	default:
+		b.err = fmt.Errorf("elasticutor: bolt %q needs Cost or CostFn", name)
+	}
+	stateKB := cfg.StatePerShardKB
+	if stateKB == 0 {
+		stateKB = 32
+	}
+	op := b.tp.Add(&stream.Operator{
+		Name:          name,
+		Cost:          cost,
+		Handler:       stream.Handler(cfg.Handler),
+		OutBytes:      cfg.OutBytes,
+		Selectivity:   cfg.Selectivity,
+		StatePerShard: stateKB << 10,
+	})
+	return NodeID(op.ID)
+}
+
+// Connect declares a stream from one operator to another.
+func (b *Builder) Connect(from, to NodeID) {
+	b.tp.Connect(stream.OperatorID(from), stream.OperatorID(to))
+}
+
+// Options configures a run. Zero values take the paper's defaults.
+type Options struct {
+	Paradigm        Paradigm
+	Nodes           int // cluster nodes, 8 cores / 1 Gbps each (default 32)
+	SourceExecutors int // parallelism of each spout (default one per node)
+
+	Y        int // executors per bolt (default 32)
+	Z        int // shards per elastic executor (default 256)
+	OpShards int // operator-level shards for the RC baseline (default 8192)
+
+	Duration time.Duration // virtual time to simulate (required)
+	WarmUp   time.Duration // excluded from reported metrics
+
+	Tmax  time.Duration // scheduler latency target (default 50 ms)
+	Theta float64       // imbalance threshold θ (default 1.2)
+	Phi   float64       // data-intensity threshold φ̃ in bytes/s (default 512 KiB/s)
+
+	Batch       int // tuples represented per simulated event (default 1)
+	Seed        uint64
+	AssertOrder bool // panic on any per-key order violation (testing)
+
+	// BeforeRun, when set, is called with the constructed engine before the
+	// simulation starts — the hook for scheduling workload dynamics such as
+	// key shuffles (engine.Every) or forced protocol invocations.
+	BeforeRun func(*engine.Engine)
+}
+
+// Run validates the topology, builds the simulated cluster and engine, and
+// runs it for Options.Duration of virtual time.
+func (b *Builder) Run(opt Options) (*Report, error) {
+	e, err := b.Engine(opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opt.Duration), nil
+}
+
+// Engine builds the engine without running it (for callers that need to
+// schedule events against the virtual clock first).
+func (b *Builder) Engine(opt Options) (*engine.Engine, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if opt.Duration <= 0 {
+		return nil, fmt.Errorf("elasticutor: Options.Duration is required")
+	}
+	nodes := opt.Nodes
+	if nodes == 0 {
+		nodes = 32
+	}
+	srcEx := opt.SourceExecutors
+	if srcEx == 0 {
+		srcEx = nodes
+	}
+	cfg := engine.Config{
+		Topology:        b.tp,
+		Cluster:         cluster.Default(nodes),
+		Paradigm:        opt.Paradigm,
+		Sources:         b.sources,
+		SourceExecutors: srcEx,
+		Y:               opt.Y,
+		Z:               opt.Z,
+		OpShards:        opt.OpShards,
+		Theta:           opt.Theta,
+		Phi:             opt.Phi,
+		Tmax:            opt.Tmax,
+		Batch:           opt.Batch,
+		Seed:            opt.Seed,
+		AssertOrder:     opt.AssertOrder,
+		WarmUp:          opt.WarmUp,
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opt.BeforeRun != nil {
+		opt.BeforeRun(e)
+	}
+	return e, nil
+}

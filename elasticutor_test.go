@@ -1,0 +1,122 @@
+package elasticutor_test
+
+import (
+	"testing"
+	"time"
+
+	elasticutor "repro"
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// buildCounter returns a builder with a zipf spout and a stateful counting
+// bolt, plus a pointer used to observe state updates.
+func buildCounter(rate float64, seed uint64) (*elasticutor.Builder, *workload.Zipf) {
+	zipf := workload.NewZipf(1000, 0.5, simtime.NewRand(seed))
+	b := elasticutor.NewBuilder("counter")
+	src := b.Spout("events", elasticutor.SpoutConfig{
+		Rate: elasticutor.ConstantRate(rate),
+		Sample: func(now elasticutor.Time) (elasticutor.Key, int, interface{}) {
+			return zipf.Sample(), 128, nil
+		},
+	})
+	bolt := b.Bolt("count", elasticutor.BoltConfig{
+		Cost: time.Millisecond,
+		Handler: func(t elasticutor.Tuple, s elasticutor.State) []elasticutor.Tuple {
+			n, _ := s.Get().(int)
+			s.Set(n + t.Weight)
+			return nil
+		},
+	})
+	b.Connect(src, bolt)
+	return b, zipf
+}
+
+func TestPublicAPIRun(t *testing.T) {
+	b, _ := buildCounter(2000, 1)
+	r, err := b.Run(elasticutor.Options{
+		Paradigm:        elasticutor.Elasticutor,
+		Nodes:           2,
+		SourceExecutors: 2,
+		Y:               2,
+		Z:               16,
+		Duration:        4 * time.Second,
+		AssertOrder:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Processed == 0 {
+		t.Fatal("nothing processed through the public API")
+	}
+	if r.Paradigm != elasticutor.Elasticutor {
+		t.Fatalf("paradigm = %v", r.Paradigm)
+	}
+}
+
+func TestPublicAPIBeforeRunHook(t *testing.T) {
+	b, zipf := buildCounter(2000, 2)
+	called := false
+	_, err := b.Run(elasticutor.Options{
+		Paradigm: elasticutor.Static,
+		Nodes:    2, SourceExecutors: 2,
+		Duration: 2 * time.Second,
+		BeforeRun: func(e *engine.Engine) {
+			called = true
+			e.Every(time.Second, zipf.Shuffle)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("BeforeRun not invoked")
+	}
+	if zipf.Shuffles() == 0 {
+		t.Fatal("scheduled shuffles did not run")
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	b := elasticutor.NewBuilder("bad")
+	b.Spout("s", elasticutor.SpoutConfig{}) // missing Rate/Sample
+	if _, err := b.Run(elasticutor.Options{Duration: time.Second, Nodes: 2}); err == nil {
+		t.Fatal("invalid spout accepted")
+	}
+
+	b2 := elasticutor.NewBuilder("bad2")
+	src := b2.Spout("s", elasticutor.SpoutConfig{
+		Rate:   elasticutor.ConstantRate(1),
+		Sample: func(elasticutor.Time) (elasticutor.Key, int, interface{}) { return 0, 1, nil },
+	})
+	bolt := b2.Bolt("b", elasticutor.BoltConfig{}) // missing cost
+	b2.Connect(src, bolt)
+	if _, err := b2.Run(elasticutor.Options{Duration: time.Second, Nodes: 2}); err == nil {
+		t.Fatal("bolt without cost accepted")
+	}
+
+	b3, _ := buildCounter(10, 3)
+	if _, err := b3.Run(elasticutor.Options{Nodes: 2}); err == nil {
+		t.Fatal("missing duration accepted")
+	}
+}
+
+func TestPublicAPIAllParadigms(t *testing.T) {
+	for _, p := range []elasticutor.Paradigm{
+		elasticutor.Static, elasticutor.ResourceCentric,
+		elasticutor.NaiveEC, elasticutor.Elasticutor,
+	} {
+		b, _ := buildCounter(1000, 4)
+		r, err := b.Run(elasticutor.Options{
+			Paradigm: p, Nodes: 2, SourceExecutors: 2, Y: 2, Z: 16, OpShards: 64,
+			Duration: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if r.Processed == 0 {
+			t.Fatalf("%v: nothing processed", p)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package balancer implements the intra-executor load-balancing policy of
+// paper §3.1: shards are dynamically assigned to tasks so that the workload
+// imbalance factor δ — the ratio of the maximum task load to the average task
+// load — stays below a threshold θ (1.2 in the paper), while moving as few
+// shards as possible (each move costs a state migration).
+//
+// The same package also serves the resource-centric baseline, which applies
+// the identical policy at operator level (shards → executors).
+package balancer
+
+import "sort"
+
+// DefaultTheta is the paper's imbalance threshold: at most 20% deviation of
+// the most loaded task from the average.
+const DefaultTheta = 1.2
+
+// Move reassigns one shard from task From to task To.
+type Move struct {
+	Shard    int
+	From, To int
+}
+
+// Imbalance returns δ = max(load)/avg(load) for per-task loads. A system
+// with zero total load is perfectly balanced (δ = 1).
+func Imbalance(taskLoad []float64) float64 {
+	if len(taskLoad) == 0 {
+		return 1
+	}
+	var max, sum float64
+	for _, l := range taskLoad {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return 1
+	}
+	avg := sum / float64(len(taskLoad))
+	return max / avg
+}
+
+// taskLoads accumulates per-task load under an assignment.
+func taskLoads(shardLoad []float64, assign []int, tasks int) []float64 {
+	loads := make([]float64, tasks)
+	for s, t := range assign {
+		loads[t] += shardLoad[s]
+	}
+	return loads
+}
+
+// InitialAssign distributes shards over `tasks` tasks with First-Fit-
+// Decreasing: shards sorted by load descending, each placed on the currently
+// least-loaded task. Used when an executor (or the RC operator) starts up or
+// when a task set changes so much that incremental moves are moot.
+func InitialAssign(shardLoad []float64, tasks int) []int {
+	if tasks <= 0 {
+		panic("balancer: InitialAssign with no tasks")
+	}
+	order := make([]int, len(shardLoad))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return shardLoad[order[a]] > shardLoad[order[b]] })
+	assign := make([]int, len(shardLoad))
+	loads := make([]float64, tasks)
+	for _, s := range order {
+		best := 0
+		for t := 1; t < tasks; t++ {
+			if loads[t] < loads[best] {
+				best = t
+			}
+		}
+		assign[s] = best
+		loads[best] += shardLoad[s]
+	}
+	return assign
+}
+
+// Rebalance refines the shard→task assignment in rounds until δ < θ or no
+// single move improves δ (paper §3.1: in each round, among all reassignments
+// that move a shard from the most overloaded task to the least loaded task,
+// pick the one that reduces δ the most). It returns the moves to apply, in
+// order; assign is not modified.
+//
+// maxMoves bounds the number of reassignments per invocation (0 = unlimited);
+// the engine uses it to cap migration burst size.
+func Rebalance(shardLoad []float64, assign []int, tasks int, theta float64, maxMoves int) []Move {
+	if tasks <= 1 || len(shardLoad) == 0 {
+		return nil
+	}
+	if theta <= 1 {
+		theta = DefaultTheta
+	}
+	cur := append([]int(nil), assign...)
+	loads := taskLoads(shardLoad, cur, tasks)
+
+	// Per-task shard index so each round doesn't scan all shards.
+	byTask := make([][]int, tasks)
+	for s, t := range cur {
+		byTask[t] = append(byTask[t], s)
+	}
+
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	avg := sum / float64(tasks)
+	if avg == 0 {
+		return nil
+	}
+
+	var moves []Move
+	for maxMoves == 0 || len(moves) < maxMoves {
+		// Locate most and least loaded tasks.
+		hi, lo := 0, 0
+		for t := 1; t < tasks; t++ {
+			if loads[t] > loads[hi] {
+				hi = t
+			}
+			if loads[t] < loads[lo] {
+				lo = t
+			}
+		}
+		if loads[hi]/avg < theta {
+			break // balanced enough
+		}
+		// Among shards on hi, find the move to lo that minimizes the new δ.
+		// Moving load w: new(hi) = loads[hi]-w, new(lo) = loads[lo]+w; the
+		// other tasks are unchanged, so the new max is
+		// max(loads[hi]-w, loads[lo]+w, thirdMax).
+		thirdMax := 0.0
+		for t := 0; t < tasks; t++ {
+			if t != hi && loads[t] > thirdMax {
+				thirdMax = loads[t]
+			}
+		}
+		bestShard, bestNewMax := -1, loads[hi]
+		for _, s := range byTask[hi] {
+			w := shardLoad[s]
+			if w <= 0 {
+				continue
+			}
+			nm := loads[hi] - w
+			if loads[lo]+w > nm {
+				nm = loads[lo] + w
+			}
+			if thirdMax > nm {
+				nm = thirdMax
+			}
+			if nm < bestNewMax {
+				bestNewMax = nm
+				bestShard = s
+			}
+		}
+		if bestShard < 0 {
+			break // no single move improves the imbalance
+		}
+		w := shardLoad[bestShard]
+		loads[hi] -= w
+		loads[lo] += w
+		cur[bestShard] = lo
+		// Update the per-task index.
+		for i, s := range byTask[hi] {
+			if s == bestShard {
+				byTask[hi][i] = byTask[hi][len(byTask[hi])-1]
+				byTask[hi] = byTask[hi][:len(byTask[hi])-1]
+				break
+			}
+		}
+		byTask[lo] = append(byTask[lo], bestShard)
+		moves = append(moves, Move{Shard: bestShard, From: hi, To: lo})
+	}
+	return moves
+}
+
+// Apply replays moves onto an assignment slice in place.
+func Apply(assign []int, moves []Move) {
+	for _, m := range moves {
+		assign[m.Shard] = m.To
+	}
+}
+
+// RemapForTaskRemoval reassigns all shards of a removed task to the least
+// loaded surviving tasks and returns the moves. survivors maps old task IDs
+// to keep; removed is the task going away.
+func RemapForTaskRemoval(shardLoad []float64, assign []int, tasks int, removed int) []Move {
+	loads := taskLoads(shardLoad, assign, tasks)
+	var moves []Move
+	// Move heaviest shards first (FFD) onto the least loaded survivor.
+	var orphans []int
+	for s, t := range assign {
+		if t == removed {
+			orphans = append(orphans, s)
+		}
+	}
+	sort.SliceStable(orphans, func(a, b int) bool { return shardLoad[orphans[a]] > shardLoad[orphans[b]] })
+	for _, s := range orphans {
+		best := -1
+		for t := 0; t < tasks; t++ {
+			if t == removed {
+				continue
+			}
+			if best < 0 || loads[t] < loads[best] {
+				best = t
+			}
+		}
+		if best < 0 {
+			panic("balancer: removing the only task")
+		}
+		loads[best] += shardLoad[s]
+		moves = append(moves, Move{Shard: s, From: removed, To: best})
+	}
+	return moves
+}

@@ -1,0 +1,154 @@
+// Package cluster models the compute substrate the paper evaluates on: a set
+// of nodes, each with a fixed number of CPU cores and a network interface with
+// finite bandwidth. It also provides the global core registry the dynamic
+// scheduler allocates from.
+//
+// The paper's testbed is 32 EC2 t2.2xlarge nodes (8 cores, 32 GB) on 1 Gbps
+// Ethernet; those are the defaults here.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+)
+
+// NodeID identifies a node in the cluster.
+type NodeID int
+
+// CoreID identifies one physical CPU core, unique across the cluster.
+type CoreID int
+
+// Core is one physical CPU core.
+type Core struct {
+	ID   CoreID
+	Node NodeID
+}
+
+// Config describes a cluster to build.
+type Config struct {
+	Nodes        int              // number of nodes
+	CoresPerNode int              // CPU cores per node
+	BandwidthBps float64          // NIC bandwidth per node, bits per second
+	Latency      simtime.Duration // one-way network latency between distinct nodes
+}
+
+// Default returns the paper's cluster: n nodes × 8 cores, 1 Gbps, 0.5 ms.
+func Default(n int) Config {
+	return Config{
+		Nodes:        n,
+		CoresPerNode: 8,
+		BandwidthBps: 1e9,
+		Latency:      500 * simtime.Microsecond,
+	}
+}
+
+// Cluster is the simulated machine inventory plus its network.
+type Cluster struct {
+	cfg   Config
+	cores []Core
+	nics  []nic // per-node egress queue
+	clock *simtime.Clock
+}
+
+type nic struct {
+	busyUntil simtime.Time
+	sentBytes int64
+}
+
+// New builds a cluster on the given clock. It panics on nonsensical configs;
+// building a cluster is setup code, not a recoverable path.
+func New(clock *simtime.Clock, cfg Config) *Cluster {
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		panic(fmt.Sprintf("cluster: invalid config %+v", cfg))
+	}
+	if cfg.BandwidthBps <= 0 {
+		cfg.BandwidthBps = 1e9
+	}
+	c := &Cluster{cfg: cfg, clock: clock, nics: make([]nic, cfg.Nodes)}
+	for n := 0; n < cfg.Nodes; n++ {
+		for i := 0; i < cfg.CoresPerNode; i++ {
+			c.cores = append(c.cores, Core{ID: CoreID(len(c.cores)), Node: NodeID(n)})
+		}
+	}
+	return c
+}
+
+// Config returns the configuration the cluster was built with.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Nodes returns the number of nodes.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// TotalCores returns the number of cores across all nodes.
+func (c *Cluster) TotalCores() int { return len(c.cores) }
+
+// Cores returns all cores in ID order. The slice must not be mutated.
+func (c *Cluster) Cores() []Core { return c.cores }
+
+// Core returns the core with the given ID.
+func (c *Cluster) Core(id CoreID) Core { return c.cores[id] }
+
+// NodeOf returns the node hosting core id.
+func (c *Cluster) NodeOf(id CoreID) NodeID { return c.cores[id].Node }
+
+// TransferDuration returns the wire time for payload bytes between two nodes,
+// excluding NIC queueing: latency + bytes/bandwidth. Transfers within a node
+// are free (intra-process or loopback shared memory).
+func (c *Cluster) TransferDuration(from, to NodeID, bytes int) simtime.Duration {
+	if from == to {
+		return 0
+	}
+	return c.cfg.Latency + c.serializeDuration(bytes)
+}
+
+func (c *Cluster) serializeDuration(bytes int) simtime.Duration {
+	sec := float64(bytes) * 8 / c.cfg.BandwidthBps
+	return simtime.Duration(sec * float64(simtime.Second))
+}
+
+// Send models a transfer of payload bytes from node `from` to node `to` and
+// invokes done when the payload has fully arrived. The sender's NIC is a FIFO
+// resource: concurrent transfers from the same node queue behind each other,
+// which is what saturates a node's 1 Gbps uplink in the data-intensive
+// experiments (Fig 10/11). Intra-node sends complete immediately (done is
+// still deferred to a zero-delay event to keep causality uniform).
+func (c *Cluster) Send(from, to NodeID, bytes int, done func()) {
+	if from == to {
+		c.clock.After(0, done)
+		return
+	}
+	n := &c.nics[from]
+	now := c.clock.Now()
+	start := now
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	finish := start.Add(c.serializeDuration(bytes))
+	n.busyUntil = finish
+	n.sentBytes += int64(bytes)
+	c.clock.At(finish.Add(c.cfg.Latency), done)
+}
+
+// NICBacklog returns how far in the future node n's NIC is already committed,
+// a congestion signal used by tests and diagnostics.
+func (c *Cluster) NICBacklog(n NodeID) simtime.Duration {
+	b := c.nics[n].busyUntil
+	now := c.clock.Now()
+	if b <= now {
+		return 0
+	}
+	return b.Sub(now)
+}
+
+// SentBytes returns the cumulative bytes sent from node n's NIC.
+func (c *Cluster) SentBytes(n NodeID) int64 { return c.nics[n].sentBytes }
+
+// TotalSentBytes sums SentBytes over all nodes.
+func (c *Cluster) TotalSentBytes() int64 {
+	var t int64
+	for i := range c.nics {
+		t += c.nics[i].sentBytes
+	}
+	return t
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func newTest(nodes, cores int) (*simtime.Clock, *Cluster) {
+	clock := simtime.NewClock()
+	cfg := Default(nodes)
+	cfg.CoresPerNode = cores
+	return clock, New(clock, cfg)
+}
+
+func TestCoreInventory(t *testing.T) {
+	_, c := newTest(4, 8)
+	if c.TotalCores() != 32 {
+		t.Fatalf("TotalCores = %d, want 32", c.TotalCores())
+	}
+	if c.Nodes() != 4 {
+		t.Fatalf("Nodes = %d", c.Nodes())
+	}
+	// Cores are dense, ordered, and grouped by node.
+	for i, core := range c.Cores() {
+		if int(core.ID) != i {
+			t.Fatalf("core %d has ID %d", i, core.ID)
+		}
+		if core.Node != NodeID(i/8) {
+			t.Fatalf("core %d on node %d, want %d", i, core.Node, i/8)
+		}
+		if c.NodeOf(core.ID) != core.Node {
+			t.Fatalf("NodeOf mismatch")
+		}
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(simtime.NewClock(), Config{Nodes: 0, CoresPerNode: 8})
+}
+
+func TestTransferDuration(t *testing.T) {
+	_, c := newTest(2, 1)
+	if d := c.TransferDuration(0, 0, 1<<20); d != 0 {
+		t.Fatalf("intra-node transfer cost %v, want 0", d)
+	}
+	// 1 Gbps: 125 MB/s. 125000 bytes -> 1 ms + 0.5 ms latency.
+	d := c.TransferDuration(0, 1, 125000)
+	want := 1500 * simtime.Microsecond
+	if d != want {
+		t.Fatalf("TransferDuration = %v, want %v", d, want)
+	}
+}
+
+func TestSendIntraNodeImmediate(t *testing.T) {
+	clock, c := newTest(2, 1)
+	var at simtime.Time = -1
+	clock.At(simtime.Time(simtime.Second), func() {
+		c.Send(1, 1, 1<<30, func() { at = clock.Now() })
+	})
+	clock.Run()
+	if at != simtime.Time(simtime.Second) {
+		t.Fatalf("intra-node send completed at %v", at)
+	}
+}
+
+func TestSendNICQueueing(t *testing.T) {
+	clock, c := newTest(2, 1)
+	// Two back-to-back 125 KB transfers from node 0: the second must queue
+	// behind the first on the NIC (serialize 1 ms each), both plus latency.
+	var done []simtime.Time
+	clock.At(0, func() {
+		c.Send(0, 1, 125000, func() { done = append(done, clock.Now()) })
+		c.Send(0, 1, 125000, func() { done = append(done, clock.Now()) })
+	})
+	clock.Run()
+	if len(done) != 2 {
+		t.Fatalf("done = %v", done)
+	}
+	ms := simtime.Millisecond
+	if done[0] != simtime.Time(ms+ms/2) {
+		t.Fatalf("first transfer at %v, want 1.5ms", done[0])
+	}
+	if done[1] != simtime.Time(2*ms+ms/2) {
+		t.Fatalf("second transfer at %v, want 2.5ms (queued)", done[1])
+	}
+}
+
+func TestSendSeparateNICsDoNotQueue(t *testing.T) {
+	clock, c := newTest(3, 1)
+	var done []simtime.Time
+	clock.At(0, func() {
+		c.Send(0, 2, 125000, func() { done = append(done, clock.Now()) })
+		c.Send(1, 2, 125000, func() { done = append(done, clock.Now()) })
+	})
+	clock.Run()
+	if done[0] != done[1] {
+		t.Fatalf("independent NICs queued: %v", done)
+	}
+}
+
+func TestNICBacklogAndAccounting(t *testing.T) {
+	clock, c := newTest(2, 1)
+	clock.At(0, func() {
+		c.Send(0, 1, 250000, func() {})
+		if got := c.NICBacklog(0); got != 2*simtime.Millisecond {
+			t.Errorf("backlog = %v, want 2ms", got)
+		}
+		if c.NICBacklog(1) != 0 {
+			t.Errorf("receiver NIC should be idle")
+		}
+	})
+	clock.Run()
+	if c.SentBytes(0) != 250000 {
+		t.Fatalf("SentBytes = %d", c.SentBytes(0))
+	}
+	if c.TotalSentBytes() != 250000 {
+		t.Fatalf("TotalSentBytes = %d", c.TotalSentBytes())
+	}
+	if c.NICBacklog(0) != 0 {
+		t.Fatalf("backlog after run = %v", c.NICBacklog(0))
+	}
+}
+
+func TestDefaultMatchesPaperTestbed(t *testing.T) {
+	cfg := Default(32)
+	if cfg.Nodes != 32 || cfg.CoresPerNode != 8 {
+		t.Fatalf("default shape %+v", cfg)
+	}
+	if cfg.BandwidthBps != 1e9 {
+		t.Fatalf("default bandwidth %v", cfg.BandwidthBps)
+	}
+	c := New(simtime.NewClock(), cfg)
+	if c.TotalCores() != 256 {
+		t.Fatalf("total cores = %d, want 256", c.TotalCores())
+	}
+}

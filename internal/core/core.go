@@ -1,0 +1,124 @@
+// Package core is the Elasticutor framework glue: it assembles the paper's
+// two evaluation applications — the §5.1 micro-benchmark (generator →
+// calculator, Fig 5) and the §5.4 Shanghai Stock Exchange application
+// (Fig 14) — into ready-to-run engines with the paper's default parameters.
+//
+// The experiments (internal/experiments), the CLI (cmd/elasticutor-bench)
+// and the examples all build on this package.
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// MicroOptions configures a micro-benchmark run. Zero values take paper
+// defaults scaled to the requested cluster.
+type MicroOptions struct {
+	Paradigm        engine.Paradigm
+	Nodes           int // cluster nodes (8 cores each); default 32
+	SourceExecutors int // generator parallelism; default one per node
+	Y               int // executors for the calculator operator
+	Z               int // shards per elastic executor
+	OpShards        int // RC repartition granularity
+	Spec            workload.Spec
+	Rate            float64 // offered tuples/s; 0 = 1.3× estimated capacity
+	Batch           int
+	Seed            uint64
+	FixedCores      int  // pin per-executor cores (single-executor scaling)
+	SourcesFree     bool // sources don't consume cores (Fig 9a fan-in sweep)
+	AssertOrder     bool
+	// DisableStateSharing is the §3.2 ablation: shard moves always serialize.
+	DisableStateSharing bool
+	// Theta overrides the imbalance threshold (0 = paper default 1.2).
+	Theta float64
+	// SchedulePeriod overrides the dynamic scheduler cadence (0 = 1 s).
+	SchedulePeriod simtime.Duration
+	WarmUp         simtime.Duration
+	Tmax           simtime.Duration
+}
+
+// Micro bundles a constructed engine with the workload objects the caller
+// may want to perturb (shuffles are already scheduled from Spec ω).
+type Micro struct {
+	Engine *engine.Engine
+	Zipf   *workload.Zipf
+	Rate   float64
+	Config engine.Config
+}
+
+// NewMicro builds the Fig 5 micro-benchmark.
+func NewMicro(opt MicroOptions) (*Micro, error) {
+	if opt.Nodes == 0 {
+		opt.Nodes = 32
+	}
+	if opt.SourceExecutors == 0 {
+		opt.SourceExecutors = opt.Nodes
+	}
+	if opt.Spec.Keys == 0 {
+		opt.Spec = workload.DefaultSpec()
+	}
+	if opt.Batch == 0 {
+		opt.Batch = 1
+	}
+
+	tp := stream.NewTopology("micro")
+	gen := tp.Add(&stream.Operator{Name: "generator", Source: true})
+	calc := tp.Add(&stream.Operator{
+		Name:          "calculator",
+		Cost:          stream.FixedCost(opt.Spec.CPUCost),
+		StatePerShard: opt.Spec.ShardStateKB << 10,
+	})
+	tp.Connect(gen.ID, calc.ID)
+
+	clusterCfg := cluster.Default(opt.Nodes)
+	elasticCores := opt.Nodes*clusterCfg.CoresPerNode - opt.SourceExecutors
+	if opt.SourcesFree {
+		elasticCores = opt.Nodes * clusterCfg.CoresPerNode
+	}
+	rate := opt.Rate
+	if rate <= 0 {
+		// Saturating offered load: 1.3× the cluster's CPU-bound capacity.
+		rate = 1.3 * float64(elasticCores) / opt.Spec.CPUCost.Seconds()
+	}
+
+	zipf := workload.NewZipf(opt.Spec.Keys, opt.Spec.Skew, simtime.NewRand(opt.Seed+77))
+	cfg := engine.Config{
+		Topology:            tp,
+		Cluster:             clusterCfg,
+		Paradigm:            opt.Paradigm,
+		SourceExecutors:     opt.SourceExecutors,
+		Y:                   opt.Y,
+		Z:                   opt.Z,
+		OpShards:            opt.OpShards,
+		Batch:               opt.Batch,
+		Seed:                opt.Seed,
+		FixedCores:          opt.FixedCores,
+		SourcesFree:         opt.SourcesFree,
+		AssertOrder:         opt.AssertOrder,
+		DisableStateSharing: opt.DisableStateSharing,
+		Theta:               opt.Theta,
+		SchedulePeriod:      opt.SchedulePeriod,
+		WarmUp:              opt.WarmUp,
+		Tmax:                opt.Tmax,
+		Sources: map[stream.OperatorID]*engine.SourceDriver{
+			gen.ID: {
+				Rate: workload.ConstantRate(rate),
+				Sample: func(now simtime.Time) (stream.Key, int, interface{}) {
+					return zipf.Sample(), opt.Spec.TupleBytes, nil
+				},
+			},
+		},
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if iv := opt.Spec.ShuffleInterval(); iv > 0 {
+		e.Every(iv, zipf.Shuffle)
+	}
+	return &Micro{Engine: e, Zipf: zipf, Rate: rate, Config: cfg}, nil
+}

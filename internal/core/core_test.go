@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+func TestNewMicroDefaults(t *testing.T) {
+	m, err := NewMicro(MicroOptions{Paradigm: engine.Elasticutor, Nodes: 2, SourceExecutors: 2, Y: 2, Z: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 nodes × 8 cores − 2 source cores = 14 elastic cores at 1 ms/tuple:
+	// default saturating rate = 1.3 × 14k.
+	if m.Rate < 18000 || m.Rate > 18500 {
+		t.Fatalf("default rate = %v", m.Rate)
+	}
+	r := m.Engine.Run(3 * simtime.Second)
+	if r.Processed == 0 {
+		t.Fatal("micro benchmark processed nothing")
+	}
+}
+
+func TestNewMicroShufflesFromSpec(t *testing.T) {
+	spec := workload.DefaultSpec()
+	spec.ShufflesPerMin = 60 // one per second
+	m, err := NewMicro(MicroOptions{
+		Paradigm: engine.Elasticutor, Nodes: 2, SourceExecutors: 2, Y: 2, Z: 16,
+		Spec: spec, Rate: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Engine.Run(3500 * simtime.Millisecond)
+	if m.Zipf.Shuffles() != 3 {
+		t.Fatalf("shuffles = %d, want 3", m.Zipf.Shuffles())
+	}
+}
+
+func TestNewSSEProcessesOrdersAndTrades(t *testing.T) {
+	app, err := NewSSE(SSEOptions{
+		Paradigm: engine.Elasticutor, Nodes: 2, SourceExecutors: 2,
+		Y: 2, Z: 16, Rate: 2000, Seed: 1, AssertOrder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := app.Engine.Run(5 * simtime.Second)
+	if r.Processed < 5000 {
+		t.Fatalf("transactor processed only %d orders", r.Processed)
+	}
+	if *app.Trades == 0 {
+		t.Fatal("no trades executed — order book never crossed")
+	}
+	// Sinks (analytics) measured latency.
+	if r.Latency.Count() == 0 {
+		t.Fatal("no end-to-end latency samples from analytics sinks")
+	}
+	if r.Dropped != 0 {
+		t.Fatalf("dropped = %d", r.Dropped)
+	}
+}
+
+func TestSSEAllParadigms(t *testing.T) {
+	for _, p := range []engine.Paradigm{engine.Static, engine.ResourceCentric, engine.NaiveEC, engine.Elasticutor} {
+		app, err := NewSSE(SSEOptions{
+			Paradigm: p, Nodes: 2, SourceExecutors: 2, Y: 2, Z: 16,
+			OpShards: 128, Rate: 1500, Seed: 2,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		r := app.Engine.Run(4 * simtime.Second)
+		if r.Processed == 0 {
+			t.Fatalf("%v: nothing processed", p)
+		}
+	}
+}
+
+func TestSSETopologyShape(t *testing.T) {
+	app, err := NewSSE(SSEOptions{Paradigm: engine.Static, Nodes: 2, SourceExecutors: 2, Rate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := app.Config.Topology.Operators()
+	// 1 source + transactor + 6 stats + 5 events = 13 operators (Fig 14).
+	if len(ops) != 13 {
+		t.Fatalf("operator count = %d, want 13", len(ops))
+	}
+	tr := ops[1]
+	if len(tr.Downstream()) != 11 {
+		t.Fatalf("transactor fan-out = %d, want 11", len(tr.Downstream()))
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+	"repro/internal/workload/sse"
+)
+
+// SSEOptions configures the stock-exchange application (Fig 14).
+type SSEOptions struct {
+	Paradigm        engine.Paradigm
+	Nodes           int // default 32
+	SourceExecutors int // default one per node
+	Y, Z, OpShards  int
+	Rate            float64 // offered orders/s; 0 = 1.3× transactor capacity
+	Generator       sse.GeneratorConfig
+	Batch           int
+	Seed            uint64
+	AssertOrder     bool
+	WarmUp          simtime.Duration
+	Tmax            simtime.Duration
+}
+
+// SSE bundles the constructed application.
+type SSE struct {
+	Engine    *engine.Engine
+	Generator *sse.Generator
+	Rate      float64
+	Config    engine.Config
+	// Trades counts executed transactions (weight-scaled), for diagnostics.
+	Trades *int64
+}
+
+// TransactorCost is the CPU cost of executing one order against the book.
+const TransactorCost = simtime.Millisecond
+
+// AnalyticsCost is the CPU cost of one analytics/event operator per record.
+const AnalyticsCost = 50 * simtime.Microsecond
+
+// statsOperators are the six statistics operators of Fig 14.
+var statsOperators = []string{
+	"moving-average", "composite-index", "vwap", "volume-stats", "spread-stats", "turnover",
+}
+
+// eventOperators are the five event-processing operators of Fig 14.
+var eventOperators = []string{
+	"price-alarm", "fraud-detection", "volume-surge", "circuit-breaker", "order-imbalance",
+}
+
+// movingAverageHandler maintains an exponentially weighted price average per
+// stock — one of the real analytics the example app exposes.
+func movingAverageHandler(t stream.Tuple, acc stream.StateAccessor) []stream.Tuple {
+	price, ok := t.Payload.(int64)
+	if !ok {
+		return nil
+	}
+	avg, _ := acc.Get().(float64)
+	if avg == 0 {
+		avg = float64(price)
+	}
+	acc.Set(avg*0.98 + float64(price)*0.02)
+	return nil
+}
+
+// priceAlarmHandler remembers the max trade price per stock and "fires"
+// (counts in state) when a trade exceeds 120% of the running max.
+func priceAlarmHandler(t stream.Tuple, acc stream.StateAccessor) []stream.Tuple {
+	price, ok := t.Payload.(int64)
+	if !ok {
+		return nil
+	}
+	st, _ := acc.Get().([2]int64) // [maxPrice, alarms]
+	if st[0] > 0 && price > st[0]+st[0]/5 {
+		st[1]++
+	}
+	if price > st[0] {
+		st[0] = price
+	}
+	acc.Set(st)
+	return nil
+}
+
+// NewSSE builds the Fig 14 topology: orders → transactor (limit-order-book
+// market clearing) → 6 statistics + 5 event-processing operators, all keyed
+// by stock ID.
+func NewSSE(opt SSEOptions) (*SSE, error) {
+	if opt.Nodes == 0 {
+		opt.Nodes = 32
+	}
+	if opt.SourceExecutors == 0 {
+		opt.SourceExecutors = opt.Nodes
+	}
+	if opt.Batch == 0 {
+		opt.Batch = 1
+	}
+	if opt.Generator.Stocks == 0 {
+		opt.Generator = sse.DefaultGeneratorConfig()
+	}
+
+	tp := stream.NewTopology("sse")
+	orders := tp.Add(&stream.Operator{Name: "orders", Source: true})
+
+	trades := new(int64)
+	transactor := tp.Add(&stream.Operator{
+		Name:          "transactor",
+		Cost:          stream.FixedCost(TransactorCost),
+		OutBytes:      sse.TradeBytes,
+		StatePerShard: 32 << 10,
+		Handler: func(t stream.Tuple, acc stream.StateAccessor) []stream.Tuple {
+			order, ok := t.Payload.(sse.Order)
+			if !ok {
+				return nil
+			}
+			book, _ := acc.Get().(*sse.Book)
+			if book == nil {
+				book = sse.NewBook(order.Stock)
+				acc.Set(book)
+			}
+			trs := book.Submit(order)
+			if len(trs) == 0 {
+				return nil
+			}
+			// One downstream record per trade batch, weight-scaled by the
+			// tuple's batch weight; the payload carries the last trade price
+			// for the analytics handlers.
+			*trades += int64(len(trs) * t.Weight)
+			return []stream.Tuple{{
+				Key:     t.Key,
+				Weight:  len(trs) * t.Weight,
+				Bytes:   sse.TradeBytes,
+				Payload: trs[len(trs)-1].Price,
+			}}
+		},
+	})
+	tp.Connect(orders.ID, transactor.ID)
+
+	add := func(name string, handler stream.Handler) {
+		op := tp.Add(&stream.Operator{
+			Name:          name,
+			Cost:          stream.FixedCost(AnalyticsCost),
+			StatePerShard: 4 << 10,
+			Handler:       handler,
+		})
+		tp.Connect(transactor.ID, op.ID)
+	}
+	for _, name := range statsOperators {
+		if name == "moving-average" {
+			add(name, movingAverageHandler)
+			continue
+		}
+		add(name, nil)
+	}
+	for _, name := range eventOperators {
+		if name == "price-alarm" {
+			add(name, priceAlarmHandler)
+			continue
+		}
+		add(name, nil)
+	}
+
+	clusterCfg := cluster.Default(opt.Nodes)
+	elasticCores := opt.Nodes*clusterCfg.CoresPerNode - opt.SourceExecutors
+	rate := opt.Rate
+	if rate <= 0 {
+		// Each order costs ~1 ms at the transactor plus ~0.6 ms across the
+		// eleven analytics operators (≈1.1 trades/order × 11 × 50 µs), so the
+		// cluster sustains ≈ 0.62 orders/ms/core. Offer ~70% of that: a
+		// well-scheduled system runs at milliseconds latency while the
+		// baselines' imbalance-crippled effective capacity still saturates.
+		rate = 0.45 * float64(elasticCores) / TransactorCost.Seconds()
+	}
+
+	// Parallelism budget: the transactor gets Y executors; the 11 analytics
+	// operators split half the remaining cores (the dynamic scheduler moves
+	// actual cores wherever demand is).
+	yTrans := opt.Y
+	if yTrans <= 0 || yTrans > elasticCores/2 {
+		yTrans = elasticCores / 7
+		if yTrans < 1 {
+			yTrans = 1
+		}
+		if yTrans > 32 {
+			yTrans = 32
+		}
+	}
+	yAnalytics := (elasticCores - yTrans) / 22
+	if yAnalytics < 1 {
+		yAnalytics = 1
+	}
+	yPerOp := map[stream.OperatorID]int{transactor.ID: yTrans}
+	for _, op := range tp.Operators() {
+		if !op.Source && op.ID != transactor.ID {
+			yPerOp[op.ID] = yAnalytics
+		}
+	}
+
+	gen := sse.NewGenerator(opt.Generator, simtime.NewRand(opt.Seed+99))
+	cfg := engine.Config{
+		Topology:        tp,
+		Cluster:         clusterCfg,
+		Paradigm:        opt.Paradigm,
+		SourceExecutors: opt.SourceExecutors,
+		Y:               opt.Y,
+		YPerOp:          yPerOp,
+		Z:               opt.Z,
+		OpShards:        opt.OpShards,
+		Batch:           opt.Batch,
+		Seed:            opt.Seed,
+		AssertOrder:     opt.AssertOrder,
+		WarmUp:          opt.WarmUp,
+		Tmax:            opt.Tmax,
+		MeasureOp:       transactor.ID,
+		Sources: map[stream.OperatorID]*engine.SourceDriver{
+			orders.ID: {
+				Rate: func(simtime.Time) float64 { return rate },
+				Sample: func(now simtime.Time) (stream.Key, int, interface{}) {
+					o := gen.Next(now)
+					return o.Key(), sse.OrderBytes, o
+				},
+			},
+		},
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SSE{Engine: e, Generator: gen, Rate: rate, Config: cfg, Trades: trades}, nil
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/executor"
+	"repro/internal/qmodel"
+	"repro/internal/scheduler"
+	"repro/internal/stream"
+)
+
+// startControlLoops installs the paradigm's control plane.
+func (e *Engine) startControlLoops() {
+	switch e.cfg.Paradigm {
+	case Static:
+		// No elasticity: nothing to do.
+	case ResourceCentric:
+		e.Every(e.cfg.SchedulePeriod, e.rcTick)
+	case NaiveEC, Elasticutor:
+		e.Every(e.cfg.RebalancePeriod, e.rebalanceTick)
+		if e.cfg.FixedCores == 0 {
+			e.Every(e.cfg.SchedulePeriod, e.elasticTick)
+		}
+	}
+}
+
+// rebalanceTick runs the §3.1 intra-executor load balancer on every elastic
+// executor, using the loads accumulated in the current measurement window.
+func (e *Engine) rebalanceTick() {
+	for _, ex := range e.elastic {
+		ex.Rebalance()
+	}
+}
+
+// elasticTick is one round of the dynamic scheduler (§4): measure, model,
+// allocate (qmodel), assign (Algorithm 1 or the naive variant), apply.
+func (e *Engine) elasticTick() {
+	m := len(e.elastic)
+	if m == 0 {
+		return
+	}
+	loads := make([]qmodel.ExecutorLoad, m)
+	intensity := make([]float64, m)
+	var lambda0 float64
+	for j, ex := range e.elastic {
+		w := ex.TakeWindow()
+		mu := w.Mu
+		if mu <= 0 {
+			mu = e.fallbackMu(e.elasticOp[j].op)
+		}
+		e.lastMuOf(ex, &mu)
+		lambda := w.Lambda
+		if b := e.blockedW[ex]; b > 0 && w.Span > 0 {
+			lambda += float64(b) / w.Span.Seconds()
+			delete(e.blockedW, ex)
+		}
+		loads[j] = qmodel.ExecutorLoad{Lambda: lambda, Mu: mu}
+		intensity[j] = w.DataIntensity
+		if e.elasticOp[j].firstHop {
+			lambda0 += lambda
+		}
+	}
+
+	// Available budget: every core not reserved for sources.
+	available := e.cluster.TotalCores() - e.sourceCoreCount()
+
+	start := time.Now()
+	alloc := qmodel.Allocate(loads, lambda0, e.cfg.Tmax, available)
+
+	in := scheduler.Input{
+		Capacity:      e.elasticCapacity(),
+		Local:         make([]int, m),
+		StateBytes:    make([]float64, m),
+		DataIntensity: intensity,
+		Existing:      e.existingMatrix(),
+		Alloc:         alloc.K,
+		Phi:           e.cfg.Phi,
+	}
+	for j, ex := range e.elastic {
+		in.Local[j] = int(ex.LocalNode())
+		in.StateBytes[j] = float64(e.executorStateBytes(j))
+	}
+	var res scheduler.Result
+	var err error
+	if e.cfg.Paradigm == NaiveEC {
+		res, err = scheduler.NaiveAssign(in)
+	} else {
+		res, err = scheduler.Assign(in)
+	}
+	e.r.SchedulingWall = append(e.r.SchedulingWall, time.Since(start))
+	if err != nil {
+		// Demand exceeded capacity despite the qmodel cap; skip this round.
+		return
+	}
+	e.applyAssignment(res.X)
+}
+
+// lastMus caches μ estimates between windows.
+func (e *Engine) lastMuOf(ex *executor.Executor, mu *float64) {
+	if e.lastMu == nil {
+		e.lastMu = make(map[*executor.Executor]float64)
+	}
+	if *mu > 0 {
+		e.lastMu[ex] = *mu
+		return
+	}
+	if prev, ok := e.lastMu[ex]; ok {
+		*mu = prev
+	}
+}
+
+// fallbackMu derives a service-rate estimate from the operator's cost model
+// before any measurements exist.
+func (e *Engine) fallbackMu(op *stream.Operator) float64 {
+	cost := op.Cost(stream.Tuple{Bytes: op.OutBytes, Weight: 1})
+	if cost <= 0 {
+		return 0
+	}
+	return 1 / cost.Seconds()
+}
+
+// sourceCoreCount returns the cores reserved for source instances (zero when
+// sources are configured core-free).
+func (e *Engine) sourceCoreCount() int {
+	if e.cfg.SourcesFree {
+		return 0
+	}
+	n := 0
+	for _, insts := range e.sources {
+		n += len(insts)
+	}
+	return n
+}
+
+// elasticCapacity returns per-node core capacity available to elastic
+// executors: total cores minus source reservations on that node.
+func (e *Engine) elasticCapacity() []int {
+	cap := make([]int, e.cluster.Nodes())
+	for _, core := range e.cluster.Cores() {
+		cap[core.Node]++
+	}
+	if !e.cfg.SourcesFree {
+		for _, insts := range e.sources {
+			for _, inst := range insts {
+				cap[inst.node]--
+			}
+		}
+	}
+	for i, c := range cap {
+		if c < 0 {
+			cap[i] = 0
+		}
+	}
+	return cap
+}
+
+// existingMatrix builds X̃ from the engine's concrete core bookkeeping.
+func (e *Engine) existingMatrix() [][]int {
+	n, m := e.cluster.Nodes(), len(e.elastic)
+	x := make([][]int, n)
+	for i := range x {
+		x[i] = make([]int, m)
+	}
+	j := 0
+	for _, rt := range e.opsInOrder() {
+		for i := range rt.execs {
+			for _, core := range rt.cores[i] {
+				x[e.cluster.NodeOf(core)][j]++
+			}
+			j++
+		}
+	}
+	return x
+}
+
+// opsInOrder iterates operators deterministically (topology order) so that
+// elastic executor indexing is stable.
+func (e *Engine) opsInOrder() []*opRuntime {
+	var out []*opRuntime
+	for _, op := range e.cfg.Topology.Operators() {
+		if rt := e.ops[op.ID]; rt != nil {
+			out = append(out, rt)
+		}
+	}
+	return out
+}
+
+// executorStateBytes returns the aggregate state size s_j of elastic
+// executor j (z shards × per-shard size).
+func (e *Engine) executorStateBytes(j int) int {
+	op := e.elasticOp[j].op
+	return op.StatePerShard * e.cfg.Z
+}
+
+// applyAssignment diffs the target matrix against current core holdings and
+// applies revocations then grants through the executors' elastic APIs.
+func (e *Engine) applyAssignment(x [][]int) {
+	// Flatten executor indexing identically to existingMatrix.
+	type slot struct {
+		rt  *opRuntime
+		idx int
+	}
+	var slots []slot
+	for _, rt := range e.opsInOrder() {
+		for i := range rt.execs {
+			slots = append(slots, slot{rt, i})
+		}
+	}
+	// Phase 1: revoke surplus cores per (node, executor).
+	for j, s := range slots {
+		ex := s.rt.execs[s.idx]
+		byNode := make(map[cluster.NodeID][]cluster.CoreID)
+		for _, core := range s.rt.cores[s.idx] {
+			n := e.cluster.NodeOf(core)
+			byNode[n] = append(byNode[n], core)
+		}
+		for n, cores := range byNode {
+			want := x[n][j]
+			for len(cores) > want {
+				core := cores[len(cores)-1]
+				cores = cores[:len(cores)-1]
+				if ex.RemoveCore(core) {
+					e.removeCoreRecord(s.rt, s.idx, core)
+					e.releaseCore(core)
+				} else {
+					break // last core of the executor; keep it
+				}
+			}
+		}
+	}
+	// Phase 2: grant missing cores.
+	for j, s := range slots {
+		ex := s.rt.execs[s.idx]
+		have := make(map[cluster.NodeID]int)
+		for _, core := range s.rt.cores[s.idx] {
+			have[e.cluster.NodeOf(core)]++
+		}
+		for n := 0; n < e.cluster.Nodes(); n++ {
+			node := cluster.NodeID(n)
+			for have[node] < x[n][j] {
+				core, ok := e.takeFreeCoreOn(node)
+				if !ok {
+					break // a refused revocation above may leave a small deficit
+				}
+				ex.AddCore(core)
+				s.rt.cores[s.idx] = append(s.rt.cores[s.idx], core)
+				have[node]++
+			}
+		}
+	}
+}
+
+func (e *Engine) removeCoreRecord(rt *opRuntime, idx int, core cluster.CoreID) {
+	cs := rt.cores[idx]
+	for i, c := range cs {
+		if c == core {
+			cs[i] = cs[len(cs)-1]
+			rt.cores[idx] = cs[:len(cs)-1]
+			return
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/executor"
+	"repro/internal/simtime"
+)
+
+func TestForceShardReassignIntraAndInter(t *testing.T) {
+	cfg := microConfig(Elasticutor, 2000, 41)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []executor.ReassignReport
+	e.Clock().At(simtime.Time(2*simtime.Second), func() {
+		if err := e.ForceShardReassign(false, func(r executor.ReassignReport) {
+			reports = append(reports, r)
+		}); err != nil {
+			t.Errorf("intra force: %v", err)
+		}
+	})
+	e.Clock().At(simtime.Time(4*simtime.Second), func() {
+		if err := e.ForceShardReassign(true, func(r executor.ReassignReport) {
+			reports = append(reports, r)
+		}); err != nil {
+			t.Errorf("inter force: %v", err)
+		}
+	})
+	e.Run(8 * simtime.Second)
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if reports[0].InterNode {
+		t.Fatal("first forced reassign should be intra-node")
+	}
+	if !reports[1].InterNode {
+		t.Fatal("second forced reassign should be inter-node")
+	}
+	if reports[0].MovedBytes != 0 {
+		t.Fatal("intra-node move migrated state")
+	}
+	if reports[1].MovedBytes == 0 {
+		t.Fatal("inter-node move migrated nothing")
+	}
+}
+
+func TestForceShardReassignNeedsTwoNodes(t *testing.T) {
+	cfg := microConfig(Elasticutor, 500, 43)
+	cfg.Cluster.Nodes = 1
+	cfg.SourceExecutors = 1
+	cfg.Y = 2
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := false
+	e.Clock().At(simtime.Time(simtime.Second), func() {
+		if err := e.ForceShardReassign(true, nil); err != nil {
+			failed = true
+		}
+	})
+	e.Run(2 * simtime.Second)
+	if !failed {
+		t.Fatal("inter-node reassign on a 1-node cluster should fail")
+	}
+}
+
+func TestForceRCMoveValidation(t *testing.T) {
+	cfg := microConfig(Elasticutor, 500, 47)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ForceRCMove(1, 0); err == nil {
+		t.Fatal("ForceRCMove should reject non-RC paradigms")
+	}
+
+	rcCfg := microConfig(ResourceCentric, 500, 47)
+	rc, err := New(rcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.ForceRCMove(9999, 0); err == nil {
+		t.Fatal("out-of-range executor accepted")
+	}
+	sh, ok := rc.RCShardOn(0)
+	if !ok {
+		t.Fatal("executor 0 owns no shard at startup")
+	}
+	if err := rc.ForceRCMove(0, sh); err == nil {
+		t.Fatal("no-op move accepted")
+	}
+	nodes := rc.RCExecutorNodes()
+	if len(nodes) == 0 {
+		t.Fatal("no RC executors")
+	}
+	done := false
+	rc.SetOnRepartition(func(r RepartitionReport) {
+		if r.Moves == 1 {
+			done = true
+		}
+	})
+	rc.Clock().At(simtime.Time(simtime.Second), func() {
+		if err := rc.ForceRCMove(1, sh); err != nil {
+			t.Errorf("valid move rejected: %v", err)
+		}
+	})
+	rc.Run(6 * simtime.Second)
+	if !done {
+		t.Fatal("forced repartition never reported")
+	}
+}
+
+func TestSetShardStateBytes(t *testing.T) {
+	cfg := microConfig(Elasticutor, 1000, 53)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetShardStateBytes(1 << 20)
+	var rep executor.ReassignReport
+	e.Clock().At(simtime.Time(2*simtime.Second), func() {
+		if err := e.ForceShardReassign(true, func(r executor.ReassignReport) { rep = r }); err != nil {
+			t.Errorf("force: %v", err)
+		}
+	})
+	e.Run(5 * simtime.Second)
+	if rep.MovedBytes != 1<<20 {
+		t.Fatalf("moved %d bytes, want 1MB", rep.MovedBytes)
+	}
+}
+
+func TestElasticExecutorsAccessors(t *testing.T) {
+	cfg := microConfig(Elasticutor, 500, 59)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ElasticExecutors()) != cfg.Y {
+		t.Fatalf("ElasticExecutors = %d, want %d", len(e.ElasticExecutors()), cfg.Y)
+	}
+	if ex := e.ExecutorsOf(1); len(ex) != cfg.Y {
+		t.Fatalf("ExecutorsOf(calculator) = %d", len(ex))
+	}
+	if ex := e.ExecutorsOf(12345); ex != nil {
+		t.Fatal("unknown op should return nil")
+	}
+}
+
+func TestDisableStateSharingEndToEnd(t *testing.T) {
+	// With the ablation on, even a same-node forced move reports bytes.
+	cfg := microConfig(Elasticutor, 1000, 61)
+	cfg.DisableStateSharing = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep executor.ReassignReport
+	e.Clock().At(simtime.Time(2*simtime.Second), func() {
+		if err := e.ForceShardReassign(false, func(r executor.ReassignReport) { rep = r }); err != nil {
+			t.Errorf("force: %v", err)
+		}
+	})
+	e.Run(5 * simtime.Second)
+	if rep.MovedBytes == 0 {
+		t.Fatal("ablated intra-node move reported zero bytes")
+	}
+}

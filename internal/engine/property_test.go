@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// Property: for random small configurations across all paradigms, a run
+// conserves tuples (never processes more than generated, never drops), keeps
+// per-key order (AssertOrder panics otherwise), and ends with bounded
+// in-flight backlog.
+func TestEnginePropertyConservationAndOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property run is a few seconds")
+	}
+	f := func(seed uint64) bool {
+		rng := simtime.NewRand(seed)
+		paradigm := Paradigm(rng.Intn(4))
+		nodes := 2 + rng.Intn(2)
+		y := 1 + rng.Intn(3)
+		rate := 500 + float64(rng.Intn(4000))
+		keys := 50 + rng.Intn(2000)
+		skew := rng.Float64() * 1.2
+
+		zipf := workload.NewZipf(keys, skew, rng.Fork())
+		tp := stream.NewTopology("prop")
+		gen := tp.Add(&stream.Operator{Name: "g", Source: true})
+		calc := tp.Add(&stream.Operator{
+			Name: "c", Cost: stream.FixedCost(simtime.Millisecond), StatePerShard: 4 << 10,
+		})
+		tp.Connect(gen.ID, calc.ID)
+
+		cfg := Config{
+			Topology:        tp,
+			Cluster:         cluster.Default(nodes),
+			Paradigm:        paradigm,
+			SourceExecutors: nodes,
+			Y:               y,
+			Z:               16 + rng.Intn(64),
+			OpShards:        64,
+			Batch:           1 + rng.Intn(3),
+			Seed:            seed,
+			AssertOrder:     true,
+			Sources: map[stream.OperatorID]*SourceDriver{
+				gen.ID: {
+					Rate: workload.ConstantRate(rate),
+					Sample: func(now simtime.Time) (stream.Key, int, interface{}) {
+						return zipf.Sample(), 128, nil
+					},
+				},
+			},
+		}
+		e, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		// Random dynamics.
+		e.Every(simtime.Duration(1+rng.Intn(3))*simtime.Second, zipf.Shuffle)
+		r := e.Run(simtime.Duration(4+rng.Intn(4)) * simtime.Second)
+		if r.Dropped != 0 {
+			return false
+		}
+		if r.Processed > r.Generated {
+			return false
+		}
+		// Whatever is unprocessed must be explainable by queued backlog.
+		backlog := r.Generated - r.Processed
+		return backlog <= int64((y+1)*cfg.MaxInFlight+8192)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RC repartitioning never loses or duplicates operator shards —
+// after any run, every operator shard is owned by exactly one executor and
+// its state is installable.
+func TestRCShardOwnershipInvariant(t *testing.T) {
+	cfg := microConfig(ResourceCentric, 15000, 71)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.DefaultSpec()
+	spec.Keys = 400
+	spec.Skew = 0.9
+	zipf := workload.NewZipf(spec.Keys, spec.Skew, simtime.NewRand(71))
+	cfg.Sources[0].Sample = func(now simtime.Time) (stream.Key, int, interface{}) {
+		return zipf.Sample(), 128, nil
+	}
+	e.Every(2*simtime.Second, zipf.Shuffle)
+	r := e.Run(16 * simtime.Second)
+	if r.Repartitions == 0 {
+		t.Skip("workload did not trigger repartitions; invariant untestable here")
+	}
+	rt := e.ops[1]
+	if len(rt.opRouting) != cfg.OpShards {
+		t.Fatalf("routing table size %d", len(rt.opRouting))
+	}
+	for s, owner := range rt.opRouting {
+		if owner < 0 || owner >= len(rt.execs) {
+			t.Fatalf("shard %d routed to invalid executor %d", s, owner)
+		}
+	}
+}

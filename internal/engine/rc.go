@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/simtime"
+	"repro/internal/state"
+)
+
+var debugRC = false
+
+// rcRepartition tracks one in-progress operator-level key repartitioning of
+// the resource-centric baseline (§1: pause upstream → drain in-flight →
+// migrate state → update upstream routing tables → resume).
+type rcRepartition struct {
+	moves      []balancer.Move
+	started    simtime.Time
+	drainedAt  simtime.Time
+	migratedAt simtime.Time
+	bytes      int64
+}
+
+// rcTick is the RC controller: per operator, if the shard load distribution
+// across executors exceeds θ, compute a minimal set of operator-shard moves
+// (same balancer as Elasticutor, per §5 "for fair comparison") and run the
+// global repartitioning protocol.
+func (e *Engine) rcTick() {
+	for _, rt := range e.opsInOrder() {
+		if rt.repartition != nil || rt.paused {
+			continue // previous repartition still running
+		}
+		if rt.cooldown > 0 {
+			rt.cooldown--
+			rt.opShardLoad = make([]float64, e.cfg.OpShards)
+			continue
+		}
+		loads := rt.opShardLoad
+		assign := append([]int(nil), rt.opRouting...)
+		moves := balancer.Rebalance(loads, assign, len(rt.execs), e.cfg.Theta, 0)
+		before := perExecutorLoads(loads, rt.opRouting, len(rt.execs))
+		after := append([]int(nil), rt.opRouting...)
+		balancer.Apply(after, moves)
+		afterLoads := perExecutorLoads(loads, after, len(rt.execs))
+		if debugRC {
+			fmt.Printf("t=%v rcTick op=%s delta=%.3f predicted=%.3f moves=%d\n",
+				e.clock.Now(), rt.op.Name, balancer.Imbalance(before), balancer.Imbalance(afterLoads), len(moves))
+		}
+		// Reset the measurement window either way.
+		rt.opShardLoad = make([]float64, e.cfg.OpShards)
+		if len(moves) == 0 {
+			continue
+		}
+		// A global repartition pauses the whole operator; only pay that when
+		// the moves meaningfully improve balance (≥15%) or actually reach the
+		// target. The greedy max→min heuristic can plateau above θ; without
+		// this guard the controller would re-pause the operator every tick
+		// for near-zero gain.
+		predicted := balancer.Imbalance(afterLoads)
+		if predicted > e.cfg.Theta && predicted > 0.85*balancer.Imbalance(before) {
+			continue
+		}
+		e.startRepartition(rt, moves)
+	}
+}
+
+// upstreamExecutorCount counts the executors (and source instances) feeding
+// an operator: the cardinality of the global synchronization (Fig 9a).
+func (e *Engine) upstreamExecutorCount(rt *opRuntime) int {
+	n := 0
+	for _, u := range rt.op.Upstream() {
+		if up := e.ops[u]; up != nil {
+			n += len(up.execs)
+		} else if insts := e.sources[u]; insts != nil {
+			n += len(insts)
+		}
+	}
+	return n
+}
+
+// startRepartition runs the four-phase protocol. Control costs are modeled
+// as serial per-upstream-executor work at the controller (pausing and later
+// updating every upstream routing table), which is what makes RC sync time
+// grow with topology fan-in while Elasticutor's stays flat.
+func (e *Engine) startRepartition(rt *opRuntime, moves []balancer.Move) {
+	rp := &rcRepartition{moves: moves, started: e.clock.Now()}
+	rt.repartition = rp
+	upstream := e.upstreamExecutorCount(rt)
+	pauseCost := simtime.Duration(upstream) * e.cfg.CtrlPerUpstream
+
+	// Phase a: pause all upstream executors.
+	e.clock.After(pauseCost, func() {
+		rt.paused = true
+		e.awaitDrain(rt, rp)
+	})
+}
+
+// awaitDrain polls until every executor of the operator has processed its
+// in-flight tuples (phase b).
+func (e *Engine) awaitDrain(rt *opRuntime, rp *rcRepartition) {
+	if e.stopped {
+		return
+	}
+	for _, ex := range rt.execs {
+		if !ex.Idle() || e.inflight[ex] != 0 {
+			e.clock.After(simtime.Millisecond, func() { e.awaitDrain(rt, rp) })
+			return
+		}
+	}
+	rp.drainedAt = e.clock.Now()
+	e.migrateShards(rt, rp)
+}
+
+// migrateShards performs phase c: move the state of each reassigned operator
+// shard between executors, across the network when they live on different
+// nodes.
+func (e *Engine) migrateShards(rt *opRuntime, rp *rcRepartition) {
+	remaining := len(rp.moves)
+	if remaining == 0 {
+		rp.migratedAt = e.clock.Now()
+		e.finishRepartition(rt, rp)
+		return
+	}
+	done := func() {
+		remaining--
+		if remaining == 0 {
+			rp.migratedAt = e.clock.Now()
+			e.finishRepartition(rt, rp)
+		}
+	}
+	for _, mv := range rp.moves {
+		src := rt.execs[mv.From]
+		dst := rt.execs[mv.To]
+		mig := src.ReleaseShard(state.ShardID(mv.Shard))
+		e.r.RepartitionBytes += int64(mig.Bytes)
+		rp.bytes += int64(mig.Bytes)
+		e.r.RepartitionMove++
+		if src.LocalNode() == dst.LocalNode() {
+			// Intra-process state sharing applies to RC too (§5 fairness).
+			dst.AdoptShard(mig)
+			e.clock.After(0, done)
+			continue
+		}
+		// RC pays an extra coordination round between the two executors on
+		// top of serialization (inter-executor state handoff; Fig 9b shows
+		// RC migrating slightly slower than Elasticutor).
+		e.clock.After(e.cfg.ControlDelay+e.cfg.SerializeOverhead, func() {
+			e.cluster.Send(src.LocalNode(), dst.LocalNode(), mig.Bytes, func() {
+				dst.AdoptShard(mig)
+				done()
+			})
+		})
+	}
+}
+
+// finishRepartition performs phase d: update every upstream executor's
+// routing table, then resume the stream and replay buffered tuples.
+func (e *Engine) finishRepartition(rt *opRuntime, rp *rcRepartition) {
+	upstream := e.upstreamExecutorCount(rt)
+	updateCost := simtime.Duration(upstream) * e.cfg.CtrlPerUpstream
+	e.clock.After(updateCost, func() {
+		inter := 0
+		for _, mv := range rp.moves {
+			if rt.execs[mv.From].LocalNode() != rt.execs[mv.To].LocalNode() {
+				inter++
+			}
+			rt.opRouting[mv.Shard] = mv.To
+		}
+		rt.paused = false
+		now := e.clock.Now()
+		e.r.Repartitions++
+		e.r.RepartitionTime += now.Sub(rp.started)
+		// "Sync" in the paper's Fig 8 sense: everything except the state
+		// transfer itself.
+		sync := rp.drainedAt.Sub(rp.started) + now.Sub(rp.migratedAt)
+		e.r.RepartitionSync += sync
+		rt.repartition = nil
+		rt.cooldown = 2
+		if e.onRepartition != nil {
+			e.onRepartition(RepartitionReport{
+				Moves:      len(rp.moves),
+				Bytes:      rp.bytes,
+				Sync:       sync,
+				Migration:  rp.migratedAt.Sub(rp.drainedAt),
+				Total:      now.Sub(rp.started),
+				InterMoves: inter,
+			})
+		}
+		e.replayPaused(rt)
+	})
+}
+
+// DebugRC toggles per-tick RC controller tracing (tests only).
+func DebugRC(on bool) { debugRC = on }
+
+// perExecutorLoads aggregates shard loads by owning executor.
+func perExecutorLoads(loads []float64, assign []int, execs int) []float64 {
+	per := make([]float64, execs)
+	for sh, ex := range assign {
+		per[ex] += loads[sh]
+	}
+	return per
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+// Report is the measurement output of one engine run. All tuple counts are
+// in real-tuple units (batch weights unfolded).
+type Report struct {
+	Paradigm     Paradigm
+	Duration     simtime.Duration
+	MeasuredSpan simtime.Duration // Duration minus warm-up
+
+	Generated int64 // tuples emitted by sources (post warm-up)
+	Processed int64 // tuples processed at the measured operator (post warm-up)
+	Blocked   int64 // source emissions skipped by backpressure
+	Dropped   int64 // tuples rejected inside executors (should stay 0)
+
+	// ThroughputSeries is the 1-second instantaneous processing rate of the
+	// measured operator (Fig 7 / Fig 16a).
+	ThroughputSeries metrics.Series
+	// LatencySeries is the 1-second mean processing latency (Fig 16b).
+	LatencySeries metrics.Series
+
+	// Latency is the end-to-end distribution at sink operators (post warm-up).
+	Latency *metrics.Histogram
+
+	// Elasticity cost counters, aggregated over all executors.
+	MigrationBytes      int64
+	RemoteTransferBytes int64
+	Reassignments       int64
+	IntraNodeReassigns  int64
+	InterNodeReassigns  int64
+	SyncTimeTotal       simtime.Duration
+	MigrationTimeTotal  simtime.Duration
+
+	// RC repartition accounting.
+	Repartitions     int
+	RepartitionTime  simtime.Duration // cumulative pause-to-resume time
+	RepartitionSync  simtime.Duration // cumulative pause+drain+update time
+	RepartitionMove  int64            // operator shards moved
+	RepartitionBytes int64            // state bytes moved by repartitions
+
+	// SchedulingWall records the wall-clock runtime of each dynamic
+	// scheduling decision (model + Algorithm 1), Table 3's metric.
+	SchedulingWall []time.Duration
+
+	// Derived (filled by finalize).
+	ThroughputMean float64 // tuples/s over the measured span
+	MigrationRate  float64 // bytes/s over the measured span (Table 2)
+	RemoteRate     float64 // bytes/s over the measured span (Table 2)
+
+	Events uint64 // simulation events executed (diagnostics)
+
+	// internal accumulation
+	procRate    *metrics.Rate
+	winLatency  *metrics.Histogram
+	seriesReady bool
+}
+
+func newReport(p Paradigm) *Report {
+	return &Report{
+		Paradigm:   p,
+		Latency:    metrics.NewHistogram(),
+		procRate:   metrics.NewRate(simtime.Second),
+		winLatency: metrics.NewHistogram(),
+	}
+}
+
+func (r *Report) observeGenerated(now simtime.Time, w int, warm simtime.Duration) {
+	if simtime.Duration(now) < warm {
+		return
+	}
+	r.Generated += int64(w)
+}
+
+func (r *Report) observeProcessed(now simtime.Time, w int, warm simtime.Duration) {
+	if simtime.Duration(now) < warm {
+		return
+	}
+	r.Processed += int64(w)
+	r.procRate.Add(now, float64(w))
+}
+
+func (r *Report) observeLatency(now simtime.Time, d simtime.Duration, w int, warm simtime.Duration) {
+	if simtime.Duration(now) < warm {
+		return
+	}
+	r.Latency.Observe(d, w)
+	r.winLatency.Observe(d, w)
+}
+
+// sampleSeries appends the instantaneous throughput and mean latency points
+// for the current one-second window.
+func (r *Report) sampleSeries(now simtime.Time) {
+	r.ThroughputSeries.Append(now, r.procRate.PerSecond(now))
+	r.LatencySeries.Append(now, r.winLatency.Mean().Seconds())
+	r.winLatency.Reset()
+}
+
+func (r *Report) finalize() {
+	if sec := r.MeasuredSpan.Seconds(); sec > 0 {
+		r.ThroughputMean = float64(r.Processed) / sec
+		r.MigrationRate = float64(r.MigrationBytes+r.RepartitionBytes) / sec
+		r.RemoteRate = float64(r.RemoteTransferBytes) / sec
+	}
+}
+
+// MeanSchedulingWall returns the average wall-clock scheduling time.
+func (r *Report) MeanSchedulingWall() time.Duration {
+	if len(r.SchedulingWall) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.SchedulingWall {
+		sum += d
+	}
+	return sum / time.Duration(len(r.SchedulingWall))
+}
+
+// String summarizes the run.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: thr=%.0f/s meanLat=%v p99=%v gen=%d proc=%d blocked=%d migr=%.1fMB remote=%.1fMB reassign=%d repart=%d",
+		r.Paradigm, r.ThroughputMean, r.Latency.Mean(), r.Latency.Quantile(0.99),
+		r.Generated, r.Processed, r.Blocked,
+		float64(r.MigrationBytes+r.RepartitionBytes)/(1<<20), float64(r.RemoteTransferBytes)/(1<<20),
+		r.Reassignments, r.Repartitions)
+}

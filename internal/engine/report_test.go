@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestReportWarmupFiltering(t *testing.T) {
+	r := newReport(Elasticutor)
+	warm := 5 * simtime.Second
+	r.observeGenerated(simtime.Time(simtime.Second), 10, warm) // inside warm-up
+	r.observeGenerated(simtime.Time(6*simtime.Second), 10, warm)
+	r.observeProcessed(simtime.Time(simtime.Second), 7, warm)
+	r.observeProcessed(simtime.Time(7*simtime.Second), 7, warm)
+	r.observeLatency(simtime.Time(simtime.Second), simtime.Millisecond, 1, warm)
+	r.observeLatency(simtime.Time(7*simtime.Second), simtime.Millisecond, 1, warm)
+	if r.Generated != 10 || r.Processed != 7 {
+		t.Fatalf("warm-up not excluded: gen=%d proc=%d", r.Generated, r.Processed)
+	}
+	if r.Latency.Count() != 1 {
+		t.Fatalf("latency samples = %d", r.Latency.Count())
+	}
+}
+
+func TestReportFinalizeRates(t *testing.T) {
+	r := newReport(Static)
+	r.Processed = 50000
+	r.MigrationBytes = 10 << 20
+	r.RepartitionBytes = 10 << 20
+	r.RemoteTransferBytes = 40 << 20
+	r.MeasuredSpan = 10 * simtime.Second
+	r.finalize()
+	if r.ThroughputMean != 5000 {
+		t.Fatalf("throughput = %v", r.ThroughputMean)
+	}
+	if r.MigrationRate != float64(20<<20)/10 {
+		t.Fatalf("migration rate = %v", r.MigrationRate)
+	}
+	if r.RemoteRate != float64(40<<20)/10 {
+		t.Fatalf("remote rate = %v", r.RemoteRate)
+	}
+}
+
+func TestReportSchedulingWall(t *testing.T) {
+	r := newReport(Elasticutor)
+	if r.MeanSchedulingWall() != 0 {
+		t.Fatal("empty scheduling wall should be 0")
+	}
+	r.SchedulingWall = []time.Duration{time.Millisecond, 3 * time.Millisecond}
+	if r.MeanSchedulingWall() != 2*time.Millisecond {
+		t.Fatalf("mean wall = %v", r.MeanSchedulingWall())
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := newReport(ResourceCentric)
+	r.MeasuredSpan = simtime.Second
+	r.finalize()
+	s := r.String()
+	for _, want := range []string{"rc:", "thr=", "migr="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestParadigmString(t *testing.T) {
+	cases := map[Paradigm]string{
+		Static: "static", ResourceCentric: "rc", NaiveEC: "naive-ec",
+		Elasticutor: "elasticutor", Paradigm(9): "paradigm(9)",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestEveryRejectsNonPositive(t *testing.T) {
+	cfg := microConfig(Static, 100, 3)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Every(0, func() {})
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/executor"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+)
+
+// startSources schedules the emission loops of every source instance.
+func (e *Engine) startSources() {
+	for opID, instances := range e.sources {
+		drv := e.cfg.Sources[opID]
+		for i, inst := range instances {
+			inst := inst
+			drv := drv
+			share := float64(len(instances))
+			// Offset start times so instances interleave deterministically.
+			start := simtime.Duration(i) * simtime.Microsecond
+			e.clock.After(start, func() { e.emitLoop(inst, drv, share) })
+		}
+	}
+}
+
+// emitLoop emits one tuple batch and reschedules itself at the instance's
+// share of the offered rate, with exponential interarrival times (the M/M/k
+// model's Poisson arrivals).
+func (e *Engine) emitLoop(inst *sourceInstance, drv *SourceDriver, share float64) {
+	if e.stopped {
+		return
+	}
+	now := e.clock.Now()
+	rate := drv.Rate(now) / share
+	if rate <= 0 {
+		// Workload momentarily silent; poll again shortly.
+		e.clock.After(10*simtime.Millisecond, func() { e.emitLoop(inst, drv, share) })
+		return
+	}
+	interval := float64(e.cfg.Batch) / rate // seconds per batch
+	e.emitOne(inst, drv)
+	wait := simtime.Duration(interval * e.rng.ExpFloat64() * float64(simtime.Second))
+	if wait < simtime.Nanosecond {
+		wait = simtime.Nanosecond
+	}
+	e.clock.After(wait, func() { e.emitLoop(inst, drv, share) })
+}
+
+// emitOne generates one batch and routes it downstream, subject to the
+// backpressure ledger of first-hop executors.
+func (e *Engine) emitOne(inst *sourceInstance, drv *SourceDriver) {
+	now := e.clock.Now()
+	key, bytes, payload := drv.Sample(now)
+	t := stream.Tuple{
+		Key:     key,
+		Weight:  e.cfg.Batch,
+		Bytes:   bytes,
+		Born:    now,
+		Payload: payload,
+	}
+	// Check capacity at every first-hop destination before committing: a
+	// blocked destination stalls the source (credit-based backpressure).
+	for _, d := range inst.op.Downstream() {
+		rt := e.ops[d]
+		if rt.paused {
+			continue // RC pause: tuples buffer at the engine and replay later
+		}
+		ex := e.targetExecutor(rt, t.Key)
+		if e.inflight[ex]+t.Weight > e.cfg.MaxInFlight {
+			e.r.Blocked += int64(t.Weight)
+			e.blockedW[ex] += int64(t.Weight)
+			if e.cfg.Paradigm == ResourceCentric {
+				// The RC controller must see the *offered* per-shard load,
+				// or a saturated executor looks deceptively balanced.
+				rt.opShardLoad[t.Key.OperatorShard(e.cfg.OpShards)] += float64(t.Weight)
+			}
+			return
+		}
+	}
+	e.r.observeGenerated(now, t.Weight, e.cfg.WarmUp)
+	for _, d := range inst.op.Downstream() {
+		e.route(inst.node, d, t)
+	}
+}
+
+// targetExecutor resolves operator-level routing for a key under the current
+// paradigm: a dynamic shard map for RC, the static hash for everyone else.
+func (e *Engine) targetExecutor(rt *opRuntime, k stream.Key) *executor.Executor {
+	if e.cfg.Paradigm == ResourceCentric {
+		return rt.execs[rt.opRouting[k.OperatorShard(e.cfg.OpShards)]]
+	}
+	return rt.execs[k.ExecutorIndex(len(rt.execs))]
+}
+
+// route delivers tuple t to operator d's responsible executor, charging the
+// network hop from the emitting node to the executor's receiver on its local
+// node. During an RC repartition the operator is paused and tuples buffer at
+// the engine (the upstream executors have been told to hold their output).
+func (e *Engine) route(fromNode cluster.NodeID, d stream.OperatorID, t stream.Tuple) {
+	rt := e.ops[d]
+	if rt.paused {
+		rt.pauseBuf = append(rt.pauseBuf, pendingTuple{from: fromNode, t: t})
+		return
+	}
+	if e.cfg.Paradigm == ResourceCentric {
+		rt.opShardLoad[t.Key.OperatorShard(e.cfg.OpShards)] += float64(t.Weight)
+	}
+	ex := e.targetExecutor(rt, t.Key)
+	e.inflight[ex] += t.Weight
+	e.cluster.Send(fromNode, ex.LocalNode(), t.TotalBytes(), func() {
+		ex.Receive(t)
+	})
+}
+
+// replayPaused re-routes tuples buffered during an RC pause, charging the
+// network from their original upstream nodes.
+func (e *Engine) replayPaused(rt *opRuntime) {
+	buf := rt.pauseBuf
+	rt.pauseBuf = nil
+	for _, p := range buf {
+		e.route(p.from, rt.op.ID, p.t)
+	}
+}

@@ -1,0 +1,481 @@
+package executor
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+	"repro/internal/state"
+	"repro/internal/stream"
+)
+
+// testEnv adapts a clock + cluster into the executor's Env.
+type testEnv struct {
+	clock *simtime.Clock
+	cl    *cluster.Cluster
+}
+
+func (e *testEnv) Clock() *simtime.Clock                  { return e.clock }
+func (e *testEnv) NodeOf(c cluster.CoreID) cluster.NodeID { return e.cl.NodeOf(c) }
+func (e *testEnv) Send(from, to cluster.NodeID, bytes int, done func()) {
+	e.cl.Send(from, to, bytes, done)
+}
+
+func newEnv(nodes int) *testEnv {
+	clock := simtime.NewClock()
+	cfg := cluster.Default(nodes)
+	cfg.CoresPerNode = 4
+	return &testEnv{clock: clock, cl: cluster.New(clock, cfg)}
+}
+
+func baseConfig() Config {
+	return Config{
+		Name:               "test",
+		LocalNode:          0,
+		ShardOf:            func(k stream.Key) state.ShardID { return state.ShardID(k.Shard(16)) },
+		Cost:               stream.FixedCost(simtime.Millisecond),
+		StateBytesPerShard: 32 << 10,
+		ControlDelay:       simtime.Millisecond,
+		SerializeOverhead:  3500 * simtime.Microsecond,
+		AssertOrder:        true,
+	}
+}
+
+func tuple(key stream.Key, w int, born simtime.Time) stream.Tuple {
+	return stream.Tuple{Key: key, Weight: w, Bytes: 128, Born: born}
+}
+
+func TestProcessSingleTuple(t *testing.T) {
+	env := newEnv(1)
+	ex := New(env, baseConfig(), 0)
+	var latency simtime.Duration
+	ex.OnLatency = func(d simtime.Duration, w int) { latency = d }
+	env.clock.At(0, func() { ex.Receive(tuple(1, 1, 0)) })
+	env.clock.Run()
+	if ex.Stats.ProcessedTuples != 1 {
+		t.Fatalf("processed = %d", ex.Stats.ProcessedTuples)
+	}
+	if latency != simtime.Millisecond {
+		t.Fatalf("latency = %v, want 1ms (pure service time)", latency)
+	}
+	if !ex.Idle() {
+		t.Fatal("executor not idle after run")
+	}
+}
+
+func TestQueueingLatency(t *testing.T) {
+	env := newEnv(1)
+	ex := New(env, baseConfig(), 0)
+	var total simtime.Duration
+	ex.OnLatency = func(d simtime.Duration, w int) { total += d }
+	env.clock.At(0, func() {
+		for i := 0; i < 3; i++ {
+			ex.Receive(tuple(1, 1, 0)) // same key, same shard, same task
+		}
+	})
+	env.clock.Run()
+	// Sequential service: latencies 1, 2, 3 ms.
+	if total != 6*simtime.Millisecond {
+		t.Fatalf("total latency = %v, want 6ms", total)
+	}
+}
+
+func TestMultiCoreParallelism(t *testing.T) {
+	env := newEnv(1)
+	ex := New(env, baseConfig(), 0)
+	ex.AddCore(1)
+	// Two keys on different shards can run in parallel on two tasks.
+	var k1, k2 stream.Key
+	k1 = 0
+	for k := stream.Key(1); k < 1000; k++ {
+		if k.Shard(16) != k1.Shard(16) {
+			k2 = k
+			break
+		}
+	}
+	done := simtime.Time(0)
+	env.clock.At(0, func() {
+		ex.Receive(tuple(k1, 1, 0))
+		ex.Receive(tuple(k2, 1, 0))
+	})
+	env.clock.Run()
+	done = env.clock.Now()
+	if done != simtime.Time(simtime.Millisecond) {
+		t.Fatalf("two tuples on two cores took %v, want 1ms", done)
+	}
+}
+
+func TestBackpressureDropsBeyondCap(t *testing.T) {
+	env := newEnv(1)
+	cfg := baseConfig()
+	cfg.MaxInFlight = 2
+	ex := New(env, cfg, 0)
+	env.clock.At(0, func() {
+		if !ex.Receive(tuple(1, 1, 0)) || !ex.Receive(tuple(1, 1, 0)) {
+			t.Error("capacity rejected too early")
+		}
+		if ex.Receive(tuple(1, 1, 0)) {
+			t.Error("over-capacity accepted")
+		}
+		if ex.HasCapacity(1) {
+			t.Error("HasCapacity wrong at cap")
+		}
+	})
+	env.clock.Run()
+	if ex.Stats.DroppedTuples != 1 {
+		t.Fatalf("dropped = %d", ex.Stats.DroppedTuples)
+	}
+	if !ex.HasCapacity(1) {
+		t.Fatal("capacity not released after processing")
+	}
+}
+
+func TestStatefulHandler(t *testing.T) {
+	env := newEnv(1)
+	cfg := baseConfig()
+	cfg.Handler = func(tp stream.Tuple, acc stream.StateAccessor) []stream.Tuple {
+		n, _ := acc.Get().(int)
+		acc.Set(n + tp.Weight)
+		return nil
+	}
+	ex := New(env, cfg, 0)
+	env.clock.At(0, func() {
+		for i := 0; i < 5; i++ {
+			ex.Receive(tuple(42, 2, 0))
+		}
+	})
+	env.clock.Run()
+	sh := cfg.ShardOf(42)
+	if got := ex.StateStore(0).Accessor(sh, 42).Get(); got != 10 {
+		t.Fatalf("state = %v, want 10", got)
+	}
+}
+
+func TestIntraNodeReassignNoMigration(t *testing.T) {
+	env := newEnv(1)
+	ex := New(env, baseConfig(), 0)
+	second := ex.AddCore(1) // same node
+	key := stream.Key(7)
+	sh := state.ShardID(key.Shard(16))
+	var rep ReassignReport
+	gotReport := false
+	env.clock.At(0, func() {
+		ex.Receive(tuple(key, 1, 0))
+		ex.ReassignShard(sh, second, func(r ReassignReport) { rep = r; gotReport = true })
+		// Tuples arriving during the pause must buffer and process after.
+		ex.Receive(tuple(key, 1, 0))
+	})
+	env.clock.Run()
+	if !gotReport {
+		t.Fatal("reassignment never completed")
+	}
+	if rep.InterNode {
+		t.Fatal("same-node reassign flagged inter-node")
+	}
+	if rep.MovedBytes != 0 || rep.MigrationTime != 0 {
+		t.Fatalf("intra-node reassign migrated state: %+v", rep)
+	}
+	if ex.Stats.ProcessedTuples != 2 {
+		t.Fatalf("processed = %d, want 2", ex.Stats.ProcessedTuples)
+	}
+	if ex.Stats.MigrationBytes != 0 {
+		t.Fatal("migration bytes recorded for intra-node move")
+	}
+}
+
+func TestInterNodeReassignMigratesState(t *testing.T) {
+	env := newEnv(2)
+	cfg := baseConfig()
+	cfg.Handler = func(tp stream.Tuple, acc stream.StateAccessor) []stream.Tuple {
+		n, _ := acc.Get().(int)
+		acc.Set(n + 1)
+		return nil
+	}
+	ex := New(env, cfg, 0)
+	remote := ex.AddCore(4) // node 1
+	key := stream.Key(9)
+	sh := cfg.ShardOf(key)
+	var rep ReassignReport
+	env.clock.At(0, func() {
+		ex.Receive(tuple(key, 1, 0)) // builds state on node 0
+		ex.ReassignShard(sh, remote, func(r ReassignReport) { rep = r })
+		ex.Receive(tuple(key, 1, 0)) // buffered, replayed on node 1
+	})
+	env.clock.Run()
+	if !rep.InterNode {
+		t.Fatal("cross-node reassign not flagged")
+	}
+	if rep.MovedBytes != 32<<10 {
+		t.Fatalf("moved bytes = %d", rep.MovedBytes)
+	}
+	if rep.MigrationTime < cfg.SerializeOverhead {
+		t.Fatalf("migration time %v below serialization overhead", rep.MigrationTime)
+	}
+	// State followed the shard: counter continued at 2 on node 1's store.
+	if got := ex.StateStore(1).Accessor(sh, key).Get(); got != 2 {
+		t.Fatalf("state after migration = %v, want 2", got)
+	}
+	if ex.Stats.InterNodeReassigns != 1 {
+		t.Fatal("stats missed the inter-node reassign")
+	}
+}
+
+func TestReassignSyncWaitsForPendingQueue(t *testing.T) {
+	env := newEnv(1)
+	ex := New(env, baseConfig(), 0)
+	second := ex.AddCore(1)
+	key := stream.Key(7)
+	sh := state.ShardID(key.Shard(16))
+	var rep ReassignReport
+	env.clock.At(0, func() {
+		// 5 pending tuples on the source task; the labeling tuple must wait
+		// behind all of them (~5ms) plus the 1ms control delay.
+		for i := 0; i < 5; i++ {
+			ex.Receive(tuple(key, 1, 0))
+		}
+		ex.ReassignShard(sh, second, func(r ReassignReport) { rep = r })
+	})
+	env.clock.Run()
+	if rep.SyncTime < 5*simtime.Millisecond {
+		t.Fatalf("sync time %v did not wait for pending tuples", rep.SyncTime)
+	}
+}
+
+func TestReassignRejectsInvalid(t *testing.T) {
+	env := newEnv(1)
+	ex := New(env, baseConfig(), 0)
+	second := ex.AddCore(1)
+	sh := state.ShardID(stream.Key(1).Shard(16))
+	env.clock.At(0, func() {
+		if ex.ReassignShard(sh, TaskID(99), nil) {
+			t.Error("reassign to missing task accepted")
+		}
+		ex.Receive(tuple(1, 1, 0))
+		if !ex.ReassignShard(sh, second, nil) {
+			t.Error("valid reassign rejected")
+		}
+		if ex.ReassignShard(sh, second, nil) {
+			t.Error("double reassign accepted")
+		}
+	})
+	env.clock.Run()
+}
+
+func TestPerKeyOrderUnderRandomReassignments(t *testing.T) {
+	// Property-style stress: random tuples and random shard reassignments;
+	// AssertOrder panics inside the executor on any violation.
+	env := newEnv(2)
+	cfg := baseConfig()
+	cfg.Cost = stream.FixedCost(100 * simtime.Microsecond)
+	ex := New(env, cfg, 0)
+	cores := []cluster.CoreID{1, 4, 5}
+	for _, c := range cores {
+		ex.AddCore(c)
+	}
+	rng := simtime.NewRand(99)
+	for i := 0; i < 2000; i++ {
+		at := simtime.Time(rng.Intn(int(2 * simtime.Second)))
+		key := stream.Key(rng.Intn(50))
+		env.clock.At(at, func() { ex.Receive(tuple(key, 1, at)) })
+	}
+	for i := 0; i < 100; i++ {
+		at := simtime.Time(rng.Intn(int(2 * simtime.Second)))
+		sh := state.ShardID(rng.Intn(16))
+		dst := TaskID(rng.Intn(4))
+		env.clock.At(at, func() { ex.ReassignShard(sh, dst, nil) })
+	}
+	env.clock.Run()
+	if ex.Stats.ProcessedTuples != 2000 {
+		t.Fatalf("processed = %d, want 2000 (no loss)", ex.Stats.ProcessedTuples)
+	}
+	if !ex.Idle() {
+		t.Fatal("not idle at end")
+	}
+}
+
+func TestRemoveCoreDrainsAndPreservesTuples(t *testing.T) {
+	env := newEnv(2)
+	cfg := baseConfig()
+	cfg.Cost = stream.FixedCost(100 * simtime.Microsecond)
+	ex := New(env, cfg, 0)
+	remote := ex.AddCore(4)
+	_ = remote
+	env.clock.At(0, func() {
+		for i := 0; i < 200; i++ {
+			ex.Receive(tuple(stream.Key(i), 1, 0))
+		}
+	})
+	env.clock.At(simtime.Time(5*simtime.Millisecond), func() {
+		if !ex.RemoveCore(4) {
+			t.Error("RemoveCore failed")
+		}
+	})
+	env.clock.Run()
+	if ex.Cores() != 1 {
+		t.Fatalf("cores = %d, want 1", ex.Cores())
+	}
+	if ex.Stats.ProcessedTuples != 200 {
+		t.Fatalf("processed = %d, want 200", ex.Stats.ProcessedTuples)
+	}
+	// All shards must now route to the surviving task.
+	for s, id := range ex.routing {
+		tk := ex.tasks[id]
+		if tk == nil || tk.removed {
+			t.Fatalf("shard %d routed to dead task %d", s, id)
+		}
+	}
+}
+
+func TestRemoveLastCoreRefused(t *testing.T) {
+	env := newEnv(1)
+	ex := New(env, baseConfig(), 0)
+	if ex.RemoveCore(0) {
+		t.Fatal("removed the only core")
+	}
+	if ex.Cores() != 1 {
+		t.Fatal("core count corrupted")
+	}
+}
+
+func TestRebalanceSpreadsHotShards(t *testing.T) {
+	env := newEnv(1)
+	cfg := baseConfig()
+	cfg.Cost = stream.FixedCost(100 * simtime.Microsecond)
+	ex := New(env, cfg, 0)
+	ex.AddCore(1)
+	ex.AddCore(2)
+	ex.AddCore(3)
+	// Load 16 shards' worth of keys, all initially landing wherever the lazy
+	// router put them, then rebalance and verify the routing spreads.
+	env.clock.At(0, func() {
+		for i := 0; i < 1600; i++ {
+			ex.Receive(tuple(stream.Key(i), 1, 0))
+		}
+	})
+	env.clock.At(simtime.Time(simtime.Second), func() {
+		if n := ex.Rebalance(); n == 0 {
+			// May legitimately be balanced already, but with lazy least-queued
+			// routing at t=0 all tuples land before any processing: the first
+			// task takes shard 0 etc. Spread check below decides.
+			t.Log("rebalance started no moves")
+		}
+	})
+	env.clock.Run()
+	owners := map[TaskID]bool{}
+	for _, id := range ex.routing {
+		owners[id] = true
+	}
+	if len(owners) < 2 {
+		t.Fatalf("shards concentrated on %d task(s)", len(owners))
+	}
+	if ex.Stats.ProcessedTuples != 1600 {
+		t.Fatalf("processed = %d", ex.Stats.ProcessedTuples)
+	}
+}
+
+func TestTakeWindowMeasurements(t *testing.T) {
+	env := newEnv(1)
+	ex := New(env, baseConfig(), 0)
+	env.clock.At(0, func() {
+		for i := 0; i < 100; i++ {
+			ex.Receive(tuple(stream.Key(i), 1, 0))
+		}
+	})
+	env.clock.RunUntil(simtime.Time(simtime.Second))
+	w := ex.TakeWindow()
+	if w.Lambda != 100 {
+		t.Fatalf("λ = %v, want 100", w.Lambda)
+	}
+	// Service cost 1ms -> μ = 1000 tuples per busy second.
+	if w.Mu < 900 || w.Mu > 1100 {
+		t.Fatalf("μ = %v, want ~1000", w.Mu)
+	}
+	if w.DataIntensity <= 0 {
+		t.Fatal("data intensity not measured")
+	}
+	// Second window is empty.
+	env.clock.RunUntil(simtime.Time(2 * simtime.Second))
+	w2 := ex.TakeWindow()
+	if w2.Lambda != 0 || w2.Processed != 0 {
+		t.Fatalf("window not reset: %+v", w2)
+	}
+}
+
+func TestReleaseAdoptShard(t *testing.T) {
+	env := newEnv(2)
+	cfg := baseConfig()
+	cfg.Handler = func(tp stream.Tuple, acc stream.StateAccessor) []stream.Tuple {
+		n, _ := acc.Get().(int)
+		acc.Set(n + 1)
+		return nil
+	}
+	a := New(env, cfg, 0)
+	cfgB := cfg
+	cfgB.LocalNode = 1
+	b := New(env, cfgB, 4)
+	key := stream.Key(3)
+	sh := cfg.ShardOf(key)
+	env.clock.At(0, func() { a.Receive(tuple(key, 1, 0)) })
+	env.clock.Run()
+	m := a.ReleaseShard(sh)
+	b.AdoptShard(m)
+	if got := b.StateStore(1).Accessor(sh, key).Get(); got != 1 {
+		t.Fatalf("adopted state = %v", got)
+	}
+	env.clock.At(env.clock.Now()+1, func() { b.Receive(tuple(key, 1, env.clock.Now())) })
+	env.clock.Run()
+	if got := b.StateStore(1).Accessor(sh, key).Get(); got != 2 {
+		t.Fatalf("state after adoption = %v, want 2", got)
+	}
+}
+
+func TestSelectivityEmitsDownstream(t *testing.T) {
+	env := newEnv(1)
+	cfg := baseConfig()
+	cfg.Selectivity = 1
+	cfg.OutBytes = 160
+	ex := New(env, cfg, 0)
+	var emitted []stream.Tuple
+	ex.OnOutput = func(ts []stream.Tuple) { emitted = append(emitted, ts...) }
+	env.clock.At(0, func() { ex.Receive(tuple(5, 2, 0)) })
+	env.clock.Run()
+	if len(emitted) != 1 {
+		t.Fatalf("emitted %d tuples", len(emitted))
+	}
+	if emitted[0].Bytes != 160 || emitted[0].Weight != 2 || emitted[0].Key != 5 {
+		t.Fatalf("emitted tuple = %+v", emitted[0])
+	}
+	if ex.Stats.OutBytes != 320 {
+		t.Fatalf("OutBytes = %d", ex.Stats.OutBytes)
+	}
+}
+
+func TestRemoteTaskRoundTripCountsTransfer(t *testing.T) {
+	env := newEnv(2)
+	cfg := baseConfig()
+	cfg.Selectivity = 1
+	cfg.OutBytes = 128
+	ex := New(env, cfg, 0)
+	remote := ex.AddCore(4)
+	// Force the shard onto the remote task first.
+	key := stream.Key(11)
+	sh := cfg.ShardOf(key)
+	var emitted int
+	ex.OnOutput = func(ts []stream.Tuple) { emitted += len(ts) }
+	env.clock.At(0, func() {
+		ex.ReassignShard(sh, remote, nil)
+	})
+	env.clock.At(simtime.Time(100*simtime.Millisecond), func() {
+		ex.Receive(tuple(key, 1, env.clock.Now()))
+	})
+	env.clock.Run()
+	if emitted != 1 {
+		t.Fatalf("emitted = %d", emitted)
+	}
+	// Input went out (128) and output came back (128). The labeling tuple of
+	// the initial reassignment went to the *local* source task, so it crossed
+	// no network.
+	if ex.Stats.RemoteTransferBytes != 128+128 {
+		t.Fatalf("remote transfer bytes = %d", ex.Stats.RemoteTransferBytes)
+	}
+}

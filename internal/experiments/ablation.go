@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/simtime"
+)
+
+// Ablation quantifies the design choices DESIGN.md calls out, beyond what
+// the paper reports directly:
+//
+//  1. intra-process state sharing (§3.2) on/off;
+//  2. the scheduler's migration-cost/locality optimization (Algorithm 1 vs
+//     the naive assigner) on the micro benchmark;
+//  3. the imbalance threshold θ (§3.1);
+//  4. the dynamic scheduler cadence.
+//
+// All runs use the quick/full micro benchmark under a shuffling workload so
+// the elasticity machinery is actually exercised.
+func Ablation(s Scale) []Table {
+	return []Table{
+		ablateStateSharing(s),
+		ablateLocality(s),
+		ablateTheta(s),
+		ablateCadence(s),
+	}
+}
+
+// ablationRun executes one micro run at ω=8 at a sustainable (90%) rate so
+// latency differences are visible.
+func ablationRun(s Scale, mutate func(*core.MicroOptions)) *engine.Report {
+	return runMicro(s, engine.Elasticutor, 8, 0, func(o *core.MicroOptions) {
+		sustainableRate(o)
+		mutate(o)
+	})
+}
+
+func ablateStateSharing(s Scale) Table {
+	t := Table{
+		ID:     "ablation-state-sharing",
+		Title:  "Intra-process state sharing on/off (ω=8, 1MB shards)",
+		Header: []string{"variant", "thr(K/s)", "mean-lat(ms)", "migrated(MB)"},
+		Notes:  "sharing makes same-node shard moves free; without it every rebalance serializes state",
+	}
+	for _, off := range []bool{false, true} {
+		r := ablationRun(s, func(o *core.MicroOptions) {
+			o.Spec.ShardStateKB = 1024
+			o.DisableStateSharing = off
+		})
+		name := "sharing (paper)"
+		if off {
+			name = "no sharing"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmtKTuples(r.ThroughputMean), fmtMS(r.Latency.Mean()),
+			fmt.Sprintf("%.1f", float64(r.MigrationBytes)/(1<<20)),
+		})
+	}
+	return t
+}
+
+func ablateLocality(s Scale) Table {
+	t := Table{
+		ID:     "ablation-locality",
+		Title:  "Algorithm 1 vs naive core assignment (ω=8, 2KB tuples)",
+		Header: []string{"scheduler", "thr(K/s)", "migrated(MB)", "remote(MB)"},
+		Notes:  "the naive assigner ignores migration cost and locality (§5.4 naive-EC)",
+	}
+	for _, p := range []engine.Paradigm{engine.Elasticutor, engine.NaiveEC} {
+		r := runMicro(s, p, 8, 0, func(o *core.MicroOptions) {
+			o.Spec.TupleBytes = 2048
+		})
+		name := "algorithm 1"
+		if p == engine.NaiveEC {
+			name = "naive"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmtKTuples(r.ThroughputMean),
+			fmt.Sprintf("%.1f", float64(r.MigrationBytes)/(1<<20)),
+			fmt.Sprintf("%.1f", float64(r.RemoteTransferBytes)/(1<<20)),
+		})
+	}
+	return t
+}
+
+func ablateTheta(s Scale) Table {
+	t := Table{
+		ID:     "ablation-theta",
+		Title:  "Imbalance threshold θ (ω=8)",
+		Header: []string{"theta", "thr(K/s)", "mean-lat(ms)", "reassigns"},
+		Notes:  "θ→1 chases noise with constant reassignments; large θ tolerates imbalance (paper picks 1.2)",
+	}
+	for _, theta := range []float64{1.05, 1.2, 1.5, 2.0} {
+		r := ablationRun(s, func(o *core.MicroOptions) { o.Theta = theta })
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", theta), fmtKTuples(r.ThroughputMean),
+			fmtMS(r.Latency.Mean()), fmt.Sprintf("%d", r.Reassignments),
+		})
+	}
+	return t
+}
+
+func ablateCadence(s Scale) Table {
+	t := Table{
+		ID:     "ablation-cadence",
+		Title:  "Dynamic scheduler period (ω=8)",
+		Header: []string{"period", "thr(K/s)", "mean-lat(ms)"},
+		Notes:  "slow scheduling reacts late to shuffles; very fast scheduling churns cores",
+	}
+	for _, period := range []simtime.Duration{250 * simtime.Millisecond, simtime.Second, 4 * simtime.Second} {
+		r := ablationRun(s, func(o *core.MicroOptions) { o.SchedulePeriod = period })
+		t.Rows = append(t.Rows, []string{
+			period.String(), fmtKTuples(r.ThroughputMean), fmtMS(r.Latency.Mean()),
+		})
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11",
+		"fig12", "fig13", "fig15", "fig16", "table2", "table3", "ablation"}
+	if len(All) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(All), len(want))
+	}
+	for i, id := range want {
+		if All[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, All[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("ByID(%s) missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := Table{ID: "x", Title: "T", Header: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}}, Notes: "n"}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: T ==", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8ShapesHold(t *testing.T) {
+	tables := Fig8(Quick)
+	if len(tables) != 1 {
+		t.Fatal("fig8 should emit one table")
+	}
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("fig8 rows = %d", len(rows))
+	}
+	rcSync := parseF(t, rows[0][2])
+	ecSync := parseF(t, rows[2][2])
+	// The paper's headline: RC synchronization is orders of magnitude longer.
+	if rcSync < 5*ecSync {
+		t.Fatalf("RC sync %vms not ≫ EC sync %vms", rcSync, ecSync)
+	}
+	// Intra-node migrations are free under state sharing.
+	ecIntraMig := parseF(t, rows[2][3])
+	if ecIntraMig > 0.01 {
+		t.Fatalf("EC intra-node migration = %vms, want ~0", ecIntraMig)
+	}
+	ecInterMig := parseF(t, rows[3][3])
+	if ecInterMig <= ecIntraMig {
+		t.Fatal("inter-node migration should cost more than intra-node")
+	}
+}
+
+func TestFig9aSyncGrowsWithFanInForRCOnly(t *testing.T) {
+	tables := Fig9a(Quick)
+	rows := tables[0].Rows
+	firstRC := parseF(t, rows[0][1])
+	lastRC := parseF(t, rows[len(rows)-1][1])
+	if lastRC < 3*firstRC {
+		t.Fatalf("RC sync did not grow with fan-in: %v -> %v", firstRC, lastRC)
+	}
+	firstEC := parseF(t, rows[0][2])
+	lastEC := parseF(t, rows[len(rows)-1][2])
+	if lastEC > 4*firstEC+1 {
+		t.Fatalf("EC sync grew with fan-in: %v -> %v", firstEC, lastEC)
+	}
+}
+
+func TestFig15SeriesShape(t *testing.T) {
+	tables := Fig15(Quick)
+	rows := tables[0].Rows
+	if len(rows) < 10 {
+		t.Fatalf("fig15 too few windows: %d", len(rows))
+	}
+	// Rates fluctuate: at least one stock's min and max differ by 2x.
+	fluctuates := false
+	for col := 1; col <= 5; col++ {
+		min, max := 1e18, 0.0
+		for _, r := range rows {
+			v := parseF(t, r[col])
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if max > 2*min+10 {
+			fluctuates = true
+		}
+	}
+	if !fluctuates {
+		t.Fatal("fig15 workload shows no dynamism")
+	}
+}
+
+func TestTable3SchedulingStaysFast(t *testing.T) {
+	tables := Table3(Quick)
+	rows := tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("table3 rows = %d", len(rows))
+	}
+	thrSmall := parseF(t, rows[0][1])
+	thrLarge := parseF(t, rows[len(rows)-1][1])
+	if thrLarge < 1.5*thrSmall {
+		t.Fatalf("throughput did not scale with nodes: %v -> %v", thrSmall, thrLarge)
+	}
+	for _, r := range rows {
+		if ms := parseF(t, r[2]); ms > 100 {
+			t.Fatalf("scheduling time %v ms implausibly high", ms)
+		}
+	}
+}

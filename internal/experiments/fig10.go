@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// coreCounts returns the x-axis of the single-executor scalability figures.
+func coreCounts(s Scale) []int {
+	if s == Full {
+		return []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	}
+	return []int{1, 2, 4, 8, 16, 32}
+}
+
+// runSingleExecutor runs the micro benchmark with exactly ONE elastic
+// executor for the calculator pinned to n cores, returning its report.
+// The offered rate is loadFactor × the n-core CPU capacity.
+func runSingleExecutor(s Scale, n int, spec workload.Spec, loadFactor float64, omega float64) *engine.Report {
+	d := dimensions(s)
+	spec.ShufflesPerMin = omega
+	capacity := float64(n) / spec.CPUCost.Seconds()
+	rate := loadFactor * capacity
+	// Keep event volume tractable for very cheap tuples by batching.
+	batch := int(rate / 40000)
+	if batch < 1 {
+		batch = 1
+	}
+	opt := core.MicroOptions{
+		Paradigm:        engine.Elasticutor,
+		Nodes:           d.nodes,
+		SourceExecutors: d.sources,
+		Y:               1, // the whole operator is ONE elastic executor (§5.2)
+		Z:               d.z,
+		Spec:            spec,
+		Rate:            rate,
+		Batch:           batch,
+		Seed:            21,
+		FixedCores:      n,
+		WarmUp:          3 * simtime.Second,
+	}
+	m, err := core.NewMicro(opt)
+	if err != nil {
+		panic(fmt.Sprintf("fig10 setup: %v", err))
+	}
+	dur := 12 * simtime.Second
+	if s == Full {
+		dur = 15 * simtime.Second
+	}
+	return m.Engine.Run(dur)
+}
+
+// fig10Costs are the per-tuple CPU costs swept in Fig 10(a)/11(a).
+var fig10Costs = []simtime.Duration{
+	10 * simtime.Millisecond,
+	simtime.Millisecond,
+	100 * simtime.Microsecond,
+	10 * simtime.Microsecond,
+}
+
+// fig10Sizes are the tuple sizes swept in Fig 10(b)/11(b).
+var fig10Sizes = []int{128, 512, 2048, 8192}
+
+func costLabel(c simtime.Duration) string {
+	return fmt.Sprintf("%gms", float64(c)/float64(simtime.Millisecond))
+}
+
+func sizeLabel(b int) string {
+	if b >= 1024 {
+		return fmt.Sprintf("%dKB", b/1024)
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// Fig10 reproduces Figure 10: throughput of a single elastic executor as it
+// scales out, under varying computation cost (a) and tuple size (b). The
+// y-axis is normalized throughput (fraction of the ideal n-core capacity),
+// which is how scalability reads regardless of absolute rates.
+func Fig10(s Scale) []Table {
+	ta := Table{
+		ID:     "fig10a",
+		Title:  "Single-executor scaling efficiency vs CPU cost (throughput / ideal)",
+		Header: append([]string{"cores"}, labelsFromCosts()...),
+		Notes:  "paper: scales to the whole cluster except at very low CPU cost (data-intensive)",
+	}
+	tb := Table{
+		ID:     "fig10b",
+		Title:  "Single-executor scaling efficiency vs tuple size (throughput / ideal)",
+		Header: append([]string{"cores"}, labelsFromSizes()...),
+		Notes:  "paper: 8KB tuples stop scaling past ~16 cores (NIC saturation at the main process)",
+	}
+	for _, n := range coreCounts(s) {
+		rowA := []string{fmt.Sprintf("%d", n)}
+		for _, c := range fig10Costs {
+			spec := workload.DefaultSpec()
+			spec.CPUCost = c
+			r := runSingleExecutor(s, n, spec, 1.3, 0)
+			ideal := float64(n) / c.Seconds()
+			rowA = append(rowA, fmt.Sprintf("%.2f", r.ThroughputMean/ideal))
+		}
+		ta.Rows = append(ta.Rows, rowA)
+
+		rowB := []string{fmt.Sprintf("%d", n)}
+		for _, b := range fig10Sizes {
+			spec := workload.DefaultSpec()
+			spec.TupleBytes = b
+			r := runSingleExecutor(s, n, spec, 1.3, 0)
+			ideal := float64(n) / spec.CPUCost.Seconds()
+			rowB = append(rowB, fmt.Sprintf("%.2f", r.ThroughputMean/ideal))
+		}
+		tb.Rows = append(tb.Rows, rowB)
+	}
+	return []Table{ta, tb}
+}
+
+// Fig11 reproduces Figure 11: the 99th-percentile latency of a single
+// elastic executor as it scales out, at 70% of ideal load.
+func Fig11(s Scale) []Table {
+	ta := Table{
+		ID:     "fig11a",
+		Title:  "Single-executor p99 latency (ms) vs CPU cost, 70% load",
+		Header: append([]string{"cores"}, labelsFromCosts()...),
+		Notes:  "paper: flat as the executor scales, except for data-intensive settings",
+	}
+	tb := Table{
+		ID:     "fig11b",
+		Title:  "Single-executor p99 latency (ms) vs tuple size, 70% load",
+		Header: append([]string{"cores"}, labelsFromSizes()...),
+		Notes:  "paper: large tuples blow up latency once remote transfer saturates; bounded by backpressure",
+	}
+	for _, n := range coreCounts(s) {
+		rowA := []string{fmt.Sprintf("%d", n)}
+		for _, c := range fig10Costs {
+			spec := workload.DefaultSpec()
+			spec.CPUCost = c
+			r := runSingleExecutor(s, n, spec, 0.7, 0)
+			rowA = append(rowA, fmtMS(r.Latency.Quantile(0.99)))
+		}
+		ta.Rows = append(ta.Rows, rowA)
+
+		rowB := []string{fmt.Sprintf("%d", n)}
+		for _, b := range fig10Sizes {
+			spec := workload.DefaultSpec()
+			spec.TupleBytes = b
+			r := runSingleExecutor(s, n, spec, 0.7, 0)
+			rowB = append(rowB, fmtMS(r.Latency.Quantile(0.99)))
+		}
+		tb.Rows = append(tb.Rows, rowB)
+	}
+	return []Table{ta, tb}
+}
+
+// fig12Sizes are the shard state sizes swept in Fig 12.
+var fig12Sizes = []int{32, 512, 8192, 32768} // KB
+
+// Fig12 reproduces Figure 12: single-executor scaling efficiency under
+// different shard state sizes at ω = 2 and ω = 16 (elasticity operational
+// cost: bigger state + more dynamics = more migration drag).
+func Fig12(s Scale) []Table {
+	var tables []Table
+	for _, omega := range []float64{2, 16} {
+		t := Table{
+			ID:     fmt.Sprintf("fig12-omega%d", int(omega)),
+			Title:  fmt.Sprintf("Single-executor scaling efficiency vs shard state size, ω=%d", int(omega)),
+			Header: append([]string{"cores"}, stateLabels()...),
+			Notes:  "paper: scales under all sizes but 32MB; high ω degrades the large-state case further",
+		}
+		for _, n := range coreCounts(s) {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, kb := range fig12Sizes {
+				spec := workload.DefaultSpec()
+				spec.ShardStateKB = kb
+				r := runSingleExecutor(s, n, spec, 1.3, omega)
+				ideal := float64(n) / spec.CPUCost.Seconds()
+				row = append(row, fmt.Sprintf("%.2f", r.ThroughputMean/ideal))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func labelsFromCosts() []string {
+	out := make([]string, len(fig10Costs))
+	for i, c := range fig10Costs {
+		out[i] = costLabel(c)
+	}
+	return out
+}
+
+func labelsFromSizes() []string {
+	out := make([]string, len(fig10Sizes))
+	for i, b := range fig10Sizes {
+		out[i] = sizeLabel(b)
+	}
+	return out
+}
+
+func stateLabels() []string {
+	out := make([]string, len(fig12Sizes))
+	for i, kb := range fig12Sizes {
+		if kb >= 1024 {
+			out[i] = fmt.Sprintf("%dMB", kb/1024)
+		} else {
+			out[i] = fmt.Sprintf("%dKB", kb)
+		}
+	}
+	return out
+}

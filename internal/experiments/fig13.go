@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// fig13Workloads are the three representative workloads of §5.3, expressed
+// as mutations so per-scale key-space dimensioning is preserved.
+func fig13Workloads() []struct {
+	name   string
+	mutate func(*workload.Spec)
+} {
+	return []struct {
+		name   string
+		mutate func(*workload.Spec)
+	}{
+		{"default (128B, omega=2)", func(s *workload.Spec) { s.ShufflesPerMin = 2 }},
+		{"data-intensive (8KB, omega=2)", func(s *workload.Spec) { s.TupleBytes = 8192; s.ShufflesPerMin = 2 }},
+		{"highly dynamic (128B, omega=16)", func(s *workload.Spec) { s.ShufflesPerMin = 16 }},
+	}
+}
+
+func fig13Ys(s Scale) []int {
+	if s == Full {
+		return []int{1, 8, 32, 64, 256}
+	}
+	return []int{1, 2, 4, 8, 16}
+}
+
+func fig13Zs(s Scale) []int {
+	if s == Full {
+		return []int{1, 4, 16, 64, 256, 1024}
+	}
+	return []int{1, 4, 16, 64, 256}
+}
+
+// Fig13 reproduces Figure 13: Elasticutor throughput as a function of the
+// number of executors per operator (y) and shards per executor (z), under
+// the three workloads, with static and RC throughput as reference lines.
+func Fig13(s Scale) []Table {
+	d := dimensions(s)
+	var tables []Table
+	for _, wl := range fig13Workloads() {
+		t := Table{
+			ID:     fmt.Sprintf("fig13-%s", shortName(wl.name)),
+			Title:  fmt.Sprintf("Throughput (K tuples/s), workload: %s", wl.name),
+			Header: append([]string{"y \\ z"}, zLabels(fig13Zs(s))...),
+			Notes: "paper: more shards help until load balancing saturates; y=1 suffers under " +
+				"data intensity, small y suffers under high dynamics; one or two executors per node is robust",
+		}
+		for _, y := range fig13Ys(s) {
+			row := []string{fmt.Sprintf("%d", y)}
+			for _, z := range fig13Zs(s) {
+				r := runMicro(s, engine.Elasticutor, 0, 0, func(o *core.MicroOptions) {
+					wl.mutate(&o.Spec)
+					o.Y = y
+					o.Z = z
+				})
+				row = append(row, fmtKTuples(r.ThroughputMean))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		// Reference lines: the static and RC approaches on the same workload.
+		static := runMicro(s, engine.Static, 0, 0, func(o *core.MicroOptions) {
+			wl.mutate(&o.Spec)
+		})
+		rc := runMicro(s, engine.ResourceCentric, 0, 0, func(o *core.MicroOptions) {
+			wl.mutate(&o.Spec)
+		})
+		t.Rows = append(t.Rows, []string{"static", fmtKTuples(static.ThroughputMean)})
+		t.Rows = append(t.Rows, []string{"rc", fmtKTuples(rc.ThroughputMean)})
+		tables = append(tables, t)
+	}
+	_ = d
+	return tables
+}
+
+func shortName(s string) string {
+	switch {
+	case s[0] == 'd' && s[1] == 'e':
+		return "default"
+	case s[0] == 'd':
+		return "dataintensive"
+	default:
+		return "dynamic"
+	}
+}
+
+func zLabels(zs []int) []string {
+	out := make([]string, len(zs))
+	for i, z := range zs {
+		out[i] = fmt.Sprintf("z=%d", z)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// fig6Paradigms are the three approaches compared in §5.1.
+var fig6Paradigms = []engine.Paradigm{engine.Static, engine.ResourceCentric, engine.Elasticutor}
+
+// fig6Omegas are the workload-dynamics values (key shuffles per minute).
+func fig6Omegas(s Scale) []float64 {
+	if s == Full {
+		return []float64{0, 1, 2, 4, 8, 16, 32}
+	}
+	return []float64{0, 2, 4, 8, 16, 32}
+}
+
+// runMicro builds and runs one micro-benchmark configuration. A zero dur
+// uses the scale's default duration.
+func runMicro(s Scale, p engine.Paradigm, omega float64, dur simtime.Duration, mutate func(*core.MicroOptions)) *engine.Report {
+	d := dimensions(s)
+	if dur == 0 {
+		dur = d.duration
+	}
+	spec := workload.DefaultSpec()
+	spec.Keys = d.keys
+	spec.Skew = d.skew
+	spec.ShufflesPerMin = omega
+	opt := core.MicroOptions{
+		Paradigm:        p,
+		Nodes:           d.nodes,
+		SourceExecutors: d.sources,
+		Y:               d.y,
+		Z:               d.z,
+		OpShards:        d.opShards,
+		Spec:            spec,
+		Batch:           d.batch,
+		Seed:            42,
+		WarmUp:          d.warmup,
+	}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	m, err := core.NewMicro(opt)
+	if err != nil {
+		panic(fmt.Sprintf("micro setup: %v", err))
+	}
+	return m.Engine.Run(dur)
+}
+
+// sustainableRate offers 90% of the cluster's ideal CPU capacity.
+func sustainableRate(o *core.MicroOptions) {
+	o.Rate = 0.9 * float64(o.Nodes*8-o.SourceExecutors) / o.Spec.CPUCost.Seconds()
+}
+
+// Fig6 reproduces Figure 6: throughput (a) and mean processing latency (b)
+// of the three approaches as ω varies.
+func Fig6(s Scale) []Table {
+	thr := Table{
+		ID:     "fig6a",
+		Title:  "Throughput (K tuples/s) vs ω (shuffles/min)",
+		Header: []string{"omega", "static", "rc", "elasticutor"},
+		Notes:  "paper: Elasticutor ~2x static; RC collapses as ω reaches 16",
+	}
+	lat := Table{
+		ID:     "fig6b",
+		Title:  "Mean processing latency (ms) vs ω (shuffles/min)",
+		Header: []string{"omega", "static", "rc", "elasticutor"},
+		Notes:  "paper: Elasticutor latency 1-2 orders of magnitude below RC at high ω",
+	}
+	// Long enough that every approach converges inside the warm-up (RC's
+	// initial repartitions take several seconds of drain) and several
+	// shuffles land inside the measured span.
+	dur := 34 * simtime.Second
+	warm := 12 * simtime.Second
+	for _, omega := range fig6Omegas(s) {
+		thrRow := []string{fmtF(omega)}
+		latRow := []string{fmtF(omega)}
+		for _, p := range fig6Paradigms {
+			// 90% of the cluster's CPU-bound capacity: high enough that the
+			// baselines' effective capacity loss shows up as lost throughput
+			// and queueing latency, low enough that a well-balanced system
+			// keeps milliseconds-level latency (the paper's regime).
+			r := runMicro(s, p, omega, dur, func(o *core.MicroOptions) {
+				sustainableRate(o)
+				o.WarmUp = warm
+			})
+			thrRow = append(thrRow, fmtKTuples(r.ThroughputMean))
+			latRow = append(latRow, fmtMS(r.Latency.Mean()))
+		}
+		thr.Rows = append(thr.Rows, thrRow)
+		lat.Rows = append(lat.Rows, latRow)
+	}
+	return []Table{thr, lat}
+}
+
+// Fig7 reproduces Figure 7: instantaneous throughput in 1-second windows at
+// ω = 2 (a shuffle every 30 s) for the three approaches.
+func Fig7(s Scale) []Table {
+	duration := 95 * simtime.Second
+	if s == Quick {
+		duration = 65 * simtime.Second
+	}
+	series := make(map[engine.Paradigm]*engine.Report)
+	for _, p := range fig6Paradigms {
+		series[p] = runMicro(s, p, 2, duration, func(o *core.MicroOptions) {
+			sustainableRate(o)
+			o.WarmUp = 3 * simtime.Second
+		})
+	}
+	t := Table{
+		ID:     "fig7",
+		Title:  "Instantaneous throughput (K tuples/s), ω=2",
+		Header: []string{"t(s)", "static", "rc", "elasticutor"},
+		Notes:  "paper: RC dips last 10-20 s after each shuffle; Elasticutor dips 1-3 s",
+	}
+	n := series[engine.Static].ThroughputSeries.Len()
+	for _, p := range fig6Paradigms {
+		if l := series[p].ThroughputSeries.Len(); l < n {
+			n = l
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%.0f", series[engine.Static].ThroughputSeries.Times[i].Seconds())}
+		for _, p := range fig6Paradigms {
+			row = append(row, fmtKTuples(series[p].ThroughputSeries.Values[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}

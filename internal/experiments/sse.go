@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/workload/sse"
+)
+
+// sseParadigms are the four approaches of §5.4 (static, RC, naive-EC, EC).
+var sseParadigms = []engine.Paradigm{
+	engine.Static, engine.ResourceCentric, engine.NaiveEC, engine.Elasticutor,
+}
+
+// runSSE builds and runs the stock-exchange application.
+func runSSE(s Scale, p engine.Paradigm, nodes int, dur simtime.Duration) *engine.Report {
+	d := dimensions(s)
+	if nodes == 0 {
+		nodes = d.nodes
+	}
+	if dur == 0 {
+		dur = d.duration
+	}
+	app, err := core.NewSSE(core.SSEOptions{
+		Paradigm:        p,
+		Nodes:           nodes,
+		SourceExecutors: nodes,
+		Z:               d.z,
+		OpShards:        d.opShards,
+		Batch:           d.batch,
+		Seed:            99,
+		WarmUp:          d.warmup,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("sse setup: %v", err))
+	}
+	return app.Engine.Run(dur)
+}
+
+// Fig15 reproduces Figure 15: the arrival rates of the five most popular
+// stocks over time, showing the workload's dynamism. It samples the
+// synthetic generator directly (the paper plots the SSE trace itself).
+func Fig15(s Scale) []Table {
+	cfg := sse.DefaultGeneratorConfig()
+	gen := sse.NewGenerator(cfg, simtime.NewRand(2024))
+	const (
+		ratePerSec = 2000
+		windowSec  = 5
+	)
+	durationSec := 300
+	if s == Quick {
+		durationSec = 120
+	}
+	// Draw orders and bucket per (window, stock).
+	windows := durationSec / windowSec
+	counts := make([]map[uint32]int, windows)
+	total := map[uint32]int{}
+	for w := 0; w < windows; w++ {
+		counts[w] = map[uint32]int{}
+		for i := 0; i < ratePerSec*windowSec; i++ {
+			now := simtime.Time(w*windowSec)*simtime.Time(simtime.Second) +
+				simtime.Time(i)*simtime.Time(simtime.Duration(windowSec)*simtime.Second/simtime.Duration(ratePerSec*windowSec))
+			o := gen.Next(now)
+			counts[w][o.Stock]++
+			total[o.Stock]++
+		}
+	}
+	// Five most popular stocks overall.
+	top := topK(total, 5)
+	t := Table{
+		ID:     "fig15",
+		Title:  "Arrival rate (orders/s) of the 5 most popular stocks",
+		Header: []string{"t(s)", "stock1", "stock2", "stock3", "stock4", "stock5"},
+		Notes:  "paper: rates fluctuate greatly and unpredictably over time (SSE trace); synthetic regimes+bursts here",
+	}
+	for w := 0; w < windows; w++ {
+		row := []string{fmt.Sprintf("%d", w*windowSec)}
+		for _, stk := range top {
+			row = append(row, fmt.Sprintf("%d", counts[w][stk]/windowSec))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}
+
+func topK(counts map[uint32]int, k int) []uint32 {
+	type kv struct {
+		stock uint32
+		n     int
+	}
+	var all []kv
+	for s, n := range counts {
+		all = append(all, kv{s, n})
+	}
+	// Selection of top k (k is tiny).
+	var top []uint32
+	for i := 0; i < k && len(all) > 0; i++ {
+		best := 0
+		for j := range all {
+			if all[j].n > all[best].n {
+				best = j
+			}
+		}
+		top = append(top, all[best].stock)
+		all[best] = all[len(all)-1]
+		all = all[:len(all)-1]
+	}
+	return top
+}
+
+// Fig16 reproduces Figure 16: instantaneous throughput and mean latency of
+// the SSE application under the four approaches.
+func Fig16(s Scale) []Table {
+	dur := 100 * simtime.Second
+	if s == Quick {
+		dur = 40 * simtime.Second
+	}
+	reports := make(map[engine.Paradigm]*engine.Report, len(sseParadigms))
+	for _, p := range sseParadigms {
+		reports[p] = runSSE(s, p, 0, dur)
+	}
+	thr := Table{
+		ID:     "fig16a",
+		Title:  "SSE instantaneous throughput (K orders/s)",
+		Header: []string{"t(s)", "static", "rc", "naive-ec", "elasticutor"},
+		Notes:  "paper: executor-centric approaches ~2x the throughput of static and RC",
+	}
+	lat := Table{
+		ID:     "fig16b",
+		Title:  "SSE mean processing latency (ms) per second",
+		Header: []string{"t(s)", "static", "rc", "naive-ec", "elasticutor"},
+		Notes:  "paper: executor-centric latency 1-2 orders of magnitude lower",
+	}
+	n := reports[engine.Static].ThroughputSeries.Len()
+	for _, p := range sseParadigms {
+		if l := reports[p].ThroughputSeries.Len(); l < n {
+			n = l
+		}
+	}
+	for i := 0; i < n; i++ {
+		ts := fmt.Sprintf("%.0f", reports[engine.Static].ThroughputSeries.Times[i].Seconds())
+		thrRow, latRow := []string{ts}, []string{ts}
+		for _, p := range sseParadigms {
+			thrRow = append(thrRow, fmtKTuples(reports[p].ThroughputSeries.Values[i]))
+			latRow = append(latRow, fmtF(reports[p].LatencySeries.Values[i]*1000))
+		}
+		thr.Rows = append(thr.Rows, thrRow)
+		lat.Rows = append(lat.Rows, latRow)
+	}
+	sum := Table{
+		ID:     "fig16-summary",
+		Title:  "SSE summary over the measured span",
+		Header: []string{"approach", "thr(K/s)", "mean-lat(ms)", "p99-lat(ms)"},
+	}
+	for _, p := range sseParadigms {
+		r := reports[p]
+		sum.Rows = append(sum.Rows, []string{
+			p.String(), fmtKTuples(r.ThroughputMean),
+			fmtMS(r.Latency.Mean()), fmtMS(r.Latency.Quantile(0.99)),
+		})
+	}
+	return []Table{thr, lat, sum}
+}
+
+// Table2 reproduces Table 2: the state migration rate and remote data
+// transfer rate of naive-EC vs Elasticutor on the SSE workload.
+func Table2(s Scale) []Table {
+	dur := 60 * simtime.Second
+	if s == Quick {
+		dur = 30 * simtime.Second
+	}
+	naive := runSSE(s, engine.NaiveEC, 0, dur)
+	ec := runSSE(s, engine.Elasticutor, 0, dur)
+	t := Table{
+		ID:     "table2",
+		Title:  "Elasticity traffic: naive-EC vs Elasticutor (MB/s)",
+		Header: []string{"metric", "naive-ec", "elasticutor"},
+		Notes:  "paper: naive-EC migrates ~5x more state and moves ~10x more remote data",
+	}
+	t.Rows = append(t.Rows, []string{"state migration rate", fmtMBs(naive.MigrationRate), fmtMBs(ec.MigrationRate)})
+	t.Rows = append(t.Rows, []string{"remote data transfer rate", fmtMBs(naive.RemoteRate), fmtMBs(ec.RemoteRate)})
+	return []Table{t}
+}
+
+// Table3 reproduces Table 3: Elasticutor throughput and wall-clock
+// scheduling time as the cluster grows.
+func Table3(s Scale) []Table {
+	nodeCounts := []int{8, 16, 32}
+	if s == Quick {
+		nodeCounts = []int{2, 4, 8}
+	}
+	t := Table{
+		ID:     "table3",
+		Title:  "Elasticutor scalability on the SSE workload",
+		Header: []string{"nodes", "throughput(K orders/s)", "scheduling time (wall ms)"},
+		Notes:  "paper: throughput grows near-linearly; scheduling stays at a few ms",
+	}
+	dur := 30 * simtime.Second
+	for _, n := range nodeCounts {
+		r := runSSE(s, engine.Elasticutor, n, dur)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmtKTuples(r.ThroughputMean),
+			fmt.Sprintf("%.2f", float64(r.MeanSchedulingWall().Nanoseconds())/1e6),
+		})
+	}
+	return []Table{t}
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(10*simtime.Millisecond, 1)
+	h.Observe(20*simtime.Millisecond, 1)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 14*simtime.Millisecond || mean > 16*simtime.Millisecond {
+		t.Fatalf("Mean = %v, want ~15ms", mean)
+	}
+	if h.Min() != 10*simtime.Millisecond || h.Max() != 20*simtime.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramWeight(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(simtime.Millisecond, 100)
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	var exact []float64
+	r := simtime.NewRand(3)
+	for i := 0; i < 50000; i++ {
+		// Log-uniform latencies between 100µs and 1s.
+		l := 100e-6 * math.Pow(1e4, r.Float64())
+		d := simtime.Duration(l * float64(simtime.Second))
+		h.Observe(d, 1)
+		exact = append(exact, float64(d))
+	}
+	sort.Float64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := float64(h.Quantile(q))
+		want := exact[int(q*float64(len(exact)-1))]
+		if relErr := math.Abs(got-want) / want; relErr > 0.15 {
+			t.Fatalf("q=%v: got %v want %v relErr %v", q, got, want, relErr)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram()
+	r := simtime.NewRand(5)
+	for i := 0; i < 1000; i++ {
+		h.Observe(simtime.Duration(r.Intn(1e9)), 1)
+	}
+	prev := simtime.Duration(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1.0) != h.Max() && h.Quantile(1.0) > h.Max() {
+		t.Fatalf("q=1 exceeds max")
+	}
+}
+
+func TestHistogramClampRange(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5, 1) // negative clamps to 0
+	h.Observe(2000*simtime.Second, 1)
+	if h.Count() != 2 {
+		t.Fatal("samples lost")
+	}
+	if h.Quantile(1) != 2000*simtime.Second {
+		t.Fatalf("max-bucket quantile = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramMergeAndReset(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(simtime.Millisecond, 10)
+	b.Observe(2*simtime.Millisecond, 30)
+	a.Merge(b)
+	if a.Count() != 40 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 2*simtime.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRateWindow(t *testing.T) {
+	r := NewRate(simtime.Second)
+	// 100 events at t=0..0.99s, 10ms apart -> rate 100/s at t=1s.
+	for i := 0; i < 100; i++ {
+		r.Add(simtime.Time(i)*simtime.Time(10*simtime.Millisecond), 1)
+	}
+	got := r.PerSecond(simtime.Time(simtime.Second) - 1)
+	if math.Abs(got-100) > 10 {
+		t.Fatalf("rate = %v, want ~100", got)
+	}
+	// After 2 idle seconds the rate decays to 0.
+	if got := r.PerSecond(simtime.Time(3 * simtime.Second)); got != 0 {
+		t.Fatalf("idle rate = %v, want 0", got)
+	}
+	if r.Total() != 100 {
+		t.Fatalf("total = %v", r.Total())
+	}
+}
+
+func TestRateSlidingDecay(t *testing.T) {
+	r := NewRate(simtime.Second)
+	r.Add(0, 100)
+	// Half a window later, the burst still counts.
+	if got := r.PerSecond(simtime.Time(500 * simtime.Millisecond)); got < 90 {
+		t.Fatalf("rate after 0.5s = %v", got)
+	}
+	// Just past a full window, it has fully decayed.
+	if got := r.PerSecond(simtime.Time(1100 * simtime.Millisecond)); got != 0 {
+		t.Fatalf("rate after window = %v, want 0", got)
+	}
+}
+
+func TestRateLongIdleFastForward(t *testing.T) {
+	r := NewRate(simtime.Second)
+	r.Add(0, 50)
+	// Jump far ahead; the fast-forward path must not leave stale buckets.
+	if got := r.PerSecond(simtime.Time(1000 * simtime.Second)); got != 0 {
+		t.Fatalf("stale rate = %v", got)
+	}
+	r.Add(simtime.Time(1000*simtime.Second), 10)
+	if got := r.PerSecond(simtime.Time(1000*simtime.Second) + 1); math.Abs(got-10) > 1 {
+		t.Fatalf("rate after jump = %v, want ~10", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(2.5)
+	if c.Value() != 7.5 {
+		t.Fatalf("Value = %v", c.Value())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(0, 1)
+	s.Append(simtime.Time(simtime.Second), 3)
+	if s.Len() != 2 || s.Mean() != 2 {
+		t.Fatalf("len=%d mean=%v", s.Len(), s.Mean())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time going backwards")
+		}
+	}()
+	s.Append(0, 9)
+}
+
+func TestSeriesQuantile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Append(simtime.Time(i), float64(i))
+	}
+	if got := s.Quantile(0.5); math.Abs(got-50) > 2 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	var empty Series
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty series should report 0")
+	}
+}
+
+func TestHistogramQuantileContainsSampleProperty(t *testing.T) {
+	// Property: for a single-valued histogram, every quantile returns a value
+	// within one bucket width of that value.
+	f := func(raw uint32) bool {
+		d := simtime.Duration(raw)
+		h := NewHistogram()
+		h.Observe(d, 7)
+		q := h.Quantile(0.5)
+		if d <= simtime.Microsecond {
+			return q <= simtime.Microsecond
+		}
+		return float64(q) <= float64(d)*1.11 && float64(q) >= float64(d)/1.11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

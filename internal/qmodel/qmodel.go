@@ -1,0 +1,174 @@
+// Package qmodel implements the performance model of paper §4.1: the
+// topology is treated as a Jackson network in which each elastic executor j
+// with k_j allocated cores is an M/M/k_j queue. The model predicts average
+// processing latency E[T](k) and drives a greedy core-allocation that finds
+// the minimal total allocation meeting a user latency target Tmax (shown
+// optimal in the DRS work the paper cites, [15]).
+package qmodel
+
+import (
+	"math"
+
+	"repro/internal/simtime"
+)
+
+// ErlangC returns the probability that an arriving job must queue in an
+// M/M/k system with offered load a = λ/μ (in Erlangs). Requires a < k for a
+// stable system; returns 1 for saturated or invalid inputs (every job waits).
+func ErlangC(k int, a float64) float64 {
+	if k <= 0 || a < 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	if a >= float64(k) {
+		return 1
+	}
+	// Compute iteratively in log-free form: term_i = a^i/i! normalized on the
+	// fly to avoid overflow for large k.
+	sum := 1.0  // i = 0 term, scaled
+	term := 1.0 // a^i / i!
+	for i := 1; i < k; i++ {
+		term *= a / float64(i)
+		sum += term
+	}
+	top := term * a / float64(k) // a^k / k!
+	top *= float64(k) / (float64(k) - a)
+	return top / (sum + top)
+}
+
+// MMkSojourn returns the expected sojourn time (queue wait + service) of an
+// M/M/k queue with arrival rate lambda (1/s), per-core service rate mu (1/s),
+// and k cores. An unstable system returns +Inf.
+func MMkSojourn(lambda, mu float64, k int) float64 {
+	if mu <= 0 || k <= 0 {
+		return math.Inf(1)
+	}
+	if lambda <= 0 {
+		return 1 / mu
+	}
+	a := lambda / mu
+	if a >= float64(k) {
+		return math.Inf(1)
+	}
+	wait := ErlangC(k, a) / (float64(k)*mu - lambda)
+	return wait + 1/mu
+}
+
+// ExecutorLoad is the measured per-executor input to the model.
+type ExecutorLoad struct {
+	Lambda float64 // tuple arrival rate, tuples/s
+	Mu     float64 // per-core service rate, tuples/s (1 / mean processing time)
+}
+
+// MinCores returns ⌊λ/μ⌋+1, the minimal stable allocation (§4.1).
+func (e ExecutorLoad) MinCores() int {
+	if e.Mu <= 0 {
+		return 1
+	}
+	k := int(math.Floor(e.Lambda/e.Mu)) + 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// NetworkLatency evaluates Equation (1): the arrival-rate-weighted mean of
+// per-executor sojourn times, normalized by the input-stream rate lambda0.
+func NetworkLatency(loads []ExecutorLoad, k []int, lambda0 float64) float64 {
+	if lambda0 <= 0 {
+		// Fall back to the total arrival rate so an idle system reports the
+		// plain weighted mean instead of dividing by zero.
+		for _, l := range loads {
+			lambda0 += l.Lambda
+		}
+		if lambda0 <= 0 {
+			return 0
+		}
+	}
+	var sum float64
+	for j, l := range loads {
+		if l.Lambda <= 0 {
+			continue
+		}
+		sum += l.Lambda * MMkSojourn(l.Lambda, l.Mu, k[j])
+	}
+	return sum / lambda0
+}
+
+// Allocation is the result of Allocate.
+type Allocation struct {
+	K        []int   // cores per executor
+	Total    int     // ΣK
+	Latency  float64 // predicted E[T] seconds
+	Feasible bool    // E[T] <= Tmax within the core budget
+}
+
+// Allocate implements the greedy algorithm of §4.1: start each executor at
+// its minimal stable allocation ⌊λ/μ⌋+1, then repeatedly grant one more core
+// to the executor whose increment most decreases E[T], stopping when the
+// predicted latency meets tmax or the budget of available cores is exhausted.
+func Allocate(loads []ExecutorLoad, lambda0 float64, tmax simtime.Duration, available int) Allocation {
+	m := len(loads)
+	k := make([]int, m)
+	total := 0
+	for j, l := range loads {
+		k[j] = l.MinCores()
+		total += k[j]
+	}
+	// If even the stability minimum exceeds the budget, scale down greedily:
+	// remove cores where removal hurts least while keeping k_j >= 1. The
+	// result is infeasible but still the best-effort plan the engine applies.
+	for total > available {
+		best, bestCost := -1, math.Inf(1)
+		for j := range k {
+			if k[j] <= 1 {
+				continue
+			}
+			// When every candidate removal saturates its queue (+Inf cost) we
+			// still must shed cores to respect the budget; prefer the executor
+			// with the lowest arrival rate in that case.
+			cost := deltaRemoval(loads[j], k[j])
+			if best < 0 || cost < bestCost ||
+				(math.IsInf(cost, 1) && math.IsInf(bestCost, 1) && loads[j].Lambda < loads[best].Lambda) {
+				best, bestCost = j, cost
+			}
+		}
+		if best < 0 {
+			break // every executor is already at one core
+		}
+		k[best]--
+		total--
+	}
+
+	target := tmax.Seconds()
+	lat := NetworkLatency(loads, k, lambda0)
+	for total < available && lat > target {
+		// Grant the core with the steepest latency decrease.
+		best, bestLat := -1, lat
+		for j := range k {
+			k[j]++
+			cand := NetworkLatency(loads, k, lambda0)
+			k[j]--
+			if cand < bestLat {
+				best, bestLat = j, cand
+			}
+		}
+		if best < 0 {
+			break // no single grant helps (e.g. latency dominated by service time)
+		}
+		k[best]++
+		total++
+		lat = bestLat
+	}
+	return Allocation{K: k, Total: total, Latency: lat, Feasible: lat <= target && total <= available}
+}
+
+// deltaRemoval estimates the latency penalty of removing one core from an
+// executor, used by the scale-down path. Saturating removals cost +Inf.
+func deltaRemoval(l ExecutorLoad, k int) float64 {
+	before := MMkSojourn(l.Lambda, l.Mu, k)
+	after := MMkSojourn(l.Lambda, l.Mu, k-1)
+	return after - before
+}

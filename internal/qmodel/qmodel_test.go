@@ -1,0 +1,218 @@
+package qmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/1: C(1, ρ) = ρ.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		if got := ErlangC(1, rho); math.Abs(got-rho) > 1e-12 {
+			t.Fatalf("C(1,%v) = %v, want %v", rho, got, rho)
+		}
+	}
+	// Textbook value: C(2, 1) = 1/3.
+	if got := ErlangC(2, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("C(2,1) = %v, want 1/3", got)
+	}
+}
+
+func TestErlangCBounds(t *testing.T) {
+	if ErlangC(4, 0) != 0 {
+		t.Fatal("C(k,0) should be 0")
+	}
+	if ErlangC(4, 4) != 1 || ErlangC(4, 5) != 1 {
+		t.Fatal("saturated C should be 1")
+	}
+	if ErlangC(0, 1) != 1 || ErlangC(2, -1) != 1 {
+		t.Fatal("invalid inputs should be 1")
+	}
+	// Large k must not overflow.
+	if c := ErlangC(500, 400); c <= 0 || c >= 1 || math.IsNaN(c) {
+		t.Fatalf("C(500,400) = %v", c)
+	}
+}
+
+func TestErlangCMonotoneInK(t *testing.T) {
+	f := func(aRaw uint8) bool {
+		a := 0.1 + float64(aRaw%40)/10 // a in [0.1, 4.0]
+		prev := 1.0
+		for k := int(math.Ceil(a)) + 1; k < 20; k++ {
+			c := ErlangC(k, a)
+			if c > prev+1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMMkSojournLimits(t *testing.T) {
+	// No load: sojourn = service time.
+	if got := MMkSojourn(0, 1000, 4); got != 1e-3 {
+		t.Fatalf("idle sojourn = %v", got)
+	}
+	// Saturated: infinite.
+	if !math.IsInf(MMkSojourn(5000, 1000, 4), 1) {
+		t.Fatal("saturated sojourn should be +Inf")
+	}
+	// Many cores: sojourn approaches service time.
+	got := MMkSojourn(1000, 1000, 64)
+	if math.Abs(got-1e-3) > 1e-6 {
+		t.Fatalf("over-provisioned sojourn = %v, want ~1ms", got)
+	}
+	// M/M/1 closed form: T = 1/(μ-λ).
+	got = MMkSojourn(500, 1000, 1)
+	if math.Abs(got-1.0/500) > 1e-12 {
+		t.Fatalf("M/M/1 sojourn = %v, want 2ms", got)
+	}
+}
+
+func TestMMkSojournDecreasesWithK(t *testing.T) {
+	prev := math.Inf(1)
+	for k := 2; k <= 32; k++ {
+		s := MMkSojourn(1500, 1000, k)
+		if s > prev+1e-15 {
+			t.Fatalf("sojourn increased at k=%d", k)
+		}
+		prev = s
+	}
+}
+
+func TestMinCores(t *testing.T) {
+	if k := (ExecutorLoad{Lambda: 2500, Mu: 1000}).MinCores(); k != 3 {
+		t.Fatalf("MinCores = %d, want 3", k)
+	}
+	if k := (ExecutorLoad{Lambda: 0, Mu: 1000}).MinCores(); k != 1 {
+		t.Fatalf("idle MinCores = %d, want 1", k)
+	}
+	if k := (ExecutorLoad{Lambda: 100, Mu: 0}).MinCores(); k != 1 {
+		t.Fatalf("unknown-mu MinCores = %d, want 1", k)
+	}
+}
+
+func TestNetworkLatencyWeighting(t *testing.T) {
+	loads := []ExecutorLoad{
+		{Lambda: 900, Mu: 1000},
+		{Lambda: 100, Mu: 1000},
+	}
+	k := []int{2, 2}
+	// Executor 0 carries 90% of the traffic, so E[T] is dominated by it.
+	lat := NetworkLatency(loads, k, 1000)
+	t0 := MMkSojourn(900, 1000, 2)
+	t1 := MMkSojourn(100, 1000, 2)
+	want := (900*t0 + 100*t1) / 1000
+	if math.Abs(lat-want) > 1e-12 {
+		t.Fatalf("latency = %v, want %v", lat, want)
+	}
+}
+
+func TestNetworkLatencyZeroLambda0(t *testing.T) {
+	loads := []ExecutorLoad{{Lambda: 100, Mu: 1000}}
+	if lat := NetworkLatency(loads, []int{1}, 0); math.IsNaN(lat) || lat <= 0 {
+		t.Fatalf("fallback latency = %v", lat)
+	}
+	if lat := NetworkLatency(nil, nil, 0); lat != 0 {
+		t.Fatalf("empty latency = %v", lat)
+	}
+}
+
+func TestAllocateMeetsTarget(t *testing.T) {
+	loads := []ExecutorLoad{
+		{Lambda: 3000, Mu: 1000},
+		{Lambda: 500, Mu: 1000},
+	}
+	a := Allocate(loads, 3500, 2*simtime.Millisecond, 64)
+	if !a.Feasible {
+		t.Fatalf("allocation infeasible: %+v", a)
+	}
+	if a.K[0] < 4 {
+		t.Fatalf("hot executor got %d cores, needs >= 4 for stability", a.K[0])
+	}
+	if a.Latency > 2e-3 {
+		t.Fatalf("predicted latency %v above target", a.Latency)
+	}
+	// Greedy should not waste the whole budget.
+	if a.Total >= 64 {
+		t.Fatalf("allocation used full budget: %d", a.Total)
+	}
+}
+
+func TestAllocateStartsAtStabilityMinimum(t *testing.T) {
+	loads := []ExecutorLoad{{Lambda: 2500, Mu: 1000}}
+	a := Allocate(loads, 2500, simtime.Second, 64)
+	// Target is loose (1 s), so the greedy loop should stop at ⌊λ/μ⌋+1 = 3.
+	if a.K[0] != 3 {
+		t.Fatalf("K = %v, want stability minimum 3", a.K)
+	}
+}
+
+func TestAllocateBudgetExhaustion(t *testing.T) {
+	loads := []ExecutorLoad{
+		{Lambda: 5000, Mu: 1000},
+		{Lambda: 5000, Mu: 1000},
+	}
+	// Needs 12 cores for stability but only 8 available.
+	a := Allocate(loads, 10000, simtime.Millisecond, 8)
+	if a.Feasible {
+		t.Fatal("should be infeasible")
+	}
+	if a.Total > 8 {
+		t.Fatalf("allocation exceeds budget: %d", a.Total)
+	}
+	for _, k := range a.K {
+		if k < 1 {
+			t.Fatalf("executor starved: %v", a.K)
+		}
+	}
+}
+
+func TestAllocateSkewedDemand(t *testing.T) {
+	// Heavier executors must get more cores.
+	loads := []ExecutorLoad{
+		{Lambda: 100, Mu: 1000},
+		{Lambda: 7900, Mu: 1000},
+	}
+	a := Allocate(loads, 8000, 5*simtime.Millisecond, 32)
+	if a.K[1] <= a.K[0] {
+		t.Fatalf("allocation ignores skew: %v", a.K)
+	}
+}
+
+// Property: Allocate never exceeds the budget and keeps every executor >= 1.
+func TestAllocatePropertyBudget(t *testing.T) {
+	f := func(seed uint64, mRaw, availRaw uint8) bool {
+		rng := simtime.NewRand(seed)
+		m := 1 + int(mRaw%10)
+		avail := m + int(availRaw%32)
+		loads := make([]ExecutorLoad, m)
+		var l0 float64
+		for j := range loads {
+			loads[j] = ExecutorLoad{Lambda: rng.Float64() * 5000, Mu: 500 + rng.Float64()*1500}
+			l0 += loads[j].Lambda
+		}
+		a := Allocate(loads, l0, 10*simtime.Millisecond, avail)
+		if a.Total > avail {
+			return false
+		}
+		sum := 0
+		for _, k := range a.K {
+			if k < 1 {
+				return false
+			}
+			sum += k
+		}
+		return sum == a.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

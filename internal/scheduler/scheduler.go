@@ -1,0 +1,347 @@
+// Package scheduler implements the CPU-to-executor assignment of paper §4.2:
+// given a per-executor core allocation k (from the qmodel), it computes an
+// assignment matrix X of physical cores to executors that minimizes the state
+// migration cost C(X|X̃) subject to (a) node capacities, (b) the allocation
+// requirement X_j >= k_j, and (c) the computation-locality constraint that
+// data-intensive executors (per-core data intensity above φ) use only cores
+// on their local node. The integer program is NP-hard (multiprocessor
+// scheduling), so Algorithm 1's greedy heuristic is used, with φ doubling on
+// infeasibility as the paper prescribes.
+package scheduler
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultPhi is φ̃, the paper's default data-intensity floor: 512 KB/s, below
+// which the benefit of locality is negligible (§4.2).
+const DefaultPhi = 512 * 1024
+
+// Input bundles the state the scheduler works from.
+type Input struct {
+	Capacity      []int     // c_i: cores per node, indexed by node
+	Local         []int     // I(j): local (main-process) node per executor
+	StateBytes    []float64 // s_j: aggregate state size per executor
+	DataIntensity []float64 // per-core data intensity of executor j, bytes/s
+	Existing      [][]int   // X̃[i][j]: current cores of executor j on node i
+	Alloc         []int     // k_j: cores demanded per executor
+	Phi           float64   // data-intensity threshold φ (0 → DefaultPhi)
+}
+
+func (in *Input) nodes() int     { return len(in.Capacity) }
+func (in *Input) executors() int { return len(in.Alloc) }
+
+// Result is a computed assignment.
+type Result struct {
+	X             [][]int // X[i][j]: cores of executor j on node i
+	Phi           float64 // effective φ after any doubling
+	Doublings     int     // how many times φ was doubled to reach feasibility
+	MigrationCost float64 // C(X|X̃) in bytes
+}
+
+// validate panics on structurally inconsistent inputs — these are programmer
+// errors in the engine, not runtime conditions.
+func (in *Input) validate() {
+	n, m := in.nodes(), in.executors()
+	if len(in.Local) != m || len(in.StateBytes) != m || len(in.DataIntensity) != m {
+		panic("scheduler: executor-indexed inputs disagree on m")
+	}
+	if len(in.Existing) != n {
+		panic("scheduler: Existing has wrong node dimension")
+	}
+	for i := range in.Existing {
+		if len(in.Existing[i]) != m {
+			panic("scheduler: Existing has wrong executor dimension")
+		}
+	}
+	for j, l := range in.Local {
+		if l < 0 || l >= n {
+			panic(fmt.Sprintf("scheduler: executor %d local node %d out of range", j, l))
+		}
+	}
+}
+
+// Assign runs Algorithm 1, doubling φ until a feasible assignment is found.
+// It returns an error only if the total demand exceeds the total capacity
+// (no φ can fix that; the qmodel caps allocations to the budget).
+func Assign(in Input) (Result, error) {
+	in.validate()
+	if in.Phi <= 0 {
+		in.Phi = DefaultPhi
+	}
+	totalCap, totalDemand := 0, 0
+	for _, c := range in.Capacity {
+		totalCap += c
+	}
+	for _, k := range in.Alloc {
+		totalDemand += k
+	}
+	if totalDemand > totalCap {
+		return Result{}, fmt.Errorf("scheduler: demand %d exceeds capacity %d", totalDemand, totalCap)
+	}
+	phi := in.Phi
+	for d := 0; ; d++ {
+		if x, ok := assignOnce(&in, phi); ok {
+			return Result{X: x, Phi: phi, Doublings: d, MigrationCost: MigrationCost(&in, x)}, nil
+		}
+		phi *= 2
+		if math.IsInf(phi, 1) {
+			// With φ=∞ no executor is data-intensive, so only capacity
+			// matters and we verified demand fits capacity: unreachable.
+			panic("scheduler: infeasible even without locality constraints")
+		}
+	}
+}
+
+// assignOnce attempts Algorithm 1 with a fixed φ.
+func assignOnce(in *Input, phi float64) ([][]int, bool) {
+	n, m := in.nodes(), in.executors()
+	// Work on a copy of X̃.
+	x := make([][]int, n)
+	free := make([]int, n)
+	xj := make([]int, m) // X_j totals
+	for i := 0; i < n; i++ {
+		x[i] = append([]int(nil), in.Existing[i]...)
+		used := 0
+		for j := 0; j < m; j++ {
+			used += x[i][j]
+			xj[j] += x[i][j]
+		}
+		free[i] = in.Capacity[i] - used
+		if free[i] < 0 {
+			panic("scheduler: existing assignment exceeds node capacity")
+		}
+	}
+	intensive := func(j int) bool { return in.DataIntensity[j] >= phi }
+
+	// Normalization for constraint (c): a data-intensive executor must hold
+	// only local cores, so release any remote ones (they become free and the
+	// executor becomes under-provisioned, to be refilled locally below).
+	for j := 0; j < m; j++ {
+		if !intensive(j) {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if i == in.Local[j] || x[i][j] == 0 {
+				continue
+			}
+			free[i] += x[i][j]
+			xj[j] -= x[i][j]
+			x[i][j] = 0
+		}
+	}
+
+	// E+ sorted by data intensity, most intensive first (§4.2 prose).
+	var under []int
+	for j := 0; j < m; j++ {
+		if xj[j] < in.Alloc[j] {
+			under = append(under, j)
+		}
+	}
+	sortByIntensityDesc(under, in.DataIntensity)
+
+	// cMinus is the deallocation overhead C-_{ij}; cPlus the allocation
+	// overhead C+_{ij} (paper §4.2 closed forms).
+	cMinus := func(i, j int) float64 {
+		if xj[j] <= 1 {
+			// Deallocating the last core parks the executor; its whole state
+			// must be handed to whichever core serves it next. Charge the full
+			// state size so this is a last resort, but keep it finite so the
+			// greedy loop can still make progress.
+			return in.StateBytes[j]
+		}
+		return in.StateBytes[j] * float64(xj[j]-x[i][j]) / float64(xj[j]*(xj[j]-1))
+	}
+	cPlus := func(i, j int) float64 {
+		if xj[j] == 0 {
+			return 0 // no resident state: the first core is free to place
+		}
+		return in.StateBytes[j] * float64(xj[j]-x[i][j]) / float64(xj[j]*(xj[j]+1))
+	}
+
+	// takeCore moves one core on node i from source executor js (or the free
+	// pool when js < 0) to executor j.
+	takeCore := func(i, js, j int) {
+		if js < 0 {
+			free[i]--
+		} else {
+			x[i][js]--
+			xj[js]--
+		}
+		x[i][j]++
+		xj[j]++
+	}
+
+	for _, j := range under {
+		for xj[j] < in.Alloc[j] {
+			if intensive(j) {
+				// Only cores on the local node are acceptable.
+				i := in.Local[j]
+				if free[i] > 0 {
+					takeCore(i, -1, j)
+					continue
+				}
+				// Steal from the cheapest over-provisioned executor with a
+				// core on node i.
+				best, bestCost := -1, math.Inf(1)
+				for js := 0; js < m; js++ {
+					if js == j || xj[js] <= in.Alloc[js] || x[i][js] == 0 {
+						continue
+					}
+					if c := cMinus(i, js); c < bestCost {
+						best, bestCost = js, c
+					}
+				}
+				if best < 0 {
+					return nil, false // FAIL: caller doubles φ
+				}
+				takeCore(i, best, j)
+				continue
+			}
+			// Non-data-intensive: any node. Prefer free cores (no
+			// deallocation cost), then the globally cheapest steal.
+			bestI, bestJS, bestCost := -1, -1, math.Inf(1)
+			for i := 0; i < n; i++ {
+				if free[i] > 0 {
+					if c := cPlus(i, j); c < bestCost {
+						bestI, bestJS, bestCost = i, -1, c
+					}
+				}
+				for js := 0; js < m; js++ {
+					if js == j || xj[js] <= in.Alloc[js] || x[i][js] == 0 {
+						continue
+					}
+					if c := cMinus(i, js) + cPlus(i, j); c < bestCost {
+						bestI, bestJS, bestCost = i, js, c
+					}
+				}
+			}
+			if bestI < 0 {
+				return nil, false
+			}
+			takeCore(bestI, bestJS, j)
+		}
+	}
+	return x, true
+}
+
+func sortByIntensityDesc(js []int, intensity []float64) {
+	// Insertion sort: the under-provisioned set is small and this keeps the
+	// ordering stable for determinism.
+	for a := 1; a < len(js); a++ {
+		for b := a; b > 0 && intensity[js[b]] > intensity[js[b-1]]; b-- {
+			js[b], js[b-1] = js[b-1], js[b]
+		}
+	}
+}
+
+// MigrationCost evaluates C(X|X̃) = Σ_j Σ_i max(0, s_j·x̃_ij/X̃_j − s_j·x_ij/X_j),
+// the bytes of state that must leave their current node under the transition
+// (paper §4.2, assuming shards spread evenly over an executor's cores).
+func MigrationCost(in *Input, x [][]int) float64 {
+	n, m := in.nodes(), in.executors()
+	oldTotal := make([]int, m)
+	newTotal := make([]int, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			oldTotal[j] += in.Existing[i][j]
+			newTotal[j] += x[i][j]
+		}
+	}
+	var cost float64
+	for j := 0; j < m; j++ {
+		if oldTotal[j] == 0 {
+			continue // nothing resident yet, nothing to move out
+		}
+		for i := 0; i < n; i++ {
+			before := in.StateBytes[j] * float64(in.Existing[i][j]) / float64(oldTotal[j])
+			after := 0.0
+			if newTotal[j] > 0 {
+				after = in.StateBytes[j] * float64(x[i][j]) / float64(newTotal[j])
+			}
+			if before > after {
+				cost += before - after
+			}
+		}
+	}
+	return cost
+}
+
+// NaiveAssign is the naive-EC scheduler of §5.4: it satisfies the same
+// allocation k but ignores migration cost and locality entirely, scattering
+// grants round-robin across nodes with capacity and revoking from
+// over-provisioned executors in arbitrary (first-found) order. Used to
+// quantify the value of the optimizations (Table 2).
+func NaiveAssign(in Input) (Result, error) {
+	in.validate()
+	n, m := in.nodes(), in.executors()
+	totalCap, totalDemand := 0, 0
+	for _, c := range in.Capacity {
+		totalCap += c
+	}
+	for _, k := range in.Alloc {
+		totalDemand += k
+	}
+	if totalDemand > totalCap {
+		return Result{}, fmt.Errorf("scheduler: demand %d exceeds capacity %d", totalDemand, totalCap)
+	}
+	x := make([][]int, n)
+	free := make([]int, n)
+	xj := make([]int, m)
+	for i := 0; i < n; i++ {
+		x[i] = append([]int(nil), in.Existing[i]...)
+		used := 0
+		for j := 0; j < m; j++ {
+			used += x[i][j]
+			xj[j] += x[i][j]
+		}
+		free[i] = in.Capacity[i] - used
+	}
+	// Revoke surplus first, scanning nodes in order (no cost model).
+	for j := 0; j < m; j++ {
+		for i := 0; i < n && xj[j] > in.Alloc[j]; i++ {
+			for x[i][j] > 0 && xj[j] > in.Alloc[j] {
+				x[i][j]--
+				xj[j]--
+				free[i]++
+			}
+		}
+	}
+	// Grant round-robin over nodes with free cores.
+	node := 0
+	for j := 0; j < m; j++ {
+		for xj[j] < in.Alloc[j] {
+			granted := false
+			for probe := 0; probe < n; probe++ {
+				i := (node + probe) % n
+				if free[i] > 0 {
+					free[i]--
+					x[i][j]++
+					xj[j]++
+					node = (i + 1) % n
+					granted = true
+					break
+				}
+			}
+			if !granted {
+				return Result{}, fmt.Errorf("scheduler: naive assignment ran out of cores")
+			}
+		}
+	}
+	return Result{X: x, Phi: math.Inf(1), MigrationCost: MigrationCost(&in, x)}, nil
+}
+
+// Totals returns X_j per executor for an assignment matrix.
+func Totals(x [][]int) []int {
+	if len(x) == 0 {
+		return nil
+	}
+	t := make([]int, len(x[0]))
+	for i := range x {
+		for j, v := range x[i] {
+			t[j] += v
+		}
+	}
+	return t
+}

@@ -1,0 +1,325 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+// mkInput builds a small cluster input with uniform capacity.
+func mkInput(nodes, capPer, m int) Input {
+	in := Input{
+		Capacity:      make([]int, nodes),
+		Local:         make([]int, m),
+		StateBytes:    make([]float64, m),
+		DataIntensity: make([]float64, m),
+		Existing:      make([][]int, nodes),
+		Alloc:         make([]int, m),
+	}
+	for i := range in.Capacity {
+		in.Capacity[i] = capPer
+		in.Existing[i] = make([]int, m)
+	}
+	for j := 0; j < m; j++ {
+		in.Local[j] = j % nodes
+		in.StateBytes[j] = 1 << 20
+	}
+	return in
+}
+
+func checkInvariants(t *testing.T, in Input, res Result) {
+	t.Helper()
+	for i := range res.X {
+		used := 0
+		for _, v := range res.X[i] {
+			if v < 0 {
+				t.Fatalf("negative assignment at node %d: %v", i, res.X[i])
+			}
+			used += v
+		}
+		if used > in.Capacity[i] {
+			t.Fatalf("node %d over capacity: %d > %d", i, used, in.Capacity[i])
+		}
+	}
+	totals := Totals(res.X)
+	for j, k := range in.Alloc {
+		if totals[j] < k {
+			t.Fatalf("executor %d under-provisioned: %d < %d", j, totals[j], k)
+		}
+	}
+	// Locality constraint at the effective φ.
+	for j := range in.Alloc {
+		if in.DataIntensity[j] >= res.Phi {
+			for i := range res.X {
+				if i != in.Local[j] && res.X[i][j] > 0 {
+					t.Fatalf("data-intensive executor %d has remote cores on node %d", j, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAssignFromScratch(t *testing.T) {
+	in := mkInput(4, 8, 4)
+	in.Alloc = []int{8, 8, 8, 8}
+	res, err := Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, in, res)
+	if res.MigrationCost != 0 {
+		t.Fatalf("fresh assignment has migration cost %v", res.MigrationCost)
+	}
+}
+
+func TestAssignPrefersLocalAndCheap(t *testing.T) {
+	in := mkInput(2, 4, 2)
+	// Executor 0 on node 0 already has 2 cores there; it wants 3.
+	in.Existing[0][0] = 2
+	in.Alloc = []int{3, 1}
+	res, err := Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, in, res)
+	// Free cores exist on node 0; the grant should land there (C+ is lowest
+	// where x_ij is highest).
+	if res.X[0][0] != 3 {
+		t.Fatalf("grant not local: X = %v", res.X)
+	}
+}
+
+func TestAssignStealsFromOverProvisioned(t *testing.T) {
+	in := mkInput(1, 4, 2)
+	in.Local = []int{0, 0}
+	in.Existing[0][0] = 4  // executor 0 holds the whole node
+	in.Alloc = []int{2, 2} // now each should get 2
+	res, err := Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, in, res)
+	if res.X[0][0] != 2 || res.X[0][1] != 2 {
+		t.Fatalf("X = %v", res.X)
+	}
+	// Intra-node core moves are migration-free thanks to state sharing: the
+	// whole point of the executor-centric design.
+	if res.MigrationCost != 0 {
+		t.Fatalf("same-node steal should be free, cost %v", res.MigrationCost)
+	}
+}
+
+func TestAssignCrossNodeStealCostsMigration(t *testing.T) {
+	in := mkInput(2, 2, 2)
+	in.Local = []int{0, 1}
+	in.Existing[0][0] = 2
+	in.Existing[1][0] = 2 // executor 0 owns the whole cluster
+	in.Alloc = []int{2, 2}
+	res, err := Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, in, res)
+	if res.MigrationCost <= 0 {
+		t.Fatal("shrinking an executor across nodes should cost migration")
+	}
+}
+
+func TestAssignLocalityForcesPhiDoubling(t *testing.T) {
+	// Two data-intensive executors share local node 0 with capacity 4 and
+	// demand 3+3: impossible locally, so φ must double until one constraint
+	// relaxes.
+	in := mkInput(2, 4, 2)
+	in.Local = []int{0, 0}
+	in.DataIntensity = []float64{10 * DefaultPhi, 2 * DefaultPhi}
+	in.Alloc = []int{3, 3}
+	res, err := Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, in, res)
+	if res.Doublings == 0 {
+		t.Fatal("expected φ doubling")
+	}
+	if res.Phi <= DefaultPhi {
+		t.Fatalf("φ = %v", res.Phi)
+	}
+	// The most intensive executor should have been served first and stayed
+	// local while it was still constrained.
+	totals := Totals(res.X)
+	if totals[0] != 3 || totals[1] != 3 {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestAssignDataIntensiveDropsRemoteCores(t *testing.T) {
+	in := mkInput(2, 4, 1)
+	in.Local = []int{0}
+	in.DataIntensity = []float64{DefaultPhi * 4}
+	in.Existing[1][0] = 2 // currently has remote cores
+	in.Existing[0][0] = 1
+	in.Alloc = []int{3}
+	res, err := Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, in, res)
+	if res.X[1][0] != 0 || res.X[0][0] != 3 {
+		t.Fatalf("remote cores kept: %v", res.X)
+	}
+}
+
+func TestAssignDemandExceedsCapacity(t *testing.T) {
+	in := mkInput(1, 2, 1)
+	in.Alloc = []int{3}
+	if _, err := Assign(in); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := NaiveAssign(in); err == nil {
+		t.Fatal("expected naive error")
+	}
+}
+
+func TestMigrationCostFormula(t *testing.T) {
+	in := mkInput(2, 4, 1)
+	in.StateBytes = []float64{1000}
+	in.Existing[0][0] = 2  // all state on node 0, X̃_0 = 2
+	x := [][]int{{1}, {1}} // move to 1 core on each node
+	// before: node0 1000, node1 0; after: node0 500, node1 500 -> 500 leaves.
+	if got := MigrationCost(&in, x); got != 500 {
+		t.Fatalf("MigrationCost = %v, want 500", got)
+	}
+	// No existing state: free.
+	in.Existing[0][0] = 0
+	if got := MigrationCost(&in, x); got != 0 {
+		t.Fatalf("MigrationCost = %v, want 0", got)
+	}
+}
+
+func TestNaiveAssignMeetsAllocationButScatters(t *testing.T) {
+	in := mkInput(4, 4, 2)
+	in.Local = []int{0, 1}
+	in.Alloc = []int{6, 6}
+	res, err := NaiveAssign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := Totals(res.X)
+	if totals[0] != 6 || totals[1] != 6 {
+		t.Fatalf("naive totals = %v", totals)
+	}
+	// Round-robin scattering: executor 0's cores should span several nodes.
+	span := 0
+	for i := range res.X {
+		if res.X[i][0] > 0 {
+			span++
+		}
+	}
+	if span < 2 {
+		t.Fatalf("naive assignment did not scatter: %v", res.X)
+	}
+}
+
+func TestAssignVsNaiveMigrationCost(t *testing.T) {
+	// Start with a concentrated layout and grow demand: Algorithm 1 should
+	// move no more state than the naive assigner (usually strictly less).
+	in := mkInput(4, 8, 4)
+	for j := 0; j < 4; j++ {
+		in.Existing[j][j] = 4
+		in.Local[j] = j
+		in.StateBytes[j] = 32 << 20
+	}
+	in.Alloc = []int{6, 6, 6, 6}
+	smart, err := Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveAssign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.MigrationCost > naive.MigrationCost {
+		t.Fatalf("Algorithm 1 migrates more than naive: %v > %v",
+			smart.MigrationCost, naive.MigrationCost)
+	}
+}
+
+// Property: Assign always satisfies capacity, allocation, and locality (at
+// the returned φ) for random feasible inputs.
+func TestAssignProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := simtime.NewRand(seed)
+		nodes := 2 + rng.Intn(4)
+		capPer := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		in := mkInput(nodes, capPer, m)
+		totalCap := nodes * capPer
+		remaining := totalCap
+		for j := 0; j < m; j++ {
+			in.Local[j] = rng.Intn(nodes)
+			in.DataIntensity[j] = rng.Float64() * 3 * DefaultPhi
+			in.StateBytes[j] = float64(rng.Intn(64 << 20))
+			k := rng.Intn(remaining/(m-j) + 1)
+			in.Alloc[j] = k
+			remaining -= k
+		}
+		// Seed a random valid existing assignment.
+		freeByNode := append([]int(nil), in.Capacity...)
+		for j := 0; j < m; j++ {
+			cores := rng.Intn(3)
+			for c := 0; c < cores; c++ {
+				i := rng.Intn(nodes)
+				if freeByNode[i] > 0 {
+					in.Existing[i][j]++
+					freeByNode[i]--
+				}
+			}
+		}
+		res, err := Assign(in)
+		if err != nil {
+			return false
+		}
+		for i := range res.X {
+			used := 0
+			for _, v := range res.X[i] {
+				if v < 0 {
+					return false
+				}
+				used += v
+			}
+			if used > in.Capacity[i] {
+				return false
+			}
+		}
+		totals := Totals(res.X)
+		for j, k := range in.Alloc {
+			if totals[j] < k {
+				return false
+			}
+			if in.DataIntensity[j] >= res.Phi {
+				for i := range res.X {
+					if i != in.Local[j] && res.X[i][j] > 0 {
+						return false
+					}
+				}
+			}
+		}
+		return !math.IsNaN(res.MigrationCost) && res.MigrationCost >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	x := [][]int{{1, 2}, {3, 0}}
+	tot := Totals(x)
+	if tot[0] != 4 || tot[1] != 2 {
+		t.Fatalf("Totals = %v", tot)
+	}
+	if Totals(nil) != nil {
+		t.Fatal("Totals(nil) should be nil")
+	}
+}

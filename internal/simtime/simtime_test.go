@@ -1,0 +1,230 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	c := NewClock()
+	var got []int
+	c.At(30, func() { got = append(got, 3) })
+	c.At(10, func() { got = append(got, 1) })
+	c.At(20, func() { got = append(got, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", c.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	c := NewClock()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(5, func() { got = append(got, i) })
+	}
+	c.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	c := NewClock()
+	var fired []Time
+	c.At(10, func() {
+		fired = append(fired, c.Now())
+		c.After(5, func() { fired = append(fired, c.Now()) })
+	})
+	c.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := NewClock()
+	c.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		c.At(50, func() {})
+	})
+	c.Run()
+}
+
+func TestRunUntilAdvancesToLimit(t *testing.T) {
+	c := NewClock()
+	ran := false
+	c.At(Time(2*Second), func() { ran = true })
+	c.RunUntil(Time(1 * Second))
+	if ran {
+		t.Fatal("event beyond limit ran")
+	}
+	if c.Now() != Time(1*Second) {
+		t.Fatalf("Now = %v, want 1s", c.Now())
+	}
+	c.RunUntil(Time(3 * Second))
+	if !ran {
+		t.Fatal("event not run after extending limit")
+	}
+}
+
+func TestStop(t *testing.T) {
+	c := NewClock()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		c.At(Time(i), func() {
+			count++
+			if count == 3 {
+				c.Stop()
+			}
+		})
+	}
+	c.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if c.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", c.Pending())
+	}
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	c := NewClock()
+	fired := Time(-1)
+	c.At(10, func() {
+		c.After(-5, func() { fired = c.Now() })
+	})
+	c.Run()
+	if fired != 10 {
+		t.Fatalf("fired at %v, want 10", fired)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	cc := NewRand(43)
+	same := 0
+	a2 := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == cc.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("nearby seeds collide too often: %d", same)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandIntnUniform(t *testing.T) {
+	r := NewRand(7)
+	const n, draws = 10, 100000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, cnt := range counts {
+		if math.Abs(float64(cnt-want)) > 0.1*float64(want) {
+			t.Fatalf("bucket %d count %d deviates from %d", i, cnt, want)
+		}
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(9)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestRandNormMoments(t *testing.T) {
+	r := NewRand(11)
+	sum, sumSq := 0.0, 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 || math.Abs(variance-1) > 0.05 {
+		t.Fatalf("norm mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		n := 1 + int(seed%100)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(0).Add(1500 * Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", tm.Seconds())
+	}
+	if tm.Sub(Time(500*Millisecond)) != Second {
+		t.Fatalf("Sub wrong")
+	}
+	if tm.String() != "1.500s" {
+		t.Fatalf("String = %q", tm.String())
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRand(5)
+	c1 := r.Fork()
+	c2 := r.Fork()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("forked children identical")
+	}
+}

@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestExecutorIndexStableAndInRange(t *testing.T) {
+	f := func(k uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw)
+		key := Key(k)
+		i := key.ExecutorIndex(n)
+		return i >= 0 && i < n && i == key.ExecutorIndex(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardUniformity(t *testing.T) {
+	const shards = 64
+	counts := make([]int, shards)
+	for k := 0; k < 100000; k++ {
+		counts[Key(k).Shard(shards)]++
+	}
+	want := 100000.0 / shards
+	for s, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.25 {
+			t.Fatalf("shard %d has %d keys, want ~%v", s, c, want)
+		}
+	}
+}
+
+func TestShardDecorrelatedFromExecutor(t *testing.T) {
+	// Keys colliding on the same executor must still spread across shards.
+	const execs, shards = 32, 16
+	hit := make(map[int]bool)
+	for k, found := 0, 0; found < 2000 && k < 1000000; k++ {
+		if Key(k).ExecutorIndex(execs) == 0 {
+			hit[Key(k).Shard(shards)] = true
+			found++
+		}
+	}
+	if len(hit) != shards {
+		t.Fatalf("keys of one executor cover only %d/%d shards", len(hit), shards)
+	}
+}
+
+func TestOperatorShardDiffersFromExecutorShard(t *testing.T) {
+	same := 0
+	for k := 0; k < 10000; k++ {
+		if Key(k).Shard(256) == Key(k).OperatorShard(256) {
+			same++
+		}
+	}
+	// Expect ~1/256 collisions, not systematic identity.
+	if same > 200 {
+		t.Fatalf("Shard and OperatorShard correlate: %d/10000 identical", same)
+	}
+}
+
+func TestTupleTotalBytes(t *testing.T) {
+	tp := Tuple{Bytes: 128, Weight: 10}
+	if tp.TotalBytes() != 1280 {
+		t.Fatalf("TotalBytes = %d", tp.TotalBytes())
+	}
+}
+
+func TestFixedCost(t *testing.T) {
+	c := FixedCost(simtime.Millisecond)
+	if c(Tuple{}) != simtime.Millisecond {
+		t.Fatal("FixedCost wrong")
+	}
+}
+
+func buildDiamond(t *testing.T) *Topology {
+	t.Helper()
+	tp := NewTopology("diamond")
+	src := tp.Add(&Operator{Name: "src", Source: true})
+	a := tp.Add(&Operator{Name: "a", Cost: FixedCost(simtime.Millisecond)})
+	b := tp.Add(&Operator{Name: "b", Cost: FixedCost(simtime.Millisecond)})
+	sink := tp.Add(&Operator{Name: "sink", Cost: FixedCost(simtime.Microsecond)})
+	tp.Connect(src.ID, a.ID)
+	tp.Connect(src.ID, b.ID)
+	tp.Connect(a.ID, sink.ID)
+	tp.Connect(b.ID, sink.ID)
+	return tp
+}
+
+func TestTopologyValidateOK(t *testing.T) {
+	tp := buildDiamond(t)
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	order, err := tp.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[OperatorID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, op := range tp.Operators() {
+		for _, d := range op.Downstream() {
+			if pos[op.ID] >= pos[d] {
+				t.Fatalf("topo order violated: %d before %d", op.ID, d)
+			}
+		}
+	}
+}
+
+func TestTopologyEdges(t *testing.T) {
+	tp := buildDiamond(t)
+	sink := tp.Operator(3)
+	if len(sink.Upstream()) != 2 {
+		t.Fatalf("sink upstream = %v", sink.Upstream())
+	}
+	src := tp.Operator(0)
+	if len(src.Downstream()) != 2 {
+		t.Fatalf("src downstream = %v", src.Downstream())
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	tp := NewTopology("cyclic")
+	s := tp.Add(&Operator{Name: "s", Source: true})
+	a := tp.Add(&Operator{Name: "a", Cost: FixedCost(1)})
+	b := tp.Add(&Operator{Name: "b", Cost: FixedCost(1)})
+	tp.Connect(s.ID, a.ID)
+	tp.Connect(a.ID, b.ID)
+	tp.Connect(b.ID, a.ID)
+	if err := tp.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestValidateRejectsNoSource(t *testing.T) {
+	tp := NewTopology("nosrc")
+	tp.Add(&Operator{Name: "a", Cost: FixedCost(1)})
+	if err := tp.Validate(); err == nil {
+		t.Fatal("missing source not detected")
+	}
+}
+
+func TestValidateRejectsMissingCost(t *testing.T) {
+	tp := NewTopology("nocost")
+	s := tp.Add(&Operator{Name: "s", Source: true})
+	a := tp.Add(&Operator{Name: "a"})
+	tp.Connect(s.ID, a.ID)
+	if err := tp.Validate(); err == nil {
+		t.Fatal("missing cost model not detected")
+	}
+}
+
+func TestValidateRejectsUnreachable(t *testing.T) {
+	tp := NewTopology("orphan")
+	tp.Add(&Operator{Name: "s", Source: true})
+	tp.Add(&Operator{Name: "island", Cost: FixedCost(1)})
+	if err := tp.Validate(); err == nil {
+		t.Fatal("unreachable operator not detected")
+	}
+}
+
+func TestValidateRejectsSourceWithUpstream(t *testing.T) {
+	tp := NewTopology("badsrc")
+	s1 := tp.Add(&Operator{Name: "s1", Source: true})
+	s2 := tp.Add(&Operator{Name: "s2", Source: true})
+	tp.Connect(s1.ID, s2.ID)
+	if err := tp.Validate(); err == nil {
+		t.Fatal("source with upstream not detected")
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	if err := NewTopology("empty").Validate(); err == nil {
+		t.Fatal("empty topology not detected")
+	}
+}

@@ -1,0 +1,191 @@
+package sse
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/stream"
+)
+
+// GeneratorConfig shapes the synthetic order flow. Defaults emulate the
+// qualitative properties the paper reports for the SSE trace (§5.4, Fig 15):
+// a Zipf-popular universe of stocks whose hot set drifts over time, with
+// occasional bursts concentrating volume on a few names.
+type GeneratorConfig struct {
+	Stocks      int              // size of the stock universe
+	Users       int              // trading-account universe
+	Skew        float64          // zipf skew of stock popularity
+	BasePrice   int64            // mid price in cents around which orders cluster
+	PriceBand   int64            // max offset of an order price from the drifting mid
+	MaxVolume   int64            // order volume is uniform in [1, MaxVolume]
+	RegimeEvery simtime.Duration // how often the popularity ranking drifts
+	RegimeSwap  int              // how many of the top ranks reshuffle per regime change
+	BurstEvery  simtime.Duration // how often a burst stock flares up
+	BurstBoost  float64          // multiplier on the burst stock's arrival share
+	BurstLen    simtime.Duration // how long a burst lasts
+}
+
+// DefaultGeneratorConfig returns the tuning used by the experiments.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{
+		Stocks:      2000,
+		Users:       100000,
+		Skew:        0.8,
+		BasePrice:   10000, // ¥100.00
+		PriceBand:   50,
+		MaxVolume:   1000,
+		RegimeEvery: 20 * simtime.Second,
+		RegimeSwap:  50,
+		BurstEvery:  15 * simtime.Second,
+		// BurstBoost sets the burst stock's arrival share to
+		// boost/(boost+20) ≈ 7%: a strong single-stock hotspot that is still
+		// below one core's service rate at the default offered load (per-key
+		// ordering caps any single stock at one task, whatever the paradigm).
+		BurstBoost: 1.5,
+		BurstLen:   5 * simtime.Second,
+	}
+}
+
+// Generator produces a stream of limit orders keyed by stock ID with
+// time-varying popularity. It is deterministic for a given seed.
+type Generator struct {
+	cfg        GeneratorConfig
+	rng        *simtime.Rand
+	cdf        []float64 // popularity CDF by rank
+	rank       []uint32  // rank -> stock id
+	mids       []int64   // per-stock drifting mid price
+	nextID     uint64
+	lastRegime simtime.Time
+	burstStock int // index into rank, -1 when no burst active
+	burstUntil simtime.Time
+	lastBurst  simtime.Time
+}
+
+// NewGenerator builds a generator with the given config and seed.
+func NewGenerator(cfg GeneratorConfig, rng *simtime.Rand) *Generator {
+	g := &Generator{cfg: cfg, rng: rng, burstStock: -1}
+	g.cdf = make([]float64, cfg.Stocks)
+	g.rank = make([]uint32, cfg.Stocks)
+	g.mids = make([]int64, cfg.Stocks)
+	var sum float64
+	for r := 0; r < cfg.Stocks; r++ {
+		sum += 1 / math.Pow(float64(r+1), cfg.Skew)
+		g.cdf[r] = sum
+		g.rank[r] = uint32(r)
+		g.mids[r] = cfg.BasePrice + int64(rng.Intn(int(cfg.BasePrice/2))) - cfg.BasePrice/4
+	}
+	for r := range g.cdf {
+		g.cdf[r] /= sum
+	}
+	return g
+}
+
+// advance applies regime drift and burst lifecycle up to virtual time now.
+func (g *Generator) advance(now simtime.Time) {
+	for g.cfg.RegimeEvery > 0 && now.Sub(g.lastRegime) >= g.cfg.RegimeEvery {
+		g.lastRegime = g.lastRegime.Add(g.cfg.RegimeEvery)
+		// Swap a handful of hot ranks with random ranks: the hot set drifts
+		// without the whole distribution being re-rolled.
+		n := g.cfg.RegimeSwap
+		if n > len(g.rank) {
+			n = len(g.rank)
+		}
+		for i := 0; i < n; i++ {
+			j := g.rng.Intn(len(g.rank))
+			g.rank[i], g.rank[j] = g.rank[j], g.rank[i]
+		}
+	}
+	if g.burstStock >= 0 && now >= g.burstUntil {
+		g.burstStock = -1
+	}
+	if g.burstStock < 0 && g.cfg.BurstEvery > 0 && now.Sub(g.lastBurst) >= g.cfg.BurstEvery {
+		g.lastBurst = now
+		// Burst a mid-popularity stock so the hot set genuinely changes.
+		g.burstStock = 10 + g.rng.Intn(len(g.rank)/4)
+		g.burstUntil = now.Add(g.cfg.BurstLen)
+	}
+}
+
+// Next generates the next order at virtual time now.
+func (g *Generator) Next(now simtime.Time) Order {
+	g.advance(now)
+	r := g.sampleRank()
+	stock := g.rank[r]
+	g.nextID++
+	mid := g.drift(stock)
+	side := Buy
+	if g.rng.Float64() < 0.5 {
+		side = Sell
+	}
+	// Prices cluster inside the band around the mid; buys skew slightly below
+	// the mid and sells slightly above, so books build depth but still cross
+	// frequently (roughly half of orders trade immediately).
+	off := int64(g.rng.Intn(int(g.cfg.PriceBand)))
+	var price int64
+	if side == Buy {
+		price = mid + off - g.cfg.PriceBand/4
+	} else {
+		price = mid - off + g.cfg.PriceBand/4
+	}
+	if price < 1 {
+		price = 1
+	}
+	return Order{
+		ID:     g.nextID,
+		User:   uint32(g.rng.Intn(g.cfg.Users)),
+		Stock:  stock,
+		Side:   side,
+		Price:  price,
+		Volume: 1 + int64(g.rng.Intn(int(g.cfg.MaxVolume))),
+	}
+}
+
+func (g *Generator) sampleRank() int {
+	if g.burstStock >= 0 && g.rng.Float64() < g.cfg.BurstBoost/(g.cfg.BurstBoost+20) {
+		return g.burstStock
+	}
+	u := g.rng.Float64()
+	r := sort.SearchFloat64s(g.cdf, u)
+	if r >= len(g.cdf) {
+		r = len(g.cdf) - 1
+	}
+	return r
+}
+
+// drift performs a small random walk on the stock's mid price.
+func (g *Generator) drift(stock uint32) int64 {
+	m := g.mids[stock] + int64(g.rng.Intn(5)) - 2
+	if m < g.cfg.PriceBand {
+		m = g.cfg.PriceBand
+	}
+	g.mids[stock] = m
+	return m
+}
+
+// Key returns the partitioning key for an order: its stock ID (the paper
+// partitions the space of stock IDs, §5.4).
+func (o Order) Key() stream.Key { return stream.Key(o.Stock) }
+
+// HotShare returns, for diagnostics and Fig 15, the current arrival
+// probability of the k most popular stocks (burst excluded).
+func (g *Generator) HotShare(k int) float64 {
+	if k > len(g.cdf) {
+		k = len(g.cdf)
+	}
+	if k == 0 {
+		return 0
+	}
+	return g.cdf[k-1]
+}
+
+// TopStocks returns the stock IDs currently occupying the top-k popularity
+// ranks, hottest first.
+func (g *Generator) TopStocks(k int) []uint32 {
+	if k > len(g.rank) {
+		k = len(g.rank)
+	}
+	out := make([]uint32, k)
+	copy(out, g.rank[:k])
+	return out
+}

@@ -1,0 +1,238 @@
+// Package sse provides the Shanghai-Stock-Exchange-style application of the
+// paper's §5.4 evaluation: a synthetic limit-order stream with highly dynamic
+// per-stock arrival rates (the paper uses a proprietary three-month trace we
+// do not have), and a real limit order book matching engine implementing the
+// market-clearing logic of the transactor operator (Fig 14).
+package sse
+
+import (
+	"fmt"
+)
+
+// Side is the side of an order.
+type Side int8
+
+// Order sides.
+const (
+	Buy Side = iota
+	Sell
+)
+
+func (s Side) String() string {
+	if s == Buy {
+		return "buy"
+	}
+	return "sell"
+}
+
+// Order is one limit order. The paper's order tuples are 96 bytes; this
+// struct carries the fields named in §5.4 (user, stock, bid/ask price,
+// volume).
+type Order struct {
+	ID     uint64
+	User   uint32
+	Stock  uint32
+	Side   Side
+	Price  int64 // price in cents (integer: no float money)
+	Volume int64 // shares requested
+}
+
+// OrderBytes is the wire size of one order tuple (paper §5.4).
+const OrderBytes = 96
+
+// TradeBytes is the wire size of one transaction record (paper §5.4).
+const TradeBytes = 160
+
+// Trade is one executed transaction between a buyer and a seller.
+type Trade struct {
+	Stock   uint32
+	Buyer   uint32
+	Seller  uint32
+	Price   int64
+	Volume  int64
+	TakerID uint64 // order that triggered the match
+	MakerID uint64 // resting order that was hit
+}
+
+// priceLevel is a FIFO queue of resting orders at one price.
+type priceLevel struct {
+	price  int64
+	orders []*restingOrder
+}
+
+type restingOrder struct {
+	id     uint64
+	user   uint32
+	volume int64
+}
+
+// Book is a limit order book for a single stock with price-time priority:
+// better prices match first; within a price, earlier orders match first.
+//
+// The implementation keeps sorted price-level slices (best price at the end,
+// so matching pops from the tail and insertion is an ordered insert). Order
+// flow in the synthetic workload clusters near the touch, so inserts are
+// near-tail and effectively O(depth of walk).
+type Book struct {
+	Stock uint32
+	bids  []*priceLevel // ascending price; best bid = last
+	asks  []*priceLevel // descending price; best ask = last
+}
+
+// NewBook returns an empty book for the given stock.
+func NewBook(stock uint32) *Book { return &Book{Stock: stock} }
+
+// BestBid returns the highest resting buy price, or 0 if none.
+func (b *Book) BestBid() int64 {
+	if len(b.bids) == 0 {
+		return 0
+	}
+	return b.bids[len(b.bids)-1].price
+}
+
+// BestAsk returns the lowest resting sell price, or 0 if none.
+func (b *Book) BestAsk() int64 {
+	if len(b.asks) == 0 {
+		return 0
+	}
+	return b.asks[len(b.asks)-1].price
+}
+
+// Depth returns the number of resting orders on both sides.
+func (b *Book) Depth() int {
+	n := 0
+	for _, l := range b.bids {
+		n += len(l.orders)
+	}
+	for _, l := range b.asks {
+		n += len(l.orders)
+	}
+	return n
+}
+
+// RestingVolume returns the total unfilled volume resting in the book.
+func (b *Book) RestingVolume() int64 {
+	var v int64
+	for _, l := range b.bids {
+		for _, o := range l.orders {
+			v += o.volume
+		}
+	}
+	for _, l := range b.asks {
+		for _, o := range l.orders {
+			v += o.volume
+		}
+	}
+	return v
+}
+
+// Submit executes order o against the book, returning the trades generated
+// (possibly none) — the market-clearing mechanism of the transactor operator.
+// Any unfilled remainder rests in the book. Trades execute at the resting
+// (maker) order's price, the standard continuous-auction rule.
+func (b *Book) Submit(o Order) []Trade {
+	if o.Volume <= 0 || o.Price <= 0 {
+		return nil
+	}
+	if o.Stock != b.Stock {
+		panic(fmt.Sprintf("sse: order for stock %d submitted to book %d", o.Stock, b.Stock))
+	}
+	var trades []Trade
+	remaining := o.Volume
+	if o.Side == Buy {
+		// Match against asks with price <= o.Price, best (lowest) first.
+		for remaining > 0 && len(b.asks) > 0 {
+			best := b.asks[len(b.asks)-1]
+			if best.price > o.Price {
+				break
+			}
+			remaining = b.matchLevel(best, &trades, o, remaining)
+			if len(best.orders) == 0 {
+				b.asks = b.asks[:len(b.asks)-1]
+			}
+		}
+		if remaining > 0 {
+			insertLevel(&b.bids, o, remaining, true)
+		}
+	} else {
+		for remaining > 0 && len(b.bids) > 0 {
+			best := b.bids[len(b.bids)-1]
+			if best.price < o.Price {
+				break
+			}
+			remaining = b.matchLevel(best, &trades, o, remaining)
+			if len(best.orders) == 0 {
+				b.bids = b.bids[:len(b.bids)-1]
+			}
+		}
+		if remaining > 0 {
+			insertLevel(&b.asks, o, remaining, false)
+		}
+	}
+	return trades
+}
+
+// matchLevel fills as much of the incoming order as possible at one price
+// level, consuming resting orders in FIFO order.
+func (b *Book) matchLevel(l *priceLevel, trades *[]Trade, taker Order, remaining int64) int64 {
+	for remaining > 0 && len(l.orders) > 0 {
+		maker := l.orders[0]
+		fill := remaining
+		if maker.volume < fill {
+			fill = maker.volume
+		}
+		tr := Trade{
+			Stock:   b.Stock,
+			Price:   l.price,
+			Volume:  fill,
+			TakerID: taker.ID,
+			MakerID: maker.id,
+		}
+		if taker.Side == Buy {
+			tr.Buyer, tr.Seller = taker.User, maker.user
+		} else {
+			tr.Buyer, tr.Seller = maker.user, taker.User
+		}
+		*trades = append(*trades, tr)
+		maker.volume -= fill
+		remaining -= fill
+		if maker.volume == 0 {
+			l.orders = l.orders[1:]
+		}
+	}
+	return remaining
+}
+
+// insertLevel rests the remainder of an order on the given side. For bids the
+// slice is ascending (best last); for asks descending (best last).
+func insertLevel(levels *[]*priceLevel, o Order, volume int64, ascending bool) {
+	ls := *levels
+	// Walk from the tail (best price) toward the head to find the level.
+	i := len(ls) - 1
+	for i >= 0 {
+		if ls[i].price == o.Price {
+			ls[i].orders = append(ls[i].orders, &restingOrder{id: o.ID, user: o.User, volume: volume})
+			return
+		}
+		worse := ls[i].price < o.Price
+		if !ascending {
+			worse = ls[i].price > o.Price
+		}
+		if worse {
+			break
+		}
+		i--
+	}
+	nl := &priceLevel{price: o.Price, orders: []*restingOrder{{id: o.ID, user: o.User, volume: volume}}}
+	ls = append(ls, nil)
+	copy(ls[i+2:], ls[i+1:])
+	ls[i+1] = nl
+	*levels = ls
+}
+
+// Crossed reports whether the book is in an invalid crossed state
+// (best bid >= best ask while both sides are non-empty). A correct matching
+// engine never leaves the book crossed; tests assert this invariant.
+func (b *Book) Crossed() bool {
+	return len(b.bids) > 0 && len(b.asks) > 0 && b.BestBid() >= b.BestAsk()
+}

@@ -1,0 +1,250 @@
+package sse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestSimpleMatch(t *testing.T) {
+	b := NewBook(1)
+	if tr := b.Submit(Order{ID: 1, User: 10, Stock: 1, Side: Sell, Price: 100, Volume: 50}); len(tr) != 0 {
+		t.Fatalf("resting order traded: %v", tr)
+	}
+	trades := b.Submit(Order{ID: 2, User: 20, Stock: 1, Side: Buy, Price: 100, Volume: 30})
+	if len(trades) != 1 {
+		t.Fatalf("trades = %v", trades)
+	}
+	tr := trades[0]
+	if tr.Price != 100 || tr.Volume != 30 || tr.Buyer != 20 || tr.Seller != 10 {
+		t.Fatalf("trade = %+v", tr)
+	}
+	if b.RestingVolume() != 20 {
+		t.Fatalf("resting volume = %d, want 20", b.RestingVolume())
+	}
+}
+
+func TestNoMatchWhenPricesDoNotCross(t *testing.T) {
+	b := NewBook(1)
+	b.Submit(Order{ID: 1, Stock: 1, Side: Sell, Price: 105, Volume: 10})
+	trades := b.Submit(Order{ID: 2, Stock: 1, Side: Buy, Price: 100, Volume: 10})
+	if len(trades) != 0 {
+		t.Fatalf("uncrossed prices traded: %v", trades)
+	}
+	if b.BestBid() != 100 || b.BestAsk() != 105 {
+		t.Fatalf("bbo = %d/%d", b.BestBid(), b.BestAsk())
+	}
+	if b.Crossed() {
+		t.Fatal("book reports crossed")
+	}
+}
+
+func TestPricePriority(t *testing.T) {
+	b := NewBook(1)
+	b.Submit(Order{ID: 1, User: 1, Stock: 1, Side: Sell, Price: 102, Volume: 10})
+	b.Submit(Order{ID: 2, User: 2, Stock: 1, Side: Sell, Price: 101, Volume: 10})
+	trades := b.Submit(Order{ID: 3, User: 3, Stock: 1, Side: Buy, Price: 102, Volume: 15})
+	if len(trades) != 2 {
+		t.Fatalf("trades = %v", trades)
+	}
+	// Cheaper ask fills first, at its own (maker) price.
+	if trades[0].Seller != 2 || trades[0].Price != 101 || trades[0].Volume != 10 {
+		t.Fatalf("first trade = %+v", trades[0])
+	}
+	if trades[1].Seller != 1 || trades[1].Price != 102 || trades[1].Volume != 5 {
+		t.Fatalf("second trade = %+v", trades[1])
+	}
+}
+
+func TestTimePriorityWithinLevel(t *testing.T) {
+	b := NewBook(1)
+	b.Submit(Order{ID: 1, User: 1, Stock: 1, Side: Buy, Price: 100, Volume: 10})
+	b.Submit(Order{ID: 2, User: 2, Stock: 1, Side: Buy, Price: 100, Volume: 10})
+	trades := b.Submit(Order{ID: 3, User: 3, Stock: 1, Side: Sell, Price: 99, Volume: 10})
+	if len(trades) != 1 || trades[0].Buyer != 1 || trades[0].MakerID != 1 {
+		t.Fatalf("FIFO violated: %v", trades)
+	}
+}
+
+func TestPartialFillRests(t *testing.T) {
+	b := NewBook(1)
+	b.Submit(Order{ID: 1, Stock: 1, Side: Sell, Price: 100, Volume: 5})
+	trades := b.Submit(Order{ID: 2, Stock: 1, Side: Buy, Price: 101, Volume: 20})
+	if len(trades) != 1 || trades[0].Volume != 5 {
+		t.Fatalf("trades = %v", trades)
+	}
+	// Remainder rests as a bid at 101.
+	if b.BestBid() != 101 || b.RestingVolume() != 15 {
+		t.Fatalf("bid=%d resting=%d", b.BestBid(), b.RestingVolume())
+	}
+}
+
+func TestRejectInvalidOrders(t *testing.T) {
+	b := NewBook(1)
+	if b.Submit(Order{Stock: 1, Side: Buy, Price: 0, Volume: 10}) != nil || b.Depth() != 0 {
+		t.Fatal("zero price accepted")
+	}
+	if b.Submit(Order{Stock: 1, Side: Buy, Price: 100, Volume: 0}) != nil || b.Depth() != 0 {
+		t.Fatal("zero volume accepted")
+	}
+}
+
+func TestWrongStockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBook(1).Submit(Order{Stock: 2, Side: Buy, Price: 1, Volume: 1})
+}
+
+// Property: after any random order stream, (a) the book is never crossed,
+// (b) volume is conserved: submitted = traded*2-sides-counted-once + resting.
+func TestBookInvariants(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := simtime.NewRand(seed)
+		b := NewBook(7)
+		var submitted, traded int64
+		for i := 0; i < int(n)+20; i++ {
+			o := Order{
+				ID:     uint64(i + 1),
+				User:   uint32(rng.Intn(50)),
+				Stock:  7,
+				Side:   Side(rng.Intn(2)),
+				Price:  int64(95 + rng.Intn(10)),
+				Volume: int64(1 + rng.Intn(100)),
+			}
+			submitted += o.Volume
+			for _, tr := range b.Submit(o) {
+				if tr.Volume <= 0 || tr.Price <= 0 {
+					return false
+				}
+				traded += tr.Volume
+			}
+			if b.Crossed() {
+				return false
+			}
+		}
+		// Each unit of traded volume consumed one unit from both an incoming
+		// and a resting order: submitted = resting + 2*traded.
+		return submitted == b.RestingVolume()+2*traded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTradeExecutesAtMakerPrice(t *testing.T) {
+	b := NewBook(1)
+	b.Submit(Order{ID: 1, Stock: 1, Side: Buy, Price: 103, Volume: 10})
+	trades := b.Submit(Order{ID: 2, Stock: 1, Side: Sell, Price: 99, Volume: 10})
+	if len(trades) != 1 || trades[0].Price != 103 {
+		t.Fatalf("maker price rule violated: %v", trades)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(DefaultGeneratorConfig(), simtime.NewRand(1))
+	g2 := NewGenerator(DefaultGeneratorConfig(), simtime.NewRand(1))
+	for i := 0; i < 1000; i++ {
+		now := simtime.Time(i) * simtime.Time(simtime.Millisecond)
+		a, b := g1.Next(now), g2.Next(now)
+		if a != b {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorOrdersValid(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	g := NewGenerator(cfg, simtime.NewRand(2))
+	for i := 0; i < 20000; i++ {
+		o := g.Next(simtime.Time(i) * simtime.Time(simtime.Millisecond))
+		if o.Price <= 0 || o.Volume <= 0 || o.Volume > cfg.MaxVolume {
+			t.Fatalf("invalid order %+v", o)
+		}
+		if int(o.Stock) >= cfg.Stocks || int(o.User) >= cfg.Users {
+			t.Fatalf("out-of-universe order %+v", o)
+		}
+		if o.Key() != 0 && uint32(o.Key()) != o.Stock {
+			t.Fatalf("key != stock")
+		}
+	}
+}
+
+func TestGeneratorSkewAndDrift(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	g := NewGenerator(cfg, simtime.NewRand(3))
+	counts := map[uint32]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		// Keep time inside the first regime so popularity is stationary.
+		o := g.Next(simtime.Time(i % 1000))
+		counts[o.Stock]++
+	}
+	top := g.TopStocks(1)[0]
+	if float64(counts[top])/n < 0.01 {
+		t.Fatalf("hottest stock share too small: %v", float64(counts[top])/n)
+	}
+	before := g.TopStocks(20)
+	// Cross several regime boundaries.
+	for i := 0; i < 1000; i++ {
+		g.Next(simtime.Time(2 * simtime.Minute).Add(simtime.Duration(i) * simtime.Millisecond))
+	}
+	after := g.TopStocks(20)
+	same := 0
+	for i := range before {
+		if before[i] == after[i] {
+			same++
+		}
+	}
+	if same == len(before) {
+		t.Fatal("popularity ranking did not drift across regimes")
+	}
+}
+
+func TestGeneratorBurstActivates(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.BurstEvery = simtime.Second
+	cfg.BurstLen = 10 * simtime.Second
+	g := NewGenerator(cfg, simtime.NewRand(4))
+	// Move past the burst trigger, then check concentration on some stock.
+	counts := map[uint32]int{}
+	for i := 0; i < 20000; i++ {
+		o := g.Next(simtime.Time(2 * simtime.Second))
+		counts[o.Stock]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	want := cfg.BurstBoost / (cfg.BurstBoost + 20) * 0.8 // burst share, with slack
+	if float64(max)/20000 < want {
+		t.Fatalf("burst did not concentrate volume: max share %v, want >= %v",
+			float64(max)/20000, want)
+	}
+}
+
+func TestMatchingThroughGeneratedFlow(t *testing.T) {
+	// Integration: feed generated orders for one stock through a book and
+	// check a healthy share of them trade.
+	cfg := DefaultGeneratorConfig()
+	cfg.Stocks = 1
+	g := NewGenerator(cfg, simtime.NewRand(5))
+	b := NewBook(0)
+	trades := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		o := g.Next(simtime.Time(i) * simtime.Time(simtime.Millisecond))
+		trades += len(b.Submit(o))
+		if b.Crossed() {
+			t.Fatal("book crossed")
+		}
+	}
+	if trades < n/10 {
+		t.Fatalf("only %d trades from %d orders; generator/book mismatch", trades, n)
+	}
+}

@@ -1,0 +1,167 @@
+// Package workload generates the synthetic inputs of the paper's
+// micro-benchmarks (§5.1–5.3): a key space with Zipf-distributed frequencies,
+// periodic random permutations of the key→frequency mapping ("shuffles", ω
+// per minute), and arrival-rate processes.
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/stream"
+)
+
+// Zipf samples keys 0..n-1 with P(rank r) ∝ 1/(r+1)^s, the distribution the
+// paper uses with n = 10,000 and skew s = 0.5. Sampling is by binary search
+// over the CDF (O(log n)); the mapping from rank to key identity is a
+// permutation that Shuffle re-randomizes to emulate workload dynamics.
+type Zipf struct {
+	cdf       []float64 // cumulative probability by rank
+	rankToKey []stream.Key
+	rng       *simtime.Rand
+	shuffles  int
+}
+
+// NewZipf builds a sampler over n keys with skew s, seeded deterministically.
+func NewZipf(n int, s float64, rng *simtime.Rand) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf needs n > 0")
+	}
+	z := &Zipf{cdf: make([]float64, n), rankToKey: make([]stream.Key, n), rng: rng}
+	var sum float64
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), s)
+		z.cdf[r] = sum
+	}
+	for r := 0; r < n; r++ {
+		z.cdf[r] /= sum
+		z.rankToKey[r] = stream.Key(r)
+	}
+	return z
+}
+
+// N returns the key-space size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one key.
+func (z *Zipf) Sample() stream.Key {
+	u := z.rng.Float64()
+	r := sort.SearchFloat64s(z.cdf, u)
+	if r >= len(z.cdf) {
+		r = len(z.cdf) - 1
+	}
+	return z.rankToKey[r]
+}
+
+// Prob returns the probability mass currently assigned to key k (for tests
+// and analytical expectations). O(n); not used on the hot path.
+func (z *Zipf) Prob(k stream.Key) float64 {
+	for r, key := range z.rankToKey {
+		if key == k {
+			if r == 0 {
+				return z.cdf[0]
+			}
+			return z.cdf[r] - z.cdf[r-1]
+		}
+	}
+	return 0
+}
+
+// Shuffle applies a fresh random permutation to the rank→key mapping: the
+// same frequency *profile* is redistributed over different key identities,
+// exactly the paper's "shuffle the frequencies of tuple keys by applying a
+// random permutation ω times per minute" (§5.1).
+func (z *Zipf) Shuffle() {
+	p := z.rng.Perm(len(z.rankToKey))
+	next := make([]stream.Key, len(p))
+	for r, idx := range p {
+		next[r] = stream.Key(idx)
+	}
+	z.rankToKey = next
+	z.shuffles++
+}
+
+// Shuffles returns how many shuffles have been applied.
+func (z *Zipf) Shuffles() int { return z.shuffles }
+
+// HottestKeys returns the top-k keys by current probability mass, hottest
+// first. Used by tests and by the hotspot example.
+func (z *Zipf) HottestKeys(k int) []stream.Key {
+	if k > len(z.rankToKey) {
+		k = len(z.rankToKey)
+	}
+	out := make([]stream.Key, k)
+	copy(out, z.rankToKey[:k])
+	return out
+}
+
+// Spec bundles the micro-benchmark workload parameters of §5.1 with their
+// paper defaults.
+type Spec struct {
+	Keys           int              // distinct keys (default 10,000)
+	Skew           float64          // zipf skew factor (default 0.5)
+	TupleBytes     int              // payload size of one tuple (default 128)
+	CPUCost        simtime.Duration // per-tuple processing cost (default 1 ms)
+	ShardStateKB   int              // shard state size in KB (default 32)
+	ShufflesPerMin float64          // ω, key-frequency shuffles per minute
+}
+
+// DefaultSpec returns the paper's default micro-benchmark workload.
+func DefaultSpec() Spec {
+	return Spec{
+		Keys:         10000,
+		Skew:         0.5,
+		TupleBytes:   128,
+		CPUCost:      simtime.Millisecond,
+		ShardStateKB: 32,
+	}
+}
+
+// DataIntensive returns the §5.3 data-intensive variant (8 KB tuples).
+func (s Spec) DataIntensive() Spec { s.TupleBytes = 8192; return s }
+
+// HighlyDynamic returns the §5.3 highly dynamic variant (ω = 16).
+func (s Spec) HighlyDynamic() Spec { s.ShufflesPerMin = 16; return s }
+
+// ShuffleInterval returns the virtual time between shuffles, or 0 if the
+// workload is static (ω = 0).
+func (s Spec) ShuffleInterval() simtime.Duration {
+	if s.ShufflesPerMin <= 0 {
+		return 0
+	}
+	return simtime.Duration(float64(simtime.Minute) / s.ShufflesPerMin)
+}
+
+// RateFunc gives the offered load (tuples/second) at a virtual time. The
+// throughput experiments use an effectively unbounded rate and let
+// backpressure find the sustainable maximum; latency-focused runs use finite
+// rates.
+type RateFunc func(t simtime.Time) float64
+
+// ConstantRate returns a fixed-rate function.
+func ConstantRate(perSec float64) RateFunc {
+	return func(simtime.Time) float64 { return perSec }
+}
+
+// StepRate returns baseline until at, then level (a workload surge).
+func StepRate(baseline, level float64, at simtime.Time) RateFunc {
+	return func(t simtime.Time) float64 {
+		if t < at {
+			return baseline
+		}
+		return level
+	}
+}
+
+// SineRate oscillates around mean with the given amplitude and period,
+// clamped at zero. Used to emulate diurnal-style fluctuation.
+func SineRate(mean, amplitude float64, period simtime.Duration) RateFunc {
+	return func(t simtime.Time) float64 {
+		v := mean + amplitude*math.Sin(2*math.Pi*t.Seconds()/period.Seconds())
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}

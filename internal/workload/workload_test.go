@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/stream"
+)
+
+func TestZipfRankProbabilities(t *testing.T) {
+	z := NewZipf(100, 1.0, simtime.NewRand(1))
+	// With s=1 over 100 keys, P(rank0)/P(rank1) = 2.
+	p0 := z.Prob(z.HottestKeys(1)[0])
+	p1 := z.Prob(z.HottestKeys(2)[1])
+	if math.Abs(p0/p1-2) > 0.01 {
+		t.Fatalf("p0/p1 = %v, want 2", p0/p1)
+	}
+}
+
+func TestZipfSampleMatchesProb(t *testing.T) {
+	z := NewZipf(50, 0.5, simtime.NewRand(2))
+	const draws = 200000
+	counts := map[stream.Key]int{}
+	for i := 0; i < draws; i++ {
+		counts[z.Sample()]++
+	}
+	for _, k := range z.HottestKeys(5) {
+		want := z.Prob(k) * draws
+		got := float64(counts[k])
+		if math.Abs(got-want)/want > 0.1 {
+			t.Fatalf("key %d: got %v draws, want ~%v", k, got, want)
+		}
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z := NewZipf(20, 0.7, simtime.NewRand(3))
+	sum := 0.0
+	for k := 0; k < 20; k++ {
+		sum += z.Prob(stream.Key(k))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+}
+
+func TestShuffleMovesMassButPreservesProfile(t *testing.T) {
+	z := NewZipf(1000, 0.5, simtime.NewRand(4))
+	before := z.HottestKeys(10)
+	beforeP0 := z.Prob(before[0])
+	z.Shuffle()
+	after := z.HottestKeys(10)
+	if z.Shuffles() != 1 {
+		t.Fatalf("Shuffles = %d", z.Shuffles())
+	}
+	// The hottest key almost surely changed identity…
+	sameAll := true
+	for i := range before {
+		if before[i] != after[i] {
+			sameAll = false
+			break
+		}
+	}
+	if sameAll {
+		t.Fatal("shuffle left the hot set identical (p ~ 0)")
+	}
+	// …but the probability profile is untouched.
+	if p := z.Prob(after[0]); math.Abs(p-beforeP0) > 1e-12 {
+		t.Fatalf("hot-rank probability changed: %v vs %v", p, beforeP0)
+	}
+}
+
+func TestShuffleKeepsKeySpace(t *testing.T) {
+	z := NewZipf(64, 0.5, simtime.NewRand(5))
+	z.Shuffle()
+	seen := map[stream.Key]bool{}
+	for _, k := range z.HottestKeys(64) {
+		if k >= 64 || seen[k] {
+			t.Fatalf("rank map is not a permutation: key %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSampleInRange(t *testing.T) {
+	z := NewZipf(10, 0.5, simtime.NewRand(6))
+	for i := 0; i < 10000; i++ {
+		if k := z.Sample(); k >= 10 {
+			t.Fatalf("sample out of range: %d", k)
+		}
+	}
+}
+
+func TestDefaultSpec(t *testing.T) {
+	s := DefaultSpec()
+	if s.Keys != 10000 || s.Skew != 0.5 || s.TupleBytes != 128 ||
+		s.CPUCost != simtime.Millisecond || s.ShardStateKB != 32 {
+		t.Fatalf("defaults = %+v", s)
+	}
+	if s.ShuffleInterval() != 0 {
+		t.Fatal("static default should have no shuffle interval")
+	}
+	di := s.DataIntensive()
+	if di.TupleBytes != 8192 {
+		t.Fatalf("data-intensive bytes = %d", di.TupleBytes)
+	}
+	hd := s.HighlyDynamic()
+	if hd.ShufflesPerMin != 16 {
+		t.Fatalf("highly dynamic ω = %v", hd.ShufflesPerMin)
+	}
+	if hd.ShuffleInterval() != simtime.Duration(3750*simtime.Millisecond) {
+		t.Fatalf("shuffle interval = %v", hd.ShuffleInterval())
+	}
+}
+
+func TestRateFuncs(t *testing.T) {
+	c := ConstantRate(100)
+	if c(0) != 100 || c(simtime.Time(simtime.Minute)) != 100 {
+		t.Fatal("ConstantRate wrong")
+	}
+	st := StepRate(10, 50, simtime.Time(simtime.Second))
+	if st(0) != 10 || st(simtime.Time(2*simtime.Second)) != 50 {
+		t.Fatal("StepRate wrong")
+	}
+	sr := SineRate(100, 50, simtime.Minute)
+	if v := sr(simtime.Time(15 * simtime.Second)); math.Abs(v-150) > 1e-6 {
+		t.Fatalf("SineRate peak = %v", v)
+	}
+	neg := SineRate(10, 100, simtime.Minute)
+	if v := neg(simtime.Time(45 * simtime.Second)); v != 0 {
+		t.Fatalf("SineRate should clamp at 0, got %v", v)
+	}
+}
