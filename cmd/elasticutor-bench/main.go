@@ -8,6 +8,12 @@
 //	elasticutor-bench -run fig6,fig8  # several
 //	elasticutor-bench -full           # paper-scale dimensions (slower)
 //	elasticutor-bench -list           # show the experiment registry
+//	elasticutor-bench -parallel 8     # trial workers (default GOMAXPROCS)
+//
+// Trials within each experiment fan out across -parallel workers through
+// internal/harness; every virtual-time metric is byte-identical for any
+// worker count. The one wall-clock metric (Table 3's scheduling time) runs
+// its trials sequentially so CPU contention cannot distort it.
 //
 // Quick scale uses a 4-node simulated cluster and short virtual runs so the
 // whole suite finishes in minutes; -full uses the paper's 32 × 8-core
@@ -19,19 +25,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 )
 
 func main() {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		full   = flag.Bool("full", false, "use the paper's 32-node dimensions")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		full     = flag.Bool("full", false, "use the paper's 32-node dimensions")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers per experiment (virtual-time results are identical for any value)")
 	)
 	flag.Parse()
+	harness.SetDefaultWorkers(*parallel)
 
 	if *list {
 		for _, e := range experiments.All {

@@ -1,40 +1,33 @@
-// Command elasticutor-sim runs a single configured simulation of the
-// micro-benchmark topology and prints its report — a quick way to poke at
-// one scenario without the full experiment harness.
+// Command elasticutor-sim runs configured simulations of the micro-benchmark
+// topology and prints their reports — a quick way to poke at one scenario
+// without the full experiment harness.
 //
 // Example:
 //
 //	elasticutor-sim -paradigm elasticutor -nodes 8 -omega 4 -duration 30s
+//	elasticutor-sim -trials 8 -parallel 4   # 8 replicate seeds, 4 workers
+//
+// -paradigm accepts any registered elasticity policy name (see
+// internal/policy), not just the paper's four.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
-func paradigmOf(s string) (engine.Paradigm, error) {
-	switch s {
-	case "static":
-		return engine.Static, nil
-	case "rc":
-		return engine.ResourceCentric, nil
-	case "naive-ec":
-		return engine.NaiveEC, nil
-	case "elasticutor", "ec":
-		return engine.Elasticutor, nil
-	}
-	return 0, fmt.Errorf("unknown paradigm %q (static|rc|naive-ec|elasticutor)", s)
-}
-
 func main() {
 	var (
-		paradigm = flag.String("paradigm", "elasticutor", "static | rc | naive-ec | elasticutor")
+		paradigm = flag.String("paradigm", "elasticutor", "elasticity policy name (static | rc | naive-ec | elasticutor | any registered)")
 		nodes    = flag.Int("nodes", 8, "cluster nodes (8 cores each)")
 		y        = flag.Int("y", 0, "executors per operator (0 = paper default)")
 		z        = flag.Int("z", 0, "shards per executor (0 = paper default)")
@@ -46,46 +39,96 @@ func main() {
 		duration = flag.Duration("duration", 30*time.Second, "virtual time to simulate")
 		warmup   = flag.Duration("warmup", 5*time.Second, "warm-up excluded from metrics")
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
+		trials   = flag.Int("trials", 1, "replicate trials with forked per-trial seeds")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers")
 	)
 	flag.Parse()
+	harness.SetDefaultWorkers(*parallel)
 
-	p, err := paradigmOf(*paradigm)
-	if err != nil {
+	if _, err := policy.ByName(*paradigm); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	spec := workload.DefaultSpec()
-	spec.ShufflesPerMin = *omega
-	spec.CPUCost = *cost
-	spec.TupleBytes = *bytes
-	spec.ShardStateKB = *stateKB
+	if *trials < 1 {
+		*trials = 1
+	}
 
-	m, err := core.NewMicro(core.MicroOptions{
-		Paradigm: p,
-		Nodes:    *nodes,
-		Y:        *y,
-		Z:        *z,
-		Spec:     spec,
-		Rate:     *rate,
-		Seed:     *seed,
-		WarmUp:   *warmup,
-	})
+	// Each trial builds its own engine (nothing shared) with a deterministic
+	// seed: trial 0 uses -seed verbatim, replicates draw theirs from the
+	// harness's per-trial forked RNG.
+	runTrial := func(ctx *harness.Ctx) (*engine.Report, error) {
+		trialSeed := *seed
+		if ctx.Index > 0 {
+			trialSeed = ctx.Rand.Uint64()
+		}
+		spec := workload.DefaultSpec()
+		spec.ShufflesPerMin = *omega
+		spec.CPUCost = *cost
+		spec.TupleBytes = *bytes
+		spec.ShardStateKB = *stateKB
+		pol, err := policy.ByName(*paradigm) // fresh instance per engine
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.NewMicro(core.MicroOptions{
+			Policy: pol,
+			Nodes:  *nodes,
+			Y:      *y,
+			Z:      *z,
+			Spec:   spec,
+			Rate:   *rate,
+			Seed:   trialSeed,
+			WarmUp: *warmup,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return m.Engine.Run(*duration), nil
+	}
+
+	fmt.Printf("simulating %s on %d nodes, ω=%v, %d trial(s) × %v virtual time, %d worker(s)…\n",
+		*paradigm, *nodes, *omega, *trials, *duration, harness.DefaultWorkers())
+
+	start := time.Now()
+	runner := &harness.Runner{Seed: *seed}
+	reports, err := harness.Map(runner, make([]struct{}, *trials),
+		func(ctx *harness.Ctx, _ struct{}) (*engine.Report, error) { return runTrial(ctx) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("simulating %s on %d nodes, ω=%v, offered %.0f tuples/s, %v virtual time…\n",
-		p, *nodes, *omega, m.Rate, *duration)
+	wall := time.Since(start).Round(time.Millisecond)
 
-	start := time.Now()
-	r := m.Engine.Run(*duration)
-	fmt.Printf("\n%v\n", r)
-	fmt.Printf("\nthroughput: %.0f tuples/s (mean over measured span)\n", r.ThroughputMean)
-	fmt.Printf("latency:    mean=%v p50=%v p99=%v max=%v\n",
-		r.Latency.Mean(), r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.Latency.Max())
-	fmt.Printf("elasticity: %d shard reassignments (%d inter-node), %d RC repartitions\n",
-		r.Reassignments, r.InterNodeReassigns, r.Repartitions)
-	fmt.Printf("traffic:    migration %.2f MB/s, remote transfer %.2f MB/s\n",
-		r.MigrationRate/(1<<20), r.RemoteRate/(1<<20))
-	fmt.Printf("simulated %d events in %v wall time\n", r.Events, time.Since(start).Round(time.Millisecond))
+	for i, r := range reports {
+		if len(reports) > 1 {
+			fmt.Printf("\n-- trial %d --\n", i)
+		}
+		fmt.Printf("\n%v\n", r)
+		fmt.Printf("\nthroughput: %.0f tuples/s (mean over measured span)\n", r.ThroughputMean)
+		fmt.Printf("latency:    mean=%v p50=%v p99=%v max=%v\n",
+			r.Latency.Mean(), r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.Latency.Max())
+		fmt.Printf("elasticity: %d shard reassignments (%d inter-node), %d RC repartitions\n",
+			r.Reassignments, r.InterNodeReassigns, r.Repartitions)
+		fmt.Printf("traffic:    migration %.2f MB/s, remote transfer %.2f MB/s\n",
+			r.MigrationRate/(1<<20), r.RemoteRate/(1<<20))
+	}
+	var events uint64
+	for _, r := range reports {
+		events += r.Events
+	}
+	if len(reports) > 1 {
+		min, max, sum := reports[0].ThroughputMean, reports[0].ThroughputMean, 0.0
+		for _, r := range reports {
+			if r.ThroughputMean < min {
+				min = r.ThroughputMean
+			}
+			if r.ThroughputMean > max {
+				max = r.ThroughputMean
+			}
+			sum += r.ThroughputMean
+		}
+		fmt.Printf("\n== %d trials: throughput mean=%.0f min=%.0f max=%.0f tuples/s ==\n",
+			len(reports), sum/float64(len(reports)), min, max)
+	}
+	fmt.Printf("simulated %d events in %v wall time\n", events, wall)
 }

@@ -33,6 +33,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/stream"
 )
@@ -61,6 +63,18 @@ const (
 	NaiveEC         = engine.NaiveEC
 	Elasticutor     = engine.Elasticutor
 )
+
+// ElasticityPolicy is the pluggable control-plane strategy interface (see
+// internal/policy): placement, routing choice, control loops, scheduling.
+type ElasticityPolicy = policy.Policy
+
+// PolicyNames lists the registered elasticity policies ("static", "rc",
+// "naive-ec", "elasticutor", plus anything added via RegisterPolicy).
+func PolicyNames() []string { return policy.Names() }
+
+// RegisterPolicy makes a custom elasticity policy selectable by name in
+// Options.Policy and the CLIs. It panics on duplicate names.
+func RegisterPolicy(name string, ctor func() ElasticityPolicy) { policy.Register(name, ctor) }
 
 // ConstantRate returns a fixed offered-load function (tuples per second).
 func ConstantRate(perSec float64) func(Time) float64 {
@@ -153,7 +167,11 @@ func (b *Builder) Connect(from, to NodeID) {
 
 // Options configures a run. Zero values take the paper's defaults.
 type Options struct {
-	Paradigm        Paradigm
+	Paradigm Paradigm
+	// Policy selects the elasticity control plane by registry name
+	// ("static", "rc", "naive-ec", "elasticutor", or anything registered
+	// via RegisterPolicy). When set it overrides Paradigm.
+	Policy          string
 	Nodes           int // cluster nodes, 8 cores / 1 Gbps each (default 32)
 	SourceExecutors int // parallelism of each spout (default one per node)
 
@@ -205,10 +223,19 @@ func (b *Builder) Engine(opt Options) (*engine.Engine, error) {
 	if srcEx == 0 {
 		srcEx = nodes
 	}
+	var pol policy.Policy
+	if opt.Policy != "" {
+		p, err := policy.ByName(opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		pol = p
+	}
 	cfg := engine.Config{
 		Topology:        b.tp,
 		Cluster:         cluster.Default(nodes),
 		Paradigm:        opt.Paradigm,
+		Policy:          pol,
 		Sources:         b.sources,
 		SourceExecutors: srcEx,
 		Y:               opt.Y,
@@ -230,4 +257,28 @@ func (b *Builder) Engine(opt Options) (*engine.Engine, error) {
 		opt.BeforeRun(e)
 	}
 	return e, nil
+}
+
+// Trials runs n independent replicate simulations concurrently and returns
+// the reports in trial order. build is called once per trial with that
+// trial's seed and must construct everything the run touches (builder,
+// closures, samplers) from scratch — engines share nothing, which is what
+// makes the results deterministic for any worker count (workers ≤ 0 uses
+// the process default). Trial 0 runs with baseSeed verbatim; later trials
+// use seeds forked deterministically from it.
+func Trials(n, workers int, baseSeed uint64, build func(seed uint64) (*Builder, Options)) ([]*Report, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("elasticutor: Trials needs n > 0")
+	}
+	runner := &harness.Runner{Workers: workers, Seed: baseSeed}
+	return harness.Map(runner, make([]struct{}, n),
+		func(ctx *harness.Ctx, _ struct{}) (*Report, error) {
+			seed := baseSeed
+			if ctx.Index > 0 {
+				seed = ctx.Rand.Uint64()
+			}
+			b, opt := build(seed)
+			opt.Seed = seed
+			return b.Run(opt)
+		})
 }

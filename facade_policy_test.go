@@ -1,0 +1,98 @@
+package elasticutor_test
+
+import (
+	"testing"
+	"time"
+
+	elasticutor "repro"
+)
+
+func TestPolicyNamesExposeBuiltins(t *testing.T) {
+	names := elasticutor.PolicyNames()
+	want := map[string]bool{"static": false, "rc": false, "naive-ec": false, "elasticutor": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("PolicyNames() = %v is missing %q", names, n)
+		}
+	}
+}
+
+// TestOptionsPolicySelectsByName runs the same topology twice — once via the
+// Paradigm constant, once via the policy name — and requires identical
+// deterministic results.
+func TestOptionsPolicySelectsByName(t *testing.T) {
+	run := func(opt elasticutor.Options) *elasticutor.Report {
+		b, _ := buildCounter(2000, 17)
+		opt.Nodes = 2
+		opt.SourceExecutors = 2
+		opt.Y = 2
+		opt.Z = 16
+		opt.Duration = 4 * time.Second
+		opt.Seed = 17
+		r, err := b.Run(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	byConst := run(elasticutor.Options{Paradigm: elasticutor.Elasticutor})
+	byName := run(elasticutor.Options{Policy: "elasticutor"})
+	if byConst.Processed == 0 {
+		t.Fatal("nothing processed")
+	}
+	if byConst.Processed != byName.Processed || byConst.Events != byName.Events {
+		t.Fatalf("name selection diverged from paradigm constant: %v vs %v", byName, byConst)
+	}
+	if byName.Paradigm != elasticutor.Elasticutor || byName.Policy != "elasticutor" {
+		t.Fatalf("report identity: paradigm=%v policy=%q", byName.Paradigm, byName.Policy)
+	}
+}
+
+func TestOptionsPolicyUnknownName(t *testing.T) {
+	b, _ := buildCounter(500, 3)
+	if _, err := b.Run(elasticutor.Options{
+		Policy: "not-a-policy", Nodes: 2, SourceExecutors: 2, Y: 2, Z: 16,
+		Duration: time.Second,
+	}); err == nil {
+		t.Fatal("unknown policy name must fail")
+	}
+}
+
+// TestTrialsDeterministicAcrossWorkers runs replicate trials sequentially
+// and concurrently; the reports must match pairwise.
+func TestTrialsDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []*elasticutor.Report {
+		reports, err := elasticutor.Trials(3, workers, 7, func(seed uint64) (*elasticutor.Builder, elasticutor.Options) {
+			b, _ := buildCounter(2000, seed)
+			return b, elasticutor.Options{
+				Paradigm: elasticutor.Elasticutor,
+				Nodes:    2, SourceExecutors: 2, Y: 2, Z: 16,
+				Duration: 3 * time.Second,
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports
+	}
+	seq := run(1)
+	par := run(3)
+	if len(seq) != 3 || len(par) != 3 {
+		t.Fatalf("trial counts: %d vs %d", len(seq), len(par))
+	}
+	distinct := map[int64]bool{}
+	for i := range seq {
+		if seq[i].Events != par[i].Events || seq[i].Processed != par[i].Processed {
+			t.Fatalf("trial %d diverged across worker counts: %v vs %v", i, seq[i], par[i])
+		}
+		distinct[seq[i].Processed] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("replicate seeds produced identical runs %v — forking broken?", seq)
+	}
+}

@@ -10,6 +10,7 @@ package core
 import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/stream"
 	"repro/internal/workload"
@@ -18,7 +19,10 @@ import (
 // MicroOptions configures a micro-benchmark run. Zero values take paper
 // defaults scaled to the requested cluster.
 type MicroOptions struct {
-	Paradigm        engine.Paradigm
+	Paradigm engine.Paradigm
+	// Policy injects an elasticity control plane directly (overrides
+	// Paradigm when non-nil; see internal/policy).
+	Policy          policy.Policy
 	Nodes           int // cluster nodes (8 cores each); default 32
 	SourceExecutors int // generator parallelism; default one per node
 	Y               int // executors for the calculator operator
@@ -90,6 +94,7 @@ func NewMicro(opt MicroOptions) (*Micro, error) {
 		Topology:            tp,
 		Cluster:             clusterCfg,
 		Paradigm:            opt.Paradigm,
+		Policy:              opt.Policy,
 		SourceExecutors:     opt.SourceExecutors,
 		Y:                   opt.Y,
 		Z:                   opt.Z,

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/stream"
 	"repro/internal/workload/sse"
@@ -10,7 +11,10 @@ import (
 
 // SSEOptions configures the stock-exchange application (Fig 14).
 type SSEOptions struct {
-	Paradigm        engine.Paradigm
+	Paradigm engine.Paradigm
+	// Policy injects an elasticity control plane directly (overrides
+	// Paradigm when non-nil; see internal/policy).
+	Policy          policy.Policy
 	Nodes           int // default 32
 	SourceExecutors int // default one per node
 	Y, Z, OpShards  int
@@ -201,6 +205,7 @@ func NewSSE(opt SSEOptions) (*SSE, error) {
 		Topology:        tp,
 		Cluster:         clusterCfg,
 		Paradigm:        opt.Paradigm,
+		Policy:          opt.Policy,
 		SourceExecutors: opt.SourceExecutors,
 		Y:               opt.Y,
 		YPerOp:          yPerOp,

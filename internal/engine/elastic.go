@@ -3,43 +3,80 @@ package engine
 import (
 	"time"
 
+	"repro/internal/balancer"
 	"repro/internal/cluster"
 	"repro/internal/executor"
+	"repro/internal/policy"
 	"repro/internal/qmodel"
 	"repro/internal/scheduler"
+	"repro/internal/simtime"
 	"repro/internal/stream"
 )
 
-// startControlLoops installs the paradigm's control plane.
+// This file is the engine's mechanism surface for elasticity control planes:
+// the policy.Host implementation plus the measurement, capacity, and
+// core-assignment machinery every paradigm shares. The decisions (when to
+// rebalance, what to move, which assigner) live in internal/policy.
+
+// startControlLoops installs the policy's control plane.
 func (e *Engine) startControlLoops() {
-	switch e.cfg.Paradigm {
-	case Static:
-		// No elasticity: nothing to do.
-	case ResourceCentric:
-		e.Every(e.cfg.SchedulePeriod, e.rcTick)
-	case NaiveEC, Elasticutor:
-		e.Every(e.cfg.RebalancePeriod, e.rebalanceTick)
-		if e.cfg.FixedCores == 0 {
-			e.Every(e.cfg.SchedulePeriod, e.elasticTick)
-		}
+	e.pol.Install((*host)(e))
+}
+
+// host adapts the engine to policy.Host, keeping the mechanism methods off
+// the engine's public API.
+type host Engine
+
+// Knobs returns the paradigm-relevant configuration slice.
+func (h *host) Knobs() policy.Knobs { return (*Engine)(h).knobs() }
+
+func (e *Engine) knobs() policy.Knobs {
+	return policy.Knobs{
+		Y:               e.cfg.Y,
+		YPerOp:          e.cfg.YPerOp,
+		Z:               e.cfg.Z,
+		OpShards:        e.cfg.OpShards,
+		Theta:           e.cfg.Theta,
+		Phi:             e.cfg.Phi,
+		Tmax:            e.cfg.Tmax,
+		SchedulePeriod:  e.cfg.SchedulePeriod,
+		RebalancePeriod: e.cfg.RebalancePeriod,
+		FixedCores:      e.cfg.FixedCores,
 	}
 }
 
-// rebalanceTick runs the §3.1 intra-executor load balancer on every elastic
+// Now returns the current virtual time.
+func (h *host) Now() simtime.Time { return (*Engine)(h).clock.Now() }
+
+// Every schedules fn at each multiple of interval.
+func (h *host) Every(interval simtime.Duration, fn func()) { (*Engine)(h).Every(interval, fn) }
+
+// Operators lists the non-source operator runtimes in topology order.
+func (h *host) Operators() []policy.Operator {
+	e := (*Engine)(h)
+	rts := e.opsInOrder()
+	out := make([]policy.Operator, len(rts))
+	for i, rt := range rts {
+		out[i] = rt
+	}
+	return out
+}
+
+// RebalanceAll runs the §3.1 intra-executor load balancer on every elastic
 // executor, using the loads accumulated in the current measurement window.
-func (e *Engine) rebalanceTick() {
-	for _, ex := range e.elastic {
+func (h *host) RebalanceAll() {
+	for _, ex := range (*Engine)(h).elastic {
 		ex.Rebalance()
 	}
 }
 
-// elasticTick is one round of the dynamic scheduler (§4): measure, model,
-// allocate (qmodel), assign (Algorithm 1 or the naive variant), apply.
-func (e *Engine) elasticTick() {
+// ExecutorLoads measures (and resets) every elastic executor's window:
+// arrival/service rates with the backpressure-refused weight folded into λ
+// so the model sees the *offered* rate, per-executor data intensity, and λ₀,
+// the aggregate first-hop arrival rate.
+func (h *host) ExecutorLoads() ([]qmodel.ExecutorLoad, []float64, float64) {
+	e := (*Engine)(h)
 	m := len(e.elastic)
-	if m == 0 {
-		return
-	}
 	loads := make([]qmodel.ExecutorLoad, m)
 	intensity := make([]float64, m)
 	var lambda0 float64
@@ -61,39 +98,55 @@ func (e *Engine) elasticTick() {
 			lambda0 += lambda
 		}
 	}
+	return loads, intensity, lambda0
+}
 
-	// Available budget: every core not reserved for sources.
-	available := e.cluster.TotalCores() - e.sourceCoreCount()
+// AvailableCores is the core budget open to elastic executors: every core
+// not reserved for sources.
+func (h *host) AvailableCores() int {
+	e := (*Engine)(h)
+	return e.cluster.TotalCores() - e.sourceCoreCount()
+}
 
-	start := time.Now()
-	alloc := qmodel.Allocate(loads, lambda0, e.cfg.Tmax, available)
-
+// SchedulerInput assembles the Algorithm-1 input from the engine's concrete
+// bookkeeping plus the policy's allocation and intensity vectors.
+func (h *host) SchedulerInput(alloc []int, intensity []float64) scheduler.Input {
+	e := (*Engine)(h)
+	m := len(e.elastic)
 	in := scheduler.Input{
 		Capacity:      e.elasticCapacity(),
 		Local:         make([]int, m),
 		StateBytes:    make([]float64, m),
 		DataIntensity: intensity,
 		Existing:      e.existingMatrix(),
-		Alloc:         alloc.K,
+		Alloc:         alloc,
 		Phi:           e.cfg.Phi,
 	}
 	for j, ex := range e.elastic {
 		in.Local[j] = int(ex.LocalNode())
 		in.StateBytes[j] = float64(e.executorStateBytes(j))
 	}
-	var res scheduler.Result
-	var err error
-	if e.cfg.Paradigm == NaiveEC {
-		res, err = scheduler.NaiveAssign(in)
-	} else {
-		res, err = scheduler.Assign(in)
+	return in
+}
+
+// ApplyAssignment applies the target core matrix through the elastic APIs.
+func (h *host) ApplyAssignment(x [][]int) { (*Engine)(h).applyAssignment(x) }
+
+// RecordSchedulingWall logs one scheduling decision's wall-clock cost.
+func (h *host) RecordSchedulingWall(d time.Duration) {
+	e := (*Engine)(h)
+	e.r.SchedulingWall = append(e.r.SchedulingWall, d)
+}
+
+// StartRepartition runs the global repartition protocol for the decided
+// moves. The operator handle must come from this host's Operators.
+func (h *host) StartRepartition(op policy.Operator, moves []balancer.Move) {
+	e := (*Engine)(h)
+	rt, ok := op.(*opRuntime)
+	if !ok {
+		panic("engine: StartRepartition with a foreign Operator handle")
 	}
-	e.r.SchedulingWall = append(e.r.SchedulingWall, time.Since(start))
-	if err != nil {
-		// Demand exceeded capacity despite the qmodel cap; skip this round.
-		return
-	}
-	e.applyAssignment(res.X)
+	e.startRepartition(rt, moves)
 }
 
 // lastMus caches μ estimates between windows.
@@ -207,7 +260,9 @@ func (e *Engine) applyAssignment(x [][]int) {
 			slots = append(slots, slot{rt, i})
 		}
 	}
-	// Phase 1: revoke surplus cores per (node, executor).
+	// Phase 1: revoke surplus cores per (node, executor). Nodes are visited
+	// in ID order — when revocation stops at the executor's last live core,
+	// the visiting order decides which node keeps it.
 	for j, s := range slots {
 		ex := s.rt.execs[s.idx]
 		byNode := make(map[cluster.NodeID][]cluster.CoreID)
@@ -215,7 +270,9 @@ func (e *Engine) applyAssignment(x [][]int) {
 			n := e.cluster.NodeOf(core)
 			byNode[n] = append(byNode[n], core)
 		}
-		for n, cores := range byNode {
+		for n := 0; n < e.cluster.Nodes(); n++ {
+			node := cluster.NodeID(n)
+			cores := byNode[node]
 			want := x[n][j]
 			for len(cores) > want {
 				core := cores[len(cores)-1]

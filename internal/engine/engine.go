@@ -1,15 +1,10 @@
-// Package engine runs a stream topology on the simulated cluster under one
-// of the paper's execution paradigms:
-//
-//   - Static: fixed executors, one core each, static operator-level key
-//     partitioning (default Storm, §2.2);
-//   - ResourceCentric: same executors, but a controller performs dynamic
-//     operator-level key repartitioning with the paper's global
-//     synchronization protocol (pause all upstream executors → drain →
-//     migrate state → update routing everywhere, §1/§2.2);
-//   - NaiveEC: Elasticutor with the scheduler's migration-cost and locality
-//     optimizations disabled (§5.4);
-//   - Elasticutor: elastic executors + the model-based dynamic scheduler.
+// Package engine runs a stream topology on the simulated cluster. The engine
+// is pure mechanism — cores, executors, wiring, routing tables, the global
+// repartition protocol, measurement — and delegates every paradigm decision
+// (placement shape, routing choice, control loops, scheduling) to an
+// injected policy.Policy. The four paper paradigms — static, rc, naive-ec,
+// elasticutor — live in internal/policy; Config.Paradigm selects among them
+// for compatibility, Config.Policy injects any registered control plane.
 //
 // The engine is a single-threaded discrete-event simulation (see DESIGN.md
 // for why that substitution preserves the paper's measurements).
@@ -20,36 +15,23 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/executor"
+	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/state"
 	"repro/internal/stream"
 )
 
-// Paradigm selects the execution paradigm.
-type Paradigm int
+// Paradigm selects the execution paradigm. It is an alias of the policy
+// package's type so existing configs, reports, and tests keep working.
+type Paradigm = policy.Paradigm
 
 // The four approaches compared in the paper's evaluation.
 const (
-	Static Paradigm = iota
-	ResourceCentric
-	NaiveEC
-	Elasticutor
+	Static          = policy.Static
+	ResourceCentric = policy.ResourceCentric
+	NaiveEC         = policy.NaiveEC
+	Elasticutor     = policy.Elasticutor
 )
-
-// String returns the paper's name for the paradigm.
-func (p Paradigm) String() string {
-	switch p {
-	case Static:
-		return "static"
-	case ResourceCentric:
-		return "rc"
-	case NaiveEC:
-		return "naive-ec"
-	case Elasticutor:
-		return "elasticutor"
-	}
-	return fmt.Sprintf("paradigm(%d)", int(p))
-}
 
 // SourceDriver generates the tuples of one source operator.
 type SourceDriver struct {
@@ -66,7 +48,11 @@ type Config struct {
 	Topology *stream.Topology
 	Cluster  cluster.Config
 	Paradigm Paradigm
-	Sources  map[stream.OperatorID]*SourceDriver
+	// Policy injects the elasticity control plane directly; when nil, the
+	// built-in policy for Paradigm is used. A Policy instance must not be
+	// shared between engines (use policy.ByName per run).
+	Policy  policy.Policy
+	Sources map[stream.OperatorID]*SourceDriver
 
 	SourceExecutors int // parallel instances per source operator (upstream count)
 
@@ -178,7 +164,8 @@ type sourceInstance struct {
 	node cluster.NodeID
 }
 
-// opRuntime is the per-operator runtime state.
+// opRuntime is the per-operator runtime state. It doubles as the policy's
+// view of the operator (policy.Operator).
 type opRuntime struct {
 	op    *stream.Operator
 	execs []*executor.Executor
@@ -186,18 +173,41 @@ type opRuntime struct {
 	cores [][]cluster.CoreID
 
 	firstHop bool // directly downstream of a source (backpressure applies)
+	// opSharded organizes executor state by operator-level shard (baseline
+	// placements) instead of the elastic executors' internal shards.
+	opSharded bool
 
-	// RC-only state.
+	// Dynamic-routing state (placements with Placement.DynamicRouting).
 	opRouting   []int     // operator shard → executor index
 	opShardLoad []float64 // arrivals per operator shard in current window
 	paused      bool
 	pauseBuf    []pendingTuple
 	repartition *rcRepartition
-	// cooldown makes the RC controller skip evaluation ticks right after a
-	// repartition: the pause gap and the replay burst pollute that window's
-	// load measurement and would re-trigger repartitioning forever.
-	cooldown int
 }
+
+// policy.Operator implementation.
+
+// Meta returns the topology operator.
+func (rt *opRuntime) Meta() *stream.Operator { return rt.op }
+
+// Executors returns the current executor count.
+func (rt *opRuntime) Executors() int { return len(rt.execs) }
+
+// Routing returns the live operator-shard routing table (nil unless the
+// placement requested dynamic routing).
+func (rt *opRuntime) Routing() []int { return rt.opRouting }
+
+// ShardLoads returns arrivals per operator shard in the current window.
+func (rt *opRuntime) ShardLoads() []float64 { return rt.opShardLoad }
+
+// ResetShardLoads starts a fresh measurement window. The previous slice is
+// left intact for readers that captured it.
+func (rt *opRuntime) ResetShardLoads() {
+	rt.opShardLoad = make([]float64, len(rt.opShardLoad))
+}
+
+// Repartitioning reports whether a global repartition is in flight.
+func (rt *opRuntime) Repartitioning() bool { return rt.repartition != nil || rt.paused }
 
 // pendingTuple is a tuple held at the engine while its operator is paused by
 // an RC repartition, remembering where it came from.
@@ -209,6 +219,7 @@ type pendingTuple struct {
 // Engine is one configured simulation.
 type Engine struct {
 	cfg     Config
+	pol     policy.Policy
 	clock   *simtime.Clock
 	cluster *cluster.Cluster
 	rng     *simtime.Rand
@@ -257,8 +268,18 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Topology.Validate(); err != nil {
 		return nil, err
 	}
+	pol := cfg.Policy
+	par := cfg.Paradigm
+	if pol == nil {
+		pol = policy.ForParadigm(cfg.Paradigm)
+	} else if p, ok := policy.ParadigmOf(pol.Name()); ok {
+		par = p
+	} else {
+		par = Paradigm(-1) // custom policy outside the paper's four
+	}
 	e := &Engine{
 		cfg:       cfg,
+		pol:       pol,
 		clock:     simtime.NewClock(),
 		rng:       simtime.NewRand(cfg.Seed + 1),
 		sources:   make(map[stream.OperatorID][]*sourceInstance),
@@ -266,7 +287,7 @@ func New(cfg Config) (*Engine, error) {
 		freeCores: make(map[cluster.NodeID][]cluster.CoreID),
 		inflight:  make(map[*executor.Executor]int),
 		blockedW:  make(map[*executor.Executor]int64),
-		r:         newReport(cfg.Paradigm),
+		r:         newReport(par, pol.Name()),
 	}
 	e.cluster = cluster.New(e.clock, cfg.Cluster)
 	for _, core := range e.cluster.Cores() {
@@ -383,28 +404,11 @@ func (e *Engine) placeExecutors() error {
 		return fmt.Errorf("engine: %d cores cannot host %d operators", freeTotal, len(nonSource))
 	}
 
-	perOp := func(opIdx int) int {
-		switch e.cfg.Paradigm {
-		case Static, ResourceCentric:
-			// Enough single-core executors to use every core (§5: "we create
-			// enough executors for the operators in the static approach to
-			// fully utilize all CPU cores"), split evenly across operators.
-			n := freeTotal / len(nonSource)
-			if opIdx < freeTotal%len(nonSource) {
-				n++
-			}
-			return n
-		default:
-			if y, ok := e.cfg.YPerOp[nonSource[opIdx].ID]; ok && y > 0 {
-				return y
-			}
-			return e.cfg.Y
-		}
-	}
-
+	knobs := e.knobs()
 	for idx, op := range nonSource {
-		rt := &opRuntime{op: op, firstHop: e.isFirstHop(op)}
-		count := perOp(idx)
+		pl := e.pol.Place(knobs, op, idx, len(nonSource), freeTotal)
+		rt := &opRuntime{op: op, firstHop: e.isFirstHop(op), opSharded: pl.OperatorSharded}
+		count := pl.Executors
 		if count < 1 {
 			count = 1
 		}
@@ -432,7 +436,7 @@ func (e *Engine) placeExecutors() error {
 				rt.cores[len(rt.cores)-1] = append(rt.cores[len(rt.cores)-1], c)
 			}
 		}
-		if e.cfg.Paradigm == ResourceCentric {
+		if pl.DynamicRouting {
 			rt.opRouting = make([]int, e.cfg.OpShards)
 			for s := range rt.opRouting {
 				rt.opRouting[s] = s % len(rt.execs)
@@ -458,12 +462,13 @@ func (e *Engine) isFirstHop(op *stream.Operator) bool {
 	return false
 }
 
-// newExecutor builds one executor for the runtime, configured per paradigm.
+// newExecutor builds one executor for the runtime, configured per the
+// policy's placement decision.
 func (e *Engine) newExecutor(rt *opRuntime, idx int, local cluster.NodeID, core cluster.CoreID) *executor.Executor {
 	op := rt.op
 	shardOf := func(k stream.Key) state.ShardID { return state.ShardID(k.Shard(e.cfg.Z)) }
 	stateBytes := op.StatePerShard
-	if e.cfg.Paradigm == Static || e.cfg.Paradigm == ResourceCentric {
+	if rt.opSharded {
 		// Baselines: state is organized by operator-level shard so that RC
 		// repartitioning can move it between executors. A single task serves
 		// everything inside the executor.

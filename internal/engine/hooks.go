@@ -105,14 +105,14 @@ func (e *Engine) recordCore(ex *executor.Executor, core cluster.CoreID) {
 
 // ForceRCMove triggers the RC global repartitioning protocol for exactly one
 // operator shard, moved from its current executor to executor dstIdx of the
-// measured operator. Valid only under the ResourceCentric paradigm.
+// measured operator. Valid only under a dynamic-routing policy (rc).
 func (e *Engine) ForceRCMove(dstIdx int, shard int) error {
-	if e.cfg.Paradigm != ResourceCentric {
-		return fmt.Errorf("engine: ForceRCMove requires the RC paradigm")
-	}
 	rt := e.ops[e.measureOp()]
 	if rt == nil {
 		return fmt.Errorf("engine: no measured operator")
+	}
+	if rt.opRouting == nil {
+		return fmt.Errorf("engine: ForceRCMove requires a dynamic-routing policy (rc)")
 	}
 	if rt.repartition != nil || rt.paused {
 		return fmt.Errorf("engine: repartition already in progress")

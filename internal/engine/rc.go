@@ -1,14 +1,15 @@
 package engine
 
 import (
-	"fmt"
-
 	"repro/internal/balancer"
 	"repro/internal/simtime"
 	"repro/internal/state"
 )
 
-var debugRC = false
+// This file is the mechanism half of operator-level repartitioning: the
+// four-phase global synchronization protocol. The controller that decides
+// when to repartition and which shards move is the rc policy
+// (internal/policy); it triggers the protocol through policy.Host.
 
 // rcRepartition tracks one in-progress operator-level key repartitioning of
 // the resource-centric baseline (§1: pause upstream → drain in-flight →
@@ -19,49 +20,6 @@ type rcRepartition struct {
 	drainedAt  simtime.Time
 	migratedAt simtime.Time
 	bytes      int64
-}
-
-// rcTick is the RC controller: per operator, if the shard load distribution
-// across executors exceeds θ, compute a minimal set of operator-shard moves
-// (same balancer as Elasticutor, per §5 "for fair comparison") and run the
-// global repartitioning protocol.
-func (e *Engine) rcTick() {
-	for _, rt := range e.opsInOrder() {
-		if rt.repartition != nil || rt.paused {
-			continue // previous repartition still running
-		}
-		if rt.cooldown > 0 {
-			rt.cooldown--
-			rt.opShardLoad = make([]float64, e.cfg.OpShards)
-			continue
-		}
-		loads := rt.opShardLoad
-		assign := append([]int(nil), rt.opRouting...)
-		moves := balancer.Rebalance(loads, assign, len(rt.execs), e.cfg.Theta, 0)
-		before := perExecutorLoads(loads, rt.opRouting, len(rt.execs))
-		after := append([]int(nil), rt.opRouting...)
-		balancer.Apply(after, moves)
-		afterLoads := perExecutorLoads(loads, after, len(rt.execs))
-		if debugRC {
-			fmt.Printf("t=%v rcTick op=%s delta=%.3f predicted=%.3f moves=%d\n",
-				e.clock.Now(), rt.op.Name, balancer.Imbalance(before), balancer.Imbalance(afterLoads), len(moves))
-		}
-		// Reset the measurement window either way.
-		rt.opShardLoad = make([]float64, e.cfg.OpShards)
-		if len(moves) == 0 {
-			continue
-		}
-		// A global repartition pauses the whole operator; only pay that when
-		// the moves meaningfully improve balance (≥15%) or actually reach the
-		// target. The greedy max→min heuristic can plateau above θ; without
-		// this guard the controller would re-pause the operator every tick
-		// for near-zero gain.
-		predicted := balancer.Imbalance(afterLoads)
-		if predicted > e.cfg.Theta && predicted > 0.85*balancer.Imbalance(before) {
-			continue
-		}
-		e.startRepartition(rt, moves)
-	}
 }
 
 // upstreamExecutorCount counts the executors (and source instances) feeding
@@ -175,7 +133,7 @@ func (e *Engine) finishRepartition(rt *opRuntime, rp *rcRepartition) {
 		sync := rp.drainedAt.Sub(rp.started) + now.Sub(rp.migratedAt)
 		e.r.RepartitionSync += sync
 		rt.repartition = nil
-		rt.cooldown = 2
+		e.pol.RepartitionFinished(rt)
 		if e.onRepartition != nil {
 			e.onRepartition(RepartitionReport{
 				Moves:      len(rp.moves),
@@ -188,16 +146,4 @@ func (e *Engine) finishRepartition(rt *opRuntime, rp *rcRepartition) {
 		}
 		e.replayPaused(rt)
 	})
-}
-
-// DebugRC toggles per-tick RC controller tracing (tests only).
-func DebugRC(on bool) { debugRC = on }
-
-// perExecutorLoads aggregates shard loads by owning executor.
-func perExecutorLoads(loads []float64, assign []int, execs int) []float64 {
-	per := make([]float64, execs)
-	for sh, ex := range assign {
-		per[ex] += loads[sh]
-	}
-	return per
 }

@@ -11,7 +11,11 @@ import (
 // Report is the measurement output of one engine run. All tuple counts are
 // in real-tuple units (batch weights unfolded).
 type Report struct {
-	Paradigm     Paradigm
+	// Paradigm identifies the built-in paradigm, or -1 for a custom policy.
+	Paradigm Paradigm
+	// Policy is the registry name of the control plane that produced the run
+	// (equals Paradigm.String() for the four built-ins).
+	Policy       string
 	Duration     simtime.Duration
 	MeasuredSpan simtime.Duration // Duration minus warm-up
 
@@ -62,9 +66,10 @@ type Report struct {
 	seriesReady bool
 }
 
-func newReport(p Paradigm) *Report {
+func newReport(p Paradigm, policyName string) *Report {
 	return &Report{
 		Paradigm:   p,
+		Policy:     policyName,
 		Latency:    metrics.NewHistogram(),
 		procRate:   metrics.NewRate(simtime.Second),
 		winLatency: metrics.NewHistogram(),
@@ -124,8 +129,12 @@ func (r *Report) MeanSchedulingWall() time.Duration {
 
 // String summarizes the run.
 func (r *Report) String() string {
+	name := r.Policy
+	if name == "" {
+		name = r.Paradigm.String()
+	}
 	return fmt.Sprintf("%s: thr=%.0f/s meanLat=%v p99=%v gen=%d proc=%d blocked=%d migr=%.1fMB remote=%.1fMB reassign=%d repart=%d",
-		r.Paradigm, r.ThroughputMean, r.Latency.Mean(), r.Latency.Quantile(0.99),
+		name, r.ThroughputMean, r.Latency.Mean(), r.Latency.Quantile(0.99),
 		r.Generated, r.Processed, r.Blocked,
 		float64(r.MigrationBytes+r.RepartitionBytes)/(1<<20), float64(r.RemoteTransferBytes)/(1<<20),
 		r.Reassignments, r.Repartitions)

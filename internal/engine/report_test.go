@@ -9,7 +9,7 @@ import (
 )
 
 func TestReportWarmupFiltering(t *testing.T) {
-	r := newReport(Elasticutor)
+	r := newReport(Elasticutor, "elasticutor")
 	warm := 5 * simtime.Second
 	r.observeGenerated(simtime.Time(simtime.Second), 10, warm) // inside warm-up
 	r.observeGenerated(simtime.Time(6*simtime.Second), 10, warm)
@@ -26,7 +26,7 @@ func TestReportWarmupFiltering(t *testing.T) {
 }
 
 func TestReportFinalizeRates(t *testing.T) {
-	r := newReport(Static)
+	r := newReport(Static, "static")
 	r.Processed = 50000
 	r.MigrationBytes = 10 << 20
 	r.RepartitionBytes = 10 << 20
@@ -45,7 +45,7 @@ func TestReportFinalizeRates(t *testing.T) {
 }
 
 func TestReportSchedulingWall(t *testing.T) {
-	r := newReport(Elasticutor)
+	r := newReport(Elasticutor, "elasticutor")
 	if r.MeanSchedulingWall() != 0 {
 		t.Fatal("empty scheduling wall should be 0")
 	}
@@ -56,7 +56,7 @@ func TestReportSchedulingWall(t *testing.T) {
 }
 
 func TestReportString(t *testing.T) {
-	r := newReport(ResourceCentric)
+	r := newReport(ResourceCentric, "rc")
 	r.MeasuredSpan = simtime.Second
 	r.finalize()
 	s := r.String()

@@ -7,10 +7,12 @@ import (
 	"repro/internal/stream"
 )
 
-// startSources schedules the emission loops of every source instance.
+// startSources schedules the emission loops of every source instance, in
+// topology order so event sequence numbers never depend on map iteration.
 func (e *Engine) startSources() {
-	for opID, instances := range e.sources {
-		drv := e.cfg.Sources[opID]
+	for _, op := range e.cfg.Topology.Sources() {
+		instances := e.sources[op.ID]
+		drv := e.cfg.Sources[op.ID]
 		for i, inst := range instances {
 			inst := inst
 			drv := drv
@@ -68,9 +70,10 @@ func (e *Engine) emitOne(inst *sourceInstance, drv *SourceDriver) {
 		if e.inflight[ex]+t.Weight > e.cfg.MaxInFlight {
 			e.r.Blocked += int64(t.Weight)
 			e.blockedW[ex] += int64(t.Weight)
-			if e.cfg.Paradigm == ResourceCentric {
-				// The RC controller must see the *offered* per-shard load,
-				// or a saturated executor looks deceptively balanced.
+			if rt.opShardLoad != nil {
+				// A dynamic-routing controller must see the *offered*
+				// per-shard load, or a saturated executor looks deceptively
+				// balanced.
 				rt.opShardLoad[t.Key.OperatorShard(e.cfg.OpShards)] += float64(t.Weight)
 			}
 			return
@@ -82,13 +85,11 @@ func (e *Engine) emitOne(inst *sourceInstance, drv *SourceDriver) {
 	}
 }
 
-// targetExecutor resolves operator-level routing for a key under the current
-// paradigm: a dynamic shard map for RC, the static hash for everyone else.
+// targetExecutor resolves operator-level routing for a key through the
+// policy's routing hook (a dynamic shard map for rc, the static hash for
+// everyone else).
 func (e *Engine) targetExecutor(rt *opRuntime, k stream.Key) *executor.Executor {
-	if e.cfg.Paradigm == ResourceCentric {
-		return rt.execs[rt.opRouting[k.OperatorShard(e.cfg.OpShards)]]
-	}
-	return rt.execs[k.ExecutorIndex(len(rt.execs))]
+	return rt.execs[e.pol.Route(rt, k)]
 }
 
 // route delivers tuple t to operator d's responsible executor, charging the
@@ -101,7 +102,7 @@ func (e *Engine) route(fromNode cluster.NodeID, d stream.OperatorID, t stream.Tu
 		rt.pauseBuf = append(rt.pauseBuf, pendingTuple{from: fromNode, t: t})
 		return
 	}
-	if e.cfg.Paradigm == ResourceCentric {
+	if rt.opShardLoad != nil {
 		rt.opShardLoad[t.Key.OperatorShard(e.cfg.OpShards)] += float64(t.Weight)
 	}
 	ex := e.targetExecutor(rt, t.Key)

@@ -578,7 +578,10 @@ func (e *Executor) RemoveCore(core cluster.CoreID) bool {
 	victim.removed = true
 	e.live--
 	// Move every shard owned by the victim to the least-loaded survivor via
-	// the normal consistency protocol.
+	// the normal consistency protocol. Shards move in ID order: each
+	// reassignment shifts the survivors' pending load, so map-iteration
+	// order here would make the destination choice nondeterministic.
+	var moving []state.ShardID
 	for s, id := range e.routing {
 		if id != victim.id {
 			continue
@@ -586,6 +589,10 @@ func (e *Executor) RemoveCore(core cluster.CoreID) bool {
 		if e.pausedBy[s] != nil {
 			continue // already moving; completion re-checks removal
 		}
+		moving = append(moving, s)
+	}
+	sortShards(moving)
+	for _, s := range moving {
 		dst := e.leastLoadedTask(victim.id)
 		victim.removed = false // taskFor must still resolve the source
 		e.ReassignShard(s, dst.id, nil)
@@ -788,21 +795,27 @@ func (e *Executor) TaskOnNode(n cluster.NodeID) (TaskID, bool) {
 	return 0, false
 }
 
-// AnyShardNotOn returns some shard whose owner is not the given task and is
-// not currently being reassigned. Lazily routes shard 0 if the executor has
+// AnyShardNotOn returns the lowest-ID shard whose owner is not the given
+// task and is not currently being reassigned (lowest rather than map order:
+// the chosen shard's queue depth decides the measured protocol timings, so
+// the pick must be deterministic). Lazily routes shard 0 if the executor has
 // never seen a tuple, so the protocol experiments always have a subject.
 func (e *Executor) AnyShardNotOn(dst TaskID) (state.ShardID, bool) {
 	if len(e.routing) == 0 {
 		e.taskFor(0)
 	}
+	var best state.ShardID
+	found := false
 	for s, owner := range e.routing {
 		if owner != dst && e.pausedBy[s] == nil {
 			if t := e.tasks[owner]; t != nil && !t.removed {
-				return s, true
+				if !found || s < best {
+					best, found = s, true
+				}
 			}
 		}
 	}
-	return 0, false
+	return best, found
 }
 
 // SetStateBytesPerShard overrides the nominal shard state size for all of

@@ -44,11 +44,15 @@ func ablateStateSharing(s Scale) Table {
 		Header: []string{"variant", "thr(K/s)", "mean-lat(ms)", "migrated(MB)"},
 		Notes:  "sharing makes same-node shard moves free; without it every rebalance serializes state",
 	}
-	for _, off := range []bool{false, true} {
-		r := ablationRun(s, func(o *core.MicroOptions) {
+	variants := []bool{false, true}
+	reports := pmap(variants, func(off bool) *engine.Report {
+		return ablationRun(s, func(o *core.MicroOptions) {
 			o.Spec.ShardStateKB = 1024
 			o.DisableStateSharing = off
 		})
+	})
+	for i, off := range variants {
+		r := reports[i]
 		name := "sharing (paper)"
 		if off {
 			name = "no sharing"
@@ -68,10 +72,14 @@ func ablateLocality(s Scale) Table {
 		Header: []string{"scheduler", "thr(K/s)", "migrated(MB)", "remote(MB)"},
 		Notes:  "the naive assigner ignores migration cost and locality (§5.4 naive-EC)",
 	}
-	for _, p := range []engine.Paradigm{engine.Elasticutor, engine.NaiveEC} {
-		r := runMicro(s, p, 8, 0, func(o *core.MicroOptions) {
+	paradigms := []engine.Paradigm{engine.Elasticutor, engine.NaiveEC}
+	reports := pmap(paradigms, func(p engine.Paradigm) *engine.Report {
+		return runMicro(s, p, 8, 0, func(o *core.MicroOptions) {
 			o.Spec.TupleBytes = 2048
 		})
+	})
+	for i, p := range paradigms {
+		r := reports[i]
 		name := "algorithm 1"
 		if p == engine.NaiveEC {
 			name = "naive"
@@ -92,8 +100,12 @@ func ablateTheta(s Scale) Table {
 		Header: []string{"theta", "thr(K/s)", "mean-lat(ms)", "reassigns"},
 		Notes:  "θ→1 chases noise with constant reassignments; large θ tolerates imbalance (paper picks 1.2)",
 	}
-	for _, theta := range []float64{1.05, 1.2, 1.5, 2.0} {
-		r := ablationRun(s, func(o *core.MicroOptions) { o.Theta = theta })
+	thetas := []float64{1.05, 1.2, 1.5, 2.0}
+	reports := pmap(thetas, func(theta float64) *engine.Report {
+		return ablationRun(s, func(o *core.MicroOptions) { o.Theta = theta })
+	})
+	for i, theta := range thetas {
+		r := reports[i]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.2f", theta), fmtKTuples(r.ThroughputMean),
 			fmtMS(r.Latency.Mean()), fmt.Sprintf("%d", r.Reassignments),
@@ -109,8 +121,12 @@ func ablateCadence(s Scale) Table {
 		Header: []string{"period", "thr(K/s)", "mean-lat(ms)"},
 		Notes:  "slow scheduling reacts late to shuffles; very fast scheduling churns cores",
 	}
-	for _, period := range []simtime.Duration{250 * simtime.Millisecond, simtime.Second, 4 * simtime.Second} {
-		r := ablationRun(s, func(o *core.MicroOptions) { o.SchedulePeriod = period })
+	periods := []simtime.Duration{250 * simtime.Millisecond, simtime.Second, 4 * simtime.Second}
+	reports := pmap(periods, func(period simtime.Duration) *engine.Report {
+		return ablationRun(s, func(o *core.MicroOptions) { o.SchedulePeriod = period })
+	})
+	for i, period := range periods {
+		r := reports[i]
 		t.Rows = append(t.Rows, []string{
 			period.String(), fmtKTuples(r.ThroughputMean), fmtMS(r.Latency.Mean()),
 		})

@@ -93,28 +93,52 @@ func Fig10(s Scale) []Table {
 		Header: append([]string{"cores"}, labelsFromSizes()...),
 		Notes:  "paper: 8KB tuples stop scaling past ~16 cores (NIC saturation at the main process)",
 	}
+	reports := runSingleExecutorGrid(s, 1.3, 0)
+	i := 0
 	for _, n := range coreCounts(s) {
 		rowA := []string{fmt.Sprintf("%d", n)}
 		for _, c := range fig10Costs {
-			spec := workload.DefaultSpec()
-			spec.CPUCost = c
-			r := runSingleExecutor(s, n, spec, 1.3, 0)
 			ideal := float64(n) / c.Seconds()
-			rowA = append(rowA, fmt.Sprintf("%.2f", r.ThroughputMean/ideal))
+			rowA = append(rowA, fmt.Sprintf("%.2f", reports[i].ThroughputMean/ideal))
+			i++
 		}
 		ta.Rows = append(ta.Rows, rowA)
 
 		rowB := []string{fmt.Sprintf("%d", n)}
-		for _, b := range fig10Sizes {
-			spec := workload.DefaultSpec()
-			spec.TupleBytes = b
-			r := runSingleExecutor(s, n, spec, 1.3, 0)
-			ideal := float64(n) / spec.CPUCost.Seconds()
-			rowB = append(rowB, fmt.Sprintf("%.2f", r.ThroughputMean/ideal))
+		for range fig10Sizes {
+			ideal := float64(n) / workload.DefaultSpec().CPUCost.Seconds()
+			rowB = append(rowB, fmt.Sprintf("%.2f", reports[i].ThroughputMean/ideal))
+			i++
 		}
 		tb.Rows = append(tb.Rows, rowB)
 	}
 	return []Table{ta, tb}
+}
+
+// runSingleExecutorGrid runs the Fig 10/11 sweep — for each core count, the
+// four CPU costs then the four tuple sizes — concurrently, returning reports
+// in that order.
+func runSingleExecutorGrid(s Scale, loadFactor, omega float64) []*engine.Report {
+	type cell struct {
+		n    int
+		spec workload.Spec
+	}
+	var cells []cell
+	for _, n := range coreCounts(s) {
+		for _, c := range fig10Costs {
+			spec := workload.DefaultSpec()
+			spec.CPUCost = c
+			cells = append(cells, cell{n, spec})
+		}
+		for _, b := range fig10Sizes {
+			spec := workload.DefaultSpec()
+			spec.TupleBytes = b
+			cells = append(cells, cell{n, spec})
+		}
+	}
+	return pmap(cells, func(c cell) *engine.Report {
+		return runSingleExecutor(s, c.n, c.spec, loadFactor, omega)
+	})
 }
 
 // Fig11 reproduces Figure 11: the 99th-percentile latency of a single
@@ -132,22 +156,20 @@ func Fig11(s Scale) []Table {
 		Header: append([]string{"cores"}, labelsFromSizes()...),
 		Notes:  "paper: large tuples blow up latency once remote transfer saturates; bounded by backpressure",
 	}
+	reports := runSingleExecutorGrid(s, 0.7, 0)
+	i := 0
 	for _, n := range coreCounts(s) {
 		rowA := []string{fmt.Sprintf("%d", n)}
-		for _, c := range fig10Costs {
-			spec := workload.DefaultSpec()
-			spec.CPUCost = c
-			r := runSingleExecutor(s, n, spec, 0.7, 0)
-			rowA = append(rowA, fmtMS(r.Latency.Quantile(0.99)))
+		for range fig10Costs {
+			rowA = append(rowA, fmtMS(reports[i].Latency.Quantile(0.99)))
+			i++
 		}
 		ta.Rows = append(ta.Rows, rowA)
 
 		rowB := []string{fmt.Sprintf("%d", n)}
-		for _, b := range fig10Sizes {
-			spec := workload.DefaultSpec()
-			spec.TupleBytes = b
-			r := runSingleExecutor(s, n, spec, 0.7, 0)
-			rowB = append(rowB, fmtMS(r.Latency.Quantile(0.99)))
+		for range fig10Sizes {
+			rowB = append(rowB, fmtMS(reports[i].Latency.Quantile(0.99)))
+			i++
 		}
 		tb.Rows = append(tb.Rows, rowB)
 	}
@@ -161,7 +183,26 @@ var fig12Sizes = []int{32, 512, 8192, 32768} // KB
 // different shard state sizes at ω = 2 and ω = 16 (elasticity operational
 // cost: bigger state + more dynamics = more migration drag).
 func Fig12(s Scale) []Table {
+	type cell struct {
+		omega float64
+		n     int
+		kb    int
+	}
+	var cells []cell
+	for _, omega := range []float64{2, 16} {
+		for _, n := range coreCounts(s) {
+			for _, kb := range fig12Sizes {
+				cells = append(cells, cell{omega, n, kb})
+			}
+		}
+	}
+	reports := pmap(cells, func(c cell) *engine.Report {
+		spec := workload.DefaultSpec()
+		spec.ShardStateKB = c.kb
+		return runSingleExecutor(s, c.n, spec, 1.3, c.omega)
+	})
 	var tables []Table
+	i := 0
 	for _, omega := range []float64{2, 16} {
 		t := Table{
 			ID:     fmt.Sprintf("fig12-omega%d", int(omega)),
@@ -171,12 +212,10 @@ func Fig12(s Scale) []Table {
 		}
 		for _, n := range coreCounts(s) {
 			row := []string{fmt.Sprintf("%d", n)}
-			for _, kb := range fig12Sizes {
-				spec := workload.DefaultSpec()
-				spec.ShardStateKB = kb
-				r := runSingleExecutor(s, n, spec, 1.3, omega)
-				ideal := float64(n) / spec.CPUCost.Seconds()
-				row = append(row, fmt.Sprintf("%.2f", r.ThroughputMean/ideal))
+			for range fig12Sizes {
+				ideal := float64(n) / workload.DefaultSpec().CPUCost.Seconds()
+				row = append(row, fmt.Sprintf("%.2f", reports[i].ThroughputMean/ideal))
+				i++
 			}
 			t.Rows = append(t.Rows, row)
 		}

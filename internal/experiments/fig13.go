@@ -42,9 +42,32 @@ func fig13Zs(s Scale) []int {
 // number of executors per operator (y) and shards per executor (z), under
 // the three workloads, with static and RC throughput as reference lines.
 func Fig13(s Scale) []Table {
-	d := dimensions(s)
+	type cell struct {
+		p    engine.Paradigm
+		wl   int // index into fig13Workloads()
+		y, z int // 0,0 for the reference-line runs
+	}
+	workloads := fig13Workloads()
+	var cells []cell
+	for w := range workloads {
+		for _, y := range fig13Ys(s) {
+			for _, z := range fig13Zs(s) {
+				cells = append(cells, cell{engine.Elasticutor, w, y, z})
+			}
+		}
+		// Reference lines: the static and RC approaches on the same workload.
+		cells = append(cells, cell{engine.Static, w, 0, 0}, cell{engine.ResourceCentric, w, 0, 0})
+	}
+	reports := pmap(cells, func(c cell) *engine.Report {
+		return runMicro(s, c.p, 0, 0, func(o *core.MicroOptions) {
+			workloads[c.wl].mutate(&o.Spec)
+			o.Y = c.y
+			o.Z = c.z
+		})
+	})
 	var tables []Table
-	for _, wl := range fig13Workloads() {
+	i := 0
+	for _, wl := range workloads {
 		t := Table{
 			ID:     fmt.Sprintf("fig13-%s", shortName(wl.name)),
 			Title:  fmt.Sprintf("Throughput (K tuples/s), workload: %s", wl.name),
@@ -54,28 +77,18 @@ func Fig13(s Scale) []Table {
 		}
 		for _, y := range fig13Ys(s) {
 			row := []string{fmt.Sprintf("%d", y)}
-			for _, z := range fig13Zs(s) {
-				r := runMicro(s, engine.Elasticutor, 0, 0, func(o *core.MicroOptions) {
-					wl.mutate(&o.Spec)
-					o.Y = y
-					o.Z = z
-				})
-				row = append(row, fmtKTuples(r.ThroughputMean))
+			for range fig13Zs(s) {
+				row = append(row, fmtKTuples(reports[i].ThroughputMean))
+				i++
 			}
 			t.Rows = append(t.Rows, row)
 		}
-		// Reference lines: the static and RC approaches on the same workload.
-		static := runMicro(s, engine.Static, 0, 0, func(o *core.MicroOptions) {
-			wl.mutate(&o.Spec)
-		})
-		rc := runMicro(s, engine.ResourceCentric, 0, 0, func(o *core.MicroOptions) {
-			wl.mutate(&o.Spec)
-		})
-		t.Rows = append(t.Rows, []string{"static", fmtKTuples(static.ThroughputMean)})
-		t.Rows = append(t.Rows, []string{"rc", fmtKTuples(rc.ThroughputMean)})
+		t.Rows = append(t.Rows, []string{"static", fmtKTuples(reports[i].ThroughputMean)})
+		i++
+		t.Rows = append(t.Rows, []string{"rc", fmtKTuples(reports[i].ThroughputMean)})
+		i++
 		tables = append(tables, t)
 	}
-	_ = d
 	return tables
 }
 

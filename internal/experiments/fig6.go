@@ -78,18 +78,33 @@ func Fig6(s Scale) []Table {
 	// shuffles land inside the measured span.
 	dur := 34 * simtime.Second
 	warm := 12 * simtime.Second
+	type cell struct {
+		omega float64
+		p     engine.Paradigm
+	}
+	var cells []cell
+	for _, omega := range fig6Omegas(s) {
+		for _, p := range fig6Paradigms {
+			cells = append(cells, cell{omega, p})
+		}
+	}
+	reports := pmap(cells, func(c cell) *engine.Report {
+		// 90% of the cluster's CPU-bound capacity: high enough that the
+		// baselines' effective capacity loss shows up as lost throughput
+		// and queueing latency, low enough that a well-balanced system
+		// keeps milliseconds-level latency (the paper's regime).
+		return runMicro(s, c.p, c.omega, dur, func(o *core.MicroOptions) {
+			sustainableRate(o)
+			o.WarmUp = warm
+		})
+	})
+	i := 0
 	for _, omega := range fig6Omegas(s) {
 		thrRow := []string{fmtF(omega)}
 		latRow := []string{fmtF(omega)}
-		for _, p := range fig6Paradigms {
-			// 90% of the cluster's CPU-bound capacity: high enough that the
-			// baselines' effective capacity loss shows up as lost throughput
-			// and queueing latency, low enough that a well-balanced system
-			// keeps milliseconds-level latency (the paper's regime).
-			r := runMicro(s, p, omega, dur, func(o *core.MicroOptions) {
-				sustainableRate(o)
-				o.WarmUp = warm
-			})
+		for range fig6Paradigms {
+			r := reports[i]
+			i++
 			thrRow = append(thrRow, fmtKTuples(r.ThroughputMean))
 			latRow = append(latRow, fmtMS(r.Latency.Mean()))
 		}
@@ -106,12 +121,15 @@ func Fig7(s Scale) []Table {
 	if s == Quick {
 		duration = 65 * simtime.Second
 	}
-	series := make(map[engine.Paradigm]*engine.Report)
-	for _, p := range fig6Paradigms {
-		series[p] = runMicro(s, p, 2, duration, func(o *core.MicroOptions) {
+	reports := pmap(fig6Paradigms, func(p engine.Paradigm) *engine.Report {
+		return runMicro(s, p, 2, duration, func(o *core.MicroOptions) {
 			sustainableRate(o)
 			o.WarmUp = 3 * simtime.Second
 		})
+	})
+	series := make(map[engine.Paradigm]*engine.Report)
+	for i, p := range fig6Paradigms {
+		series[p] = reports[i]
 	}
 	t := Table{
 		ID:     "fig7",

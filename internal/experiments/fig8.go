@@ -133,10 +133,15 @@ func Fig8(s Scale) []Table {
 		o.SourceExecutors = 32
 		o.SourcesFree = true
 	}
-	rcIntra := measureRC(s, false, fanIn)
-	rcInter := measureRC(s, true, fanIn)
-	ecIntra := measureEC(s, false, fanIn)
-	ecInter := measureEC(s, true, fanIn)
+	type cell struct{ rc, inter bool }
+	timings := pmap([]cell{{true, false}, {true, true}, {false, false}, {false, true}},
+		func(c cell) protoTimings {
+			if c.rc {
+				return measureRC(s, c.inter, fanIn)
+			}
+			return measureEC(s, c.inter, fanIn)
+		})
+	rcIntra, rcInter, ecIntra, ecInter := timings[0], timings[1], timings[2], timings[3]
 	t := Table{
 		ID:     "fig8",
 		Title:  "Shard reassignment time breakdown (ms)",
@@ -170,13 +175,26 @@ func Fig9a(s Scale) []Table {
 		Header: []string{"upstream", "rc", "elasticutor"},
 		Notes:  "paper: RC grows with fan-in (hundreds of ms); Elasticutor flat ~2 ms",
 	}
+	type cell struct {
+		u  int
+		ec bool
+	}
+	var cells []cell
 	for _, u := range upstreams {
+		cells = append(cells, cell{u, false}, cell{u, true})
+	}
+	timings := pmap(cells, func(c cell) protoTimings {
 		mutate := func(o *core.MicroOptions) {
-			o.SourceExecutors = u
+			o.SourceExecutors = c.u
 			o.SourcesFree = true // fan-in beyond core count (see DESIGN.md)
 		}
-		rc := measureRC(s, false, mutate)
-		ec := measureEC(s, false, mutate)
+		if c.ec {
+			return measureEC(s, false, mutate)
+		}
+		return measureRC(s, false, mutate)
+	})
+	for i, u := range upstreams {
+		rc, ec := timings[2*i], timings[2*i+1]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", u), fmtMS(rc.sync), fmtMS(ec.sync),
 		})
@@ -194,15 +212,29 @@ func Fig9b(s Scale) []Table {
 		Header: []string{"state", "rc-intra", "rc-inter", "ec-intra", "ec-inter"},
 		Notes:  "paper: intra-node ~0 (state sharing); inter-node dominated by wire time at 32 MB",
 	}
+	type cell struct {
+		kb        int
+		rc, inter bool
+	}
+	var cells []cell
 	for _, kb := range sizesKB {
+		cells = append(cells,
+			cell{kb, true, false}, cell{kb, true, true},
+			cell{kb, false, false}, cell{kb, false, true})
+	}
+	timings := pmap(cells, func(c cell) protoTimings {
 		mutate := func(o *core.MicroOptions) {
 			o.Spec = workload.DefaultSpec()
-			o.Spec.ShardStateKB = kb
+			o.Spec.ShardStateKB = c.kb
 		}
-		rcIntra := measureRC(s, false, mutate)
-		rcInter := measureRC(s, true, mutate)
-		ecIntra := measureEC(s, false, mutate)
-		ecInter := measureEC(s, true, mutate)
+		if c.rc {
+			return measureRC(s, c.inter, mutate)
+		}
+		return measureEC(s, c.inter, mutate)
+	})
+	for i, kb := range sizesKB {
+		rcIntra, rcInter := timings[4*i], timings[4*i+1]
+		ecIntra, ecInter := timings[4*i+2], timings[4*i+3]
 		label := fmt.Sprintf("%dKB", kb)
 		if kb >= 1024 {
 			label = fmt.Sprintf("%dMB", kb/1024)

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"repro/internal/harness"
+)
+
+// pmap fans fn over items on the package-default harness runner and returns
+// the results in item order. Every experiment's trials are independent
+// engine runs with engine-local seeds, so results — and therefore the
+// printed tables — are identical whether one worker or many execute them;
+// see internal/harness for the guarantees. Worker count follows the CLI's
+// -parallel flag (harness.SetDefaultWorkers).
+func pmap[T, R any](items []T, fn func(T) R) []R {
+	return harness.MustMap(harness.Default(), items, func(_ *harness.Ctx, it T) R {
+		return fn(it)
+	})
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// fig8Bytes renders the Fig 8 tables exactly like the CLI does.
+func fig8Bytes() []byte {
+	var buf bytes.Buffer
+	for _, tab := range Fig8(Quick) {
+		tab.Print(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestFig8GoldenAcrossWorkerCounts pins the parallel harness to the
+// sequential seed: the experiment must emit the exact table captured before
+// the harness existed, whether one worker or several run the trials.
+// Regenerate testdata with `go run ./tools/gengolden` only for intended
+// behavior changes.
+func TestFig8GoldenAcrossWorkerCounts(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig8_quick.golden")
+	if err != nil {
+		t.Fatalf("missing golden file (run `go run ./tools/gengolden`): %v", err)
+	}
+	defer harness.SetDefaultWorkers(0)
+	for _, workers := range []int{1, 4} {
+		harness.SetDefaultWorkers(workers)
+		got := fig8Bytes()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("fig8 with %d workers diverged from the sequential golden:\n--- want ---\n%s--- got ---\n%s",
+				workers, want, got)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/harness"
 	"repro/internal/simtime"
 	"repro/internal/workload/sse"
 )
@@ -117,9 +118,12 @@ func Fig16(s Scale) []Table {
 	if s == Quick {
 		dur = 40 * simtime.Second
 	}
+	results := pmap(sseParadigms, func(p engine.Paradigm) *engine.Report {
+		return runSSE(s, p, 0, dur)
+	})
 	reports := make(map[engine.Paradigm]*engine.Report, len(sseParadigms))
-	for _, p := range sseParadigms {
-		reports[p] = runSSE(s, p, 0, dur)
+	for i, p := range sseParadigms {
+		reports[p] = results[i]
 	}
 	thr := Table{
 		ID:     "fig16a",
@@ -171,8 +175,9 @@ func Table2(s Scale) []Table {
 	if s == Quick {
 		dur = 30 * simtime.Second
 	}
-	naive := runSSE(s, engine.NaiveEC, 0, dur)
-	ec := runSSE(s, engine.Elasticutor, 0, dur)
+	results := pmap([]engine.Paradigm{engine.NaiveEC, engine.Elasticutor},
+		func(p engine.Paradigm) *engine.Report { return runSSE(s, p, 0, dur) })
+	naive, ec := results[0], results[1]
 	t := Table{
 		ID:     "table2",
 		Title:  "Elasticity traffic: naive-EC vs Elasticutor (MB/s)",
@@ -198,8 +203,16 @@ func Table3(s Scale) []Table {
 		Notes:  "paper: throughput grows near-linearly; scheduling stays at a few ms",
 	}
 	dur := 30 * simtime.Second
-	for _, n := range nodeCounts {
-		r := runSSE(s, engine.Elasticutor, n, dur)
+	// Sequential on purpose: the scheduling-time column is a *wall-clock*
+	// microbenchmark (Table 3's metric), and concurrent trials contending
+	// for CPUs would inflate it. Every other column is virtual-time and
+	// worker-count independent.
+	reports := harness.MustMap(&harness.Runner{Workers: 1}, nodeCounts,
+		func(_ *harness.Ctx, n int) *engine.Report {
+			return runSSE(s, engine.Elasticutor, n, dur)
+		})
+	for i, n := range nodeCounts {
+		r := reports[i]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", n),
 			fmtKTuples(r.ThroughputMean),

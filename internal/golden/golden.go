@@ -1,0 +1,148 @@
+// Package golden defines a fixed set of deterministic reference scenarios and
+// renders their reports as stable text fingerprints. The fingerprints captured
+// from the pre-policy engine (tools/gengolden) are committed under
+// internal/policy/testdata; the policy and harness tests regenerate them and
+// require byte equality, guaranteeing that the pluggable control planes
+// reproduce the monolithic paradigm switch exactly, event for event.
+package golden
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// Scenario is one deterministic reference run.
+type Scenario struct {
+	Name string
+	Run  func() *engine.Report
+}
+
+// microScenario builds a small micro-benchmark run that exercises the
+// paradigm's full control plane: skewed keys, shuffles, and enough load that
+// the RC controller repartitions and the dynamic scheduler moves cores.
+func microScenario(p engine.Paradigm) Scenario {
+	return Scenario{
+		Name: "micro/" + p.String(),
+		Run: func() *engine.Report {
+			spec := workload.DefaultSpec()
+			spec.Keys = 600
+			spec.Skew = 0.6
+			spec.ShufflesPerMin = 20 // one shuffle every 3 s
+			m, err := core.NewMicro(core.MicroOptions{
+				Paradigm:        p,
+				Nodes:           4,
+				SourceExecutors: 4,
+				Y:               4,
+				Z:               64,
+				OpShards:        256,
+				Spec:            spec,
+				Rate:            20000,
+				Seed:            5,
+				WarmUp:          2 * simtime.Second,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("golden micro %v: %v", p, err))
+			}
+			return m.Engine.Run(10 * simtime.Second)
+		},
+	}
+}
+
+// sseScenario builds a small stock-exchange run covering the multi-operator
+// topology (YPerOp, MeasureOp, sink latency wiring).
+func sseScenario(p engine.Paradigm) Scenario {
+	return Scenario{
+		Name: "sse/" + p.String(),
+		Run: func() *engine.Report {
+			app, err := core.NewSSE(core.SSEOptions{
+				Paradigm:        p,
+				Nodes:           2,
+				SourceExecutors: 2,
+				Y:               2,
+				Z:               16,
+				OpShards:        64,
+				Seed:            99,
+				WarmUp:          2 * simtime.Second,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("golden sse %v: %v", p, err))
+			}
+			return app.Engine.Run(8 * simtime.Second)
+		},
+	}
+}
+
+// Scenarios lists every reference run in a fixed order.
+func Scenarios() []Scenario {
+	var out []Scenario
+	for _, p := range []engine.Paradigm{
+		engine.Static, engine.ResourceCentric, engine.NaiveEC, engine.Elasticutor,
+	} {
+		out = append(out, microScenario(p))
+	}
+	for _, p := range []engine.Paradigm{
+		engine.Static, engine.ResourceCentric, engine.NaiveEC, engine.Elasticutor,
+	} {
+		out = append(out, sseScenario(p))
+	}
+	return out
+}
+
+// Fingerprint renders every deterministic field of a report. Events is the
+// strongest signal: two runs executing the same number of simulation events
+// with equal counters are, for all practical purposes, the same event trace.
+// Wall-clock scheduling times are deliberately excluded.
+func Fingerprint(name string, r *engine.Report) string {
+	return fmt.Sprintf("%s gen=%d proc=%d blocked=%d dropped=%d events=%d "+
+		"thr=%.3f latMean=%d latP50=%d latP99=%d latMax=%d "+
+		"reassign=%d intra=%d inter=%d migB=%d remoteB=%d syncT=%d migT=%d "+
+		"repart=%d repMoves=%d repB=%d repSync=%d repTime=%d "+
+		"thrSeries=%d latSeries=%d",
+		name, r.Generated, r.Processed, r.Blocked, r.Dropped, r.Events,
+		r.ThroughputMean,
+		int64(r.Latency.Mean()), int64(r.Latency.Quantile(0.5)),
+		int64(r.Latency.Quantile(0.99)), int64(r.Latency.Max()),
+		r.Reassignments, r.IntraNodeReassigns, r.InterNodeReassigns,
+		r.MigrationBytes, r.RemoteTransferBytes,
+		int64(r.SyncTimeTotal), int64(r.MigrationTimeTotal),
+		r.Repartitions, r.RepartitionMove, r.RepartitionBytes,
+		int64(r.RepartitionSync), int64(r.RepartitionTime),
+		r.ThroughputSeries.Len(), r.LatencySeries.Len())
+}
+
+// Generate runs every scenario sequentially and returns the joined
+// fingerprint block (one line per scenario, trailing newline).
+func Generate() string {
+	var b strings.Builder
+	for _, s := range Scenarios() {
+		fmt.Fprintln(&b, Fingerprint(s.Name, s.Run()))
+	}
+	return b.String()
+}
+
+// MicroWithPolicy runs a short micro-benchmark under an explicitly injected
+// policy (the third-party extension path, bypassing Paradigm).
+func MicroWithPolicy(pol policy.Policy) *engine.Report {
+	spec := workload.DefaultSpec()
+	spec.Keys = 500
+	m, err := core.NewMicro(core.MicroOptions{
+		Policy:          pol,
+		Nodes:           2,
+		SourceExecutors: 2,
+		Y:               2,
+		Z:               16,
+		Spec:            spec,
+		Rate:            2000,
+		Seed:            11,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("golden custom-policy micro: %v", err))
+	}
+	return m.Engine.Run(4 * simtime.Second)
+}

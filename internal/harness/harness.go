@@ -1,0 +1,214 @@
+// Package harness fans independent simulation trials out across worker
+// goroutines with deterministic results: output order is trial order, each
+// trial gets a deterministically forked RNG (independent of worker count and
+// scheduling), and panics or errors surface exactly as they would have under
+// sequential execution — lowest trial index first, later trials cancelled.
+//
+// Safe parallelism rests on the engines being fully self-contained: one
+// engine owns its clock, RNG, cluster, and report, and shares nothing (the
+// NavarchProject per-instance-clock discipline). Trials must therefore build
+// everything they touch inside the trial function — sharing a Zipf sampler,
+// generator, or engine across trials reintroduces nondeterminism.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+)
+
+// Ctx is the per-trial context.
+type Ctx struct {
+	// Index is the trial's position in the submitted order.
+	Index int
+	// Rand is a deterministic RNG forked from the runner's seed by trial
+	// index: the same trial always sees the same stream, no matter how many
+	// workers run or how they interleave.
+	Rand *simtime.Rand
+}
+
+// defaultWorkers is the process-wide worker count used by runners with
+// Workers == 0; itself 0 means runtime.GOMAXPROCS(0). The CLIs set it from
+// their -parallel flag.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker count (n <= 0
+// restores the GOMAXPROCS default).
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the process-wide default worker count.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Runner executes trials. The zero value is ready to use: default workers,
+// seed 0.
+type Runner struct {
+	// Workers caps concurrent trials; 0 uses DefaultWorkers(), 1 runs
+	// sequentially in the caller's goroutine.
+	Workers int
+	// Seed is the root of the per-trial RNG forks.
+	Seed uint64
+}
+
+// Default returns a runner with the process-wide default worker count.
+func Default() *Runner { return &Runner{} }
+
+func (r *Runner) workers(trials int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = DefaultWorkers()
+	}
+	if w > trials {
+		w = trials
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// TrialPanic carries a recovered trial panic back to the calling goroutine,
+// preserving the original panic value so recover-based handling works the
+// same for any worker count (with Workers == 1 the original value unwinds
+// directly).
+type TrialPanic struct {
+	// Index is the panicking trial's index.
+	Index int
+	// Value is the original panic value.
+	Value interface{}
+}
+
+// String formats the panic for the default crash output.
+func (p TrialPanic) String() string {
+	return fmt.Sprintf("harness: trial %d panicked: %v", p.Index, p.Value)
+}
+
+// run executes fn for every index in [0, n), returning the lowest-index
+// error. After any error or panic, undispatched trials are skipped (the
+// sequential semantics: later trials never ran). The lowest-index panic is
+// re-raised in the caller.
+func (r *Runner) run(n int, fn func(*Ctx) error) error {
+	if n <= 0 {
+		return nil
+	}
+	// Fork all trial RNGs up front, in index order, so their streams depend
+	// only on (Seed, Index).
+	root := simtime.NewRand(r.Seed)
+	ctxs := make([]*Ctx, n)
+	for i := range ctxs {
+		ctxs[i] = &Ctx{Index: i, Rand: root.Fork()}
+	}
+	errs := make([]error, n)
+	var panics []TrialPanic
+
+	w := r.workers(n)
+	if w == 1 {
+		// Sequential fast path: run in the caller's goroutine, bail at the
+		// first failure, and let panics unwind naturally.
+		for i := 0; i < n; i++ {
+			if err := fn(ctxs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64 // next trial index to dispatch
+		stopped atomic.Bool  // stop dispatching after an error/panic
+		mu      sync.Mutex   // guards panics
+		wg      sync.WaitGroup
+	)
+	next.Store(0)
+	worker := func() {
+		defer wg.Done()
+		for {
+			if stopped.Load() {
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						stopped.Store(true)
+						mu.Lock()
+						panics = append(panics, TrialPanic{Index: i, Value: v})
+						mu.Unlock()
+					}
+				}()
+				if err := fn(ctxs[i]); err != nil {
+					errs[i] = err
+					stopped.Store(true)
+				}
+			}()
+		}
+	}
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go worker()
+	}
+	wg.Wait()
+
+	if len(panics) > 0 {
+		first := panics[0]
+		for _, p := range panics[1:] {
+			if p.Index < first.Index {
+				first = p
+			}
+		}
+		panic(first)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes fn for every index in [0, n) across the runner's workers.
+func (r *Runner) Run(n int, fn func(*Ctx)) {
+	_ = r.run(n, func(ctx *Ctx) error { fn(ctx); return nil })
+}
+
+// Map runs fn over items and returns the results in item order. On error,
+// the lowest-index error is returned and undispatched items are skipped.
+func Map[T, R any](r *Runner, items []T, fn func(*Ctx, T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := r.run(len(items), func(ctx *Ctx) error {
+		v, err := fn(ctx, items[ctx.Index])
+		if err != nil {
+			return fmt.Errorf("harness: trial %d: %w", ctx.Index, err)
+		}
+		out[ctx.Index] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustMap runs fn over items and returns the results in item order; trial
+// panics propagate to the caller.
+func MustMap[T, R any](r *Runner, items []T, fn func(*Ctx, T) R) []R {
+	out, _ := Map(r, items, func(ctx *Ctx, it T) (R, error) {
+		return fn(ctx, it), nil
+	})
+	return out
+}

@@ -1,0 +1,71 @@
+package policy
+
+import (
+	"time"
+
+	"repro/internal/qmodel"
+	"repro/internal/scheduler"
+	"repro/internal/stream"
+)
+
+// executorCentric is the Elasticutor control plane (§3/§4): y elastic
+// executors per operator, a periodic intra-executor rebalance, and the
+// model-based dynamic scheduler that moves CPU cores between executors. The
+// assign function selects Algorithm 1 (elasticutor) or the naive variant
+// that ignores migration cost and locality (naive-ec, §5.4).
+type executorCentric struct {
+	Base
+	name   string
+	assign func(scheduler.Input) (scheduler.Result, error)
+	h      Host
+}
+
+func newElasticutor() Policy {
+	return &executorCentric{name: "elasticutor", assign: scheduler.Assign}
+}
+
+func newNaiveEC() Policy {
+	return &executorCentric{name: "naive-ec", assign: scheduler.NaiveAssign}
+}
+
+func (p *executorCentric) Name() string { return p.name }
+
+// Place provisions the configured y executors (YPerOp overrides Y for
+// multi-operator topologies), leaving state in executor-internal shards.
+func (p *executorCentric) Place(k Knobs, op *stream.Operator, opIdx, operators, freeCores int) Placement {
+	if y, ok := k.YPerOp[op.ID]; ok && y > 0 {
+		return Placement{Executors: y}
+	}
+	return Placement{Executors: k.Y}
+}
+
+// Install starts the intra-executor rebalance loop and — unless cores are
+// pinned (Fig 10–12) — the dynamic scheduler.
+func (p *executorCentric) Install(h Host) {
+	p.h = h
+	k := h.Knobs()
+	h.Every(k.RebalancePeriod, h.RebalanceAll)
+	if k.FixedCores == 0 {
+		h.Every(k.SchedulePeriod, p.schedule)
+	}
+}
+
+// schedule is one round of the dynamic scheduler (§4): measure, model,
+// allocate (qmodel), assign (Algorithm 1 or the naive variant), apply.
+func (p *executorCentric) schedule() {
+	h := p.h
+	loads, intensity, lambda0 := h.ExecutorLoads()
+	if len(loads) == 0 {
+		return
+	}
+	start := time.Now()
+	alloc := qmodel.Allocate(loads, lambda0, h.Knobs().Tmax, h.AvailableCores())
+	in := h.SchedulerInput(alloc.K, intensity)
+	res, err := p.assign(in)
+	h.RecordSchedulingWall(time.Since(start))
+	if err != nil {
+		// Demand exceeded capacity despite the qmodel cap; skip this round.
+		return
+	}
+	h.ApplyAssignment(res.X)
+}

@@ -1,0 +1,185 @@
+// Package policy holds the paradigm control planes of the Elasticutor
+// reproduction. The engine (internal/engine) is pure mechanism — cores,
+// executors, routing tables, the repartition protocol, measurement — and
+// delegates every paradigm decision to a Policy:
+//
+//   - how executors are initially provisioned per operator (Place);
+//   - how a tuple's key resolves to an executor (Route);
+//   - which control loops run, and at what cadence (Install);
+//   - what each control tick decides (the policy's own methods, driven
+//     through the Host mechanism surface).
+//
+// The four paper paradigms — static, rc, naive-ec, elasticutor — are
+// registered built-ins; third-party policies register through Register and
+// become selectable by name everywhere a paradigm is (facade Options, the
+// CLI flags).
+package policy
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/qmodel"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+)
+
+// Paradigm enumerates the paper's four execution paradigms. It survives the
+// policy refactor as the compact, comparable identifier used in configs and
+// reports; each value maps to a registered built-in Policy of the same name.
+type Paradigm int
+
+// The four approaches compared in the paper's evaluation.
+const (
+	Static Paradigm = iota
+	ResourceCentric
+	NaiveEC
+	Elasticutor
+)
+
+// String returns the paper's name for the paradigm (and the registry name of
+// the corresponding built-in policy).
+func (p Paradigm) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case ResourceCentric:
+		return "rc"
+	case NaiveEC:
+		return "naive-ec"
+	case Elasticutor:
+		return "elasticutor"
+	}
+	return "paradigm(" + strconv.Itoa(int(p)) + ")"
+}
+
+// Knobs is the paradigm-relevant slice of the engine configuration, handed
+// to policies at placement and installation time.
+type Knobs struct {
+	Y      int                       // executors per non-source operator
+	YPerOp map[stream.OperatorID]int // per-operator overrides of Y
+	Z      int                       // shards per elastic executor
+
+	OpShards int // operator-level shards (baseline state/routing granularity)
+
+	Theta float64          // imbalance threshold θ
+	Phi   float64          // data-intensity threshold φ̃
+	Tmax  simtime.Duration // scheduler latency target
+
+	SchedulePeriod  simtime.Duration // control-loop cadence (1 s)
+	RebalancePeriod simtime.Duration // intra-executor rebalance cadence
+
+	FixedCores int // non-zero pins executor cores and disables scheduling
+}
+
+// Placement is a policy's provisioning decision for one non-source operator.
+type Placement struct {
+	// Executors is the initial executor count (the engine clamps to ≥ 1 and
+	// may stop early if the cluster runs out of cores).
+	Executors int
+	// OperatorSharded organizes executor state by operator-level shard (the
+	// baselines' layout, movable by global repartitioning) instead of the
+	// elastic executors' internal shards.
+	OperatorSharded bool
+	// DynamicRouting gives the operator a mutable operator-shard → executor
+	// routing table plus per-shard arrival measurement (the RC baseline).
+	DynamicRouting bool
+}
+
+// Operator is the policy-facing view of one non-source operator's runtime.
+// Handles are stable for the lifetime of an engine and usable as map keys.
+type Operator interface {
+	// Meta returns the topology operator.
+	Meta() *stream.Operator
+	// Executors returns the current executor count.
+	Executors() int
+	// Routing returns the live operator-shard routing table (nil unless the
+	// placement requested DynamicRouting). The engine owns mutations; the
+	// repartition protocol commits decided moves.
+	Routing() []int
+	// ShardLoads returns arrivals per operator shard in the current
+	// measurement window (nil unless DynamicRouting).
+	ShardLoads() []float64
+	// ResetShardLoads starts a fresh measurement window.
+	ResetShardLoads()
+	// Repartitioning reports whether a global repartition is in flight.
+	Repartitioning() bool
+}
+
+// Host is the mechanism surface the engine exposes to an installed policy.
+// Everything here is paradigm-agnostic machinery; the policy supplies the
+// decisions.
+type Host interface {
+	// Knobs returns the run's tuning parameters.
+	Knobs() Knobs
+	// Now returns the current virtual time.
+	Now() simtime.Time
+	// Every schedules fn at each multiple of interval of virtual time.
+	Every(interval simtime.Duration, fn func())
+	// Operators lists the non-source operators in deterministic
+	// (topology) order.
+	Operators() []Operator
+	// RebalanceAll runs the §3.1 intra-executor load balancer on every
+	// elastic executor.
+	RebalanceAll()
+	// ExecutorLoads measures and resets every elastic executor's window:
+	// per-executor arrival/service rates (offered load folded in), the
+	// per-executor data intensity, and λ₀, the aggregate first-hop arrival
+	// rate. Empty slices mean there is nothing to schedule.
+	ExecutorLoads() (loads []qmodel.ExecutorLoad, intensity []float64, lambda0 float64)
+	// AvailableCores is the core budget open to elastic executors.
+	AvailableCores() int
+	// SchedulerInput assembles the Algorithm-1 input from the engine's
+	// bookkeeping plus the policy's allocation and intensity vectors.
+	SchedulerInput(alloc []int, intensity []float64) scheduler.Input
+	// ApplyAssignment diffs the target core matrix against current holdings
+	// and applies revocations then grants through the executors.
+	ApplyAssignment(x [][]int)
+	// RecordSchedulingWall logs one scheduling decision's wall-clock cost
+	// (Table 3's metric).
+	RecordSchedulingWall(d time.Duration)
+	// StartRepartition runs the four-phase global repartition protocol
+	// (pause upstream → drain → migrate → update routing) for the decided
+	// moves. The operator must have DynamicRouting and no repartition in
+	// flight. Completion is reported through Policy.RepartitionFinished.
+	StartRepartition(op Operator, moves []balancer.Move)
+}
+
+// Policy is one elasticity control plane. Implementations may keep state
+// (cooldowns, schedules); an engine instantiates a fresh Policy per run.
+type Policy interface {
+	// Name is the registry name, unique among registered policies.
+	Name() string
+	// Place decides the initial provisioning of one non-source operator.
+	// operators is the non-source operator count, freeCores the unreserved
+	// core total; opIdx is this operator's index in topology order.
+	Place(k Knobs, op *stream.Operator, opIdx, operators, freeCores int) Placement
+	// Route resolves the executor index serving key on op. Called on the
+	// tuple hot path; implementations must not allocate.
+	Route(op Operator, key stream.Key) int
+	// Install registers the policy's control loops on the host. Called once,
+	// when the simulation starts.
+	Install(h Host)
+	// RepartitionFinished observes the completion of a global repartition on
+	// op — including ones forced by experiments, which must cool the
+	// controller down exactly like organic ones.
+	RepartitionFinished(op Operator)
+}
+
+// Base provides neutral defaults for optional Policy behavior: static
+// executor-hash routing, no control loops, no repartition reaction. Embed it
+// to implement only what a policy actually decides.
+type Base struct{}
+
+// Route hashes the key over the operator's executors (the static layout).
+func (Base) Route(op Operator, key stream.Key) int {
+	return key.ExecutorIndex(op.Executors())
+}
+
+// Install registers nothing.
+func (Base) Install(Host) {}
+
+// RepartitionFinished ignores the event.
+func (Base) RepartitionFinished(Operator) {}

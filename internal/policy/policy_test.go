@@ -1,0 +1,119 @@
+package policy_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/golden"
+	"repro/internal/policy"
+	"repro/internal/stream"
+)
+
+// TestGoldenScenarios pins the policy-based engine to the exact behavior of
+// the pre-refactor paradigm switch: every reference scenario must reproduce
+// the fingerprint captured from the monolithic engine, byte for byte.
+// Regenerate with `go run ./tools/gengolden` ONLY for intended changes.
+func TestGoldenScenarios(t *testing.T) {
+	want, err := os.ReadFile("testdata/scenarios.golden")
+	if err != nil {
+		t.Fatalf("missing golden file (run `go run ./tools/gengolden`): %v", err)
+	}
+	got := golden.Generate()
+	if got != string(want) {
+		t.Fatalf("policy engine diverged from the pre-refactor golden:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	want := []string{"elasticutor", "naive-ec", "rc", "static"}
+	got := policy.Names()
+	if len(got) < len(want) {
+		t.Fatalf("Names() = %v, want at least %v", got, want)
+	}
+	for _, name := range want {
+		p, err := policy.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := policy.ByName("nope"); err == nil {
+		t.Fatal("ByName accepted an unknown policy")
+	}
+}
+
+func TestRegistryAliases(t *testing.T) {
+	for alias, canon := range map[string]string{
+		"ec": "elasticutor", "naivec": "naive-ec", "naive": "naive-ec",
+		"resource-centric": "rc",
+	} {
+		p, err := policy.ByName(alias)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", alias, err)
+		}
+		if p.Name() != canon {
+			t.Fatalf("alias %q resolved to %q, want %q", alias, p.Name(), canon)
+		}
+	}
+}
+
+func TestByNameReturnsFreshInstances(t *testing.T) {
+	a, _ := policy.ByName("rc")
+	b, _ := policy.ByName("rc")
+	if a == b {
+		t.Fatal("ByName returned a shared instance; policies carry per-run state")
+	}
+}
+
+func TestForParadigmMatchesNames(t *testing.T) {
+	for _, p := range []policy.Paradigm{
+		policy.Static, policy.ResourceCentric, policy.NaiveEC, policy.Elasticutor,
+	} {
+		pol := policy.ForParadigm(p)
+		if pol.Name() != p.String() {
+			t.Fatalf("ForParadigm(%v).Name() = %q", p, pol.Name())
+		}
+		back, ok := policy.ParadigmOf(pol.Name())
+		if !ok || back != p {
+			t.Fatalf("ParadigmOf(%q) = %v,%v", pol.Name(), back, ok)
+		}
+	}
+	if _, ok := policy.ParadigmOf("custom-thing"); ok {
+		t.Fatal("ParadigmOf accepted an unknown name")
+	}
+}
+
+// TestRegisterThirdPartyPolicy exercises the extension point end to end: a
+// custom policy registers by name and drives a run through engine.Config.
+func TestRegisterThirdPartyPolicy(t *testing.T) {
+	policy.Register("test-static-clone", func() policy.Policy { return &staticClone{} })
+	pol, err := policy.ByName("test-static-clone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := policy.ParadigmOf(pol.Name()); ok {
+		t.Fatal("custom policy should not map to a paradigm")
+	}
+	r := golden.MicroWithPolicy(pol)
+	if r.Processed == 0 {
+		t.Fatal("custom policy processed nothing")
+	}
+	if r.Policy != "test-static-clone" {
+		t.Fatalf("report policy = %q", r.Policy)
+	}
+	if r.Paradigm != engine.Paradigm(-1) {
+		t.Fatalf("report paradigm = %v, want -1 for custom policies", r.Paradigm)
+	}
+}
+
+// staticClone is a minimal third-party policy: a fixed pair of executors per
+// operator, static hashing, no elasticity.
+type staticClone struct{ policy.Base }
+
+func (*staticClone) Name() string { return "test-static-clone" }
+func (*staticClone) Place(k policy.Knobs, op *stream.Operator, opIdx, operators, freeCores int) policy.Placement {
+	return policy.Placement{Executors: 2}
+}

@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+	"repro/internal/stream"
+)
+
+var debugRC = false
+
+// DebugRC toggles per-tick RC controller tracing (tests only).
+func DebugRC(on bool) { debugRC = on }
+
+// resourceCentric is the paper's resource-centric baseline (§1/§2.2): the
+// static placement plus a controller that dynamically repartitions
+// operator-level shards through the global synchronization protocol.
+type resourceCentric struct {
+	h Host
+	// cooldown makes the controller skip evaluation ticks right after a
+	// repartition: the pause gap and the replay burst pollute that window's
+	// load measurement and would re-trigger repartitioning forever.
+	cooldown map[Operator]int
+}
+
+func newRC() Policy { return &resourceCentric{cooldown: make(map[Operator]int)} }
+
+func (*resourceCentric) Name() string { return "rc" }
+
+// Place provisions exactly like static, but with the dynamic operator-shard
+// routing table the repartitioner manipulates.
+func (*resourceCentric) Place(k Knobs, op *stream.Operator, opIdx, operators, freeCores int) Placement {
+	return Placement{Executors: evenSplit(freeCores, operators, opIdx), OperatorSharded: true, DynamicRouting: true}
+}
+
+// Route consults the live operator-shard routing table.
+func (*resourceCentric) Route(op Operator, key stream.Key) int {
+	routing := op.Routing()
+	return routing[key.OperatorShard(len(routing))]
+}
+
+// Install starts the RC controller at the scheduling cadence.
+func (p *resourceCentric) Install(h Host) {
+	p.h = h
+	h.Every(h.Knobs().SchedulePeriod, p.tick)
+}
+
+// tick is the RC controller: per operator, if the shard load distribution
+// across executors exceeds θ, compute a minimal set of operator-shard moves
+// (same balancer as Elasticutor, per §5 "for fair comparison") and run the
+// global repartitioning protocol.
+func (p *resourceCentric) tick() {
+	theta := p.h.Knobs().Theta
+	for _, op := range p.h.Operators() {
+		if op.Repartitioning() {
+			continue // previous repartition still running
+		}
+		if p.cooldown[op] > 0 {
+			p.cooldown[op]--
+			op.ResetShardLoads()
+			continue
+		}
+		loads := op.ShardLoads()
+		assign := append([]int(nil), op.Routing()...)
+		moves := balancer.Rebalance(loads, assign, op.Executors(), theta, 0)
+		before := perExecutorLoads(loads, op.Routing(), op.Executors())
+		after := append([]int(nil), op.Routing()...)
+		balancer.Apply(after, moves)
+		afterLoads := perExecutorLoads(loads, after, op.Executors())
+		if debugRC {
+			fmt.Printf("t=%v rcTick op=%s delta=%.3f predicted=%.3f moves=%d\n",
+				p.h.Now(), op.Meta().Name, balancer.Imbalance(before), balancer.Imbalance(afterLoads), len(moves))
+		}
+		// Reset the measurement window either way.
+		op.ResetShardLoads()
+		if len(moves) == 0 {
+			continue
+		}
+		// A global repartition pauses the whole operator; only pay that when
+		// the moves meaningfully improve balance (≥15%) or actually reach the
+		// target. The greedy max→min heuristic can plateau above θ; without
+		// this guard the controller would re-pause the operator every tick
+		// for near-zero gain.
+		predicted := balancer.Imbalance(afterLoads)
+		if predicted > theta && predicted > 0.85*balancer.Imbalance(before) {
+			continue
+		}
+		p.h.StartRepartition(op, moves)
+	}
+}
+
+// RepartitionFinished cools the controller down for two evaluation ticks —
+// organic and experiment-forced repartitions alike.
+func (p *resourceCentric) RepartitionFinished(op Operator) { p.cooldown[op] = 2 }
+
+// perExecutorLoads aggregates shard loads by owning executor.
+func perExecutorLoads(loads []float64, assign []int, execs int) []float64 {
+	per := make([]float64, execs)
+	for sh, ex := range assign {
+		per[ex] += loads[sh]
+	}
+	return per
+}

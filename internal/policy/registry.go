@@ -1,0 +1,101 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry maps policy names to constructors. Each lookup builds a fresh
+// instance: policies carry per-run state (cooldowns, host bindings) and must
+// never be shared between engines.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Policy{
+		"static":      newStatic,
+		"rc":          newRC,
+		"naive-ec":    newNaiveEC,
+		"elasticutor": newElasticutor,
+	}
+)
+
+// aliases accepts the spellings the CLI and older configs use.
+var aliases = map[string]string{
+	"ec":               "elasticutor",
+	"naivec":           "naive-ec",
+	"naive":            "naive-ec",
+	"resource-centric": "rc",
+}
+
+// Register adds a policy constructor under name, making it selectable
+// wherever built-ins are (facade Options.Policy, CLI -paradigm). It panics
+// on a duplicate name: silently shadowing a paradigm would corrupt results.
+func Register(name string, ctor func() Policy) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || ctor == nil {
+		panic("policy: Register needs a name and a constructor")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("policy: %q already registered", name))
+	}
+	if _, dup := aliases[name]; dup {
+		panic(fmt.Sprintf("policy: %q is a reserved alias", name))
+	}
+	registry[name] = ctor
+}
+
+// ByName returns a fresh instance of the named policy. Aliases ("ec",
+// "naivec") resolve to their canonical built-ins.
+func ByName(name string) (Policy, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if canon, ok := aliases[name]; ok {
+		name = canon
+	}
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (have %v)", name, namesLocked())
+	}
+	return ctor(), nil
+}
+
+// Names lists the registered canonical policy names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForParadigm returns a fresh instance of the built-in policy implementing
+// the paradigm.
+func ForParadigm(p Paradigm) Policy {
+	pol, err := ByName(p.String())
+	if err != nil {
+		panic(fmt.Sprintf("policy: no built-in for %v", p))
+	}
+	return pol
+}
+
+// ParadigmOf maps a policy name back to its paradigm, when the name (or an
+// alias of it) is one of the four built-ins.
+func ParadigmOf(name string) (Paradigm, bool) {
+	if canon, ok := aliases[name]; ok {
+		name = canon
+	}
+	for _, p := range []Paradigm{Static, ResourceCentric, NaiveEC, Elasticutor} {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}

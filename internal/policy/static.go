@@ -1,0 +1,31 @@
+package policy
+
+import "repro/internal/stream"
+
+// staticPolicy is the default-Storm baseline (§2.2): enough single-core
+// executors per operator to use every CPU core, static operator-level key
+// partitioning, and no elasticity whatsoever.
+type staticPolicy struct {
+	Base
+}
+
+func newStatic() Policy { return &staticPolicy{} }
+
+func (*staticPolicy) Name() string { return "static" }
+
+// Place spreads the free cores evenly across operators (§5: "we create
+// enough executors for the operators in the static approach to fully utilize
+// all CPU cores"), organizing state by operator-level shard.
+func (*staticPolicy) Place(k Knobs, op *stream.Operator, opIdx, operators, freeCores int) Placement {
+	return Placement{Executors: evenSplit(freeCores, operators, opIdx), OperatorSharded: true}
+}
+
+// evenSplit gives operator opIdx its share of an even core split, the
+// baseline provisioning static and rc must agree on (§5 fair comparison).
+func evenSplit(freeCores, operators, opIdx int) int {
+	n := freeCores / operators
+	if opIdx < freeCores%operators {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+// Command gengolden regenerates the golden fingerprints that pin the policy
+// refactor to the original engine's exact behavior:
+//
+//	go run ./tools/gengolden
+//
+// It rewrites internal/policy/testdata/scenarios.golden (reference-run report
+// fingerprints) and internal/experiments/testdata/fig8_quick.golden (one full
+// experiment table). Regenerate ONLY when a behavior change is intended; the
+// policy, harness, and experiments tests compare against these bytes.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/golden"
+)
+
+func write(path, content string) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+}
+
+func main() {
+	write("internal/policy/testdata/scenarios.golden", golden.Generate())
+
+	var buf bytes.Buffer
+	for _, tab := range experiments.Fig8(experiments.Quick) {
+		tab.Print(&buf)
+	}
+	write("internal/experiments/testdata/fig8_quick.golden", buf.String())
+}
