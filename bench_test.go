@@ -66,6 +66,11 @@ func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
 // paper's own artifacts.
 func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
 
+// BenchmarkScenarios regenerates the scenario sweep (4 policies × load-burst
+// and cluster-churn scenarios) — the subsystem beyond the paper's own
+// artifacts.
+func BenchmarkScenarios(b *testing.B) { runExperiment(b, "scenarios") }
+
 // Component microbenches.
 
 func BenchmarkComponentClockEvents(b *testing.B) {

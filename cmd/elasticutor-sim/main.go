@@ -5,10 +5,17 @@
 // Example:
 //
 //	elasticutor-sim -paradigm elasticutor -nodes 8 -omega 4 -duration 30s
-//	elasticutor-sim -trials 8 -parallel 4   # 8 replicate seeds, 4 workers
+//	elasticutor-sim -trials 8 -parallel 4    # 8 replicate seeds, 4 workers
+//	elasticutor-sim -scenario nodefail       # built-in churn scenario
+//	elasticutor-sim -scenario list           # list built-ins
+//	elasticutor-sim -scenario custom.json    # declarative spec from disk
 //
 // -paradigm accepts any registered elasticity policy name (see
-// internal/policy), not just the paper's four.
+// internal/policy). -scenario accepts a built-in name or a *.json spec file
+// (see internal/scenario); the scenario then supplies the cluster size,
+// workload, phased dynamics, and cluster churn, and the workload flags are
+// ignored. Reports go to stdout and are byte-identical across repeated runs
+// and worker counts; progress and wall-clock timing go to stderr.
 package main
 
 import (
@@ -22,22 +29,24 @@ import (
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
 		paradigm = flag.String("paradigm", "elasticutor", "elasticity policy name (static | rc | naive-ec | elasticutor | any registered)")
-		nodes    = flag.Int("nodes", 8, "cluster nodes (8 cores each)")
-		y        = flag.Int("y", 0, "executors per operator (0 = paper default)")
-		z        = flag.Int("z", 0, "shards per executor (0 = paper default)")
-		omega    = flag.Float64("omega", 2, "key shuffles per minute")
-		rate     = flag.Float64("rate", 0, "offered tuples/s (0 = saturating)")
-		cost     = flag.Duration("cost", time.Millisecond, "CPU cost per tuple")
-		bytes    = flag.Int("bytes", 128, "tuple size in bytes")
-		stateKB  = flag.Int("state", 32, "shard state size in KB")
-		duration = flag.Duration("duration", 30*time.Second, "virtual time to simulate")
-		warmup   = flag.Duration("warmup", 5*time.Second, "warm-up excluded from metrics")
+		scn      = flag.String("scenario", "", "scenario name, spec file (*.json), or 'list' (overrides the workload flags)")
+		nodes    = flag.Int("nodes", 8, "cluster nodes (8 cores each; ignored with -scenario)")
+		y        = flag.Int("y", 0, "executors per operator (0 = paper default; ignored with -scenario)")
+		z        = flag.Int("z", 0, "shards per executor (0 = paper default; ignored with -scenario)")
+		omega    = flag.Float64("omega", 2, "key shuffles per minute (ignored with -scenario)")
+		rate     = flag.Float64("rate", 0, "offered tuples/s (0 = saturating; ignored with -scenario)")
+		cost     = flag.Duration("cost", time.Millisecond, "CPU cost per tuple (ignored with -scenario)")
+		bytes    = flag.Int("bytes", 128, "tuple size in bytes (ignored with -scenario)")
+		stateKB  = flag.Int("state", 32, "shard state size in KB (ignored with -scenario)")
+		duration = flag.Duration("duration", 30*time.Second, "virtual time to simulate (ignored with -scenario)")
+		warmup   = flag.Duration("warmup", 5*time.Second, "warm-up excluded from metrics (ignored with -scenario)")
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 		trials   = flag.Int("trials", 1, "replicate trials with forked per-trial seeds")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers")
@@ -45,9 +54,30 @@ func main() {
 	flag.Parse()
 	harness.SetDefaultWorkers(*parallel)
 
+	if *scn == "list" {
+		for _, name := range scenario.Names() {
+			s, err := scenario.ByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-12s %s\n", name, s.Description)
+		}
+		return
+	}
 	if _, err := policy.ByName(*paradigm); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	var spec *scenario.Spec
+	if *scn != "" {
+		s, err := scenario.Resolve(*scn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec = s
+		*duration = spec.Duration()
 	}
 	if *trials < 1 {
 		*trials = 1
@@ -61,11 +91,14 @@ func main() {
 		if ctx.Index > 0 {
 			trialSeed = ctx.Rand.Uint64()
 		}
-		spec := workload.DefaultSpec()
-		spec.ShufflesPerMin = *omega
-		spec.CPUCost = *cost
-		spec.TupleBytes = *bytes
-		spec.ShardStateKB = *stateKB
+		if spec != nil {
+			return spec.Run(*paradigm, trialSeed)
+		}
+		wl := workload.DefaultSpec()
+		wl.ShufflesPerMin = *omega
+		wl.CPUCost = *cost
+		wl.TupleBytes = *bytes
+		wl.ShardStateKB = *stateKB
 		pol, err := policy.ByName(*paradigm) // fresh instance per engine
 		if err != nil {
 			return nil, err
@@ -75,7 +108,7 @@ func main() {
 			Nodes:  *nodes,
 			Y:      *y,
 			Z:      *z,
-			Spec:   spec,
+			Spec:   wl,
 			Rate:   *rate,
 			Seed:   trialSeed,
 			WarmUp: *warmup,
@@ -86,8 +119,12 @@ func main() {
 		return m.Engine.Run(*duration), nil
 	}
 
-	fmt.Printf("simulating %s on %d nodes, ω=%v, %d trial(s) × %v virtual time, %d worker(s)…\n",
-		*paradigm, *nodes, *omega, *trials, *duration, harness.DefaultWorkers())
+	what := fmt.Sprintf("%s on %d nodes, ω=%v", *paradigm, *nodes, *omega)
+	if spec != nil {
+		what = fmt.Sprintf("scenario %q under %s on %d nodes", spec.Name, *paradigm, spec.Nodes)
+	}
+	fmt.Fprintf(os.Stderr, "simulating %s, %d trial(s) × %v virtual time, %d worker(s)…\n",
+		what, *trials, *duration, harness.DefaultWorkers())
 
 	start := time.Now()
 	runner := &harness.Runner{Seed: *seed}
@@ -99,6 +136,9 @@ func main() {
 	}
 	wall := time.Since(start).Round(time.Millisecond)
 
+	if spec != nil {
+		fmt.Printf("scenario: %s — %s\n", spec.Name, spec.Description)
+	}
 	for i, r := range reports {
 		if len(reports) > 1 {
 			fmt.Printf("\n-- trial %d --\n", i)
@@ -111,6 +151,14 @@ func main() {
 			r.Reassignments, r.InterNodeReassigns, r.Repartitions)
 		fmt.Printf("traffic:    migration %.2f MB/s, remote transfer %.2f MB/s\n",
 			r.MigrationRate/(1<<20), r.RemoteRate/(1<<20))
+		if r.NodeJoins+r.NodeDrains+r.NodeFails > 0 {
+			fmt.Printf("churn:      %d join(s), %d drain(s), %d failure(s); %d executor(s) retired, %.2f MB state lost, %d tuples dropped\n",
+				r.NodeJoins, r.NodeDrains, r.NodeFails, r.RetiredExecutors,
+				float64(r.LostStateBytes)/(1<<20), r.Dropped)
+		}
+		for _, msg := range r.ChurnErrors {
+			fmt.Printf("churn SKIPPED: %s\n", msg)
+		}
 	}
 	var events uint64
 	for _, r := range reports {
@@ -130,5 +178,5 @@ func main() {
 		fmt.Printf("\n== %d trials: throughput mean=%.0f min=%.0f max=%.0f tuples/s ==\n",
 			len(reports), sum/float64(len(reports)), min, max)
 	}
-	fmt.Printf("simulated %d events in %v wall time\n", events, wall)
+	fmt.Fprintf(os.Stderr, "simulated %d events in %v wall time\n", events, wall)
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/simtime"
 	"repro/internal/stream"
 )
@@ -79,6 +80,28 @@ func RegisterPolicy(name string, ctor func() ElasticityPolicy) { policy.Register
 // ConstantRate returns a fixed offered-load function (tuples per second).
 func ConstantRate(perSec float64) func(Time) float64 {
 	return func(Time) float64 { return perSec }
+}
+
+// ScenarioSpec is the declarative scenario type (phased workload dynamics
+// plus timed cluster churn; see internal/scenario for the spec grammar).
+type ScenarioSpec = scenario.Spec
+
+// Scenarios lists the built-in scenario names ("flashcrowd", "nodefail", …).
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioByName returns a fresh copy of a built-in scenario spec.
+func ScenarioByName(name string) (*ScenarioSpec, error) { return scenario.ByName(name) }
+
+// RunScenario runs a built-in or file-loaded scenario (name or *.json path)
+// on the canonical micro-benchmark topology under the named elasticity
+// policy. For applying a scenario's dynamics to your own topology, set
+// Options.Scenario instead.
+func RunScenario(nameOrPath, policyName string, seed uint64) (*Report, error) {
+	sp, err := scenario.Resolve(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Run(policyName, seed)
 }
 
 // SpoutConfig describes a source operator.
@@ -190,6 +213,17 @@ type Options struct {
 	Seed        uint64
 	AssertOrder bool // panic on any per-key order violation (testing)
 
+	// Scenario applies a named built-in (see Scenarios) or *.json scenario
+	// to this run: its rate phases multiply every spout's offered load and
+	// its cluster events (node join/drain/fail) are scheduled on the clock.
+	// Key-space phases (skew drift, hotspot, key churn) need the scenario's
+	// own sampler and are skipped for user topologies — run those through
+	// RunScenario. When Nodes is 0 the scenario's cluster size applies, and
+	// when Duration is 0 the scenario's duration applies; an explicitly
+	// shorter Duration that would silently skip scheduled cluster events is
+	// rejected.
+	Scenario string
+
 	// BeforeRun, when set, is called with the constructed engine before the
 	// simulation starts — the hook for scheduling workload dynamics such as
 	// key shuffles (engine.Every) or forced protocol invocations.
@@ -197,27 +231,64 @@ type Options struct {
 }
 
 // Run validates the topology, builds the simulated cluster and engine, and
-// runs it for Options.Duration of virtual time.
+// runs it for Options.Duration of virtual time (the scenario's duration when
+// a scenario is set and Duration is 0).
 func (b *Builder) Run(opt Options) (*Report, error) {
-	e, err := b.Engine(opt)
+	e, d, err := b.engine(opt)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(opt.Duration), nil
+	return e.Run(d), nil
 }
 
 // Engine builds the engine without running it (for callers that need to
 // schedule events against the virtual clock first).
 func (b *Builder) Engine(opt Options) (*engine.Engine, error) {
+	e, _, err := b.engine(opt)
+	return e, err
+}
+
+func (b *Builder) engine(opt Options) (*engine.Engine, time.Duration, error) {
 	if b.err != nil {
-		return nil, b.err
+		return nil, 0, b.err
 	}
-	if opt.Duration <= 0 {
-		return nil, fmt.Errorf("elasticutor: Options.Duration is required")
+	var sp *scenario.Spec
+	if opt.Scenario != "" {
+		var err error
+		if sp, err = scenario.Resolve(opt.Scenario); err != nil {
+			return nil, 0, err
+		}
+	}
+	duration := opt.Duration
+	if duration == 0 && sp != nil {
+		duration = sp.Duration()
+	}
+	if duration <= 0 {
+		return nil, 0, fmt.Errorf("elasticutor: Options.Duration is required")
+	}
+	if sp != nil {
+		for i, ev := range sp.Events {
+			if at := time.Duration(ev.AtSec * float64(time.Second)); at > duration {
+				return nil, 0, fmt.Errorf("elasticutor: scenario %q event %d (%s at %.1fs) is beyond the %v run duration",
+					sp.Name, i, ev.Kind, ev.AtSec, duration)
+			}
+		}
 	}
 	nodes := opt.Nodes
+	if nodes == 0 && sp != nil && sp.Nodes > 0 {
+		nodes = sp.Nodes
+	}
 	if nodes == 0 {
 		nodes = 32
+	}
+	if sp != nil && nodes != sp.Nodes {
+		// The event timeline was validated against the scenario's own
+		// cluster size; re-check it against the size this run actually uses.
+		clone := *sp
+		clone.Nodes = nodes
+		if err := clone.Validate(); err != nil {
+			return nil, 0, err
+		}
 	}
 	srcEx := opt.SourceExecutors
 	if srcEx == 0 {
@@ -227,16 +298,30 @@ func (b *Builder) Engine(opt Options) (*engine.Engine, error) {
 	if opt.Policy != "" {
 		p, err := policy.ByName(opt.Policy)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		pol = p
+	}
+	sources := b.sources
+	if sp != nil {
+		// Wrap every spout's offered load with the scenario's phased
+		// multiplier, on a copy so the builder stays reusable.
+		mult := sp.RateMultiplier()
+		sources = make(map[stream.OperatorID]*engine.SourceDriver, len(b.sources))
+		for id, drv := range b.sources {
+			base := drv.Rate
+			sources[id] = &engine.SourceDriver{
+				Rate:   func(now simtime.Time) float64 { return base(now) * mult(now) },
+				Sample: drv.Sample,
+			}
+		}
 	}
 	cfg := engine.Config{
 		Topology:        b.tp,
 		Cluster:         cluster.Default(nodes),
 		Paradigm:        opt.Paradigm,
 		Policy:          pol,
-		Sources:         b.sources,
+		Sources:         sources,
 		SourceExecutors: srcEx,
 		Y:               opt.Y,
 		Z:               opt.Z,
@@ -251,12 +336,17 @@ func (b *Builder) Engine(opt Options) (*engine.Engine, error) {
 	}
 	e, err := engine.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if sp != nil {
+		// Cluster events (and nothing else: rate phases are already wrapped
+		// into the sources, key phases need the scenario's own sampler).
+		scenario.Attach(e, sp, nil)
 	}
 	if opt.BeforeRun != nil {
 		opt.BeforeRun(e)
 	}
-	return e, nil
+	return e, duration, nil
 }
 
 // Trials runs n independent replicate simulations concurrently and returns

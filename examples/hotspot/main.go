@@ -1,6 +1,7 @@
-// Hotspot: a skewed word-count-style workload whose hot key set moves every
-// few seconds (the paper's ω shuffles). Runs the same topology under all
-// four paradigms and prints a comparison — a miniature Figure 6.
+// Hotspot: a skewed workload whose hot key set migrates every few seconds,
+// run under all four paradigms — a miniature Figure 6. The workload dynamics
+// come entirely from the built-in "hotspot" scenario; this program just
+// sweeps the policy axis.
 //
 //	go run ./examples/hotspot
 package main
@@ -11,65 +12,27 @@ import (
 	"time"
 
 	elasticutor "repro"
-	"repro/internal/engine"
-	"repro/internal/simtime"
-	"repro/internal/workload"
 )
 
-func run(p elasticutor.Paradigm) *elasticutor.Report {
-	zipf := workload.NewZipf(2500, 0.75, simtime.NewRand(11))
-
-	b := elasticutor.NewBuilder("hotspot")
-	src := b.Spout("words", elasticutor.SpoutConfig{
-		Rate: elasticutor.ConstantRate(25000),
-		Sample: func(now elasticutor.Time) (elasticutor.Key, int, interface{}) {
-			return zipf.Sample(), 128, nil
-		},
-	})
-	count := b.Bolt("count", elasticutor.BoltConfig{
-		Cost: time.Millisecond,
-		Handler: func(t elasticutor.Tuple, s elasticutor.State) []elasticutor.Tuple {
-			n, _ := s.Get().(int)
-			s.Set(n + t.Weight)
-			return nil
-		},
-	})
-	b.Connect(src, count)
-
-	report, err := b.Run(elasticutor.Options{
-		Paradigm: p,
-		Nodes:    4,
-		Y:        4,
-		Z:        256,
-		OpShards: 1024,
-		Duration: 40 * time.Second,
-		WarmUp:   12 * time.Second,
-		BeforeRun: func(e *engine.Engine) {
-			// Shuffle the hot set every 5 seconds (ω = 12/min).
-			e.Every(5*time.Second, zipf.Shuffle)
-		},
-	})
+func main() {
+	sp, err := elasticutor.ScenarioByName("hotspot")
 	if err != nil {
 		log.Fatal(err)
 	}
-	return report
-}
-
-func main() {
-	fmt.Println("hotspot word count, hot keys move every 5s, 25k words/s offered")
+	fmt.Printf("scenario %q: %s\n", sp.Name, sp.Description)
 	fmt.Printf("%-16s %12s %12s %12s %8s %8s\n",
 		"paradigm", "thr(K/s)", "mean-lat", "p99-lat", "moves", "repart")
-	for _, p := range []elasticutor.Paradigm{
-		elasticutor.Static, elasticutor.ResourceCentric,
-		elasticutor.NaiveEC, elasticutor.Elasticutor,
-	} {
-		r := run(p)
+	for _, p := range []string{"static", "rc", "naive-ec", "elasticutor"} {
+		r, err := elasticutor.RunScenario("hotspot", p, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-16s %12.1f %12v %12v %8d %8d\n",
-			r.Paradigm, r.ThroughputMean/1000,
+			r.Policy, r.ThroughputMean/1000,
 			r.Latency.Mean().Round(time.Millisecond),
 			r.Latency.Quantile(0.99).Round(time.Millisecond),
 			r.Reassignments, r.Repartitions)
 	}
-	fmt.Println("\nexpected shape: elasticutor sustains throughput with the lowest")
-	fmt.Println("latency; rc pays multi-second global syncs; static cannot adapt.")
+	fmt.Println("\nexpected shape: elasticutor keeps the lowest latency as the hot set")
+	fmt.Println("moves; rc pays multi-second global syncs; static cannot adapt.")
 }

@@ -1,6 +1,7 @@
 // Paramsweep explores the two Elasticutor tuning knobs of §5.3 — executors
-// per operator (y) and shards per executor (z) — on a small cluster, printing
-// a miniature Figure 13 heat table.
+// per operator (y) and shards per executor (z) — on a small cluster,
+// printing a miniature Figure 13 heat table. The skewed, shifting workload
+// is the built-in "hotspot" scenario; each cell overrides only y and z.
 //
 //	go run ./examples/paramsweep
 package main
@@ -8,23 +9,15 @@ package main
 import (
 	"fmt"
 	"log"
-	"time"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/workload"
+	elasticutor "repro"
 )
 
 func main() {
 	ys := []int{1, 2, 4, 8}
 	zs := []int{1, 16, 256}
 
-	spec := workload.DefaultSpec()
-	spec.Keys = 2500
-	spec.Skew = 0.75
-	spec.ShufflesPerMin = 6
-
-	fmt.Println("Elasticutor throughput (K tuples/s) on 4 nodes, skewed + shuffling workload")
+	fmt.Println("Elasticutor throughput (K tuples/s) on 4 nodes, skewed + shifting workload")
 	fmt.Printf("%-6s", "y\\z")
 	for _, z := range zs {
 		fmt.Printf("%8d", z)
@@ -33,19 +26,15 @@ func main() {
 	for _, y := range ys {
 		fmt.Printf("%-6d", y)
 		for _, z := range zs {
-			m, err := core.NewMicro(core.MicroOptions{
-				Paradigm: engine.Elasticutor,
-				Nodes:    4,
-				Y:        y,
-				Z:        z,
-				Spec:     spec,
-				Seed:     5,
-				WarmUp:   6 * time.Second,
-			})
+			sp, err := elasticutor.ScenarioByName("hotspot")
 			if err != nil {
 				log.Fatal(err)
 			}
-			r := m.Engine.Run(18 * time.Second)
+			sp.Y, sp.Z = y, z
+			r, err := sp.Run("elasticutor", 5)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("%8.1f", r.ThroughputMean/1000)
 		}
 		fmt.Println()

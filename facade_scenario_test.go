@@ -1,0 +1,142 @@
+package elasticutor_test
+
+import (
+	"testing"
+	"time"
+
+	elasticutor "repro"
+)
+
+func scenarioBuilder(t *testing.T) *elasticutor.Builder {
+	t.Helper()
+	b := elasticutor.NewBuilder("facade-scenario")
+	src := b.Spout("s", elasticutor.SpoutConfig{
+		Rate: elasticutor.ConstantRate(3000),
+		Sample: func(now elasticutor.Time) (elasticutor.Key, int, interface{}) {
+			return elasticutor.Key(uint64(now) % 400), 128, nil
+		},
+	})
+	bolt := b.Bolt("work", elasticutor.BoltConfig{Cost: time.Millisecond})
+	b.Connect(src, bolt)
+	return b
+}
+
+func TestScenariosListsBuiltins(t *testing.T) {
+	names := elasticutor.Scenarios()
+	if len(names) < 8 {
+		t.Fatalf("only %d built-in scenarios: %v", len(names), names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{"flashcrowd", "nodejoin", "nodedrain", "nodefail", "hotspot"} {
+		if !seen[want] {
+			t.Fatalf("missing built-in %q in %v", want, names)
+		}
+	}
+}
+
+func TestOptionsScenarioAppliesChurnToUserTopology(t *testing.T) {
+	r, err := scenarioBuilder(t).Run(elasticutor.Options{
+		Paradigm: elasticutor.Elasticutor,
+		Scenario: "nodefail", // 4 nodes, fails node 1 at 8s
+		Duration: 10 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeFails != 1 {
+		t.Fatalf("NodeFails = %d, want 1 (scenario events not applied)", r.NodeFails)
+	}
+	if r.Processed == 0 {
+		t.Fatal("nothing processed")
+	}
+}
+
+func TestOptionsScenarioModulatesSpoutRate(t *testing.T) {
+	run := func(scn string) *elasticutor.Report {
+		r, err := scenarioBuilder(t).Run(elasticutor.Options{
+			Paradigm: elasticutor.Elasticutor,
+			Scenario: scn,
+			Duration: 12 * time.Second,
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	steady := run("steady")
+	burst := run("flashcrowd") // 3x the spout rate for 4s
+	if burst.Generated+burst.Blocked <= steady.Generated+steady.Blocked {
+		t.Fatalf("flash crowd did not raise offered load: %d vs %d",
+			burst.Generated+burst.Blocked, steady.Generated+steady.Blocked)
+	}
+}
+
+func TestOptionsScenarioDefaultsDuration(t *testing.T) {
+	// Duration 0 with a scenario set runs for the scenario's own horizon, so
+	// its events actually fire.
+	r, err := scenarioBuilder(t).Run(elasticutor.Options{
+		Paradigm: elasticutor.Elasticutor,
+		Scenario: "nodefail",
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeFails != 1 {
+		t.Fatalf("NodeFails = %d, want 1", r.NodeFails)
+	}
+	if r.Duration != 16*time.Second {
+		t.Fatalf("Duration = %v, want the scenario's 16s", r.Duration)
+	}
+}
+
+func TestOptionsScenarioRejectsTruncatedEvents(t *testing.T) {
+	// An explicit Duration that would silently skip the scenario's events is
+	// rejected rather than reporting a run with no churn.
+	_, err := scenarioBuilder(t).Run(elasticutor.Options{
+		Scenario: "nodefail", // fails node 1 at 8s
+		Duration: 5 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("5s run of an 8s-event scenario was accepted")
+	}
+}
+
+func TestOptionsScenarioUnknownName(t *testing.T) {
+	_, err := scenarioBuilder(t).Run(elasticutor.Options{
+		Scenario: "perfectly-calm-tuesday",
+		Duration: time.Second,
+	})
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestOptionsScenarioRejectsEventsOutsideCluster(t *testing.T) {
+	// 2 nodes, but the scenario fails node 1 of an (originally) 4-node
+	// cluster — still fine; now shrink to 1 node so the event would kill the
+	// last node: must be rejected up front, not panic mid-run.
+	_, err := scenarioBuilder(t).Run(elasticutor.Options{
+		Scenario: "nodefail",
+		Nodes:    1,
+		Duration: 10 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("event timeline invalid for Nodes=1 was accepted")
+	}
+}
+
+func TestRunScenarioFacade(t *testing.T) {
+	r, err := elasticutor.RunScenario("nodedrain", "elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeDrains != 1 {
+		t.Fatalf("NodeDrains = %d", r.NodeDrains)
+	}
+}

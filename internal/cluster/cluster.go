@@ -43,11 +43,19 @@ func Default(n int) Config {
 	}
 }
 
-// Cluster is the simulated machine inventory plus its network.
+// Cluster is the simulated machine inventory plus its network. The inventory
+// is no longer frozen at construction: AddNode grows it mid-run and
+// RemoveNode marks a node dead (graceful drain and hard failure look the
+// same at this layer — the node's cores stop counting toward capacity).
+//
+// Node and core IDs are append-only and never reused: a dead node keeps its
+// slot (and its NIC entry, so in-flight transfers drain deterministically),
+// it just stops being alive.
 type Cluster struct {
 	cfg   Config
 	cores []Core
-	nics  []nic // per-node egress queue
+	alive []bool // per-node liveness, parallel to nics
+	nics  []nic  // per-node egress queue
 	clock *simtime.Clock
 }
 
@@ -66,7 +74,9 @@ func New(clock *simtime.Clock, cfg Config) *Cluster {
 		cfg.BandwidthBps = 1e9
 	}
 	c := &Cluster{cfg: cfg, clock: clock, nics: make([]nic, cfg.Nodes)}
+	c.alive = make([]bool, cfg.Nodes)
 	for n := 0; n < cfg.Nodes; n++ {
+		c.alive[n] = true
 		for i := 0; i < cfg.CoresPerNode; i++ {
 			c.cores = append(c.cores, Core{ID: CoreID(len(c.cores)), Node: NodeID(n)})
 		}
@@ -77,13 +87,83 @@ func New(clock *simtime.Clock, cfg Config) *Cluster {
 // Config returns the configuration the cluster was built with.
 func (c *Cluster) Config() Config { return c.cfg }
 
-// Nodes returns the number of nodes.
-func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+// Nodes returns the number of node slots ever created, dead ones included.
+// Node IDs are always in [0, Nodes()); use NodeAlive to filter.
+func (c *Cluster) Nodes() int { return len(c.nics) }
 
-// TotalCores returns the number of cores across all nodes.
-func (c *Cluster) TotalCores() int { return len(c.cores) }
+// AliveNodes returns the number of live nodes.
+func (c *Cluster) AliveNodes() int {
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
 
-// Cores returns all cores in ID order. The slice must not be mutated.
+// NodeAlive reports whether node n is live.
+func (c *Cluster) NodeAlive(n NodeID) bool {
+	return int(n) >= 0 && int(n) < len(c.alive) && c.alive[n]
+}
+
+// AddNode grows the cluster by one node with the given core count (0 uses
+// the configured CoresPerNode), returning the new node's ID. The new cores
+// get fresh IDs appended after every existing one.
+func (c *Cluster) AddNode(cores int) NodeID {
+	if cores <= 0 {
+		cores = c.cfg.CoresPerNode
+	}
+	id := NodeID(len(c.nics))
+	c.nics = append(c.nics, nic{})
+	c.alive = append(c.alive, true)
+	for i := 0; i < cores; i++ {
+		c.cores = append(c.cores, Core{ID: CoreID(len(c.cores)), Node: id})
+	}
+	return id
+}
+
+// RemoveNode marks node n dead: its cores stop counting toward TotalCores
+// and CoresOn, but its slot and NIC remain so node IDs stay stable and
+// transfers already queued on its uplink drain normally. Removing the last
+// live node (or a node already dead) panics — the caller is expected to have
+// validated the event.
+func (c *Cluster) RemoveNode(n NodeID) {
+	if !c.NodeAlive(n) {
+		panic(fmt.Sprintf("cluster: RemoveNode(%d): node is not alive", n))
+	}
+	if c.AliveNodes() == 1 {
+		panic("cluster: RemoveNode would kill the last live node")
+	}
+	c.alive[n] = false
+}
+
+// TotalCores returns the number of cores on live nodes.
+func (c *Cluster) TotalCores() int {
+	n := 0
+	for _, core := range c.cores {
+		if c.alive[core.Node] {
+			n++
+		}
+	}
+	return n
+}
+
+// CoresOn returns the core IDs hosted by node n, in ID order, regardless of
+// the node's liveness (callers deciding what to evacuate need the dead
+// node's cores too).
+func (c *Cluster) CoresOn(n NodeID) []CoreID {
+	var out []CoreID
+	for _, core := range c.cores {
+		if core.Node == n {
+			out = append(out, core.ID)
+		}
+	}
+	return out
+}
+
+// Cores returns all cores ever created in ID order, including those on dead
+// nodes (filter with NodeAlive). The slice must not be mutated.
 func (c *Cluster) Cores() []Core { return c.cores }
 
 // Core returns the core with the given ID.

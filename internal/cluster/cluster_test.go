@@ -127,6 +127,83 @@ func TestNICBacklogAndAccounting(t *testing.T) {
 	}
 }
 
+func TestAddNodeGrowsInventory(t *testing.T) {
+	_, c := newTest(2, 4)
+	id := c.AddNode(0) // default CoresPerNode
+	if id != 2 {
+		t.Fatalf("new node ID = %d, want 2", id)
+	}
+	if c.Nodes() != 3 || c.AliveNodes() != 3 {
+		t.Fatalf("Nodes = %d alive = %d, want 3/3", c.Nodes(), c.AliveNodes())
+	}
+	if c.TotalCores() != 12 {
+		t.Fatalf("TotalCores = %d, want 12", c.TotalCores())
+	}
+	// New cores are appended with fresh IDs and belong to the new node.
+	got := c.CoresOn(id)
+	if len(got) != 4 || got[0] != 8 || got[3] != 11 {
+		t.Fatalf("CoresOn(new) = %v", got)
+	}
+	// The new node's NIC works.
+	clock := c.clock
+	fired := false
+	clock.At(0, func() { c.Send(id, 0, 1000, func() { fired = true }) })
+	clock.Run()
+	if !fired {
+		t.Fatal("send from new node never completed")
+	}
+	small := c.AddNode(2)
+	if len(c.CoresOn(small)) != 2 {
+		t.Fatalf("explicit core count ignored: %v", c.CoresOn(small))
+	}
+}
+
+func TestRemoveNodeKeepsSlotAndNIC(t *testing.T) {
+	clock, c := newTest(3, 4)
+	// Queue a transfer from node 1, then kill it: the transfer must still
+	// deliver (the NIC drains), but capacity drops immediately.
+	delivered := false
+	clock.At(0, func() {
+		c.Send(1, 0, 125000, func() { delivered = true })
+		c.RemoveNode(1)
+	})
+	clock.Run()
+	if !delivered {
+		t.Fatal("in-flight transfer from dead node was lost")
+	}
+	if c.NodeAlive(1) {
+		t.Fatal("node 1 still alive")
+	}
+	if c.Nodes() != 3 {
+		t.Fatalf("Nodes = %d, want 3 (slots are stable)", c.Nodes())
+	}
+	if c.AliveNodes() != 2 {
+		t.Fatalf("AliveNodes = %d, want 2", c.AliveNodes())
+	}
+	if c.TotalCores() != 8 {
+		t.Fatalf("TotalCores = %d, want 8", c.TotalCores())
+	}
+	// Dead node's cores are still enumerable for evacuation.
+	if len(c.CoresOn(1)) != 4 {
+		t.Fatalf("CoresOn(dead) = %v", c.CoresOn(1))
+	}
+}
+
+func TestRemoveNodeGuards(t *testing.T) {
+	_, c := newTest(2, 1)
+	c.RemoveNode(0)
+	for name, n := range map[string]NodeID{"dead": 0, "last": 1, "bogus": 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RemoveNode(%s) did not panic", name)
+				}
+			}()
+			c.RemoveNode(n)
+		}()
+	}
+}
+
 func TestDefaultMatchesPaperTestbed(t *testing.T) {
 	cfg := Default(32)
 	if cfg.Nodes != 32 || cfg.CoresPerNode != 8 {

@@ -30,11 +30,15 @@ type MicroOptions struct {
 	OpShards        int // RC repartition granularity
 	Spec            workload.Spec
 	Rate            float64 // offered tuples/s; 0 = 1.3× estimated capacity
-	Batch           int
-	Seed            uint64
-	FixedCores      int  // pin per-executor cores (single-executor scaling)
-	SourcesFree     bool // sources don't consume cores (Fig 9a fan-in sweep)
-	AssertOrder     bool
+	// RateFn replaces the constant Rate with a time-varying offered load
+	// (scenario phases). When set, Rate/the saturating default only seed
+	// Micro.Rate for the caller's reference.
+	RateFn      workload.RateFunc
+	Batch       int
+	Seed        uint64
+	FixedCores  int  // pin per-executor cores (single-executor scaling)
+	SourcesFree bool // sources don't consume cores (Fig 9a fan-in sweep)
+	AssertOrder bool
 	// DisableStateSharing is the §3.2 ablation: shard moves always serialize.
 	DisableStateSharing bool
 	// Theta overrides the imbalance threshold (0 = paper default 1.2).
@@ -89,6 +93,10 @@ func NewMicro(opt MicroOptions) (*Micro, error) {
 		rate = 1.3 * float64(elasticCores) / opt.Spec.CPUCost.Seconds()
 	}
 
+	rateFn := opt.RateFn
+	if rateFn == nil {
+		rateFn = workload.ConstantRate(rate)
+	}
 	zipf := workload.NewZipf(opt.Spec.Keys, opt.Spec.Skew, simtime.NewRand(opt.Seed+77))
 	cfg := engine.Config{
 		Topology:            tp,
@@ -111,7 +119,7 @@ func NewMicro(opt MicroOptions) (*Micro, error) {
 		Tmax:                opt.Tmax,
 		Sources: map[stream.OperatorID]*engine.SourceDriver{
 			gen.ID: {
-				Rate: workload.ConstantRate(rate),
+				Rate: rateFn,
 				Sample: func(now simtime.Time) (stream.Key, int, interface{}) {
 					return zipf.Sample(), opt.Spec.TupleBytes, nil
 				},

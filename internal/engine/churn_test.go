@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/simtime"
+)
+
+// churnRun builds an engine, schedules churn ops mid-run via the clock, and
+// returns the report.
+func churnRun(t *testing.T, p Paradigm, schedule func(*Engine)) *Report {
+	t.Helper()
+	cfg := microConfig(p, 2000, 1)
+	cfg.AssertOrder = false // failures drop tuples, breaking per-key gap checks
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule(e)
+	return e.Run(10 * simtime.Second)
+}
+
+func TestAddNodeGrowsCapacityForElasticutor(t *testing.T) {
+	var ev []CapacityEvent
+	r := churnRun(t, Elasticutor, func(e *Engine) {
+		e.SetOnCapacityChange(func(c CapacityEvent) { ev = append(ev, c) })
+		e.Clock().At(simtime.Time(3*simtime.Second), func() { e.AddNode(0) })
+	})
+	if r.NodeJoins != 1 || len(ev) != 1 || ev[0].Kind != NodeJoined {
+		t.Fatalf("joins = %d events = %v", r.NodeJoins, ev)
+	}
+	if ev[0].Node != 4 || ev[0].Cores != 8 {
+		t.Fatalf("event = %+v, want node 4 with 8 cores", ev[0])
+	}
+	if r.Processed == 0 {
+		t.Fatal("nothing processed")
+	}
+}
+
+func TestAddNodeCoresGetScheduled(t *testing.T) {
+	// Saturate a tiny cluster, then double it: the dynamic scheduler must
+	// move executors onto the joined node's cores.
+	cfg := microConfig(Elasticutor, 30000, 1)
+	cfg.AssertOrder = false
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n cluster.NodeID
+	e.Clock().At(simtime.Time(4*simtime.Second), func() { n = e.AddNode(0) })
+	e.Run(10 * simtime.Second)
+	used := 0
+	for _, ex := range e.ElasticExecutors() {
+		used += ex.CoresByNode()[n]
+	}
+	if used == 0 {
+		t.Fatal("no executor core landed on the joined node under saturation")
+	}
+}
+
+func TestDrainNodeMigratesWithoutLoss(t *testing.T) {
+	for _, p := range []Paradigm{Static, ResourceCentric, Elasticutor} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := churnRun(t, p, func(e *Engine) {
+				e.Clock().At(simtime.Time(4*simtime.Second), func() {
+					if err := e.DrainNode(1); err != nil {
+						t.Errorf("drain: %v", err)
+					}
+				})
+			})
+			if r.NodeDrains != 1 {
+				t.Fatalf("drains = %d", r.NodeDrains)
+			}
+			if r.LostStateBytes != 0 {
+				t.Fatalf("graceful drain lost %d state bytes", r.LostStateBytes)
+			}
+			if r.Processed == 0 {
+				t.Fatal("nothing processed")
+			}
+			// Post-drain the system must still be processing: the last
+			// throughput samples are not all zero.
+			s := r.ThroughputSeries
+			tail := 0.0
+			for i := s.Len() - 3; i < s.Len(); i++ {
+				if i >= 0 {
+					tail += s.Values[i]
+				}
+			}
+			if tail == 0 {
+				t.Fatal("throughput collapsed to zero after drain")
+			}
+		})
+	}
+}
+
+func TestFailNodeLosesStateButKeepsServing(t *testing.T) {
+	for _, p := range []Paradigm{Static, ResourceCentric, NaiveEC, Elasticutor} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			r := churnRun(t, p, func(e *Engine) {
+				e.Clock().At(simtime.Time(4*simtime.Second), func() {
+					if err := e.FailNode(2); err != nil {
+						t.Errorf("fail: %v", err)
+					}
+				})
+			})
+			if r.NodeFails != 1 {
+				t.Fatalf("fails = %d", r.NodeFails)
+			}
+			if r.LostStateBytes == 0 {
+				t.Fatal("hard failure reported no state loss")
+			}
+			s := r.ThroughputSeries
+			tail := 0.0
+			for i := s.Len() - 3; i < s.Len(); i++ {
+				if i >= 0 {
+					tail += s.Values[i]
+				}
+			}
+			if tail == 0 {
+				t.Fatal("throughput collapsed to zero after node failure")
+			}
+		})
+	}
+}
+
+func TestStaticRetiresExecutorsOnDrain(t *testing.T) {
+	// Static pins one executor per core with no spares: draining a node must
+	// retire its executors (there is nowhere to evacuate to).
+	r := churnRun(t, Static, func(e *Engine) {
+		e.Clock().At(simtime.Time(4*simtime.Second), func() {
+			if err := e.DrainNode(3); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+		})
+	})
+	if r.RetiredExecutors == 0 {
+		t.Fatal("static drain retired no executors")
+	}
+}
+
+func TestChurnGuards(t *testing.T) {
+	cfg := microConfig(Elasticutor, 1000, 1)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FailNode(9); err == nil {
+		t.Fatal("failing an unknown node must error")
+	}
+	for n := 0; n < 3; n++ {
+		if err := e.FailNode(cluster.NodeID(n)); err != nil {
+			t.Fatalf("fail %d: %v", n, err)
+		}
+	}
+	if err := e.FailNode(3); err == nil {
+		t.Fatal("failing the last node must error")
+	}
+	if err := e.DrainNode(0); err == nil {
+		t.Fatal("draining a dead node must error")
+	}
+}
+
+func TestChurnRunsAreDeterministic(t *testing.T) {
+	fp := func() (int64, int64, uint64) {
+		cfg := microConfig(Elasticutor, 20000, 7)
+		cfg.AssertOrder = false
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Clock().At(simtime.Time(2*simtime.Second), func() { e.AddNode(0) })
+		e.Clock().At(simtime.Time(4*simtime.Second), func() { _ = e.DrainNode(1) })
+		e.Clock().At(simtime.Time(6*simtime.Second), func() { _ = e.FailNode(2) })
+		r := e.Run(9 * simtime.Second)
+		return r.Processed, r.MigrationBytes, r.Events
+	}
+	p1, m1, e1 := fp()
+	p2, m2, e2 := fp()
+	if p1 != p2 || m1 != m2 || e1 != e2 {
+		t.Fatalf("non-deterministic churn run: (%d,%d,%d) vs (%d,%d,%d)", p1, m1, e1, p2, m2, e2)
+	}
+}

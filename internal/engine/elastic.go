@@ -181,7 +181,11 @@ func (e *Engine) sourceCoreCount() int {
 	}
 	n := 0
 	for _, insts := range e.sources {
-		n += len(insts)
+		for _, inst := range insts {
+			if !inst.freeRide {
+				n++
+			}
+		}
 	}
 	return n
 }
@@ -191,12 +195,16 @@ func (e *Engine) sourceCoreCount() int {
 func (e *Engine) elasticCapacity() []int {
 	cap := make([]int, e.cluster.Nodes())
 	for _, core := range e.cluster.Cores() {
-		cap[core.Node]++
+		if e.cluster.NodeAlive(core.Node) {
+			cap[core.Node]++
+		}
 	}
 	if !e.cfg.SourcesFree {
 		for _, insts := range e.sources {
 			for _, inst := range insts {
-				cap[inst.node]--
+				if !inst.freeRide {
+					cap[inst.node]--
+				}
 			}
 		}
 	}

@@ -162,6 +162,10 @@ func (c Config) Defaults() Config {
 type sourceInstance struct {
 	op   *stream.Operator
 	node cluster.NodeID
+	// freeRide marks an instance relocated off a removed node: it squeezes
+	// onto its new node without a reserved core (the surviving nodes' cores
+	// are already spoken for; the churn's capacity hit is the lost node).
+	freeRide bool
 }
 
 // opRuntime is the per-operator runtime state. It doubles as the policy's
@@ -229,6 +233,13 @@ type Engine struct {
 	elastic   []*executor.Executor // all executors of non-source operators
 	elasticOp []*opRuntime         // parallel: owning op of each elastic executor
 	freeCores map[cluster.NodeID][]cluster.CoreID
+
+	// retired holds executors removed by cluster churn; their historical
+	// stats still belong in the final report.
+	retired []*executor.Executor
+
+	// onCapacity observes completed capacity changes (experiments, tests).
+	onCapacity func(CapacityEvent)
 
 	// inflight[ex] counts weight routed to an executor but not yet processed
 	// by it (network transit + queues); the engine-side backpressure ledger.
@@ -533,6 +544,12 @@ func (e *Engine) wireExecutor(rt *opRuntime, ex *executor.Executor, measured, si
 			e.r.observeProcessed(e.clock.Now(), t.Weight, e.cfg.WarmUp)
 		}
 	}
+	ex.OnDropped = func(w int) {
+		// Weight destroyed inside the executor (node failure, retirement)
+		// leaves the engine's backpressure ledger, or the pipe would look
+		// full forever.
+		e.inflight[ex] -= w
+	}
 	if sink {
 		ex.OnLatency = func(d simtime.Duration, w int) {
 			e.r.observeLatency(e.clock.Now(), d, w, e.cfg.WarmUp)
@@ -584,7 +601,7 @@ func (e *Engine) finishReport(d simtime.Duration) {
 		measured = d
 	}
 	e.r.MeasuredSpan = measured
-	for _, ex := range e.elastic {
+	for _, ex := range append(append([]*executor.Executor(nil), e.elastic...), e.retired...) {
 		st := ex.Stats
 		e.r.MigrationBytes += st.MigrationBytes
 		e.r.RemoteTransferBytes += st.RemoteTransferBytes

@@ -56,10 +56,21 @@ func (e *Engine) ForceShardReassign(inter bool, onDone func(executor.ReassignRep
 	// Ensure a destination task exists in the right placement.
 	var wantNode cluster.NodeID
 	if inter {
-		if e.cluster.Nodes() < 2 {
-			return fmt.Errorf("engine: inter-node reassign needs >= 2 nodes")
+		if e.cluster.AliveNodes() < 2 {
+			return fmt.Errorf("engine: inter-node reassign needs >= 2 live nodes")
 		}
-		wantNode = (local + 1) % cluster.NodeID(e.cluster.Nodes())
+		// The next *live* node after local (slots may be dead after churn).
+		wantNode = local
+		for off := 1; off < e.cluster.Nodes(); off++ {
+			cand := cluster.NodeID((int(local) + off) % e.cluster.Nodes())
+			if e.cluster.NodeAlive(cand) {
+				wantNode = cand
+				break
+			}
+		}
+		if wantNode == local {
+			return fmt.Errorf("engine: no live destination node for inter-node reassign")
+		}
 	} else {
 		wantNode = local
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"repro/internal/balancer"
+	"repro/internal/executor"
 	"repro/internal/simtime"
 	"repro/internal/state"
 )
@@ -15,7 +16,15 @@ import (
 // the resource-centric baseline (§1: pause upstream → drain in-flight →
 // migrate state → update upstream routing tables → resume).
 type rcRepartition struct {
-	moves      []balancer.Move
+	moves []balancer.Move
+	// srcEx/dstEx pin the executors of each move by pointer: cluster churn
+	// can retire executors (shifting rt.execs indices) while a repartition
+	// is in flight, so completion must not trust the indices in moves.
+	srcEx, dstEx []*executor.Executor
+	// released[k] records that migrateShards already extracted move k's
+	// shard state: churn-driven retirement must then leave the move to the
+	// protocol instead of migrating the shard a second time.
+	released   []bool
 	started    simtime.Time
 	drainedAt  simtime.Time
 	migratedAt simtime.Time
@@ -41,7 +50,11 @@ func (e *Engine) upstreamExecutorCount(rt *opRuntime) int {
 // updating every upstream routing table), which is what makes RC sync time
 // grow with topology fan-in while Elasticutor's stays flat.
 func (e *Engine) startRepartition(rt *opRuntime, moves []balancer.Move) {
-	rp := &rcRepartition{moves: moves, started: e.clock.Now()}
+	rp := &rcRepartition{moves: moves, released: make([]bool, len(moves)), started: e.clock.Now()}
+	for _, mv := range moves {
+		rp.srcEx = append(rp.srcEx, rt.execs[mv.From])
+		rp.dstEx = append(rp.dstEx, rt.execs[mv.To])
+	}
 	rt.repartition = rp
 	upstream := e.upstreamExecutorCount(rt)
 	pauseCost := simtime.Duration(upstream) * e.cfg.CtrlPerUpstream
@@ -86,16 +99,39 @@ func (e *Engine) migrateShards(rt *opRuntime, rp *rcRepartition) {
 			e.finishRepartition(rt, rp)
 		}
 	}
-	for _, mv := range rp.moves {
-		src := rt.execs[mv.From]
-		dst := rt.execs[mv.To]
+	for k, mv := range rp.moves {
+		src := rp.srcEx[k]
+		dst := rp.dstEx[k]
+		if src.Dead() {
+			// The source was retired by cluster churn after the moves were
+			// decided: a graceful retirement already handed this shard to a
+			// survivor (retireExecutor migrates every unreleased move), a
+			// hard failure wrote it off (counted in LostStateBytes then).
+			e.clock.After(0, done)
+			continue
+		}
+		redirected := false
+		if dst.Dead() {
+			// The destination retired while the repartition was pending:
+			// deliver to the survivor the routing fallback will pick.
+			dst = rt.execs[mv.Shard%len(rt.execs)]
+			rp.dstEx[k] = dst
+			redirected = true
+		}
+		rp.released[k] = true
 		mig := src.ReleaseShard(state.ShardID(mv.Shard))
 		e.r.RepartitionBytes += int64(mig.Bytes)
 		rp.bytes += int64(mig.Bytes)
 		e.r.RepartitionMove++
+		// A fallback-chosen destination may already hold state a racing
+		// churn migration delivered; adopt leniently there (first wins).
+		adopt := dst.AdoptShard
+		if redirected {
+			adopt = dst.AdoptShardIfAbsent
+		}
 		if src.LocalNode() == dst.LocalNode() {
 			// Intra-process state sharing applies to RC too (§5 fairness).
-			dst.AdoptShard(mig)
+			adopt(mig)
 			e.clock.After(0, done)
 			continue
 		}
@@ -104,7 +140,16 @@ func (e *Engine) migrateShards(rt *opRuntime, rp *rcRepartition) {
 		// RC migrating slightly slower than Elasticutor).
 		e.clock.After(e.cfg.ControlDelay+e.cfg.SerializeOverhead, func() {
 			e.cluster.Send(src.LocalNode(), dst.LocalNode(), mig.Bytes, func() {
-				dst.AdoptShard(mig)
+				if dst.Dead() {
+					// Retired mid-flight; hand the state to the survivor the
+					// routing fallback will point at, and repin the move so
+					// finishRepartition routes to the actual recipient.
+					target := rt.execs[mv.Shard%len(rt.execs)]
+					rp.dstEx[k] = target
+					target.AdoptShardIfAbsent(mig)
+				} else {
+					adopt(mig)
+				}
 				done()
 			})
 		})
@@ -118,11 +163,25 @@ func (e *Engine) finishRepartition(rt *opRuntime, rp *rcRepartition) {
 	updateCost := simtime.Duration(upstream) * e.cfg.CtrlPerUpstream
 	e.clock.After(updateCost, func() {
 		inter := 0
-		for _, mv := range rp.moves {
-			if rt.execs[mv.From].LocalNode() != rt.execs[mv.To].LocalNode() {
+		for k, mv := range rp.moves {
+			if !rp.released[k] {
+				// The source retired before this move's state was extracted:
+				// retireExecutors already migrated the shard and remapped its
+				// routing — overwriting that here would point the shard at an
+				// executor that never received the state.
+				continue
+			}
+			if rp.srcEx[k].LocalNode() != rp.dstEx[k].LocalNode() {
 				inter++
 			}
-			rt.opRouting[mv.Shard] = mv.To
+			// Resolve the destination's index at completion time: churn may
+			// have compacted rt.execs since the moves were decided. A retired
+			// destination falls back to the deterministic survivor spread.
+			if dstIdx := execIndex(rt, rp.dstEx[k]); dstIdx >= 0 {
+				rt.opRouting[mv.Shard] = dstIdx
+			} else {
+				rt.opRouting[mv.Shard] = mv.Shard % len(rt.execs)
+			}
 		}
 		rt.paused = false
 		now := e.clock.Now()

@@ -53,6 +53,16 @@ type Report struct {
 	// scheduling decision (model + Algorithm 1), Table 3's metric.
 	SchedulingWall []time.Duration
 
+	// Cluster churn accounting (scenario subsystem).
+	NodeJoins        int   // nodes added mid-run
+	NodeDrains       int   // nodes removed gracefully
+	NodeFails        int   // nodes failed hard
+	RetiredExecutors int   // executors removed because their capacity vanished
+	LostStateBytes   int64 // state destroyed by hard failures
+	// ChurnErrors records scheduled capacity events the engine refused
+	// (infeasible for the live placement); the run continued without them.
+	ChurnErrors []string
+
 	// Derived (filled by finalize).
 	ThroughputMean float64 // tuples/s over the measured span
 	MigrationRate  float64 // bytes/s over the measured span (Table 2)

@@ -1,0 +1,187 @@
+package executor
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/stream"
+)
+
+// keyOnTask routes some key's shard to the given task and returns the key
+// (white-box: fresh shards would otherwise all stick to the first task).
+func keyOnTask(ex *Executor, want TaskID) stream.Key {
+	k := stream.Key(42)
+	ex.routing[ex.cfg.ShardOf(k)] = want
+	return k
+}
+
+func TestFailNodeDropsQueuedWorkAndState(t *testing.T) {
+	env := newEnv(2)
+	cfg := baseConfig()
+	cfg.AssertOrder = false
+	ex := New(env, cfg, 0)  // task 0 on node 0
+	remote := ex.AddCore(4) // first core of node 1
+	var dropped int
+	ex.OnDropped = func(w int) { dropped += w }
+
+	env.clock.At(0, func() {
+		// Seed state and queue load on the remote task.
+		k := keyOnTask(ex, remote)
+		for i := 0; i < 5; i++ {
+			ex.Receive(tuple(k, 1, 0))
+		}
+	})
+	// Stop mid-stream: some tuples processed, one in service, some queued.
+	env.clock.RunUntil(simtime.Time(2500 * simtime.Microsecond))
+	pre := ex.Stats.ProcessedTuples
+
+	rep := ex.FailNode(1)
+	if rep.LostTasks != 1 {
+		t.Fatalf("LostTasks = %d, want 1", rep.LostTasks)
+	}
+	if rep.Dead || rep.Rehomed {
+		t.Fatalf("unexpected Dead/Rehomed: %+v", rep)
+	}
+	if rep.LostStateBytes == 0 {
+		t.Fatal("no state loss reported for a store-bearing node")
+	}
+	if ex.Cores() != 1 {
+		t.Fatalf("Cores = %d after failure, want 1", ex.Cores())
+	}
+	env.clock.Run()
+	if ex.Stats.ProcessedTuples != pre {
+		t.Fatalf("dead task kept processing: %d -> %d", pre, ex.Stats.ProcessedTuples)
+	}
+	if dropped == 0 || ex.Stats.DroppedTuples == 0 {
+		t.Fatal("queued work on the failed node was not dropped")
+	}
+	if ex.InFlight() != 0 {
+		t.Fatalf("inFlight = %d after drain, want 0", ex.InFlight())
+	}
+	// Survivor keeps serving the orphaned keys (fresh state).
+	env.clock.At(env.clock.Now(), func() { ex.Receive(tuple(7, 1, env.clock.Now())) })
+	env.clock.Run()
+	if ex.Stats.ProcessedTuples != pre+1 {
+		t.Fatal("survivor did not take over orphaned traffic")
+	}
+}
+
+func TestFailNodeRehomesMainProcess(t *testing.T) {
+	env := newEnv(2)
+	cfg := baseConfig()
+	cfg.AssertOrder = false
+	ex := New(env, cfg, 0)
+	ex.AddCore(4) // node 1
+	env.clock.At(0, func() {
+		for k := stream.Key(0); k < 8; k++ {
+			ex.Receive(tuple(k, 1, 0))
+		}
+	})
+	env.clock.Run()
+
+	rep := ex.FailNode(0) // the local node dies
+	if !rep.Rehomed {
+		t.Fatalf("expected rehome, got %+v", rep)
+	}
+	if ex.LocalNode() != 1 {
+		t.Fatalf("LocalNode = %d, want 1", ex.LocalNode())
+	}
+	if rep.Dead {
+		t.Fatal("executor should survive on node 1")
+	}
+	// It still processes new work from its new home.
+	pre := ex.Stats.ProcessedTuples
+	env.clock.At(env.clock.Now(), func() { ex.Receive(tuple(3, 1, env.clock.Now())) })
+	env.clock.Run()
+	if ex.Stats.ProcessedTuples != pre+1 {
+		t.Fatal("rehomed executor did not process")
+	}
+}
+
+func TestFailNodeLastTaskLeavesDeadExecutor(t *testing.T) {
+	env := newEnv(2)
+	ex := New(env, baseConfig(), 0)
+	rep := ex.FailNode(0)
+	if !rep.Dead || !ex.Dead() {
+		t.Fatalf("executor should be dead: %+v", rep)
+	}
+	var dropped int
+	ex.OnDropped = func(w int) { dropped += w }
+	env.clock.At(0, func() {
+		if ex.Receive(tuple(1, 2, 0)) {
+			t.Error("dead executor accepted a tuple")
+		}
+	})
+	env.clock.Run()
+	if dropped != 2 {
+		t.Fatalf("OnDropped got %d, want 2", dropped)
+	}
+}
+
+func TestFailNodeAbortsInFlightReassign(t *testing.T) {
+	env := newEnv(2)
+	cfg := baseConfig()
+	cfg.AssertOrder = false
+	ex := New(env, cfg, 0)
+	dst := ex.AddCore(4) // node 1
+	env.clock.At(0, func() {
+		ex.Receive(tuple(1, 1, 0))
+	})
+	env.clock.RunUntil(simtime.Time(5 * simtime.Millisecond))
+	sh, ok := ex.AnyShardNotOn(dst)
+	if !ok {
+		t.Fatal("no movable shard")
+	}
+	completed := false
+	if !ex.ReassignShard(sh, dst, func(ReassignReport) { completed = true }) {
+		t.Fatal("reassign refused")
+	}
+	// Fail the destination node while the label/migration is in flight.
+	ex.FailNode(1)
+	env.clock.Run()
+	if completed {
+		t.Fatal("reassignment completed against a failed destination")
+	}
+	if len(ex.pausedBy) != 0 {
+		t.Fatal("aborted reassignment left the shard paused")
+	}
+	// The shard must still be servable by the survivor.
+	pre := ex.Stats.ProcessedTuples
+	env.clock.At(env.clock.Now(), func() { ex.Receive(tuple(1, 1, env.clock.Now())) })
+	env.clock.Run()
+	if ex.Stats.ProcessedTuples != pre+1 {
+		t.Fatal("shard unservable after aborted reassignment")
+	}
+}
+
+func TestKillDrainsButRefusesNewWork(t *testing.T) {
+	env := newEnv(1)
+	cfg := baseConfig()
+	cfg.Handler = func(t stream.Tuple, s stream.StateAccessor) []stream.Tuple {
+		n, _ := s.Get().(int)
+		s.Set(n + t.Weight)
+		return nil
+	}
+	ex := New(env, cfg, 0)
+	env.clock.At(0, func() {
+		for i := 0; i < 3; i++ {
+			ex.Receive(tuple(1, 1, 0))
+		}
+		ex.Kill()
+	})
+	var dropped int
+	ex.OnDropped = func(w int) { dropped += w }
+	env.clock.At(simtime.Time(simtime.Millisecond), func() {
+		ex.Receive(tuple(2, 1, env.clock.Now()))
+	})
+	env.clock.Run()
+	if ex.Stats.ProcessedTuples != 3 {
+		t.Fatalf("queued work did not drain: processed = %d", ex.Stats.ProcessedTuples)
+	}
+	if dropped != 1 {
+		t.Fatalf("post-kill arrival not dropped: %d", dropped)
+	}
+	if ex.ResidentStateBytes() == 0 {
+		t.Fatal("resident state should be non-zero after stateful processing")
+	}
+}

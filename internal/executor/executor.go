@@ -122,10 +122,16 @@ type task struct {
 	queue   []queued
 	busy    bool
 	removed bool
+	// failed marks a task destroyed by a node failure: unlike removed (a
+	// graceful drain through the reassignment protocol), a failed task loses
+	// its queue and never processes again. Tuples still in flight toward it
+	// are dropped on arrival.
+	failed bool
 	// pendingReassigns counts reassignments with this task as source or
 	// destination; a task is only destroyed when it reaches zero.
 	pendingReassigns int
 	queuedWeight     int
+	busyWeight       int              // tuple weight of the batch in service
 	busyTime         simtime.Duration // cumulative processing time
 }
 
@@ -137,6 +143,9 @@ type reassign struct {
 	drained  simtime.Time
 	buffered []queued // tuples arriving while the shard is paused
 	onDone   func(ReassignReport)
+	// aborted short-circuits every remaining protocol step after a node
+	// failure killed the source or destination task (or the main process).
+	aborted bool
 }
 
 // Executor is one elastic executor.
@@ -172,6 +181,15 @@ type Executor struct {
 	OnLatency func(d simtime.Duration, weight int)
 	// OnProcessed, when set, observes every processed batch (tests).
 	OnProcessed func(t stream.Tuple)
+	// OnDropped, when set, observes tuple weight destroyed inside the
+	// executor (node failures, arrivals at a dead executor) so the engine can
+	// reconcile its in-flight backpressure ledger.
+	OnDropped func(weight int)
+
+	// dead marks a retired executor: it accepts no new tuples (arrivals are
+	// dropped and reported through OnDropped) but lets already-queued work
+	// drain, which is what a graceful shutdown does.
+	dead bool
 
 	Stats Stats
 }
@@ -294,8 +312,18 @@ func (e *Executor) leastLoadedTask(excluding TaskID) *task {
 // caller has already charged the network cost of reaching the local node.
 // It returns false when backpressure rejects the tuple.
 func (e *Executor) Receive(t stream.Tuple) bool {
+	if e.dead {
+		e.Stats.DroppedTuples += int64(t.Weight)
+		if e.OnDropped != nil {
+			e.OnDropped(t.Weight)
+		}
+		return false
+	}
 	if !e.HasCapacity(t.Weight) {
 		e.Stats.DroppedTuples += int64(t.Weight)
+		if e.OnDropped != nil {
+			e.OnDropped(t.Weight)
+		}
 		return false
 	}
 	e.inFlight += t.Weight
@@ -335,6 +363,15 @@ func (e *Executor) dispatch(q queued, t *task) {
 }
 
 func (e *Executor) enqueue(t *task, q queued) {
+	if t.failed {
+		// The task died while this item was in transit to it.
+		if q.label != nil {
+			e.abortReassign(q.label, false)
+		} else {
+			e.dropWeight(q.tuple.Weight)
+		}
+		return
+	}
 	t.queue = append(t.queue, q)
 	t.queuedWeight += q.tuple.Weight
 	e.kick(t)
@@ -342,7 +379,7 @@ func (e *Executor) enqueue(t *task, q queued) {
 
 // kick starts the task's service loop if it is idle.
 func (e *Executor) kick(t *task) {
-	if t.busy || len(t.queue) == 0 {
+	if t.busy || t.failed || len(t.queue) == 0 {
 		return
 	}
 	q := t.queue[0]
@@ -358,6 +395,7 @@ func (e *Executor) kick(t *task) {
 		return
 	}
 	t.busy = true
+	t.busyWeight = q.tuple.Weight
 	cost := e.cfg.Cost(q.tuple) * simtime.Duration(q.tuple.Weight)
 	t.busyTime += cost
 	e.winBusy += cost
@@ -367,6 +405,12 @@ func (e *Executor) kick(t *task) {
 // finish completes processing of one batch on task t.
 func (e *Executor) finish(t *task, q queued) {
 	t.busy = false
+	t.busyWeight = 0
+	if t.failed {
+		// The task's node failed while this batch was in service.
+		e.dropWeight(q.tuple.Weight)
+		return
+	}
 	tup := q.tuple
 
 	if e.cfg.AssertOrder {
@@ -451,7 +495,7 @@ func (e *Executor) emit(t *task, outs []stream.Tuple) {
 // if the shard is already being reassigned, the destination is not live, or
 // the shard is already on dst.
 func (e *Executor) ReassignShard(s state.ShardID, dst TaskID, onDone func(ReassignReport)) bool {
-	if e.pausedBy[s] != nil {
+	if e.dead || e.pausedBy[s] != nil {
 		return false
 	}
 	if int(dst) < 0 || int(dst) >= len(e.tasks) {
@@ -486,6 +530,9 @@ func (e *Executor) ReassignShard(s state.ShardID, dst TaskID, onDone func(Reassi
 // labelDrained runs when the labeling tuple is dequeued at the source task:
 // pending tuples are done, state can move.
 func (e *Executor) labelDrained(r *reassign) {
+	if r.aborted {
+		return
+	}
 	r.drained = e.env.Clock().Now()
 	src, dst := e.tasks[r.src], e.tasks[r.dst]
 	if src.node == dst.node {
@@ -505,9 +552,16 @@ func (e *Executor) labelDrained(r *reassign) {
 	}
 	mig := e.store(src.node).Extract(r.shard)
 	e.Stats.MigrationBytes += int64(mig.Bytes)
-	// Serialization overhead, then wire transfer, then install.
+	// Serialization overhead, then wire transfer, then install. Each step
+	// re-checks aborted: a node failure mid-migration loses the payload.
 	e.env.Clock().After(e.cfg.SerializeOverhead, func() {
+		if r.aborted {
+			return
+		}
 		e.env.Send(src.node, dst.node, mig.Bytes, func() {
+			if r.aborted {
+				return
+			}
 			e.store(dst.node).Install(mig)
 			e.completeReassign(r, mig.Bytes)
 		})
@@ -517,6 +571,9 @@ func (e *Executor) labelDrained(r *reassign) {
 // completeReassign updates the routing table, replays buffered tuples to the
 // destination, resumes the shard, and reports timings.
 func (e *Executor) completeReassign(r *reassign, movedBytes int) {
+	if r.aborted {
+		return
+	}
 	now := e.env.Clock().Now()
 	src, dst := e.tasks[r.src], e.tasks[r.dst]
 	e.routing[r.shard] = r.dst
@@ -629,7 +686,7 @@ func (e *Executor) ownsShards(id TaskID) bool {
 // for each move. Returns the number of reassignments initiated.
 func (e *Executor) Rebalance() int {
 	ids, index := e.liveTaskIDs()
-	if len(ids) <= 1 {
+	if e.dead || len(ids) <= 1 {
 		return 0
 	}
 	// Collect the shard universe: everything with measured load or routing.
@@ -772,14 +829,47 @@ func (e *Executor) ReleaseShard(s state.ShardID) *state.Migration {
 }
 
 // AdoptShard installs a migrated shard into this executor, mapping it to the
-// least-loaded task.
+// least-loaded task. A dead executor discards the migration (the shard was
+// in flight when the destination retired).
 func (e *Executor) AdoptShard(m *state.Migration) {
+	if e.dead {
+		return
+	}
 	t := e.leastLoadedTask(-1)
 	if t == nil {
 		panic("executor: AdoptShard with no live tasks")
 	}
 	e.store(t.node).Install(m)
 	e.routing[m.Shard] = t.id
+}
+
+// HasResidentShard reports whether any of the executor's process stores
+// holds resident state for shard s (churn bookkeeping: distinguishes a
+// delivered migration from one still on the wire).
+func (e *Executor) HasResidentShard(s state.ShardID) bool {
+	for _, st := range e.stores {
+		if st.HasShard(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// AdoptShardIfAbsent installs a migrated shard unless the executor is dead
+// or any of its process stores already holds resident state for it — the
+// deterministic tie-break for churn-era migrations whose destination was
+// re-resolved by a routing fallback (first arrival wins, later payloads are
+// discarded).
+func (e *Executor) AdoptShardIfAbsent(m *state.Migration) {
+	if e.dead {
+		return
+	}
+	for _, st := range e.stores {
+		if st.HasShard(m.Shard) {
+			return
+		}
+	}
+	e.AdoptShard(m)
 }
 
 // StateStore exposes the process store on a node (tests and RC baseline).

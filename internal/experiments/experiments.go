@@ -102,6 +102,7 @@ var All = []Experiment{
 	{"table2", "State migration and remote transfer rates: naive-EC vs Elasticutor", Table2},
 	{"table3", "Throughput and scheduling time vs cluster size", Table3},
 	{"ablation", "Design-choice ablations: state sharing, locality, θ, scheduler cadence", Ablation},
+	{"scenarios", "Scenario sweep: all four policies under load bursts and cluster churn", ScenarioSweep},
 }
 
 // ByID returns the experiment with the given ID.

@@ -17,6 +17,34 @@ func fig8Bytes() []byte {
 	return buf.Bytes()
 }
 
+// scenarioSweepBytes renders the scenario sweep tables like the CLI does.
+func scenarioSweepBytes() []byte {
+	var buf bytes.Buffer
+	for _, tab := range ScenarioSweep(Quick) {
+		tab.Print(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestScenarioSweepGoldenAcrossWorkerCounts pins the sweep — 4 policies × 4
+// churn/burst scenarios, including node drain and hard failure — to its
+// recorded tables, byte-identical for 1 and 4 workers.
+func TestScenarioSweepGoldenAcrossWorkerCounts(t *testing.T) {
+	want, err := os.ReadFile("testdata/scenarios_quick.golden")
+	if err != nil {
+		t.Fatalf("missing golden file (run `go run ./tools/gengolden`): %v", err)
+	}
+	defer harness.SetDefaultWorkers(0)
+	for _, workers := range []int{1, 4} {
+		harness.SetDefaultWorkers(workers)
+		got := scenarioSweepBytes()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("scenario sweep with %d workers diverged:\n--- want ---\n%s--- got ---\n%s",
+				workers, want, got)
+		}
+	}
+}
+
 // TestFig8GoldenAcrossWorkerCounts pins the parallel harness to the
 // sequential seed: the experiment must emit the exact table captured before
 // the harness existed, whether one worker or several run the trials.

@@ -50,6 +50,17 @@ func (p *executorCentric) Install(h Host) {
 	}
 }
 
+// CapacityChanged runs a scheduling round immediately: when a node joins or
+// leaves, the executor-centric control plane re-spreads cores right away
+// instead of waiting out the current period — the paper's "rapid elasticity"
+// applied to capacity change.
+func (p *executorCentric) CapacityChanged() {
+	if p.h == nil || p.h.Knobs().FixedCores != 0 {
+		return
+	}
+	p.schedule()
+}
+
 // schedule is one round of the dynamic scheduler (§4): measure, model,
 // allocate (qmodel), assign (Algorithm 1 or the naive variant), apply.
 func (p *executorCentric) schedule() {

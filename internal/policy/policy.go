@@ -166,6 +166,12 @@ type Policy interface {
 	// op — including ones forced by experiments, which must cool the
 	// controller down exactly like organic ones.
 	RepartitionFinished(op Operator)
+	// CapacityChanged observes a cluster capacity change (node join, drain,
+	// or failure) after the engine has finished its mechanical reaction
+	// (evacuation, rehoming, retirement). Elastic policies should react
+	// immediately rather than wait for their next tick; inelastic baselines
+	// ignore it — that is their honest degradation.
+	CapacityChanged()
 }
 
 // Base provides neutral defaults for optional Policy behavior: static
@@ -183,3 +189,6 @@ func (Base) Install(Host) {}
 
 // RepartitionFinished ignores the event.
 func (Base) RepartitionFinished(Operator) {}
+
+// CapacityChanged ignores the event (no elasticity to exercise).
+func (Base) CapacityChanged() {}

@@ -93,6 +93,16 @@ func (p *resourceCentric) tick() {
 // organic and experiment-forced repartitions alike.
 func (p *resourceCentric) RepartitionFinished(op Operator) { p.cooldown[op] = 2 }
 
+// CapacityChanged clears all cooldowns so the next tick may repartition
+// immediately. RC cannot use joined capacity (executor count is fixed at
+// placement) and pays a full global sync to rebalance after a drain or
+// failure — the honest cost of the paradigm under churn.
+func (p *resourceCentric) CapacityChanged() {
+	for op := range p.cooldown {
+		delete(p.cooldown, op)
+	}
+}
+
 // perExecutorLoads aggregates shard loads by owning executor.
 func perExecutorLoads(loads []float64, assign []int, execs int) []float64 {
 	per := make([]float64, execs)

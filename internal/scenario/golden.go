@@ -1,0 +1,30 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// goldenSeed pins the built-in scenario fingerprints to one deterministic
+// replicate.
+const goldenSeed = 42
+
+// GenerateGoldens runs every built-in scenario under the elasticutor policy
+// with a fixed seed and returns one fingerprint line per scenario (sorted by
+// name, trailing newline). tools/gengolden writes the result to
+// testdata/builtins.golden; the golden test requires byte equality.
+func GenerateGoldens() string {
+	var b strings.Builder
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		r, err := s.Run("elasticutor", goldenSeed)
+		if err != nil {
+			panic(fmt.Sprintf("scenario golden %s: %v", name, err))
+		}
+		fmt.Fprintln(&b, Fingerprint(name, r))
+	}
+	return b.String()
+}

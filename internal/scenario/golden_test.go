@@ -1,0 +1,20 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGoldenBuiltins pins every built-in scenario — including the cluster
+// churn paths — to its recorded fingerprint, event count and all. Regenerate
+// with `go run ./tools/gengolden` only for intended behavior changes.
+func TestGoldenBuiltins(t *testing.T) {
+	want, err := os.ReadFile("testdata/builtins.golden")
+	if err != nil {
+		t.Fatalf("missing golden file (run `go run ./tools/gengolden`): %v", err)
+	}
+	got := GenerateGoldens()
+	if got != string(want) {
+		t.Fatalf("built-in scenario fingerprints drifted.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,291 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// The interpreter: turn a validated Spec into a configured engine with every
+// phase action and cluster event pre-scheduled on the virtual clock. All
+// scheduling happens before Run starts, from the spec alone, so two runs of
+// the same (spec, policy, seed) produce identical event traces.
+
+// skewStep is the cadence at which a skew-drift phase re-morphs the key
+// distribution.
+const skewStep = 250 * simtime.Millisecond
+
+// Instance is one scenario bound to a concrete engine.
+type Instance struct {
+	Spec     *Spec
+	Engine   *engine.Engine
+	Zipf     *workload.Zipf
+	BaseRate float64 // tuples/s the rate multiplier scales
+}
+
+// workloadDefaults fills the quick-scale workload defaults.
+func (s *Spec) workloadSpec() workload.Spec {
+	w := s.Workload
+	out := workload.Spec{
+		Keys:           w.Keys,
+		Skew:           w.Skew,
+		TupleBytes:     w.TupleBytes,
+		CPUCost:        simtime.Duration(w.CPUCostUS * float64(simtime.Microsecond)),
+		ShardStateKB:   w.StateKB,
+		ShufflesPerMin: w.ShufflesPerMin,
+	}
+	if out.Keys == 0 {
+		out.Keys = 2500
+	}
+	if out.Skew == 0 {
+		out.Skew = 0.75
+	}
+	if out.TupleBytes == 0 {
+		out.TupleBytes = 128
+	}
+	if out.CPUCost == 0 {
+		out.CPUCost = simtime.Millisecond
+	}
+	if out.ShardStateKB == 0 {
+		out.ShardStateKB = 32
+	}
+	return out
+}
+
+// BaseRate computes the scenario's base offered load: RatePerSec when set,
+// else RateFraction (default 0.9) of the initial cluster's elastic CPU
+// capacity.
+func (s *Spec) BaseRate() float64 {
+	if s.Workload.RatePerSec > 0 {
+		return s.Workload.RatePerSec
+	}
+	frac := s.Workload.RateFraction
+	if frac <= 0 {
+		frac = 0.9
+	}
+	srcEx := s.SourceExecutors
+	if srcEx == 0 {
+		srcEx = s.Nodes
+	}
+	coresPerNode := cluster.Default(s.Nodes).CoresPerNode
+	elastic := s.Nodes*coresPerNode - srcEx
+	if elastic < 1 {
+		elastic = 1
+	}
+	return frac * float64(elastic) / s.workloadSpec().CPUCost.Seconds()
+}
+
+// RateMultiplier returns the phased offered-load multiplier over the base
+// rate. Inside a rate phase the phase's own curve applies; between phases
+// the most recent phase's exit value holds (a ramp sticks at its target, a
+// flash crowd falls back to 1), and before any phase the multiplier is 1.
+func (s *Spec) RateMultiplier() func(t simtime.Time) float64 {
+	var phases []Phase
+	for _, ph := range s.Phases {
+		if rateClass(ph.Kind) {
+			phases = append(phases, ph)
+		}
+	}
+	sort.SliceStable(phases, func(a, b int) bool { return phases[a].StartSec < phases[b].StartSec })
+	return func(t simtime.Time) float64 {
+		sec := t.Seconds()
+		mult := 1.0
+		for _, ph := range phases {
+			if sec < ph.StartSec {
+				break
+			}
+			if sec < ph.endSec() {
+				return phaseValue(ph, sec)
+			}
+			mult = phaseExit(ph)
+		}
+		return mult
+	}
+}
+
+// phaseValue evaluates a rate phase at an absolute time inside it.
+func phaseValue(ph Phase, sec float64) float64 {
+	frac := (sec - ph.StartSec) / ph.DurationSec
+	switch ph.Kind {
+	case PhaseRamp:
+		from, to := ph.param("from", 0.25), ph.param("to", 1.25)
+		return from + (to-from)*frac
+	case PhaseFlashCrowd:
+		return ph.param("factor", 3)
+	case PhaseDiurnal:
+		a := ph.param("amplitude", 0.5)
+		period := ph.param("period_sec", 10)
+		v := 1 + a*math.Sin(2*math.Pi*(sec-ph.StartSec)/period)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return 1
+}
+
+// phaseExit is the multiplier that persists after a rate phase ends.
+func phaseExit(ph Phase) float64 {
+	if ph.Kind == PhaseRamp {
+		return ph.param("to", 1.25)
+	}
+	return 1
+}
+
+// Attach schedules the spec's key-dynamics phases and cluster events on the
+// engine's clock. z may be nil (user-supplied topologies drive their own
+// samplers); key-class phases are then skipped. Rate phases are NOT handled
+// here — wrap the source rate with RateMultiplier instead.
+func Attach(e *engine.Engine, s *Spec, z *workload.Zipf) {
+	clock := e.Clock()
+	keys := 2500
+	if z != nil {
+		keys = z.N()
+	}
+	for _, ph := range s.Phases {
+		switch ph.Kind {
+		case PhaseSkewDrift:
+			if z == nil {
+				continue
+			}
+			from := ph.param("from", s.workloadSpec().Skew)
+			to := ph.param("to", 1.1)
+			zz, phase := z, ph
+			end := secs(phase.endSec())
+			landed := false
+			for k := 0; ; k++ {
+				at := secs(phase.StartSec) + simtime.Duration(k)*skewStep
+				if at > end {
+					break
+				}
+				if at == end {
+					landed = true
+				}
+				frac := float64(at-secs(phase.StartSec)) / float64(secs(phase.DurationSec))
+				skew := from + (to-from)*frac
+				clock.At(simtime.Time(at), func() { zz.SetSkew(skew) })
+			}
+			if !landed {
+				// Durations that are not a multiple of the step still end
+				// exactly at the declared target skew.
+				clock.At(simtime.Time(end), func() { zz.SetSkew(to) })
+			}
+		case PhaseHotspot:
+			if z == nil {
+				continue
+			}
+			shift := int(ph.param("shift", float64(keys/16)))
+			if shift < 1 {
+				shift = 1
+			}
+			zz := z
+			schedulePeriodic(clock, ph, func() { zz.Rotate(shift) })
+		case PhaseKeyChurn:
+			if z == nil {
+				continue
+			}
+			frac := ph.param("fraction", 0.1)
+			zz := z
+			schedulePeriodic(clock, ph, func() { zz.PartialShuffle(frac) })
+		}
+	}
+	for i, ev := range s.Events {
+		ev, i := ev, i
+		at := simtime.Time(secs(ev.AtSec))
+		// Spec validation cannot see placement, so a valid event can still be
+		// infeasible at fire time (e.g. a drain with no foothold core left);
+		// the engine refuses it and the refusal lands in Report.ChurnErrors
+		// instead of crashing the run.
+		switch ev.Kind {
+		case EventJoin:
+			clock.At(at, func() { e.AddNode(ev.Cores) })
+		case EventDrain:
+			clock.At(at, func() {
+				if err := e.DrainNode(cluster.NodeID(ev.Node)); err != nil {
+					e.RecordChurnError(fmt.Sprintf("scenario %q event %d: %v", s.Name, i, err))
+				}
+			})
+		case EventFail:
+			clock.At(at, func() {
+				if err := e.FailNode(cluster.NodeID(ev.Node)); err != nil {
+					e.RecordChurnError(fmt.Sprintf("scenario %q event %d: %v", s.Name, i, err))
+				}
+			})
+		}
+	}
+}
+
+// schedulePeriodic fires fn at the phase start and then every period_sec
+// until the phase ends. Validation guarantees a positive period.
+func schedulePeriodic(clock *simtime.Clock, ph Phase, fn func()) {
+	period := secs(ph.param("period_sec", 2))
+	for at := secs(ph.StartSec); at <= secs(ph.endSec()); at += period {
+		clock.At(simtime.Time(at), fn)
+	}
+}
+
+// Build validates the spec and assembles a ready-to-run engine: the
+// micro-benchmark topology with the scenario's workload, the phased rate
+// function, and every key phase and cluster event pre-scheduled.
+func (s *Spec) Build(policyName string, seed uint64) (*Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	pol, err := policy.ByName(policyName)
+	if err != nil {
+		return nil, err
+	}
+	base := s.BaseRate()
+	mult := s.RateMultiplier()
+	m, err := core.NewMicro(core.MicroOptions{
+		Policy:          pol,
+		Nodes:           s.Nodes,
+		SourceExecutors: s.SourceExecutors,
+		Y:               s.Y,
+		Z:               s.Z,
+		OpShards:        s.OpShards,
+		Spec:            s.workloadSpec(),
+		Rate:            base,
+		RateFn:          func(t simtime.Time) float64 { return base * mult(t) },
+		Seed:            seed,
+		WarmUp:          s.Warmup(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	Attach(m.Engine, s, m.Zipf)
+	return &Instance{Spec: s, Engine: m.Engine, Zipf: m.Zipf, BaseRate: base}, nil
+}
+
+// Run builds and runs the scenario under the named elasticity policy.
+func (s *Spec) Run(policyName string, seed uint64) (*engine.Report, error) {
+	inst, err := s.Build(policyName, seed)
+	if err != nil {
+		return nil, err
+	}
+	return inst.Engine.Run(s.Duration()), nil
+}
+
+// Fingerprint renders every deterministic field of a scenario report,
+// including the churn counters the base golden fingerprint predates. Used by
+// the golden tests that pin each built-in scenario.
+func Fingerprint(name string, r *engine.Report) string {
+	return fmt.Sprintf("%s policy=%s gen=%d proc=%d blocked=%d dropped=%d events=%d "+
+		"thr=%.3f latMean=%d latP99=%d "+
+		"reassign=%d inter=%d migB=%d remoteB=%d repart=%d repB=%d "+
+		"joins=%d drains=%d fails=%d retired=%d lostB=%d churnErr=%d",
+		name, r.Policy, r.Generated, r.Processed, r.Blocked, r.Dropped, r.Events,
+		r.ThroughputMean,
+		int64(r.Latency.Mean()), int64(r.Latency.Quantile(0.99)),
+		r.Reassignments, r.InterNodeReassigns, r.MigrationBytes, r.RemoteTransferBytes,
+		r.Repartitions, r.RepartitionBytes,
+		r.NodeJoins, r.NodeDrains, r.NodeFails, r.RetiredExecutors, r.LostStateBytes,
+		len(r.ChurnErrors))
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+)
+
+func writeFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+
+func TestScenarioRunsAreDeterministic(t *testing.T) {
+	// The heaviest determinism claim: a churn scenario produces a
+	// byte-identical fingerprint on repeated runs.
+	for _, name := range []string{"nodefail", "blackfriday"} {
+		run := func() string {
+			s, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := s.Run("elasticutor", 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Fingerprint(name, r)
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("%s: fingerprints differ:\n%s\n%s", name, a, b)
+		}
+	}
+}
+
+func TestChurnScenariosTouchTheChurnPath(t *testing.T) {
+	cases := map[string]func(j, d, f int) bool{
+		"nodejoin":  func(j, d, f int) bool { return j == 1 && d == 0 && f == 0 },
+		"nodedrain": func(j, d, f int) bool { return d == 1 },
+		"nodefail":  func(j, d, f int) bool { return f == 1 },
+	}
+	for name, ok := range cases {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run("rc", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok(r.NodeJoins, r.NodeDrains, r.NodeFails) {
+			t.Errorf("%s: joins/drains/fails = %d/%d/%d", name, r.NodeJoins, r.NodeDrains, r.NodeFails)
+		}
+		if r.Processed == 0 {
+			t.Errorf("%s: nothing processed", name)
+		}
+	}
+}
+
+func TestFlashcrowdActuallyBursts(t *testing.T) {
+	s, err := ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run("elasticutor", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// During the burst the offered load exceeds capacity: backpressure must
+	// have engaged (blocked tuples), which never happens in steady.
+	if r.Blocked == 0 {
+		t.Fatal("flash crowd never saturated the cluster")
+	}
+	st, _ := ByName("steady")
+	rs, err := st.Run("elasticutor", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Blocked >= r.Blocked {
+		t.Fatalf("steady blocked %d >= flashcrowd %d", rs.Blocked, r.Blocked)
+	}
+}
+
+func TestSkewDriftMutatesDistribution(t *testing.T) {
+	s, err := ByName("skewdrift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Build("static", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inst.Zipf.Prob(inst.Zipf.HottestKeys(1)[0])
+	inst.Engine.Run(s.Duration())
+	after := inst.Zipf.Prob(inst.Zipf.HottestKeys(1)[0])
+	if after <= before {
+		t.Fatalf("hot-key mass did not grow under skew drift: %v -> %v", before, after)
+	}
+}
+
+func TestBuildRejectsUnknownPolicy(t *testing.T) {
+	s, _ := ByName("steady")
+	if _, err := s.Build("chaos-monkey", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,280 @@
+// Package scenario is the declarative stress-scenario layer of the
+// Elasticutor reproduction. A Spec composes phased workload dynamics (ramp,
+// flash crowd, diurnal wave, skew drift, hotspot migration, key churn) with
+// timed cluster events (node join, graceful drain, hard failure) over the
+// micro-benchmark topology; the interpreter schedules everything on the
+// engine's event heap before the run starts, so scenario runs are exactly
+// as deterministic as plain ones.
+//
+// Specs are plain Go structs with a stable JSON form: built-ins live in the
+// registry (Names/ByName), user scenarios load from files
+// (`elasticutor-sim -scenario my.json`).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// Phase kinds. Rate-class phases modulate the offered load; key-class phases
+// mutate the key-frequency mapping.
+const (
+	PhaseRamp       = "ramp"       // rate: interpolate from×base → to×base
+	PhaseFlashCrowd = "flashcrowd" // rate: factor×base for the phase, then back
+	PhaseDiurnal    = "diurnal"    // rate: sine wave around base
+	PhaseSkewDrift  = "skewdrift"  // keys: morph zipf skew from → to
+	PhaseHotspot    = "hotspot"    // keys: rotate the hot set every period
+	PhaseKeyChurn   = "keychurn"   // keys: partially shuffle identities every period
+)
+
+// rateClass reports whether a phase kind modulates the offered rate.
+func rateClass(kind string) bool {
+	switch kind {
+	case PhaseRamp, PhaseFlashCrowd, PhaseDiurnal:
+		return true
+	}
+	return false
+}
+
+func knownPhase(kind string) bool {
+	switch kind {
+	case PhaseRamp, PhaseFlashCrowd, PhaseDiurnal, PhaseSkewDrift, PhaseHotspot, PhaseKeyChurn:
+		return true
+	}
+	return false
+}
+
+// Node event kinds.
+const (
+	EventJoin  = "join"  // a node with Cores cores (0 = cluster default) joins
+	EventDrain = "drain" // node Node leaves gracefully (state migrates off)
+	EventFail  = "fail"  // node Node fails hard (its state and queues are lost)
+)
+
+// Phase is one timed workload dynamic. Params are kind-specific knobs, all
+// optional:
+//
+//	ramp:       from (0.25), to (1.25) — multipliers of the base rate
+//	flashcrowd: factor (3)
+//	diurnal:    amplitude (0.5), period_sec (10)
+//	skewdrift:  from (workload skew), to (1.1)
+//	hotspot:    period_sec (2), shift (keys/16)
+//	keychurn:   period_sec (1), fraction (0.1)
+type Phase struct {
+	Kind        string             `json:"kind"`
+	StartSec    float64            `json:"start_sec"`
+	DurationSec float64            `json:"duration_sec"`
+	Params      map[string]float64 `json:"params,omitempty"`
+}
+
+func (p Phase) endSec() float64 { return p.StartSec + p.DurationSec }
+
+func (p Phase) param(name string, def float64) float64 {
+	if v, ok := p.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// NodeEvent is one timed cluster capacity change.
+type NodeEvent struct {
+	Kind  string  `json:"kind"`
+	AtSec float64 `json:"at_sec"`
+	Node  int     `json:"node,omitempty"`  // drain/fail: the node to remove
+	Cores int     `json:"cores,omitempty"` // join: cores on the new node (0 = default)
+}
+
+// WorkloadSpec parameterizes the micro-benchmark workload a scenario runs.
+// Zero values take the quick-scale defaults (2500 keys, zipf 0.75, 128 B
+// tuples, 1 ms CPU, 32 KB shards, 90% of CPU capacity offered).
+type WorkloadSpec struct {
+	Keys           int     `json:"keys,omitempty"`
+	Skew           float64 `json:"skew,omitempty"`
+	TupleBytes     int     `json:"tuple_bytes,omitempty"`
+	CPUCostUS      float64 `json:"cpu_cost_us,omitempty"`
+	StateKB        int     `json:"state_kb,omitempty"`
+	ShufflesPerMin float64 `json:"shuffles_per_min,omitempty"`
+	// RateFraction sets the base offered load as a fraction of the initial
+	// cluster's elastic CPU capacity (default 0.9). RatePerSec overrides it
+	// with an absolute rate.
+	RateFraction float64 `json:"rate_fraction,omitempty"`
+	RatePerSec   float64 `json:"rate_per_sec,omitempty"`
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	Nodes           int `json:"nodes"`
+	SourceExecutors int `json:"source_executors,omitempty"`
+	Y               int `json:"y,omitempty"`
+	Z               int `json:"z,omitempty"`
+	OpShards        int `json:"op_shards,omitempty"`
+
+	DurationSec float64 `json:"duration_sec"`
+	WarmupSec   float64 `json:"warmup_sec,omitempty"`
+
+	Workload WorkloadSpec `json:"workload"`
+	Phases   []Phase      `json:"phases,omitempty"`
+	Events   []NodeEvent  `json:"events,omitempty"`
+}
+
+// Duration returns the virtual run length.
+func (s *Spec) Duration() simtime.Duration { return secs(s.DurationSec) }
+
+// Warmup returns the span excluded from reported metrics.
+func (s *Spec) Warmup() simtime.Duration { return secs(s.WarmupSec) }
+
+func secs(v float64) simtime.Duration {
+	return simtime.Duration(v * float64(simtime.Second))
+}
+
+// Validate checks the spec's internal consistency: known kinds, phases
+// inside the horizon, no ambiguous overlaps (two rate phases, or two
+// key phases of the same kind), and a cluster-event timeline that never
+// removes an unknown, dead, or last-standing node.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name is required")
+	}
+	if s.Nodes < 1 {
+		return fmt.Errorf("scenario %q: nodes must be >= 1", s.Name)
+	}
+	if s.DurationSec <= 0 {
+		return fmt.Errorf("scenario %q: duration_sec must be > 0", s.Name)
+	}
+	if s.WarmupSec < 0 || s.WarmupSec >= s.DurationSec {
+		return fmt.Errorf("scenario %q: warmup_sec must be in [0, duration)", s.Name)
+	}
+	for i, ph := range s.Phases {
+		if !knownPhase(ph.Kind) {
+			return fmt.Errorf("scenario %q: phase %d has unknown kind %q", s.Name, i, ph.Kind)
+		}
+		if ph.StartSec < 0 || ph.DurationSec <= 0 {
+			return fmt.Errorf("scenario %q: phase %d (%s) needs start >= 0 and duration > 0", s.Name, i, ph.Kind)
+		}
+		if ph.endSec() > s.DurationSec {
+			return fmt.Errorf("scenario %q: phase %d (%s) ends at %.1fs, past the %.1fs horizon",
+				s.Name, i, ph.Kind, ph.endSec(), s.DurationSec)
+		}
+		for k, v := range ph.Params {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("scenario %q: phase %d (%s) param %q = %v", s.Name, i, ph.Kind, k, v)
+			}
+		}
+		if v, ok := ph.Params["period_sec"]; ok && v <= 0 {
+			return fmt.Errorf("scenario %q: phase %d (%s) period_sec must be > 0", s.Name, i, ph.Kind)
+		}
+		for j := 0; j < i; j++ {
+			prev := s.Phases[j]
+			overlaps := ph.StartSec < prev.endSec() && prev.StartSec < ph.endSec()
+			if !overlaps {
+				continue
+			}
+			ambiguous := (rateClass(ph.Kind) && rateClass(prev.Kind)) || ph.Kind == prev.Kind
+			if ambiguous {
+				return fmt.Errorf("scenario %q: phases %d (%s) and %d (%s) overlap",
+					s.Name, j, prev.Kind, i, ph.Kind)
+			}
+		}
+	}
+	return s.validateEvents()
+}
+
+// validateEvents replays the event timeline against the evolving node set.
+func (s *Spec) validateEvents() error {
+	// Events apply in (time, declaration) order — the same order the
+	// interpreter schedules them on the clock.
+	order := make([]int, len(s.Events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Events[order[a]].AtSec < s.Events[order[b]].AtSec
+	})
+	alive := make(map[int]bool, s.Nodes)
+	for n := 0; n < s.Nodes; n++ {
+		alive[n] = true
+	}
+	total, liveCount := s.Nodes, s.Nodes
+	for _, i := range order {
+		ev := s.Events[i]
+		if ev.AtSec < 0 || ev.AtSec > s.DurationSec {
+			return fmt.Errorf("scenario %q: event %d (%s) at %.1fs is outside the %.1fs horizon",
+				s.Name, i, ev.Kind, ev.AtSec, s.DurationSec)
+		}
+		switch ev.Kind {
+		case EventJoin:
+			if ev.Cores < 0 {
+				return fmt.Errorf("scenario %q: event %d: negative cores", s.Name, i)
+			}
+			if ev.Node != 0 {
+				// Joined nodes get the next append-only ID; a node field here
+				// means the author expected to choose it — fail loudly.
+				return fmt.Errorf("scenario %q: event %d: join events take cores, not node (IDs are assigned in order)", s.Name, i)
+			}
+			alive[total] = true
+			total++
+			liveCount++
+		case EventDrain, EventFail:
+			if ev.Cores != 0 {
+				return fmt.Errorf("scenario %q: event %d (%s) takes node, not cores", s.Name, i, ev.Kind)
+			}
+			if !alive[ev.Node] {
+				return fmt.Errorf("scenario %q: event %d (%s) targets node %d, which is not alive then",
+					s.Name, i, ev.Kind, ev.Node)
+			}
+			if liveCount == 1 {
+				return fmt.Errorf("scenario %q: event %d (%s) would remove the last node", s.Name, i, ev.Kind)
+			}
+			delete(alive, ev.Node)
+			liveCount--
+		default:
+			return fmt.Errorf("scenario %q: event %d has unknown kind %q", s.Name, i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// JSON renders the spec in its canonical indented form.
+func (s *Spec) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// Parse decodes and validates a JSON spec. Unknown fields are rejected —
+// a typoed phase parameter should fail loudly, not silently do nothing.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and validates a JSON spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data)
+}
+
+// Resolve returns the named built-in, or — when the argument looks like a
+// path (contains a separator or .json suffix) — loads the spec from disk.
+func Resolve(nameOrPath string) (*Spec, error) {
+	if strings.ContainsAny(nameOrPath, `/\`) || strings.HasSuffix(nameOrPath, ".json") {
+		return Load(nameOrPath)
+	}
+	return ByName(nameOrPath)
+}

@@ -1,0 +1,248 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// randSpec generates a valid-shaped spec from a deterministic RNG (the JSON
+// round-trip property test's input distribution). It is not always
+// semantically valid — round-tripping must preserve invalid specs too.
+func randSpec(rng *simtime.Rand) *Spec {
+	kinds := []string{PhaseRamp, PhaseFlashCrowd, PhaseDiurnal, PhaseSkewDrift, PhaseHotspot, PhaseKeyChurn}
+	s := &Spec{
+		Name:        "prop-" + string(rune('a'+rng.Intn(26))),
+		Description: "generated",
+		Nodes:       1 + rng.Intn(8),
+		Y:           rng.Intn(8),
+		Z:           rng.Intn(256),
+		OpShards:    rng.Intn(1024),
+		DurationSec: 1 + rng.Float64()*30,
+		WarmupSec:   rng.Float64(),
+		Workload: WorkloadSpec{
+			Keys:         rng.Intn(5000),
+			Skew:         rng.Float64(),
+			TupleBytes:   rng.Intn(4096),
+			CPUCostUS:    rng.Float64() * 2000,
+			StateKB:      rng.Intn(64),
+			RateFraction: rng.Float64(),
+		},
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		ph := Phase{
+			Kind:        kinds[rng.Intn(len(kinds))],
+			StartSec:    rng.Float64() * 10,
+			DurationSec: rng.Float64() * 10,
+		}
+		if rng.Intn(2) == 1 {
+			ph.Params = map[string]float64{"factor": rng.Float64() * 4, "period_sec": rng.Float64() * 5}
+		}
+		s.Phases = append(s.Phases, ph)
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		s.Events = append(s.Events, NodeEvent{
+			Kind:  []string{EventJoin, EventDrain, EventFail}[rng.Intn(3)],
+			AtSec: rng.Float64() * 30,
+			Node:  rng.Intn(8),
+			Cores: rng.Intn(8),
+		})
+	}
+	return s
+}
+
+func TestSpecJSONRoundTripProperty(t *testing.T) {
+	rng := simtime.NewRand(1234)
+	for i := 0; i < 200; i++ {
+		orig := randSpec(rng)
+		data, err := orig.JSON()
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var back Spec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		if !reflect.DeepEqual(orig, &back) {
+			t.Fatalf("case %d: round trip drifted:\n orig %+v\n back %+v\n json %s", i, orig, &back, data)
+		}
+	}
+}
+
+func TestBuiltinsRoundTripThroughParse(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := s.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: parse of own JSON failed: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("%s: round trip drifted", name)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	base := func() *Spec { return quick("v", "validation fixture") }
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		errPart string
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }, "name is required"},
+		{"zero nodes", func(s *Spec) { s.Nodes = 0 }, "nodes"},
+		{"zero duration", func(s *Spec) { s.DurationSec = 0 }, "duration_sec"},
+		{"warmup past horizon", func(s *Spec) { s.WarmupSec = 20 }, "warmup"},
+		{"unknown phase kind", func(s *Spec) {
+			s.Phases = []Phase{{Kind: "tsunami", StartSec: 1, DurationSec: 2}}
+		}, "unknown kind"},
+		{"phase past horizon", func(s *Spec) {
+			s.Phases = []Phase{{Kind: PhaseRamp, StartSec: 10, DurationSec: 10}}
+		}, "past the"},
+		{"negative param", func(s *Spec) {
+			s.Phases = []Phase{{Kind: PhaseRamp, StartSec: 1, DurationSec: 2,
+				Params: map[string]float64{"to": -1}}}
+		}, "param"},
+		{"overlapping rate phases", func(s *Spec) {
+			s.Phases = []Phase{
+				{Kind: PhaseRamp, StartSec: 1, DurationSec: 6},
+				{Kind: PhaseFlashCrowd, StartSec: 4, DurationSec: 4},
+			}
+		}, "overlap"},
+		{"overlapping same-kind key phases", func(s *Spec) {
+			s.Phases = []Phase{
+				{Kind: PhaseKeyChurn, StartSec: 1, DurationSec: 6},
+				{Kind: PhaseKeyChurn, StartSec: 4, DurationSec: 4},
+			}
+		}, "overlap"},
+		{"event past horizon", func(s *Spec) {
+			s.Events = []NodeEvent{{Kind: EventFail, AtSec: 99, Node: 1}}
+		}, "outside the"},
+		{"unknown event kind", func(s *Spec) {
+			s.Events = []NodeEvent{{Kind: "reboot", AtSec: 5}}
+		}, "unknown kind"},
+		{"drain of unknown node", func(s *Spec) {
+			s.Events = []NodeEvent{{Kind: EventDrain, AtSec: 5, Node: 17}}
+		}, "not alive"},
+		{"double fail of one node", func(s *Spec) {
+			s.Events = []NodeEvent{
+				{Kind: EventFail, AtSec: 5, Node: 1},
+				{Kind: EventFail, AtSec: 7, Node: 1},
+			}
+		}, "not alive"},
+		{"failing the last node", func(s *Spec) {
+			s.Nodes = 2
+			s.Events = []NodeEvent{
+				{Kind: EventFail, AtSec: 5, Node: 0},
+				{Kind: EventFail, AtSec: 7, Node: 1},
+			}
+		}, "last node"},
+	}
+	for _, tc := range cases {
+		s := base()
+		tc.mutate(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: validation passed, want error containing %q", tc.name, tc.errPart)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.errPart)
+		}
+	}
+}
+
+func TestValidationAllowsRecoveredCapacity(t *testing.T) {
+	// Joined nodes extend the timeline: failing the original nodes is fine
+	// once replacements arrived, and the joined node is itself drainable.
+	s := quick("churny", "join/leave cycle")
+	s.Nodes = 2
+	s.Events = []NodeEvent{
+		{Kind: EventJoin, AtSec: 2},
+		{Kind: EventFail, AtSec: 4, Node: 0},
+		{Kind: EventDrain, AtSec: 6, Node: 2},
+		{Kind: EventJoin, AtSec: 7, Cores: 4},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"name":"x","nodes":2,"duration_sec":5,"phasez":[]}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestRateMultiplierSemantics(t *testing.T) {
+	s := quick("m", "multiplier fixture")
+	s.Phases = []Phase{
+		{Kind: PhaseRamp, StartSec: 2, DurationSec: 4, Params: map[string]float64{"from": 0.5, "to": 1.5}},
+		{Kind: PhaseFlashCrowd, StartSec: 10, DurationSec: 2, Params: map[string]float64{"factor": 3}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mult := s.RateMultiplier()
+	at := func(sec float64) float64 { return mult(simtime.Time(sec * float64(simtime.Second))) }
+	if got := at(0); got != 1 {
+		t.Fatalf("before phases: %v, want 1", got)
+	}
+	if got := at(4); got != 1.0 {
+		t.Fatalf("ramp midpoint: %v, want 1.0", got)
+	}
+	if got := at(8); got != 1.5 {
+		t.Fatalf("after ramp: %v, want the ramp target to stick", got)
+	}
+	if got := at(11); got != 3 {
+		t.Fatalf("inside flash crowd: %v, want 3", got)
+	}
+	if got := at(13); got != 1 {
+		t.Fatalf("after flash crowd: %v, want fallback to 1", got)
+	}
+}
+
+func TestByNameReturnsFreshCopies(t *testing.T) {
+	a, _ := ByName("flashcrowd")
+	b, _ := ByName("flashcrowd")
+	if a == b {
+		t.Fatal("ByName returned a shared pointer")
+	}
+	a.Phases[0].Params["factor"] = 99
+	if b.Phases[0].Params["factor"] == 99 {
+		t.Fatal("mutating one copy leaked into the other")
+	}
+}
+
+func TestResolveDispatchesNamesAndPaths(t *testing.T) {
+	if _, err := Resolve("nodefail"); err != nil {
+		t.Fatalf("builtin by name: %v", err)
+	}
+	if _, err := Resolve("no-such-scenario"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	s, _ := ByName("nodedrain")
+	data, _ := s.JSON()
+	path := t.TempDir() + "/s.json"
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Resolve(path)
+	if err != nil {
+		t.Fatalf("load from path: %v", err)
+	}
+	if !reflect.DeepEqual(s, loaded) {
+		t.Fatal("loaded spec differs from source")
+	}
+}

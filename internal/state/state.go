@@ -110,6 +110,16 @@ func (s *Store) KeyCount(id ShardID) int {
 	return 0
 }
 
+// ResidentBytes sums the nominal sizes of all resident shards (the state a
+// process would lose if its node failed).
+func (s *Store) ResidentBytes() int64 {
+	var b int64
+	for _, sh := range s.shards {
+		b += int64(sh.bytes)
+	}
+	return b
+}
+
 // TotalKeys returns the number of keys with state across all shards.
 func (s *Store) TotalKeys() int {
 	n := 0

@@ -85,6 +85,65 @@ func (z *Zipf) Shuffle() {
 // Shuffles returns how many shuffles have been applied.
 func (z *Zipf) Shuffles() int { return z.shuffles }
 
+// SetSkew rebuilds the frequency profile with a new skew factor, keeping the
+// current rank→key mapping. Scenario skew-drift phases call this repeatedly
+// to morph a near-uniform workload into a sharply skewed one (or back).
+func (z *Zipf) SetSkew(s float64) {
+	var sum float64
+	for r := range z.cdf {
+		sum += 1 / math.Pow(float64(r+1), s)
+		z.cdf[r] = sum
+	}
+	for r := range z.cdf {
+		z.cdf[r] /= sum
+	}
+}
+
+// Rotate shifts the rank→key mapping by n positions: every frequency rank
+// moves to the key n identities over, so the hot set migrates to a disjoint
+// key range deterministically — the scenario engine's "hotspot migration"
+// dynamic (a directed cousin of Shuffle's random permutation).
+func (z *Zipf) Rotate(n int) {
+	size := len(z.rankToKey)
+	if size == 0 {
+		return
+	}
+	n %= size
+	if n < 0 {
+		n += size
+	}
+	if n == 0 {
+		return
+	}
+	next := make([]stream.Key, size)
+	for r, k := range z.rankToKey {
+		next[r] = stream.Key((int(k) + n) % size)
+	}
+	z.rankToKey = next
+}
+
+// PartialShuffle permutes the key identities of a random frac of the ranks
+// (key churn: a slice of the population is replaced while the rest keeps its
+// traffic). frac is clamped to [0, 1]; fewer than two affected ranks is a
+// no-op.
+func (z *Zipf) PartialShuffle(frac float64) {
+	if frac > 1 {
+		frac = 1
+	}
+	m := int(frac * float64(len(z.rankToKey)))
+	if m < 2 {
+		return
+	}
+	ranks := z.rng.Perm(len(z.rankToKey))[:m]
+	vals := make([]stream.Key, m)
+	for i, r := range ranks {
+		vals[i] = z.rankToKey[r]
+	}
+	for i, j := range z.rng.Perm(m) {
+		z.rankToKey[ranks[i]] = vals[j]
+	}
+}
+
 // HottestKeys returns the top-k keys by current probability mass, hottest
 // first. Used by tests and by the hotspot example.
 func (z *Zipf) HottestKeys(k int) []stream.Key {

@@ -83,6 +83,91 @@ func TestShuffleKeepsKeySpace(t *testing.T) {
 	}
 }
 
+func TestSetSkewMorphsProfileInPlace(t *testing.T) {
+	z := NewZipf(1000, 0.2, simtime.NewRand(9))
+	hot := z.HottestKeys(1)[0]
+	flat := z.Prob(hot)
+	z.SetSkew(1.2)
+	sharp := z.Prob(hot)
+	if sharp <= flat*2 {
+		t.Fatalf("skew 0.2→1.2 did not concentrate mass: %v -> %v", flat, sharp)
+	}
+	// The rank→key mapping is untouched.
+	if got := z.HottestKeys(1)[0]; got != hot {
+		t.Fatalf("SetSkew moved the hot identity: %d -> %d", hot, got)
+	}
+	// Distribution still sums to 1.
+	sum := 0.0
+	for k := 0; k < 1000; k++ {
+		sum += z.Prob(stream.Key(k))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v after SetSkew", sum)
+	}
+}
+
+func TestRotateShiftsHotSetDeterministically(t *testing.T) {
+	z := NewZipf(100, 0.8, simtime.NewRand(10))
+	before := z.HottestKeys(5)
+	z.Rotate(17)
+	after := z.HottestKeys(5)
+	for i := range before {
+		want := stream.Key((int(before[i]) + 17) % 100)
+		if after[i] != want {
+			t.Fatalf("rank %d: %d -> %d, want %d", i, before[i], after[i], want)
+		}
+	}
+	// Still a permutation.
+	seen := map[stream.Key]bool{}
+	for _, k := range z.HottestKeys(100) {
+		if k >= 100 || seen[k] {
+			t.Fatalf("rotate broke the permutation at key %d", k)
+		}
+		seen[k] = true
+	}
+	// Rotating by the key-space size is a no-op.
+	snap := z.HottestKeys(100)
+	z.Rotate(100)
+	for i, k := range z.HottestKeys(100) {
+		if snap[i] != k {
+			t.Fatal("full rotation changed the mapping")
+		}
+	}
+}
+
+func TestPartialShuffleChurnsOnlyAFraction(t *testing.T) {
+	z := NewZipf(1000, 0.5, simtime.NewRand(11))
+	before := z.HottestKeys(1000)
+	z.PartialShuffle(0.2)
+	after := z.HottestKeys(1000)
+	moved := 0
+	seen := map[stream.Key]bool{}
+	for i := range after {
+		if before[i] != after[i] {
+			moved++
+		}
+		if after[i] >= 1000 || seen[after[i]] {
+			t.Fatalf("partial shuffle broke the permutation at rank %d", i)
+		}
+		seen[after[i]] = true
+	}
+	if moved == 0 {
+		t.Fatal("nothing churned")
+	}
+	if moved > 250 {
+		t.Fatalf("churned %d ranks, want ≲ 200 (fraction 0.2)", moved)
+	}
+	// Degenerate fractions are no-ops.
+	snap := z.HottestKeys(1000)
+	z.PartialShuffle(0)
+	z.PartialShuffle(0.0001)
+	for i, k := range z.HottestKeys(1000) {
+		if snap[i] != k {
+			t.Fatal("no-op fraction mutated the mapping")
+		}
+	}
+}
+
 func TestSampleInRange(t *testing.T) {
 	z := NewZipf(10, 0.5, simtime.NewRand(6))
 	for i := 0; i < 10000; i++ {

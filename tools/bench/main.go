@@ -1,0 +1,132 @@
+// Command bench executes the repo's benchmarks (bench_test.go) through `go
+// test -bench` and records the results as a JSON baseline, seeding the perf
+// trajectory across PRs:
+//
+//	go run ./tools/bench                  # full run, writes BENCH_2.json
+//	go run ./tools/bench -smoke           # CI: component benches once, no file
+//	go run ./tools/bench -bench Fig8 -benchtime 3x -out /tmp/fig8.json
+//
+// The default -benchtime of 100ms gives the component microbenches a stable
+// sample while each paper-artifact benchmark (a full quick-scale experiment
+// per iteration) runs exactly once. The output maps benchmark name →
+// {ns_per_op, bytes_per_op, allocs_per_op}; wall-clock numbers are
+// machine-dependent — compare trajectories on one box, not across boxes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded measurement.
+type Result struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Baseline is the file format of BENCH_*.json.
+type Baseline struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	BenchTime  string            `json:"benchtime"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` output rows, e.g.
+// BenchmarkComponentZipfSample-8  21534210  55.7 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	var (
+		pattern   = flag.String("bench", ".", "benchmark name pattern (go test -bench)")
+		benchtime = flag.String("benchtime", "100ms", "per-benchmark time or iteration budget (go test -benchtime)")
+		out       = flag.String("out", "BENCH_2.json", "output JSON path ('' = stdout only)")
+		smoke     = flag.Bool("smoke", false, "CI mode: run the component benches once each, write nothing, fail on any error")
+	)
+	flag.Parse()
+	if *smoke {
+		*pattern, *benchtime, *out = "Component", "1x", ""
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", *pattern, "-benchtime", *benchtime, "-benchmem", "."}
+	fmt.Fprintf(os.Stderr, "go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: go test failed: %v\n%s", err, outBytes)
+		os.Exit(1)
+	}
+
+	results := parse(string(outBytes))
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: no benchmarks matched %q\n%s", *pattern, outBytes)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := results[name]
+		fmt.Printf("%-44s %12.1f ns/op %8d allocs/op\n", name, r.NsPerOp, r.AllocsPerOp)
+	}
+	if *smoke {
+		fmt.Fprintf(os.Stderr, "bench: smoke OK, %d benchmarks ran\n", len(results))
+		return
+	}
+	if *out == "" {
+		return
+	}
+	b := Baseline{
+		Schema:     "elasticutor-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchtime,
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d benchmarks)\n", *out, len(results))
+}
+
+// parse extracts benchmark rows from `go test -bench` output.
+func parse(output string) map[string]Result {
+	results := make(map[string]Result)
+	for _, line := range strings.Split(output, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		results[m[1]] = r
+	}
+	return results
+}

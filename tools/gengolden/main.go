@@ -1,12 +1,15 @@
-// Command gengolden regenerates the golden fingerprints that pin the policy
-// refactor to the original engine's exact behavior:
+// Command gengolden regenerates the golden files that pin the simulation's
+// behavior byte-for-byte:
 //
 //	go run ./tools/gengolden
 //
 // It rewrites internal/policy/testdata/scenarios.golden (reference-run report
-// fingerprints) and internal/experiments/testdata/fig8_quick.golden (one full
-// experiment table). Regenerate ONLY when a behavior change is intended; the
-// policy, harness, and experiments tests compare against these bytes.
+// fingerprints), internal/experiments/testdata/fig8_quick.golden and
+// scenarios_quick.golden (full experiment tables), and
+// internal/scenario/testdata/builtins.golden (one fingerprint per built-in
+// scenario, churn counters included). Regenerate ONLY when a behavior change
+// is intended; the policy, harness, scenario, and experiments tests compare
+// against these bytes.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/golden"
+	"repro/internal/scenario"
 )
 
 func write(path, content string) {
@@ -39,4 +43,12 @@ func main() {
 		tab.Print(&buf)
 	}
 	write("internal/experiments/testdata/fig8_quick.golden", buf.String())
+
+	buf.Reset()
+	for _, tab := range experiments.ScenarioSweep(experiments.Quick) {
+		tab.Print(&buf)
+	}
+	write("internal/experiments/testdata/scenarios_quick.golden", buf.String())
+
+	write("internal/scenario/testdata/builtins.golden", scenario.GenerateGoldens())
 }
