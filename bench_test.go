@@ -71,6 +71,12 @@ func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
 // artifacts.
 func BenchmarkScenarios(b *testing.B) { runExperiment(b, "scenarios") }
 
+// BenchmarkRuntime exercises the real-time backend experiment (goroutine
+// executors on a compressed wall clock). Its ns/op is dominated by the
+// scenario horizon ÷ speedup, so treat it as a smoke benchmark, not a
+// component measurement.
+func BenchmarkRuntime(b *testing.B) { runExperiment(b, "runtime") }
+
 // Component microbenches.
 
 func BenchmarkComponentClockEvents(b *testing.B) {

@@ -9,13 +9,19 @@
 //	elasticutor-sim -scenario nodefail       # built-in churn scenario
 //	elasticutor-sim -scenario list           # list built-ins
 //	elasticutor-sim -scenario custom.json    # declarative spec from disk
+//	elasticutor-sim -backend runtime -scenario flashcrowd -speedup 20
+//	elasticutor-sim -calibration calibration.json   # measured cost table
 //
 // -paradigm accepts any registered elasticity policy name (see
 // internal/policy). -scenario accepts a built-in name or a *.json spec file
 // (see internal/scenario); the scenario then supplies the cluster size,
 // workload, phased dynamics, and cluster churn, and the workload flags are
-// ignored. Reports go to stdout and are byte-identical across repeated runs
-// and worker counts; progress and wall-clock timing go to stderr.
+// ignored. -backend runtime executes on real goroutines against the wall
+// clock (internal/runtime) instead of the simulator; those runs are not
+// deterministic and additionally print the tuple-conservation ledger.
+// -calibration loads a cost table measured by tools/calibrate into the
+// simulator. Simulator reports go to stdout and are byte-identical across
+// repeated runs and worker counts; progress and timing go to stderr.
 package main
 
 import (
@@ -25,10 +31,12 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/policy"
+	rtbackend "repro/internal/runtime"
 	"repro/internal/scenario"
 	"repro/internal/workload"
 )
@@ -50,9 +58,26 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 		trials   = flag.Int("trials", 1, "replicate trials with forked per-trial seeds")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers")
+		backend  = flag.String("backend", "sim", "execution backend: sim (deterministic) | runtime (goroutines, wall clock)")
+		speedup  = flag.Float64("speedup", 20, "runtime backend clock compression factor")
+		calPath  = flag.String("calibration", "", "calibration table (tools/calibrate) loaded into the simulator")
 	)
 	flag.Parse()
 	harness.SetDefaultWorkers(*parallel)
+
+	var cal *calib.Table
+	if *calPath != "" {
+		c, err := calib.Load(*calPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cal = c
+	}
+	if *backend != "sim" && *backend != "runtime" {
+		fmt.Fprintf(os.Stderr, "unknown backend %q (sim | runtime)\n", *backend)
+		os.Exit(2)
+	}
 
 	if *scn == "list" {
 		for _, name := range scenario.Names() {
@@ -83,16 +108,55 @@ func main() {
 		*trials = 1
 	}
 
+	// On the runtime backend everything runs through the scenario layer
+	// (whose sampler is locked for concurrent backends); plain workload
+	// flags synthesize an equivalent spec.
+	runtimeSpec := spec
+	if *backend == "runtime" && runtimeSpec == nil {
+		runtimeSpec = &scenario.Spec{
+			Name:        "cli",
+			Nodes:       *nodes,
+			Y:           *y,
+			Z:           *z,
+			DurationSec: duration.Seconds(),
+			WarmupSec:   warmup.Seconds(),
+			Workload: scenario.WorkloadSpec{
+				Keys:           workload.DefaultSpec().Keys,
+				Skew:           workload.DefaultSpec().Skew,
+				TupleBytes:     *bytes,
+				CPUCostUS:      float64(*cost) / float64(time.Microsecond),
+				StateKB:        *stateKB,
+				ShufflesPerMin: *omega,
+				RatePerSec:     *rate,
+				RateFraction:   1.3, // saturating, the micro default
+			},
+		}
+	}
+	if *backend == "runtime" && cal != nil {
+		fmt.Fprintln(os.Stderr, "note: -calibration is a simulator input; the runtime backend measures instead")
+	}
+
+	type trialResult struct {
+		r   *engine.Report
+		led *rtbackend.Ledger
+	}
 	// Each trial builds its own engine (nothing shared) with a deterministic
 	// seed: trial 0 uses -seed verbatim, replicates draw theirs from the
-	// harness's per-trial forked RNG.
-	runTrial := func(ctx *harness.Ctx) (*engine.Report, error) {
+	// harness's per-trial forked RNG. (Runtime-backend trials are only as
+	// deterministic as the wall clock.)
+	runTrial := func(ctx *harness.Ctx) (trialResult, error) {
 		trialSeed := *seed
 		if ctx.Index > 0 {
 			trialSeed = ctx.Rand.Uint64()
 		}
+		if *backend == "runtime" {
+			r, led, err := rtbackend.RunScenario(runtimeSpec, *paradigm, trialSeed,
+				rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: *speedup}})
+			return trialResult{r: r, led: &led}, err
+		}
 		if spec != nil {
-			return spec.Run(*paradigm, trialSeed)
+			r, err := spec.Run(*paradigm, trialSeed, cal)
+			return trialResult{r: r}, err
 		}
 		wl := workload.DefaultSpec()
 		wl.ShufflesPerMin = *omega
@@ -101,38 +165,46 @@ func main() {
 		wl.ShardStateKB = *stateKB
 		pol, err := policy.ByName(*paradigm) // fresh instance per engine
 		if err != nil {
-			return nil, err
+			return trialResult{}, err
 		}
 		m, err := core.NewMicro(core.MicroOptions{
-			Policy: pol,
-			Nodes:  *nodes,
-			Y:      *y,
-			Z:      *z,
-			Spec:   wl,
-			Rate:   *rate,
-			Seed:   trialSeed,
-			WarmUp: *warmup,
+			Policy:      pol,
+			Nodes:       *nodes,
+			Y:           *y,
+			Z:           *z,
+			Spec:        wl,
+			Rate:        *rate,
+			Seed:        trialSeed,
+			WarmUp:      *warmup,
+			Calibration: cal,
 		})
 		if err != nil {
-			return nil, err
+			return trialResult{}, err
 		}
-		return m.Engine.Run(*duration), nil
+		return trialResult{r: m.Engine.Run(*duration)}, nil
 	}
 
 	what := fmt.Sprintf("%s on %d nodes, ω=%v", *paradigm, *nodes, *omega)
 	if spec != nil {
 		what = fmt.Sprintf("scenario %q under %s on %d nodes", spec.Name, *paradigm, spec.Nodes)
 	}
+	if *backend == "runtime" {
+		what += fmt.Sprintf(" [runtime backend, %gx clock]", *speedup)
+	}
 	fmt.Fprintf(os.Stderr, "simulating %s, %d trial(s) × %v virtual time, %d worker(s)…\n",
 		what, *trials, *duration, harness.DefaultWorkers())
 
 	start := time.Now()
 	runner := &harness.Runner{Seed: *seed}
-	reports, err := harness.Map(runner, make([]struct{}, *trials),
-		func(ctx *harness.Ctx, _ struct{}) (*engine.Report, error) { return runTrial(ctx) })
+	results, err := harness.Map(runner, make([]struct{}, *trials),
+		func(ctx *harness.Ctx, _ struct{}) (trialResult, error) { return runTrial(ctx) })
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	reports := make([]*engine.Report, len(results))
+	for i, res := range results {
+		reports[i] = res.r
 	}
 	wall := time.Since(start).Round(time.Millisecond)
 
@@ -158,6 +230,9 @@ func main() {
 		}
 		for _, msg := range r.ChurnErrors {
 			fmt.Printf("churn SKIPPED: %s\n", msg)
+		}
+		if led := results[i].led; led != nil {
+			fmt.Printf("ledger:     %v\n", *led)
 		}
 	}
 	var events uint64

@@ -35,6 +35,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/policy"
+	rtbackend "repro/internal/runtime"
 	"repro/internal/scenario"
 	"repro/internal/simtime"
 	"repro/internal/stream"
@@ -188,6 +189,17 @@ func (b *Builder) Connect(from, to NodeID) {
 	b.tp.Connect(stream.OperatorID(from), stream.OperatorID(to))
 }
 
+// Backends. The simulator is the deterministic default; the runtime backend
+// executes the same topology and policy on real goroutines, channels, and
+// the wall clock (see internal/runtime).
+const (
+	BackendSim     = "sim"
+	BackendRuntime = "runtime"
+)
+
+// Backends lists the selectable execution backends.
+func Backends() []string { return []string{BackendSim, BackendRuntime} }
+
 // Options configures a run. Zero values take the paper's defaults.
 type Options struct {
 	Paradigm Paradigm
@@ -213,6 +225,15 @@ type Options struct {
 	Seed        uint64
 	AssertOrder bool // panic on any per-key order violation (testing)
 
+	// Backend selects the execution backend: BackendSim (default, the
+	// deterministic discrete-event simulator) or BackendRuntime (goroutine
+	// executors on the wall clock; not deterministic, AssertOrder and
+	// BeforeRun do not apply).
+	Backend string
+	// Speedup compresses the runtime backend's clock by this factor (20 =
+	// a 20 s run finishes in 1 s of wall time). Ignored by the simulator.
+	Speedup float64
+
 	// Scenario applies a named built-in (see Scenarios) or *.json scenario
 	// to this run: its rate phases multiply every spout's offered load and
 	// its cluster events (node join/drain/fail) are scheduled on the clock.
@@ -230,33 +251,86 @@ type Options struct {
 	BeforeRun func(*engine.Engine)
 }
 
-// Run validates the topology, builds the simulated cluster and engine, and
-// runs it for Options.Duration of virtual time (the scenario's duration when
-// a scenario is set and Duration is 0).
+// Run validates the topology, builds the selected backend, and runs it for
+// Options.Duration of virtual time (the scenario's duration when a scenario
+// is set and Duration is 0).
 func (b *Builder) Run(opt Options) (*Report, error) {
-	e, d, err := b.engine(opt)
+	switch opt.Backend {
+	case "", BackendSim:
+		e, d, err := b.engine(opt)
+		if err != nil {
+			return nil, err
+		}
+		return e.Run(d), nil
+	case BackendRuntime:
+		return b.runRuntime(opt)
+	default:
+		return nil, fmt.Errorf("elasticutor: unknown backend %q (have %v)", opt.Backend, Backends())
+	}
+}
+
+// runRuntime executes the topology on the real-time backend. The scenario's
+// rate phases are already folded into the sources by config(); its cluster
+// events are scheduled on the wall clock. Key-space phases need the
+// scenario's own sampler and are skipped for user topologies, exactly as on
+// the simulator path.
+func (b *Builder) runRuntime(opt Options) (*Report, error) {
+	if opt.BeforeRun != nil {
+		return nil, fmt.Errorf("elasticutor: BeforeRun requires the sim backend (it schedules on the virtual clock)")
+	}
+	cfg, sp, duration, err := b.config(opt)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(d), nil
+	rt, err := rtbackend.New(cfg, rtbackend.Options{Speedup: opt.Speedup})
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		rt.AttachEvents(sp)
+	}
+	return rt.Run(duration)
 }
 
-// Engine builds the engine without running it (for callers that need to
-// schedule events against the virtual clock first).
+// Engine builds the simulator engine without running it (for callers that
+// need to schedule events against the virtual clock first).
 func (b *Builder) Engine(opt Options) (*engine.Engine, error) {
 	e, _, err := b.engine(opt)
 	return e, err
 }
 
+// engine assembles and builds the simulator backend.
 func (b *Builder) engine(opt Options) (*engine.Engine, time.Duration, error) {
+	cfg, sp, duration, err := b.config(opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sp != nil {
+		// Cluster events (and nothing else: rate phases are already wrapped
+		// into the sources, key phases need the scenario's own sampler).
+		scenario.Attach(e, sp, nil)
+	}
+	if opt.BeforeRun != nil {
+		opt.BeforeRun(e)
+	}
+	return e, duration, nil
+}
+
+// config resolves Options into the backend-independent engine configuration
+// plus the resolved scenario (nil without one) and the run duration.
+func (b *Builder) config(opt Options) (engine.Config, *scenario.Spec, time.Duration, error) {
 	if b.err != nil {
-		return nil, 0, b.err
+		return engine.Config{}, nil, 0, b.err
 	}
 	var sp *scenario.Spec
 	if opt.Scenario != "" {
 		var err error
 		if sp, err = scenario.Resolve(opt.Scenario); err != nil {
-			return nil, 0, err
+			return engine.Config{}, nil, 0, err
 		}
 	}
 	duration := opt.Duration
@@ -264,12 +338,12 @@ func (b *Builder) engine(opt Options) (*engine.Engine, time.Duration, error) {
 		duration = sp.Duration()
 	}
 	if duration <= 0 {
-		return nil, 0, fmt.Errorf("elasticutor: Options.Duration is required")
+		return engine.Config{}, nil, 0, fmt.Errorf("elasticutor: Options.Duration is required")
 	}
 	if sp != nil {
 		for i, ev := range sp.Events {
-			if at := time.Duration(ev.AtSec * float64(time.Second)); at > duration {
-				return nil, 0, fmt.Errorf("elasticutor: scenario %q event %d (%s at %.1fs) is beyond the %v run duration",
+			if at := simtime.FromSeconds(ev.AtSec); at > duration {
+				return engine.Config{}, nil, 0, fmt.Errorf("elasticutor: scenario %q event %d (%s at %.1fs) is beyond the %v run duration",
 					sp.Name, i, ev.Kind, ev.AtSec, duration)
 			}
 		}
@@ -287,7 +361,7 @@ func (b *Builder) engine(opt Options) (*engine.Engine, time.Duration, error) {
 		clone := *sp
 		clone.Nodes = nodes
 		if err := clone.Validate(); err != nil {
-			return nil, 0, err
+			return engine.Config{}, nil, 0, err
 		}
 	}
 	srcEx := opt.SourceExecutors
@@ -298,7 +372,7 @@ func (b *Builder) engine(opt Options) (*engine.Engine, time.Duration, error) {
 	if opt.Policy != "" {
 		p, err := policy.ByName(opt.Policy)
 		if err != nil {
-			return nil, 0, err
+			return engine.Config{}, nil, 0, err
 		}
 		pol = p
 	}
@@ -334,19 +408,7 @@ func (b *Builder) engine(opt Options) (*engine.Engine, time.Duration, error) {
 		AssertOrder:     opt.AssertOrder,
 		WarmUp:          opt.WarmUp,
 	}
-	e, err := engine.New(cfg)
-	if err != nil {
-		return nil, 0, err
-	}
-	if sp != nil {
-		// Cluster events (and nothing else: rate phases are already wrapped
-		// into the sources, key phases need the scenario's own sampler).
-		scenario.Attach(e, sp, nil)
-	}
-	if opt.BeforeRun != nil {
-		opt.BeforeRun(e)
-	}
-	return e, duration, nil
+	return cfg, sp, duration, nil
 }
 
 // Trials runs n independent replicate simulations concurrently and returns

@@ -1,0 +1,119 @@
+package elasticutor_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	elasticutor "repro"
+	"repro/internal/engine"
+)
+
+// Facade coverage for the real-time backend: user topologies run on
+// goroutines behind Options.Backend, and the harness's sequential error
+// semantics survive the concurrent backend (worker panics surface as errors
+// from the failing trial, lowest index first — they must never crash the
+// process).
+
+// runtimeBuilder assembles a tiny two-operator topology. If boom is set the
+// bolt panics on every tuple.
+func runtimeBuilder(t *testing.T, boom bool) (*elasticutor.Builder, elasticutor.Options) {
+	t.Helper()
+	b := elasticutor.NewBuilder("rt-facade")
+	src := b.Spout("src", elasticutor.SpoutConfig{
+		Rate: elasticutor.ConstantRate(500),
+		Sample: func(now elasticutor.Time) (elasticutor.Key, int, interface{}) {
+			return elasticutor.Key(uint64(now) % 97), 64, nil
+		},
+	})
+	bolt := b.Bolt("count", elasticutor.BoltConfig{
+		Cost: time.Millisecond,
+		Handler: func(tu elasticutor.Tuple, s elasticutor.State) []elasticutor.Tuple {
+			if boom {
+				panic("boom")
+			}
+			n, _ := s.Get().(int)
+			s.Set(n + tu.Weight)
+			return nil
+		},
+	})
+	b.Connect(src, bolt)
+	return b, elasticutor.Options{
+		Backend:  elasticutor.BackendRuntime,
+		Speedup:  20,
+		Nodes:    2,
+		Batch:    4,
+		Duration: 2 * time.Second,
+	}
+}
+
+func TestFacadeRuntimeBackend(t *testing.T) {
+	b, opt := runtimeBuilder(t, false)
+	r, err := b.Run(opt)
+	if err != nil {
+		t.Fatalf("runtime backend run: %v", err)
+	}
+	if r.Processed == 0 {
+		t.Fatal("runtime backend processed nothing")
+	}
+	if r.Policy != "static" { // the facade's zero-value paradigm, as on the simulator
+		t.Fatalf("policy = %q", r.Policy)
+	}
+}
+
+func TestFacadeRuntimeBackendUnknown(t *testing.T) {
+	b, opt := runtimeBuilder(t, false)
+	opt.Backend = "quantum"
+	if _, err := b.Run(opt); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Fatalf("want unknown-backend error, got %v", err)
+	}
+}
+
+func TestFacadeRuntimeBackendRejectsBeforeRun(t *testing.T) {
+	b, opt := runtimeBuilder(t, false)
+	opt.BeforeRun = func(*engine.Engine) {}
+	if _, err := b.Run(opt); err == nil || !strings.Contains(err.Error(), "BeforeRun requires the sim backend") {
+		t.Fatalf("want BeforeRun rejection, got %v", err)
+	}
+}
+
+// TestHarnessErrorSemanticsRuntime pins the harness contract under the
+// runtime backend: a worker panic inside a trial becomes that trial's error
+// (with its index), later trials are cancelled, and the process survives.
+func TestHarnessErrorSemanticsRuntime(t *testing.T) {
+	reports, err := elasticutor.Trials(3, 2, 7, func(seed uint64) (*elasticutor.Builder, elasticutor.Options) {
+		return runtimeBuilder(t, true)
+	})
+	if err == nil {
+		t.Fatal("want an error from the panicking handler")
+	}
+	if reports != nil {
+		t.Fatalf("reports must be nil on error, got %d", len(reports))
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "panic") || !strings.Contains(msg, "boom") {
+		t.Fatalf("error should carry the recovered panic: %v", err)
+	}
+	if !strings.Contains(msg, "trial") {
+		t.Fatalf("error should name the failing trial: %v", err)
+	}
+}
+
+// TestHarnessMixedTrialsRuntime runs healthy runtime-backend trials through
+// the concurrent harness: results arrive in trial order with no error.
+func TestHarnessMixedTrialsRuntime(t *testing.T) {
+	reports, err := elasticutor.Trials(2, 2, 11, func(seed uint64) (*elasticutor.Builder, elasticutor.Options) {
+		return runtimeBuilder(t, false)
+	})
+	if err != nil {
+		t.Fatalf("trials: %v", err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for i, r := range reports {
+		if r.Processed == 0 {
+			t.Fatalf("trial %d processed nothing", i)
+		}
+	}
+}

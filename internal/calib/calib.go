@@ -1,0 +1,126 @@
+// Package calib is the calibration bridge between the two execution
+// backends: tools/calibrate measures the real-time backend's costs — per-
+// tuple processing overhead, state-migration bandwidth, control and
+// scheduling invocation costs — and writes them as a Table; the simulator
+// loads the Table and replaces its assumed cost-model constants with the
+// measured ones. This closes the ROADMAP loop of validating the simulator's
+// cost table against reality instead of guessing it.
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+)
+
+// Schema identifies the file format.
+const Schema = "elasticutor-calibration/v1"
+
+// Table is one machine's measured cost table. Durations are nanoseconds in
+// the JSON form (stable across machines and Go versions).
+type Table struct {
+	SchemaName string `json:"schema"`
+	Host       string `json:"host,omitempty"` // GOOS/GOARCH/cores, informational
+
+	// PerTupleOverheadNS is the runtime's fixed cost of moving one tuple
+	// event through an executor: channel hop, shard resolution, stripe lock,
+	// accounting. The simulator folds it into nothing today (its event
+	// dispatch is free); it is recorded for the perf trajectory and future
+	// cost models.
+	PerTupleOverheadNS int64 `json:"per_tuple_overhead_ns"`
+
+	// ControlDelayNS is the local control-plane cost of one routing mutation
+	// (pause/update bookkeeping) — the simulator's Config.ControlDelay.
+	ControlDelayNS int64 `json:"control_delay_ns"`
+
+	// SerializeOverheadNS is the fixed cost of one state migration on top of
+	// wire time — the simulator's Config.SerializeOverhead.
+	SerializeOverheadNS int64 `json:"serialize_overhead_ns"`
+
+	// MigrationBandwidthBps is the measured state-move throughput in bits
+	// per second — the simulator's cluster NIC bandwidth for migrations.
+	MigrationBandwidthBps float64 `json:"migration_bandwidth_bps"`
+
+	// SchedulingWallNS is one dynamic-scheduler invocation (queueing model +
+	// Algorithm 1) at quick-scale dimensions, Table 3's metric.
+	SchedulingWallNS int64 `json:"scheduling_wall_ns"`
+}
+
+// New returns a Table with the schema stamped.
+func New() *Table { return &Table{SchemaName: Schema} }
+
+// Validate checks the schema and value sanity.
+func (t *Table) Validate() error {
+	if t.SchemaName != Schema {
+		return fmt.Errorf("calib: schema %q, want %q", t.SchemaName, Schema)
+	}
+	for name, v := range map[string]int64{
+		"per_tuple_overhead_ns": t.PerTupleOverheadNS,
+		"control_delay_ns":      t.ControlDelayNS,
+		"serialize_overhead_ns": t.SerializeOverheadNS,
+		"scheduling_wall_ns":    t.SchedulingWallNS,
+	} {
+		if v < 0 {
+			return fmt.Errorf("calib: %s is negative", name)
+		}
+	}
+	if t.MigrationBandwidthBps < 0 {
+		return fmt.Errorf("calib: migration_bandwidth_bps is negative")
+	}
+	return nil
+}
+
+// Apply overrides the simulator configuration's assumed cost constants with
+// the measured ones. Zero measurements leave the paper defaults in place.
+func (t *Table) Apply(cfg *engine.Config) {
+	if t.ControlDelayNS > 0 {
+		cfg.ControlDelay = simtime.Duration(t.ControlDelayNS)
+	}
+	if t.SerializeOverheadNS > 0 {
+		cfg.SerializeOverhead = simtime.Duration(t.SerializeOverheadNS)
+	}
+	if t.MigrationBandwidthBps > 0 {
+		cfg.Cluster.BandwidthBps = t.MigrationBandwidthBps
+	}
+}
+
+// Load reads and validates a calibration file.
+func Load(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("calib: %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("calib: %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// Save writes the table as indented JSON.
+func (t *Table) Save(path string) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// String renders the table for terminals.
+func (t *Table) String() string {
+	return fmt.Sprintf(
+		"per-tuple overhead:   %v\ncontrol delay:        %v\nserialize overhead:   %v\nmigration bandwidth:  %.1f MB/s\nscheduling invocation: %v",
+		time.Duration(t.PerTupleOverheadNS), time.Duration(t.ControlDelayNS),
+		time.Duration(t.SerializeOverheadNS), t.MigrationBandwidthBps/8/(1<<20),
+		time.Duration(t.SchedulingWallNS))
+}

@@ -1,0 +1,67 @@
+package calib
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+)
+
+func sample() *Table {
+	t := New()
+	t.PerTupleOverheadNS = 1500
+	t.ControlDelayNS = 800_000
+	t.SerializeOverheadNS = 2_500_000
+	t.MigrationBandwidthBps = 4e9
+	t.SchedulingWallNS = 40_000
+	return t
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cal.json")
+	want := sample()
+	if err := want.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestApplyOverridesSimCosts(t *testing.T) {
+	cfg := engine.Config{}
+	cfg = cfg.Defaults()
+	sample().Apply(&cfg)
+	if cfg.ControlDelay != 800*simtime.Microsecond {
+		t.Fatalf("ControlDelay = %v", cfg.ControlDelay)
+	}
+	if cfg.SerializeOverhead != 2500*simtime.Microsecond {
+		t.Fatalf("SerializeOverhead = %v", cfg.SerializeOverhead)
+	}
+	if cfg.Cluster.BandwidthBps != 4e9 {
+		t.Fatalf("BandwidthBps = %v", cfg.Cluster.BandwidthBps)
+	}
+	// Zero fields leave the paper defaults untouched.
+	empty := New()
+	cfg2 := engine.Config{}.Defaults()
+	before := cfg2.ControlDelay
+	empty.Apply(&cfg2)
+	if cfg2.ControlDelay != before {
+		t.Fatalf("zero table must not override defaults")
+	}
+}
+
+func TestLoadRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cal.json")
+	bad := sample()
+	bad.SchemaName = "nope/v9"
+	// Save validates too; write by hand.
+	if err := bad.Save(path); err == nil {
+		t.Fatal("Save accepted a bad schema")
+	}
+}

@@ -183,8 +183,7 @@ func (c *Cluster) TransferDuration(from, to NodeID, bytes int) simtime.Duration 
 }
 
 func (c *Cluster) serializeDuration(bytes int) simtime.Duration {
-	sec := float64(bytes) * 8 / c.cfg.BandwidthBps
-	return simtime.Duration(sec * float64(simtime.Second))
+	return simtime.FromSeconds(float64(bytes) * 8 / c.cfg.BandwidthBps)
 }
 
 // Send models a transfer of payload bytes from node `from` to node `to` and

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"repro/internal/calib"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/policy"
@@ -43,6 +44,10 @@ type MicroOptions struct {
 	DisableStateSharing bool
 	// Theta overrides the imbalance threshold (0 = paper default 1.2).
 	Theta float64
+	// Calibration, when set, replaces the simulator's assumed cost constants
+	// (control delay, serialization overhead, migration bandwidth) with the
+	// values tools/calibrate measured on the real-time backend.
+	Calibration *calib.Table
 	// SchedulePeriod overrides the dynamic scheduler cadence (0 = 1 s).
 	SchedulePeriod simtime.Duration
 	WarmUp         simtime.Duration
@@ -58,8 +63,26 @@ type Micro struct {
 	Config engine.Config
 }
 
-// NewMicro builds the Fig 5 micro-benchmark.
-func NewMicro(opt MicroOptions) (*Micro, error) {
+// Setup is the backend-independent assembly of the micro-benchmark: the
+// engine configuration, the live key sampler, and the derived rate. NewMicro
+// turns it into a simulator engine; internal/runtime runs the same Config on
+// goroutines. The Config's Sample closure reads Zipf without locking — a
+// concurrent backend must wrap the sampler (see runtime's scenario driver).
+type Setup struct {
+	Config engine.Config
+	Zipf   *workload.Zipf
+	Rate   float64
+	// GenID is the generator (source) operator, whose driver a backend may
+	// rewrap (rate phases, locked sampling).
+	GenID stream.OperatorID
+	// ShuffleEvery is the ω-derived interval between key shuffles (0 = none);
+	// each backend schedules it on its own clock.
+	ShuffleEvery simtime.Duration
+}
+
+// MicroSetup assembles the Fig 5 micro-benchmark configuration without
+// committing to an execution backend.
+func MicroSetup(opt MicroOptions) *Setup {
 	if opt.Nodes == 0 {
 		opt.Nodes = 32
 	}
@@ -126,12 +149,27 @@ func NewMicro(opt MicroOptions) (*Micro, error) {
 			},
 		},
 	}
-	e, err := engine.New(cfg)
+	if opt.Calibration != nil {
+		opt.Calibration.Apply(&cfg)
+	}
+	return &Setup{
+		Config:       cfg,
+		Zipf:         zipf,
+		Rate:         rate,
+		GenID:        gen.ID,
+		ShuffleEvery: opt.Spec.ShuffleInterval(),
+	}
+}
+
+// NewMicro builds the Fig 5 micro-benchmark on the simulator backend.
+func NewMicro(opt MicroOptions) (*Micro, error) {
+	setup := MicroSetup(opt)
+	e, err := engine.New(setup.Config)
 	if err != nil {
 		return nil, err
 	}
-	if iv := opt.Spec.ShuffleInterval(); iv > 0 {
-		e.Every(iv, zipf.Shuffle)
+	if setup.ShuffleEvery > 0 {
+		e.Every(setup.ShuffleEvery, setup.Zipf.Shuffle)
 	}
-	return &Micro{Engine: e, Zipf: zipf, Rate: rate, Config: cfg}, nil
+	return &Micro{Engine: e, Zipf: setup.Zipf, Rate: setup.Rate, Config: setup.Config}, nil
 }

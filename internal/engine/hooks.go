@@ -32,6 +32,16 @@ func (e *Engine) SetOnRepartition(fn func(RepartitionReport)) { e.onRepartition 
 // deterministic order (experiments and tests).
 func (e *Engine) ElasticExecutors() []*executor.Executor { return e.elastic }
 
+// ExecutorCounts returns the live executor count per non-source operator
+// name (the backend-conformance suite compares these across backends).
+func (e *Engine) ExecutorCounts() map[string]int {
+	out := make(map[string]int, len(e.ops))
+	for _, rt := range e.opsInOrder() {
+		out[rt.op.Name] = len(rt.execs)
+	}
+	return out
+}
+
 // ExecutorsOf returns the executors of one operator.
 func (e *Engine) ExecutorsOf(opID int) []*executor.Executor {
 	for id, rt := range e.ops {

@@ -40,7 +40,7 @@ func (e *Engine) emitLoop(inst *sourceInstance, drv *SourceDriver, share float64
 	}
 	interval := float64(e.cfg.Batch) / rate // seconds per batch
 	e.emitOne(inst, drv)
-	wait := simtime.Duration(interval * e.rng.ExpFloat64() * float64(simtime.Second))
+	wait := simtime.FromSeconds(interval * e.rng.ExpFloat64())
 	if wait < simtime.Nanosecond {
 		wait = simtime.Nanosecond
 	}

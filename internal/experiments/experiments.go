@@ -103,6 +103,7 @@ var All = []Experiment{
 	{"table3", "Throughput and scheduling time vs cluster size", Table3},
 	{"ablation", "Design-choice ablations: state sharing, locality, θ, scheduler cadence", Ablation},
 	{"scenarios", "Scenario sweep: all four policies under load bursts and cluster churn", ScenarioSweep},
+	{"runtime", "Runtime backend: all four policies on goroutines against the wall clock", RuntimeBackend},
 }
 
 // ByID returns the experiment with the given ID.
@@ -163,7 +164,7 @@ func fmtF(v float64) string {
 
 // fmtMS formats a duration in milliseconds.
 func fmtMS(d simtime.Duration) string {
-	return fmt.Sprintf("%.2f", float64(d)/float64(simtime.Millisecond))
+	return fmt.Sprintf("%.2f", simtime.ToMillis(d))
 }
 
 // fmtKTuples formats tuples/s in thousands.

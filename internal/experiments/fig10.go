@@ -66,7 +66,7 @@ var fig10Costs = []simtime.Duration{
 var fig10Sizes = []int{128, 512, 2048, 8192}
 
 func costLabel(c simtime.Duration) string {
-	return fmt.Sprintf("%gms", float64(c)/float64(simtime.Millisecond))
+	return fmt.Sprintf("%gms", simtime.ToMillis(c))
 }
 
 func sizeLabel(b int) string {

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	rtbackend "repro/internal/runtime"
+	"repro/internal/scenario"
+)
+
+// RuntimeBackend exercises the real-time backend (internal/runtime): every
+// policy runs the flash-crowd scenario on actual goroutines and a compressed
+// wall clock, and the table reports the structural outcomes the backend
+// guarantees — executor provisioning, the conserved tuple ledger, and churn
+// accounting. Wall-clock numbers vary run to run (that is the point of the
+// backend); this experiment is therefore not golden-pinned.
+func RuntimeBackend(Scale) []Table {
+	const spdup = 20
+	tab := Table{
+		ID:    "runtime-a",
+		Title: fmt.Sprintf("Runtime backend: flashcrowd under all policies (goroutines, %dx wall clock)", spdup),
+		Header: []string{"policy", "executors", "thr(K/s)", "p99(ms)", "repart",
+			"admitted", "processed", "dropped", "ledger"},
+		Notes: "throughput and latency are wall-clock measurements on this machine, not simulator predictions",
+	}
+	type result struct {
+		policy string
+		r      *rtbackendReport
+	}
+	rows := pmap(sweepPolicies, func(pol string) result {
+		s, err := scenario.ByName("flashcrowd")
+		if err != nil {
+			panic(fmt.Sprintf("runtime experiment: %v", err))
+		}
+		rt, err := rtbackend.BuildScenario(s, pol, 42,
+			rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: spdup}})
+		if err != nil {
+			panic(fmt.Sprintf("runtime experiment %s: %v", pol, err))
+		}
+		rep, err := rt.Run(s.Duration())
+		if err != nil {
+			panic(fmt.Sprintf("runtime experiment %s: %v", pol, err))
+		}
+		execs := 0
+		for _, n := range rt.ExecutorCounts() {
+			execs += n
+		}
+		return result{policy: pol, r: &rtbackendReport{rep: rep, led: rt.Ledger(), execs: execs}}
+	})
+	for _, res := range rows {
+		conserved := "ok"
+		if !res.r.led.Conserved() {
+			conserved = "VIOLATED"
+		}
+		tab.Rows = append(tab.Rows, []string{
+			res.policy,
+			fmt.Sprintf("%d", res.r.execs),
+			fmtKTuples(res.r.rep.ThroughputMean),
+			fmtMS(res.r.rep.Latency.Quantile(0.99)),
+			fmt.Sprintf("%d", res.r.rep.Repartitions),
+			fmt.Sprintf("%d", res.r.led.Admitted),
+			fmt.Sprintf("%d", res.r.led.Processed),
+			fmt.Sprintf("%d", res.r.led.DroppedFailure+res.r.led.DroppedShutdown),
+			conserved,
+		})
+	}
+	return []Table{tab}
+}
+
+// rtbackendReport bundles one runtime run's artifacts for the table.
+type rtbackendReport struct {
+	rep   *engine.Report
+	led   rtbackend.Ledger
+	execs int
+}

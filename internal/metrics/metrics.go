@@ -82,7 +82,7 @@ func (h *Histogram) Mean() simtime.Duration {
 	if h.count == 0 {
 		return 0
 	}
-	return simtime.Duration(h.sum / float64(h.count) * float64(simtime.Second))
+	return simtime.FromSeconds(h.sum / float64(h.count))
 }
 
 // Min returns the smallest sample, or 0 if empty.

@@ -1,0 +1,269 @@
+package runtime
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/qmodel"
+	"repro/internal/scheduler"
+	"repro/internal/simtime"
+	"repro/internal/state"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// calibSink defeats dead-code elimination in the serialization copy.
+var calibSink byte
+
+// CalibrateOptions dimensions the measurement run.
+type CalibrateOptions struct {
+	// TupleWindow is the wall time the per-tuple measurement saturates one
+	// executor (default 300 ms).
+	TupleWindow time.Duration
+	// ShardBytes sizes the migrated shards (default 32 KB, the paper's).
+	ShardBytes int
+	// ShardKeys is the per-shard key population for migration copies
+	// (default 256).
+	ShardKeys int
+	// Nodes/Executors dimension the scheduling-invocation measurement
+	// (default 4 nodes × 28 executors, the quick scale).
+	Nodes, Executors int
+	// Rounds repeats the control/scheduling measurements (default 64).
+	Rounds int
+}
+
+func (o CalibrateOptions) withDefaults() CalibrateOptions {
+	if o.TupleWindow <= 0 {
+		o.TupleWindow = 300 * time.Millisecond
+	}
+	if o.ShardBytes <= 0 {
+		o.ShardBytes = 32 << 10
+	}
+	if o.ShardKeys <= 0 {
+		o.ShardKeys = 256
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Executors <= 0 {
+		o.Executors = 28
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 64
+	}
+	return o
+}
+
+// Calibrate measures the real-time backend's costs on this machine and
+// returns them as the calibration table the simulator loads. Every number
+// comes from the backend's actual primitives — the executor hot path, the
+// shard-state move, the routing swap, and a real scheduler invocation — not
+// from synthetic stand-ins.
+func Calibrate(opt CalibrateOptions) (*calib.Table, error) {
+	opt = opt.withDefaults()
+	t := calib.New()
+	t.Host = fmt.Sprintf("%s/%s %d-core", goruntime.GOOS, goruntime.GOARCH, goruntime.NumCPU())
+
+	perTuple, err := measurePerTuple(opt)
+	if err != nil {
+		return nil, err
+	}
+	t.PerTupleOverheadNS = perTuple.Nanoseconds()
+	ser, bw := measureMigration(opt)
+	t.SerializeOverheadNS = ser.Nanoseconds()
+	t.MigrationBandwidthBps = bw
+	t.ControlDelayNS = measureControl(opt).Nanoseconds()
+	t.SchedulingWallNS = measureScheduling(opt).Nanoseconds()
+	return t, nil
+}
+
+// measurePerTuple saturates one single-core executor with zero-cost tuples
+// on the real clock and derives the fixed per-event overhead from the
+// processed throughput: channel hop, shard resolution, stripe lock, ledger
+// accounting — everything the runtime pays that the simulator's free event
+// dispatch does not.
+func measurePerTuple(opt CalibrateOptions) (time.Duration, error) {
+	pol, err := policy.ByName("elasticutor")
+	if err != nil {
+		return 0, err
+	}
+	setup := core.MicroSetup(core.MicroOptions{
+		Policy:          pol,
+		Nodes:           1,
+		SourceExecutors: 1,
+		Y:               1,
+		Spec: workload.Spec{
+			Keys: 1024, Skew: 0.5, TupleBytes: 64,
+			CPUCost: 0, ShardStateKB: 1, // zero CPU cost: measure the plumbing alone
+		},
+		Rate: 5e6, // saturating: backpressure finds the real ceiling
+		Seed: 1,
+	})
+	// Pin the executor to its one core and silence the control planes: the
+	// measurement wants the dataflow path alone.
+	setup.Config.FixedCores = 1
+	rt, err := New(setup.Config, Options{Clock: RealClock(), DrainTimeout: time.Second})
+	if err != nil {
+		return 0, err
+	}
+	r, err := rt.Run(simtime.Duration(opt.TupleWindow))
+	if err != nil {
+		return 0, err
+	}
+	led := rt.Ledger()
+	if led.Processed == 0 {
+		return 0, fmt.Errorf("runtime: calibration run processed nothing")
+	}
+	// Events (batches) rather than weight: the overhead is per event.
+	events := int64(r.Events)
+	if events == 0 {
+		events = led.Processed
+	}
+	return time.Duration(int64(opt.TupleWindow) / events), nil
+}
+
+// measureMigration moves populated shards between two executors' state maps
+// through the runtime's own takeShard/putShard path, plus the payload copy a
+// real serialization pays, and splits the cost into a fixed overhead and a
+// per-byte bandwidth.
+func measureMigration(opt CalibrateOptions) (time.Duration, float64) {
+	e := calibExecPair(opt)
+	src, dst := e.allExecs[0], e.allExecs[1]
+	fill := func(x *exec, sh state.ShardID, keys int) {
+		st := x.stripeFor(sh)
+		st.mu.Lock()
+		d := st.shard(x, sh)
+		d.bytes = opt.ShardBytes
+		for k := 0; k < keys; k++ {
+			d.keys[stream.Key(uint64(sh)*1e6+uint64(k))] = k
+		}
+		st.mu.Unlock()
+	}
+	move := func(sh state.ShardID) time.Duration {
+		start := time.Now()
+		d := src.takeShard(sh)
+		// The payload copy a cross-process migration serializes.
+		buf := make([]byte, d.bytes)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		calibSink = buf[len(buf)-1]
+		dst.putShard(sh, d)
+		return time.Since(start)
+	}
+	// Warm up, then measure.
+	for sh := 0; sh < 4; sh++ {
+		fill(src, state.ShardID(sh), opt.ShardKeys)
+		move(state.ShardID(sh))
+	}
+	var total time.Duration
+	var bytes int64
+	for sh := 4; sh < 4+opt.Rounds; sh++ {
+		fill(src, state.ShardID(sh), opt.ShardKeys)
+		total += move(state.ShardID(sh))
+		bytes += int64(opt.ShardBytes)
+	}
+	perMove := total / time.Duration(opt.Rounds)
+	// Small-shard moves approximate the fixed overhead; bandwidth comes from
+	// the bulk rate.
+	var smallTotal time.Duration
+	for sh := 1000; sh < 1000+opt.Rounds; sh++ {
+		st := src.stripeFor(state.ShardID(sh))
+		st.mu.Lock()
+		d := st.shard(src, state.ShardID(sh))
+		d.bytes = 64
+		st.mu.Unlock()
+		smallTotal += move(state.ShardID(sh))
+	}
+	ser := smallTotal / time.Duration(opt.Rounds)
+	transfer := perMove - ser
+	if transfer <= 0 {
+		transfer = perMove
+	}
+	bw := float64(opt.ShardBytes) * 8 / transfer.Seconds()
+	return ser, bw
+}
+
+// measureControl times one routing mutation: build and publish a fresh
+// routing snapshot, the runtime's pause/update bookkeeping unit.
+func measureControl(opt CalibrateOptions) time.Duration {
+	e := calibExecPair(opt)
+	o := e.opOrder[0]
+	routing := make([]int, 1024)
+	o.snapMu.Lock()
+	cur := o.snap.Load()
+	o.snap.Store(&opSnap{execs: cur.execs, routing: routing})
+	o.snapMu.Unlock()
+	start := time.Now()
+	for i := 0; i < opt.Rounds; i++ {
+		o.snapMu.Lock()
+		cur := o.snap.Load()
+		next := append([]int(nil), cur.routing...)
+		next[i%len(next)] = i % 2
+		o.snap.Store(&opSnap{execs: cur.execs, routing: next})
+		o.snapMu.Unlock()
+	}
+	return time.Since(start) / time.Duration(opt.Rounds)
+}
+
+// measureScheduling times one full dynamic-scheduler invocation (queueing
+// model + Algorithm 1) at the requested dimensions.
+func measureScheduling(opt CalibrateOptions) time.Duration {
+	n, m := opt.Nodes, opt.Executors
+	loads := make([]qmodel.ExecutorLoad, m)
+	intensity := make([]float64, m)
+	for j := range loads {
+		loads[j] = qmodel.ExecutorLoad{Lambda: 800 + float64(j%7)*120, Mu: 1000}
+		intensity[j] = float64((j % 5)) * 100e3
+	}
+	in := scheduler.Input{
+		Capacity:      make([]int, n),
+		Local:         make([]int, m),
+		StateBytes:    make([]float64, m),
+		DataIntensity: intensity,
+		Existing:      make([][]int, n),
+	}
+	for i := 0; i < n; i++ {
+		in.Capacity[i] = 8
+		in.Existing[i] = make([]int, m)
+	}
+	for j := 0; j < m; j++ {
+		in.Local[j] = j % n
+		in.StateBytes[j] = 8 << 20
+		in.Existing[j%n][j] = 1
+	}
+	start := time.Now()
+	for i := 0; i < opt.Rounds; i++ {
+		alloc := qmodel.Allocate(loads, 20000, 50*simtime.Millisecond, n*8)
+		in.Alloc = alloc.K
+		_, _ = scheduler.Assign(in)
+	}
+	return time.Since(start) / time.Duration(opt.Rounds)
+}
+
+// calibExecPair builds an idle two-executor runtime for the state and
+// control measurements (never Run).
+func calibExecPair(opt CalibrateOptions) *Engine {
+	pol, _ := policy.ByName("elasticutor")
+	setup := core.MicroSetup(core.MicroOptions{
+		Policy:          pol,
+		Nodes:           2,
+		SourceExecutors: 1,
+		Y:               2,
+		Spec: workload.Spec{
+			Keys: 1024, Skew: 0.5, TupleBytes: 64,
+			CPUCost: simtime.Millisecond, ShardStateKB: opt.ShardBytes >> 10,
+		},
+		Rate: 1000,
+		Seed: 1,
+	})
+	e, err := New(setup.Config, Options{Clock: RealClock()})
+	if err != nil {
+		panic(fmt.Sprintf("runtime: calibration setup: %v", err))
+	}
+	return e
+}

@@ -1,0 +1,88 @@
+package runtime
+
+import "time"
+
+// Clock abstracts wall time so the real-time backend can run against the
+// machine clock in production and against a compressed clock in tests. All
+// durations passed in are *virtual* time (the same vocabulary as
+// simtime.Duration, which is an alias of time.Duration); a scaled clock maps
+// them to shorter real waits and reports a proportionally faster Now.
+type Clock interface {
+	// Now returns the current (virtual) wall time.
+	Now() time.Time
+	// Sleep blocks for d of virtual time.
+	Sleep(d time.Duration)
+	// After returns a channel that fires once after d of virtual time.
+	After(d time.Duration) <-chan time.Time
+	// Ticker fires repeatedly every d of virtual time until stopped.
+	Ticker(d time.Duration) Ticker
+}
+
+// Ticker is the stoppable periodic timer a Clock hands out.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Ticker(d time.Duration) Ticker {
+	return realTicker{time.NewTicker(clampTick(d))}
+}
+
+// RealClock returns the machine clock: virtual time is wall time.
+func RealClock() Clock { return realClock{} }
+
+// minTick bounds ticker periods away from zero (time.NewTicker panics at 0,
+// and sub-10µs tickers just burn the scheduler).
+const minTick = 10 * time.Microsecond
+
+func clampTick(d time.Duration) time.Duration {
+	if d < minTick {
+		return minTick
+	}
+	return d
+}
+
+// scaledClock runs factor× faster than the machine: Now advances factor
+// virtual seconds per real second and every wait divides by factor. It keeps
+// runtime tests fast without changing any duration arithmetic in the engine.
+type scaledClock struct {
+	epoch  time.Time
+	factor float64
+}
+
+// Scaled returns a clock compressed by the given factor (2 = twice as fast).
+// Factors ≤ 1 fall back to the real clock.
+func Scaled(factor float64) Clock {
+	if factor <= 1 {
+		return RealClock()
+	}
+	return &scaledClock{epoch: time.Now(), factor: factor}
+}
+
+func (c *scaledClock) real(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / c.factor)
+}
+
+func (c *scaledClock) Now() time.Time {
+	return c.epoch.Add(time.Duration(float64(time.Since(c.epoch)) * c.factor))
+}
+
+func (c *scaledClock) Sleep(d time.Duration) { time.Sleep(c.real(d)) }
+
+func (c *scaledClock) After(d time.Duration) <-chan time.Time {
+	return time.After(c.real(d))
+}
+
+func (c *scaledClock) Ticker(d time.Duration) Ticker {
+	return realTicker{time.NewTicker(clampTick(c.real(d)))}
+}

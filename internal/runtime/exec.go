@@ -1,0 +1,438 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+	"repro/internal/state"
+	"repro/internal/stream"
+)
+
+// numStripes is the lock striping of an executor's shard-state map. Shards
+// hash onto stripes; one stripe lock serializes state access for all shards
+// on it, which keeps per-key state safe under a many-worker pool without a
+// lock per shard.
+const numStripes = 64
+
+// shardData is the resident state of one shard: the nominal byte size the
+// migration cost model charges, plus the real per-key values handler-based
+// operators read and write.
+type shardData struct {
+	bytes int
+	keys  map[stream.Key]interface{}
+}
+
+type stripe struct {
+	mu     sync.Mutex
+	shards map[state.ShardID]*shardData
+}
+
+// worker is one core grant: a goroutine bound to a node, pulling from the
+// executor's input channel. Revoking the grant closes quit; the worker exits
+// after the tuple in service.
+type worker struct {
+	node int
+	quit chan struct{}
+}
+
+// exec is one executor: a goroutine pool behind a buffered input channel.
+type exec struct {
+	e    *Engine
+	o    *op
+	name string
+	idx  int // index within the operator at placement (naming only)
+
+	in chan stream.Tuple
+
+	// Grant bookkeeping. Mutated only on the control goroutine (placement
+	// happens before it starts); gmu makes reads from other goroutines
+	// (conformance accessors, scheduler input assembly) safe.
+	gmu     sync.Mutex
+	local   int // main-process node
+	workers []*worker
+	byNode  map[int]int
+	retired bool
+
+	zShards       int // shard space (Z, or OpShards for op-sharded layouts)
+	perShardBytes int
+
+	stripes [numStripes]*stripe
+
+	// Cumulative counters (atomic: workers and sources touch them).
+	arrived atomic.Int64
+	dropped atomic.Int64
+	batches atomic.Int64
+	active  atomic.Int64
+
+	// Window counters for ExecutorLoads (reset on the control goroutine).
+	winArrived   atomic.Int64
+	winProcessed atomic.Int64
+	winBusyNS    atomic.Int64
+	winInBytes   atomic.Int64
+	winOutBytes  atomic.Int64
+	blockedW     atomic.Int64
+	winStart     simtime.Time // control goroutine only
+}
+
+// newExec builds an executor homed on the given node, mirroring the
+// simulator's per-paradigm state layout (internal shards for elastic
+// executors, operator-level shards for the baselines).
+func (e *Engine) newExec(o *op, idx, local int) *exec {
+	x := &exec{
+		e:      e,
+		o:      o,
+		name:   fmt.Sprintf("%s-%d", o.meta.Name, idx),
+		idx:    idx,
+		local:  local,
+		byNode: make(map[int]int),
+		in:     make(chan stream.Tuple, e.queueDepth()),
+	}
+	for i := range x.stripes {
+		x.stripes[i] = &stripe{shards: make(map[state.ShardID]*shardData)}
+	}
+	x.zShards = e.cfg.Z
+	x.perShardBytes = o.meta.StatePerShard
+	if o.opSharded {
+		x.zShards = e.cfg.OpShards
+		if x.perShardBytes > 0 {
+			total := o.meta.StatePerShard * e.cfg.Z * e.cfg.Y
+			x.perShardBytes = total / e.cfg.OpShards
+			if x.perShardBytes < 1 {
+				x.perShardBytes = 1
+			}
+		}
+	}
+	return x
+}
+
+func (x *exec) shardOf(k stream.Key) state.ShardID {
+	if x.o.opSharded {
+		return state.ShardID(k.OperatorShard(x.zShards))
+	}
+	return state.ShardID(k.Shard(x.zShards))
+}
+
+func (x *exec) stripeFor(s state.ShardID) *stripe {
+	return x.stripes[uint64(s)%numStripes]
+}
+
+// grant adds one core grant on a node (bookkeeping only; startWorkers spawns
+// the goroutines once the run begins).
+func (x *exec) grant(node int) {
+	w := &worker{node: node, quit: make(chan struct{})}
+	x.gmu.Lock()
+	x.workers = append(x.workers, w)
+	x.byNode[node]++
+	x.gmu.Unlock()
+	if x.e.started {
+		x.e.wg.Add(1)
+		go x.runWorker(w)
+	}
+}
+
+// startWorkers launches goroutines for the grants made during placement.
+func (x *exec) startWorkers() {
+	x.gmu.Lock()
+	ws := append([]*worker(nil), x.workers...)
+	x.gmu.Unlock()
+	for _, w := range ws {
+		x.e.wg.Add(1)
+		go x.runWorker(w)
+	}
+}
+
+// revoke removes one grant on the given node; the worker exits after its
+// current tuple. The executor's last grant is never revoked (an executor
+// always keeps one core) unless force is set (retirement).
+func (x *exec) revoke(node int, force bool) bool {
+	x.gmu.Lock()
+	defer x.gmu.Unlock()
+	if !force && len(x.workers) <= 1 {
+		return false
+	}
+	for i, w := range x.workers {
+		if w.node == node {
+			close(w.quit)
+			x.workers = append(x.workers[:i], x.workers[i+1:]...)
+			x.byNode[node]--
+			if x.byNode[node] == 0 {
+				delete(x.byNode, node)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// grants returns a copy of the per-node grant counts.
+func (x *exec) grants() map[int]int {
+	x.gmu.Lock()
+	defer x.gmu.Unlock()
+	out := make(map[int]int, len(x.byNode))
+	for n, c := range x.byNode {
+		out[n] = c
+	}
+	return out
+}
+
+func (x *exec) grantCount() int {
+	x.gmu.Lock()
+	defer x.gmu.Unlock()
+	return len(x.workers)
+}
+
+// localNode reads the main-process node under gmu: churn rehoming writes
+// x.local on the control goroutine while repartition goroutines read it.
+func (x *exec) localNode() int {
+	x.gmu.Lock()
+	defer x.gmu.Unlock()
+	return x.local
+}
+
+func (x *exec) runWorker(w *worker) {
+	defer x.e.wg.Done()
+	defer x.e.guard("executor " + x.name)
+	for {
+		// A revoked or stopped worker leaves before taking more work, even
+		// if the queue is hot.
+		select {
+		case <-w.quit:
+			return
+		case <-x.e.stopWorkers:
+			return
+		default:
+		}
+		select {
+		case <-w.quit:
+			return
+		case <-x.e.stopWorkers:
+			return
+		case t := <-x.in:
+			x.process(t)
+		}
+	}
+}
+
+// process services one tuple batch: pay the modeled CPU cost in (virtual)
+// wall time, run the user handler against the striped state, account, and
+// emit downstream.
+func (x *exec) process(t stream.Tuple) {
+	x.active.Add(1)
+	defer x.active.Add(-1)
+
+	w := int64(t.Weight)
+	cost := x.costOf(t) * simtime.Duration(t.Weight)
+	if cost > 0 {
+		x.e.clock.Sleep(cost)
+	}
+	x.winBusyNS.Add(int64(cost))
+
+	sh := x.shardOf(t.Key)
+	var outs []stream.Tuple
+	st := x.stripeFor(sh)
+	if x.o.meta.Handler != nil {
+		st.mu.Lock()
+		outs = x.o.meta.Handler(t, st.accessor(x, sh, t.Key))
+		st.mu.Unlock()
+	} else {
+		// Cost-model-only operators still materialize the shard's nominal
+		// state on first touch — the migration and failure cost models (and
+		// the simulator's state.Store) charge for every served shard.
+		st.mu.Lock()
+		st.shard(x, sh)
+		st.mu.Unlock()
+	}
+	if n := int(x.o.meta.Selectivity); x.o.meta.Handler == nil && n >= 1 {
+		for i := 0; i < n; i++ {
+			outs = append(outs, stream.Tuple{Key: t.Key, Weight: t.Weight, Bytes: x.o.meta.OutBytes, Born: t.Born})
+		}
+	}
+	var outBytes int64
+	for i := range outs {
+		if outs[i].Bytes == 0 {
+			outs[i].Bytes = x.o.meta.OutBytes
+		}
+		if outs[i].Weight == 0 {
+			outs[i].Weight = t.Weight
+		}
+		if outs[i].Born == 0 {
+			outs[i].Born = t.Born
+		}
+		outBytes += int64(outs[i].TotalBytes())
+	}
+	x.winOutBytes.Add(outBytes)
+
+	now := x.e.vnow()
+	x.winProcessed.Add(w)
+	x.batches.Add(1)
+	x.o.inflight.Add(-w)
+	x.o.processed.Add(w)
+
+	warm := simtime.Duration(now) >= x.e.cfg.WarmUp
+	if x.o.measured && warm {
+		x.e.coll.mu.Lock()
+		x.e.coll.procTotal += w
+		x.e.coll.procWin += w
+		x.e.coll.mu.Unlock()
+	}
+	if x.o.sink && warm {
+		d := now.Sub(t.Born)
+		x.e.coll.mu.Lock()
+		x.e.coll.lat.Observe(d, t.Weight)
+		x.e.coll.winLat.Observe(d, t.Weight)
+		x.e.coll.mu.Unlock()
+	}
+
+	for _, d := range x.o.meta.Downstream() {
+		x.e.deliver(x.e.ops[d], outs, true)
+	}
+}
+
+// streamUnit is the probe tuple for cost-model estimates (fallback μ).
+func streamUnit(x *exec) stream.Tuple {
+	return stream.Tuple{Bytes: x.o.meta.OutBytes, Weight: 1}
+}
+
+func (x *exec) costOf(t stream.Tuple) simtime.Duration {
+	if x.o.meta.Cost == nil {
+		return 0
+	}
+	// Cost models price one tuple; weight scales outside.
+	unit := t
+	unit.Weight = 1
+	return x.o.meta.Cost(unit)
+}
+
+// shard returns (creating with the nominal byte size) the shard's resident
+// state. Caller holds the stripe lock.
+func (st *stripe) shard(x *exec, s state.ShardID) *shardData {
+	d := st.shards[s]
+	if d == nil {
+		d = &shardData{bytes: x.perShardBytes, keys: make(map[stream.Key]interface{})}
+		st.shards[s] = d
+	}
+	return d
+}
+
+// accessor implements stream.StateAccessor over the striped map. The stripe
+// lock is held for the whole handler invocation.
+type rtAccessor struct {
+	d *shardData
+	k stream.Key
+}
+
+func (st *stripe) accessor(x *exec, s state.ShardID, k stream.Key) stream.StateAccessor {
+	return rtAccessor{d: st.shard(x, s), k: k}
+}
+
+func (a rtAccessor) Get() interface{}  { return a.d.keys[a.k] }
+func (a rtAccessor) Set(v interface{}) { a.d.keys[a.k] = v }
+
+// stateBytes returns the executor's resident state size: nominal bytes for
+// every shard materialized so far.
+func (x *exec) stateBytes() int64 {
+	var total int64
+	for _, st := range x.stripes {
+		st.mu.Lock()
+		for _, d := range st.shards {
+			total += int64(d.bytes)
+		}
+		st.mu.Unlock()
+	}
+	return total
+}
+
+// peekShardBytes returns a shard's resident byte size without moving it
+// (0 if never materialized).
+func (x *exec) peekShardBytes(s state.ShardID) int {
+	st := x.stripeFor(s)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if d := st.shards[s]; d != nil {
+		return d.bytes
+	}
+	return 0
+}
+
+// takeShard removes and returns a shard's state (nil if never materialized).
+func (x *exec) takeShard(s state.ShardID) *shardData {
+	st := x.stripeFor(s)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	d := st.shards[s]
+	delete(st.shards, s)
+	return d
+}
+
+// putShard installs a migrated shard, merging keys if the destination
+// already materialized it.
+func (x *exec) putShard(s state.ShardID, d *shardData) {
+	if d == nil {
+		return
+	}
+	st := x.stripeFor(s)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cur := st.shards[s]
+	if cur == nil {
+		st.shards[s] = d
+		return
+	}
+	for k, v := range d.keys {
+		cur.keys[k] = v
+	}
+}
+
+// clampIdx guards a routing decision computed against a snapshot that may
+// have been superseded mid-flight (executor retirement shrinks the set).
+func clampIdx(idx, n int) int {
+	if idx >= 0 && idx < n {
+		return idx
+	}
+	if n <= 0 {
+		return 0
+	}
+	return ((idx % n) + n) % n
+}
+
+// deliver routes tuples into an operator. Inter-operator edges block on a
+// full queue (natural backpressure along a DAG); replayed and redirected
+// tuples use the same path. Returns the weight actually admitted.
+func (e *Engine) deliver(o *op, ts []stream.Tuple, countAdmit bool) {
+	for _, t := range ts {
+		w := int64(t.Weight)
+		if countAdmit {
+			o.admitted.Add(w)
+		}
+		if o.paused.Load() {
+			o.buffer(t)
+			continue
+		}
+		if o.dynRouting {
+			o.recordShardLoad(t.Key, t.Weight)
+		}
+		s := o.snap.Load()
+		idx := clampIdx(e.pol.Route(o, t.Key), len(s.execs))
+		x := s.execs[idx]
+		o.inflight.Add(w)
+		x.arrived.Add(w)
+		x.winArrived.Add(w)
+		x.winInBytes.Add(int64(t.TotalBytes()))
+		select {
+		case x.in <- t:
+		case <-e.stopWorkers:
+			// Shutdown while blocked: account as shutdown residue.
+			o.inflight.Add(-w)
+			o.dropShut.Add(w)
+			x.dropped.Add(w)
+		}
+	}
+}
+
+// replay re-injects tuples buffered during a pause; they were already
+// admitted once.
+func (e *Engine) replay(o *op, ts []stream.Tuple) {
+	e.deliver(o, ts, false)
+}

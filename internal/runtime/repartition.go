@@ -1,0 +1,163 @@
+package runtime
+
+import (
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/simtime"
+	"repro/internal/state"
+	"repro/internal/stream"
+)
+
+// startRepartition runs the §3.3 global repartition protocol over real
+// channels: pause the operator's intake (upstream tuples buffer), drain every
+// executor queue, migrate the moved shards' state between executor maps
+// (paying serialization and wire time for cross-node moves), swap in the new
+// routing table, and replay the buffer. The protocol runs on its own
+// goroutine; completion is reported to the policy on the control goroutine.
+func (e *Engine) startRepartition(o *op, moves []balancer.Move) {
+	if o.snap.Load().routing == nil {
+		panic("runtime: StartRepartition on an operator without dynamic routing")
+	}
+	if o.repart.Swap(true) {
+		return // already in flight; the policy should have checked
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer e.guard("repartition " + o.meta.Name)
+		e.runRepartition(o, moves)
+	}()
+}
+
+func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
+	started := e.vnow()
+
+	// Phase 1: pause. New arrivals buffer at the operator.
+	o.paused.Store(true)
+
+	// Phase 2: drain. Wait until every tuple already admitted has been
+	// processed — queues empty, workers idle.
+	if !e.waitDrained(o) {
+		// Shutdown interrupted the drain; leave the pause for the residue
+		// sweep and bail without touching routing.
+		o.repart.Store(false)
+		return
+	}
+	drained := e.vnow()
+
+	// The executor set the moves were decided against. If cluster churn
+	// retires executors mid-protocol it swaps the snapshot (under snapMu)
+	// and remaps routing indices, so the decided moves become meaningless;
+	// the commit below revalidates and aborts rather than misroute.
+	snap := o.snap.Load()
+
+	// Model the migration's serialization and wire time up front, while the
+	// operator is paused (the simulator charges the same costs on its
+	// virtual clock; here the pause gap is real).
+	var wireBytes int64
+	for _, m := range moves {
+		if m.From < 0 || m.From >= len(snap.execs) || m.To < 0 || m.To >= len(snap.execs) {
+			continue
+		}
+		src, dst := snap.execs[m.From], snap.execs[m.To]
+		if src.localNode() != dst.localNode() {
+			bytes := src.perShardBytes
+			if d := src.peekShardBytes(state.ShardID(m.Shard)); d > 0 {
+				bytes = d
+			}
+			wireBytes += int64(bytes)
+		}
+	}
+	if wireBytes > 0 {
+		e.clock.Sleep(e.cfg.SerializeOverhead + wireDuration(wireBytes, e.cfg.Cluster.BandwidthBps))
+	}
+
+	// Phases 3+4: migrate state and publish the new routing table as one
+	// commit under snapMu, so a concurrent retirement either happens before
+	// (snapshot changed → abort, no state touched) or after (it sees the
+	// committed routing).
+	var movedBytes int64
+	committed := false
+	o.snapMu.Lock()
+	if cur := o.snap.Load(); cur == snap {
+		routing := append([]int(nil), cur.routing...)
+		for _, m := range moves {
+			if m.From < 0 || m.From >= len(snap.execs) || m.To < 0 || m.To >= len(snap.execs) {
+				continue
+			}
+			src, dst := snap.execs[m.From], snap.execs[m.To]
+			sh := state.ShardID(m.Shard)
+			d := src.takeShard(sh)
+			bytes := src.perShardBytes
+			if d != nil {
+				bytes = d.bytes
+			} else {
+				d = &shardData{bytes: bytes, keys: make(map[stream.Key]interface{})}
+			}
+			dst.putShard(sh, d)
+			movedBytes += int64(bytes)
+			if m.Shard >= 0 && m.Shard < len(routing) {
+				routing[m.Shard] = m.To
+			}
+		}
+		o.snap.Store(&opSnap{execs: cur.execs, routing: routing})
+		committed = true
+	}
+	o.snapMu.Unlock()
+	e.migrationBytes.Add(movedBytes)
+
+	o.paused.Store(false)
+	o.bufMu.Lock()
+	buf := o.pauseBuf
+	o.pauseBuf = nil
+	o.bufMu.Unlock()
+	e.replay(o, buf)
+
+	total := e.vnow().Sub(started)
+	if committed {
+		e.repMu.Lock()
+		e.repartitions++
+		e.repartMoves += int64(len(moves))
+		e.repartBytes += movedBytes
+		e.repartSync += drained.Sub(started)
+		e.repartTime += total
+		e.repMu.Unlock()
+	}
+	o.repart.Store(false)
+	// An aborted (churn-overtaken) protocol still finishes from the
+	// policy's point of view: the controller must cool down either way.
+	e.post(func() { e.pol.RepartitionFinished(o) })
+}
+
+// waitDrained blocks until the operator's admitted-but-unprocessed weight
+// reaches zero. Returns false if the run shut down first.
+func (e *Engine) waitDrained(o *op) bool {
+	for {
+		if o.inflight.Load() == 0 {
+			idle := true
+			for _, x := range o.snap.Load().execs {
+				if x.active.Load() != 0 || len(x.in) != 0 {
+					idle = false
+					break
+				}
+			}
+			if idle {
+				return true
+			}
+		}
+		select {
+		case <-e.done:
+			return false
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// wireDuration is the virtual wire time for a payload at NIC bandwidth.
+func wireDuration(bytes int64, bps float64) simtime.Duration {
+	if bps <= 0 || bytes <= 0 {
+		return 0
+	}
+	return simtime.FromSeconds(float64(bytes) * 8 / bps)
+}

@@ -1,0 +1,768 @@
+// Package runtime is the real-time execution backend of the Elasticutor
+// reproduction: the same topologies, policies, and scenario specs as the
+// discrete-event simulator (internal/engine), but executed on actual
+// goroutines against a wall clock.
+//
+//   - each executor is a goroutine pool fed by one buffered channel; a
+//     "core grant" is one worker goroutine bound to a node, and the dynamic
+//     scheduler's ApplyAssignment adjusts the pool by granting and revoking
+//     workers (the core-grant semaphore);
+//   - executor state lives in sharded maps guarded per-stripe, so concurrent
+//     workers of one executor never race on per-key state;
+//   - time is the machine clock behind a Clock abstraction (tests compress it
+//     with Scaled), and the policy surface's virtual time is wall time since
+//     the run started;
+//   - the control planes run unmodified: the backend implements policy.Host
+//     (Every via tickers, ExecutorLoads from real counters, StartRepartition
+//     as the §3.3 pause→drain→migrate→reroute protocol over channels), and a
+//     single control goroutine serializes every policy invocation exactly as
+//     the simulator's event loop does.
+//
+// Where the simulator charges modeled costs, the runtime pays real ones:
+// channel hops, lock contention, and scheduling jitter are measured, not
+// assumed — tools/calibrate turns those measurements into a cost table the
+// simulator loads. The runtime is deliberately not deterministic; its
+// contract with the simulator is structural (see the backend-conformance
+// suite): identical placement, a conserved tuple ledger, and zero lost state
+// under graceful drains.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+)
+
+// Options tunes the backend; zero values take defaults.
+type Options struct {
+	// Clock supplies time; nil uses Scaled(Speedup) (RealClock when Speedup
+	// ≤ 1).
+	Clock Clock
+	// Speedup compresses time by this factor when Clock is nil: a 16 s
+	// scenario at Speedup 20 finishes in 0.8 s of wall time.
+	Speedup float64
+	// QueueDepth is the per-executor input channel capacity in tuple events
+	// (default MaxInFlight/Batch, at least 16) — the backpressure credit.
+	QueueDepth int
+	// DrainTimeout bounds the shutdown drain in wall time (default 3 s).
+	// Tuples still queued when it expires are counted dropped-at-shutdown.
+	DrainTimeout time.Duration
+	// SourceTick is the token-bucket refill period in virtual time
+	// (default 2 ms).
+	SourceTick time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = Scaled(o.Speedup)
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 3 * time.Second
+	}
+	if o.SourceTick <= 0 {
+		o.SourceTick = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Ledger is the runtime's conservation account, in tuple-weight units summed
+// over every operator. Admitted splits exactly into processed work and drops
+// with a recorded cause; Blocked was refused at the source and never entered
+// the dataflow.
+type Ledger struct {
+	Admitted        int64 // accepted into an operator (buffered included)
+	Processed       int64 // completed by an operator's executor
+	DroppedFailure  int64 // destroyed by a node failure
+	DroppedShutdown int64 // still queued when the shutdown drain expired
+	Blocked         int64 // refused by source backpressure (never admitted)
+}
+
+// Conserved reports whether every admitted tuple is accounted for.
+func (l Ledger) Conserved() bool {
+	return l.Admitted == l.Processed+l.DroppedFailure+l.DroppedShutdown
+}
+
+func (l Ledger) String() string {
+	return fmt.Sprintf("admitted=%d processed=%d dropFail=%d dropShutdown=%d blocked=%d conserved=%v",
+		l.Admitted, l.Processed, l.DroppedFailure, l.DroppedShutdown, l.Blocked, l.Conserved())
+}
+
+// node is the runtime's bookkeeping for one cluster node. All fields are
+// touched only on the control goroutine (placement happens before it starts).
+type node struct {
+	id          int
+	cores       int
+	free        int // cores not yet granted or reserved
+	srcReserved int
+	alive       bool
+}
+
+// opSnap is the immutable routing snapshot of one operator: the live executor
+// set plus (for dynamic-routing placements) the operator-shard routing table.
+// Writers build a fresh snapshot and swap the pointer; the tuple hot path
+// only loads.
+type opSnap struct {
+	execs   []*exec
+	routing []int
+}
+
+// op is the per-operator runtime, and the policy.Operator handle.
+type op struct {
+	e    *Engine
+	meta *stream.Operator
+
+	firstHop bool
+	sink     bool
+	measured bool
+
+	opSharded  bool
+	dynRouting bool
+
+	snapMu sync.Mutex // serializes snapshot writers
+	snap   atomic.Pointer[opSnap]
+
+	paused   atomic.Bool
+	repart   atomic.Bool
+	inflight atomic.Int64 // weight admitted but not yet processed/dropped
+
+	bufMu    sync.Mutex
+	pauseBuf []stream.Tuple
+
+	loadMu    sync.Mutex
+	shardLoad []float64 // per operator shard, nil unless dynRouting
+
+	// ledger counters (weight units)
+	admitted  atomic.Int64
+	processed atomic.Int64
+	dropFail  atomic.Int64
+	dropShut  atomic.Int64
+}
+
+// policy.Operator implementation. Everything reads atomic snapshots so the
+// tuple hot path (Route) never takes a lock.
+
+func (o *op) Meta() *stream.Operator { return o.meta }
+func (o *op) Executors() int         { return len(o.snap.Load().execs) }
+func (o *op) Routing() []int         { return o.snap.Load().routing }
+
+func (o *op) ShardLoads() []float64 {
+	// dynRouting is immutable after placement; the slice itself is only
+	// touched under loadMu (reading the header unlocked would race Reset).
+	if !o.dynRouting {
+		return nil
+	}
+	o.loadMu.Lock()
+	defer o.loadMu.Unlock()
+	out := make([]float64, len(o.shardLoad))
+	copy(out, o.shardLoad)
+	return out
+}
+
+func (o *op) ResetShardLoads() {
+	if !o.dynRouting {
+		return
+	}
+	o.loadMu.Lock()
+	o.shardLoad = make([]float64, len(o.shardLoad))
+	o.loadMu.Unlock()
+}
+
+func (o *op) Repartitioning() bool { return o.paused.Load() || o.repart.Load() }
+
+func (o *op) recordShardLoad(k stream.Key, w int) {
+	if !o.dynRouting {
+		return
+	}
+	o.loadMu.Lock()
+	o.shardLoad[k.OperatorShard(len(o.shardLoad))] += float64(w)
+	o.loadMu.Unlock()
+}
+
+func (o *op) buffer(t stream.Tuple) {
+	o.bufMu.Lock()
+	o.pauseBuf = append(o.pauseBuf, t)
+	o.bufMu.Unlock()
+}
+
+// Engine is one configured real-time run.
+type Engine struct {
+	cfg   engine.Config
+	opt   Options
+	clock Clock
+	pol   policy.Policy
+	par   engine.Paradigm
+
+	nodes   []*node
+	ops     map[stream.OperatorID]*op
+	opOrder []*op
+	sources []*src
+
+	elastic  []*exec // live executors, global scheduler indexing
+	allExecs []*exec // every executor ever created (shutdown sweep)
+
+	ctrl chan func()
+
+	stopSrc     chan struct{} // phase 1: sources stop emitting
+	done        chan struct{} // phase 2: control plane and protocols stop
+	stopWorkers chan struct{} // phase 3: workers exit
+
+	wg    sync.WaitGroup
+	start time.Time
+
+	fatalMu  sync.Mutex
+	fatalErr error
+	fatalCh  chan struct{}
+
+	// measurement
+	coll      collector
+	generated atomic.Int64 // post-warmup, measured like the simulator
+	blocked   atomic.Int64
+
+	// control-plane accounting (control goroutine or repartition goroutines)
+	repMu          sync.Mutex
+	repartitions   int
+	repartMoves    int64
+	repartBytes    int64
+	repartTime     simtime.Duration
+	repartSync     simtime.Duration
+	migrationBytes atomic.Int64
+	lostStateBytes atomic.Int64
+	retiredExecs   int
+	nodeJoins      int
+	nodeDrains     int
+	nodeFails      int
+	churnErrors    []string
+	schedulingWall []time.Duration
+
+	started bool
+	ranMu   sync.Mutex
+
+	// hooks run when Run starts (scenario wiring registered beforehand).
+	hooks []func()
+}
+
+// collector aggregates latency and series measurements from many workers.
+type collector struct {
+	mu        sync.Mutex
+	lat       *metrics.Histogram
+	winLat    *metrics.Histogram
+	thr       metrics.Series
+	latSeries metrics.Series
+	procTotal int64 // post-warmup processed weight at the measured operator
+	procWin   int64
+}
+
+// New builds a runtime engine for the same configuration the simulator takes.
+// Simulation-only knobs (AssertOrder, Seed determinism) are ignored; the
+// runtime is not deterministic by design.
+func New(cfg engine.Config, opt Options) (*Engine, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	pol := cfg.Policy
+	par := cfg.Paradigm
+	if pol == nil {
+		pol = policy.ForParadigm(cfg.Paradigm)
+	} else if p, ok := policy.ParadigmOf(pol.Name()); ok {
+		par = p
+	} else {
+		par = engine.Paradigm(-1)
+	}
+	opt = opt.withDefaults()
+	e := &Engine{
+		cfg:         cfg,
+		opt:         opt,
+		clock:       opt.Clock,
+		pol:         pol,
+		par:         par,
+		ops:         make(map[stream.OperatorID]*op),
+		ctrl:        make(chan func(), 64),
+		stopSrc:     make(chan struct{}),
+		done:        make(chan struct{}),
+		stopWorkers: make(chan struct{}),
+		fatalCh:     make(chan struct{}),
+	}
+	e.coll.lat = metrics.NewHistogram()
+	e.coll.winLat = metrics.NewHistogram()
+	for n := 0; n < cfg.Cluster.Nodes; n++ {
+		e.nodes = append(e.nodes, &node{
+			id: n, cores: cfg.Cluster.CoresPerNode, free: cfg.Cluster.CoresPerNode, alive: true,
+		})
+	}
+	if err := e.placeSources(); err != nil {
+		return nil, err
+	}
+	if err := e.placeExecutors(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// queueDepth returns the per-executor channel capacity in tuple events.
+func (e *Engine) queueDepth() int {
+	if e.opt.QueueDepth > 0 {
+		return e.opt.QueueDepth
+	}
+	d := e.cfg.MaxInFlight / e.cfg.Batch
+	if d < 16 {
+		d = 16
+	}
+	return d
+}
+
+// takeFreeCore claims a free core, preferring the given node; -1 when the
+// cluster is exhausted. Mirrors the simulator's placement order.
+func (e *Engine) takeFreeCore(prefer int) int {
+	if prefer >= 0 && prefer < len(e.nodes) && e.nodes[prefer].alive && e.nodes[prefer].free > 0 {
+		e.nodes[prefer].free--
+		return prefer
+	}
+	for _, n := range e.nodes {
+		if n.alive && n.free > 0 {
+			n.free--
+			return n.id
+		}
+	}
+	return -1
+}
+
+// placeSources reserves one core per source instance, round-robin on nodes,
+// exactly like the simulator.
+func (e *Engine) placeSources() error {
+	for _, sop := range e.cfg.Topology.Sources() {
+		drv := e.cfg.Sources[sop.ID]
+		if drv == nil {
+			return fmt.Errorf("runtime: source operator %q has no driver", sop.Name)
+		}
+		for i := 0; i < e.cfg.SourceExecutors; i++ {
+			nd := e.nodes[i%len(e.nodes)]
+			if !e.cfg.SourcesFree {
+				if nd.free > 0 {
+					nd.free--
+					nd.srcReserved++
+				} else if got := e.takeFreeCore(-1); got >= 0 {
+					e.nodes[got].srcReserved++
+				} else {
+					return fmt.Errorf("runtime: out of cores placing sources")
+				}
+			}
+		}
+		e.sources = append(e.sources, &src{e: e, op: sop, drv: drv})
+	}
+	return nil
+}
+
+// placeExecutors runs the policy's Place decisions, mirroring the simulator's
+// provisioning loop (round-robin locality, under-provision tolerated for
+// elastic placements).
+func (e *Engine) placeExecutors() error {
+	var nonSource []*stream.Operator
+	for _, mop := range e.cfg.Topology.Operators() {
+		if !mop.Source {
+			nonSource = append(nonSource, mop)
+		}
+	}
+	if len(nonSource) == 0 {
+		return fmt.Errorf("runtime: topology has no non-source operators")
+	}
+	freeTotal := 0
+	for _, n := range e.nodes {
+		freeTotal += n.free
+	}
+	if freeTotal < len(nonSource) {
+		return fmt.Errorf("runtime: %d cores cannot host %d operators", freeTotal, len(nonSource))
+	}
+	knobs := e.knobs()
+	measure := e.measureOp()
+	for idx, mop := range nonSource {
+		pl := e.pol.Place(knobs, mop, idx, len(nonSource), freeTotal)
+		o := &op{
+			e:          e,
+			meta:       mop,
+			firstHop:   e.isFirstHop(mop),
+			sink:       len(mop.Downstream()) == 0,
+			measured:   mop.ID == measure,
+			opSharded:  pl.OperatorSharded,
+			dynRouting: pl.DynamicRouting,
+		}
+		count := pl.Executors
+		if count < 1 {
+			count = 1
+		}
+		var execs []*exec
+		for i := 0; i < count; i++ {
+			nd := e.takeFreeCore((idx + i) % len(e.nodes))
+			if nd < 0 {
+				if i == 0 {
+					return fmt.Errorf("runtime: out of cores placing executor for %q", mop.Name)
+				}
+				break // elastic placements may start under-provisioned
+			}
+			x := e.newExec(o, i, nd)
+			x.grant(nd)
+			for extra := 1; extra < e.cfg.FixedCores; extra++ {
+				g := e.takeFreeCore(x.local)
+				if g < 0 {
+					break
+				}
+				x.grant(g)
+			}
+			execs = append(execs, x)
+		}
+		snap := &opSnap{execs: execs}
+		if pl.DynamicRouting {
+			snap.routing = make([]int, e.cfg.OpShards)
+			for s := range snap.routing {
+				snap.routing[s] = s % len(execs)
+			}
+			o.shardLoad = make([]float64, e.cfg.OpShards)
+		}
+		o.snap.Store(snap)
+		e.ops[mop.ID] = o
+		e.opOrder = append(e.opOrder, o)
+		e.elastic = append(e.elastic, execs...)
+		e.allExecs = append(e.allExecs, execs...)
+	}
+	return nil
+}
+
+func (e *Engine) isFirstHop(mop *stream.Operator) bool {
+	for _, u := range mop.Upstream() {
+		if e.cfg.Topology.Operator(u).Source {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) measureOp() stream.OperatorID {
+	if e.cfg.MeasureOp >= 0 {
+		return e.cfg.MeasureOp
+	}
+	for _, mop := range e.cfg.Topology.Operators() {
+		if !mop.Source {
+			return mop.ID
+		}
+	}
+	return -1
+}
+
+func (e *Engine) knobs() policy.Knobs {
+	return policy.Knobs{
+		Y:               e.cfg.Y,
+		YPerOp:          e.cfg.YPerOp,
+		Z:               e.cfg.Z,
+		OpShards:        e.cfg.OpShards,
+		Theta:           e.cfg.Theta,
+		Phi:             e.cfg.Phi,
+		Tmax:            e.cfg.Tmax,
+		SchedulePeriod:  e.cfg.SchedulePeriod,
+		RebalancePeriod: e.cfg.RebalancePeriod,
+		FixedCores:      e.cfg.FixedCores,
+	}
+}
+
+// vnow is virtual time since the run started — the policy surface's Now.
+func (e *Engine) vnow() simtime.Time {
+	return simtime.Time(e.clock.Now().Sub(e.start))
+}
+
+// fail records the first fatal error (worker/control panic) and triggers an
+// early shutdown; Run returns it.
+func (e *Engine) fail(err error) {
+	e.fatalMu.Lock()
+	defer e.fatalMu.Unlock()
+	if e.fatalErr != nil {
+		return
+	}
+	e.fatalErr = err
+	close(e.fatalCh)
+}
+
+func (e *Engine) fatal() error {
+	e.fatalMu.Lock()
+	defer e.fatalMu.Unlock()
+	return e.fatalErr
+}
+
+// guard converts a panic in a runtime goroutine into a fatal run error: the
+// concurrent backend must not crash the host process (the harness expects
+// sequential error semantics from its trials).
+func (e *Engine) guard(where string) {
+	if v := recover(); v != nil {
+		e.fail(fmt.Errorf("runtime: panic in %s: %v", where, v))
+	}
+}
+
+// Run executes the topology for d of virtual time and assembles a report
+// shaped exactly like the simulator's. It may be called once.
+func (e *Engine) Run(d simtime.Duration) (*engine.Report, error) {
+	e.ranMu.Lock()
+	if e.started {
+		e.ranMu.Unlock()
+		return nil, fmt.Errorf("runtime: Run called twice")
+	}
+	e.started = true
+	e.ranMu.Unlock()
+
+	e.start = e.clock.Now()
+
+	// Workers for the initial grants.
+	for _, x := range e.elastic {
+		x.startWorkers()
+	}
+	// Control goroutine: every policy invocation is serialized here.
+	e.wg.Add(1)
+	go e.controlLoop()
+	e.post(func() { e.pol.Install((*rhost)(e)) })
+	e.post(func() { e.everyTick(simtime.Second, e.sampleSeries) })
+	for _, h := range e.hooks {
+		h()
+	}
+	// Sources last, so control loops exist before load arrives.
+	for _, s := range e.sources {
+		e.wg.Add(1)
+		go s.run()
+	}
+
+	select {
+	case <-e.clock.After(d):
+	case <-e.fatalCh:
+	}
+	e.shutdown()
+	e.wg.Wait()
+	e.sweepResidue()
+	return e.buildReport(d), e.fatal()
+}
+
+// post enqueues fn on the control goroutine.
+func (e *Engine) post(fn func()) {
+	select {
+	case e.ctrl <- fn:
+	case <-e.done:
+	}
+}
+
+func (e *Engine) controlLoop() {
+	defer e.wg.Done()
+	defer e.guard("control loop")
+	for {
+		select {
+		case <-e.done:
+			return
+		case fn := <-e.ctrl:
+			fn()
+		}
+	}
+}
+
+// everyTick starts a ticker that posts fn to the control goroutine at each
+// interval of virtual time — the runtime's implementation of policy.Host.Every.
+func (e *Engine) everyTick(interval simtime.Duration, fn func()) {
+	if interval <= 0 {
+		panic("runtime: Every with non-positive interval")
+	}
+	t := e.clock.Ticker(interval)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer t.Stop()
+		for {
+			select {
+			case <-e.done:
+				return
+			case <-t.C():
+				e.post(fn)
+			}
+		}
+	}()
+}
+
+// AtVirtual schedules fn to run once at the given virtual offset from run
+// start, on its own goroutine. Must be called before Run (scenario wiring).
+func (e *Engine) AtVirtual(at simtime.Duration, fn func()) {
+	e.hooks = append(e.hooks, func() {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer e.guard("timer")
+			select {
+			case <-e.done:
+			case <-e.clock.After(at):
+				fn()
+			}
+		}()
+	})
+}
+
+// EveryVirtual schedules fn at every interval of virtual time, on its own
+// goroutine (fn must be safe to run concurrently with the dataflow). Must be
+// called before Run.
+func (e *Engine) EveryVirtual(interval simtime.Duration, fn func()) {
+	e.hooks = append(e.hooks, func() {
+		t := e.clock.Ticker(interval)
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer t.Stop()
+			defer e.guard("periodic")
+			for {
+				select {
+				case <-e.done:
+					return
+				case <-t.C():
+					fn()
+				}
+			}
+		}()
+	})
+}
+
+// sampleSeries appends the one-second throughput and latency points
+// (control goroutine).
+func (e *Engine) sampleSeries() {
+	now := e.vnow()
+	if simtime.Duration(now) <= e.cfg.WarmUp {
+		return
+	}
+	e.coll.mu.Lock()
+	e.coll.thr.Append(now, float64(e.coll.procWin))
+	e.coll.latSeries.Append(now, e.coll.winLat.Mean().Seconds())
+	e.coll.procWin = 0
+	e.coll.winLat.Reset()
+	e.coll.mu.Unlock()
+}
+
+// shutdown runs the three-phase stop: quiesce sources, drain the dataflow,
+// stop the control plane and workers.
+func (e *Engine) shutdown() {
+	close(e.stopSrc)
+	deadline := time.Now().Add(e.opt.DrainTimeout)
+	if e.fatal() != nil {
+		deadline = time.Now() // a dead dataflow cannot drain; sweep instead
+	}
+	for time.Now().Before(deadline) {
+		var pending int64
+		for _, o := range e.opOrder {
+			pending += o.inflight.Load()
+		}
+		if pending == 0 {
+			break
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	close(e.done)
+	close(e.stopWorkers)
+}
+
+// sweepResidue accounts every tuple still parked in a queue or pause buffer
+// when the drain gave up, so the ledger stays conserved.
+func (e *Engine) sweepResidue() {
+	for _, o := range e.opOrder {
+		o.bufMu.Lock()
+		buf := o.pauseBuf
+		o.pauseBuf = nil
+		o.bufMu.Unlock()
+		for _, t := range buf {
+			o.dropShut.Add(int64(t.Weight))
+		}
+	}
+	for _, x := range e.allExecs {
+		for {
+			select {
+			case t := <-x.in:
+				x.o.inflight.Add(-int64(t.Weight))
+				x.o.dropShut.Add(int64(t.Weight))
+				x.dropped.Add(int64(t.Weight))
+			default:
+			}
+			if len(x.in) == 0 {
+				break
+			}
+		}
+	}
+}
+
+// Ledger returns the run's conservation account.
+func (e *Engine) Ledger() Ledger {
+	var l Ledger
+	for _, o := range e.opOrder {
+		l.Admitted += o.admitted.Load()
+		l.Processed += o.processed.Load()
+		l.DroppedFailure += o.dropFail.Load()
+		l.DroppedShutdown += o.dropShut.Load()
+	}
+	l.Blocked = e.blocked.Load()
+	return l
+}
+
+// ExecutorCounts returns the live executor count per operator name
+// (conformance suite).
+func (e *Engine) ExecutorCounts() map[string]int {
+	out := make(map[string]int, len(e.opOrder))
+	for _, o := range e.opOrder {
+		out[o.meta.Name] = len(o.snap.Load().execs)
+	}
+	return out
+}
+
+// buildReport assembles a simulator-shaped report from the runtime counters.
+func (e *Engine) buildReport(d simtime.Duration) *engine.Report {
+	r := &engine.Report{
+		Paradigm:     e.par,
+		Policy:       e.pol.Name(),
+		Duration:     d,
+		MeasuredSpan: d - e.cfg.WarmUp,
+	}
+	if r.MeasuredSpan <= 0 {
+		r.MeasuredSpan = d
+	}
+	e.coll.mu.Lock()
+	r.Latency = e.coll.lat
+	r.ThroughputSeries = e.coll.thr
+	r.LatencySeries = e.coll.latSeries
+	r.Processed = e.coll.procTotal
+	e.coll.mu.Unlock()
+	r.Generated = e.generated.Load()
+	r.Blocked = e.blocked.Load()
+	// Dropped comes from the operator ledger, not the per-exec counters:
+	// pause-buffer residue swept at shutdown has no owning executor, and the
+	// report's dropped column must agree with the ledger printed next to it.
+	for _, o := range e.opOrder {
+		r.Dropped += o.dropFail.Load() + o.dropShut.Load()
+	}
+	for _, x := range e.allExecs {
+		r.Events += uint64(x.batches.Load())
+	}
+	r.MigrationBytes = e.migrationBytes.Load()
+	r.LostStateBytes = e.lostStateBytes.Load()
+
+	e.repMu.Lock()
+	r.Repartitions = e.repartitions
+	r.RepartitionMove = e.repartMoves
+	r.RepartitionBytes = e.repartBytes
+	r.RepartitionTime = e.repartTime
+	r.RepartitionSync = e.repartSync
+	r.SchedulingWall = append([]time.Duration(nil), e.schedulingWall...)
+	r.NodeJoins = e.nodeJoins
+	r.NodeDrains = e.nodeDrains
+	r.NodeFails = e.nodeFails
+	r.RetiredExecutors = e.retiredExecs
+	r.ChurnErrors = append([]string(nil), e.churnErrors...)
+	e.repMu.Unlock()
+
+	if sec := r.MeasuredSpan.Seconds(); sec > 0 {
+		r.ThroughputMean = float64(r.Processed) / sec
+		r.MigrationRate = float64(r.MigrationBytes+r.RepartitionBytes) / sec
+		r.RemoteRate = float64(r.RemoteTransferBytes) / sec
+	}
+	return r
+}

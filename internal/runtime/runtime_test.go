@@ -1,0 +1,106 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+	"repro/internal/workload"
+)
+
+// quickSpec is a small scenario kept light enough for race-detector runs on
+// one core: a 4-node cluster at a fraction of capacity with a short flash
+// crowd.
+func quickSpec() *scenario.Spec {
+	return &scenario.Spec{
+		Name:        "rt-quick",
+		Nodes:       4,
+		DurationSec: 6,
+		WarmupSec:   1,
+		Workload:    scenario.WorkloadSpec{RateFraction: 0.25},
+		Phases: []scenario.Phase{
+			{Kind: scenario.PhaseFlashCrowd, StartSec: 2, DurationSec: 2,
+				Params: map[string]float64{"factor": 2.0}},
+		},
+	}
+}
+
+func quickOpts() ScenarioOptions {
+	return ScenarioOptions{Options: Options{Speedup: 20}}
+}
+
+// TestRuntimeSmoke is the short-horizon wall-clock smoke run CI exercises
+// under the race detector: the elasticutor policy on the micro workload must
+// complete, process tuples, and keep the ledger conserved.
+func TestRuntimeSmoke(t *testing.T) {
+	r, led, err := RunScenario(quickSpec(), "elasticutor", 42, quickOpts())
+	if err != nil {
+		t.Fatalf("runtime run failed: %v", err)
+	}
+	if !led.Conserved() {
+		t.Fatalf("tuple ledger not conserved: %v", led)
+	}
+	if led.Processed == 0 {
+		t.Fatalf("runtime processed nothing: %v", led)
+	}
+	if r.Policy != "elasticutor" {
+		t.Fatalf("report policy = %q", r.Policy)
+	}
+	if r.LostStateBytes != 0 {
+		t.Fatalf("lost state without failures: %d", r.LostStateBytes)
+	}
+	if !strings.Contains(r.String(), "elasticutor") {
+		t.Fatalf("report string: %s", r)
+	}
+}
+
+// TestRuntimeMicroDirect runs the micro setup through New without the
+// scenario layer (the facade path for user topologies).
+func TestRuntimeMicroDirect(t *testing.T) {
+	pol, err := policy.ByName("static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := core.MicroSetup(core.MicroOptions{
+		Policy: pol,
+		Nodes:  2,
+		Spec:   workload.Spec{Keys: 500, Skew: 0.7, TupleBytes: 128, CPUCost: simtime.Millisecond, ShardStateKB: 16},
+		Rate:   2000,
+		Batch:  8,
+		Seed:   7,
+	})
+	rt, err := New(setup.Config, Options{Speedup: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.Run(3 * simtime.Second)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	led := rt.Ledger()
+	if !led.Conserved() {
+		t.Fatalf("ledger not conserved: %v", led)
+	}
+	if r.Processed == 0 {
+		t.Fatal("no tuples processed")
+	}
+}
+
+// TestRuntimeRunTwiceRefused pins the single-run contract.
+func TestRuntimeRunTwiceRefused(t *testing.T) {
+	rt, err := BuildScenario(quickSpec(), "static", 1, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(time1()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(time1()); err == nil {
+		t.Fatal("second Run must be refused")
+	}
+}
+
+func time1() simtime.Duration { return simtime.Second }

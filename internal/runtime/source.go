@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"repro/internal/engine"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+)
+
+// src drives one source operator as a token-bucket emitter: a ticker refills
+// tokens at the (possibly scenario-phased) offered rate, and each accumulated
+// batch is emitted subject to credit-based backpressure at every first-hop
+// destination — the same admission rule the simulator applies.
+type src struct {
+	e   *Engine
+	op  *stream.Operator
+	drv *engine.SourceDriver
+}
+
+func (s *src) run() {
+	e := s.e
+	defer e.wg.Done()
+	defer e.guard("source " + s.op.Name)
+	tick := e.clock.Ticker(e.opt.SourceTick)
+	defer tick.Stop()
+	batch := float64(e.cfg.Batch)
+	tokens := 0.0
+	last := e.clock.Now()
+	for {
+		select {
+		case <-e.stopSrc:
+			return
+		case <-tick.C():
+			now := e.clock.Now()
+			dt := now.Sub(last).Seconds()
+			last = now
+			if dt <= 0 {
+				continue
+			}
+			rate := s.drv.Rate(e.vnow())
+			if rate <= 0 {
+				continue
+			}
+			tokens += rate * dt
+			// Burst cap: a stalled scheduler must not dump an unbounded
+			// backlog of tokens when it wakes. Two ticks' worth of rate (or
+			// a 64-batch floor) keeps saturating sources saturating while
+			// the queue credit stays the real regulator.
+			if burst := max(batch*64, 2*rate*dt); tokens > burst {
+				tokens = burst
+			}
+			for tokens >= batch {
+				tokens -= batch
+				s.emitOne()
+			}
+		}
+	}
+}
+
+// emitOne samples and routes one batch, checking capacity at every first-hop
+// destination before committing (a blocked destination stalls the source,
+// credit-based backpressure). A paused destination buffers instead.
+func (s *src) emitOne() {
+	e := s.e
+	now := e.vnow()
+	key, bytes, payload := s.drv.Sample(now)
+	t := stream.Tuple{
+		Key:     key,
+		Weight:  e.cfg.Batch,
+		Bytes:   bytes,
+		Born:    now,
+		Payload: payload,
+	}
+	for _, d := range s.op.Downstream() {
+		o := e.ops[d]
+		if o.paused.Load() {
+			continue // repartition pause: the tuple buffers below
+		}
+		snap := o.snap.Load()
+		idx := clampIdx(e.pol.Route(o, t.Key), len(snap.execs))
+		x := snap.execs[idx]
+		if len(x.in) >= cap(x.in) {
+			e.blocked.Add(int64(t.Weight))
+			x.blockedW.Add(int64(t.Weight))
+			if o.dynRouting {
+				// The controller must see the offered per-shard load, or a
+				// saturated executor looks deceptively balanced.
+				o.recordShardLoad(t.Key, t.Weight)
+			}
+			return
+		}
+	}
+	if simtime.Duration(now) >= e.cfg.WarmUp {
+		e.generated.Add(int64(t.Weight))
+	}
+	for _, d := range s.op.Downstream() {
+		e.deliver(e.ops[d], []stream.Tuple{t}, true)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/calib"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -30,6 +31,10 @@ type Instance struct {
 	BaseRate float64 // tuples/s the rate multiplier scales
 }
 
+// ResolvedWorkload returns the scenario's workload parameters with the
+// quick-scale defaults filled in — the form both execution backends consume.
+func (s *Spec) ResolvedWorkload() workload.Spec { return s.workloadSpec() }
+
 // workloadDefaults fills the quick-scale workload defaults.
 func (s *Spec) workloadSpec() workload.Spec {
 	w := s.Workload
@@ -37,7 +42,7 @@ func (s *Spec) workloadSpec() workload.Spec {
 		Keys:           w.Keys,
 		Skew:           w.Skew,
 		TupleBytes:     w.TupleBytes,
-		CPUCost:        simtime.Duration(w.CPUCostUS * float64(simtime.Microsecond)),
+		CPUCost:        simtime.FromMicros(w.CPUCostUS),
 		ShardStateKB:   w.StateKB,
 		ShufflesPerMin: w.ShufflesPerMin,
 	}
@@ -233,14 +238,20 @@ func schedulePeriodic(clock *simtime.Clock, ph Phase, fn func()) {
 
 // Build validates the spec and assembles a ready-to-run engine: the
 // micro-benchmark topology with the scenario's workload, the phased rate
-// function, and every key phase and cluster event pre-scheduled.
-func (s *Spec) Build(policyName string, seed uint64) (*Instance, error) {
+// function, and every key phase and cluster event pre-scheduled. An optional
+// calibration table (tools/calibrate) replaces the simulator's assumed cost
+// constants with measured ones.
+func (s *Spec) Build(policyName string, seed uint64, cal ...*calib.Table) (*Instance, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	pol, err := policy.ByName(policyName)
 	if err != nil {
 		return nil, err
+	}
+	var table *calib.Table
+	if len(cal) > 0 {
+		table = cal[0]
 	}
 	base := s.BaseRate()
 	mult := s.RateMultiplier()
@@ -256,6 +267,7 @@ func (s *Spec) Build(policyName string, seed uint64) (*Instance, error) {
 		RateFn:          func(t simtime.Time) float64 { return base * mult(t) },
 		Seed:            seed,
 		WarmUp:          s.Warmup(),
+		Calibration:     table,
 	})
 	if err != nil {
 		return nil, err
@@ -264,9 +276,10 @@ func (s *Spec) Build(policyName string, seed uint64) (*Instance, error) {
 	return &Instance{Spec: s, Engine: m.Engine, Zipf: m.Zipf, BaseRate: base}, nil
 }
 
-// Run builds and runs the scenario under the named elasticity policy.
-func (s *Spec) Run(policyName string, seed uint64) (*engine.Report, error) {
-	inst, err := s.Build(policyName, seed)
+// Run builds and runs the scenario under the named elasticity policy, with
+// an optional measured calibration table.
+func (s *Spec) Run(policyName string, seed uint64, cal ...*calib.Table) (*engine.Report, error) {
+	inst, err := s.Build(policyName, seed, cal...)
 	if err != nil {
 		return nil, err
 	}

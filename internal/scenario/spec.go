@@ -132,9 +132,7 @@ func (s *Spec) Duration() simtime.Duration { return secs(s.DurationSec) }
 // Warmup returns the span excluded from reported metrics.
 func (s *Spec) Warmup() simtime.Duration { return secs(s.WarmupSec) }
 
-func secs(v float64) simtime.Duration {
-	return simtime.Duration(v * float64(simtime.Second))
-}
+func secs(v float64) simtime.Duration { return simtime.FromSeconds(v) }
 
 // Validate checks the spec's internal consistency: known kinds, phases
 // inside the horizon, no ambiguous overlaps (two rate phases, or two

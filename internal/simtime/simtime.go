@@ -33,6 +33,19 @@ const (
 // MaxTime is the largest representable virtual time.
 const MaxTime = Time(math.MaxInt64)
 
+// FromSeconds converts a seconds count to a Duration. It is the one sanctioned
+// float→duration conversion: call sites must not hand-roll nanosecond math
+// (`Duration(v * float64(Second))`), so the sim and the real-time backend keep
+// a single duration vocabulary.
+func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// FromMicros converts a microseconds count to a Duration.
+func FromMicros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// ToMillis expresses a Duration in (fractional) milliseconds, the display unit
+// of the paper's latency tables.
+func ToMillis(d Duration) float64 { return float64(d) / float64(Millisecond) }
+
 // Add returns t shifted by d.
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 

@@ -189,7 +189,7 @@ func (s Spec) ShuffleInterval() simtime.Duration {
 	if s.ShufflesPerMin <= 0 {
 		return 0
 	}
-	return simtime.Duration(float64(simtime.Minute) / s.ShufflesPerMin)
+	return simtime.FromSeconds(simtime.Minute.Seconds() / s.ShufflesPerMin)
 }
 
 // RateFunc gives the offered load (tuples/second) at a virtual time. The

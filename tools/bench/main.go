@@ -2,15 +2,22 @@
 // test -bench` and records the results as a JSON baseline, seeding the perf
 // trajectory across PRs:
 //
-//	go run ./tools/bench                  # full run, writes BENCH_2.json
+//	go run ./tools/bench                  # full run, writes BENCH_3.json
 //	go run ./tools/bench -smoke           # CI: component benches once, no file
 //	go run ./tools/bench -bench Fig8 -benchtime 3x -out /tmp/fig8.json
+//	go run ./tools/bench -compare BENCH_2.json   # flag >20% regressions
 //
 // The default -benchtime of 100ms gives the component microbenches a stable
 // sample while each paper-artifact benchmark (a full quick-scale experiment
 // per iteration) runs exactly once. The output maps benchmark name →
 // {ns_per_op, bytes_per_op, allocs_per_op}; wall-clock numbers are
 // machine-dependent — compare trajectories on one box, not across boxes.
+//
+// -compare loads a previous baseline and diffs the Component* benches (the
+// stable microbenches; full-experiment rows run once and are too noisy):
+// any ns/op more than -threshold (default 20%) above the baseline is flagged
+// as a REGRESSION and the exit code is 2, the ROADMAP's perf-trajectory
+// tripwire.
 package main
 
 import (
@@ -51,8 +58,10 @@ func main() {
 	var (
 		pattern   = flag.String("bench", ".", "benchmark name pattern (go test -bench)")
 		benchtime = flag.String("benchtime", "100ms", "per-benchmark time or iteration budget (go test -benchtime)")
-		out       = flag.String("out", "BENCH_2.json", "output JSON path ('' = stdout only)")
+		out       = flag.String("out", "BENCH_3.json", "output JSON path ('' = stdout only)")
 		smoke     = flag.Bool("smoke", false, "CI mode: run the component benches once each, write nothing, fail on any error")
+		compare   = flag.String("compare", "", "previous baseline JSON to diff the Component benches against")
+		threshold = flag.Float64("threshold", 0.20, "regression threshold for -compare (fraction of baseline ns/op)")
 	)
 	flag.Parse()
 	if *smoke {
@@ -83,11 +92,21 @@ func main() {
 		r := results[name]
 		fmt.Printf("%-44s %12.1f ns/op %8d allocs/op\n", name, r.NsPerOp, r.AllocsPerOp)
 	}
+	regressions := 0
+	if *compare != "" {
+		var err error
+		if regressions, err = compareBaseline(*compare, results, *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *smoke {
 		fmt.Fprintf(os.Stderr, "bench: smoke OK, %d benchmarks ran\n", len(results))
+		exitOnRegressions(regressions)
 		return
 	}
 	if *out == "" {
+		exitOnRegressions(regressions)
 		return
 	}
 	b := Baseline{
@@ -107,6 +126,61 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s (%d benchmarks)\n", *out, len(results))
+	exitOnRegressions(regressions)
+}
+
+func exitOnRegressions(n int) {
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d regression(s) beyond threshold\n", n)
+		os.Exit(2)
+	}
+}
+
+// compareBaseline diffs the Component benches of the current run against a
+// previous baseline file and returns how many regressed beyond threshold.
+// Non-component rows (full experiments that run once per -benchtime) are
+// skipped: their single-sample ns/op is dominated by noise.
+func compareBaseline(path string, current map[string]Result, threshold float64) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("bench: compare: %w", err)
+	}
+	var prev Baseline
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return 0, fmt.Errorf("bench: compare: %s: %w", path, err)
+	}
+	if len(prev.Benchmarks) == 0 {
+		return 0, fmt.Errorf("bench: compare: %s has no benchmarks", path)
+	}
+	names := make([]string, 0, len(current))
+	for name := range current {
+		if strings.Contains(name, "Component") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: compare: no Component benches in this run\n")
+		return 0, nil
+	}
+	fmt.Printf("\n== compare vs %s (threshold %+.0f%%) ==\n", path, threshold*100)
+	regressions := 0
+	for _, name := range names {
+		base, ok := prev.Benchmarks[name]
+		if !ok || base.NsPerOp <= 0 {
+			fmt.Printf("%-44s %12.1f ns/op   (new)\n", name, current[name].NsPerOp)
+			continue
+		}
+		cur := current[name].NsPerOp
+		delta := cur/base.NsPerOp - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-44s %12.1f ns/op  %+7.1f%%%s\n", name, cur, delta*100, mark)
+	}
+	return regressions, nil
 }
 
 // parse extracts benchmark rows from `go test -bench` output.

@@ -1,0 +1,57 @@
+// Command calibrate measures the real-time backend's costs on this machine —
+// per-tuple processing overhead, state-migration bandwidth and serialization
+// overhead, routing-control delay, and the dynamic scheduler's invocation
+// time — and writes them as a calibration table the simulator loads:
+//
+//	go run ./tools/calibrate                         # writes calibration.json
+//	go run ./tools/calibrate -out /tmp/cal.json
+//	elasticutor-sim -calibration calibration.json    # sim with measured costs
+//
+// Every number comes from the runtime backend's actual primitives (the
+// executor hot path, the shard move, a real Algorithm-1 invocation), so the
+// simulator's cost table is validated against reality instead of assumed.
+// Numbers are machine-dependent: calibrate on the box you simulate for.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	rtbackend "repro/internal/runtime"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "calibration.json", "output path ('' = stdout only)")
+		window  = flag.Duration("window", 300*time.Millisecond, "per-tuple measurement window (wall time)")
+		shardKB = flag.Int("shard-kb", 32, "migrated shard size in KB")
+		nodes   = flag.Int("nodes", 4, "nodes for the scheduling-invocation measurement")
+		execs   = flag.Int("executors", 28, "executors for the scheduling-invocation measurement")
+		rounds  = flag.Int("rounds", 64, "measurement repetitions")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "calibrating the runtime backend (window %v, %d rounds)…\n", *window, *rounds)
+	table, err := rtbackend.Calibrate(rtbackend.CalibrateOptions{
+		TupleWindow: *window,
+		ShardBytes:  *shardKB << 10,
+		Nodes:       *nodes,
+		Executors:   *execs,
+		Rounds:      *rounds,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", table)
+	if *out == "" {
+		return
+	}
+	if err := table.Save(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "calibrate: wrote %s\n", *out)
+}
