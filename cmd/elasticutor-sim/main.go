@@ -10,6 +10,7 @@
 //	elasticutor-sim -scenario list           # list built-ins
 //	elasticutor-sim -scenario custom.json    # declarative spec from disk
 //	elasticutor-sim -backend runtime -scenario flashcrowd -speedup 20
+//	elasticutor-sim -scenario nodedrain -live       # stream run events
 //	elasticutor-sim -calibration calibration.json   # measured cost table
 //
 // -paradigm accepts any registered elasticity policy name (see
@@ -25,10 +26,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/calib"
@@ -36,10 +39,39 @@ import (
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/policy"
+	runpkg "repro/internal/run"
 	rtbackend "repro/internal/runtime"
 	"repro/internal/scenario"
 	"repro/internal/workload"
 )
+
+// streamLive renders a run handle's event stream (and periodic snapshots) to
+// stderr until the run completes. Stdout stays clean for the report, so -live
+// output composes with redirection exactly like the timing lines.
+func streamLive(h *runpkg.Run) {
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case ev, ok := <-h.Events():
+			if !ok {
+				return
+			}
+			if ev.Kind == engine.EventPolicyInvoked {
+				continue // one per scheduling period; too chatty for a console
+			}
+			fmt.Fprintf(os.Stderr, "live: %v\n", ev)
+		case <-tick.C:
+			s := h.Snapshot()
+			parts := make([]string, 0, len(s.Operators))
+			for _, o := range s.Operators {
+				parts = append(parts, fmt.Sprintf("%s %d exec %.0f/s→%.0f/s q=%d",
+					o.Name, o.Executors, o.OfferedRate, o.ProcessedRate, o.Queued))
+			}
+			fmt.Fprintf(os.Stderr, "live: %v nodes=%d | %s\n", s.Now, s.LiveNodes, strings.Join(parts, " | "))
+		}
+	}
+}
 
 func main() {
 	var (
@@ -61,6 +93,7 @@ func main() {
 		backend  = flag.String("backend", "sim", "execution backend: sim (deterministic) | runtime (goroutines, wall clock)")
 		speedup  = flag.Float64("speedup", 20, "runtime backend clock compression factor")
 		calPath  = flag.String("calibration", "", "calibration table (tools/calibrate) loaded into the simulator")
+		live     = flag.Bool("live", false, "stream run events (churn, repartitions, phases) and snapshots to stderr while the run executes (single trial only)")
 	)
 	flag.Parse()
 	harness.SetDefaultWorkers(*parallel)
@@ -77,6 +110,9 @@ func main() {
 	if *backend != "sim" && *backend != "runtime" {
 		fmt.Fprintf(os.Stderr, "unknown backend %q (sim | runtime)\n", *backend)
 		os.Exit(2)
+	}
+	if *live && *trials > 1 {
+		fmt.Fprintln(os.Stderr, "note: -live streams a single trial; ignoring it for -trials > 1")
 	}
 
 	if *scn == "list" {
@@ -149,13 +185,32 @@ func main() {
 		if ctx.Index > 0 {
 			trialSeed = ctx.Rand.Uint64()
 		}
+		watch := *live && *trials == 1
 		if *backend == "runtime" {
-			r, led, err := rtbackend.RunScenario(runtimeSpec, *paradigm, trialSeed,
+			h, rtE, err := rtbackend.StartScenario(context.Background(), runtimeSpec, *paradigm, trialSeed,
 				rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: *speedup}})
-			return trialResult{r: r, led: &led}, err
+			if err != nil {
+				return trialResult{}, err
+			}
+			if watch {
+				streamLive(h)
+			}
+			r, err := h.Wait()
+			if err != nil {
+				return trialResult{}, err
+			}
+			led := rtE.Ledger()
+			return trialResult{r: r, led: &led}, nil
 		}
 		if spec != nil {
-			r, err := spec.Run(*paradigm, trialSeed, cal)
+			h, err := spec.Start(context.Background(), *paradigm, trialSeed, cal)
+			if err != nil {
+				return trialResult{}, err
+			}
+			if watch {
+				streamLive(h)
+			}
+			r, err := h.Wait()
 			return trialResult{r: r}, err
 		}
 		wl := workload.DefaultSpec()
@@ -181,7 +236,13 @@ func main() {
 		if err != nil {
 			return trialResult{}, err
 		}
-		return trialResult{r: m.Engine.Run(*duration)}, nil
+		h := runpkg.NewSim(m.Engine, *duration)
+		h.Start(context.Background())
+		if watch {
+			streamLive(h)
+		}
+		r, err := h.Wait()
+		return trialResult{r: r}, err
 	}
 
 	what := fmt.Sprintf("%s on %d nodes, ω=%v", *paradigm, *nodes, *omega)

@@ -28,6 +28,7 @@
 package elasticutor
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/policy"
+	runpkg "repro/internal/run"
 	rtbackend "repro/internal/runtime"
 	"repro/internal/scenario"
 	"repro/internal/simtime"
@@ -52,11 +54,66 @@ type (
 	State = stream.StateAccessor
 	// Time is a point in virtual time.
 	Time = simtime.Time
-	// Report is the measurement output of a run.
+	// Report is the measurement output of a run: the aggregate Totals block
+	// (flat accessors preserved), the PerOperator breakdown, and — for runs
+	// observed through a Run handle — the typed event Timeline.
 	Report = engine.Report
+	// Totals is the aggregate counter block embedded in Report.
+	Totals = engine.Totals
+	// OperatorStats is one operator's slice of the report.
+	OperatorStats = engine.OperatorStats
 	// Paradigm selects the execution paradigm.
 	Paradigm = engine.Paradigm
+
+	// Run is a live (or finished) run on either backend: Wait for the
+	// report, Snapshot for live per-operator metrics, Events for the typed
+	// event stream, Inject for mid-run control (see Builder.Start).
+	Run = runpkg.Run
+	// Event is one typed occurrence in a live run (churn, repartitions,
+	// phase transitions, policy invocations).
+	Event = engine.Event
+	// EventKind classifies an Event.
+	EventKind = engine.EventKind
+	// Command is one control action injected into a live run (see AddNode,
+	// DrainNode, FailNode, SetRate).
+	Command = engine.Command
+	// Snapshot is a point-in-time view of a live run.
+	Snapshot = engine.Snapshot
+	// OperatorSnapshot is the live view of one operator inside a Snapshot.
+	OperatorSnapshot = engine.OperatorSnapshot
 )
+
+// The event taxonomy of Run.Events and Report.Timeline.
+const (
+	EventNodeJoin          = engine.EventNodeJoin
+	EventNodeDrain         = engine.EventNodeDrain
+	EventNodeFail          = engine.EventNodeFail
+	EventRepartitionStart  = engine.EventRepartitionStart
+	EventRepartitionFinish = engine.EventRepartitionFinish
+	EventPhaseStart        = engine.EventPhaseStart
+	EventPhaseEnd          = engine.EventPhaseEnd
+	EventPhaseSkipped      = engine.EventPhaseSkipped
+	EventPolicyInvoked     = engine.EventPolicyInvoked
+	EventCommandApplied    = engine.EventCommandApplied
+)
+
+// AddNode returns a command that grows the cluster by one node (cores 0 =
+// cluster default). Commands are applied at the run's next safe point; use
+// Command.AtTime for a deterministic virtual-time schedule (inject before
+// the run starts).
+func AddNode(cores int) Command { return engine.AddNodeCmd(cores) }
+
+// DrainNode returns a command that removes a node gracefully: executors
+// evacuate and their state migrates off — nothing is lost.
+func DrainNode(node int) Command { return engine.DrainNodeCmd(node) }
+
+// FailNode returns a command that removes a node hard: its queues and
+// resident state are destroyed, with every loss accounted.
+func FailNode(node int) Command { return engine.FailNodeCmd(node) }
+
+// SetRate returns a command that scales every spout's offered load by factor
+// (1 restores the configured rate).
+func SetRate(factor float64) Command { return engine.SetRateCmd(factor) }
 
 // Execution paradigms (paper §2.2, §5).
 const (
@@ -103,6 +160,34 @@ func RunScenario(nameOrPath, policyName string, seed uint64) (*Report, error) {
 		return nil, err
 	}
 	return sp.Run(policyName, seed)
+}
+
+// StartScenario launches a built-in or file-loaded scenario (name or *.json
+// path) on the canonical micro-benchmark topology and returns its live Run
+// handle. Unlike RunScenario it selects an execution backend: Options.Policy
+// names the elasticity policy (default "elasticutor"), Options.Backend picks
+// BackendSim or BackendRuntime (Options.Speedup compresses the latter's
+// clock), Options.Seed seeds the workload. Other Options fields are the
+// scenario's to decide and are ignored.
+func StartScenario(ctx context.Context, nameOrPath string, opt Options) (*Run, error) {
+	sp, err := scenario.Resolve(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+	pol := opt.Policy
+	if pol == "" {
+		pol = "elasticutor"
+	}
+	switch opt.Backend {
+	case "", BackendSim:
+		return sp.Start(ctx, pol, opt.Seed)
+	case BackendRuntime:
+		h, _, err := rtbackend.StartScenario(ctx, sp, pol, opt.Seed,
+			rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: opt.Speedup}, Batch: opt.Batch})
+		return h, err
+	default:
+		return nil, fmt.Errorf("elasticutor: unknown backend %q (have %v)", opt.Backend, Backends())
+	}
 }
 
 // SpoutConfig describes a source operator.
@@ -238,12 +323,18 @@ type Options struct {
 	// to this run: its rate phases multiply every spout's offered load and
 	// its cluster events (node join/drain/fail) are scheduled on the clock.
 	// Key-space phases (skew drift, hotspot, key churn) need the scenario's
-	// own sampler and are skipped for user topologies — run those through
-	// RunScenario. When Nodes is 0 the scenario's cluster size applies, and
-	// when Duration is 0 the scenario's duration applies; an explicitly
-	// shorter Duration that would silently skip scheduled cluster events is
-	// rejected.
+	// own sampler and cannot run on a user topology: each is announced as a
+	// typed PhaseSkipped event on the run's timeline (or rejected up front
+	// under Strict) — run those through RunScenario/StartScenario. When
+	// Nodes is 0 the scenario's cluster size applies, and when Duration is 0
+	// the scenario's duration applies; an explicitly shorter Duration that
+	// would silently skip scheduled cluster events is rejected.
 	Scenario string
+
+	// Strict rejects configurations that would otherwise degrade with only
+	// a timeline notice — currently: a Scenario whose key-space phases
+	// cannot run on this topology.
+	Strict bool
 
 	// BeforeRun, when set, is called with the constructed engine before the
 	// simulation starts — the hook for scheduling workload dynamics such as
@@ -253,28 +344,76 @@ type Options struct {
 
 // Run validates the topology, builds the selected backend, and runs it for
 // Options.Duration of virtual time (the scenario's duration when a scenario
-// is set and Duration is 0).
+// is set and Duration is 0). It is the blocking convenience form of Start.
 func (b *Builder) Run(opt Options) (*Report, error) {
+	h, err := b.Start(context.Background(), opt)
+	if err != nil {
+		return nil, err
+	}
+	return h.Wait()
+}
+
+// Start validates the topology, builds the selected backend, and launches
+// the run, returning immediately with a live Run handle on both backends:
+//
+//	h, err := b.Start(ctx, opt)
+//	for ev := range h.Events() { ... }   // typed event stream
+//	snap := h.Snapshot()                 // live per-operator metrics
+//	h.Inject(elasticutor.DrainNode(3))   // applied at the next safe point
+//	report, err := h.Wait()
+//
+// Cancelling ctx stops the run early at a safe point; Wait then returns the
+// partial report (with the context's error) and the backend's conservation
+// invariants still hold. See DESIGN.md "Run handle" for safe-point and
+// determinism semantics.
+func (b *Builder) Start(ctx context.Context, opt Options) (*Run, error) {
 	switch opt.Backend {
 	case "", BackendSim:
-		e, d, err := b.engine(opt)
+		h, _, err := b.simRun(opt)
 		if err != nil {
 			return nil, err
 		}
-		return e.Run(d), nil
+		h.Start(ctx)
+		return h, nil
 	case BackendRuntime:
-		return b.runRuntime(opt)
+		h, err := b.runtimeRun(opt)
+		if err != nil {
+			return nil, err
+		}
+		h.Start(ctx)
+		return h, nil
 	default:
 		return nil, fmt.Errorf("elasticutor: unknown backend %q (have %v)", opt.Backend, Backends())
 	}
 }
 
-// runRuntime executes the topology on the real-time backend. The scenario's
-// rate phases are already folded into the sources by config(); its cluster
-// events are scheduled on the wall clock. Key-space phases need the
-// scenario's own sampler and are skipped for user topologies, exactly as on
-// the simulator path.
-func (b *Builder) runRuntime(opt Options) (*Report, error) {
+// simRun assembles a wired, unstarted simulator run.
+func (b *Builder) simRun(opt Options) (*Run, *engine.Engine, error) {
+	cfg, sp, duration, err := b.config(opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	h := runpkg.NewSim(e, duration)
+	if sp != nil {
+		// Cluster events as injected commands, phase transitions as timeline
+		// markers (rate phases are already wrapped into the sources; key
+		// phases need the scenario's own sampler and announce PhaseSkipped).
+		scenario.Drive(h, sp, nil, 0)
+	}
+	if opt.BeforeRun != nil {
+		opt.BeforeRun(e)
+	}
+	return h, e, nil
+}
+
+// runtimeRun assembles a wired, unstarted real-time run. The scenario's rate
+// phases are already folded into the sources by config(); its cluster events
+// are injected on the wall clock through the same handle contract.
+func (b *Builder) runtimeRun(opt Options) (*Run, error) {
 	if opt.BeforeRun != nil {
 		return nil, fmt.Errorf("elasticutor: BeforeRun requires the sim backend (it schedules on the virtual clock)")
 	}
@@ -286,38 +425,19 @@ func (b *Builder) runRuntime(opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	h := runpkg.NewRuntime(rt, duration)
 	if sp != nil {
-		rt.AttachEvents(sp)
+		scenario.Drive(h, sp, nil, 0)
 	}
-	return rt.Run(duration)
+	return h, nil
 }
 
 // Engine builds the simulator engine without running it (for callers that
-// need to schedule events against the virtual clock first).
+// need to schedule events against the virtual clock first). Scenario events,
+// when configured, are already wired.
 func (b *Builder) Engine(opt Options) (*engine.Engine, error) {
-	e, _, err := b.engine(opt)
+	_, e, err := b.simRun(opt)
 	return e, err
-}
-
-// engine assembles and builds the simulator backend.
-func (b *Builder) engine(opt Options) (*engine.Engine, time.Duration, error) {
-	cfg, sp, duration, err := b.config(opt)
-	if err != nil {
-		return nil, 0, err
-	}
-	e, err := engine.New(cfg)
-	if err != nil {
-		return nil, 0, err
-	}
-	if sp != nil {
-		// Cluster events (and nothing else: rate phases are already wrapped
-		// into the sources, key phases need the scenario's own sampler).
-		scenario.Attach(e, sp, nil)
-	}
-	if opt.BeforeRun != nil {
-		opt.BeforeRun(e)
-	}
-	return e, duration, nil
 }
 
 // config resolves Options into the backend-independent engine configuration
@@ -362,6 +482,13 @@ func (b *Builder) config(opt Options) (engine.Config, *scenario.Spec, time.Durat
 		clone.Nodes = nodes
 		if err := clone.Validate(); err != nil {
 			return engine.Config{}, nil, 0, err
+		}
+	}
+	if sp != nil && opt.Strict {
+		if kinds := sp.KeyPhaseKinds(); len(kinds) > 0 {
+			return engine.Config{}, nil, 0, fmt.Errorf(
+				"elasticutor: scenario %q key-space phases %v cannot run on a user topology (Options.Strict); use RunScenario or StartScenario",
+				sp.Name, kinds)
 		}
 	}
 	srcEx := opt.SourceExecutors

@@ -1,11 +1,13 @@
-// Quickstart: build a two-operator topology with the public API, run it
-// under the Elasticutor paradigm on a simulated 4-node cluster, and print
-// the report.
+// Quickstart: build a two-operator topology with the public API, start it
+// under the Elasticutor paradigm on a simulated 4-node cluster, observe the
+// live run through its handle — events, a mid-run snapshot, an injected
+// node drain — and print the report.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,12 +39,27 @@ func main() {
 	})
 	b.Connect(events, counter)
 
-	report, err := b.Run(elasticutor.Options{
+	// Start returns a live Run handle immediately; the run executes while we
+	// observe it. Inject schedules a graceful node drain mid-run — the same
+	// control surface scenarios use.
+	h, err := b.Start(context.Background(), elasticutor.Options{
 		Paradigm: elasticutor.Elasticutor,
 		Nodes:    4, // 4 nodes × 8 cores, 1 Gbps
 		Duration: 20 * time.Second,
 		WarmUp:   5 * time.Second,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.Inject(elasticutor.DrainNode(3).AtTime(12 * time.Second)); err != nil {
+		log.Fatal(err)
+	}
+	for ev := range h.Events() {
+		if ev.Kind != elasticutor.EventPolicyInvoked { // one per second; too chatty
+			fmt.Printf("  event: %v\n", ev)
+		}
+	}
+	report, err := h.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,4 +69,6 @@ func main() {
 	fmt.Printf("  latency:    mean=%v p99=%v\n", report.Latency.Mean(), report.Latency.Quantile(0.99))
 	fmt.Printf("  elasticity: %d shard reassignments (%d crossed nodes)\n",
 		report.Reassignments, report.InterNodeReassigns)
+	fmt.Printf("  churn:      %d drain(s), %d B state lost (graceful = always 0)\n",
+		report.NodeDrains, report.LostStateBytes)
 }

@@ -1,0 +1,265 @@
+package elasticutor_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	elasticutor "repro"
+)
+
+// Facade coverage for the first-class Run handle: start/observe/control on
+// both backends, cancellation semantics, and the Strict/PhaseSkipped
+// contract for scenario key phases on user topologies.
+
+func handleBuilder(t *testing.T) *elasticutor.Builder {
+	t.Helper()
+	b := elasticutor.NewBuilder("facade-run")
+	src := b.Spout("s", elasticutor.SpoutConfig{
+		Rate: elasticutor.ConstantRate(3000),
+		Sample: func(now elasticutor.Time) (elasticutor.Key, int, interface{}) {
+			return elasticutor.Key(uint64(now) % 400), 128, nil
+		},
+	})
+	bolt := b.Bolt("work", elasticutor.BoltConfig{Cost: time.Millisecond})
+	b.Connect(src, bolt)
+	return b
+}
+
+func countKinds(tl []elasticutor.Event) map[elasticutor.EventKind]int {
+	out := make(map[elasticutor.EventKind]int)
+	for _, ev := range tl {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// TestStartInjectDrainSim drains a node mid-run through the handle's command
+// surface on the simulator: the drain lands at a safe point, no state is
+// lost, and the timeline records the event.
+func TestStartInjectDrainSim(t *testing.T) {
+	h, err := handleBuilder(t).Start(context.Background(), elasticutor.Options{
+		Paradigm: elasticutor.Elasticutor,
+		Nodes:    4,
+		Duration: 30 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Inject(elasticutor.DrainNode(3).AtTime(10 * time.Second)); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeDrains != 1 {
+		t.Fatalf("NodeDrains = %d, want 1 (churn errors: %v)", r.NodeDrains, r.ChurnErrors)
+	}
+	if r.LostStateBytes != 0 {
+		t.Fatalf("graceful drain lost %d bytes of state", r.LostStateBytes)
+	}
+	if r.Dropped != 0 {
+		t.Fatalf("graceful drain dropped %d tuples", r.Dropped)
+	}
+	if countKinds(r.Timeline)[elasticutor.EventNodeDrain] != 1 {
+		t.Fatalf("timeline missing the drain event: %v", r.Timeline)
+	}
+	if len(r.PerOperator) == 0 || r.PerOperator[0].Processed == 0 {
+		t.Fatalf("per-operator stats empty: %+v", r.PerOperator)
+	}
+}
+
+// TestStartInjectDrainRuntime is the same contract on the real-time backend.
+func TestStartInjectDrainRuntime(t *testing.T) {
+	h, err := handleBuilder(t).Start(context.Background(), elasticutor.Options{
+		Paradigm: elasticutor.Elasticutor,
+		Backend:  elasticutor.BackendRuntime,
+		Speedup:  20,
+		Nodes:    4,
+		Batch:    4,
+		Duration: 6 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Inject(elasticutor.DrainNode(3).AtTime(3 * time.Second)); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeDrains != 1 {
+		t.Fatalf("NodeDrains = %d, want 1 (churn errors: %v)", r.NodeDrains, r.ChurnErrors)
+	}
+	if r.LostStateBytes != 0 {
+		t.Fatalf("graceful drain lost %d bytes of state", r.LostStateBytes)
+	}
+	if countKinds(r.Timeline)[elasticutor.EventNodeDrain] != 1 {
+		t.Fatalf("timeline missing the drain event: %v", r.Timeline)
+	}
+}
+
+// TestStartSnapshotAndEvents exercises the observation surface while a run
+// is in flight and after it completes.
+func TestStartSnapshotAndEvents(t *testing.T) {
+	h, err := handleBuilder(t).Start(context.Background(), elasticutor.Options{
+		Paradigm: elasticutor.Elasticutor,
+		Scenario: "nodedrain",
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDrain bool
+	for ev := range h.Events() {
+		if ev.Kind == elasticutor.EventNodeDrain {
+			sawDrain = true
+		}
+	}
+	if !sawDrain {
+		t.Fatal("event stream carried no node-drain event")
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot() // final snapshot after completion
+	if len(snap.Operators) == 0 || snap.Operators[0].Executors < 1 {
+		t.Fatalf("final snapshot empty: %+v", snap)
+	}
+}
+
+// TestStartCancellation cancels a simulator run mid-flight: Wait returns the
+// partial report together with the context error, and the report covers only
+// the elapsed virtual time.
+func TestStartCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	want := 10 * time.Minute // far longer than the test will allow
+	h, err := handleBuilder(t).Start(ctx, elasticutor.Options{
+		Paradigm: elasticutor.Elasticutor,
+		Nodes:    4,
+		Duration: want,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A command the cancelled run never reaches must surface in ChurnErrors,
+	// not vanish behind Inject's nil error.
+	if err := h.Inject(elasticutor.FailNode(1).AtTime(9 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	r, err := h.Wait()
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(r.ChurnErrors) != 1 {
+		t.Fatalf("unapplied command not surfaced: ChurnErrors = %v", r.ChurnErrors)
+	}
+	if r == nil {
+		t.Fatal("cancellation must still return the partial report")
+	}
+	if r.Duration <= 0 || r.Duration >= want {
+		t.Fatalf("partial report duration = %v, want in (0, %v)", r.Duration, want)
+	}
+	if r.Processed == 0 {
+		t.Fatal("partial report processed nothing")
+	}
+}
+
+// TestScenarioKeyPhasesAnnouncedSkipped pins satellite behavior: a scenario
+// key-space phase on a user topology lands as a typed PhaseSkipped timeline
+// event instead of vanishing.
+func TestScenarioKeyPhasesAnnouncedSkipped(t *testing.T) {
+	r, err := handleBuilder(t).Run(elasticutor.Options{
+		Paradigm: elasticutor.Elasticutor,
+		Scenario: "hotspot", // key-space phase: cannot run on a user topology
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countKinds(r.Timeline)[elasticutor.EventPhaseSkipped] == 0 {
+		t.Fatalf("no PhaseSkipped event in timeline: %v", r.Timeline)
+	}
+}
+
+// TestStrictRejectsSkippedKeyPhases: the same configuration under
+// Options.Strict fails fast instead.
+func TestStrictRejectsSkippedKeyPhases(t *testing.T) {
+	_, err := handleBuilder(t).Run(elasticutor.Options{
+		Paradigm: elasticutor.Elasticutor,
+		Scenario: "hotspot",
+		Strict:   true,
+		Seed:     3,
+	})
+	if err == nil {
+		t.Fatal("Strict accepted a scenario whose key phases cannot run")
+	}
+}
+
+// TestStartScenarioBackendSelection runs the same scenario through the
+// facade on both backends — the backend-selection path RunScenario lacks.
+func TestStartScenarioBackendSelection(t *testing.T) {
+	for _, backend := range elasticutor.Backends() {
+		h, err := elasticutor.StartScenario(context.Background(), "nodedrain", elasticutor.Options{
+			Policy:  "elasticutor",
+			Backend: backend,
+			Speedup: 40,
+			Seed:    42,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		r, err := h.Wait()
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if r.NodeDrains != 1 {
+			t.Fatalf("%s: NodeDrains = %d, want 1", backend, r.NodeDrains)
+		}
+		if r.Processed == 0 {
+			t.Fatalf("%s: processed nothing", backend)
+		}
+	}
+}
+
+// TestRunSetRateCommand: a scheduled SetRate command raises the offered load
+// mid-run, visible in generated+blocked volume.
+func TestRunSetRateCommand(t *testing.T) {
+	runWith := func(factor float64) *elasticutor.Report {
+		h, err := handleBuilder(t).Start(context.Background(), elasticutor.Options{
+			Paradigm: elasticutor.Elasticutor,
+			Nodes:    2,
+			Duration: 10 * time.Second,
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if factor != 1 {
+			if err := h.Inject(elasticutor.SetRate(factor).AtTime(2 * time.Second)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := h.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := runWith(1)
+	boosted := runWith(4)
+	if boosted.Generated+boosted.Blocked <= base.Generated+base.Blocked {
+		t.Fatalf("SetRate(4) did not raise offered load: %d vs %d",
+			boosted.Generated+boosted.Blocked, base.Generated+base.Blocked)
+	}
+	if countKinds(boosted.Timeline)[elasticutor.EventCommandApplied] == 0 {
+		t.Fatalf("timeline missing the command-applied event: %v", boosted.Timeline)
+	}
+}

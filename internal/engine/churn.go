@@ -57,6 +57,14 @@ func (e *Engine) SetOnCapacityChange(fn func(CapacityEvent)) { e.onCapacity = fn
 func (e *Engine) RecordChurnError(msg string) { e.r.ChurnErrors = append(e.r.ChurnErrors, msg) }
 
 func (e *Engine) capacityChanged(ev CapacityEvent) {
+	kind := EventNodeJoin
+	switch ev.Kind {
+	case NodeDrained:
+		kind = EventNodeDrain
+	case NodeFailed:
+		kind = EventNodeFail
+	}
+	e.emit(Event{Kind: kind, At: ev.At, Node: int(ev.Node), Cores: ev.Cores})
 	if e.onCapacity != nil {
 		e.onCapacity(ev)
 	}
@@ -469,6 +477,7 @@ func (e *Engine) retireExecutors(rt *opRuntime, idxs []int, graceful bool) {
 		if retiring[i] {
 			ex := rt.execs[i]
 			e.retired = append(e.retired, ex)
+			rt.retiredExecs = append(rt.retiredExecs, ex)
 			e.r.RetiredExecutors++
 			delete(e.blockedW, ex)
 			delete(e.lastMu, ex)

@@ -136,6 +136,7 @@ func (h *host) ApplyAssignment(x [][]int) { (*Engine)(h).applyAssignment(x) }
 func (h *host) RecordSchedulingWall(d time.Duration) {
 	e := (*Engine)(h)
 	e.r.SchedulingWall = append(e.r.SchedulingWall, d)
+	e.emit(Event{Kind: EventPolicyInvoked, At: e.clock.Now(), Node: -1, Detail: e.pol.Name()})
 }
 
 // StartRepartition runs the global repartition protocol for the decided

@@ -187,6 +187,17 @@ type opRuntime struct {
 	paused      bool
 	pauseBuf    []pendingTuple
 	repartition *rcRepartition
+
+	// Live-observation counters (Run-handle snapshots and the per-operator
+	// report): cumulative tuple weight admitted toward / processed by this
+	// operator, plus the previous snapshot's cut of each.
+	offeredW      int64
+	processedW    int64
+	lastOffered   int64
+	lastProcessed int64
+	// retiredExecs keeps executors churn removed from this operator, so the
+	// per-operator report can still bill their historical stats.
+	retiredExecs []*executor.Executor
 }
 
 // policy.Operator implementation.
@@ -251,6 +262,13 @@ type Engine struct {
 	// onRepartition observes completed RC repartitions (experiments).
 	onRepartition func(RepartitionReport)
 
+	// onEvent streams typed run events to the Run handle (nil = disabled).
+	onEvent func(Event)
+	// rateFactor scales every source's offered load (CmdSetRate; 1 = off).
+	rateFactor float64
+	// lastSnapAt is the previous Snapshot's virtual time (rate windows).
+	lastSnapAt simtime.Time
+
 	// blockedW counts tuple weight that backpressure refused per target
 	// executor in the current scheduling window. It is folded into the
 	// executor's λ so the model sees the *offered* arrival rate, not just
@@ -260,7 +278,11 @@ type Engine struct {
 
 	r *Report
 
+	began   bool
 	stopped bool
+	// replaying marks route calls that re-deliver pause-buffered tuples, so
+	// the offered-load counters don't bill them twice.
+	replaying bool
 }
 
 // env adapts the engine to executor.Env.
@@ -289,16 +311,17 @@ func New(cfg Config) (*Engine, error) {
 		par = Paradigm(-1) // custom policy outside the paper's four
 	}
 	e := &Engine{
-		cfg:       cfg,
-		pol:       pol,
-		clock:     simtime.NewClock(),
-		rng:       simtime.NewRand(cfg.Seed + 1),
-		sources:   make(map[stream.OperatorID][]*sourceInstance),
-		ops:       make(map[stream.OperatorID]*opRuntime),
-		freeCores: make(map[cluster.NodeID][]cluster.CoreID),
-		inflight:  make(map[*executor.Executor]int),
-		blockedW:  make(map[*executor.Executor]int64),
-		r:         newReport(par, pol.Name()),
+		cfg:        cfg,
+		pol:        pol,
+		clock:      simtime.NewClock(),
+		rng:        simtime.NewRand(cfg.Seed + 1),
+		sources:    make(map[stream.OperatorID][]*sourceInstance),
+		ops:        make(map[stream.OperatorID]*opRuntime),
+		freeCores:  make(map[cluster.NodeID][]cluster.CoreID),
+		inflight:   make(map[*executor.Executor]int),
+		blockedW:   make(map[*executor.Executor]int64),
+		rateFactor: 1,
+		r:          newReport(par, pol.Name()),
 	}
 	e.cluster = cluster.New(e.clock, cfg.Cluster)
 	for _, core := range e.cluster.Cores() {
@@ -540,6 +563,7 @@ func (e *Engine) wireExecutor(rt *opRuntime, ex *executor.Executor, measured, si
 	}
 	ex.OnProcessed = func(t stream.Tuple) {
 		e.inflight[ex] -= t.Weight
+		rt.processedW += int64(t.Weight)
 		if measured {
 			e.r.observeProcessed(e.clock.Now(), t.Weight, e.cfg.WarmUp)
 		}
@@ -571,12 +595,40 @@ func (e *Engine) measureOp() stream.OperatorID {
 }
 
 // Run executes the simulation for the given virtual duration and returns the
-// report. Run may be called once per engine.
+// report. Run may be called once per engine. It is the monolithic form of the
+// stepped Begin / StepUntil / Finish cycle the Run handle drives.
 func (e *Engine) Run(d simtime.Duration) *Report {
+	e.Begin()
+	e.StepUntil(simtime.Time(0).Add(d))
+	return e.Finish(d)
+}
+
+// Begin arms the run: source emission loops, the policy's control loops, and
+// series sampling. Idempotent so the Run wrapper and external drivers can't
+// double-start the loops.
+func (e *Engine) Begin() {
+	if e.began {
+		return
+	}
+	e.began = true
 	e.startSources()
 	e.startControlLoops()
 	e.startSeriesSampling()
-	e.clock.RunUntil(simtime.Time(0).Add(d))
+}
+
+// StepUntil advances the simulation to the given virtual time — the stepped
+// execution mode. Between calls the engine is at a safe point: no event is
+// mid-flight, so commands (Apply) and observations (Snapshot) see a
+// consistent world. Repeated StepUntil calls with increasing bounds execute
+// exactly the event sequence one monolithic run would.
+func (e *Engine) StepUntil(t simtime.Time) {
+	e.clock.RunUntil(t)
+}
+
+// Finish stops the run and assembles the report; d is the virtual span the
+// report covers (the requested duration, or less when the run was cancelled
+// at a safe point).
+func (e *Engine) Finish(d simtime.Duration) *Report {
 	e.stopped = true
 	e.finishReport(d)
 	return e.r
@@ -611,6 +663,20 @@ func (e *Engine) finishReport(d simtime.Duration) {
 		e.r.SyncTimeTotal += st.SyncTimeTotal
 		e.r.MigrationTimeTotal += st.MigrationTimeTotal
 		e.r.Dropped += st.DroppedTuples
+	}
+	for _, rt := range e.opsInOrder() {
+		os := OperatorStats{
+			Name:      rt.op.Name,
+			Executors: len(rt.execs),
+			Retired:   len(rt.retiredExecs),
+			Offered:   rt.offeredW,
+			Processed: rt.processedW,
+		}
+		for _, ex := range append(append([]*executor.Executor(nil), rt.execs...), rt.retiredExecs...) {
+			os.MigrationBytes += ex.Stats.MigrationBytes
+			os.Reassignments += ex.Stats.Reassignments
+		}
+		e.r.PerOperator = append(e.r.PerOperator, os)
 	}
 	e.r.Events = e.clock.Processed
 	e.r.finalize()

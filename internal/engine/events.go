@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+
+	clusterpkg "repro/internal/cluster"
+	"repro/internal/simtime"
+)
+
+// This file is the run-observation and run-control vocabulary shared by both
+// execution backends: the typed event stream a live run emits, the command
+// surface a caller can inject into it, and the point-in-time snapshot of the
+// dataflow. The Run handle (internal/run) carries these types to the public
+// facade; the simulator applies commands at safe points of its virtual clock,
+// the real-time backend on its control goroutine.
+
+// EventKind classifies one run event.
+type EventKind int
+
+// The event taxonomy (see DESIGN.md "Run handle"). Structural events —
+// churn and phase transitions — are the backend-conformance currency: the
+// same (workload, policy, scenario) must produce the same kinds and counts
+// on the simulator and the real-time backend.
+const (
+	// EventNodeJoin, EventNodeDrain, EventNodeFail are completed cluster
+	// capacity changes (Node carries the node ID, Cores the size of a join).
+	EventNodeJoin EventKind = iota
+	EventNodeDrain
+	EventNodeFail
+	// EventRepartitionStart/Finish bracket one operator-level (RC) global
+	// repartitioning; Operator names the repartitioned operator.
+	EventRepartitionStart
+	EventRepartitionFinish
+	// EventPhaseStart/End bracket one scenario phase (Phase carries the
+	// phase kind, e.g. "flashcrowd").
+	EventPhaseStart
+	EventPhaseEnd
+	// EventPhaseSkipped marks a scenario key-space phase that could not run
+	// because the topology supplies its own sampler (see Options.Strict).
+	EventPhaseSkipped
+	// EventPolicyInvoked is one dynamic scheduling decision (model +
+	// Algorithm 1) by the installed elasticity policy.
+	EventPolicyInvoked
+	// EventCommandApplied reports an injected command that was applied at a
+	// safe point (Detail names the command; a refused command lands in
+	// Report.ChurnErrors instead).
+	EventCommandApplied
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventNodeJoin:
+		return "node-join"
+	case EventNodeDrain:
+		return "node-drain"
+	case EventNodeFail:
+		return "node-fail"
+	case EventRepartitionStart:
+		return "repartition-start"
+	case EventRepartitionFinish:
+		return "repartition-finish"
+	case EventPhaseStart:
+		return "phase-start"
+	case EventPhaseEnd:
+		return "phase-end"
+	case EventPhaseSkipped:
+		return "phase-skipped"
+	case EventPolicyInvoked:
+		return "policy-invoked"
+	case EventCommandApplied:
+		return "command-applied"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one typed occurrence in a live run.
+type Event struct {
+	Kind     EventKind
+	At       simtime.Time // virtual time of the occurrence
+	Node     int          // churn events: the node involved (else -1)
+	Cores    int          // node-join: cores added
+	Operator string       // repartition events: the operator
+	Phase    string       // phase events: the phase kind
+	Detail   string       // free-form context (policy name, command, skip reason)
+}
+
+func (ev Event) String() string {
+	s := fmt.Sprintf("%v %s", ev.At, ev.Kind)
+	if ev.Kind == EventNodeJoin || ev.Kind == EventNodeDrain || ev.Kind == EventNodeFail {
+		s += fmt.Sprintf(" node=%d", ev.Node)
+	}
+	if ev.Operator != "" {
+		s += " op=" + ev.Operator
+	}
+	if ev.Phase != "" {
+		s += " phase=" + ev.Phase
+	}
+	if ev.Detail != "" {
+		s += " (" + ev.Detail + ")"
+	}
+	return s
+}
+
+// CommandKind classifies one injected control command.
+type CommandKind int
+
+// The control surface a live run accepts.
+const (
+	CmdAddNode CommandKind = iota
+	CmdDrainNode
+	CmdFailNode
+	CmdSetRate
+)
+
+func (k CommandKind) String() string {
+	switch k {
+	case CmdAddNode:
+		return "add-node"
+	case CmdDrainNode:
+		return "drain-node"
+	case CmdFailNode:
+		return "fail-node"
+	case CmdSetRate:
+		return "set-rate"
+	}
+	return fmt.Sprintf("command(%d)", int(k))
+}
+
+// Command is one control action injected into a live run. Zero At applies
+// the command at the next safe point; a positive At schedules it at that
+// virtual offset from run start (the deterministic form — see DESIGN.md for
+// the command-ordering rules on the virtual clock).
+type Command struct {
+	Kind   CommandKind
+	Node   int     // drain/fail: the node to remove
+	Cores  int     // add: cores on the new node (0 = cluster default)
+	Factor float64 // set-rate: multiplier over the configured offered load
+	At     simtime.Duration
+	// Label prefixes any refusal recorded in Report.ChurnErrors (the
+	// scenario interpreter uses it to keep its historical error texts).
+	Label string
+}
+
+func (c Command) String() string {
+	switch c.Kind {
+	case CmdAddNode:
+		return fmt.Sprintf("add-node cores=%d", c.Cores)
+	case CmdDrainNode:
+		return fmt.Sprintf("drain-node node=%d", c.Node)
+	case CmdFailNode:
+		return fmt.Sprintf("fail-node node=%d", c.Node)
+	case CmdSetRate:
+		return fmt.Sprintf("set-rate factor=%g", c.Factor)
+	}
+	return c.Kind.String()
+}
+
+// AtTime returns a copy of the command pinned to a virtual time.
+func (c Command) AtTime(at simtime.Duration) Command { c.At = at; return c }
+
+// AddNodeCmd grows the cluster by one node (cores 0 = cluster default).
+func AddNodeCmd(cores int) Command { return Command{Kind: CmdAddNode, Cores: cores} }
+
+// DrainNodeCmd removes a node gracefully (state migrates off).
+func DrainNodeCmd(node int) Command { return Command{Kind: CmdDrainNode, Node: node} }
+
+// FailNodeCmd removes a node hard (its state and queues are lost).
+func FailNodeCmd(node int) Command { return Command{Kind: CmdFailNode, Node: node} }
+
+// SetRateCmd scales every source's offered load by factor (1 restores the
+// configured rate).
+func SetRateCmd(factor float64) Command { return Command{Kind: CmdSetRate, Factor: factor} }
+
+// Snapshot is a point-in-time view of a live run.
+type Snapshot struct {
+	Now       simtime.Time
+	LiveNodes int
+	// Operators lists the non-source operators in topology order.
+	Operators []OperatorSnapshot
+	// Cumulative elasticity counters at snapshot time.
+	MigrationBytes int64
+	Reassignments  int64
+	Repartitions   int
+}
+
+// OperatorSnapshot is the live view of one operator. Rates are measured over
+// the window since the previous snapshot (since run start for the first).
+type OperatorSnapshot struct {
+	Name      string
+	Executors int
+	// OfferedRate is tuples/s admitted toward the operator in the window;
+	// ProcessedRate is tuples/s completed by its executors.
+	OfferedRate   float64
+	ProcessedRate float64
+	// Queued is the tuple weight admitted but not yet processed (network
+	// transit plus executor queues).
+	Queued int
+}
+
+// SetOnEvent installs the run-event observer (the Run handle). Must be set
+// before the run starts; nil disables emission.
+func (e *Engine) SetOnEvent(fn func(Event)) { e.onEvent = fn }
+
+func (e *Engine) emit(ev Event) {
+	if e.onEvent != nil {
+		e.onEvent(ev)
+	}
+}
+
+// SetRateFactor scales every source's offered load by f (the CmdSetRate
+// mechanism). Applied multiplicatively on top of the drivers' own rate
+// functions; f <= 0 silences the sources.
+func (e *Engine) SetRateFactor(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	e.rateFactor = f
+}
+
+// Apply executes one control command at the current virtual time. It is the
+// single entry point the Run handle uses at safe points; the returned error
+// reports a refused command (infeasible churn), which the caller records in
+// Report.ChurnErrors.
+func (e *Engine) Apply(c Command) error {
+	switch c.Kind {
+	case CmdAddNode:
+		e.AddNode(c.Cores)
+		return nil
+	case CmdDrainNode:
+		return e.DrainNode(clusterpkg.NodeID(c.Node))
+	case CmdFailNode:
+		return e.FailNode(clusterpkg.NodeID(c.Node))
+	case CmdSetRate:
+		e.SetRateFactor(c.Factor)
+		return nil
+	}
+	return fmt.Errorf("engine: unknown command kind %d", int(c.Kind))
+}
+
+// Snapshot reports the live per-operator state. Single-threaded like every
+// engine method: the Run handle serves it at safe points only.
+func (e *Engine) Snapshot() Snapshot {
+	now := e.clock.Now()
+	span := now.Sub(e.lastSnapAt).Seconds()
+	s := Snapshot{
+		Now:            now,
+		LiveNodes:      e.cluster.AliveNodes(),
+		MigrationBytes: e.r.RepartitionBytes,
+		Repartitions:   e.r.Repartitions,
+	}
+	for _, rt := range e.opsInOrder() {
+		os := OperatorSnapshot{Name: rt.op.Name, Executors: len(rt.execs)}
+		for _, ex := range rt.execs {
+			os.Queued += e.inflight[ex]
+		}
+		if span > 0 {
+			os.OfferedRate = float64(rt.offeredW-rt.lastOffered) / span
+			os.ProcessedRate = float64(rt.processedW-rt.lastProcessed) / span
+		}
+		rt.lastOffered, rt.lastProcessed = rt.offeredW, rt.processedW
+		s.Operators = append(s.Operators, os)
+	}
+	for _, ex := range e.elastic {
+		s.MigrationBytes += ex.Stats.MigrationBytes
+		s.Reassignments += ex.Stats.Reassignments
+	}
+	for _, ex := range e.retired {
+		s.MigrationBytes += ex.Stats.MigrationBytes
+		s.Reassignments += ex.Stats.Reassignments
+	}
+	e.lastSnapAt = now
+	return s
+}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/balancer"
 	"repro/internal/executor"
 	"repro/internal/simtime"
@@ -56,6 +58,8 @@ func (e *Engine) startRepartition(rt *opRuntime, moves []balancer.Move) {
 		rp.dstEx = append(rp.dstEx, rt.execs[mv.To])
 	}
 	rt.repartition = rp
+	e.emit(Event{Kind: EventRepartitionStart, At: rp.started, Node: -1, Operator: rt.op.Name,
+		Detail: fmt.Sprintf("%d move(s)", len(moves))})
 	upstream := e.upstreamExecutorCount(rt)
 	pauseCost := simtime.Duration(upstream) * e.cfg.CtrlPerUpstream
 
@@ -192,6 +196,8 @@ func (e *Engine) finishRepartition(rt *opRuntime, rp *rcRepartition) {
 		sync := rp.drainedAt.Sub(rp.started) + now.Sub(rp.migratedAt)
 		e.r.RepartitionSync += sync
 		rt.repartition = nil
+		e.emit(Event{Kind: EventRepartitionFinish, At: now, Node: -1, Operator: rt.op.Name,
+			Detail: fmt.Sprintf("%d move(s), %v total", len(rp.moves), now.Sub(rp.started))})
 		e.pol.RepartitionFinished(rt)
 		if e.onRepartition != nil {
 			e.onRepartition(RepartitionReport{

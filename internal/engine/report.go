@@ -8,30 +8,16 @@ import (
 	"repro/internal/simtime"
 )
 
-// Report is the measurement output of one engine run. All tuple counts are
-// in real-tuple units (batch weights unfolded).
-type Report struct {
-	// Paradigm identifies the built-in paradigm, or -1 for a custom policy.
-	Paradigm Paradigm
-	// Policy is the registry name of the control plane that produced the run
-	// (equals Paradigm.String() for the four built-ins).
-	Policy       string
-	Duration     simtime.Duration
-	MeasuredSpan simtime.Duration // Duration minus warm-up
-
+// Totals is the aggregate measurement block of a run: every whole-run
+// counter, in real-tuple units (batch weights unfolded). Report embeds it
+// anonymously, so the historical flat accessors (r.Processed, r.NodeDrains,
+// …) keep working unchanged — which is what keeps the golden fingerprints
+// byte-identical across the Report restructure.
+type Totals struct {
 	Generated int64 // tuples emitted by sources (post warm-up)
 	Processed int64 // tuples processed at the measured operator (post warm-up)
 	Blocked   int64 // source emissions skipped by backpressure
 	Dropped   int64 // tuples rejected inside executors (should stay 0)
-
-	// ThroughputSeries is the 1-second instantaneous processing rate of the
-	// measured operator (Fig 7 / Fig 16a).
-	ThroughputSeries metrics.Series
-	// LatencySeries is the 1-second mean processing latency (Fig 16b).
-	LatencySeries metrics.Series
-
-	// Latency is the end-to-end distribution at sink operators (post warm-up).
-	Latency *metrics.Histogram
 
 	// Elasticity cost counters, aggregated over all executors.
 	MigrationBytes      int64
@@ -49,24 +35,70 @@ type Report struct {
 	RepartitionMove  int64            // operator shards moved
 	RepartitionBytes int64            // state bytes moved by repartitions
 
-	// SchedulingWall records the wall-clock runtime of each dynamic
-	// scheduling decision (model + Algorithm 1), Table 3's metric.
-	SchedulingWall []time.Duration
-
 	// Cluster churn accounting (scenario subsystem).
 	NodeJoins        int   // nodes added mid-run
 	NodeDrains       int   // nodes removed gracefully
 	NodeFails        int   // nodes failed hard
 	RetiredExecutors int   // executors removed because their capacity vanished
 	LostStateBytes   int64 // state destroyed by hard failures
-	// ChurnErrors records scheduled capacity events the engine refused
-	// (infeasible for the live placement); the run continued without them.
-	ChurnErrors []string
 
 	// Derived (filled by finalize).
 	ThroughputMean float64 // tuples/s over the measured span
 	MigrationRate  float64 // bytes/s over the measured span (Table 2)
 	RemoteRate     float64 // bytes/s over the measured span (Table 2)
+}
+
+// OperatorStats is one operator's slice of the report.
+type OperatorStats struct {
+	Name      string
+	Executors int   // live executors at run end
+	Retired   int   // executors removed by cluster churn
+	Offered   int64 // tuple weight admitted toward the operator (whole run)
+	Processed int64 // tuple weight its executors completed (whole run)
+
+	MigrationBytes int64
+	Reassignments  int64
+}
+
+// Report is the measurement output of one engine run: the embedded Totals
+// (flat accessors preserved), the per-operator breakdown, and — for runs
+// driven through the Run handle — the typed event timeline.
+type Report struct {
+	// Paradigm identifies the built-in paradigm, or -1 for a custom policy.
+	Paradigm Paradigm
+	// Policy is the registry name of the control plane that produced the run
+	// (equals Paradigm.String() for the four built-ins).
+	Policy       string
+	Duration     simtime.Duration
+	MeasuredSpan simtime.Duration // Duration minus warm-up
+
+	Totals
+
+	// PerOperator breaks the run down by non-source operator, in topology
+	// order.
+	PerOperator []OperatorStats
+
+	// Timeline is the ordered event record of the run (churn, repartitions,
+	// phases, policy invocations). Filled by the Run handle; empty for runs
+	// driven directly through Engine.Run.
+	Timeline []Event
+
+	// ThroughputSeries is the 1-second instantaneous processing rate of the
+	// measured operator (Fig 7 / Fig 16a).
+	ThroughputSeries metrics.Series
+	// LatencySeries is the 1-second mean processing latency (Fig 16b).
+	LatencySeries metrics.Series
+
+	// Latency is the end-to-end distribution at sink operators (post warm-up).
+	Latency *metrics.Histogram
+
+	// SchedulingWall records the wall-clock runtime of each dynamic
+	// scheduling decision (model + Algorithm 1), Table 3's metric.
+	SchedulingWall []time.Duration
+
+	// ChurnErrors records scheduled capacity events the engine refused
+	// (infeasible for the live placement); the run continued without them.
+	ChurnErrors []string
 
 	Events uint64 // simulation events executed (diagnostics)
 

@@ -32,7 +32,7 @@ func (e *Engine) emitLoop(inst *sourceInstance, drv *SourceDriver, share float64
 		return
 	}
 	now := e.clock.Now()
-	rate := drv.Rate(now) / share
+	rate := drv.Rate(now) * e.rateFactor / share
 	if rate <= 0 {
 		// Workload momentarily silent; poll again shortly.
 		e.clock.After(10*simtime.Millisecond, func() { e.emitLoop(inst, drv, share) })
@@ -98,6 +98,11 @@ func (e *Engine) targetExecutor(rt *opRuntime, k stream.Key) *executor.Executor 
 // the engine (the upstream executors have been told to hold their output).
 func (e *Engine) route(fromNode cluster.NodeID, d stream.OperatorID, t stream.Tuple) {
 	rt := e.ops[d]
+	if !e.replaying {
+		// Replayed tuples were counted offered when they first arrived and
+		// buffered at the paused operator.
+		rt.offeredW += int64(t.Weight)
+	}
 	if rt.paused {
 		rt.pauseBuf = append(rt.pauseBuf, pendingTuple{from: fromNode, t: t})
 		return
@@ -117,7 +122,9 @@ func (e *Engine) route(fromNode cluster.NodeID, d stream.OperatorID, t stream.Tu
 func (e *Engine) replayPaused(rt *opRuntime) {
 	buf := rt.pauseBuf
 	rt.pauseBuf = nil
+	e.replaying = true
 	for _, p := range buf {
 		e.route(p.from, rt.op.ID, p.t)
 	}
+	e.replaying = false
 }

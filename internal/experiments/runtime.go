@@ -32,7 +32,7 @@ func RuntimeBackend(Scale) []Table {
 		if err != nil {
 			panic(fmt.Sprintf("runtime experiment: %v", err))
 		}
-		rt, err := rtbackend.BuildScenario(s, pol, 42,
+		rt, _, err := rtbackend.BuildScenario(s, pol, 42,
 			rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: spdup}})
 		if err != nil {
 			panic(fmt.Sprintf("runtime experiment %s: %v", pol, err))

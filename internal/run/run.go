@@ -1,0 +1,476 @@
+// Package run is the first-class run handle of the Elasticutor reproduction:
+// one type that starts, observes, and controls a live run on either execution
+// backend. The facade re-exports it (elasticutor.Run), the scenario
+// interpreter drives both backends through it, and the CLI's -live mode
+// renders its event stream.
+//
+// Contract (see DESIGN.md "Run handle"):
+//
+//   - Start returns immediately on both backends; Wait blocks for the report.
+//   - Snapshot returns live per-operator metrics, served at safe points.
+//   - Events streams typed run events (churn, repartitions, phases, policy
+//     invocations). The channel is buffered and lossy for slow consumers;
+//     Report.Timeline is the complete record.
+//   - Inject applies a command at the next safe point — the boundary between
+//     event-slices on the simulator's virtual clock, the control goroutine on
+//     the real-time backend. Commands carrying an explicit At (injected
+//     before Start) are scheduled at that virtual time in injection order,
+//     which is the deterministic form the scenario interpreter uses.
+//   - Cancelling the Start context stops the run at the next safe point and
+//     Wait returns the partial report (with context.Canceled) — ledgers stay
+//     conserved because the backend runs its ordinary shutdown drain.
+package run
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+)
+
+// slice is the simulator driver's safe-point granularity: commands,
+// snapshots, cancellation, and timeline markers are serviced between
+// event-slices of this much virtual time.
+const slice = 100 * simtime.Millisecond
+
+// eventBuffer sizes the Events channel; emission never blocks, so events
+// beyond a slow consumer's lag are dropped (the report timeline keeps all).
+const eventBuffer = 4096
+
+// RuntimeBackend is the contract a self-driving (wall-clock) backend
+// implements; *runtime.Engine satisfies it structurally.
+type RuntimeBackend interface {
+	// Begin launches the run for d of virtual time and returns immediately.
+	Begin(d simtime.Duration) error
+	// WaitDone blocks until completion (or cancellation) and returns the
+	// report.
+	WaitDone() (*engine.Report, error)
+	// Cancel requests an early, orderly shutdown.
+	Cancel()
+	// ApplyAsync executes a command at the backend's next safe point; At on
+	// the command defers it to that virtual offset.
+	ApplyAsync(cmd engine.Command)
+	// Snapshot reports live per-operator metrics (thread-safe).
+	Snapshot() engine.Snapshot
+	// ScheduleAt registers fn at a virtual offset; pre-Start only.
+	ScheduleAt(at simtime.Duration, fn func())
+	// SetOnEvent installs the event observer; pre-Start only.
+	SetOnEvent(fn func(engine.Event))
+}
+
+// marker is a pre-registered timeline annotation (phase transitions, skip
+// notices). On the simulator it is emitted at the first safe point past its
+// time, never touching the engine's event heap — so scenario goldens (which
+// pin the heap's event count) are unaffected by observation.
+type marker struct {
+	at simtime.Duration
+	ev engine.Event
+}
+
+// Run is a live (or finished) run on one backend.
+type Run struct {
+	d simtime.Duration
+
+	// exactly one of sim / rt is set.
+	sim *engine.Engine
+	rt  RuntimeBackend
+
+	mu       sync.Mutex
+	started  bool
+	finished bool
+	timeline []engine.Event
+	markers  []marker
+	events   chan engine.Event
+	lost     int // events dropped from the channel (timeline keeps them)
+
+	// simulator driver plumbing
+	cmds    chan engine.Command
+	snapReq chan chan engine.Snapshot
+	// pending tracks commands handed to the virtual clock but not yet
+	// applied, so a cancelled run can surface them instead of letting them
+	// vanish with the unexecuted clock events. Keyed by an injection serial.
+	pending map[int]engine.Command
+	cmdSeq  int
+
+	done chan struct{}
+	rep  *engine.Report
+	err  error
+
+	final engine.Snapshot // last snapshot, served after completion
+}
+
+// NewSim wraps a built (not yet begun) simulator engine in a run handle for
+// d of virtual time. Wiring — ScheduleAt, Announce, deterministic Inject —
+// happens between NewSim and Start.
+func NewSim(e *engine.Engine, d simtime.Duration) *Run {
+	r := newRun(d)
+	r.sim = e
+	e.SetOnEvent(r.emit)
+	return r
+}
+
+// NewRuntime wraps a built real-time backend in a run handle.
+func NewRuntime(b RuntimeBackend, d simtime.Duration) *Run {
+	r := newRun(d)
+	r.rt = b
+	b.SetOnEvent(r.emit)
+	return r
+}
+
+func newRun(d simtime.Duration) *Run {
+	return &Run{
+		d:       d,
+		events:  make(chan engine.Event, eventBuffer),
+		cmds:    make(chan engine.Command, 64),
+		snapReq: make(chan chan engine.Snapshot),
+		pending: make(map[int]engine.Command),
+		done:    make(chan struct{}),
+	}
+}
+
+// Duration returns the requested virtual run length.
+func (r *Run) Duration() simtime.Duration { return r.d }
+
+// ScheduleAt registers fn to run at a virtual offset from run start, on the
+// backend's clock. Pre-Start only (the scenario interpreter's key-phase
+// hook); scheduling after Start panics — it could not be deterministic.
+func (r *Run) ScheduleAt(at simtime.Duration, fn func()) {
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	if started {
+		panic("run: ScheduleAt after Start")
+	}
+	if r.sim != nil {
+		r.sim.Clock().At(simtime.Time(0).Add(at), fn)
+		return
+	}
+	r.rt.ScheduleAt(at, fn)
+}
+
+// Announce registers a timeline marker: ev is emitted (with At stamped) once
+// the run reaches that virtual time. Markers are observation only — they are
+// not engine events and do not perturb the simulation. Pre-Start only.
+func (r *Run) Announce(at simtime.Duration, ev engine.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		panic("run: Announce after Start")
+	}
+	ev.At = simtime.Time(0).Add(at)
+	r.markers = append(r.markers, marker{at: at, ev: ev})
+}
+
+// Inject submits a control command. Before Start, a command with At is
+// scheduled deterministically at that virtual time (in injection order);
+// after Start, it is applied at the backend's next safe point (At still
+// defers it). Refused commands (infeasible churn) — and commands the run
+// ends before applying — are recorded in Report.ChurnErrors, exactly like
+// scenario events.
+func (r *Run) Inject(cmd engine.Command) error {
+	if cmd.At > r.d {
+		return fmt.Errorf("run: command %v at %v is beyond the %v horizon", cmd, cmd.At, r.d)
+	}
+	if r.rt != nil {
+		r.mu.Lock()
+		finished := r.finished
+		r.mu.Unlock()
+		if finished {
+			return fmt.Errorf("run: inject after completion")
+		}
+		r.rt.ApplyAsync(cmd)
+		return nil
+	}
+	// Simulator: the whole submission is serialized under mu with Start and
+	// finish, so pre-start scheduling can never race the driver's ownership
+	// of the clock, and a post-start send either reaches the driver's
+	// safe-point service or is surfaced by finish — never silently dropped.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.finished {
+		return fmt.Errorf("run: inject after completion")
+	}
+	if !r.started {
+		r.scheduleSimLocked(cmd)
+		return nil
+	}
+	select {
+	case r.cmds <- cmd:
+		return nil
+	default:
+		return fmt.Errorf("run: command queue full")
+	}
+}
+
+// scheduleSimLocked hands a command to the virtual clock and registers it as
+// pending until applied, so an early stop can surface it. Caller holds mu
+// and owns the clock (pre-start wiring, or the driver at a safe point).
+func (r *Run) scheduleSimLocked(cmd engine.Command) {
+	id := r.cmdSeq
+	r.cmdSeq++
+	r.pending[id] = cmd
+	r.sim.Clock().At(simtime.Time(0).Add(cmd.At), func() {
+		r.mu.Lock()
+		delete(r.pending, id)
+		r.mu.Unlock()
+		r.applySim(cmd)
+	})
+}
+
+// applySim executes one command against the simulator engine (driver
+// goroutine or virtual-clock callback; both are safe points).
+func (r *Run) applySim(cmd engine.Command) {
+	if err := r.sim.Apply(cmd); err != nil {
+		label := cmd.Label
+		if label == "" {
+			label = "run: " + cmd.String()
+		}
+		r.sim.RecordChurnError(fmt.Sprintf("%s: %v", label, err))
+		return
+	}
+	if cmd.Kind == engine.CmdSetRate {
+		// Churn commands announce themselves through the engine's capacity
+		// events; rate changes have no engine event, so record one here.
+		r.emit(engine.Event{Kind: engine.EventCommandApplied, At: r.sim.Clock().Now(),
+			Node: -1, Detail: cmd.String()})
+	}
+}
+
+// Start launches the run. It returns immediately; cancel ctx to stop the run
+// early at a safe point (Wait then returns the partial report).
+func (r *Run) Start(ctx context.Context) {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		panic("run: Start called twice")
+	}
+	r.started = true
+	sort.SliceStable(r.markers, func(i, j int) bool { return r.markers[i].at < r.markers[j].at })
+	r.mu.Unlock()
+	if r.sim != nil {
+		go r.driveSim(ctx)
+		return
+	}
+	go r.driveRuntime(ctx)
+}
+
+// driveSim owns the simulator engine for the whole run: it alternates
+// event-slices with safe-point service (commands, snapshots, markers,
+// cancellation). Without commands or cancellation the executed event
+// sequence is byte-identical to one monolithic Engine.Run.
+func (r *Run) driveSim(ctx context.Context) {
+	e := r.sim
+	e.Begin()
+	now := simtime.Duration(0)
+	nextMarker := 0
+	var err error
+	for now < r.d {
+		if ctx.Err() != nil {
+			err = ctx.Err()
+			break
+		}
+		next := now + slice
+		if next > r.d {
+			next = r.d
+		}
+		e.StepUntil(simtime.Time(0).Add(next))
+		now = next
+		nextMarker = r.emitMarkers(nextMarker, now)
+		r.serveSafePoint()
+	}
+	// Commands the run ends before applying cannot land any more — both the
+	// ones still queued and the ones already on the virtual clock past the
+	// stopping point (cancellation). Surface them instead of letting a
+	// nil-error Inject vanish silently.
+	r.mu.Lock()
+	ids := make([]int, 0, len(r.pending))
+	for id := range r.pending {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e.RecordChurnError(fmt.Sprintf("run: command %v not applied before the run ended", r.pending[id]))
+		delete(r.pending, id)
+	}
+	r.mu.Unlock()
+	for {
+		select {
+		case cmd := <-r.cmds:
+			e.RecordChurnError(fmt.Sprintf("run: command %v not applied before the run ended", cmd))
+		default:
+			rep := e.Finish(now)
+			// A cancelled run still reports every marker up to its stopping
+			// point; later markers describe time that never happened.
+			r.finish(rep, err)
+			return
+		}
+	}
+}
+
+// emitMarkers flushes registered markers up to virtual time now.
+func (r *Run) emitMarkers(from int, now simtime.Duration) int {
+	for from < len(r.markers) && r.markers[from].at <= now {
+		r.emit(r.markers[from].ev)
+		from++
+	}
+	return from
+}
+
+// serveSafePoint drains pending commands and snapshot requests at a slice
+// boundary.
+func (r *Run) serveSafePoint() {
+	for {
+		select {
+		case cmd := <-r.cmds:
+			if simtime.Time(0).Add(cmd.At) > r.sim.Clock().Now() {
+				r.mu.Lock()
+				r.scheduleSimLocked(cmd)
+				r.mu.Unlock()
+			} else {
+				r.applySim(cmd)
+			}
+		case ch := <-r.snapReq:
+			ch <- r.sim.Snapshot()
+		default:
+			return
+		}
+	}
+}
+
+// driveRuntime supervises a self-driving backend: markers become scheduled
+// emissions, cancellation forwards to the backend's orderly shutdown.
+func (r *Run) driveRuntime(ctx context.Context) {
+	for _, m := range r.markers {
+		m := m
+		r.rt.ScheduleAt(m.at, func() { r.emit(m.ev) })
+	}
+	if err := r.rt.Begin(r.d); err != nil {
+		r.finish(nil, err)
+		return
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.rt.Cancel()
+		case <-stop:
+		}
+	}()
+	rep, err := r.rt.WaitDone()
+	close(stop)
+	if err == nil {
+		err = ctx.Err()
+	}
+	r.finish(rep, err)
+}
+
+// finish publishes the result and closes the event stream.
+func (r *Run) finish(rep *engine.Report, err error) {
+	r.mu.Lock()
+	r.finished = true
+	if r.sim != nil && rep != nil {
+		// Catch any command that slipped into the queue after the driver's
+		// final drain (the send above is serialized with this block).
+		for {
+			select {
+			case cmd := <-r.cmds:
+				rep.ChurnErrors = append(rep.ChurnErrors,
+					fmt.Sprintf("run: command %v not applied before the run ended", cmd))
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if rep != nil {
+		rep.Timeline = append([]engine.Event(nil), r.timeline...)
+	}
+	r.rep, r.err = rep, err
+	if r.sim != nil {
+		r.final = r.sim.Snapshot()
+	} else if rep != nil {
+		r.final = r.rt.Snapshot()
+	}
+	r.mu.Unlock()
+	close(r.done)
+	close(r.events)
+}
+
+// emit records ev on the timeline and offers it to the Events channel
+// without ever blocking the run.
+func (r *Run) emit(ev engine.Event) {
+	r.mu.Lock()
+	r.timeline = append(r.timeline, ev)
+	select {
+	case r.events <- ev:
+	default:
+		r.lost++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the live event stream. The channel closes when the run
+// completes; slow consumers may miss events (Report.Timeline is complete).
+func (r *Run) Events() <-chan engine.Event { return r.events }
+
+// Done returns a channel closed when the run has completed.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the run completes and returns the report. After a
+// context cancellation it returns the partial report together with the
+// context's error.
+func (r *Run) Wait() (*engine.Report, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rep, r.err
+}
+
+// Snapshot returns live per-operator metrics: executor counts, offered and
+// processed rates over the window since the previous snapshot, queue depths,
+// and migrations so far. Served at the next safe point on the simulator;
+// immediate on the real-time backend. After completion it returns the final
+// snapshot.
+func (r *Run) Snapshot() engine.Snapshot {
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	if !started {
+		if r.sim != nil {
+			return r.sim.Snapshot()
+		}
+		return r.rt.Snapshot()
+	}
+	if r.rt != nil {
+		select {
+		case <-r.done:
+			return r.finalSnapshot()
+		default:
+		}
+		return r.rt.Snapshot()
+	}
+	ch := make(chan engine.Snapshot, 1)
+	select {
+	case r.snapReq <- ch:
+		return <-ch
+	case <-r.done:
+		return r.finalSnapshot()
+	}
+}
+
+func (r *Run) finalSnapshot() engine.Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.final
+}
+
+// LostEvents reports how many events the Events channel dropped on a slow
+// consumer.
+func (r *Run) LostEvents() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lost
+}

@@ -1,0 +1,74 @@
+package run_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+// TestDriverMatchesMonolithicRun pins the stepped driver's equivalence
+// contract: driving an engine through the Run handle's slice loop executes
+// exactly the event sequence one monolithic Engine.Run does, so the full
+// deterministic fingerprint (counters, latencies, event count) is identical.
+func TestDriverMatchesMonolithicRun(t *testing.T) {
+	s, err := scenario.ByName("nodedrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Build("elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := inst.Engine.Run(s.Duration()) // handle wired but never started
+
+	stepped, err := s.Run("elasticutor", 42) // same build, driven by the handle
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := scenario.Fingerprint("x", mono), scenario.Fingerprint("x", stepped)
+	if a != b {
+		t.Fatalf("stepped driver diverged from monolithic run:\nmono:    %s\nstepped: %s", a, b)
+	}
+}
+
+// TestTimelineAndSnapshotsThroughHandle: a handle-driven scenario run carries
+// the full typed timeline and serves snapshots mid-run at safe points.
+func TestTimelineAndSnapshotsThroughHandle(t *testing.T) {
+	s, err := scenario.ByName("nodedrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Start(context.Background(), "elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot() // served at the next safe point while running
+	if snap.Now > simtime.Time(0).Add(s.Duration()) {
+		t.Fatalf("snapshot beyond the horizon: %v", snap.Now)
+	}
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drains, policies int
+	for _, ev := range r.Timeline {
+		switch ev.Kind {
+		case engine.EventNodeDrain:
+			drains++
+		case engine.EventPolicyInvoked:
+			policies++
+		}
+	}
+	if drains != 1 {
+		t.Fatalf("timeline drains = %d, want 1: %v", drains, r.Timeline)
+	}
+	if policies == 0 {
+		t.Fatal("timeline has no policy invocations")
+	}
+	if h.LostEvents() != 0 && len(r.Timeline) < h.LostEvents() {
+		t.Fatalf("inconsistent loss accounting: %d lost, %d kept", h.LostEvents(), len(r.Timeline))
+	}
+}

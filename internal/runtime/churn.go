@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/state"
 	"repro/internal/stream"
 )
@@ -48,10 +49,14 @@ func (e *Engine) addNode(cores int) {
 	if cores <= 0 {
 		cores = e.cfg.Cluster.CoresPerNode
 	}
-	e.nodes = append(e.nodes, &node{id: len(e.nodes), cores: cores, free: cores, alive: true})
+	id := len(e.nodes)
+	e.nodesMu.Lock()
+	e.nodes = append(e.nodes, &node{id: id, cores: cores, free: cores, alive: true})
+	e.nodesMu.Unlock()
 	e.repMu.Lock()
 	e.nodeJoins++
 	e.repMu.Unlock()
+	e.emit(engine.Event{Kind: engine.EventNodeJoin, At: e.vnow(), Node: id, Cores: cores})
 	e.pol.CapacityChanged()
 }
 
@@ -73,9 +78,11 @@ func (e *Engine) removeNode(n int, graceful bool) error {
 		return fmt.Errorf("runtime: %s of node %d would remove the last node", kind, n)
 	}
 	nd := e.nodes[n]
+	e.nodesMu.Lock()
 	nd.alive = false
 	nd.free = 0
 	nd.srcReserved = 0
+	e.nodesMu.Unlock()
 
 	for _, o := range e.opOrder {
 		e.evacuateOp(o, n, graceful)
@@ -88,6 +95,11 @@ func (e *Engine) removeNode(n int, graceful bool) error {
 		e.nodeFails++
 	}
 	e.repMu.Unlock()
+	kindEv := engine.EventNodeFail
+	if graceful {
+		kindEv = engine.EventNodeDrain
+	}
+	e.emit(engine.Event{Kind: kindEv, At: e.vnow(), Node: n})
 	e.pol.CapacityChanged()
 	return nil
 }
@@ -258,6 +270,7 @@ func (e *Engine) retireExecs(o *op, retire []*exec, graceful bool) {
 		}
 	}
 	e.elastic = elastic
+	o.retiredN.Add(int64(len(retire)))
 	e.repMu.Lock()
 	e.retiredExecs += len(retire)
 	e.repMu.Unlock()

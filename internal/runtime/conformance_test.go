@@ -55,7 +55,7 @@ func TestConformanceFlashcrowd(t *testing.T) {
 			simR := inst.Engine.Run(spec.Duration())
 			simCounts := inst.Engine.ExecutorCounts()
 
-			rt, err := BuildScenario(spec, pol, 42, quickOpts())
+			rt, _, err := BuildScenario(spec, pol, 42, quickOpts())
 			if err != nil {
 				t.Fatalf("runtime build: %v", err)
 			}
@@ -109,7 +109,7 @@ func TestConformanceDrain(t *testing.T) {
 			if err != nil {
 				t.Fatalf("sim: %v", err)
 			}
-			rt, err := BuildScenario(spec, pol, 42, quickOpts())
+			rt, _, err := BuildScenario(spec, pol, 42, quickOpts())
 			if err != nil {
 				t.Fatalf("runtime build: %v", err)
 			}
@@ -175,7 +175,7 @@ func TestConformanceFailAndJoin(t *testing.T) {
 // TestRepartitionProtocol drives the §3.3 pause→drain→migrate→reroute
 // protocol directly on a live runtime and checks its bookkeeping.
 func TestRepartitionProtocol(t *testing.T) {
-	rt, err := BuildScenario(quickSpec(), "rc", 42, quickOpts())
+	rt, _, err := BuildScenario(quickSpec(), "rc", 42, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

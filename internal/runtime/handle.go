@@ -1,0 +1,229 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+)
+
+// This file is the runtime backend's side of the Run-handle contract
+// (internal/run.RuntimeBackend, satisfied structurally): non-blocking
+// start/wait, cooperative cancellation, command injection on the control
+// goroutine, thread-safe snapshots, and typed event emission.
+
+// SetOnEvent installs the run-event observer. Must be called before Begin.
+func (e *Engine) SetOnEvent(fn func(engine.Event)) { e.onEvent = fn }
+
+func (e *Engine) emit(ev engine.Event) {
+	if e.onEvent != nil {
+		e.onEvent(ev)
+	}
+}
+
+// ScheduleAt registers fn at a virtual offset from run start (an AtVirtual
+// alias matching the handle contract). Must be called before Begin.
+func (e *Engine) ScheduleAt(at simtime.Duration, fn func()) { e.AtVirtual(at, fn) }
+
+// Begin launches the run for d of virtual time and returns immediately: the
+// non-blocking half of Run. The control goroutine is the safe point every
+// injected command lands on.
+func (e *Engine) Begin(d simtime.Duration) error {
+	e.ranMu.Lock()
+	if e.started {
+		e.ranMu.Unlock()
+		return fmt.Errorf("runtime: run already started")
+	}
+	e.started = true
+	e.runFor = d
+	// The hook list is frozen here: anything registered after this point
+	// (atCommand) arms its own timer instead.
+	hooks := append([]func(){}, e.hooks...)
+	e.ranMu.Unlock()
+
+	e.start = e.clock.Now()
+
+	for _, x := range e.elastic {
+		x.startWorkers()
+	}
+	e.wg.Add(1)
+	go e.controlLoop()
+	e.post(func() { e.pol.Install((*rhost)(e)) })
+	e.post(func() { e.everyTick(simtime.Second, e.sampleSeries) })
+	for _, h := range hooks {
+		h()
+	}
+	// Sources last, so control loops exist before load arrives.
+	for _, s := range e.sources {
+		e.wg.Add(1)
+		go s.run()
+	}
+	return nil
+}
+
+// WaitDone blocks until the run's horizon, a fatal error, or cancellation,
+// then performs the ordinary three-phase shutdown (quiesce → drain → sweep)
+// and returns the report. A cancelled run drains like a finished one, so the
+// ledger stays conserved; its report covers the elapsed virtual time.
+func (e *Engine) WaitDone() (*engine.Report, error) {
+	d := e.runFor
+	select {
+	case <-e.clock.After(d):
+	case <-e.fatalCh:
+	case <-e.cancelled():
+		if elapsed := simtime.Duration(e.vnow()); elapsed < d {
+			d = elapsed
+		}
+	}
+	e.shutdown()
+	e.wg.Wait()
+	e.sweepResidue()
+	return e.buildReport(d), e.fatal()
+}
+
+// Cancel requests an early, orderly shutdown at the next safe point. Safe to
+// call from any goroutine, more than once.
+func (e *Engine) Cancel() {
+	e.cancelMu.Lock()
+	defer e.cancelMu.Unlock()
+	if !e.cancelSig {
+		e.cancelSig = true
+		close(e.cancelCh)
+	}
+}
+
+// cancelled returns the cancellation channel (lazily shared with Cancel).
+func (e *Engine) cancelled() <-chan struct{} { return e.cancelCh }
+
+// ApplyAsync executes a command on the control goroutine — the runtime's
+// safe point. Before Begin the command rides the hook list and fires at its
+// virtual offset (At, 0 = run start) strictly after the control plane is
+// installed — the deterministic form, sound even at the t=0 boundary. After
+// Begin, a positive At arms a timer for the remaining wait and zero applies
+// at the next control-loop turn. Refusals, and deferred commands the run
+// ends before reaching, land in the report's ChurnErrors.
+func (e *Engine) ApplyAsync(cmd engine.Command) {
+	e.ranMu.Lock()
+	if !e.started {
+		// Registration is atomic with Begin's hook freeze, so a command
+		// injected concurrently with start lands exactly once.
+		at := cmd.At
+		e.hooks = append(e.hooks, func() { e.commandTimer(cmd, at) })
+		e.ranMu.Unlock()
+		return
+	}
+	e.ranMu.Unlock()
+	if cmd.At > 0 {
+		wait := cmd.At - simtime.Duration(e.vnow())
+		if wait < 0 {
+			wait = 0
+		}
+		e.commandTimer(cmd, wait)
+		return
+	}
+	e.post(func() { e.applyCmd(cmd) })
+}
+
+// commandTimer posts cmd to the control goroutine after wait of virtual
+// time, accounting for a run that ends first.
+func (e *Engine) commandTimer(cmd engine.Command, wait simtime.Duration) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer e.guard("deferred command")
+		select {
+		case <-e.done:
+			e.recordCmdError(cmd, fmt.Errorf("runtime: run ended before the command applied"))
+		case <-e.clock.After(wait):
+			e.post(func() { e.applyCmd(cmd) })
+		}
+	}()
+}
+
+// applyCmd runs one command on the control goroutine.
+func (e *Engine) applyCmd(cmd engine.Command) {
+	switch cmd.Kind {
+	case engine.CmdAddNode:
+		e.addNode(cmd.Cores)
+	case engine.CmdDrainNode:
+		if err := e.removeNode(cmd.Node, true); err != nil {
+			e.recordCmdError(cmd, err)
+		}
+	case engine.CmdFailNode:
+		if err := e.removeNode(cmd.Node, false); err != nil {
+			e.recordCmdError(cmd, err)
+		}
+	case engine.CmdSetRate:
+		f := cmd.Factor
+		if f < 0 {
+			f = 0
+		}
+		e.rateFactor.Store(math.Float64bits(f))
+		e.emit(engine.Event{Kind: engine.EventCommandApplied, At: e.vnow(), Node: -1,
+			Detail: cmd.String()})
+	default:
+		e.recordCmdError(cmd, fmt.Errorf("runtime: unknown command kind %d", int(cmd.Kind)))
+	}
+}
+
+func (e *Engine) recordCmdError(cmd engine.Command, err error) {
+	label := cmd.Label
+	if label == "" {
+		label = "run: " + cmd.String()
+	}
+	e.recordChurnError(fmt.Sprintf("%s: %v", label, err))
+}
+
+// rateFactorNow returns the live CmdSetRate multiplier. New initializes the
+// cell to 1, so an explicit SetRate(0) (bits == 0) really silences the
+// sources — matching the simulator.
+func (e *Engine) rateFactorNow() float64 {
+	return math.Float64frombits(e.rateFactor.Load())
+}
+
+// Snapshot reports live per-operator metrics from the runtime's atomic
+// counters. Safe from any goroutine, any time.
+func (e *Engine) Snapshot() engine.Snapshot {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	now := e.vnow()
+	span := now.Sub(e.lastSnapAt).Seconds()
+	s := engine.Snapshot{Now: now}
+	e.nodesMu.Lock()
+	for _, n := range e.nodes {
+		if n.alive {
+			s.LiveNodes++
+		}
+	}
+	e.nodesMu.Unlock()
+	if len(e.lastOffered) == 0 {
+		e.lastOffered = make([]int64, len(e.opOrder))
+		e.lastProcessed = make([]int64, len(e.opOrder))
+	}
+	for i, o := range e.opOrder {
+		admitted := o.admitted.Load()
+		processed := o.processed.Load()
+		os := engine.OperatorSnapshot{
+			Name:      o.meta.Name,
+			Executors: len(o.snap.Load().execs),
+			Queued:    int(o.inflight.Load()),
+		}
+		if span > 0 {
+			os.OfferedRate = float64(admitted-e.lastOffered[i]) / span
+			os.ProcessedRate = float64(processed-e.lastProcessed[i]) / span
+		}
+		e.lastOffered[i], e.lastProcessed[i] = admitted, processed
+		s.Operators = append(s.Operators, os)
+	}
+	s.MigrationBytes = e.migrationBytes.Load()
+	e.repMu.Lock()
+	s.MigrationBytes += e.repartBytes
+	s.Repartitions = e.repartitions
+	e.repMu.Unlock()
+	e.lastSnapAt = now
+	return s
+}
+
+// Ledger re-exported through the handle path lives in runtime.go; the
+// conformance suite asserts Conserved() after cancellations too.

@@ -1,0 +1,145 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+)
+
+// Tests for the runtime side of the Run-handle contract: cancellation with a
+// conserved ledger, mid-run command injection, and the structural
+// event-sequence conformance between backends.
+
+// TestCancelConservesLedger cancels a runtime run mid-flight: the ordinary
+// three-phase shutdown still drains, so every admitted tuple stays accounted
+// and Wait returns the partial report with the context's error.
+func TestCancelConservesLedger(t *testing.T) {
+	s := quickSpec()
+	s.DurationSec = 60 // far beyond what the test allows
+	ctx, cancel := context.WithCancel(context.Background())
+	h, rt, err := StartScenario(ctx, s, "elasticutor", 42, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	r, err := h.Wait()
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if r == nil {
+		t.Fatal("cancelled run must still return the partial report")
+	}
+	if r.Duration >= s.Duration() {
+		t.Fatalf("partial duration %v not shorter than %v", r.Duration, s.Duration())
+	}
+	led := rt.Ledger()
+	if !led.Conserved() {
+		t.Fatalf("ledger not conserved after cancellation: %v", led)
+	}
+	if led.Processed == 0 {
+		t.Fatalf("cancelled run processed nothing: %v", led)
+	}
+}
+
+// TestInjectDrainMidRun drains a node through the handle's command surface
+// while the run executes: ledger conserved, zero lost state.
+func TestInjectDrainMidRun(t *testing.T) {
+	s := quickSpec()
+	s.Phases = nil // steady load; the drain is the only disturbance
+	h, rt, err := StartScenario(context.Background(), s, "elasticutor", 42, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Inject(engine.DrainNodeCmd(3).AtTime(2 * simSecond)); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeDrains != 1 {
+		t.Fatalf("NodeDrains = %d, want 1 (churn errors: %v)", r.NodeDrains, r.ChurnErrors)
+	}
+	if r.LostStateBytes != 0 {
+		t.Fatalf("graceful drain lost %d state bytes", r.LostStateBytes)
+	}
+	led := rt.Ledger()
+	if !led.Conserved() {
+		t.Fatalf("ledger not conserved across injected drain: %v", led)
+	}
+	if led.DroppedFailure != 0 {
+		t.Fatalf("graceful drain recorded failure drops: %v", led)
+	}
+}
+
+const simSecond = time.Second
+
+// structuralSeq filters a timeline down to the structural events (churn and
+// phase transitions) the backends must agree on, formatted without their
+// timestamps (absolute timing is a backend property).
+func structuralSeq(tl []engine.Event) []string {
+	var out []string
+	for _, ev := range tl {
+		switch ev.Kind {
+		case engine.EventNodeJoin, engine.EventNodeDrain, engine.EventNodeFail:
+			out = append(out, fmt.Sprintf("%v node=%d", ev.Kind, ev.Node))
+		case engine.EventPhaseStart, engine.EventPhaseEnd, engine.EventPhaseSkipped:
+			out = append(out, fmt.Sprintf("%v phase=%s", ev.Kind, ev.Phase))
+		}
+	}
+	return out
+}
+
+// TestConformanceEventSequence: the same (workload, policy, scenario) must
+// emit the same structural event sequence — identical churn and phase event
+// kinds, order, and counts — on the simulator and the real-time backend.
+func TestConformanceEventSequence(t *testing.T) {
+	s := drainSpec()
+	s.Name = "rt-structural"
+	// Distinct timestamps for every structural event: same-instant events on
+	// the real-time backend land via independent timers, so their mutual
+	// order is a backend property, not a structural one.
+	s.Phases = []scenario.Phase{{Kind: scenario.PhaseFlashCrowd, StartSec: 0.5, DurationSec: 1.5}}
+	s.Events = append(s.Events, scenario.NodeEvent{Kind: scenario.EventJoin, AtSec: 4.5})
+
+	for _, pol := range []string{"static", "elasticutor"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			simR, err := s.Run(pol, 42)
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			rtR, _, err := RunScenario(s, pol, 42, quickOpts())
+			if err != nil {
+				t.Fatalf("runtime: %v", err)
+			}
+			simSeq, rtSeq := structuralSeq(simR.Timeline), structuralSeq(rtR.Timeline)
+			if len(simSeq) != len(rtSeq) {
+				t.Fatalf("structural event counts differ:\nsim:     %v\nruntime: %v", simSeq, rtSeq)
+			}
+			for i := range simSeq {
+				if simSeq[i] != rtSeq[i] {
+					t.Errorf("structural event %d differs: sim=%q runtime=%q", i, simSeq[i], rtSeq[i])
+				}
+			}
+			// Both backends must have seen the full story: flash-crowd phase
+			// bracketed, one drain, one join.
+			want := []string{"phase-start phase=flashcrowd", "phase-end phase=flashcrowd",
+				"node-drain node=3", "node-join node=4"}
+			have := map[string]bool{}
+			for _, evs := range simSeq {
+				have[evs] = true
+			}
+			for _, w := range want {
+				if !have[w] {
+					t.Errorf("sim timeline missing %q: %v", w, simSeq)
+				}
+			}
+		})
+	}
+}

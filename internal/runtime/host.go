@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/balancer"
+	"repro/internal/engine"
 	"repro/internal/policy"
 	"repro/internal/qmodel"
 	"repro/internal/scheduler"
@@ -193,6 +194,8 @@ func (h *rhost) RecordSchedulingWall(d time.Duration) {
 	e.repMu.Lock()
 	e.schedulingWall = append(e.schedulingWall, d)
 	e.repMu.Unlock()
+	e.emit(engine.Event{Kind: engine.EventPolicyInvoked, At: e.vnow(), Node: -1,
+		Detail: e.pol.Name()})
 }
 
 func (h *rhost) StartRepartition(po policy.Operator, moves []balancer.Move) {

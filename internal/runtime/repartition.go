@@ -1,9 +1,11 @@
 package runtime
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/balancer"
+	"repro/internal/engine"
 	"repro/internal/simtime"
 	"repro/internal/state"
 	"repro/internal/stream"
@@ -32,6 +34,8 @@ func (e *Engine) startRepartition(o *op, moves []balancer.Move) {
 
 func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
 	started := e.vnow()
+	e.emit(engine.Event{Kind: engine.EventRepartitionStart, At: started, Node: -1,
+		Operator: o.meta.Name, Detail: fmt.Sprintf("%d move(s)", len(moves))})
 
 	// Phase 1: pause. New arrivals buffer at the operator.
 	o.paused.Store(true)
@@ -125,6 +129,8 @@ func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
 		e.repMu.Unlock()
 	}
 	o.repart.Store(false)
+	e.emit(engine.Event{Kind: engine.EventRepartitionFinish, At: e.vnow(), Node: -1,
+		Operator: o.meta.Name, Detail: fmt.Sprintf("%d move(s), %v total", len(moves), total)})
 	// An aborted (churn-overtaken) protocol still finishes from the
 	// policy's point of view: the controller must cool down either way.
 	e.post(func() { e.pol.RepartitionFinished(o) })

@@ -29,6 +29,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -143,6 +144,9 @@ type op struct {
 	processed atomic.Int64
 	dropFail  atomic.Int64
 	dropShut  atomic.Int64
+
+	// retiredN counts executors cluster churn removed from this operator.
+	retiredN atomic.Int64
 }
 
 // policy.Operator implementation. Everything reads atomic snapshots so the
@@ -242,7 +246,25 @@ type Engine struct {
 	schedulingWall []time.Duration
 
 	started bool
+	runFor  simtime.Duration
 	ranMu   sync.Mutex
+
+	// Run-handle surface (see handle.go).
+	onEvent    func(engine.Event)
+	cancelCh   chan struct{}
+	cancelMu   sync.Mutex
+	cancelSig  bool
+	rateFactor atomic.Uint64 // float64 bits of the CmdSetRate multiplier
+
+	// snapshot windows (handle.go Snapshot)
+	snapMu        sync.Mutex
+	lastSnapAt    simtime.Time
+	lastOffered   []int64
+	lastProcessed []int64
+	// nodesMu orders Snapshot's cross-goroutine reads of the node set
+	// against churn mutations; all other node access stays control-goroutine
+	// single-threaded and takes no lock.
+	nodesMu sync.Mutex
 
 	// hooks run when Run starts (scenario wiring registered beforehand).
 	hooks []func()
@@ -289,9 +311,14 @@ func New(cfg engine.Config, opt Options) (*Engine, error) {
 		done:        make(chan struct{}),
 		stopWorkers: make(chan struct{}),
 		fatalCh:     make(chan struct{}),
+		cancelCh:    make(chan struct{}),
 	}
 	e.coll.lat = metrics.NewHistogram()
 	e.coll.winLat = metrics.NewHistogram()
+	e.rateFactor.Store(math.Float64bits(1))
+	// A pre-Begin epoch so Snapshot's vnow is ~0 before the run starts
+	// (Begin re-anchors it).
+	e.start = e.clock.Now()
 	for n := 0; n < cfg.Cluster.Nodes; n++ {
 		e.nodes = append(e.nodes, &node{
 			id: n, cores: cfg.Cluster.CoresPerNode, free: cfg.Cluster.CoresPerNode, alive: true,
@@ -503,44 +530,13 @@ func (e *Engine) guard(where string) {
 }
 
 // Run executes the topology for d of virtual time and assembles a report
-// shaped exactly like the simulator's. It may be called once.
+// shaped exactly like the simulator's. It may be called once; Begin/WaitDone
+// (handle.go) are its non-blocking halves.
 func (e *Engine) Run(d simtime.Duration) (*engine.Report, error) {
-	e.ranMu.Lock()
-	if e.started {
-		e.ranMu.Unlock()
-		return nil, fmt.Errorf("runtime: Run called twice")
+	if err := e.Begin(d); err != nil {
+		return nil, err
 	}
-	e.started = true
-	e.ranMu.Unlock()
-
-	e.start = e.clock.Now()
-
-	// Workers for the initial grants.
-	for _, x := range e.elastic {
-		x.startWorkers()
-	}
-	// Control goroutine: every policy invocation is serialized here.
-	e.wg.Add(1)
-	go e.controlLoop()
-	e.post(func() { e.pol.Install((*rhost)(e)) })
-	e.post(func() { e.everyTick(simtime.Second, e.sampleSeries) })
-	for _, h := range e.hooks {
-		h()
-	}
-	// Sources last, so control loops exist before load arrives.
-	for _, s := range e.sources {
-		e.wg.Add(1)
-		go s.run()
-	}
-
-	select {
-	case <-e.clock.After(d):
-	case <-e.fatalCh:
-	}
-	e.shutdown()
-	e.wg.Wait()
-	e.sweepResidue()
-	return e.buildReport(d), e.fatal()
+	return e.WaitDone()
 }
 
 // post enqueues fn on the control goroutine.
@@ -589,7 +585,7 @@ func (e *Engine) everyTick(interval simtime.Duration, fn func()) {
 // AtVirtual schedules fn to run once at the given virtual offset from run
 // start, on its own goroutine. Must be called before Run (scenario wiring).
 func (e *Engine) AtVirtual(at simtime.Duration, fn func()) {
-	e.hooks = append(e.hooks, func() {
+	e.addHook(func() {
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
@@ -603,11 +599,20 @@ func (e *Engine) AtVirtual(at simtime.Duration, fn func()) {
 	})
 }
 
+// addHook registers a run-start hook under the start lock, so late
+// registrations cannot race Begin's hook sweep (they are dropped once the
+// run has started — atCommand switches to live timers then).
+func (e *Engine) addHook(h func()) {
+	e.ranMu.Lock()
+	e.hooks = append(e.hooks, h)
+	e.ranMu.Unlock()
+}
+
 // EveryVirtual schedules fn at every interval of virtual time, on its own
 // goroutine (fn must be safe to run concurrently with the dataflow). Must be
 // called before Run.
 func (e *Engine) EveryVirtual(interval simtime.Duration, fn func()) {
-	e.hooks = append(e.hooks, func() {
+	e.addHook(func() {
 		t := e.clock.Ticker(interval)
 		e.wg.Add(1)
 		go func() {
@@ -738,6 +743,13 @@ func (e *Engine) buildReport(d simtime.Duration) *engine.Report {
 	// report's dropped column must agree with the ledger printed next to it.
 	for _, o := range e.opOrder {
 		r.Dropped += o.dropFail.Load() + o.dropShut.Load()
+		r.PerOperator = append(r.PerOperator, engine.OperatorStats{
+			Name:      o.meta.Name,
+			Executors: len(o.snap.Load().execs),
+			Retired:   int(o.retiredN.Load()),
+			Offered:   o.admitted.Load(),
+			Processed: o.processed.Load(),
+		})
 	}
 	for _, x := range e.allExecs {
 		r.Events += uint64(x.batches.Load())

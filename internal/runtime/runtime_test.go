@@ -91,7 +91,7 @@ func TestRuntimeMicroDirect(t *testing.T) {
 
 // TestRuntimeRunTwiceRefused pins the single-run contract.
 func TestRuntimeRunTwiceRefused(t *testing.T) {
-	rt, err := BuildScenario(quickSpec(), "static", 1, quickOpts())
+	rt, _, err := BuildScenario(quickSpec(), "static", 1, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

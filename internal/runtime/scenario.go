@@ -1,12 +1,13 @@
 package runtime
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/policy"
+	"repro/internal/run"
 	"repro/internal/scenario"
 	"repro/internal/simtime"
 	"repro/internal/stream"
@@ -28,7 +29,8 @@ type ScenarioOptions struct {
 const targetEventRate = 400.0
 
 // lockedZipf guards the key sampler: on the runtime backend sources sample
-// concurrently with the scenario's key-phase mutations.
+// concurrently with the scenario's key-phase mutations. It implements
+// scenario.ZipfCtl.
 type lockedZipf struct {
 	mu sync.Mutex
 	z  *workload.Zipf
@@ -40,22 +42,26 @@ func (g *lockedZipf) Sample() stream.Key {
 	return g.z.Sample()
 }
 
-func (g *lockedZipf) apply(fn func(*workload.Zipf)) {
+// Apply runs a mutation under the sampler lock (scenario.ZipfCtl).
+func (g *lockedZipf) Apply(fn func(*workload.Zipf)) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	fn(g.z)
 }
 
-// BuildScenario assembles a runtime engine for a scenario spec: the micro
-// topology with the scenario's workload, rate phases folded into the source
-// rate, key phases and cluster events scheduled on the wall clock.
-func BuildScenario(s *scenario.Spec, policyName string, seed uint64, opt ScenarioOptions) (*Engine, error) {
+// BuildScenario assembles a wired, unstarted runtime run for a scenario
+// spec: the micro topology with the scenario's workload, rate phases folded
+// into the source rate, key phases and cluster events scheduled through the
+// returned run handle (the scenario interpreter is a client of the handle,
+// exactly as on the simulator). Callers either Start the handle or call
+// Engine.Run directly — the wiring is already registered either way.
+func BuildScenario(s *scenario.Spec, policyName string, seed uint64, opt ScenarioOptions) (*Engine, *run.Run, error) {
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pol, err := policy.ByName(policyName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	base := s.BaseRate()
 	mult := s.RateMultiplier()
@@ -84,106 +90,38 @@ func BuildScenario(s *scenario.Spec, policyName string, seed uint64, opt Scenari
 	}
 	rt, err := New(setup.Config, opt.Options)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if setup.ShuffleEvery > 0 {
-		rt.EveryVirtual(setup.ShuffleEvery, func() { gz.apply(func(z *workload.Zipf) { z.Shuffle() }) })
+		rt.EveryVirtual(setup.ShuffleEvery, func() { gz.Apply(func(z *workload.Zipf) { z.Shuffle() }) })
 	}
-	attachScenario(rt, s, gz, wl)
-	return rt, nil
+	h := run.NewRuntime(rt, s.Duration())
+	scenario.Drive(h, s, gz, wl.Keys)
+	return rt, h, nil
+}
+
+// StartScenario builds a scenario on the runtime backend and starts it
+// through the run handle. The engine is returned alongside the handle for
+// backend-specific observation (the conservation Ledger).
+func StartScenario(ctx context.Context, s *scenario.Spec, policyName string, seed uint64, opt ScenarioOptions) (*run.Run, *Engine, error) {
+	rt, h, err := BuildScenario(s, policyName, seed, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.Start(ctx)
+	return h, rt, nil
 }
 
 // RunScenario builds and runs a scenario under the named policy, returning
 // the simulator-shaped report plus the runtime's conservation ledger.
 func RunScenario(s *scenario.Spec, policyName string, seed uint64, opt ScenarioOptions) (*engine.Report, Ledger, error) {
-	rt, err := BuildScenario(s, policyName, seed, opt)
+	h, rt, err := StartScenario(context.Background(), s, policyName, seed, opt)
 	if err != nil {
 		return nil, Ledger{}, err
 	}
-	r, err := rt.Run(s.Duration())
+	r, err := h.Wait()
 	if err != nil {
 		return nil, Ledger{}, err
 	}
 	return r, rt.Ledger(), nil
-}
-
-// attachScenario schedules the spec's key phases and cluster events on the
-// runtime clock — the wall-clock mirror of scenario.Attach.
-func attachScenario(rt *Engine, s *scenario.Spec, gz *lockedZipf, wl workload.Spec) {
-	const skewStep = 250 * simtime.Millisecond
-	for _, ph := range s.Phases {
-		ph := ph
-		start := simtime.FromSeconds(ph.StartSec)
-		dur := simtime.FromSeconds(ph.DurationSec)
-		end := start + dur
-		switch ph.Kind {
-		case scenario.PhaseSkewDrift:
-			from := phaseParam(ph, "from", wl.Skew)
-			to := phaseParam(ph, "to", 1.1)
-			landed := false
-			for k := 0; ; k++ {
-				at := start + simtime.Duration(k)*skewStep
-				if at > end {
-					break
-				}
-				if at == end {
-					landed = true
-				}
-				frac := float64(at-start) / float64(dur)
-				skew := from + (to-from)*frac
-				rt.AtVirtual(at, func() { gz.apply(func(z *workload.Zipf) { z.SetSkew(skew) }) })
-			}
-			if !landed {
-				rt.AtVirtual(end, func() { gz.apply(func(z *workload.Zipf) { z.SetSkew(to) }) })
-			}
-		case scenario.PhaseHotspot:
-			shift := int(phaseParam(ph, "shift", float64(wl.Keys/16)))
-			if shift < 1 {
-				shift = 1
-			}
-			schedulePhasePeriodic(rt, ph, func() { gz.apply(func(z *workload.Zipf) { z.Rotate(shift) }) })
-		case scenario.PhaseKeyChurn:
-			frac := phaseParam(ph, "fraction", 0.1)
-			schedulePhasePeriodic(rt, ph, func() { gz.apply(func(z *workload.Zipf) { z.PartialShuffle(frac) }) })
-		}
-	}
-	rt.AttachEvents(s)
-}
-
-// AttachEvents schedules a scenario's cluster events (join/drain/fail) on
-// the runtime clock. Shared by the scenario driver and the facade (which
-// applies scenario churn to user topologies). Must be called before Run.
-func (e *Engine) AttachEvents(s *scenario.Spec) {
-	for i, ev := range s.Events {
-		ev, i := ev, i
-		at := simtime.FromSeconds(ev.AtSec)
-		switch ev.Kind {
-		case scenario.EventJoin:
-			e.AtVirtual(at, func() { e.AddNode(ev.Cores) })
-		case scenario.EventDrain:
-			e.AtVirtual(at, func() { e.DrainNode(ev.Node) })
-		case scenario.EventFail:
-			e.AtVirtual(at, func() { e.FailNode(ev.Node) })
-		default:
-			e.recordChurnError(fmt.Sprintf("scenario %q event %d: unknown kind %q", s.Name, i, ev.Kind))
-		}
-	}
-}
-
-// schedulePhasePeriodic fires fn at the phase start and then every period_sec
-// until the phase ends.
-func schedulePhasePeriodic(rt *Engine, ph scenario.Phase, fn func()) {
-	period := simtime.FromSeconds(phaseParam(ph, "period_sec", 2))
-	start := simtime.FromSeconds(ph.StartSec)
-	end := simtime.FromSeconds(ph.StartSec + ph.DurationSec)
-	for at := start; at <= end; at += period {
-		rt.AtVirtual(at, fn)
-	}
-}
-
-func phaseParam(ph scenario.Phase, name string, def float64) float64 {
-	if v, ok := ph.Params[name]; ok {
-		return v
-	}
-	return def
 }

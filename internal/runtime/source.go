@@ -36,7 +36,7 @@ func (s *src) run() {
 			if dt <= 0 {
 				continue
 			}
-			rate := s.drv.Rate(e.vnow())
+			rate := s.drv.Rate(e.vnow()) * e.rateFactorNow()
 			if rate <= 0 {
 				continue
 			}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,26 +11,46 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/policy"
+	"repro/internal/run"
 	"repro/internal/simtime"
 	"repro/internal/workload"
 )
 
-// The interpreter: turn a validated Spec into a configured engine with every
-// phase action and cluster event pre-scheduled on the virtual clock. All
-// scheduling happens before Run starts, from the spec alone, so two runs of
-// the same (spec, policy, seed) produce identical event traces.
+// The interpreter: turn a validated Spec into scheduled actions on a Run
+// handle — key-phase mutations via ScheduleAt, cluster events via Inject
+// (with explicit virtual times), phase transitions via Announce. The
+// interpreter is a *client* of the public run API: it holds no engine-private
+// hooks, so anything a scenario does, a user of the handle can do too. All
+// wiring happens before Start, from the spec alone, so two runs of the same
+// (spec, policy, seed) produce identical event traces on the simulator.
 
 // skewStep is the cadence at which a skew-drift phase re-morphs the key
 // distribution.
 const skewStep = 250 * simtime.Millisecond
 
-// Instance is one scenario bound to a concrete engine.
+// Instance is one scenario bound to a concrete engine, wired but not yet
+// started: Handle carries the scheduled phases and events. Callers either
+// Start the handle (observing the run) or call Engine.Run directly (the
+// wiring is already on the virtual clock).
 type Instance struct {
 	Spec     *Spec
 	Engine   *engine.Engine
 	Zipf     *workload.Zipf
 	BaseRate float64 // tuples/s the rate multiplier scales
+	Handle   *run.Run
 }
+
+// ZipfCtl is the sampler mutation surface Drive needs: backends whose
+// sources sample concurrently wrap it in a lock (see runtime's lockedZipf);
+// the simulator applies directly.
+type ZipfCtl interface {
+	Apply(fn func(*workload.Zipf))
+}
+
+// directZipf is the simulator's unguarded ZipfCtl.
+type directZipf struct{ z *workload.Zipf }
+
+func (d directZipf) Apply(fn func(*workload.Zipf)) { fn(d.z) }
 
 // ResolvedWorkload returns the scenario's workload parameters with the
 // quick-scale defaults filled in — the form both execution backends consume.
@@ -144,21 +165,25 @@ func phaseExit(ph Phase) float64 {
 	return 1
 }
 
-// Attach schedules the spec's key-dynamics phases and cluster events on the
-// engine's clock. z may be nil (user-supplied topologies drive their own
-// samplers); key-class phases are then skipped. Rate phases are NOT handled
-// here — wrap the source rate with RateMultiplier instead.
-func Attach(e *engine.Engine, s *Spec, z *workload.Zipf) {
-	clock := e.Clock()
-	keys := 2500
-	if z != nil {
-		keys = z.N()
+// Drive wires a validated spec onto a run handle: key-dynamics phases as
+// scheduled sampler mutations, cluster events as injected commands pinned to
+// their virtual times, phase transitions as timeline announcements. z may be
+// nil (user-supplied topologies drive their own samplers); key-class phases
+// are then announced as skipped rather than silently dropped. Rate phases
+// are NOT handled here — wrap the source rate with RateMultiplier instead
+// (both backends fold it into the sources at assembly time); Drive only
+// announces their transitions. Must run before h.Start.
+func Drive(h *run.Run, s *Spec, z ZipfCtl, keys int) {
+	if keys <= 0 {
+		keys = 2500
 	}
 	for _, ph := range s.Phases {
+		announce := true
 		switch ph.Kind {
 		case PhaseSkewDrift:
 			if z == nil {
-				continue
+				announce = false
+				break
 			}
 			from := ph.param("from", s.workloadSpec().Skew)
 			to := ph.param("to", 1.1)
@@ -175,72 +200,83 @@ func Attach(e *engine.Engine, s *Spec, z *workload.Zipf) {
 				}
 				frac := float64(at-secs(phase.StartSec)) / float64(secs(phase.DurationSec))
 				skew := from + (to-from)*frac
-				clock.At(simtime.Time(at), func() { zz.SetSkew(skew) })
+				h.ScheduleAt(at, func() { zz.Apply(func(z *workload.Zipf) { z.SetSkew(skew) }) })
 			}
 			if !landed {
 				// Durations that are not a multiple of the step still end
 				// exactly at the declared target skew.
-				clock.At(simtime.Time(end), func() { zz.SetSkew(to) })
+				h.ScheduleAt(end, func() { zz.Apply(func(z *workload.Zipf) { z.SetSkew(to) }) })
 			}
 		case PhaseHotspot:
 			if z == nil {
-				continue
+				announce = false
+				break
 			}
 			shift := int(ph.param("shift", float64(keys/16)))
 			if shift < 1 {
 				shift = 1
 			}
 			zz := z
-			schedulePeriodic(clock, ph, func() { zz.Rotate(shift) })
+			schedulePeriodic(h, ph, func() { zz.Apply(func(z *workload.Zipf) { z.Rotate(shift) }) })
 		case PhaseKeyChurn:
 			if z == nil {
-				continue
+				announce = false
+				break
 			}
 			frac := ph.param("fraction", 0.1)
 			zz := z
-			schedulePeriodic(clock, ph, func() { zz.PartialShuffle(frac) })
+			schedulePeriodic(h, ph, func() { zz.Apply(func(z *workload.Zipf) { z.PartialShuffle(frac) }) })
+		}
+		if announce {
+			h.Announce(secs(ph.StartSec), engine.Event{Kind: engine.EventPhaseStart, Node: -1, Phase: ph.Kind})
+			h.Announce(secs(ph.endSec()), engine.Event{Kind: engine.EventPhaseEnd, Node: -1, Phase: ph.Kind})
+		} else {
+			// A key-space phase on a topology that supplies its own sampler:
+			// nothing to mutate. Announce the skip instead of dropping it
+			// wordlessly (Options.Strict upgrades this to a build error).
+			h.Announce(secs(ph.StartSec), engine.Event{Kind: engine.EventPhaseSkipped, Node: -1,
+				Phase: ph.Kind, Detail: "topology supplies its own sampler"})
 		}
 	}
 	for i, ev := range s.Events {
-		ev, i := ev, i
-		at := simtime.Time(secs(ev.AtSec))
 		// Spec validation cannot see placement, so a valid event can still be
 		// infeasible at fire time (e.g. a drain with no foothold core left);
-		// the engine refuses it and the refusal lands in Report.ChurnErrors
+		// the backend refuses it and the refusal lands in Report.ChurnErrors
 		// instead of crashing the run.
+		label := fmt.Sprintf("scenario %q event %d", s.Name, i)
+		var cmd engine.Command
 		switch ev.Kind {
 		case EventJoin:
-			clock.At(at, func() { e.AddNode(ev.Cores) })
+			cmd = engine.AddNodeCmd(ev.Cores)
 		case EventDrain:
-			clock.At(at, func() {
-				if err := e.DrainNode(cluster.NodeID(ev.Node)); err != nil {
-					e.RecordChurnError(fmt.Sprintf("scenario %q event %d: %v", s.Name, i, err))
-				}
-			})
+			cmd = engine.DrainNodeCmd(ev.Node)
 		case EventFail:
-			clock.At(at, func() {
-				if err := e.FailNode(cluster.NodeID(ev.Node)); err != nil {
-					e.RecordChurnError(fmt.Sprintf("scenario %q event %d: %v", s.Name, i, err))
-				}
-			})
+			cmd = engine.FailNodeCmd(ev.Node)
+		default:
+			continue // Validate rejects unknown kinds before Drive runs
+		}
+		cmd.At = secs(ev.AtSec)
+		cmd.Label = label
+		if err := h.Inject(cmd); err != nil {
+			panic(fmt.Sprintf("scenario: pre-start inject refused: %v", err))
 		}
 	}
 }
 
 // schedulePeriodic fires fn at the phase start and then every period_sec
 // until the phase ends. Validation guarantees a positive period.
-func schedulePeriodic(clock *simtime.Clock, ph Phase, fn func()) {
+func schedulePeriodic(h *run.Run, ph Phase, fn func()) {
 	period := secs(ph.param("period_sec", 2))
 	for at := secs(ph.StartSec); at <= secs(ph.endSec()); at += period {
-		clock.At(simtime.Time(at), fn)
+		h.ScheduleAt(at, fn)
 	}
 }
 
-// Build validates the spec and assembles a ready-to-run engine: the
+// Build validates the spec and assembles a wired, unstarted run: the
 // micro-benchmark topology with the scenario's workload, the phased rate
-// function, and every key phase and cluster event pre-scheduled. An optional
-// calibration table (tools/calibrate) replaces the simulator's assumed cost
-// constants with measured ones.
+// function, and every key phase and cluster event scheduled through the run
+// handle. An optional calibration table (tools/calibrate) replaces the
+// simulator's assumed cost constants with measured ones.
 func (s *Spec) Build(policyName string, seed uint64, cal ...*calib.Table) (*Instance, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -272,18 +308,30 @@ func (s *Spec) Build(policyName string, seed uint64, cal ...*calib.Table) (*Inst
 	if err != nil {
 		return nil, err
 	}
-	Attach(m.Engine, s, m.Zipf)
-	return &Instance{Spec: s, Engine: m.Engine, Zipf: m.Zipf, BaseRate: base}, nil
+	h := run.NewSim(m.Engine, s.Duration())
+	Drive(h, s, directZipf{m.Zipf}, m.Zipf.N())
+	return &Instance{Spec: s, Engine: m.Engine, Zipf: m.Zipf, BaseRate: base, Handle: h}, nil
+}
+
+// Start builds the scenario and launches it on the simulator through the run
+// handle; cancel ctx to stop the run early at a safe point.
+func (s *Spec) Start(ctx context.Context, policyName string, seed uint64, cal ...*calib.Table) (*run.Run, error) {
+	inst, err := s.Build(policyName, seed, cal...)
+	if err != nil {
+		return nil, err
+	}
+	inst.Handle.Start(ctx)
+	return inst.Handle, nil
 }
 
 // Run builds and runs the scenario under the named elasticity policy, with
 // an optional measured calibration table.
 func (s *Spec) Run(policyName string, seed uint64, cal ...*calib.Table) (*engine.Report, error) {
-	inst, err := s.Build(policyName, seed, cal...)
+	h, err := s.Start(context.Background(), policyName, seed, cal...)
 	if err != nil {
 		return nil, err
 	}
-	return inst.Engine.Run(s.Duration()), nil
+	return h.Wait()
 }
 
 // Fingerprint renders every deterministic field of a scenario report,

@@ -241,6 +241,19 @@ func (s *Spec) validateEvents() error {
 	return nil
 }
 
+// KeyPhaseKinds returns the kinds of the spec's key-space phases (skew
+// drift, hotspot, key churn) — the phases that need the scenario's own
+// sampler and therefore cannot run on a user-supplied topology.
+func (s *Spec) KeyPhaseKinds() []string {
+	var out []string
+	for _, ph := range s.Phases {
+		if knownPhase(ph.Kind) && !rateClass(ph.Kind) {
+			out = append(out, ph.Kind)
+		}
+	}
+	return out
+}
+
 // JSON renders the spec in its canonical indented form.
 func (s *Spec) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
 
