@@ -77,6 +77,10 @@ func BenchmarkScenarios(b *testing.B) { runExperiment(b, "scenarios") }
 // component measurement.
 func BenchmarkRuntime(b *testing.B) { runExperiment(b, "runtime") }
 
+// BenchmarkAutoscale regenerates the autoscaling study (closed-loop cluster
+// controllers × load-shape scenarios vs static provisioning).
+func BenchmarkAutoscale(b *testing.B) { runExperiment(b, "autoscale") }
+
 // Component microbenches.
 
 func BenchmarkComponentClockEvents(b *testing.B) {

@@ -11,14 +11,20 @@
 //	elasticutor-sim -scenario custom.json    # declarative spec from disk
 //	elasticutor-sim -backend runtime -scenario flashcrowd -speedup 20
 //	elasticutor-sim -scenario nodedrain -live       # stream run events
+//	elasticutor-sim -scenario flashcrowd -autoscaler reactive   # resize the cluster live
+//	elasticutor-sim -autoscaler list                # list cluster controllers
 //	elasticutor-sim -calibration calibration.json   # measured cost table
 //
 // -paradigm accepts any registered elasticity policy name (see
 // internal/policy). -scenario accepts a built-in name or a *.json spec file
 // (see internal/scenario); the scenario then supplies the cluster size,
 // workload, phased dynamics, and cluster churn, and the workload flags are
-// ignored. -backend runtime executes on real goroutines against the wall
-// clock (internal/runtime) instead of the simulator; those runs are not
+// ignored. -autoscaler attaches a closed-loop cluster controller (see
+// internal/autoscale) that resizes the cluster against the live run; the
+// report gains a node-seconds / scaling-actions / SLO-violation section, and
+// simulator runs remain deterministic (the control loop samples at fixed
+// virtual times). -backend runtime executes on real goroutines against the
+// wall clock (internal/runtime) instead of the simulator; those runs are not
 // deterministic and additionally print the tuple-conservation ledger.
 // -calibration loads a cost table measured by tools/calibrate into the
 // simulator. Simulator reports go to stdout and are byte-identical across
@@ -34,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -42,6 +49,7 @@ import (
 	runpkg "repro/internal/run"
 	rtbackend "repro/internal/runtime"
 	"repro/internal/scenario"
+	"repro/internal/simtime"
 	"repro/internal/workload"
 )
 
@@ -65,10 +73,11 @@ func streamLive(h *runpkg.Run) {
 			s := h.Snapshot()
 			parts := make([]string, 0, len(s.Operators))
 			for _, o := range s.Operators {
-				parts = append(parts, fmt.Sprintf("%s %d exec %.0f/s→%.0f/s q=%d",
-					o.Name, o.Executors, o.OfferedRate, o.ProcessedRate, o.Queued))
+				parts = append(parts, fmt.Sprintf("%s %d exec/%d cores %.0f/s→%.0f/s q=%d",
+					o.Name, o.Executors, o.Cores, o.OfferedRate, o.ProcessedRate, o.Queued))
 			}
-			fmt.Fprintf(os.Stderr, "live: %v nodes=%d | %s\n", s.Now, s.LiveNodes, strings.Join(parts, " | "))
+			fmt.Fprintf(os.Stderr, "live: %v nodes=%d util=%.0f%% (%d/%d cores) | %s\n",
+				s.Now, s.LiveNodes, 100*s.Utilization, s.UsedCores, s.TotalCores, strings.Join(parts, " | "))
 		}
 	}
 }
@@ -94,6 +103,8 @@ func main() {
 		speedup  = flag.Float64("speedup", 20, "runtime backend clock compression factor")
 		calPath  = flag.String("calibration", "", "calibration table (tools/calibrate) loaded into the simulator")
 		live     = flag.Bool("live", false, "stream run events (churn, repartitions, phases) and snapshots to stderr while the run executes (single trial only)")
+		scaler   = flag.String("autoscaler", "", "cluster controller name (none | reactive | backlog | predictive | any registered), or 'list' ('' = off)")
+		maxNodes = flag.Int("max-nodes", 0, "autoscaler node ceiling (0 = initial nodes + 4)")
 	)
 	flag.Parse()
 	harness.SetDefaultWorkers(*parallel)
@@ -126,9 +137,21 @@ func main() {
 		}
 		return
 	}
+	if *scaler == "list" {
+		for _, name := range autoscale.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if _, err := policy.ByName(*paradigm); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *scaler != "" {
+		if _, err := autoscale.ByName(*scaler); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	var spec *scenario.Spec
 	if *scn != "" {
@@ -176,6 +199,19 @@ func main() {
 		r   *engine.Report
 		led *rtbackend.Ledger
 	}
+	// attachScaler wires the -autoscaler controller onto a built, unstarted
+	// run handle (per trial: controllers carry per-run state).
+	attachScaler := func(h *runpkg.Run, warmup simtime.Duration) error {
+		if *scaler == "" {
+			return nil
+		}
+		a, err := autoscale.ByName(*scaler)
+		if err != nil {
+			return err
+		}
+		autoscale.Attach(h, a, autoscale.Config{Warmup: warmup, MaxNodes: *maxNodes})
+		return nil
+	}
 	// Each trial builds its own engine (nothing shared) with a deterministic
 	// seed: trial 0 uses -seed verbatim, replicates draw theirs from the
 	// harness's per-trial forked RNG. (Runtime-backend trials are only as
@@ -187,11 +223,15 @@ func main() {
 		}
 		watch := *live && *trials == 1
 		if *backend == "runtime" {
-			h, rtE, err := rtbackend.StartScenario(context.Background(), runtimeSpec, *paradigm, trialSeed,
+			rtE, h, err := rtbackend.BuildScenario(runtimeSpec, *paradigm, trialSeed,
 				rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: *speedup}})
 			if err != nil {
 				return trialResult{}, err
 			}
+			if err := attachScaler(h, runtimeSpec.Warmup()); err != nil {
+				return trialResult{}, err
+			}
+			h.Start(context.Background())
 			if watch {
 				streamLive(h)
 			}
@@ -203,14 +243,18 @@ func main() {
 			return trialResult{r: r, led: &led}, nil
 		}
 		if spec != nil {
-			h, err := spec.Start(context.Background(), *paradigm, trialSeed, cal)
+			inst, err := spec.Build(*paradigm, trialSeed, cal)
 			if err != nil {
 				return trialResult{}, err
 			}
-			if watch {
-				streamLive(h)
+			if err := attachScaler(inst.Handle, spec.Warmup()); err != nil {
+				return trialResult{}, err
 			}
-			r, err := h.Wait()
+			inst.Handle.Start(context.Background())
+			if watch {
+				streamLive(inst.Handle)
+			}
+			r, err := inst.Handle.Wait()
 			return trialResult{r: r}, err
 		}
 		wl := workload.DefaultSpec()
@@ -237,6 +281,9 @@ func main() {
 			return trialResult{}, err
 		}
 		h := runpkg.NewSim(m.Engine, *duration)
+		if err := attachScaler(h, *warmup); err != nil {
+			return trialResult{}, err
+		}
 		h.Start(context.Background())
 		if watch {
 			streamLive(h)
@@ -291,6 +338,13 @@ func main() {
 		}
 		for _, msg := range r.ChurnErrors {
 			fmt.Printf("churn SKIPPED: %s\n", msg)
+		}
+		if st := r.Autoscale; st != nil {
+			fmt.Printf("autoscale:  %s: %d scale-up(s), %d scale-down(s) over %d ticks; %.1f node-seconds, peak %d node(s), SLO violation %v\n",
+				st.Controller, st.ScaleUps, st.ScaleDowns, st.Ticks, st.NodeSeconds, st.PeakNodes, st.SLOViolation)
+			for _, a := range st.Actions {
+				fmt.Printf("  scale:    %v\n", a)
+			}
 		}
 		if led := results[i].led; led != nil {
 			fmt.Printf("ledger:     %v\n", *led)

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/harness"
@@ -81,6 +82,23 @@ type (
 	Snapshot = engine.Snapshot
 	// OperatorSnapshot is the live view of one operator inside a Snapshot.
 	OperatorSnapshot = engine.OperatorSnapshot
+
+	// Autoscaler is one closed-loop cluster controller: it periodically
+	// observes a live run and answers with node additions and drains (see
+	// internal/autoscale and Options.Autoscaler).
+	Autoscaler = autoscale.Autoscaler
+	// AutoscaleConfig tunes an autoscaling session (control interval, node
+	// bounds, SLO thresholds).
+	AutoscaleConfig = autoscale.Config
+	// AutoscaleMetrics is the windowed cluster view a controller decides on.
+	AutoscaleMetrics = autoscale.Metrics
+	// AutoscaleDecision is a controller's requested node-count change.
+	AutoscaleDecision = autoscale.Decision
+	// AutoscaleStats is the report's cost/SLO account of an autoscaled run
+	// (Report.Autoscale; nil without a controller).
+	AutoscaleStats = engine.AutoscaleStats
+	// ScaleAction is one applied autoscaling decision inside AutoscaleStats.
+	ScaleAction = engine.ScaleAction
 )
 
 // The event taxonomy of Run.Events and Report.Timeline.
@@ -135,6 +153,14 @@ func PolicyNames() []string { return policy.Names() }
 // Options.Policy and the CLIs. It panics on duplicate names.
 func RegisterPolicy(name string, ctor func() ElasticityPolicy) { policy.Register(name, ctor) }
 
+// Autoscalers lists the registered cluster controllers ("none", "reactive",
+// "backlog", "predictive", plus anything added via RegisterAutoscaler).
+func Autoscalers() []string { return autoscale.Names() }
+
+// RegisterAutoscaler makes a custom cluster controller selectable by name in
+// Options.Autoscaler and the CLI. It panics on duplicate names.
+func RegisterAutoscaler(name string, ctor func() Autoscaler) { autoscale.Register(name, ctor) }
+
 // ConstantRate returns a fixed offered-load function (tuples per second).
 func ConstantRate(perSec float64) func(Time) float64 {
 	return func(Time) float64 { return perSec }
@@ -167,8 +193,9 @@ func RunScenario(nameOrPath, policyName string, seed uint64) (*Report, error) {
 // handle. Unlike RunScenario it selects an execution backend: Options.Policy
 // names the elasticity policy (default "elasticutor"), Options.Backend picks
 // BackendSim or BackendRuntime (Options.Speedup compresses the latter's
-// clock), Options.Seed seeds the workload. Other Options fields are the
-// scenario's to decide and are ignored.
+// clock), Options.Seed seeds the workload, and Options.Autoscaler attaches a
+// cluster controller (its session warm-up defaults to the scenario's). Other
+// Options fields are the scenario's to decide and are ignored.
 func StartScenario(ctx context.Context, nameOrPath string, opt Options) (*Run, error) {
 	sp, err := scenario.Resolve(nameOrPath)
 	if err != nil {
@@ -178,16 +205,29 @@ func StartScenario(ctx context.Context, nameOrPath string, opt Options) (*Run, e
 	if pol == "" {
 		pol = "elasticutor"
 	}
+	var h *Run
 	switch opt.Backend {
 	case "", BackendSim:
-		return sp.Start(ctx, pol, opt.Seed)
+		inst, err := sp.Build(pol, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		h = inst.Handle
 	case BackendRuntime:
-		h, _, err := rtbackend.StartScenario(ctx, sp, pol, opt.Seed,
+		_, hh, err := rtbackend.BuildScenario(sp, pol, opt.Seed,
 			rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: opt.Speedup}, Batch: opt.Batch})
-		return h, err
+		if err != nil {
+			return nil, err
+		}
+		h = hh
 	default:
 		return nil, fmt.Errorf("elasticutor: unknown backend %q (have %v)", opt.Backend, Backends())
 	}
+	if err := attachAutoscaler(h, opt.Autoscaler, opt.Autoscale, sp.Warmup()); err != nil {
+		return nil, err
+	}
+	h.Start(ctx)
+	return h, nil
 }
 
 // SpoutConfig describes a source operator.
@@ -331,6 +371,21 @@ type Options struct {
 	// would silently skip scheduled cluster events is rejected.
 	Scenario string
 
+	// Autoscaler attaches a closed-loop cluster controller by registry name
+	// ("none", "reactive", "backlog", "predictive", or anything registered
+	// via RegisterAutoscaler): the run's cluster is resized live through
+	// AddNode/DrainNode commands, and the report gains an Autoscale section
+	// (node-seconds, actions, SLO-violation time). On the sim backend the
+	// control loop samples at fixed virtual times, so autoscaled runs stay
+	// deterministic; on the runtime backend it runs on the scaled wall
+	// clock. Empty = no controller.
+	Autoscaler string
+	// Autoscale optionally tunes the controller session (interval, node
+	// bounds, SLO thresholds). Nil takes the defaults. The session's
+	// warm-up defaults to this run's WarmUp when left zero; set Warmup
+	// negative to force cold-start decisions (an explicit no-warm-up).
+	Autoscale *AutoscaleConfig
+
 	// Strict rejects configurations that would otherwise degrade with only
 	// a timeline notice — currently: a Scenario whose key-space phases
 	// cannot run on this topology.
@@ -367,24 +422,49 @@ func (b *Builder) Run(opt Options) (*Report, error) {
 // invariants still hold. See DESIGN.md "Run handle" for safe-point and
 // determinism semantics.
 func (b *Builder) Start(ctx context.Context, opt Options) (*Run, error) {
+	var h *Run
+	var err error
 	switch opt.Backend {
 	case "", BackendSim:
-		h, _, err := b.simRun(opt)
-		if err != nil {
-			return nil, err
-		}
-		h.Start(ctx)
-		return h, nil
+		h, _, err = b.simRun(opt)
 	case BackendRuntime:
-		h, err := b.runtimeRun(opt)
-		if err != nil {
-			return nil, err
-		}
-		h.Start(ctx)
-		return h, nil
+		h, err = b.runtimeRun(opt)
 	default:
 		return nil, fmt.Errorf("elasticutor: unknown backend %q (have %v)", opt.Backend, Backends())
 	}
+	if err != nil {
+		return nil, err
+	}
+	if err := attachAutoscaler(h, opt.Autoscaler, opt.Autoscale, simtime.Duration(opt.WarmUp)); err != nil {
+		return nil, err
+	}
+	h.Start(ctx)
+	return h, nil
+}
+
+// attachAutoscaler wires the named cluster controller onto a built,
+// unstarted run handle. The session's warm-up defaults to the run's when
+// left zero; a negative Warmup is the explicit no-warm-up form.
+func attachAutoscaler(h *Run, name string, cfg *AutoscaleConfig, warmup simtime.Duration) error {
+	if name == "" {
+		return nil
+	}
+	a, err := autoscale.ByName(name)
+	if err != nil {
+		return err
+	}
+	c := AutoscaleConfig{}
+	if cfg != nil {
+		c = *cfg
+	}
+	switch {
+	case c.Warmup == 0:
+		c.Warmup = warmup
+	case c.Warmup < 0:
+		c.Warmup = 0
+	}
+	autoscale.Attach(h, a, c)
+	return nil
 }
 
 // simRun assembles a wired, unstarted simulator run.

@@ -1,0 +1,144 @@
+package elasticutor
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// burstyBuilder is a user topology whose offered load triples mid-run — the
+// facade-level autoscaling fixture.
+func burstyBuilder() (*Builder, Options) {
+	b := NewBuilder("bursty")
+	src := b.Spout("src", SpoutConfig{
+		Rate: func(now Time) float64 {
+			if s := now.Seconds(); s >= 5 && s < 9 {
+				return 36000
+			}
+			return 12000
+		},
+		Sample: func(now Time) (Key, int, interface{}) {
+			return Key(uint64(now) * 2654435761), 128, nil
+		},
+	})
+	work := b.Bolt("work", BoltConfig{Cost: time.Millisecond, Selectivity: 0})
+	b.Connect(src, work)
+	return b, Options{
+		Policy:   "elasticutor",
+		Nodes:    3,
+		Y:        3,
+		Duration: 14 * time.Second,
+		WarmUp:   2 * time.Second,
+		Seed:     7,
+	}
+}
+
+// TestOptionsAutoscalerOnUserTopology runs a user-built topology with the
+// reactive controller through the facade: the report carries the Autoscale
+// section, the cluster grew under the burst, and autoscaler drains lost
+// nothing.
+func TestOptionsAutoscalerOnUserTopology(t *testing.T) {
+	b, opt := burstyBuilder()
+	opt.Autoscaler = "reactive"
+	opt.Autoscale = &AutoscaleConfig{MaxNodes: 5}
+	r, err := b.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Autoscale
+	if st == nil {
+		t.Fatal("report has no Autoscale section")
+	}
+	if st.Controller != "reactive" {
+		t.Fatalf("controller = %q", st.Controller)
+	}
+	if st.ScaleUps == 0 {
+		t.Fatalf("reactive never scaled up under a 3x burst: %+v", st)
+	}
+	if st.PeakNodes <= 3 {
+		t.Fatalf("peak nodes = %d, want > 3", st.PeakNodes)
+	}
+	if r.LostStateBytes != 0 {
+		t.Fatalf("autoscaler drains lost %d bytes", r.LostStateBytes)
+	}
+	if st.NodeSeconds <= 0 {
+		t.Fatalf("node-seconds = %v", st.NodeSeconds)
+	}
+
+	// The same options without a controller must leave the section nil.
+	b2, opt2 := burstyBuilder()
+	r2, err := b2.Run(opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Autoscale != nil {
+		t.Fatal("Autoscale section present without a controller")
+	}
+}
+
+// TestOptionsAutoscalerUnknownName fails fast, before the run starts.
+func TestOptionsAutoscalerUnknownName(t *testing.T) {
+	b, opt := burstyBuilder()
+	opt.Autoscaler = "elastigirl"
+	if _, err := b.Run(opt); err == nil {
+		t.Fatal("unknown autoscaler accepted")
+	}
+}
+
+// TestAutoscalersRegistry pins the built-in controller list and the custom
+// registration path.
+func TestAutoscalersRegistry(t *testing.T) {
+	names := Autoscalers()
+	want := map[string]bool{"none": true, "reactive": true, "backlog": true, "predictive": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Autoscalers() = %v is missing %v", names, want)
+	}
+	RegisterAutoscaler("facade-test-noop", func() Autoscaler { return noopScaler{} })
+	b, opt := burstyBuilder()
+	opt.Autoscaler = "facade-test-noop"
+	r, err := b.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Autoscale == nil || r.Autoscale.Controller != "facade-test-noop" {
+		t.Fatalf("custom controller did not drive the run: %+v", r.Autoscale)
+	}
+	if r.Autoscale.NodeSeconds != 3*14 {
+		t.Fatalf("node-seconds = %v, want 42 for a fixed 3-node 14s run", r.Autoscale.NodeSeconds)
+	}
+}
+
+type noopScaler struct{}
+
+func (noopScaler) Name() string                              { return "facade-test-noop" }
+func (noopScaler) Decide(AutoscaleMetrics) AutoscaleDecision { return AutoscaleDecision{} }
+
+// TestStartScenarioAutoscaled covers the scenario path on both backends.
+func TestStartScenarioAutoscaled(t *testing.T) {
+	for _, backend := range []string{BackendSim, BackendRuntime} {
+		h, err := StartScenario(context.Background(), "flashcrowd", Options{
+			Policy:     "elasticutor",
+			Backend:    backend,
+			Speedup:    40,
+			Seed:       42,
+			Autoscaler: "reactive",
+			Autoscale:  &AutoscaleConfig{MaxNodes: 6},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		r, err := h.Wait()
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if r.Autoscale == nil || r.Autoscale.Controller != "reactive" {
+			t.Fatalf("%s: missing Autoscale section: %+v", backend, r.Autoscale)
+		}
+		if backend == BackendSim && r.Autoscale.ScaleUps == 0 {
+			t.Fatalf("sim backend: reactive never scaled up: %+v", r.Autoscale)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package autoscale is the cluster-resizing control layer of the Elasticutor
+// reproduction. The paper's elasticity policies rebalance a *fixed* core set;
+// an Autoscaler closes the remaining loop by resizing the cluster itself:
+// it periodically observes a live run through the Run handle's Snapshot and
+// answers with node additions and graceful drains, which the handle injects
+// as ordinary AddNode/DrainNode commands at safe points.
+//
+// The layer is a pure client of the run-handle API — it holds no engine
+// hooks. On the simulator the control ticks are clock events at exact
+// multiples of the interval and every decision input is derived from
+// cumulative counters, so autoscaled runs are deterministic and
+// golden-pinnable (and unperturbed by -live observation). On the real-time
+// backend the same loop runs on the scaled wall clock under the race
+// detector.
+//
+// Controllers are registered by name exactly like elasticity policies
+// (ByName/Register); the built-ins are "none", "reactive", "backlog", and
+// "predictive" (see controllers.go).
+package autoscale
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/run"
+	"repro/internal/simtime"
+)
+
+// Metrics is the windowed view of the cluster a controller decides on. All
+// rates are measured over the control window just ended, derived from the
+// run snapshot's cumulative counters (deterministic on the simulator).
+type Metrics struct {
+	Now    simtime.Time     // virtual time of this control tick
+	Window simtime.Duration // span since the previous tick
+	Tick   int              // 1-based control tick counter
+	Warm   bool             // past the configured warm-up (decisions allowed)
+
+	LiveNodes   int
+	TotalCores  int
+	UsedCores   int     // allocated cores: source reservations + executor grants
+	OpCores     int     // the executor-grant share of UsedCores
+	SourceCores int     // the source-reservation share (UsedCores - OpCores)
+	Utilization float64 // UsedCores / TotalCores
+
+	// OfferedRate is tuple weight/s admitted into the dataflow at the first
+	// hop (source-level, so multi-operator chains don't re-count each hop);
+	// ProcessedRate is the weight/s completed across all operators;
+	// BlockedRate the weight/s source backpressure refused. DemandRate =
+	// OfferedRate + BlockedRate is what the sources tried to emit, and
+	// BlockedFrac the share of it that was refused — the saturation signal.
+	OfferedRate   float64
+	ProcessedRate float64
+	BlockedRate   float64
+	DemandRate    float64
+	BlockedFrac   float64
+
+	// CoreRate estimates one allocated core's processing rate: the running
+	// maximum of windowed ProcessedRate/OpCores (the maximum, because an
+	// under-loaded window shows idle allocated cores, not slow ones).
+	// DemandCores is the core count the current total work demand occupies
+	// (refused source tuples scaled by the observed downstream
+	// amplification) — the right-sizing currency the scale-down rules use.
+	CoreRate    float64
+	DemandCores float64
+
+	// Backlog is the tuple weight admitted but not yet processed at tick
+	// time (network transit plus executor queues), summed over operators.
+	// It is capped by the backpressure credit limit, so sustained overload
+	// shows up in BlockedFrac, not here.
+	Backlog int
+
+	// The session's configured bounds, so controllers can reason about
+	// remaining headroom. CoresPerNode is the marginal node size a scale
+	// decision trades in (the configured add size, else the cluster mean).
+	MinNodes     int
+	MaxNodes     int
+	CoresPerNode int
+}
+
+// Decision is a controller's answer for one control window.
+type Decision struct {
+	// Delta is the requested node-count change: positive adds that many
+	// nodes, negative drains that many, zero holds. The session clamps it to
+	// the configured [MinNodes, MaxNodes] range.
+	Delta int
+	// Reason is the stated trigger, recorded on every applied action. It
+	// must be deterministic on the simulator (derive it from Metrics only).
+	Reason string
+}
+
+// Autoscaler is one closed-loop cluster controller. Implementations carry
+// per-run state (hysteresis counters, trend windows) and must not be shared
+// between runs — the registry builds a fresh instance per ByName call.
+type Autoscaler interface {
+	// Name returns the controller's registry name.
+	Name() string
+	// Decide inspects one control window and requests a node-count change.
+	Decide(m Metrics) Decision
+}
+
+// Config tunes an autoscaling session. Zero values take defaults.
+type Config struct {
+	// Interval is the control-loop period in virtual time (default 500 ms).
+	Interval simtime.Duration
+	// MinNodes and MaxNodes bound the controller's authority (defaults: the
+	// cluster size at attach time, and that plus 4). Scenario churn may
+	// still move the cluster outside the range; the bounds only clamp the
+	// controller's own actions.
+	MinNodes int
+	MaxNodes int
+	// NodeCores sizes added nodes (0 = the cluster's configured default).
+	NodeCores int
+	// Warmup defers decisions and SLO accounting to ticks at or after this
+	// virtual offset: the simulator's cold start (empty routing tables, no
+	// allocation history) is a startup artifact, not a scaling signal —
+	// the same span the report's metrics exclude. Node-seconds are still
+	// billed from time zero. Default 0 (no warm-up).
+	Warmup simtime.Duration
+	// RefusedSLO is the service objective on refused demand: a (post
+	// warm-up) control window is an SLO violation when more than this
+	// fraction of the offered demand was turned away by source backpressure
+	// (default 0.05). Sustained overload always lands here, because the
+	// credit-based backpressure caps how far Backlog can grow.
+	RefusedSLO float64
+	// BacklogSLO optionally adds a queued-weight ceiling to the objective:
+	// when > 0, a window whose ending backlog exceeds it is a violation
+	// too. Default 0 (disabled): the credit limit, not the SLO, is what
+	// usually bounds the backlog — set this when the credit window is
+	// larger than the latency budget.
+	BacklogSLO int
+}
+
+func (c Config) withDefaults(liveNodes int) Config {
+	if c.Interval <= 0 {
+		c.Interval = 500 * simtime.Millisecond
+	}
+	if c.MinNodes <= 0 {
+		c.MinNodes = liveNodes
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = c.MinNodes + 4
+	}
+	if c.MaxNodes < c.MinNodes {
+		c.MaxNodes = c.MinNodes
+	}
+	if c.RefusedSLO <= 0 {
+		c.RefusedSLO = 0.05
+	}
+	return c
+}
+
+// Session is one autoscaler bound to one live run: it aggregates control
+// windows, applies the controller's decisions, and accounts cost and SLO
+// compliance. Read Stats after the run completes; the session also stamps
+// Report.Autoscale via the handle's finish hook.
+type Session struct {
+	a   Autoscaler
+	cfg Config
+
+	mu    sync.Mutex // runtime-backend ticks come from timer goroutines
+	stats engine.AutoscaleStats
+
+	lastAt         simtime.Time
+	lastNodes      int
+	lastOffered    int64
+	lastSrcOffered int64
+	lastProcessed  int64
+	lastBlocked    int64
+	maxCoreRate    float64
+}
+
+// Attach binds a controller to a wired, unstarted run handle: the control
+// loop samples every cfg.Interval of virtual time, decisions become
+// AddNode/DrainNode commands at the same safe point, and the completed
+// report gains its Autoscale section. Call before h.Start.
+func Attach(h *run.Run, a Autoscaler, cfg Config) *Session {
+	snap := h.Snapshot()
+	cfg = cfg.withDefaults(snap.LiveNodes)
+	s := &Session{
+		a:         a,
+		cfg:       cfg,
+		lastNodes: snap.LiveNodes,
+	}
+	s.stats.Controller = a.Name()
+	s.stats.PeakNodes = snap.LiveNodes
+	s.stats.MinNodesSeen = snap.LiveNodes
+	h.AttachController(cfg.Interval, s.tick)
+	h.OnFinish(s.finish)
+	return s
+}
+
+// tick runs one control window: account, measure, decide, act.
+func (s *Session) tick(snap engine.Snapshot) []engine.Command {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	window := snap.Now.Sub(s.lastAt)
+	if window <= 0 {
+		// A wall-clock backend under scheduler delay can deliver ticks out
+		// of order; a non-advancing window has nothing to account or decide.
+		return nil
+	}
+	var offered, processed, srcOffered int64
+	backlog, opCores := 0, 0
+	for _, o := range snap.Operators {
+		offered += o.Offered
+		processed += o.Processed
+		backlog += o.Queued
+		opCores += o.Cores
+		if o.FirstHop {
+			srcOffered += o.Offered
+		}
+	}
+	if srcOffered == 0 {
+		srcOffered = offered // defensive: every topology has a first hop
+	}
+	m := Metrics{
+		Now:         snap.Now,
+		Window:      window,
+		Tick:        s.stats.Ticks + 1,
+		Warm:        simtime.Duration(snap.Now) >= s.cfg.Warmup,
+		LiveNodes:   snap.LiveNodes,
+		TotalCores:  snap.TotalCores,
+		UsedCores:   snap.UsedCores,
+		OpCores:     opCores,
+		SourceCores: snap.UsedCores - opCores,
+		Utilization: snap.Utilization,
+		Backlog:     backlog,
+		MinNodes:    s.cfg.MinNodes,
+		MaxNodes:    s.cfg.MaxNodes,
+	}
+	sec := window.Seconds()
+	dAll := offered - s.lastOffered
+	dSrc := srcOffered - s.lastSrcOffered
+	dBlocked := snap.Blocked - s.lastBlocked
+	// Offered/demand rates are *source-level* (first-hop admissions), so the
+	// refusal fraction is not diluted on multi-operator topologies where
+	// every hop re-counts the tuple.
+	m.OfferedRate = float64(dSrc) / sec
+	m.ProcessedRate = float64(processed-s.lastProcessed) / sec
+	m.BlockedRate = float64(dBlocked) / sec
+	m.DemandRate = m.OfferedRate + m.BlockedRate
+	if m.DemandRate > 0 {
+		m.BlockedFrac = m.BlockedRate / m.DemandRate
+	}
+	if opCores > 0 && m.ProcessedRate/float64(opCores) > s.maxCoreRate {
+		s.maxCoreRate = m.ProcessedRate / float64(opCores)
+	}
+	m.CoreRate = s.maxCoreRate
+	if m.CoreRate > 0 {
+		// Demand-cores measures *total work*: one source tuple may spawn
+		// work at several downstream operators, so refused source tuples are
+		// scaled by the observed per-tuple amplification before dividing by
+		// the per-core rate. On a single-operator topology this reduces to
+		// DemandRate / CoreRate.
+		ampl := 1.0
+		if dSrc > 0 && dAll > dSrc {
+			ampl = float64(dAll) / float64(dSrc)
+		}
+		m.DemandCores = (float64(dAll) + float64(dBlocked)*ampl) / sec / m.CoreRate
+	}
+	m.CoresPerNode = s.cfg.NodeCores
+	if m.CoresPerNode <= 0 && snap.LiveNodes > 0 {
+		m.CoresPerNode = snap.TotalCores / snap.LiveNodes
+	}
+
+	// Cost and SLO accounting: the window just ended is billed at the node
+	// count observed at its *start* (left endpoint — a node added mid-window
+	// starts costing from the next tick), and a post-warm-up window is an
+	// SLO violation when too much demand was refused (or the backlog ended
+	// above the optional ceiling).
+	s.stats.Ticks++
+	s.stats.NodeSeconds += window.Seconds() * float64(s.lastNodes)
+	if m.Warm && (m.BlockedFrac > s.cfg.RefusedSLO ||
+		(s.cfg.BacklogSLO > 0 && backlog > s.cfg.BacklogSLO)) {
+		s.stats.SLOViolation += window
+	}
+	if snap.LiveNodes > s.stats.PeakNodes {
+		s.stats.PeakNodes = snap.LiveNodes
+	}
+	if snap.LiveNodes < s.stats.MinNodesSeen {
+		s.stats.MinNodesSeen = snap.LiveNodes
+	}
+	s.lastAt = snap.Now
+	s.lastNodes = snap.LiveNodes
+	s.lastOffered, s.lastSrcOffered = offered, srcOffered
+	s.lastProcessed, s.lastBlocked = processed, snap.Blocked
+
+	if !m.Warm {
+		return nil
+	}
+	d := s.a.Decide(m)
+	return s.actLocked(snap, m, d)
+}
+
+// actLocked clamps a decision to the session bounds and turns it into
+// commands, recording every applied action.
+func (s *Session) actLocked(snap engine.Snapshot, m Metrics, d Decision) []engine.Command {
+	var cmds []engine.Command
+	at := simtime.Duration(snap.Now)
+	switch {
+	case d.Delta > 0:
+		n := d.Delta
+		if room := s.cfg.MaxNodes - snap.LiveNodes; n > room {
+			n = room
+		}
+		for i := 0; i < n; i++ {
+			cmd := engine.AddNodeCmd(s.cfg.NodeCores)
+			cmd.Label = fmt.Sprintf("autoscale %s tick %d", s.a.Name(), m.Tick)
+			cmds = append(cmds, cmd)
+			s.stats.ScaleUps++
+			s.stats.Actions = append(s.stats.Actions, engine.ScaleAction{
+				At: at, Kind: engine.CmdAddNode, Node: -1, Reason: d.Reason})
+		}
+	case d.Delta < 0:
+		n := -d.Delta
+		if room := snap.LiveNodes - s.cfg.MinNodes; n > room {
+			n = room
+		}
+		// Drain newest-first: the highest live IDs are the nodes the
+		// controller (or the scenario) added most recently, so scale-down
+		// unwinds scale-up. The engine may still refuse an infeasible drain;
+		// the refusal lands in Report.ChurnErrors and the cluster keeps the
+		// node (the accounting integral reflects whatever actually holds).
+		ids := append([]int(nil), snap.Nodes...)
+		sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+		for i := 0; i < n && i < len(ids); i++ {
+			cmd := engine.DrainNodeCmd(ids[i])
+			cmd.Label = fmt.Sprintf("autoscale %s tick %d", s.a.Name(), m.Tick)
+			cmds = append(cmds, cmd)
+			s.stats.ScaleDowns++
+			s.stats.Actions = append(s.stats.Actions, engine.ScaleAction{
+				At: at, Kind: engine.CmdDrainNode, Node: ids[i], Reason: d.Reason})
+		}
+	}
+	return cmds
+}
+
+// finish closes the node-seconds integral at the report's horizon and stamps
+// the Autoscale section.
+func (s *Session) finish(rep *engine.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tail := rep.Duration - simtime.Duration(s.lastAt); tail > 0 {
+		s.stats.NodeSeconds += tail.Seconds() * float64(s.lastNodes)
+	}
+	st := s.stats
+	st.Actions = append([]engine.ScaleAction(nil), s.stats.Actions...)
+	rep.Autoscale = &st
+}
+
+// Stats returns a copy of the session's account so far (complete once the
+// run has finished).
+func (s *Session) Stats() engine.AutoscaleStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Actions = append([]engine.ScaleAction(nil), s.stats.Actions...)
+	return st
+}

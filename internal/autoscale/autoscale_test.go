@@ -1,0 +1,338 @@
+package autoscale
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+func TestRegistry(t *testing.T) {
+	want := []string{"backlog", "none", "predictive", "reactive"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		a, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("ByName(%s).Name() = %s", name, a.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted an unknown controller")
+	}
+	// Fresh instance per lookup: controllers carry per-run state.
+	a1, _ := ByName("reactive")
+	a2, _ := ByName("reactive")
+	if a1 == a2 {
+		t.Fatal("ByName returned a shared instance")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate Register did not panic")
+			}
+		}()
+		Register("none", newNone)
+	}()
+}
+
+// metricsAt builds a plausible Metrics for controller unit tests.
+func metricsAt(tick int, blockedFrac float64, demandCores float64) Metrics {
+	demand := demandCores * 1000
+	return Metrics{
+		Tick: tick, Warm: true,
+		Window:    500 * simtime.Millisecond,
+		LiveNodes: 4, TotalCores: 32, UsedCores: 31, OpCores: 27, SourceCores: 4,
+		Utilization: 31.0 / 32,
+		DemandRate:  demand, OfferedRate: demand * (1 - blockedFrac),
+		BlockedRate: demand * blockedFrac, BlockedFrac: blockedFrac,
+		CoreRate: 1000, DemandCores: demandCores,
+		Backlog:  4000,
+		MinNodes: 4, MaxNodes: 8, CoresPerNode: 8,
+	}
+}
+
+func TestReactiveHysteresisAndCooldown(t *testing.T) {
+	c := newReactive().(*reactive)
+	// One saturated window is not enough.
+	if d := c.Decide(metricsAt(1, 0.5, 40)); d.Delta != 0 {
+		t.Fatalf("scaled up after one hot window: %+v", d)
+	}
+	// The second consecutive one triggers.
+	if d := c.Decide(metricsAt(2, 0.5, 40)); d.Delta != 1 {
+		t.Fatalf("no scale-up after two hot windows: %+v", d)
+	}
+	// Cooldown: the next two windows are ignored even though still hot.
+	for i := 0; i < 2; i++ {
+		if d := c.Decide(metricsAt(3+i, 0.5, 40)); d.Delta != 0 {
+			t.Fatalf("acted during cooldown: %+v", d)
+		}
+	}
+	// A healthy window between hot ones resets the streak.
+	c = newReactive().(*reactive)
+	c.Decide(metricsAt(1, 0.5, 40))
+	c.Decide(metricsAt(2, 0.0, 30)) // not saturated, does not fit either
+	if d := c.Decide(metricsAt(3, 0.5, 40)); d.Delta != 0 {
+		t.Fatalf("hot streak survived a healthy window: %+v", d)
+	}
+	// Scale-down: demand fitting one node fewer for downAfter windows.
+	c = newReactive().(*reactive)
+	var d Decision
+	for i := 0; i < 3; i++ {
+		d = c.Decide(metricsAt(1+i, 0.0, 10))
+	}
+	if d.Delta != -1 {
+		t.Fatalf("no scale-down after three oversized windows: %+v", d)
+	}
+}
+
+func TestBacklogControllerTracksCeiling(t *testing.T) {
+	c := newBacklog().(*backlogCtl)
+	m := metricsAt(1, 0.3, 40)
+	m.Backlog = 8192 // establishes the ceiling, first hot window
+	if d := c.Decide(m); d.Delta != 0 {
+		t.Fatalf("acted on the first window: %+v", d)
+	}
+	m.Tick = 2
+	if d := c.Decide(m); d.Delta != 1 {
+		t.Fatalf("no scale-up with backlog pinned at ceiling: %+v", d)
+	}
+	// Clear windows far below the ceiling eventually scale down.
+	c = newBacklog().(*backlogCtl)
+	hot := metricsAt(1, 0.3, 40)
+	hot.Backlog = 8192
+	c.Decide(hot)
+	var d Decision
+	for i := 0; i < 4; i++ {
+		cool := metricsAt(2+i, 0.0, 10)
+		cool.Backlog = 3000
+		d = c.Decide(cool)
+	}
+	if d.Delta != -1 {
+		t.Fatalf("no scale-down after four clear windows: %+v", d)
+	}
+}
+
+func TestPredictivePreScalesOnTrend(t *testing.T) {
+	c := newPredictive().(*predictive)
+	// Rising demand, nothing refused yet: 20→26 demand-cores over four
+	// windows on a 28-core elastic capacity projects past it.
+	var d Decision
+	for i := 0; i < 4; i++ {
+		d = c.Decide(metricsAt(1+i, 0.0, 20+2*float64(i)))
+	}
+	if d.Delta != 1 {
+		t.Fatalf("no pre-scale on a rising trend: %+v", d)
+	}
+	// Flat comfortable demand: scale down once the projection fits a
+	// smaller cluster.
+	c = newPredictive().(*predictive)
+	for i := 0; i < 4; i++ {
+		d = c.Decide(metricsAt(1+i, 0.0, 12))
+	}
+	if d.Delta != -1 {
+		t.Fatalf("no scale-down on a flat comfortable trend: %+v", d)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	if s := slope([]float64{1, 2, 3, 4}); s != 1 {
+		t.Fatalf("slope = %v, want 1", s)
+	}
+	if s := slope([]float64{5, 5, 5}); s != 0 {
+		t.Fatalf("slope = %v, want 0", s)
+	}
+	if s := slope([]float64{7}); s != 0 {
+		t.Fatalf("slope of one sample = %v, want 0", s)
+	}
+}
+
+// startScenario builds a built-in scenario with an attached controller on
+// the simulator and returns the completed report.
+func runScenario(t *testing.T, name, ctl string, cfg Config, durationSec float64) *engine.Report {
+	t.Helper()
+	sp, err := scenario.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durationSec > 0 {
+		sp.DurationSec = durationSec
+	}
+	inst, err := sp.Build("elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ByName(ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Warmup = sp.Warmup()
+	Attach(inst.Handle, a, cfg)
+	inst.Handle.Start(context.Background())
+	r, err := inst.Handle.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestSessionAccountingBaseline pins the cost integral on the do-nothing
+// controller: a fixed 4-node cluster over 16 s costs exactly 64 node-seconds
+// regardless of tick alignment, and the report carries the Autoscale section.
+func TestSessionAccountingBaseline(t *testing.T) {
+	r := runScenario(t, "flashcrowd", "none", Config{MaxNodes: 6}, 0)
+	st := r.Autoscale
+	if st == nil {
+		t.Fatal("report has no Autoscale section")
+	}
+	if st.Controller != "none" {
+		t.Fatalf("controller = %q", st.Controller)
+	}
+	if st.NodeSeconds != 64 {
+		t.Fatalf("node-seconds = %v, want 64", st.NodeSeconds)
+	}
+	if st.Ticks != 32 {
+		t.Fatalf("ticks = %d, want 32", st.Ticks)
+	}
+	if st.ScaleUps != 0 || st.ScaleDowns != 0 || len(st.Actions) != 0 {
+		t.Fatalf("baseline acted: %+v", st)
+	}
+	// The 3x burst must register as SLO violation even for the baseline.
+	if st.SLOViolation < 3*simtime.Second {
+		t.Fatalf("SLO violation %v implausibly low for a 3x burst", st.SLOViolation)
+	}
+}
+
+// TestAutoscaleDeterministic pins the closed loop to the simulator's
+// determinism contract: the same (scenario, policy, controller, seed) twice
+// produces identical reports, decisions included.
+func TestAutoscaleDeterministic(t *testing.T) {
+	a := runScenario(t, "flashcrowd", "reactive", Config{MaxNodes: 6}, 0)
+	b := runScenario(t, "flashcrowd", "reactive", Config{MaxNodes: 6}, 0)
+	fa := scenario.Fingerprint("flashcrowd", a)
+	fb := scenario.Fingerprint("flashcrowd", b)
+	if fa != fb {
+		t.Fatalf("autoscaled run fingerprints diverged:\n%s\n%s", fa, fb)
+	}
+	if !reflect.DeepEqual(a.Autoscale.Actions, b.Autoscale.Actions) {
+		t.Fatalf("decision sequences diverged:\n%v\n%v", a.Autoscale.Actions, b.Autoscale.Actions)
+	}
+	if !reflect.DeepEqual(a.Autoscale, b.Autoscale) {
+		t.Fatalf("autoscale stats diverged:\n%+v\n%+v", a.Autoscale, b.Autoscale)
+	}
+	if a.Autoscale.ScaleUps == 0 {
+		t.Fatal("reactive never scaled up under a 3x flash crowd")
+	}
+}
+
+// TestReactiveFlashcrowdScalesUpThenDown pins the headline closed-loop
+// behavior on the simulator: under a flash crowd (horizon stretched so the
+// aftermath fits), the reactive controller scales up during the burst and
+// returns the cluster to its original size afterwards, with every
+// autoscaler-initiated drain graceful (zero lost state).
+func TestReactiveFlashcrowdScalesUpThenDown(t *testing.T) {
+	r := runScenario(t, "flashcrowd", "reactive", Config{MaxNodes: 6}, 24)
+	st := r.Autoscale
+	if st == nil {
+		t.Fatal("report has no Autoscale section")
+	}
+	if st.ScaleUps < 2 || st.ScaleDowns < 1 {
+		t.Fatalf("want >= 2 ups and >= 1 down, got %d/%d (%v)", st.ScaleUps, st.ScaleDowns, st.Actions)
+	}
+	// Decision sequence: the first action is a scale-up inside the burst
+	// window (7s..11s), the last is a scale-down after it.
+	first, last := st.Actions[0], st.Actions[len(st.Actions)-1]
+	if first.Kind != engine.CmdAddNode {
+		t.Fatalf("first action %v is not a scale-up", first)
+	}
+	if sec := first.At.Seconds(); sec < 7 || sec > 11 {
+		t.Fatalf("first scale-up at %v, want inside the burst", first.At)
+	}
+	if last.Kind != engine.CmdDrainNode {
+		t.Fatalf("last action %v is not a scale-down", last)
+	}
+	if last.At.Seconds() <= 11 {
+		t.Fatalf("last scale-down at %v, want after the burst", last.At)
+	}
+	// The cluster returns to its original size: every join undone by a
+	// drain, nothing refused, nothing lost.
+	if r.NodeJoins != st.ScaleUps || r.NodeDrains != st.ScaleDowns {
+		t.Fatalf("churn counters %d/%d disagree with actions %d/%d",
+			r.NodeJoins, r.NodeDrains, st.ScaleUps, st.ScaleDowns)
+	}
+	if r.NodeJoins != r.NodeDrains {
+		t.Fatalf("cluster did not return to size: %d joins, %d drains", r.NodeJoins, r.NodeDrains)
+	}
+	if len(r.ChurnErrors) != 0 {
+		t.Fatalf("autoscaler commands were refused: %v", r.ChurnErrors)
+	}
+	if r.LostStateBytes != 0 {
+		t.Fatalf("graceful drains lost %d bytes of state", r.LostStateBytes)
+	}
+	if st.PeakNodes != 6 {
+		t.Fatalf("peak nodes = %d, want the 6-node cap", st.PeakNodes)
+	}
+}
+
+// TestReactiveBeatsPeakProvisioning is the cost/SLO headline: on the flash
+// crowd, the reactive autoscaler consumes fewer node-seconds than a
+// statically peak-provisioned cluster (the MaxNodes-sized fixed cluster
+// serving the same absolute load) at equal or lower SLO-violation time.
+func TestReactiveBeatsPeakProvisioning(t *testing.T) {
+	reactive := runScenario(t, "flashcrowd", "reactive", Config{MaxNodes: 6}, 0)
+
+	sp, err := scenario.ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakSpec := sp.PeakClone(6) // same absolute demand, 6-node capacity
+	inst, err := peakSpec.Build("elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := ByName("none")
+	Attach(inst.Handle, a, Config{Warmup: peakSpec.Warmup(), MaxNodes: 6})
+	inst.Handle.Start(context.Background())
+	peak, err := inst.Handle.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs, ps := reactive.Autoscale, peak.Autoscale
+	if rs.NodeSeconds >= ps.NodeSeconds {
+		t.Fatalf("reactive node-seconds %.1f not below peak provisioning's %.1f",
+			rs.NodeSeconds, ps.NodeSeconds)
+	}
+	if rs.SLOViolation > ps.SLOViolation {
+		t.Fatalf("reactive SLO violation %v exceeds peak provisioning's %v",
+			rs.SLOViolation, ps.SLOViolation)
+	}
+}
+
+// TestAttachAfterStartPanics pins the wiring contract.
+func TestAttachAfterStartPanics(t *testing.T) {
+	sp, err := scenario.ByName("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sp.Build("elasticutor", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Handle.Start(context.Background())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Attach after Start did not panic")
+		}
+		inst.Handle.Wait()
+	}()
+	a, _ := ByName("none")
+	Attach(inst.Handle, a, Config{})
+}

@@ -1,0 +1,226 @@
+package autoscale
+
+import "fmt"
+
+// The built-in controllers. Each encodes one classic autoscaling idiom over
+// the same Metrics view; DESIGN.md "Autoscaling layer" documents the contract
+// and the cost/SLO definitions they are judged by.
+//
+// Shared signal conventions, from the probe profile of the quick-scale
+// scenarios:
+//
+//   - BlockedFrac — the share of demand refused by source backpressure — is
+//     the saturation signal. Backlog cannot be: the credit window caps it, so
+//     a drowning cluster and a merely busy one show similar queue depths.
+//     A loaded-but-healthy run still refuses a few percent in bursts, so
+//     thresholds sit at ~5%, not zero.
+//   - The elastic policies never *release* allocated cores while capacity is
+//     fixed, so Utilization ratchets high and cannot drive scale-down.
+//     Right-sizing instead compares DemandCores (demand over the estimated
+//     per-core rate) against the elastic capacity the cluster would retain
+//     after a drain.
+//   - Core-static policies (static, rc) cannot use joined nodes at all; a
+//     controller driving one sees its scale-ups buy nothing — an honest
+//     finding of the study, not a bug.
+//   - Reasons must derive from Metrics only, so simulator runs stay
+//     deterministic.
+
+// none is the do-nothing baseline: the fixed-capacity cluster the paper
+// evaluates on.
+type none struct{}
+
+func newNone() Autoscaler { return none{} }
+
+func (none) Name() string            { return "none" }
+func (none) Decide(Metrics) Decision { return Decision{} }
+
+// elasticAfterDrain is the executor-usable core count once one node leaves
+// (sources keep their reservations on the survivors).
+func elasticAfterDrain(m Metrics) float64 {
+	return float64(m.TotalCores - m.CoresPerNode - m.SourceCores)
+}
+
+// reactive is the classic threshold controller with hysteresis and cooldown:
+// scale up after upAfter consecutive saturated windows (refused demand above
+// upFrac), scale down after downAfter consecutive windows in which the
+// demand would still fit on one node fewer, and wait out a cooldown after
+// every action so the cluster settles before the next decision.
+type reactive struct {
+	upFrac             float64 // refused-demand fraction that means saturated
+	upAfter, downAfter int
+	cooldown           int
+
+	hot, cold, wait int
+}
+
+func newReactive() Autoscaler {
+	return &reactive{upFrac: 0.05, upAfter: 2, downAfter: 3, cooldown: 2}
+}
+
+func (c *reactive) Name() string { return "reactive" }
+
+func (c *reactive) Decide(m Metrics) Decision {
+	if c.wait > 0 {
+		c.wait--
+		return Decision{}
+	}
+	saturated := m.BlockedFrac >= c.upFrac
+	fits := m.CoreRate > 0 && m.DemandCores <= elasticAfterDrain(m)
+	switch {
+	case saturated:
+		c.cold = 0
+		c.hot++
+		if c.hot >= c.upAfter {
+			c.hot = 0
+			c.wait = c.cooldown
+			return Decision{Delta: 1,
+				Reason: fmt.Sprintf("saturated: %.0f%% of demand refused", 100*m.BlockedFrac)}
+		}
+	case fits:
+		c.hot = 0
+		c.cold++
+		if c.cold >= c.downAfter {
+			c.cold = 0
+			c.wait = c.cooldown
+			return Decision{Delta: -1,
+				Reason: fmt.Sprintf("oversized: demand %.1f cores fits %.0f", m.DemandCores, elasticAfterDrain(m))}
+		}
+	default:
+		c.hot, c.cold = 0, 0
+	}
+	return Decision{}
+}
+
+// backlogCtl scales on queue depth relative to the deepest backlog it has
+// seen (the credit window, once the run has saturated at least briefly): a
+// queue pinned near the ceiling with demand being refused means the cluster
+// is behind, a queue well below it that is draining means headroom. The
+// drain-time target makes "behind" precise: scale up when the backlog could
+// not be cleared within drainTarget at the current processing rate while
+// demand is still being refused.
+type backlogCtl struct {
+	hiFrac, loFrac     float64 // fractions of the deepest backlog seen
+	refusedEps         float64 // refusal fraction confirming genuine pressure
+	upAfter, downAfter int
+	cooldown           int
+
+	maxSeen         int
+	hot, cold, wait int
+}
+
+func newBacklog() Autoscaler {
+	return &backlogCtl{hiFrac: 0.95, loFrac: 0.55, refusedEps: 0.01, upAfter: 2, downAfter: 4, cooldown: 2}
+}
+
+func (c *backlogCtl) Name() string { return "backlog" }
+
+func (c *backlogCtl) Decide(m Metrics) Decision {
+	if m.Backlog > c.maxSeen {
+		c.maxSeen = m.Backlog
+	}
+	if c.wait > 0 {
+		c.wait--
+		return Decision{}
+	}
+	if c.maxSeen == 0 {
+		return Decision{}
+	}
+	frac := float64(m.Backlog) / float64(c.maxSeen)
+	behind := frac >= c.hiFrac && m.BlockedFrac > c.refusedEps
+	clear := frac <= c.loFrac && m.BlockedFrac <= c.refusedEps
+	switch {
+	case behind:
+		c.cold = 0
+		c.hot++
+		if c.hot >= c.upAfter {
+			c.hot = 0
+			c.wait = c.cooldown
+			return Decision{Delta: 1,
+				Reason: fmt.Sprintf("backlog %d at %.0f%% of ceiling, %.0f%% refused",
+					m.Backlog, 100*frac, 100*m.BlockedFrac)}
+		}
+	case clear:
+		c.hot = 0
+		c.cold++
+		if c.cold >= c.downAfter {
+			c.cold = 0
+			c.wait = c.cooldown
+			return Decision{Delta: -1,
+				Reason: fmt.Sprintf("backlog %d at %.0f%% of ceiling", m.Backlog, 100*frac)}
+		}
+	default:
+		c.hot, c.cold = 0, 0
+	}
+	return Decision{}
+}
+
+// predictive extrapolates the demand trend and pre-scales ahead of it: a
+// least-squares slope over the recent demand windows is projected lookahead
+// windows forward and compared against the cluster's estimated capacity, so
+// a ramp or diurnal upswing triggers the node add *before* backpressure
+// does. Falling projections release nodes by the same right-sizing test the
+// reactive controller uses.
+type predictive struct {
+	window    int     // demand history length, in control windows
+	lookahead float64 // projection horizon, in control windows
+	upFrac    float64 // scale up when projected demand exceeds this capacity fraction
+	cooldown  int
+
+	history []float64
+	wait    int
+}
+
+func newPredictive() Autoscaler {
+	return &predictive{window: 4, lookahead: 3, upFrac: 0.95, cooldown: 2}
+}
+
+func (c *predictive) Name() string { return "predictive" }
+
+func (c *predictive) Decide(m Metrics) Decision {
+	c.history = append(c.history, m.DemandRate)
+	if len(c.history) > c.window {
+		c.history = c.history[len(c.history)-c.window:]
+	}
+	if c.wait > 0 {
+		c.wait--
+		return Decision{}
+	}
+	if len(c.history) < c.window || m.CoreRate <= 0 {
+		return Decision{}
+	}
+	projected := m.DemandRate + slope(c.history)*c.lookahead
+	capacity := m.CoreRate * float64(m.TotalCores-m.SourceCores)
+	projCores := projected / m.CoreRate
+	switch {
+	case m.BlockedFrac >= 0.05 || projected > c.upFrac*capacity:
+		c.wait = c.cooldown
+		return Decision{Delta: 1,
+			Reason: fmt.Sprintf("projected %.0f/s vs capacity %.0f/s", projected, capacity)}
+	case projCores <= elasticAfterDrain(m) && m.DemandCores <= elasticAfterDrain(m) && m.BlockedFrac < 0.05:
+		c.wait = c.cooldown
+		return Decision{Delta: -1,
+			Reason: fmt.Sprintf("projected %.1f cores fits %.0f", projCores, elasticAfterDrain(m))}
+	}
+	return Decision{}
+}
+
+// slope is the least-squares slope of evenly spaced samples (per window).
+func slope(ys []float64) float64 {
+	n := float64(len(ys))
+	if n < 2 {
+		return 0
+	}
+	var sumX, sumY, sumXY, sumXX float64
+	for i, y := range ys {
+		x := float64(i)
+		sumX += x
+		sumY += y
+		sumXY += x * y
+		sumXX += x * x
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0
+	}
+	return (n*sumXY - sumX*sumY) / den
+}

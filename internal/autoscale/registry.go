@@ -1,0 +1,64 @@
+package autoscale
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// registry maps controller names to constructors. Each lookup builds a fresh
+// instance: controllers carry per-run state (hysteresis counters, trend
+// windows) and must never be shared between runs — the same contract as the
+// elasticity-policy registry.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Autoscaler{
+		"none":       newNone,
+		"reactive":   newReactive,
+		"backlog":    newBacklog,
+		"predictive": newPredictive,
+	}
+)
+
+// Register adds an autoscaler constructor under name, making it selectable
+// wherever built-ins are (facade Options.Autoscaler, CLI -autoscaler). It
+// panics on a duplicate name: silently shadowing a controller would corrupt
+// a study's results.
+func Register(name string, ctor func() Autoscaler) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || ctor == nil {
+		panic("autoscale: Register needs a name and a constructor")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("autoscale: %q already registered", name))
+	}
+	registry[name] = ctor
+}
+
+// ByName returns a fresh instance of the named controller.
+func ByName(name string) (Autoscaler, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("autoscale: unknown autoscaler %q (have %v)", name, namesLocked())
+	}
+	return ctor(), nil
+}
+
+// Names lists the registered controller names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

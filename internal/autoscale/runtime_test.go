@@ -1,0 +1,64 @@
+package autoscale
+
+import (
+	"context"
+	"testing"
+
+	rtbackend "repro/internal/runtime"
+	"repro/internal/scenario"
+)
+
+// TestAutoscaleRuntimeReactiveFlashcrowd drives the same reactive/flashcrowd
+// closed loop on the real-time backend: the control loop samples on the
+// scaled wall clock from timer goroutines while workers process tuples, so
+// this is the subsystem's race-detector workout. Wall-clock decisions vary
+// run to run; the invariants do not: the ledger stays conserved and every
+// autoscaler-initiated drain is graceful (zero lost state).
+func TestAutoscaleRuntimeReactiveFlashcrowd(t *testing.T) {
+	sp, err := scenario.ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, h, err := rtbackend.BuildScenario(sp, "elasticutor", 42,
+		rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ByName("reactive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := Attach(h, a, Config{Warmup: sp.Warmup(), MaxNodes: 6})
+	h.Start(context.Background())
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Autoscale == nil {
+		t.Fatal("report has no Autoscale section")
+	}
+	if r.Autoscale.Controller != "reactive" {
+		t.Fatalf("controller = %q", r.Autoscale.Controller)
+	}
+	if got := sess.Stats(); got.Ticks == 0 {
+		t.Fatal("control loop never ticked")
+	}
+	if led := rt.Ledger(); !led.Conserved() {
+		t.Fatalf("ledger not conserved under autoscaling: %v", led)
+	}
+	// Scale-downs are graceful drains: state migrates, nothing is lost. (A
+	// wall-clock run may legitimately decide never to scale; the invariant
+	// is conditional on drains having happened, the conservation above is
+	// not.)
+	if r.NodeDrains > 0 && r.LostStateBytes != 0 {
+		t.Fatalf("autoscaler drains lost %d bytes of state", r.LostStateBytes)
+	}
+	if r.NodeFails != 0 {
+		t.Fatalf("autoscaler failed %d nodes; it must only join and drain", r.NodeFails)
+	}
+	// The cost integral is wall-clock dependent but must cover the run at
+	// the initial size or more.
+	if r.Autoscale.NodeSeconds < 60 {
+		t.Fatalf("node-seconds %.1f below the 4-node floor", r.Autoscale.NodeSeconds)
+	}
+}

@@ -172,9 +172,29 @@ func FailNodeCmd(node int) Command { return Command{Kind: CmdFailNode, Node: nod
 func SetRateCmd(factor float64) Command { return Command{Kind: CmdSetRate, Factor: factor} }
 
 // Snapshot is a point-in-time view of a live run.
+//
+// The rate fields (OperatorSnapshot.OfferedRate/ProcessedRate) are windowed
+// over the span since the *previous* snapshot by any observer, so they are
+// observer-relative. Closed-loop controllers must derive their windows from
+// the cumulative fields instead (Blocked, OperatorSnapshot.Offered/Processed)
+// — those are independent of who else is watching, which is what keeps an
+// autoscaled simulator run deterministic under -live observation.
 type Snapshot struct {
 	Now       simtime.Time
 	LiveNodes int
+	// Nodes lists the live node IDs in ascending order (drain-target
+	// selection for cluster controllers).
+	Nodes []int
+	// TotalCores counts the cores on live nodes; UsedCores the ones
+	// currently allocated (source reservations plus executor grants);
+	// Utilization is their ratio (0 when the cluster has no cores).
+	TotalCores  int
+	UsedCores   int
+	Utilization float64
+	// Blocked is the cumulative tuple weight refused by source backpressure
+	// since run start (not warm-up gated): the demand the cluster failed to
+	// admit.
+	Blocked int64
 	// Operators lists the non-source operators in topology order.
 	Operators []OperatorSnapshot
 	// Cumulative elasticity counters at snapshot time.
@@ -188,10 +208,21 @@ type Snapshot struct {
 type OperatorSnapshot struct {
 	Name      string
 	Executors int
+	// FirstHop marks operators directly downstream of a source — the
+	// admission boundary whose Offered counter is the source-level demand.
+	FirstHop bool
+	// Cores is the number of CPU cores currently allocated to the
+	// operator's executors.
+	Cores int
 	// OfferedRate is tuples/s admitted toward the operator in the window;
 	// ProcessedRate is tuples/s completed by its executors.
 	OfferedRate   float64
 	ProcessedRate float64
+	// Offered and Processed are the cumulative tuple weights since run
+	// start — the observer-independent counters the rate fields derive
+	// from (see the Snapshot doc comment).
+	Offered   int64
+	Processed int64
 	// Queued is the tuple weight admitted but not yet processed (network
 	// transit plus executor queues).
 	Queued int
@@ -245,13 +276,35 @@ func (e *Engine) Snapshot() Snapshot {
 	s := Snapshot{
 		Now:            now,
 		LiveNodes:      e.cluster.AliveNodes(),
+		Blocked:        e.r.Blocked,
 		MigrationBytes: e.r.RepartitionBytes,
 		Repartitions:   e.r.Repartitions,
 	}
+	free := 0
+	for n := 0; n < e.cluster.Nodes(); n++ {
+		id := clusterpkg.NodeID(n)
+		if !e.cluster.NodeAlive(id) {
+			continue
+		}
+		s.Nodes = append(s.Nodes, n)
+		free += len(e.freeCores[id])
+	}
+	s.TotalCores = e.cluster.TotalCores()
+	s.UsedCores = s.TotalCores - free
+	if s.TotalCores > 0 {
+		s.Utilization = float64(s.UsedCores) / float64(s.TotalCores)
+	}
 	for _, rt := range e.opsInOrder() {
-		os := OperatorSnapshot{Name: rt.op.Name, Executors: len(rt.execs)}
-		for _, ex := range rt.execs {
+		os := OperatorSnapshot{
+			Name:      rt.op.Name,
+			Executors: len(rt.execs),
+			FirstHop:  rt.firstHop,
+			Offered:   rt.offeredW,
+			Processed: rt.processedW,
+		}
+		for i, ex := range rt.execs {
 			os.Queued += e.inflight[ex]
+			os.Cores += len(rt.cores[i])
 		}
 		if span > 0 {
 			os.OfferedRate = float64(rt.offeredW-rt.lastOffered) / span

@@ -48,6 +48,54 @@ type Totals struct {
 	RemoteRate     float64 // bytes/s over the measured span (Table 2)
 }
 
+// ScaleAction is one issued autoscaling decision (internal/autoscale). The
+// command is applied at the same control tick; in the rare case the engine
+// refuses it (an infeasible drain), the refusal is recorded in
+// Report.ChurnErrors and the cluster keeps the node — cross-check there.
+type ScaleAction struct {
+	At     simtime.Duration // virtual offset of the control tick
+	Kind   CommandKind      // CmdAddNode or CmdDrainNode
+	Node   int              // drain target node ID (-1 for adds)
+	Reason string           // the controller's stated trigger
+}
+
+func (a ScaleAction) String() string {
+	switch a.Kind {
+	case CmdAddNode:
+		return fmt.Sprintf("%v add-node (%s)", a.At, a.Reason)
+	case CmdDrainNode:
+		return fmt.Sprintf("%v drain-node %d (%s)", a.At, a.Node, a.Reason)
+	}
+	return fmt.Sprintf("%v %v (%s)", a.At, a.Kind, a.Reason)
+}
+
+// AutoscaleStats is the cost/SLO account of a run driven by a cluster
+// autoscaler (see DESIGN.md "Autoscaling layer" for the definitions).
+type AutoscaleStats struct {
+	// Controller is the registry name of the autoscaler that drove the run.
+	Controller string
+	// Ticks counts control-loop invocations (one per interval).
+	Ticks int
+	// ScaleUps / ScaleDowns count issued node additions and drains, and
+	// Actions is the ordered record of both. A command the engine refused
+	// (infeasible for the live placement) is still counted here; the
+	// refusal appears in Report.ChurnErrors and the churn counters
+	// (NodeJoins/NodeDrains) record what actually happened.
+	ScaleUps   int
+	ScaleDowns int
+	Actions    []ScaleAction
+	// NodeSeconds integrates live nodes over virtual time at control-tick
+	// resolution — the run's capacity cost.
+	NodeSeconds float64
+	// PeakNodes / MinNodesSeen bracket the live node count over the run.
+	PeakNodes    int
+	MinNodesSeen int
+	// SLOViolation is the total virtual time spent in control windows that
+	// violated the service objective (source backpressure refused demand,
+	// or backlog above the configured threshold).
+	SLOViolation simtime.Duration
+}
+
 // OperatorStats is one operator's slice of the report.
 type OperatorStats struct {
 	Name      string
@@ -99,6 +147,10 @@ type Report struct {
 	// ChurnErrors records scheduled capacity events the engine refused
 	// (infeasible for the live placement); the run continued without them.
 	ChurnErrors []string
+
+	// Autoscale is the cluster-controller account of the run: nil unless an
+	// autoscaler was attached (internal/autoscale stamps it at run finish).
+	Autoscale *AutoscaleStats
 
 	Events uint64 // simulation events executed (diagnostics)
 

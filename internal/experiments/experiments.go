@@ -104,6 +104,7 @@ var All = []Experiment{
 	{"ablation", "Design-choice ablations: state sharing, locality, θ, scheduler cadence", Ablation},
 	{"scenarios", "Scenario sweep: all four policies under load bursts and cluster churn", ScenarioSweep},
 	{"runtime", "Runtime backend: all four policies on goroutines against the wall clock", RuntimeBackend},
+	{"autoscale", "Autoscaling study: closed-loop cluster controllers vs static provisioning", Autoscale},
 }
 
 // ByID returns the experiment with the given ID.

@@ -26,6 +26,36 @@ func scenarioSweepBytes() []byte {
 	return buf.Bytes()
 }
 
+// autoscaleBytes renders the autoscaling study tables like the CLI does.
+func autoscaleBytes() []byte {
+	var buf bytes.Buffer
+	for _, tab := range Autoscale(Quick) {
+		tab.Print(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestAutoscaleGolden pins the autoscaling study — every closed-loop
+// controller × load-shape scenario × {elasticutor, rc}, plus the fixed and
+// peak-provisioned yardsticks — byte-for-byte: control ticks ride the virtual
+// clock and decisions derive from cumulative counters, so the whole study is
+// as deterministic as a plain run. It also guards the study's headline: the
+// reactive controller beats peak provisioning on cost at no worse SLO on the
+// flash crowd (asserted structurally by TestReactiveBeatsPeakProvisioning in
+// internal/autoscale; recorded numerically here). Regenerate testdata with
+// `go run ./tools/gengolden` only for intended behavior changes.
+func TestAutoscaleGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/autoscale_quick.golden")
+	if err != nil {
+		t.Fatalf("missing golden file (run `go run ./tools/gengolden`): %v", err)
+	}
+	defer harness.SetDefaultWorkers(0)
+	harness.SetDefaultWorkers(4)
+	if got := autoscaleBytes(); !bytes.Equal(got, want) {
+		t.Fatalf("autoscale study diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
 // TestScenarioSweepGoldenAcrossWorkerCounts pins the sweep — 4 policies × 4
 // churn/burst scenarios, including node drain and hard failure — to its
 // recorded tables, byte-identical for 1 and 4 workers.

@@ -57,6 +57,9 @@ type RuntimeBackend interface {
 	Snapshot() engine.Snapshot
 	// ScheduleAt registers fn at a virtual offset; pre-Start only.
 	ScheduleAt(at simtime.Duration, fn func())
+	// EveryVirtual runs fn at every interval of virtual time on one ticker
+	// goroutine; pre-Start only (the controller loop).
+	EveryVirtual(interval simtime.Duration, fn func())
 	// SetOnEvent installs the event observer; pre-Start only.
 	SetOnEvent(fn func(engine.Event))
 }
@@ -100,6 +103,9 @@ type Run struct {
 	err  error
 
 	final engine.Snapshot // last snapshot, served after completion
+
+	ctlAttached bool
+	finishers   []func(*engine.Report)
 }
 
 // NewSim wraps a built (not yet begun) simulator engine in a run handle for
@@ -162,6 +168,71 @@ func (r *Run) Announce(at simtime.Duration, ev engine.Event) {
 	}
 	ev.At = simtime.Time(0).Add(at)
 	r.markers = append(r.markers, marker{at: at, ev: ev})
+}
+
+// AttachController wires a closed control loop onto the run: every period of
+// virtual time the backend takes a Snapshot at a safe point and hands it to
+// fn; the commands fn returns are applied immediately at that same safe
+// point. On the simulator the ticks are pre-scheduled clock events at exact
+// multiples of period, so an autoscaled run is deterministic — provided fn
+// derives its windows from the Snapshot's cumulative counters, not the
+// observer-relative rate fields (see the engine.Snapshot doc comment). On the
+// real-time backend the ticks run on the scaled wall clock and fn must be
+// safe for concurrent timer goroutines. Pre-Start only; one controller per
+// run (internal/autoscale multiplexes on top if ever needed).
+func (r *Run) AttachController(period simtime.Duration, fn func(engine.Snapshot) []engine.Command) {
+	if period <= 0 {
+		panic("run: AttachController with non-positive period")
+	}
+	r.mu.Lock()
+	started, dup := r.started, r.ctlAttached
+	r.ctlAttached = true
+	r.mu.Unlock()
+	if started {
+		panic("run: AttachController after Start")
+	}
+	if dup {
+		panic("run: AttachController called twice")
+	}
+	if r.sim != nil {
+		for at := period; at <= r.d; at += period {
+			r.sim.Clock().At(simtime.Time(0).Add(at), func() {
+				r.serveController(fn)
+			})
+		}
+		return
+	}
+	// One ticker goroutine serves every tick for the whole horizon (a long
+	// run at a short period must not fan out thousands of one-shot timers);
+	// the backend stops the ticker when the run ends.
+	r.rt.EveryVirtual(period, func() {
+		for _, cmd := range fn(r.rt.Snapshot()) {
+			cmd.At = 0 // next safe point: the tick already fixed the time
+			r.rt.ApplyAsync(cmd)
+		}
+	})
+}
+
+// serveController runs one simulator control tick: a clock-event callback is
+// a safe point (the event loop is between engine events), exactly like a
+// scheduled command's.
+func (r *Run) serveController(fn func(engine.Snapshot) []engine.Command) {
+	for _, cmd := range fn(r.sim.Snapshot()) {
+		cmd.At = 0
+		r.applySim(cmd)
+	}
+}
+
+// OnFinish registers fn to run on the completed report before Wait returns —
+// the hook accounting layers (internal/autoscale) use to stamp their report
+// sections. fn must not call back into the handle. Pre-Start only.
+func (r *Run) OnFinish(fn func(*engine.Report)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		panic("run: OnFinish after Start")
+	}
+	r.finishers = append(r.finishers, fn)
 }
 
 // Inject submits a control command. Before Start, a command with At is
@@ -387,6 +458,9 @@ func (r *Run) finish(rep *engine.Report, err error) {
 	}
 	if rep != nil {
 		rep.Timeline = append([]engine.Event(nil), r.timeline...)
+		for _, fn := range r.finishers {
+			fn(rep)
+		}
 	}
 	r.rep, r.err = rep, err
 	if r.sim != nil {

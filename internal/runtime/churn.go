@@ -50,8 +50,10 @@ func (e *Engine) addNode(cores int) {
 		cores = e.cfg.Cluster.CoresPerNode
 	}
 	id := len(e.nodes)
+	nd := &node{id: id, cores: cores, alive: true}
+	nd.free.Store(int64(cores))
 	e.nodesMu.Lock()
-	e.nodes = append(e.nodes, &node{id: id, cores: cores, free: cores, alive: true})
+	e.nodes = append(e.nodes, nd)
 	e.nodesMu.Unlock()
 	e.repMu.Lock()
 	e.nodeJoins++
@@ -80,7 +82,7 @@ func (e *Engine) removeNode(n int, graceful bool) error {
 	nd := e.nodes[n]
 	e.nodesMu.Lock()
 	nd.alive = false
-	nd.free = 0
+	nd.free.Store(0)
 	nd.srcReserved = 0
 	e.nodesMu.Unlock()
 

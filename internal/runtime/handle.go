@@ -189,14 +189,20 @@ func (e *Engine) Snapshot() engine.Snapshot {
 	defer e.snapMu.Unlock()
 	now := e.vnow()
 	span := now.Sub(e.lastSnapAt).Seconds()
-	s := engine.Snapshot{Now: now}
+	s := engine.Snapshot{Now: now, Blocked: e.blocked.Load()}
 	e.nodesMu.Lock()
 	for _, n := range e.nodes {
 		if n.alive {
 			s.LiveNodes++
+			s.Nodes = append(s.Nodes, n.id)
+			s.TotalCores += n.cores
+			s.UsedCores += n.cores - int(n.free.Load())
 		}
 	}
 	e.nodesMu.Unlock()
+	if s.TotalCores > 0 {
+		s.Utilization = float64(s.UsedCores) / float64(s.TotalCores)
+	}
 	if len(e.lastOffered) == 0 {
 		e.lastOffered = make([]int64, len(e.opOrder))
 		e.lastProcessed = make([]int64, len(e.opOrder))
@@ -204,10 +210,17 @@ func (e *Engine) Snapshot() engine.Snapshot {
 	for i, o := range e.opOrder {
 		admitted := o.admitted.Load()
 		processed := o.processed.Load()
+		execs := o.snap.Load().execs // one load: Executors and Cores must agree
 		os := engine.OperatorSnapshot{
 			Name:      o.meta.Name,
-			Executors: len(o.snap.Load().execs),
+			Executors: len(execs),
+			FirstHop:  o.firstHop,
 			Queued:    int(o.inflight.Load()),
+			Offered:   admitted,
+			Processed: processed,
+		}
+		for _, x := range execs {
+			os.Cores += x.grantCount()
 		}
 		if span > 0 {
 			os.OfferedRate = float64(admitted-e.lastOffered[i]) / span

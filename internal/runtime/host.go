@@ -165,7 +165,7 @@ func (e *Engine) applyAssignment(x [][]int) {
 					break
 				}
 				have[n]--
-				e.nodes[n].free++
+				e.nodes[n].free.Add(1)
 			}
 		}
 	}
@@ -178,10 +178,10 @@ func (e *Engine) applyAssignment(x [][]int) {
 				want = x[n][j]
 			}
 			for have[n] < want {
-				if !e.nodes[n].alive || e.nodes[n].free <= 0 {
+				if !e.nodes[n].alive || e.nodes[n].free.Load() <= 0 {
 					break
 				}
-				e.nodes[n].free--
+				e.nodes[n].free.Add(-1)
 				ex.grant(n)
 				have[n]++
 			}

@@ -95,12 +95,14 @@ func (l Ledger) String() string {
 		l.Admitted, l.Processed, l.DroppedFailure, l.DroppedShutdown, l.Blocked, l.Conserved())
 }
 
-// node is the runtime's bookkeeping for one cluster node. All fields are
-// touched only on the control goroutine (placement happens before it starts).
+// node is the runtime's bookkeeping for one cluster node. Fields are mutated
+// only on the control goroutine (placement happens before it starts); free is
+// atomic because Snapshot reads it from arbitrary goroutines for the
+// cluster-utilization figure.
 type node struct {
 	id          int
 	cores       int
-	free        int // cores not yet granted or reserved
+	free        atomic.Int64 // cores not yet granted or reserved
 	srcReserved int
 	alive       bool
 }
@@ -320,9 +322,9 @@ func New(cfg engine.Config, opt Options) (*Engine, error) {
 	// (Begin re-anchors it).
 	e.start = e.clock.Now()
 	for n := 0; n < cfg.Cluster.Nodes; n++ {
-		e.nodes = append(e.nodes, &node{
-			id: n, cores: cfg.Cluster.CoresPerNode, free: cfg.Cluster.CoresPerNode, alive: true,
-		})
+		nd := &node{id: n, cores: cfg.Cluster.CoresPerNode, alive: true}
+		nd.free.Store(int64(cfg.Cluster.CoresPerNode))
+		e.nodes = append(e.nodes, nd)
 	}
 	if err := e.placeSources(); err != nil {
 		return nil, err
@@ -348,13 +350,13 @@ func (e *Engine) queueDepth() int {
 // takeFreeCore claims a free core, preferring the given node; -1 when the
 // cluster is exhausted. Mirrors the simulator's placement order.
 func (e *Engine) takeFreeCore(prefer int) int {
-	if prefer >= 0 && prefer < len(e.nodes) && e.nodes[prefer].alive && e.nodes[prefer].free > 0 {
-		e.nodes[prefer].free--
+	if prefer >= 0 && prefer < len(e.nodes) && e.nodes[prefer].alive && e.nodes[prefer].free.Load() > 0 {
+		e.nodes[prefer].free.Add(-1)
 		return prefer
 	}
 	for _, n := range e.nodes {
-		if n.alive && n.free > 0 {
-			n.free--
+		if n.alive && n.free.Load() > 0 {
+			n.free.Add(-1)
 			return n.id
 		}
 	}
@@ -372,8 +374,8 @@ func (e *Engine) placeSources() error {
 		for i := 0; i < e.cfg.SourceExecutors; i++ {
 			nd := e.nodes[i%len(e.nodes)]
 			if !e.cfg.SourcesFree {
-				if nd.free > 0 {
-					nd.free--
+				if nd.free.Load() > 0 {
+					nd.free.Add(-1)
 					nd.srcReserved++
 				} else if got := e.takeFreeCore(-1); got >= 0 {
 					e.nodes[got].srcReserved++
@@ -402,7 +404,7 @@ func (e *Engine) placeExecutors() error {
 	}
 	freeTotal := 0
 	for _, n := range e.nodes {
-		freeTotal += n.free
+		freeTotal += int(n.free.Load())
 	}
 	if freeTotal < len(nonSource) {
 		return fmt.Errorf("runtime: %d cores cannot host %d operators", freeTotal, len(nonSource))

@@ -108,6 +108,28 @@ func (s *Spec) BaseRate() float64 {
 	return frac * float64(elastic) / s.workloadSpec().CPUCost.Seconds()
 }
 
+// PeakClone returns a copy of the spec resized to a *statically*
+// peak-provisioned cluster serving the same absolute offered load: the base
+// rate is pinned (RatePerSec) from the original cluster before the node
+// count changes, and the spec's own cluster events are dropped — the
+// yardstick holds exactly nodes for the whole run, even for scenarios like
+// blackfriday that schedule their own joins. Workload phases (the demand)
+// are kept. The autoscaling study uses it as the fixed yardstick a
+// closed-loop controller competes with.
+func (s *Spec) PeakClone(nodes int) *Spec {
+	clone := *s
+	clone.Workload.RatePerSec = s.BaseRate()
+	// Pin the *effective* source parallelism too (the default is one per
+	// node): only capacity may differ between the yardstick and the
+	// original, not the topology serving the load.
+	if clone.SourceExecutors == 0 {
+		clone.SourceExecutors = s.Nodes
+	}
+	clone.Nodes = nodes
+	clone.Events = nil
+	return &clone
+}
+
 // RateMultiplier returns the phased offered-load multiplier over the base
 // rate. Inside a rate phase the phase's own curve applies; between phases
 // the most recent phase's exit value holds (a ramp sticks at its target, a
@@ -238,24 +260,33 @@ func Drive(h *run.Run, s *Spec, z ZipfCtl, keys int) {
 				Phase: ph.Kind, Detail: "topology supplies its own sampler"})
 		}
 	}
-	for i, ev := range s.Events {
+	resolved, err := s.resolveEvents()
+	if err != nil {
+		// Drive's contract requires a validated spec; reaching this is a
+		// programming error, not a runtime condition.
+		panic(fmt.Sprintf("scenario: Drive on an invalid spec: %v", err))
+	}
+	for _, ev := range resolved {
 		// Spec validation cannot see placement, so a valid event can still be
 		// infeasible at fire time (e.g. a drain with no foothold core left);
 		// the backend refuses it and the refusal lands in Report.ChurnErrors
 		// instead of crashing the run.
-		label := fmt.Sprintf("scenario %q event %d", s.Name, i)
-		var cmd engine.Command
-		switch ev.Kind {
-		case EventJoin:
-			cmd = engine.AddNodeCmd(ev.Cores)
-		case EventDrain:
-			cmd = engine.DrainNodeCmd(ev.Node)
-		case EventFail:
-			cmd = engine.FailNodeCmd(ev.Node)
-		default:
-			continue // Validate rejects unknown kinds before Drive runs
+		label := fmt.Sprintf("scenario %q event %d", s.Name, ev.index)
+		if ev.zone != "" {
+			label = fmt.Sprintf("scenario %q event %d (failzone %s, node %d)", s.Name, ev.index, ev.zone, ev.node)
 		}
-		cmd.At = secs(ev.AtSec)
+		var cmd engine.Command
+		switch ev.kind {
+		case EventJoin:
+			cmd = engine.AddNodeCmd(ev.cores)
+		case EventDrain:
+			cmd = engine.DrainNodeCmd(ev.node)
+		case EventFail:
+			cmd = engine.FailNodeCmd(ev.node)
+		default:
+			continue // resolveEvents only emits the three concrete kinds
+		}
+		cmd.At = secs(ev.atSec)
 		cmd.Label = label
 		if err := h.Inject(cmd); err != nil {
 			panic(fmt.Sprintf("scenario: pre-start inject refused: %v", err))

@@ -52,9 +52,10 @@ func knownPhase(kind string) bool {
 
 // Node event kinds.
 const (
-	EventJoin  = "join"  // a node with Cores cores (0 = cluster default) joins
-	EventDrain = "drain" // node Node leaves gracefully (state migrates off)
-	EventFail  = "fail"  // node Node fails hard (its state and queues are lost)
+	EventJoin     = "join"     // a node with Cores cores (0 = cluster default) joins
+	EventDrain    = "drain"    // node Node leaves gracefully (state migrates off)
+	EventFail     = "fail"     // node Node fails hard (its state and queues are lost)
+	EventFailZone = "failzone" // every live node labeled Zone fails at once
 )
 
 // Phase is one timed workload dynamic. Params are kind-specific knobs, all
@@ -82,12 +83,17 @@ func (p Phase) param(name string, def float64) float64 {
 	return def
 }
 
-// NodeEvent is one timed cluster capacity change.
+// NodeEvent is one timed cluster capacity change. Zone models correlated
+// failure domains (a rack, an availability zone): a join may carry a zone
+// label, and a failzone event fails every live node carrying that label in
+// one instant. Only joined nodes can be labeled — the initial nodes are
+// zoneless and immune to failzone.
 type NodeEvent struct {
 	Kind  string  `json:"kind"`
 	AtSec float64 `json:"at_sec"`
 	Node  int     `json:"node,omitempty"`  // drain/fail: the node to remove
 	Cores int     `json:"cores,omitempty"` // join: cores on the new node (0 = default)
+	Zone  string  `json:"zone,omitempty"`  // join: label the new node; failzone: the label to fail
 }
 
 // WorkloadSpec parameterizes the micro-benchmark workload a scenario runs.
@@ -188,8 +194,28 @@ func (s *Spec) Validate() error {
 
 // validateEvents replays the event timeline against the evolving node set.
 func (s *Spec) validateEvents() error {
-	// Events apply in (time, declaration) order — the same order the
-	// interpreter schedules them on the clock.
+	_, err := s.resolveEvents()
+	return err
+}
+
+// resolvedEvent is one concrete cluster action after the timeline replay:
+// node IDs assigned to joins (append-only, in (time, declaration) order) and
+// failzone events expanded into per-member hard failures.
+type resolvedEvent struct {
+	kind  string // join, drain, or fail
+	atSec float64
+	index int    // declaration index of the originating NodeEvent
+	node  int    // drain/fail target (-1 for joins)
+	cores int    // join size
+	zone  string // non-empty for failzone expansions (labels)
+}
+
+// resolveEvents validates the event timeline and returns it in applied form.
+// Because node IDs are append-only and events apply in (time, declaration)
+// order — the same order the interpreter schedules them on the clock — every
+// join's ID, and therefore every zone's membership at any instant, is known
+// statically.
+func (s *Spec) resolveEvents() ([]resolvedEvent, error) {
 	order := make([]int, len(s.Events))
 	for i := range order {
 		order[i] = i
@@ -201,44 +227,79 @@ func (s *Spec) validateEvents() error {
 	for n := 0; n < s.Nodes; n++ {
 		alive[n] = true
 	}
+	zoneOf := make(map[int]string)
 	total, liveCount := s.Nodes, s.Nodes
+	var out []resolvedEvent
 	for _, i := range order {
 		ev := s.Events[i]
 		if ev.AtSec < 0 || ev.AtSec > s.DurationSec {
-			return fmt.Errorf("scenario %q: event %d (%s) at %.1fs is outside the %.1fs horizon",
+			return nil, fmt.Errorf("scenario %q: event %d (%s) at %.1fs is outside the %.1fs horizon",
 				s.Name, i, ev.Kind, ev.AtSec, s.DurationSec)
 		}
 		switch ev.Kind {
 		case EventJoin:
 			if ev.Cores < 0 {
-				return fmt.Errorf("scenario %q: event %d: negative cores", s.Name, i)
+				return nil, fmt.Errorf("scenario %q: event %d: negative cores", s.Name, i)
 			}
 			if ev.Node != 0 {
 				// Joined nodes get the next append-only ID; a node field here
 				// means the author expected to choose it — fail loudly.
-				return fmt.Errorf("scenario %q: event %d: join events take cores, not node (IDs are assigned in order)", s.Name, i)
+				return nil, fmt.Errorf("scenario %q: event %d: join events take cores, not node (IDs are assigned in order)", s.Name, i)
+			}
+			if ev.Zone != "" {
+				zoneOf[total] = ev.Zone
 			}
 			alive[total] = true
+			out = append(out, resolvedEvent{kind: EventJoin, atSec: ev.AtSec, index: i, node: -1, cores: ev.Cores})
 			total++
 			liveCount++
 		case EventDrain, EventFail:
 			if ev.Cores != 0 {
-				return fmt.Errorf("scenario %q: event %d (%s) takes node, not cores", s.Name, i, ev.Kind)
+				return nil, fmt.Errorf("scenario %q: event %d (%s) takes node, not cores", s.Name, i, ev.Kind)
+			}
+			if ev.Zone != "" {
+				return nil, fmt.Errorf("scenario %q: event %d (%s) targets a node, not a zone (use failzone)", s.Name, i, ev.Kind)
 			}
 			if !alive[ev.Node] {
-				return fmt.Errorf("scenario %q: event %d (%s) targets node %d, which is not alive then",
+				return nil, fmt.Errorf("scenario %q: event %d (%s) targets node %d, which is not alive then",
 					s.Name, i, ev.Kind, ev.Node)
 			}
 			if liveCount == 1 {
-				return fmt.Errorf("scenario %q: event %d (%s) would remove the last node", s.Name, i, ev.Kind)
+				return nil, fmt.Errorf("scenario %q: event %d (%s) would remove the last node", s.Name, i, ev.Kind)
 			}
 			delete(alive, ev.Node)
+			out = append(out, resolvedEvent{kind: ev.Kind, atSec: ev.AtSec, index: i, node: ev.Node})
 			liveCount--
+		case EventFailZone:
+			if ev.Zone == "" {
+				return nil, fmt.Errorf("scenario %q: event %d: failzone needs a zone", s.Name, i)
+			}
+			if ev.Node != 0 || ev.Cores != 0 {
+				return nil, fmt.Errorf("scenario %q: event %d: failzone takes a zone, not node or cores", s.Name, i)
+			}
+			var members []int
+			for n, z := range zoneOf {
+				if z == ev.Zone && alive[n] {
+					members = append(members, n)
+				}
+			}
+			sort.Ints(members)
+			if len(members) == 0 {
+				return nil, fmt.Errorf("scenario %q: event %d: failzone %q matches no live node then", s.Name, i, ev.Zone)
+			}
+			if len(members) >= liveCount {
+				return nil, fmt.Errorf("scenario %q: event %d: failzone %q would remove every live node", s.Name, i, ev.Zone)
+			}
+			for _, n := range members {
+				delete(alive, n)
+				out = append(out, resolvedEvent{kind: EventFail, atSec: ev.AtSec, index: i, node: n, zone: ev.Zone})
+				liveCount--
+			}
 		default:
-			return fmt.Errorf("scenario %q: event %d has unknown kind %q", s.Name, i, ev.Kind)
+			return nil, fmt.Errorf("scenario %q: event %d has unknown kind %q", s.Name, i, ev.Kind)
 		}
 	}
-	return nil
+	return out, nil
 }
 
 // KeyPhaseKinds returns the kinds of the spec's key-space phases (skew

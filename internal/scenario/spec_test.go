@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -147,6 +148,36 @@ func TestValidationErrors(t *testing.T) {
 				{Kind: EventFail, AtSec: 7, Node: 1},
 			}
 		}, "last node"},
+		{"zone label on a drain", func(s *Spec) {
+			s.Events = []NodeEvent{{Kind: EventDrain, AtSec: 5, Node: 1, Zone: "a"}}
+		}, "use failzone"},
+		{"failzone without a zone", func(s *Spec) {
+			s.Events = []NodeEvent{{Kind: EventFailZone, AtSec: 5}}
+		}, "needs a zone"},
+		{"failzone with a node", func(s *Spec) {
+			s.Events = []NodeEvent{
+				{Kind: EventJoin, AtSec: 2, Zone: "a"},
+				{Kind: EventFailZone, AtSec: 5, Node: 1, Zone: "a"},
+			}
+		}, "not node or cores"},
+		{"failzone of an empty zone", func(s *Spec) {
+			s.Events = []NodeEvent{{Kind: EventFailZone, AtSec: 5, Zone: "ghost"}}
+		}, "matches no live node"},
+		{"failzone of an already-failed zone", func(s *Spec) {
+			s.Events = []NodeEvent{
+				{Kind: EventJoin, AtSec: 2, Zone: "a"},
+				{Kind: EventFailZone, AtSec: 5, Zone: "a"},
+				{Kind: EventFailZone, AtSec: 7, Zone: "a"},
+			}
+		}, "matches no live node"},
+		{"failzone wiping the cluster", func(s *Spec) {
+			s.Nodes = 1
+			s.Events = []NodeEvent{
+				{Kind: EventJoin, AtSec: 1, Zone: "a"},
+				{Kind: EventFail, AtSec: 3, Node: 0},
+				{Kind: EventFailZone, AtSec: 5, Zone: "a"},
+			}
+		}, "every live node"},
 	}
 	for _, tc := range cases {
 		s := base()
@@ -175,6 +206,41 @@ func TestValidationAllowsRecoveredCapacity(t *testing.T) {
 	}
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFailZoneExpandsToMembers(t *testing.T) {
+	// Node IDs are append-only in (time, declaration) order, so zone
+	// membership resolves statically: the two rack-a joins get IDs 4 and 6
+	// (an unzoned join takes 5 in between), and the failzone expands to
+	// exactly those, ascending, at one instant.
+	s := quick("zones", "failzone fixture")
+	s.Events = []NodeEvent{
+		{Kind: EventJoin, AtSec: 1, Zone: "a"},
+		{Kind: EventJoin, AtSec: 2},
+		{Kind: EventJoin, AtSec: 3, Zone: "a"},
+		{Kind: EventFailZone, AtSec: 8, Zone: "a"},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := s.resolveEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, ev := range resolved {
+		got = append(got, fmt.Sprintf("%s@%.0f node=%d zone=%q", ev.kind, ev.atSec, ev.node, ev.zone))
+	}
+	want := []string{
+		`join@1 node=-1 zone=""`,
+		`join@2 node=-1 zone=""`,
+		`join@3 node=-1 zone=""`,
+		`fail@8 node=4 zone="a"`,
+		`fail@8 node=6 zone="a"`,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resolved timeline = %v, want %v", got, want)
 	}
 }
 

@@ -2,10 +2,10 @@
 // test -bench` and records the results as a JSON baseline, seeding the perf
 // trajectory across PRs:
 //
-//	go run ./tools/bench                  # full run, writes BENCH_4.json
+//	go run ./tools/bench                  # full run, writes BENCH_5.json
 //	go run ./tools/bench -smoke           # CI: component benches once, no file
 //	go run ./tools/bench -bench Fig8 -benchtime 3x -out /tmp/fig8.json
-//	go run ./tools/bench -compare BENCH_3.json   # flag >20% regressions
+//	go run ./tools/bench -compare BENCH_4.json   # flag >20% regressions
 //
 // The default -benchtime of 100ms gives the component microbenches a stable
 // sample while each paper-artifact benchmark (a full quick-scale experiment
@@ -58,7 +58,7 @@ func main() {
 	var (
 		pattern   = flag.String("bench", ".", "benchmark name pattern (go test -bench)")
 		benchtime = flag.String("benchtime", "100ms", "per-benchmark time or iteration budget (go test -benchtime)")
-		out       = flag.String("out", "BENCH_4.json", "output JSON path ('' = stdout only)")
+		out       = flag.String("out", "BENCH_5.json", "output JSON path ('' = stdout only)")
 		smoke     = flag.Bool("smoke", false, "CI mode: run the component benches once each, write nothing, fail on any error")
 		compare   = flag.String("compare", "", "previous baseline JSON to diff the Component benches against")
 		threshold = flag.Float64("threshold", 0.20, "regression threshold for -compare (fraction of baseline ns/op)")

@@ -4,12 +4,12 @@
 //	go run ./tools/gengolden
 //
 // It rewrites internal/policy/testdata/scenarios.golden (reference-run report
-// fingerprints), internal/experiments/testdata/fig8_quick.golden and
-// scenarios_quick.golden (full experiment tables), and
-// internal/scenario/testdata/builtins.golden (one fingerprint per built-in
-// scenario, churn counters included). Regenerate ONLY when a behavior change
-// is intended; the policy, harness, scenario, and experiments tests compare
-// against these bytes.
+// fingerprints), internal/experiments/testdata/fig8_quick.golden,
+// scenarios_quick.golden, and autoscale_quick.golden (full experiment
+// tables), and internal/scenario/testdata/builtins.golden (one fingerprint
+// per built-in scenario, churn counters included). Regenerate ONLY when a
+// behavior change is intended; the policy, harness, scenario, and
+// experiments tests compare against these bytes.
 package main
 
 import (
@@ -49,6 +49,12 @@ func main() {
 		tab.Print(&buf)
 	}
 	write("internal/experiments/testdata/scenarios_quick.golden", buf.String())
+
+	buf.Reset()
+	for _, tab := range experiments.Autoscale(experiments.Quick) {
+		tab.Print(&buf)
+	}
+	write("internal/experiments/testdata/autoscale_quick.golden", buf.String())
 
 	write("internal/scenario/testdata/builtins.golden", scenario.GenerateGoldens())
 }
