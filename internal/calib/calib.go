@@ -26,12 +26,19 @@ type Table struct {
 	SchemaName string `json:"schema"`
 	Host       string `json:"host,omitempty"` // GOOS/GOARCH/cores, informational
 
-	// PerTupleOverheadNS is the runtime's fixed cost of moving one tuple
-	// event through an executor: channel hop, shard resolution, stripe lock,
-	// accounting. The simulator folds it into nothing today (its event
-	// dispatch is free); it is recorded for the perf trajectory and future
-	// cost models.
+	// PerTupleOverheadNS is the runtime's amortized cost of moving one tuple
+	// through an executor on the batched hot path: its share of the channel
+	// hop and per-batch accounting plus its own shard resolution and stripe
+	// access. The simulator folds it into nothing today (its event dispatch
+	// is free); it is recorded for the perf trajectory and future cost
+	// models.
 	PerTupleOverheadNS int64 `json:"per_tuple_overhead_ns"`
+
+	// PerEventOverheadNS is the cost of one queue event (a whole batch
+	// crossing an executor channel) end to end. Before batching (≤ PR5) one
+	// event carried one source emission, so older tables record this value
+	// in PerTupleOverheadNS instead.
+	PerEventOverheadNS int64 `json:"per_event_overhead_ns,omitempty"`
 
 	// ControlDelayNS is the local control-plane cost of one routing mutation
 	// (pause/update bookkeeping) — the simulator's Config.ControlDelay.
@@ -60,6 +67,7 @@ func (t *Table) Validate() error {
 	}
 	for name, v := range map[string]int64{
 		"per_tuple_overhead_ns": t.PerTupleOverheadNS,
+		"per_event_overhead_ns": t.PerEventOverheadNS,
 		"control_delay_ns":      t.ControlDelayNS,
 		"serialize_overhead_ns": t.SerializeOverheadNS,
 		"scheduling_wall_ns":    t.SchedulingWallNS,

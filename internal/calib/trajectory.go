@@ -1,0 +1,82 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// TrajectorySchema identifies the per-PR calibration trajectory file format
+// (CALIB_N.json): the per-tuple-overhead trend across PRs, measured — not
+// assumed — after each hot-path change, the companion of the BENCH_N.json
+// perf baselines.
+const TrajectorySchema = "elasticutor-calib-trajectory/v1"
+
+// TrajectoryEntry is one measurement point on the trajectory.
+type TrajectoryEntry struct {
+	Label              string  `json:"label"` // e.g. "PR6"
+	PerTupleOverheadNS int64   `json:"per_tuple_overhead_ns"`
+	PerEventOverheadNS int64   `json:"per_event_overhead_ns,omitempty"`
+	TuplesPerSec       float64 `json:"tuples_per_sec,omitempty"`
+}
+
+// Trajectory is the CALIB_N.json contents.
+type Trajectory struct {
+	SchemaName string            `json:"schema"`
+	Host       string            `json:"host,omitempty"`
+	Entries    []TrajectoryEntry `json:"entries"`
+}
+
+// NewTrajectory returns an empty trajectory with the schema stamped.
+func NewTrajectory() *Trajectory { return &Trajectory{SchemaName: TrajectorySchema} }
+
+// Append records a table's hot-path numbers as one trajectory point,
+// replacing an existing entry with the same label (re-measuring a PR
+// overwrites, it does not duplicate).
+func (tr *Trajectory) Append(label string, t *Table) {
+	e := TrajectoryEntry{
+		Label:              label,
+		PerTupleOverheadNS: t.PerTupleOverheadNS,
+		PerEventOverheadNS: t.PerEventOverheadNS,
+	}
+	if t.PerTupleOverheadNS > 0 {
+		e.TuplesPerSec = float64(time.Second) / float64(t.PerTupleOverheadNS)
+	}
+	for i := range tr.Entries {
+		if tr.Entries[i].Label == label {
+			tr.Entries[i] = e
+			return
+		}
+	}
+	tr.Entries = append(tr.Entries, e)
+}
+
+// LoadTrajectory reads a trajectory file; a missing file yields an empty
+// trajectory (the first measurement creates it).
+func LoadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewTrajectory(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("calib: %s: %w", path, err)
+	}
+	if tr.SchemaName != TrajectorySchema {
+		return nil, fmt.Errorf("calib: %s: schema %q, want %q", path, tr.SchemaName, TrajectorySchema)
+	}
+	return &tr, nil
+}
+
+// Save writes the trajectory as indented JSON.
+func (tr *Trajectory) Save(path string) error {
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -68,11 +68,12 @@ func Calibrate(opt CalibrateOptions) (*calib.Table, error) {
 	t := calib.New()
 	t.Host = fmt.Sprintf("%s/%s %d-core", goruntime.GOOS, goruntime.GOARCH, goruntime.NumCPU())
 
-	perTuple, err := measurePerTuple(opt)
+	perTuple, perEvent, err := measurePerTuple(opt)
 	if err != nil {
 		return nil, err
 	}
 	t.PerTupleOverheadNS = perTuple.Nanoseconds()
+	t.PerEventOverheadNS = perEvent.Nanoseconds()
 	ser, bw := measureMigration(opt)
 	t.SerializeOverheadNS = ser.Nanoseconds()
 	t.MigrationBandwidthBps = bw
@@ -82,14 +83,15 @@ func Calibrate(opt CalibrateOptions) (*calib.Table, error) {
 }
 
 // measurePerTuple saturates one single-core executor with zero-cost tuples
-// on the real clock and derives the fixed per-event overhead from the
-// processed throughput: channel hop, shard resolution, stripe lock, ledger
-// accounting — everything the runtime pays that the simulator's free event
-// dispatch does not.
-func measurePerTuple(opt CalibrateOptions) (time.Duration, error) {
+// on the real clock and derives two overheads from the processed throughput:
+// the amortized per-tuple cost (window over processed weight — what one real
+// tuple pays on the batched path: its share of the channel hop and batch
+// accounting plus its own shard resolution) and the per-event cost (window
+// over channel batches — what one queue operation costs end to end).
+func measurePerTuple(opt CalibrateOptions) (time.Duration, time.Duration, error) {
 	pol, err := policy.ByName("elasticutor")
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	setup := core.MicroSetup(core.MicroOptions{
 		Policy:          pol,
@@ -108,22 +110,22 @@ func measurePerTuple(opt CalibrateOptions) (time.Duration, error) {
 	setup.Config.FixedCores = 1
 	rt, err := New(setup.Config, Options{Clock: RealClock(), DrainTimeout: time.Second})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	r, err := rt.Run(simtime.Duration(opt.TupleWindow))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	led := rt.Ledger()
 	if led.Processed == 0 {
-		return 0, fmt.Errorf("runtime: calibration run processed nothing")
+		return 0, 0, fmt.Errorf("runtime: calibration run processed nothing")
 	}
-	// Events (batches) rather than weight: the overhead is per event.
+	perTuple := time.Duration(int64(opt.TupleWindow) / led.Processed)
 	events := int64(r.Events)
 	if events == 0 {
 		events = led.Processed
 	}
-	return time.Duration(int64(opt.TupleWindow) / events), nil
+	return perTuple, time.Duration(int64(opt.TupleWindow) / events), nil
 }
 
 // measureMigration moves populated shards between two executors' state maps
@@ -189,14 +191,15 @@ func measureMigration(opt CalibrateOptions) (time.Duration, float64) {
 }
 
 // measureControl times one routing mutation: build and publish a fresh
-// routing snapshot, the runtime's pause/update bookkeeping unit.
+// routing snapshot — including the flat shard→executor table rebuild the
+// batched hot path reads — the runtime's pause/update bookkeeping unit.
 func measureControl(opt CalibrateOptions) time.Duration {
 	e := calibExecPair(opt)
 	o := e.opOrder[0]
 	routing := make([]int, 1024)
 	o.snapMu.Lock()
 	cur := o.snap.Load()
-	o.snap.Store(&opSnap{execs: cur.execs, routing: routing})
+	o.snap.Store(newOpSnap(cur.execs, routing))
 	o.snapMu.Unlock()
 	start := time.Now()
 	for i := 0; i < opt.Rounds; i++ {
@@ -204,7 +207,7 @@ func measureControl(opt CalibrateOptions) time.Duration {
 		cur := o.snap.Load()
 		next := append([]int(nil), cur.routing...)
 		next[i%len(next)] = i % 2
-		o.snap.Store(&opSnap{execs: cur.execs, routing: next})
+		o.snap.Store(newOpSnap(cur.execs, next))
 		o.snapMu.Unlock()
 	}
 	return time.Since(start) / time.Duration(opt.Rounds)

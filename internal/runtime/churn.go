@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/state"
-	"repro/internal/stream"
 )
 
 // Cluster churn on the real-time backend. The handlers run on the control
@@ -240,7 +239,7 @@ func (e *Engine) retireExecs(o *op, retire []*exec, graceful bool) {
 		e.recordChurnError(fmt.Sprintf("runtime: operator %q has no surviving executors", o.meta.Name))
 		return
 	}
-	o.snap.Store(&opSnap{execs: survivors, routing: routing})
+	o.snap.Store(newOpSnap(survivors, routing))
 	o.snapMu.Unlock()
 
 	for _, x := range retire {
@@ -287,11 +286,16 @@ func (e *Engine) retireExecs(o *op, retire []*exec, graceful bool) {
 func (e *Engine) dropQueue(o *op, x *exec) {
 	for {
 		select {
-		case tt := <-x.in:
-			w := int64(tt.Weight)
-			o.inflight.Add(-w)
+		case ts := <-x.in:
+			var w int64
+			for i := range ts {
+				w += int64(ts[i].Weight)
+			}
+			o.inflight.Add(0, -w)
 			o.dropFail.Add(w)
 			x.dropped.Add(w)
+			x.queuedW.Add(-w)
+			putTupleBuf(ts)
 		default:
 		}
 		if len(x.in) == 0 {
@@ -311,16 +315,21 @@ func (e *Engine) reapQueue(o *op, x *exec, graceful bool) {
 	defer e.guard("retire drain " + x.name)
 	for {
 		select {
-		case tt := <-x.in:
-			w := int64(tt.Weight)
-			o.inflight.Add(-w)
+		case ts := <-x.in:
+			var w int64
+			for i := range ts {
+				w += int64(ts[i].Weight)
+			}
+			o.inflight.Add(0, -w)
+			x.queuedW.Add(-w)
 			if graceful {
-				o.admitted.Add(-w) // deliver re-admits it
-				e.deliver(o, []stream.Tuple{tt}, true)
+				o.admitted.Add(0, -w) // deliver re-admits the batch
+				e.deliver(o, ts, true, 0)
 			} else {
 				o.dropFail.Add(w)
 				x.dropped.Add(w)
 			}
+			putTupleBuf(ts)
 		case <-e.stopWorkers:
 			return
 		}

@@ -1,0 +1,42 @@
+package runtime
+
+import "sync/atomic"
+
+// numLanes is the stripe width of the hot-path counters. Every dataflow
+// goroutine (worker, source, protocol replayer) is assigned a lane at spawn;
+// its counter updates land on that lane's cache line, and readers fold all
+// lanes. Must be a power of two (lane selection masks).
+const numLanes = 8
+
+// laneCell is one striped counter cell, padded so neighbouring lanes never
+// share a cache line (64-byte lines; the atomic is 8 bytes).
+type laneCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// stripedInt64 is a write-mostly counter for the tuple hot path: Add touches
+// only the caller's lane, Load folds every lane. Folding is O(numLanes) and
+// not a snapshot-consistent read — exact only when writers are quiesced
+// (drain waits, shutdown, report assembly) and monotonically convergent
+// otherwise, which is all the runtime's readers need.
+type stripedInt64 struct {
+	cells [numLanes]laneCell
+}
+
+func (s *stripedInt64) Add(lane int, d int64) {
+	s.cells[lane&(numLanes-1)].v.Add(d)
+}
+
+func (s *stripedInt64) Load() int64 {
+	var total int64
+	for i := range s.cells {
+		total += s.cells[i].v.Load()
+	}
+	return total
+}
+
+// nextLane assigns a counter lane to a newly spawned dataflow goroutine.
+func (e *Engine) nextLane() int {
+	return int(e.laneSeq.Add(1)) & (numLanes - 1)
+}

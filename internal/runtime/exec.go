@@ -37,14 +37,19 @@ type worker struct {
 	quit chan struct{}
 }
 
-// exec is one executor: a goroutine pool behind a buffered input channel.
+// exec is one executor: a goroutine pool behind a buffered input channel of
+// tuple batches (one channel operation admits a whole batch).
 type exec struct {
 	e    *Engine
 	o    *op
 	name string
 	idx  int // index within the operator at placement (naming only)
 
-	in chan stream.Tuple
+	in chan []stream.Tuple
+
+	// queuedW is the tuple weight currently queued (or committed to the
+	// queue) — the credit the source's backpressure check spends against.
+	queuedW atomic.Int64
 
 	// Grant bookkeeping. Mutated only on the control goroutine (placement
 	// happens before it starts); gmu makes reads from other goroutines
@@ -87,7 +92,7 @@ func (e *Engine) newExec(o *op, idx, local int) *exec {
 		idx:    idx,
 		local:  local,
 		byNode: make(map[int]int),
-		in:     make(chan stream.Tuple, e.queueDepth()),
+		in:     make(chan []stream.Tuple, e.queueDepth()),
 	}
 	for i := range x.stripes {
 		x.stripes[i] = &stripe{shards: make(map[state.ShardID]*shardData)}
@@ -194,6 +199,7 @@ func (x *exec) localNode() int {
 func (x *exec) runWorker(w *worker) {
 	defer x.e.wg.Done()
 	defer x.e.guard("executor " + x.name)
+	lane := x.e.nextLane()
 	for {
 		// A revoked or stopped worker leaves before taking more work, even
 		// if the queue is hot.
@@ -209,85 +215,113 @@ func (x *exec) runWorker(w *worker) {
 			return
 		case <-x.e.stopWorkers:
 			return
-		case t := <-x.in:
-			x.process(t)
+		case ts := <-x.in:
+			x.process(ts, lane)
 		}
 	}
 }
 
-// process services one tuple batch: pay the modeled CPU cost in (virtual)
-// wall time, run the user handler against the striped state, account, and
-// emit downstream.
-func (x *exec) process(t stream.Tuple) {
+// process services one batch of tuple events: pay the modeled CPU cost in
+// (virtual) wall time once for the whole batch, run the user handler per
+// tuple against the striped state (the stripe lock is held across runs of
+// same-stripe tuples), account per batch on the worker's counter lane, and
+// emit the pooled fan-out downstream. Takes ownership of ts.
+func (x *exec) process(ts []stream.Tuple, lane int) {
 	x.active.Add(1)
 	defer x.active.Add(-1)
 
-	w := int64(t.Weight)
-	cost := x.costOf(t) * simtime.Duration(t.Weight)
+	var w int64
+	var cost simtime.Duration
+	for i := range ts {
+		w += int64(ts[i].Weight)
+		cost += x.costOf(ts[i]) * simtime.Duration(ts[i].Weight)
+	}
+	x.queuedW.Add(-w)
 	if cost > 0 {
 		x.e.clock.Sleep(cost)
 	}
 	x.winBusyNS.Add(int64(cost))
 
-	sh := x.shardOf(t.Key)
-	var outs []stream.Tuple
-	st := x.stripeFor(sh)
-	if x.o.meta.Handler != nil {
-		st.mu.Lock()
-		outs = x.o.meta.Handler(t, st.accessor(x, sh, t.Key))
-		st.mu.Unlock()
-	} else {
-		// Cost-model-only operators still materialize the shard's nominal
-		// state on first touch — the migration and failure cost models (and
-		// the simulator's state.Store) charge for every served shard.
-		st.mu.Lock()
-		st.shard(x, sh)
-		st.mu.Unlock()
+	sel := 0
+	if x.o.meta.Handler == nil {
+		sel = int(x.o.meta.Selectivity)
 	}
-	if n := int(x.o.meta.Selectivity); x.o.meta.Handler == nil && n >= 1 {
-		for i := 0; i < n; i++ {
-			outs = append(outs, stream.Tuple{Key: t.Key, Weight: t.Weight, Bytes: x.o.meta.OutBytes, Born: t.Born})
-		}
+	var outs []stream.Tuple
+	if x.o.meta.Handler != nil || sel >= 1 {
+		outs = getTupleBuf(len(ts) * max(sel, 1))
 	}
 	var outBytes int64
-	for i := range outs {
-		if outs[i].Bytes == 0 {
-			outs[i].Bytes = x.o.meta.OutBytes
+	var cur *stripe
+	for i := range ts {
+		t := ts[i]
+		sh := x.shardOf(t.Key)
+		st := x.stripeFor(sh)
+		if st != cur {
+			if cur != nil {
+				cur.mu.Unlock()
+			}
+			st.mu.Lock()
+			cur = st
 		}
-		if outs[i].Weight == 0 {
-			outs[i].Weight = t.Weight
+		from := len(outs)
+		if x.o.meta.Handler != nil {
+			outs = append(outs, x.o.meta.Handler(t, st.accessor(x, sh, t.Key))...)
+		} else {
+			// Cost-model-only operators still materialize the shard's nominal
+			// state on first touch — the migration and failure cost models
+			// (and the simulator's state.Store) charge for every served shard.
+			st.shard(x, sh)
+			for k := 0; k < sel; k++ {
+				outs = append(outs, stream.Tuple{Key: t.Key, Weight: t.Weight, Bytes: x.o.meta.OutBytes, Born: t.Born})
+			}
 		}
-		if outs[i].Born == 0 {
-			outs[i].Born = t.Born
+		for j := from; j < len(outs); j++ {
+			if outs[j].Bytes == 0 {
+				outs[j].Bytes = x.o.meta.OutBytes
+			}
+			if outs[j].Weight == 0 {
+				outs[j].Weight = t.Weight
+			}
+			if outs[j].Born == 0 {
+				outs[j].Born = t.Born
+			}
+			outBytes += int64(outs[j].TotalBytes())
 		}
-		outBytes += int64(outs[i].TotalBytes())
+	}
+	if cur != nil {
+		cur.mu.Unlock()
 	}
 	x.winOutBytes.Add(outBytes)
 
 	now := x.e.vnow()
 	x.winProcessed.Add(w)
 	x.batches.Add(1)
-	x.o.inflight.Add(-w)
-	x.o.processed.Add(w)
+	x.o.inflight.Add(lane, -w)
+	x.o.processed.Add(lane, w)
 
 	warm := simtime.Duration(now) >= x.e.cfg.WarmUp
-	if x.o.measured && warm {
-		x.e.coll.mu.Lock()
-		x.e.coll.procTotal += w
-		x.e.coll.procWin += w
-		x.e.coll.mu.Unlock()
-	}
-	if x.o.sink && warm {
-		d := now.Sub(t.Born)
-		x.e.coll.mu.Lock()
-		x.e.coll.lat.Observe(d, t.Weight)
-		x.e.coll.winLat.Observe(d, t.Weight)
-		x.e.coll.mu.Unlock()
+	if warm && (x.o.measured || x.o.sink) {
+		cell := &x.e.coll.cells[lane&(numLanes-1)]
+		cell.mu.Lock()
+		if x.o.measured {
+			cell.procTotal += w
+			cell.procWin += w
+		}
+		if x.o.sink {
+			for i := range ts {
+				d := now.Sub(ts[i].Born)
+				cell.lat.Observe(d, ts[i].Weight)
+				cell.winLat.Observe(d, ts[i].Weight)
+			}
+		}
+		cell.mu.Unlock()
 	}
 
 	for _, d := range x.o.meta.Downstream() {
-		x.e.deliver(x.e.ops[d], outs, true)
+		x.e.deliver(x.e.ops[d], outs, true, lane)
 	}
+	putTupleBuf(outs)
+	putTupleBuf(ts)
 }
 
 // streamUnit is the probe tuple for cost-model estimates (fallback μ).
@@ -397,42 +431,109 @@ func clampIdx(idx, n int) int {
 	return ((idx % n) + n) % n
 }
 
-// deliver routes tuples into an operator. Inter-operator edges block on a
-// full queue (natural backpressure along a DAG); replayed and redirected
-// tuples use the same path. Returns the weight actually admitted.
-func (e *Engine) deliver(o *op, ts []stream.Tuple, countAdmit bool) {
-	for _, t := range ts {
-		w := int64(t.Weight)
-		if countAdmit {
-			o.admitted.Add(w)
+// routeIdx resolves a tuple's destination executor against a snapshot. For
+// the built-in policies the decision is precomputed: dynamic-routing
+// operators carry a flat shard→executor table rebuilt at every snapshot swap
+// and everything else uses the static operator-level hash — no policy
+// dispatch, no allocation. Third-party policies (unknown paradigm) keep the
+// general Route call with the mid-flight clamp.
+func (e *Engine) routeIdx(o *op, s *opSnap, k stream.Key) int {
+	if e.fastRoute {
+		if s.table != nil {
+			return int(s.table[k.OperatorShard(len(s.table))])
 		}
-		if o.paused.Load() {
-			o.buffer(t)
-			continue
+		return k.ExecutorIndex(len(s.execs))
+	}
+	return clampIdx(e.pol.Route(o, k), len(s.execs))
+}
+
+// sendBatch hands a pool-backed batch to one executor's queue: ownership of
+// ts transfers to the consumer (a worker, a retiree reaper, or the shutdown
+// sweep), which releases it. Per-batch counters land on the caller's lane.
+// Blocks on a full queue (natural backpressure); a shutdown while blocked
+// accounts the whole batch as residue.
+func (e *Engine) sendBatch(o *op, x *exec, ts []stream.Tuple, lane int) {
+	if len(ts) == 0 {
+		putTupleBuf(ts)
+		return
+	}
+	var w, bytes int64
+	for i := range ts {
+		w += int64(ts[i].Weight)
+		bytes += int64(ts[i].TotalBytes())
+	}
+	o.inflight.Add(lane, w)
+	x.arrived.Add(w)
+	x.winArrived.Add(w)
+	x.winInBytes.Add(bytes)
+	x.queuedW.Add(w)
+	select {
+	case x.in <- ts:
+	case <-e.stopWorkers:
+		o.inflight.Add(lane, -w)
+		o.dropShut.Add(w)
+		x.dropped.Add(w)
+		x.queuedW.Add(-w)
+		putTupleBuf(ts)
+	}
+}
+
+// deliver routes a batch of tuples into an operator, grouping by destination
+// executor so each destination pays one channel operation. Inter-operator
+// edges block on a full queue (natural backpressure along a DAG); replayed
+// and redirected tuples use the same path. The caller keeps ownership of ts
+// (groups are copied into pooled buffers).
+func (e *Engine) deliver(o *op, ts []stream.Tuple, countAdmit bool, lane int) {
+	if len(ts) == 0 {
+		return
+	}
+	if countAdmit {
+		var w int64
+		for i := range ts {
+			w += int64(ts[i].Weight)
 		}
-		if o.dynRouting {
-			o.recordShardLoad(t.Key, t.Weight)
+		o.admitted.Add(lane, w)
+	}
+	if o.paused.Load() {
+		o.bufferAll(ts)
+		return
+	}
+	if o.dynRouting {
+		o.recordShardLoadBatch(ts)
+	}
+	s := o.snap.Load()
+	if len(s.execs) == 1 {
+		buf := getTupleBuf(len(ts))
+		buf = append(buf, ts...)
+		e.sendBatch(o, s.execs[0], buf, lane)
+		return
+	}
+	idx := getIdxBuf(len(ts))
+	for i := range ts {
+		idx = append(idx, int32(e.routeIdx(o, s, ts[i].Key)))
+	}
+	// Gather per destination, preserving arrival order within each group so
+	// a single-worker destination still sees per-key FIFO.
+	for xi := range s.execs {
+		var buf []stream.Tuple
+		for i := range ts {
+			if int(idx[i]) != xi {
+				continue
+			}
+			if buf == nil {
+				buf = getTupleBuf(len(ts))
+			}
+			buf = append(buf, ts[i])
 		}
-		s := o.snap.Load()
-		idx := clampIdx(e.pol.Route(o, t.Key), len(s.execs))
-		x := s.execs[idx]
-		o.inflight.Add(w)
-		x.arrived.Add(w)
-		x.winArrived.Add(w)
-		x.winInBytes.Add(int64(t.TotalBytes()))
-		select {
-		case x.in <- t:
-		case <-e.stopWorkers:
-			// Shutdown while blocked: account as shutdown residue.
-			o.inflight.Add(-w)
-			o.dropShut.Add(w)
-			x.dropped.Add(w)
+		if buf != nil {
+			e.sendBatch(o, s.execs[xi], buf, lane)
 		}
 	}
+	putIdxBuf(idx)
 }
 
 // replay re-injects tuples buffered during a pause; they were already
 // admitted once.
-func (e *Engine) replay(o *op, ts []stream.Tuple) {
-	e.deliver(o, ts, false)
+func (e *Engine) replay(o *op, ts []stream.Tuple, lane int) {
+	e.deliver(o, ts, false, lane)
 }

@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/simtime"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// Tests for the batched hot path: buffer pooling, striped counters, and the
+// §3.3 repartition protocol's interaction with in-flight batches.
+
+// TestStripedCounterFold checks that concurrent adds across all lanes fold to
+// the exact total once the writers quiesce, including out-of-range lane
+// indices (they must mask, not panic or misattribute).
+func TestStripedCounterFold(t *testing.T) {
+	var c stripedInt64
+	const (
+		writers = 16
+		perLane = 10000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < perLane; i++ {
+				c.Add(lane, 3)
+			}
+		}(g) // lanes 0..15: half exercise the mask path (numLanes is 8)
+	}
+	wg.Wait()
+	if got, want := c.Load(), int64(writers*perLane*3); got != want {
+		t.Fatalf("fold = %d, want %d", got, want)
+	}
+	c.Add(-1, 5) // negative lane must mask too
+	if got, want := c.Load(), int64(writers*perLane*3+5); got != want {
+		t.Fatalf("fold after negative lane = %d, want %d", got, want)
+	}
+}
+
+// TestRepartitionUnderBatching drives the pause→buffer→replay half of the
+// §3.3 protocol directly against a built (never Run) runtime: a batch
+// delivered under pause must land in the pause buffer whole — admitted,
+// nothing in flight — and the replay after unpause must re-route it against
+// the live table preserving per-executor arrival order, with every tuple
+// accounted for.
+func TestRepartitionUnderBatching(t *testing.T) {
+	rt, _, err := BuildScenario(quickSpec(), "rc", 42, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rt.opOrder[0]
+	snap := o.snap.Load()
+	if snap.table == nil {
+		t.Fatal("rc operator has no flat routing table")
+	}
+
+	const n = 100
+	batch := getTupleBuf(n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, stream.Tuple{
+			Key: stream.Key(i * 7), Seq: uint64(i), Weight: 1, Bytes: 8,
+		})
+	}
+
+	// Phase 1: paused operator. The whole batch must buffer, not queue.
+	o.paused.Store(true)
+	rt.deliver(o, batch, true, 0)
+	if got := o.admitted.Load(); got != n {
+		t.Fatalf("admitted = %d, want %d (admission precedes the pause check)", got, n)
+	}
+	if got := o.inflight.Load(); got != 0 {
+		t.Fatalf("inflight = %d under pause, want 0", got)
+	}
+	o.bufMu.Lock()
+	buffered := len(o.pauseBuf)
+	o.bufMu.Unlock()
+	if buffered != n {
+		t.Fatalf("pause buffer holds %d tuples, want %d", buffered, n)
+	}
+
+	// Phase 2: unpause and replay, the runRepartition tail.
+	o.paused.Store(false)
+	o.bufMu.Lock()
+	buf := o.pauseBuf
+	o.pauseBuf = nil
+	o.bufMu.Unlock()
+	rt.replay(o, buf, 0)
+	putTupleBuf(batch)
+
+	// Replay must not double-admit.
+	if got := o.admitted.Load(); got != n {
+		t.Fatalf("admitted after replay = %d, want %d", got, n)
+	}
+	if got := o.inflight.Load(); got != n {
+		t.Fatalf("inflight after replay = %d, want %d", got, n)
+	}
+
+	// Drain the executor queues as a worker would and check conservation and
+	// order: each executor sees its tuples in the original emission order,
+	// and each tuple landed where the live table routes it.
+	var drained int64
+	for xi, x := range snap.execs {
+		var lastSeq uint64
+		first := true
+		for {
+			select {
+			case ts := <-x.in:
+				for i := range ts {
+					tt := ts[i]
+					drained += int64(tt.Weight)
+					if want := rt.routeIdx(o, snap, tt.Key); want != xi {
+						t.Fatalf("seq %d on executor %d, table routes to %d", tt.Seq, xi, want)
+					}
+					if !first && tt.Seq <= lastSeq {
+						t.Fatalf("executor %d saw seq %d after %d: order lost", xi, tt.Seq, lastSeq)
+					}
+					lastSeq, first = tt.Seq, false
+				}
+				o.inflight.Add(0, -int64(len(ts)))
+				x.queuedW.Add(-int64(len(ts)))
+				putTupleBuf(ts)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if drained != n {
+		t.Fatalf("drained %d tuples, want %d", drained, n)
+	}
+	if got := o.inflight.Load(); got != 0 {
+		t.Fatalf("inflight after drain = %d, want 0", got)
+	}
+}
+
+// TestConformanceBatchedSaturated runs a short saturated batched workload on
+// the real clock (the hot-path bench topology) and checks the ledger contract
+// holds under maximum admission pressure. Named into the conformance family
+// so CI's -race smoke covers the batched path end to end.
+func TestConformanceBatchedSaturated(t *testing.T) {
+	pol, err := policy.ByName("elasticutor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := core.MicroSetup(core.MicroOptions{
+		Policy:          pol,
+		Nodes:           1,
+		SourceExecutors: 1,
+		Y:               1,
+		Spec: workload.Spec{
+			Keys: 1024, Skew: 0.5, TupleBytes: 64,
+			CPUCost: 0, ShardStateKB: 1,
+		},
+		Rate:  1e6,
+		Batch: 1,
+		Seed:  1,
+	})
+	setup.Config.FixedCores = 1
+	rt, err := New(setup.Config, Options{Clock: RealClock(), DrainTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(simtime.Duration(150 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	led := rt.Ledger()
+	if !led.Conserved() {
+		t.Fatalf("ledger not conserved under saturation: %+v", led)
+	}
+	if led.Processed == 0 {
+		t.Fatal("saturated run processed nothing")
+	}
+	if led.Blocked == 0 {
+		t.Fatal("saturated run blocked nothing: backpressure never engaged")
+	}
+}

@@ -1,0 +1,85 @@
+package runtime
+
+import "repro/internal/stream"
+
+// Tuple-buffer pooling for the batched hot path. Every batch that crosses an
+// executor channel is backed by a buffer from this pool: the sender obtains
+// it with getTupleBuf and ownership travels with the batch — whoever consumes
+// the contents (a worker, a retiree reaper, the shutdown residue sweep)
+// releases it with putTupleBuf. Buffers come in capacity classes so short
+// control batches do not pin source-sized backing arrays.
+//
+// The free lists are buffered channels rather than sync.Pool: a channel of a
+// concrete slice type recycles without boxing the slice header, which keeps
+// the admission path at zero steady-state allocations.
+
+var tupleClasses = [...]int{64, 256, 1024}
+
+var tuplePools = [len(tupleClasses)]chan []stream.Tuple{
+	make(chan []stream.Tuple, 256),
+	make(chan []stream.Tuple, 128),
+	make(chan []stream.Tuple, 64),
+}
+
+// getTupleBuf returns an empty buffer with capacity at least n (a fresh
+// allocation when n exceeds the largest class or the class's list is empty).
+func getTupleBuf(n int) []stream.Tuple {
+	for i, c := range tupleClasses {
+		if n <= c {
+			select {
+			case b := <-tuplePools[i]:
+				return b
+			default:
+				return make([]stream.Tuple, 0, c)
+			}
+		}
+	}
+	return make([]stream.Tuple, 0, n)
+}
+
+// putTupleBuf clears and recycles a buffer obtained from getTupleBuf.
+// Clearing drops Payload references before the buffer idles on a free list;
+// buffers grown past their class (or never pool-sized) fall to the GC.
+func putTupleBuf(b []stream.Tuple) {
+	if b == nil {
+		return
+	}
+	clear(b)
+	b = b[:0]
+	for i := range tupleClasses {
+		if cap(b) == tupleClasses[i] {
+			select {
+			case tuplePools[i] <- b:
+			default:
+			}
+			return
+		}
+	}
+}
+
+// idxPool recycles the routing-index scratch deliver uses to group a batch by
+// destination executor (single class: grouping never outlives one call).
+var idxPool = make(chan []int32, 128)
+
+const idxClass = 1024
+
+func getIdxBuf(n int) []int32 {
+	if n <= idxClass {
+		select {
+		case b := <-idxPool:
+			return b
+		default:
+			return make([]int32, 0, idxClass)
+		}
+	}
+	return make([]int32, 0, n)
+}
+
+func putIdxBuf(b []int32) {
+	if cap(b) == idxClass {
+		select {
+		case idxPool <- b[:0]:
+		default:
+		}
+	}
+}

@@ -105,7 +105,7 @@ func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
 				routing[m.Shard] = m.To
 			}
 		}
-		o.snap.Store(&opSnap{execs: cur.execs, routing: routing})
+		o.snap.Store(newOpSnap(cur.execs, routing))
 		committed = true
 	}
 	o.snapMu.Unlock()
@@ -116,7 +116,7 @@ func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
 	buf := o.pauseBuf
 	o.pauseBuf = nil
 	o.bufMu.Unlock()
-	e.replay(o, buf)
+	e.replay(o, buf, 0)
 
 	total := e.vnow().Sub(started)
 	if committed {

@@ -110,10 +110,28 @@ type node struct {
 // opSnap is the immutable routing snapshot of one operator: the live executor
 // set plus (for dynamic-routing placements) the operator-shard routing table.
 // Writers build a fresh snapshot and swap the pointer; the tuple hot path
-// only loads.
+// only loads. table is the flat shard→executor lookup derived from routing,
+// clamped to the executor set at build time so the hot path indexes it with
+// no bounds fixing — a snapshot swap is what invalidates it, never an
+// in-place edit.
 type opSnap struct {
 	execs   []*exec
 	routing []int
+	table   []int32
+}
+
+// newOpSnap builds a snapshot, precomputing the flat routing table. Every
+// snapshot writer (placement, repartition commit, retirement) must construct
+// through here so table and routing never diverge.
+func newOpSnap(execs []*exec, routing []int) *opSnap {
+	s := &opSnap{execs: execs, routing: routing}
+	if routing != nil && len(execs) > 0 {
+		s.table = make([]int32, len(routing))
+		for i, owner := range routing {
+			s.table[i] = int32(clampIdx(owner, len(execs)))
+		}
+	}
+	return s
 }
 
 // op is the per-operator runtime, and the policy.Operator handle.
@@ -133,7 +151,7 @@ type op struct {
 
 	paused   atomic.Bool
 	repart   atomic.Bool
-	inflight atomic.Int64 // weight admitted but not yet processed/dropped
+	inflight stripedInt64 // weight admitted but not yet processed/dropped
 
 	bufMu    sync.Mutex
 	pauseBuf []stream.Tuple
@@ -141,9 +159,11 @@ type op struct {
 	loadMu    sync.Mutex
 	shardLoad []float64 // per operator shard, nil unless dynRouting
 
-	// ledger counters (weight units)
-	admitted  atomic.Int64
-	processed atomic.Int64
+	// ledger counters (weight units). The hot-path pair is lane-striped so
+	// concurrent workers and sources never share a counter cache line; the
+	// drop counters stay plain atomics (cold paths).
+	admitted  stripedInt64
+	processed stripedInt64
 	dropFail  atomic.Int64
 	dropShut  atomic.Int64
 
@@ -191,9 +211,25 @@ func (o *op) recordShardLoad(k stream.Key, w int) {
 	o.loadMu.Unlock()
 }
 
-func (o *op) buffer(t stream.Tuple) {
+// recordShardLoadBatch folds a whole batch's offered load under one lock.
+func (o *op) recordShardLoadBatch(ts []stream.Tuple) {
+	if !o.dynRouting {
+		return
+	}
+	o.loadMu.Lock()
+	n := len(o.shardLoad)
+	for i := range ts {
+		o.shardLoad[ts[i].Key.OperatorShard(n)] += float64(ts[i].Weight)
+	}
+	o.loadMu.Unlock()
+}
+
+// bufferAll parks a batch in the pause buffer under one lock (the §3.3 pause
+// phase: a partial batch arriving at a paused operator is flushed into the
+// buffer whole, in order, and replays after the routing commit).
+func (o *op) bufferAll(ts []stream.Tuple) {
 	o.bufMu.Lock()
-	o.pauseBuf = append(o.pauseBuf, t)
+	o.pauseBuf = append(o.pauseBuf, ts...)
 	o.bufMu.Unlock()
 }
 
@@ -214,6 +250,11 @@ type Engine struct {
 	allExecs []*exec // every executor ever created (shutdown sweep)
 
 	ctrl chan func()
+
+	// Hot-path routing and admission constants, fixed at New.
+	fastRoute bool  // built-in policy: routing is precomputed (see routeIdx)
+	creditW   int64 // per-executor queue credit in tuple weight
+	laneSeq   atomic.Int64
 
 	stopSrc     chan struct{} // phase 1: sources stop emitting
 	done        chan struct{} // phase 2: control plane and protocols stop
@@ -272,15 +313,28 @@ type Engine struct {
 	hooks []func()
 }
 
-// collector aggregates latency and series measurements from many workers.
+// collector aggregates latency and throughput measurements from many
+// workers. Writers land on per-lane cells (each with its own mutex and
+// histograms, so hot-path observes never contend on one shared line); the
+// control goroutine folds the window cells into the series each second, and
+// buildReport merges the totals.
 type collector struct {
+	cells [numLanes]collCell
+
+	// Control-goroutine state (sampleSeries folds, buildReport assembles).
+	thr        metrics.Series
+	latSeries  metrics.Series
+	winScratch *metrics.Histogram
+}
+
+// collCell is one lane's share of the collector.
+type collCell struct {
 	mu        sync.Mutex
 	lat       *metrics.Histogram
 	winLat    *metrics.Histogram
-	thr       metrics.Series
-	latSeries metrics.Series
 	procTotal int64 // post-warmup processed weight at the measured operator
 	procWin   int64
+	_         [24]byte // keep neighbouring cells off one cache line
 }
 
 // New builds a runtime engine for the same configuration the simulator takes.
@@ -315,8 +369,13 @@ func New(cfg engine.Config, opt Options) (*Engine, error) {
 		fatalCh:     make(chan struct{}),
 		cancelCh:    make(chan struct{}),
 	}
-	e.coll.lat = metrics.NewHistogram()
-	e.coll.winLat = metrics.NewHistogram()
+	for i := range e.coll.cells {
+		e.coll.cells[i].lat = metrics.NewHistogram()
+		e.coll.cells[i].winLat = metrics.NewHistogram()
+	}
+	e.coll.winScratch = metrics.NewHistogram()
+	e.fastRoute = par != engine.Paradigm(-1)
+	e.creditW = int64(e.queueDepth()) * int64(cfg.Batch)
 	e.rateFactor.Store(math.Float64bits(1))
 	// A pre-Begin epoch so Snapshot's vnow is ~0 before the run starts
 	// (Begin re-anchors it).
@@ -446,15 +505,15 @@ func (e *Engine) placeExecutors() error {
 			}
 			execs = append(execs, x)
 		}
-		snap := &opSnap{execs: execs}
+		var routing []int
 		if pl.DynamicRouting {
-			snap.routing = make([]int, e.cfg.OpShards)
-			for s := range snap.routing {
-				snap.routing[s] = s % len(execs)
+			routing = make([]int, e.cfg.OpShards)
+			for s := range routing {
+				routing[s] = s % len(execs)
 			}
 			o.shardLoad = make([]float64, e.cfg.OpShards)
 		}
-		o.snap.Store(snap)
+		o.snap.Store(newOpSnap(execs, routing))
 		e.ops[mop.ID] = o
 		e.opOrder = append(e.opOrder, o)
 		e.elastic = append(e.elastic, execs...)
@@ -633,19 +692,26 @@ func (e *Engine) EveryVirtual(interval simtime.Duration, fn func()) {
 	})
 }
 
-// sampleSeries appends the one-second throughput and latency points
-// (control goroutine).
+// sampleSeries folds the per-lane window cells and appends the one-second
+// throughput and latency points (control goroutine — the only series writer).
 func (e *Engine) sampleSeries() {
 	now := e.vnow()
 	if simtime.Duration(now) <= e.cfg.WarmUp {
 		return
 	}
-	e.coll.mu.Lock()
-	e.coll.thr.Append(now, float64(e.coll.procWin))
-	e.coll.latSeries.Append(now, e.coll.winLat.Mean().Seconds())
-	e.coll.procWin = 0
-	e.coll.winLat.Reset()
-	e.coll.mu.Unlock()
+	var procWin int64
+	e.coll.winScratch.Reset()
+	for i := range e.coll.cells {
+		c := &e.coll.cells[i]
+		c.mu.Lock()
+		procWin += c.procWin
+		c.procWin = 0
+		e.coll.winScratch.Merge(c.winLat)
+		c.winLat.Reset()
+		c.mu.Unlock()
+	}
+	e.coll.thr.Append(now, float64(procWin))
+	e.coll.latSeries.Append(now, e.coll.winScratch.Mean().Seconds())
 }
 
 // shutdown runs the three-phase stop: quiesce sources, drain the dataflow,
@@ -685,10 +751,16 @@ func (e *Engine) sweepResidue() {
 	for _, x := range e.allExecs {
 		for {
 			select {
-			case t := <-x.in:
-				x.o.inflight.Add(-int64(t.Weight))
-				x.o.dropShut.Add(int64(t.Weight))
-				x.dropped.Add(int64(t.Weight))
+			case ts := <-x.in:
+				var w int64
+				for i := range ts {
+					w += int64(ts[i].Weight)
+				}
+				x.o.inflight.Add(0, -w)
+				x.o.dropShut.Add(w)
+				x.dropped.Add(w)
+				x.queuedW.Add(-w)
+				putTupleBuf(ts)
 			default:
 			}
 			if len(x.in) == 0 {
@@ -732,12 +804,21 @@ func (e *Engine) buildReport(d simtime.Duration) *engine.Report {
 	if r.MeasuredSpan <= 0 {
 		r.MeasuredSpan = d
 	}
-	e.coll.mu.Lock()
-	r.Latency = e.coll.lat
+	// Fold the per-lane collector cells (workers are quiesced by now, the
+	// locks are belt-and-braces against a straggling reaper).
+	lat := metrics.NewHistogram()
+	var procTotal int64
+	for i := range e.coll.cells {
+		c := &e.coll.cells[i]
+		c.mu.Lock()
+		lat.Merge(c.lat)
+		procTotal += c.procTotal
+		c.mu.Unlock()
+	}
+	r.Latency = lat
 	r.ThroughputSeries = e.coll.thr
 	r.LatencySeries = e.coll.latSeries
-	r.Processed = e.coll.procTotal
-	e.coll.mu.Unlock()
+	r.Processed = procTotal
 	r.Generated = e.generated.Load()
 	r.Blocked = e.blocked.Load()
 	// Dropped comes from the operator ledger, not the per-exec counters:

@@ -1,25 +1,71 @@
 package runtime
 
 import (
+	goruntime "runtime"
+
 	"repro/internal/engine"
 	"repro/internal/simtime"
 	"repro/internal/stream"
 )
 
+// srcFlushTuples caps the size of one source-emitted batch: a group reaching
+// this many tuples is flushed mid-tick, so queue credit is consumed (and
+// backpressure observed) at a finer grain than a whole tick's emission.
+const srcFlushTuples = 128
+
+// srcDst is the source's per-destination routing scratch, reused tick to
+// tick: one pending (not yet flushed) tuple group per destination executor,
+// plus the blocked-weight accumulator folded into the executor counters once
+// per tick.
+type srcDst struct {
+	o       *op
+	snap    *opSnap // destination snapshot, re-read each tick
+	paused  bool    // pause flag, re-read each tick
+	route   int     // executor index of the tuple being admitted
+	groups  [][]stream.Tuple // per executor index; pool-backed
+	pendW   []int64          // weight pending in groups (credit accounting)
+	blocked []int64          // blocked weight per executor this tick
+	buf     []stream.Tuple   // tuples bound for a paused destination (src-owned)
+}
+
+// refresh re-reads the destination's snapshot and pause flag for one tick's
+// emissions and sizes the per-executor scratch to the live executor set.
+func (d *srcDst) refresh() {
+	d.snap = d.o.snap.Load()
+	d.paused = d.o.paused.Load()
+	n := len(d.snap.execs)
+	if cap(d.groups) < n {
+		d.groups = make([][]stream.Tuple, n)
+		d.pendW = make([]int64, n)
+		d.blocked = make([]int64, n)
+	} else {
+		d.groups = d.groups[:n]
+		d.pendW = d.pendW[:n]
+		d.blocked = d.blocked[:n]
+	}
+}
+
 // src drives one source operator as a token-bucket emitter: a ticker refills
-// tokens at the (possibly scenario-phased) offered rate, and each accumulated
-// batch is emitted subject to credit-based backpressure at every first-hop
-// destination — the same admission rule the simulator applies.
+// tokens at the (possibly scenario-phased) offered rate, and each tick's
+// accumulated emissions are routed as executor-grouped batches subject to
+// credit-based backpressure at every first-hop destination — the same
+// admission rule the simulator applies.
 type src struct {
-	e   *Engine
-	op  *stream.Operator
-	drv *engine.SourceDriver
+	e    *Engine
+	op   *stream.Operator
+	drv  *engine.SourceDriver
+	lane int
+	dsts []*srcDst
 }
 
 func (s *src) run() {
 	e := s.e
 	defer e.wg.Done()
 	defer e.guard("source " + s.op.Name)
+	s.lane = e.nextLane()
+	for _, d := range s.op.Downstream() {
+		s.dsts = append(s.dsts, &srcDst{o: e.ops[d]})
+	}
 	tick := e.clock.Ticker(e.opt.SourceTick)
 	defer tick.Stop()
 	batch := float64(e.cfg.Batch)
@@ -48,51 +94,145 @@ func (s *src) run() {
 			if burst := max(batch*64, 2*rate*dt); tokens > burst {
 				tokens = burst
 			}
-			for tokens >= batch {
-				tokens -= batch
-				s.emitOne()
+			if n := int(tokens / batch); n > 0 {
+				tokens -= float64(n) * batch
+				s.emitBatch(n)
 			}
 		}
 	}
 }
 
-// emitOne samples and routes one batch, checking capacity at every first-hop
-// destination before committing (a blocked destination stalls the source,
-// credit-based backpressure). A paused destination buffers instead.
-func (s *src) emitOne() {
+// emitBatch samples and routes n batch-weight emissions, grouping tuples by
+// destination executor and flushing each group as one channel send. Admission
+// is all-or-none per tuple across every unpaused first-hop destination
+// (credit-based backpressure, the simulator's rule); pending group weight
+// counts against the queue credit so an unflushed group cannot oversubscribe
+// a destination. Paused destinations buffer through deliver, as before.
+// Blocked and generated weights accumulate locally and fold into the shared
+// counters once per tick.
+func (s *src) emitBatch(n int) {
 	e := s.e
 	now := e.vnow()
-	key, bytes, payload := s.drv.Sample(now)
-	t := stream.Tuple{
-		Key:     key,
-		Weight:  e.cfg.Batch,
-		Bytes:   bytes,
-		Born:    now,
-		Payload: payload,
+	warm := simtime.Duration(now) >= e.cfg.WarmUp
+	var generated, blockedTotal int64
+	for _, d := range s.dsts {
+		d.refresh()
 	}
-	for _, d := range s.op.Downstream() {
-		o := e.ops[d]
-		if o.paused.Load() {
-			continue // repartition pause: the tuple buffers below
+	for i := 0; i < n; i++ {
+		key, bytes, payload := s.drv.Sample(now)
+		t := stream.Tuple{
+			Key:     key,
+			Weight:  e.cfg.Batch,
+			Bytes:   bytes,
+			Born:    now,
+			Payload: payload,
 		}
-		snap := o.snap.Load()
-		idx := clampIdx(e.pol.Route(o, t.Key), len(snap.execs))
-		x := snap.execs[idx]
-		if len(x.in) >= cap(x.in) {
-			e.blocked.Add(int64(t.Weight))
-			x.blockedW.Add(int64(t.Weight))
-			if o.dynRouting {
-				// The controller must see the offered per-shard load, or a
-				// saturated executor looks deceptively balanced.
-				o.recordShardLoad(t.Key, t.Weight)
+		w := int64(t.Weight)
+		full := false
+		for _, d := range s.dsts {
+			if d.paused {
+				continue // repartition pause: the tuple buffers below
 			}
-			return
+			xi := e.routeIdx(d.o, d.snap, t.Key)
+			d.route = xi
+			if d.snap.execs[xi].queuedW.Load()+d.pendW[xi] >= e.creditW {
+				d.blocked[xi] += w
+				blockedTotal += w
+				if d.o.dynRouting {
+					// The controller must see the offered per-shard load, or
+					// a saturated executor looks deceptively balanced.
+					d.o.recordShardLoad(t.Key, t.Weight)
+				}
+				full = true
+				break
+			}
+		}
+		if full {
+			// Refused for lack of credit. Expose every pending group to the
+			// consumers and hand over the core: a full queue means the worker
+			// has runnable work, and at GOMAXPROCS=1 it would otherwise only
+			// run on async preemption while this loop wades through the
+			// remaining (blocked) token budget. The yield turns the blocked
+			// tail into fill→drain ping-pong at queue-credit grain.
+			s.flushPending()
+			goruntime.Gosched()
+			continue
+		}
+		if warm {
+			generated += w
+		}
+		for _, d := range s.dsts {
+			if d.paused {
+				d.buf = append(d.buf, t)
+				continue
+			}
+			xi := d.route
+			if d.groups[xi] == nil {
+				d.groups[xi] = getTupleBuf(srcFlushTuples)
+			}
+			d.groups[xi] = append(d.groups[xi], t)
+			d.pendW[xi] += w
+			if len(d.groups[xi]) >= srcFlushTuples {
+				s.flush(d, xi)
+			}
 		}
 	}
-	if simtime.Duration(now) >= e.cfg.WarmUp {
-		e.generated.Add(int64(t.Weight))
+	s.flushPending()
+	for _, d := range s.dsts {
+		if len(d.buf) > 0 {
+			e.deliver(d.o, d.buf, true, s.lane)
+			clear(d.buf)
+			d.buf = d.buf[:0]
+		}
+		for xi, bw := range d.blocked {
+			if bw > 0 {
+				d.snap.execs[xi].blockedW.Add(bw)
+				d.blocked[xi] = 0
+			}
+		}
 	}
-	for _, d := range s.op.Downstream() {
-		e.deliver(e.ops[d], []stream.Tuple{t}, true)
+	if generated > 0 {
+		e.generated.Add(generated)
 	}
+	if blockedTotal > 0 {
+		e.blocked.Add(blockedTotal)
+	}
+}
+
+// flushPending sends every non-empty pending group across all destinations.
+func (s *src) flushPending() {
+	for _, d := range s.dsts {
+		for xi := range d.groups {
+			if d.groups[xi] != nil {
+				s.flush(d, xi)
+			}
+		}
+	}
+}
+
+// flush sends one pending group. The group was routed against the snapshot
+// read at tick start; if the destination has since paused or swapped its
+// snapshot (repartition commit, executor retirement), the group re-enters
+// through deliver — which buffers under a pause and re-routes against the
+// live table — so a mid-tick §3.3 protocol never sees stale-routed sends.
+func (s *src) flush(d *srcDst, xi int) {
+	g := d.groups[xi]
+	d.groups[xi] = nil
+	d.pendW[xi] = 0
+	if len(g) == 0 {
+		putTupleBuf(g)
+		return
+	}
+	e := s.e
+	if d.o.paused.Load() || d.o.snap.Load() != d.snap {
+		e.deliver(d.o, g, true, s.lane)
+		putTupleBuf(g)
+		return
+	}
+	var w int64
+	for i := range g {
+		w += int64(g[i].Weight)
+	}
+	d.o.admitted.Add(s.lane, w)
+	e.sendBatch(d.o, d.snap.execs[xi], g, s.lane)
 }

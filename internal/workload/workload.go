@@ -18,9 +18,42 @@ import (
 // permutation that Shuffle re-randomizes to emulate workload dynamics.
 type Zipf struct {
 	cdf       []float64 // cumulative probability by rank
+	guide     []int32   // CDF inversion guide: bucket → first candidate rank
 	rankToKey []stream.Key
 	rng       *simtime.Rand
 	shuffles  int
+}
+
+// guidePerRank sets the guide-table resolution (buckets per rank). Finer
+// buckets shrink the per-sample scan window at the cost of table memory
+// (4 bytes per bucket).
+const guidePerRank = 4
+
+// buildGuide precomputes, for each of g uniform buckets of [0,1), the first
+// rank whose CDF reaches the bucket's left edge. Sample then only scans the
+// few ranks spanning its draw's bucket instead of binary-searching the whole
+// CDF. The guide is a pure accelerator: it never changes which rank a given
+// uniform draw maps to, so sampling sequences (and the simulator's pinned
+// goldens) are byte-identical with or without it.
+func (z *Zipf) buildGuide() {
+	g := len(z.cdf) * guidePerRank
+	if cap(z.guide) >= g+1 {
+		z.guide = z.guide[:g+1]
+	} else {
+		z.guide = make([]int32, g+1)
+	}
+	r := 0
+	for i := 0; i <= g; i++ {
+		edge := float64(i) / float64(g)
+		for r < len(z.cdf) && z.cdf[r] < edge {
+			r++
+		}
+		if r == len(z.cdf) {
+			z.guide[i] = int32(len(z.cdf) - 1)
+			continue
+		}
+		z.guide[i] = int32(r)
+	}
 }
 
 // NewZipf builds a sampler over n keys with skew s, seeded deterministically.
@@ -38,18 +71,42 @@ func NewZipf(n int, s float64, rng *simtime.Rand) *Zipf {
 		z.cdf[r] /= sum
 		z.rankToKey[r] = stream.Key(r)
 	}
+	z.buildGuide()
 	return z
 }
 
 // N returns the key-space size.
 func (z *Zipf) N() int { return len(z.cdf) }
 
-// Sample draws one key.
+// Sample draws one key. The guide table narrows the CDF inversion to a few
+// candidate ranks; the result is identical to a full binary search for every
+// draw (see buildGuide), just without paying O(log n) cache-missing probes on
+// the source hot path.
 func (z *Zipf) Sample() stream.Key {
 	u := z.rng.Float64()
-	r := sort.SearchFloat64s(z.cdf, u)
-	if r >= len(z.cdf) {
-		r = len(z.cdf) - 1
+	g := len(z.guide) - 1
+	b := int(u * float64(g))
+	// Clamp the bucket and widen one bucket each side: float rounding in
+	// u*g can place the draw just outside its nominal bucket.
+	lo, hi := b-1, b+2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > g {
+		hi = g
+	}
+	r := int(z.guide[lo])
+	last := int(z.guide[hi])
+	for r < last && z.cdf[r] < u {
+		r++
+	}
+	if z.cdf[r] < u {
+		// Outside the widened window — impossible by construction, but a
+		// full search keeps the result exact no matter what floats do.
+		r = sort.SearchFloat64s(z.cdf, u)
+		if r >= len(z.cdf) {
+			r = len(z.cdf) - 1
+		}
 	}
 	return z.rankToKey[r]
 }
@@ -97,6 +154,7 @@ func (z *Zipf) SetSkew(s float64) {
 	for r := range z.cdf {
 		z.cdf[r] /= sum
 	}
+	z.buildGuide()
 }
 
 // Rotate shifts the rank→key mapping by n positions: every frequency rank

@@ -1,23 +1,25 @@
-// Command bench executes the repo's benchmarks (bench_test.go) through `go
-// test -bench` and records the results as a JSON baseline, seeding the perf
-// trajectory across PRs:
+// Command bench executes the repo's benchmarks through `go test -bench` and
+// records the results as a JSON baseline, seeding the perf trajectory across
+// PRs:
 //
-//	go run ./tools/bench                  # full run, writes BENCH_5.json
+//	go run ./tools/bench                  # full run, writes BENCH_6.json
 //	go run ./tools/bench -smoke           # CI: component benches once, no file
 //	go run ./tools/bench -bench Fig8 -benchtime 3x -out /tmp/fig8.json
-//	go run ./tools/bench -compare BENCH_4.json   # flag >20% regressions
+//	go run ./tools/bench -compare BENCH_5.json   # flag >20% regressions
 //
 // The default -benchtime of 100ms gives the component microbenches a stable
 // sample while each paper-artifact benchmark (a full quick-scale experiment
 // per iteration) runs exactly once. The output maps benchmark name →
-// {ns_per_op, bytes_per_op, allocs_per_op}; wall-clock numbers are
-// machine-dependent — compare trajectories on one box, not across boxes.
+// {ns_per_op, bytes_per_op, allocs_per_op, extra custom metrics}; wall-clock
+// numbers are machine-dependent — compare trajectories on one box, not
+// across boxes.
 //
-// -compare loads a previous baseline and diffs the Component* benches (the
-// stable microbenches; full-experiment rows run once and are too noisy):
-// any ns/op more than -threshold (default 20%) above the baseline is flagged
-// as a REGRESSION and the exit code is 2, the ROADMAP's perf-trajectory
-// tripwire.
+// -compare loads a previous baseline and diffs the benches matching
+// -comparefilter (default: the stable microbenches — Component*, the hot-path
+// admission and routing benches; full-experiment rows run once and are too
+// noisy): any ns/op more than -threshold (default 20%) above the baseline is
+// flagged as a REGRESSION and the exit code is 2, the ROADMAP's
+// perf-trajectory tripwire.
 package main
 
 import (
@@ -33,12 +35,14 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's recorded measurement.
+// Result is one benchmark's recorded measurement. Extra carries custom
+// b.ReportMetric units (e.g. "tuples/s") verbatim.
 type Result struct {
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Baseline is the file format of BENCH_*.json.
@@ -50,25 +54,29 @@ type Baseline struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-// benchLine matches `go test -bench` output rows, e.g.
-// BenchmarkComponentZipfSample-8  21534210  55.7 ns/op  0 B/op  0 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
-
 func main() {
 	var (
 		pattern   = flag.String("bench", ".", "benchmark name pattern (go test -bench)")
 		benchtime = flag.String("benchtime", "100ms", "per-benchmark time or iteration budget (go test -benchtime)")
-		out       = flag.String("out", "BENCH_5.json", "output JSON path ('' = stdout only)")
+		pkgs      = flag.String("pkg", "./...", "package pattern(s) to bench, space-separated")
+		out       = flag.String("out", "BENCH_6.json", "output JSON path ('' = stdout only)")
 		smoke     = flag.Bool("smoke", false, "CI mode: run the component benches once each, write nothing, fail on any error")
-		compare   = flag.String("compare", "", "previous baseline JSON to diff the Component benches against")
+		compare   = flag.String("compare", "", "previous baseline JSON to diff against")
+		filter    = flag.String("comparefilter", "Component|HotPathAdmission|RouteBatch", "regexp choosing which benches -compare diffs")
 		threshold = flag.Float64("threshold", 0.20, "regression threshold for -compare (fraction of baseline ns/op)")
 	)
 	flag.Parse()
 	if *smoke {
 		*pattern, *benchtime, *out = "Component", "1x", ""
 	}
+	filterRe, err := regexp.Compile(*filter)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -comparefilter: %v\n", err)
+		os.Exit(1)
+	}
 
-	args := []string{"test", "-run", "^$", "-bench", *pattern, "-benchtime", *benchtime, "-benchmem", "."}
+	args := []string{"test", "-run", "^$", "-bench", *pattern, "-benchtime", *benchtime, "-benchmem"}
+	args = append(args, strings.Fields(*pkgs)...)
 	fmt.Fprintf(os.Stderr, "go %s\n", strings.Join(args, " "))
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -95,7 +103,7 @@ func main() {
 	regressions := 0
 	if *compare != "" {
 		var err error
-		if regressions, err = compareBaseline(*compare, results, *threshold); err != nil {
+		if regressions, err = compareBaseline(*compare, results, filterRe, *threshold); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -136,11 +144,11 @@ func exitOnRegressions(n int) {
 	}
 }
 
-// compareBaseline diffs the Component benches of the current run against a
-// previous baseline file and returns how many regressed beyond threshold.
-// Non-component rows (full experiments that run once per -benchtime) are
-// skipped: their single-sample ns/op is dominated by noise.
-func compareBaseline(path string, current map[string]Result, threshold float64) (int, error) {
+// compareBaseline diffs the filter-matching benches of the current run
+// against a previous baseline file and returns how many regressed beyond
+// threshold. Rows outside the filter (full experiments that run once per
+// -benchtime) are skipped: their single-sample ns/op is dominated by noise.
+func compareBaseline(path string, current map[string]Result, filter *regexp.Regexp, threshold float64) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("bench: compare: %w", err)
@@ -154,13 +162,13 @@ func compareBaseline(path string, current map[string]Result, threshold float64) 
 	}
 	names := make([]string, 0, len(current))
 	for name := range current {
-		if strings.Contains(name, "Component") {
+		if filter.MatchString(name) {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
-		fmt.Fprintf(os.Stderr, "bench: compare: no Component benches in this run\n")
+		fmt.Fprintf(os.Stderr, "bench: compare: no benches match %q in this run\n", filter)
 		return 0, nil
 	}
 	fmt.Printf("\n== compare vs %s (threshold %+.0f%%) ==\n", path, threshold*100)
@@ -183,24 +191,49 @@ func compareBaseline(path string, current map[string]Result, threshold float64) 
 	return regressions, nil
 }
 
-// parse extracts benchmark rows from `go test -bench` output.
+// parse extracts benchmark rows from `go test -bench` output. Rows are
+// tokenized generically — name, iteration count, then (value, unit) pairs —
+// so custom b.ReportMetric units (e.g. "tuples/s") are captured instead of
+// breaking a fixed-shape regexp.
 func parse(output string) map[string]Result {
 	results := make(map[string]Result)
 	for _, line := range strings.Split(output, "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
+		f := strings.Fields(strings.TrimSpace(line))
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 			continue
 		}
-		iters, _ := strconv.Atoi(m[2])
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		r := Result{Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		iters, err := strconv.Atoi(f[1])
+		if err != nil {
+			continue
 		}
-		if m[5] != "" {
-			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		name := f[0]
+		// Strip the -GOMAXPROCS suffix go test appends to the name.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
 		}
-		results[m[1]] = r
+		r := Result{Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[unit] = v
+			}
+		}
+		results[name] = r
 	}
 	return results
 }

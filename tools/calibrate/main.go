@@ -6,6 +6,9 @@
 //	go run ./tools/calibrate                         # writes calibration.json
 //	go run ./tools/calibrate -out /tmp/cal.json
 //	elasticutor-sim -calibration calibration.json    # sim with measured costs
+//	go run ./tools/calibrate -trajectory CALIB_6.json -label PR6
+//	                                      # append this machine's per-tuple
+//	                                      # overhead to the perf trajectory
 //
 // Every number comes from the runtime backend's actual primitives (the
 // executor hot path, the shard move, a real Algorithm-1 invocation), so the
@@ -19,17 +22,20 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/calib"
 	rtbackend "repro/internal/runtime"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", "calibration.json", "output path ('' = stdout only)")
-		window  = flag.Duration("window", 300*time.Millisecond, "per-tuple measurement window (wall time)")
-		shardKB = flag.Int("shard-kb", 32, "migrated shard size in KB")
-		nodes   = flag.Int("nodes", 4, "nodes for the scheduling-invocation measurement")
-		execs   = flag.Int("executors", 28, "executors for the scheduling-invocation measurement")
-		rounds  = flag.Int("rounds", 64, "measurement repetitions")
+		out        = flag.String("out", "calibration.json", "output path ('' = stdout only)")
+		window     = flag.Duration("window", 300*time.Millisecond, "per-tuple measurement window (wall time)")
+		shardKB    = flag.Int("shard-kb", 32, "migrated shard size in KB")
+		nodes      = flag.Int("nodes", 4, "nodes for the scheduling-invocation measurement")
+		execs      = flag.Int("executors", 28, "executors for the scheduling-invocation measurement")
+		rounds     = flag.Int("rounds", 64, "measurement repetitions")
+		trajectory = flag.String("trajectory", "", "trajectory file (CALIB_N.json) to append the hot-path overheads to")
+		label      = flag.String("label", "PR6", "trajectory entry label (same label re-measures in place)")
 	)
 	flag.Parse()
 
@@ -46,6 +52,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%s\n", table)
+	if *trajectory != "" {
+		tr, err := calib.LoadTrajectory(*trajectory)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr.Host = table.Host
+		tr.Append(*label, table)
+		if err := tr.Save(*trajectory); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "calibrate: appended %q to %s (%d entries)\n", *label, *trajectory, len(tr.Entries))
+	}
 	if *out == "" {
 		return
 	}
