@@ -10,7 +10,9 @@
 //	elasticutor-sim -scenario list           # list built-ins
 //	elasticutor-sim -scenario custom.json    # declarative spec from disk
 //	elasticutor-sim -backend runtime -scenario flashcrowd -speedup 20
-//	elasticutor-sim -scenario nodedrain -live       # stream run events
+//	elasticutor-sim -scenario nodedrain -live       # stream trace records to stderr
+//	elasticutor-sim -scenario skewdrift -trace run.trace   # record a replayable trace
+//	elasticutor-sim -replay run.trace               # re-drive it, diff the structure
 //	elasticutor-sim -scenario flashcrowd -autoscaler reactive   # resize the cluster live
 //	elasticutor-sim -autoscaler list                # list cluster controllers
 //	elasticutor-sim -calibration calibration.json   # measured cost table
@@ -29,15 +31,28 @@
 // -calibration loads a cost table measured by tools/calibrate into the
 // simulator. Simulator reports go to stdout and are byte-identical across
 // repeated runs and worker counts; progress and timing go to stderr.
+//
+// Observability (internal/obs): -trace records the run as a versioned NDJSON
+// trace (file path, or '-' for stderr) — every typed event, the applied
+// commands with provenance, periodic snapshots at the -live-interval cadence,
+// and the per-phase repartition spans. -live is shorthand for -trace - with
+// per-record flushing: the structured stream replaces the old ad-hoc live
+// prints (for a human-readable view use cmd/elasticutor-top). -replay loads a
+// recorded trace, rebuilds the identically-configured run from its embedded
+// spec, re-drives the recorded user commands, and diffs the structural event
+// sequence — exit 1 on divergence (deterministic on the simulator; a
+// structural conformance check on the runtime backend). -metrics serves the
+// live run's /metrics endpoint (with -pprof for profiling handlers). All of
+// these observe at safe points only: stdout reports stay byte-identical.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"repro/internal/autoscale"
@@ -45,6 +60,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	runpkg "repro/internal/run"
 	rtbackend "repro/internal/runtime"
@@ -53,31 +69,43 @@ import (
 	"repro/internal/workload"
 )
 
-// streamLive renders a run handle's event stream (and periodic snapshots) to
-// stderr until the run completes. Stdout stays clean for the report, so -live
-// output composes with redirection exactly like the timing lines.
-func streamLive(h *runpkg.Run) {
-	tick := time.NewTicker(2 * time.Second)
-	defer tick.Stop()
-	for {
-		select {
-		case ev, ok := <-h.Events():
-			if !ok {
-				return
-			}
-			if ev.Kind == engine.EventPolicyInvoked {
-				continue // one per scheduling period; too chatty for a console
-			}
-			fmt.Fprintf(os.Stderr, "live: %v\n", ev)
-		case <-tick.C:
-			s := h.Snapshot()
-			parts := make([]string, 0, len(s.Operators))
-			for _, o := range s.Operators {
-				parts = append(parts, fmt.Sprintf("%s %d exec/%d cores %.0f/s→%.0f/s q=%d",
-					o.Name, o.Executors, o.Cores, o.OfferedRate, o.ProcessedRate, o.Queued))
-			}
-			fmt.Fprintf(os.Stderr, "live: %v nodes=%d util=%.0f%% (%d/%d cores) | %s\n",
-				s.Now, s.LiveNodes, 100*s.Utilization, s.UsedCores, s.TotalCores, strings.Join(parts, " | "))
+// replayTrace is the -replay mode: rebuild the recorded run, re-drive the
+// user commands, and diff the structural event sequence. Exit 1 on
+// divergence. The -backend / -speedup flags override the recorded values only
+// when set explicitly.
+func replayTrace(path string, explicit map[string]bool, backend string, speedup float64) {
+	tr, err := obs.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opt := obs.ReplayOptions{}
+	if explicit["backend"] {
+		opt.Backend = backend
+	}
+	if explicit["speedup"] {
+		opt.Speedup = speedup
+	}
+	fmt.Fprintf(os.Stderr, "replaying %s: scenario=%q policy=%s seed=%d backend=%s (%d events, %d commands recorded)…\n",
+		path, tr.Header.Scenario, tr.Header.Policy, tr.Header.Seed, tr.Header.Backend, len(tr.Events), len(tr.Commands))
+	start := time.Now()
+	rep, rr, err := tr.Replay(context.Background(), opt)
+	wall := time.Since(start).Round(time.Millisecond)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay DIVERGED after %v: %v\n", wall, err)
+		os.Exit(1)
+	}
+	if err := obs.CheckSpans(obs.TimelineSpans(rep.Timeline), rep); err != nil {
+		fmt.Fprintf(os.Stderr, "replay span invariants FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replay OK: %d structural events match, %d user command(s) re-injected, %d repartition span(s) conserved [%s backend, %v wall]\n",
+		len(obs.StructuralSeq(rep.Timeline)), rr.Reinjected, rep.Repartitions, rr.Backend, wall)
+	if rr.Runtime != nil {
+		led := rr.Runtime.Ledger()
+		fmt.Printf("ledger: %v\n", led)
+		if !led.Conserved() {
+			os.Exit(1)
 		}
 	}
 }
@@ -102,12 +130,24 @@ func main() {
 		backend  = flag.String("backend", "sim", "execution backend: sim (deterministic) | runtime (goroutines, wall clock)")
 		speedup  = flag.Float64("speedup", 20, "runtime backend clock compression factor")
 		calPath  = flag.String("calibration", "", "calibration table (tools/calibrate) loaded into the simulator")
-		live     = flag.Bool("live", false, "stream run events (churn, repartitions, phases) and snapshots to stderr while the run executes (single trial only)")
+		live     = flag.Bool("live", false, "stream the run as flushed trace records to stderr while it executes (shorthand for -trace -; single trial only)")
+		tracePth = flag.String("trace", "", "record the run as an NDJSON trace: a file path, or '-' for stderr (single trial only)")
+		liveIvl  = flag.Duration("live-interval", 2*time.Second, "virtual-time snapshot cadence for -live / -trace recordings")
+		replay   = flag.String("replay", "", "replay a recorded trace and diff the structural event sequence (exit 1 on divergence)")
+		metrics  = flag.String("metrics", "", "serve the live run's /metrics endpoint on this address (single trial only)")
+		pprofOn  = flag.Bool("pprof", false, "with -metrics: also serve /debug/pprof/ on the same mux")
 		scaler   = flag.String("autoscaler", "", "cluster controller name (none | reactive | backlog | predictive | any registered), or 'list' ('' = off)")
 		maxNodes = flag.Int("max-nodes", 0, "autoscaler node ceiling (0 = initial nodes + 4)")
 	)
 	flag.Parse()
 	harness.SetDefaultWorkers(*parallel)
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *replay != "" {
+		replayTrace(*replay, explicit, *backend, *speedup)
+		return
+	}
 
 	var cal *calib.Table
 	if *calPath != "" {
@@ -122,8 +162,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown backend %q (sim | runtime)\n", *backend)
 		os.Exit(2)
 	}
-	if *live && *trials > 1 {
-		fmt.Fprintln(os.Stderr, "note: -live streams a single trial; ignoring it for -trials > 1")
+	// -trace/-live share the recorder; -live is -trace - with per-record
+	// flushing so the stderr stream is live. Recording is single-trial (one
+	// writer, one run).
+	traceDest := *tracePth
+	if *live && traceDest == "" {
+		traceDest = "-"
+	}
+	if traceDest != "" && *trials > 1 {
+		fmt.Fprintln(os.Stderr, "note: -trace/-live record a single trial; ignoring them for -trials > 1")
+		traceDest = ""
+	}
+	if *metrics != "" && *trials > 1 {
+		fmt.Fprintln(os.Stderr, "note: -metrics serves a single trial; ignoring it for -trials > 1")
+		*metrics = ""
 	}
 
 	if *scn == "list" {
@@ -212,6 +264,71 @@ func main() {
 		autoscale.Attach(h, a, autoscale.Config{Warmup: warmup, MaxNodes: *maxNodes})
 		return nil
 	}
+	// attachObs wires the -trace/-live recorder and the -metrics endpoint
+	// onto a built, unstarted run handle. The returned finisher (nil when no
+	// observation is configured) must run after Wait: it writes the trace's
+	// end record and shuts the metrics listener down.
+	attachObs := func(h *runpkg.Run, sp *scenario.Spec, trialSeed uint64, rtE *rtbackend.Engine) (func(*engine.Report, error) error, error) {
+		var finishers []func(*engine.Report, error) error
+		if traceDest != "" {
+			var w io.Writer = os.Stderr
+			var file *os.File
+			if traceDest != "-" {
+				f, err := os.Create(traceDest)
+				if err != nil {
+					return nil, err
+				}
+				file, w = f, f
+			}
+			var hdr obs.Header
+			if sp != nil {
+				speed := *speedup
+				if *backend == "sim" {
+					speed = 0 // clock compression is a runtime-backend property
+				}
+				hdr = obs.HeaderForScenario(sp, *backend, *paradigm, trialSeed, speed, *scaler, *maxNodes)
+			} else {
+				// Workload-flag (micro) runs embed no scenario spec, and
+				// -replay needs one to rebuild from.
+				fmt.Fprintln(os.Stderr, "note: workload-flag runs embed no scenario spec; the trace is not replayable")
+				hdr = obs.Header{Backend: *backend, Policy: *paradigm, Scenario: "micro",
+					Seed: trialSeed, DurationMS: simtime.ToMillis(*duration)}
+			}
+			rec := obs.Attach(h, w, hdr, obs.RecordOptions{SnapshotEvery: *liveIvl, Flush: file == nil})
+			finishers = append(finishers, func(rep *engine.Report, runErr error) error {
+				if err := rec.Finish(rep, h.LostEvents(), runErr); err != nil {
+					return err
+				}
+				if file != nil {
+					return file.Close()
+				}
+				return nil
+			})
+		}
+		if *metrics != "" {
+			x := obs.NewExporter(h)
+			if rtE != nil {
+				x.SetLedger(rtE.Ledger)
+			}
+			bound, closeSrv, err := x.Serve(*metrics, *pprofOn)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+			finishers = append(finishers, func(*engine.Report, error) error { closeSrv(); return nil })
+		}
+		if len(finishers) == 0 {
+			return nil, nil
+		}
+		return func(rep *engine.Report, runErr error) error {
+			for _, fn := range finishers {
+				if err := fn(rep, runErr); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	}
 	// Each trial builds its own engine (nothing shared) with a deterministic
 	// seed: trial 0 uses -seed verbatim, replicates draw theirs from the
 	// harness's per-trial forked RNG. (Runtime-backend trials are only as
@@ -221,7 +338,6 @@ func main() {
 		if ctx.Index > 0 {
 			trialSeed = ctx.Rand.Uint64()
 		}
-		watch := *live && *trials == 1
 		if *backend == "runtime" {
 			rtE, h, err := rtbackend.BuildScenario(runtimeSpec, *paradigm, trialSeed,
 				rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: *speedup}})
@@ -231,11 +347,17 @@ func main() {
 			if err := attachScaler(h, runtimeSpec.Warmup()); err != nil {
 				return trialResult{}, err
 			}
-			h.Start(context.Background())
-			if watch {
-				streamLive(h)
+			fin, err := attachObs(h, runtimeSpec, trialSeed, rtE)
+			if err != nil {
+				return trialResult{}, err
 			}
+			h.Start(context.Background())
 			r, err := h.Wait()
+			if fin != nil {
+				if ferr := fin(r, err); ferr != nil {
+					return trialResult{}, ferr
+				}
+			}
 			if err != nil {
 				return trialResult{}, err
 			}
@@ -250,11 +372,17 @@ func main() {
 			if err := attachScaler(inst.Handle, spec.Warmup()); err != nil {
 				return trialResult{}, err
 			}
-			inst.Handle.Start(context.Background())
-			if watch {
-				streamLive(inst.Handle)
+			fin, err := attachObs(inst.Handle, spec, trialSeed, nil)
+			if err != nil {
+				return trialResult{}, err
 			}
+			inst.Handle.Start(context.Background())
 			r, err := inst.Handle.Wait()
+			if fin != nil {
+				if ferr := fin(r, err); ferr != nil {
+					return trialResult{}, ferr
+				}
+			}
 			return trialResult{r: r}, err
 		}
 		wl := workload.DefaultSpec()
@@ -284,11 +412,17 @@ func main() {
 		if err := attachScaler(h, *warmup); err != nil {
 			return trialResult{}, err
 		}
-		h.Start(context.Background())
-		if watch {
-			streamLive(h)
+		fin, err := attachObs(h, nil, trialSeed, nil)
+		if err != nil {
+			return trialResult{}, err
 		}
+		h.Start(context.Background())
 		r, err := h.Wait()
+		if fin != nil {
+			if ferr := fin(r, err); ferr != nil {
+				return trialResult{}, ferr
+			}
+		}
 		return trialResult{r: r}, err
 	}
 

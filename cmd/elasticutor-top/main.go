@@ -1,0 +1,309 @@
+// Command elasticutor-top is a terminal live view of one run: it starts a
+// scenario on either backend and renders per-operator offered/processed
+// rates, executor counts, queue depths, autoscale actions, and in-flight §3.3
+// repartition spans over the run handle's Events()/Snapshot() streams,
+// refreshing in place until the run completes.
+//
+// Example:
+//
+//	elasticutor-top -scenario flashcrowd -backend runtime -speedup 20
+//	elasticutor-top -scenario skewdrift -backend sim -paradigm rc
+//	elasticutor-top -scenario flashcrowd -autoscaler reactive -trace run.trace
+//	elasticutor-top -scenario nodedrain -metrics :9090 -pprof
+//
+// Observation is non-perturbing by construction: snapshots are served at the
+// backends' safe points and the event stream is a lossy tap off the complete
+// timeline — so watching a run does not change it, and on the runtime backend
+// the tuple-conservation ledger must still balance (the final summary prints
+// it; a broken ledger exits 1). -trace additionally records the run as an
+// elasticutor-trace/v1 NDJSON file replayable with elasticutor-sim -replay.
+// -plain drops the ANSI screen-clearing for dumb terminals and CI logs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/autoscale"
+	"repro/internal/calib"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	runpkg "repro/internal/run"
+	rtbackend "repro/internal/runtime"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+// view is the shared state the event consumer writes and the renderer reads.
+type view struct {
+	mu       sync.Mutex
+	inflight map[string]simtime.Time // operator → repartition start
+	spans    []engine.RepartitionSpan
+	actions  []string // autoscale (controller-origin) commands, newest last
+	recent   []string // recent non-chatty events, newest last
+}
+
+const keepLines = 6 // recent-event and action lines retained per frame
+
+func (v *view) event(ev engine.Event) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	switch ev.Kind {
+	case engine.EventPolicyInvoked:
+		return // one per scheduling period; too chatty for a console
+	case engine.EventRepartitionStart:
+		v.inflight[ev.Operator] = ev.At
+	case engine.EventRepartitionFinish:
+		delete(v.inflight, ev.Operator)
+		if ev.Span != nil {
+			v.spans = append(v.spans, *ev.Span)
+		}
+	}
+	v.recent = append(v.recent, fmt.Sprintf("%v", ev))
+	if len(v.recent) > keepLines {
+		v.recent = v.recent[len(v.recent)-keepLines:]
+	}
+}
+
+func (v *view) command(cmd engine.Command) {
+	if cmd.Origin != "controller" {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.actions = append(v.actions, fmt.Sprintf("%v %s", cmd.At, cmd.String()))
+	if len(v.actions) > keepLines {
+		v.actions = v.actions[len(v.actions)-keepLines:]
+	}
+}
+
+// frame renders one refresh of the live view.
+func (v *view) frame(w *strings.Builder, s engine.Snapshot, total simtime.Duration, title string, lost int) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "t=%v/%v  nodes=%d  util=%.0f%% (%d/%d cores)  repartitions=%d  reassigns=%d  migration=%.1fMB  blocked=%d  lost-events=%d\n\n",
+		s.Now, total, s.LiveNodes, 100*s.Utilization, s.UsedCores, s.TotalCores,
+		s.Repartitions, s.Reassignments, float64(s.MigrationBytes)/(1<<20), s.Blocked, lost)
+
+	fmt.Fprintf(w, "%-14s %5s %5s %12s %12s %10s\n", "OPERATOR", "EXEC", "CORES", "OFFERED/s", "PROCESSED/s", "QUEUED")
+	for _, o := range s.Operators {
+		fmt.Fprintf(w, "%-14s %5d %5d %12.0f %12.0f %10d\n",
+			o.Name, o.Executors, o.Cores, o.OfferedRate, o.ProcessedRate, o.Queued)
+	}
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.inflight) > 0 {
+		ops := make([]string, 0, len(v.inflight))
+		for op, at := range v.inflight {
+			ops = append(ops, fmt.Sprintf("%s (since %v)", op, at))
+		}
+		sort.Strings(ops)
+		fmt.Fprintf(w, "\nin-flight repartitions: %s\n", strings.Join(ops, ", "))
+	}
+	if n := len(v.spans); n > 0 {
+		s := v.spans[n-1]
+		fmt.Fprintf(w, "\nlast repartition: op=%s pause=%v drain=%v migrate=%v reroute=%v moves=%d bytes=%d replayed=%d\n",
+			s.Operator, s.Pause, s.Drain, s.Migrate, s.Reroute, s.Moves, s.Bytes, s.ReplayedW)
+	}
+	if len(v.actions) > 0 {
+		fmt.Fprintf(w, "\nautoscale actions:\n")
+		for _, a := range v.actions {
+			fmt.Fprintf(w, "  %s\n", a)
+		}
+	}
+	if len(v.recent) > 0 {
+		fmt.Fprintf(w, "\nrecent events:\n")
+		for _, e := range v.recent {
+			fmt.Fprintf(w, "  %s\n", e)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		scn      = flag.String("scenario", "flashcrowd", "scenario name, spec file (*.json), or 'list'")
+		paradigm = flag.String("paradigm", "elasticutor", "elasticity policy name")
+		backend  = flag.String("backend", "runtime", "execution backend: runtime (goroutines, wall clock) | sim")
+		speedup  = flag.Float64("speedup", 20, "runtime backend clock compression factor")
+		seed     = flag.Uint64("seed", 42, "deterministic seed")
+		scaler   = flag.String("autoscaler", "", "cluster controller name ('' = off)")
+		maxNodes = flag.Int("max-nodes", 0, "autoscaler node ceiling (0 = initial nodes + 4)")
+		interval = flag.Duration("interval", time.Second, "wall-clock refresh interval")
+		trace    = flag.String("trace", "", "also record the run as an NDJSON trace to this file")
+		metrics  = flag.String("metrics", "", "serve /metrics on this address while the run executes")
+		pprofOn  = flag.Bool("pprof", false, "with -metrics: also serve /debug/pprof/ on the same mux")
+		calPath  = flag.String("calibration-trajectory", "", "CALIB trajectory (CALIB_N.json) folded into /metrics as labeled gauges")
+		plain    = flag.Bool("plain", false, "append frames instead of redrawing in place (CI logs, dumb terminals)")
+	)
+	flag.Parse()
+
+	if *scn == "list" {
+		for _, name := range scenario.Names() {
+			s, err := scenario.ByName(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-12s %s\n", name, s.Description)
+		}
+		return
+	}
+	if _, err := policy.ByName(*paradigm); err != nil {
+		fatal(err)
+	}
+	sp, err := scenario.Resolve(*scn)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Build the run on the requested backend; keep the runtime engine for its
+	// conservation ledger.
+	var (
+		h   *runpkg.Run
+		rtE *rtbackend.Engine
+	)
+	switch *backend {
+	case "runtime":
+		rtE, h, err = rtbackend.BuildScenario(sp, *paradigm, *seed,
+			rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: *speedup}})
+		if err != nil {
+			fatal(err)
+		}
+	case "sim":
+		inst, err := sp.Build(*paradigm, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		h = inst.Handle
+	default:
+		fatal(fmt.Errorf("unknown backend %q (runtime | sim)", *backend))
+	}
+	if *scaler != "" {
+		a, err := autoscale.ByName(*scaler)
+		if err != nil {
+			fatal(err)
+		}
+		autoscale.Attach(h, a, autoscale.Config{Warmup: sp.Warmup(), MaxNodes: *maxNodes})
+	}
+
+	// Wire observation BEFORE Start: the live view's event/command taps, the
+	// optional trace recorder, and the optional metrics endpoint.
+	v := &view{inflight: make(map[string]simtime.Time)}
+	h.ObserveCommands(v.command)
+
+	var (
+		rec       *obs.Recorder
+		traceFile *os.File
+	)
+	if *trace != "" {
+		traceFile, err = os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		hdrSpeedup := *speedup
+		if rtE == nil {
+			hdrSpeedup = 0 // clock compression is a runtime-backend property
+		}
+		rec = obs.Attach(h, traceFile,
+			obs.HeaderForScenario(sp, *backend, *paradigm, *seed, hdrSpeedup, *scaler, *maxNodes),
+			obs.RecordOptions{SnapshotEvery: 2 * simtime.Second})
+	}
+	if *metrics != "" {
+		x := obs.NewExporter(h)
+		if rtE != nil {
+			x.SetLedger(rtE.Ledger)
+		}
+		if *calPath != "" {
+			traj, err := calib.LoadTrajectory(*calPath)
+			if err != nil {
+				fatal(err)
+			}
+			x.SetCalibration(traj)
+		}
+		bound, closeSrv, err := x.Serve(*metrics, *pprofOn)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeSrv()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", bound)
+	}
+
+	events := h.Events()
+	h.Start(context.Background())
+
+	title := fmt.Sprintf("elasticutor-top — scenario=%s policy=%s backend=%s seed=%d",
+		sp.Name, *paradigm, *backend, *seed)
+	if *scaler != "" {
+		title += " autoscaler=" + *scaler
+	}
+	render := func() {
+		var b strings.Builder
+		if !*plain {
+			b.WriteString("\x1b[H\x1b[2J")
+		}
+		v.frame(&b, h.Snapshot(), h.Duration(), title, h.LostEvents())
+		if *plain {
+			b.WriteString("\n")
+		}
+		os.Stdout.WriteString(b.String())
+	}
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	render()
+loop:
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				break loop // run complete; the channel closes after the report
+			}
+			v.event(ev)
+		case <-tick.C:
+			render()
+		}
+	}
+
+	rep, runErr := h.Wait()
+	if rec != nil {
+		if err := rec.Finish(rep, h.LostEvents(), runErr); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+	render()
+
+	fmt.Printf("\nrun complete: %d events, %d repartitions (%d tuples replayed), %d reassignments, %d lost events\n",
+		rep.Events, rep.Repartitions, rep.RepartitionReplayed, rep.Reassignments, h.LostEvents())
+	if st := rep.Autoscale; st != nil {
+		fmt.Printf("autoscale: %s: %d scale-up(s), %d scale-down(s) over %d ticks\n",
+			st.Controller, st.ScaleUps, st.ScaleDowns, st.Ticks)
+	}
+	if *trace != "" {
+		fmt.Printf("trace: %s\n", *trace)
+	}
+	if rtE != nil {
+		led := rtE.Ledger()
+		fmt.Printf("ledger: %v\n", led)
+		if !led.Conserved() {
+			fmt.Fprintln(os.Stderr, "ledger NOT conserved — observation perturbed the run")
+			os.Exit(1)
+		}
+	}
+}

@@ -30,12 +30,14 @@ package elasticutor
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	runpkg "repro/internal/run"
 	rtbackend "repro/internal/runtime"
@@ -99,6 +101,27 @@ type (
 	AutoscaleStats = engine.AutoscaleStats
 	// ScaleAction is one applied autoscaling decision inside AutoscaleStats.
 	ScaleAction = engine.ScaleAction
+
+	// RepartitionSpan is the per-phase observability record of one completed
+	// §3.3 repartition (pause → drain → migrate → reroute); carried on
+	// repartition-finish events as Event.Span.
+	RepartitionSpan = engine.RepartitionSpan
+	// Trace is a decoded run recording: header, typed events, applied
+	// commands with provenance, periodic snapshots, and the end record (see
+	// internal/obs; Replay rebuilds and re-drives it).
+	Trace = obs.Trace
+	// TraceHeader is the self-contained metadata record leading a trace; a
+	// header with an embedded ScenarioSpec makes the trace replayable.
+	TraceHeader = obs.Header
+	// TraceRecorder streams a live run into a versioned NDJSON trace.
+	TraceRecorder = obs.Recorder
+	// RecordOptions tunes a recording (snapshot cadence, per-record flush).
+	RecordOptions = obs.RecordOptions
+	// ReplayOptions tunes a trace replay (backend / speedup overrides).
+	ReplayOptions = obs.ReplayOptions
+	// MetricsExporter serves a live run's Prometheus-style /metrics endpoint
+	// (optionally with pprof handlers on the same private mux).
+	MetricsExporter = obs.Exporter
 )
 
 // The event taxonomy of Run.Events and Report.Timeline.
@@ -166,6 +189,29 @@ func ConstantRate(perSec float64) func(Time) float64 {
 	return func(Time) float64 { return perSec }
 }
 
+// AttachRecorder wires a trace recorder onto a built, unstarted Run: every
+// typed event, applied command, and periodic snapshot is encoded to w as it
+// happens. Call the recorder's Finish with the report after Wait to append
+// the end record. See internal/obs for the trace format.
+func AttachRecorder(h *Run, w io.Writer, hdr TraceHeader, opt RecordOptions) *TraceRecorder {
+	return obs.Attach(h, w, hdr, opt)
+}
+
+// LoadTrace reads and decodes a recorded NDJSON trace from disk.
+func LoadTrace(path string) (*Trace, error) { return obs.Load(path) }
+
+// DecodeTrace decodes a recorded NDJSON trace from r.
+func DecodeTrace(r io.Reader) (*Trace, error) { return obs.Decode(r) }
+
+// ScenarioTraceHeader assembles the standard self-contained trace header for
+// a scenario-built run; backend is BackendSim or BackendRuntime.
+func ScenarioTraceHeader(sp *ScenarioSpec, backend, policyName string, seed uint64) TraceHeader {
+	return obs.HeaderForScenario(sp, backend, policyName, seed, 0, "", 0)
+}
+
+// NewMetricsExporter wraps a run handle in a /metrics exporter.
+func NewMetricsExporter(h *Run) *MetricsExporter { return obs.NewExporter(h) }
+
 // ScenarioSpec is the declarative scenario type (phased workload dynamics
 // plus timed cluster churn; see internal/scenario for the spec grammar).
 type ScenarioSpec = scenario.Spec
@@ -222,6 +268,9 @@ func StartScenario(ctx context.Context, nameOrPath string, opt Options) (*Run, e
 		h = hh
 	default:
 		return nil, fmt.Errorf("elasticutor: unknown backend %q (have %v)", opt.Backend, Backends())
+	}
+	if opt.EventBuffer > 0 {
+		h.SetEventBuffer(opt.EventBuffer)
 	}
 	if err := attachAutoscaler(h, opt.Autoscaler, opt.Autoscale, sp.Warmup()); err != nil {
 		return nil, err
@@ -350,6 +399,11 @@ type Options struct {
 	Seed        uint64
 	AssertOrder bool // panic on any per-key order violation (testing)
 
+	// EventBuffer sizes the Run's Events channel (default 4096). Emission
+	// never blocks: a slow consumer drops events beyond the buffer
+	// (Run.LostEvents counts them; Report.Timeline is always complete).
+	EventBuffer int
+
 	// Backend selects the execution backend: BackendSim (default, the
 	// deterministic discrete-event simulator) or BackendRuntime (goroutine
 	// executors on the wall clock; not deterministic, AssertOrder and
@@ -434,6 +488,9 @@ func (b *Builder) Start(ctx context.Context, opt Options) (*Run, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opt.EventBuffer > 0 {
+		h.SetEventBuffer(opt.EventBuffer)
 	}
 	if err := attachAutoscaler(h, opt.Autoscaler, opt.Autoscale, simtime.Duration(opt.WarmUp)); err != nil {
 		return nil, err

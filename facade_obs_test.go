@@ -1,0 +1,70 @@
+package elasticutor_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	elasticutor "repro"
+)
+
+// Facade coverage for the observability layer: record a scenario run through
+// the public surface, decode it, and replay it to an identical structural
+// event sequence.
+
+func TestFacadeRecordReplay(t *testing.T) {
+	sp, err := elasticutor.ScenarioByName("nodedrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recorders attach to built, unstarted runs (StartScenario has already
+	// started its handle), so build the instance directly.
+	inst, err := sp.Build("elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec := elasticutor.AttachRecorder(inst.Handle, &buf,
+		elasticutor.ScenarioTraceHeader(sp, elasticutor.BackendSim, "elasticutor", 42),
+		elasticutor.RecordOptions{SnapshotEvery: 4 * time.Second})
+	inst.Handle.Start(context.Background())
+	rep, runErr := inst.Handle.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if err := rec.Finish(rep, inst.Handle.LostEvents(), runErr); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := elasticutor.DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 || len(tr.Snaps) == 0 || tr.End == nil {
+		t.Fatalf("trace incomplete: %d events, %d snaps, end=%v", len(tr.Events), len(tr.Snaps), tr.End)
+	}
+	if _, _, err := tr.Replay(context.Background(), elasticutor.ReplayOptions{}); err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+}
+
+// TestFacadeMetricsExporter: the exporter renders a scrape for a finished run
+// through the public surface.
+func TestFacadeMetricsExporter(t *testing.T) {
+	h, err := elasticutor.StartScenario(context.Background(), "nodedrain", elasticutor.Options{
+		Policy: "elasticutor",
+		Seed:   42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	elasticutor.NewMetricsExporter(h).WriteMetrics(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("elasticutor_live_nodes")) {
+		t.Fatalf("scrape missing cluster gauges:\n%s", buf.String())
+	}
+}

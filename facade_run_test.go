@@ -229,6 +229,35 @@ func TestStartScenarioBackendSelection(t *testing.T) {
 	}
 }
 
+// TestOptionsEventBuffer: the facade's EventBuffer knob reaches the handle —
+// a tiny buffer under an unread stream drops events into LostEvents while the
+// report timeline stays complete.
+func TestOptionsEventBuffer(t *testing.T) {
+	h, err := elasticutor.StartScenario(context.Background(), "nodedrain", elasticutor.Options{
+		Policy:      "elasticutor",
+		Seed:        42,
+		EventBuffer: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	for range h.Events() {
+		received++
+	}
+	if received != 1 {
+		t.Fatalf("EventBuffer=1 delivered %d events, want 1", received)
+	}
+	if received+h.LostEvents() != len(r.Timeline) {
+		t.Fatalf("loss accounting: %d received + %d lost != %d timeline events",
+			received, h.LostEvents(), len(r.Timeline))
+	}
+}
+
 // TestRunSetRateCommand: a scheduled SetRate command raises the offered load
 // mid-run, visible in generated+blocked volume.
 func TestRunSetRateCommand(t *testing.T) {

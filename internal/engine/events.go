@@ -82,6 +82,47 @@ type Event struct {
 	Operator string       // repartition events: the operator
 	Phase    string       // phase events: the phase kind
 	Detail   string       // free-form context (policy name, command, skip reason)
+	// Span carries the per-phase breakdown of a completed §3.3 repartition
+	// cycle; non-nil only on EventRepartitionFinish. It is observation-only
+	// payload: String() and the structural conformance projection ignore it.
+	Span *RepartitionSpan
+}
+
+// RepartitionSpan is the observability record of one completed §3.3 global
+// repartition: pause → drain → migrate → reroute, with per-phase durations
+// that tile Start..Start+Total exactly (non-overlapping by construction on
+// both backends). Replayed/ReplayedW count the tuples buffered during the
+// pause and re-driven after the routing commit; summed over a run's spans,
+// ReplayedW equals Totals.RepartitionReplayed — the conservation cross-check.
+type RepartitionSpan struct {
+	Operator string
+	Start    simtime.Time // virtual time the protocol began (pause issued)
+	// Phase durations, in protocol order. Pause is the upstream
+	// synchronization cost before intake actually stops; Drain empties the
+	// in-flight queues; Migrate moves shard state (serialization + wire);
+	// Reroute updates upstream routing tables and resumes the stream.
+	Pause   simtime.Duration
+	Drain   simtime.Duration
+	Migrate simtime.Duration
+	Reroute simtime.Duration
+	// Moves is the number of shard reassignments committed (InterMoves of
+	// them across nodes); Bytes the state moved.
+	Moves      int
+	InterMoves int
+	Bytes      int64
+	// Replayed counts buffered tuple batches re-driven after the commit;
+	// ReplayedW their total tuple weight.
+	Replayed  int
+	ReplayedW int64
+	// Aborted marks a runtime-backend protocol overtaken by cluster churn:
+	// the routing commit was abandoned (no state moved) but the pause, drain,
+	// and replay were still paid.
+	Aborted bool
+}
+
+// Total is the pause-to-resume duration — the sum of the four phases.
+func (s *RepartitionSpan) Total() simtime.Duration {
+	return s.Pause + s.Drain + s.Migrate + s.Reroute
 }
 
 func (ev Event) String() string {
@@ -139,6 +180,12 @@ type Command struct {
 	// Label prefixes any refusal recorded in Report.ChurnErrors (the
 	// scenario interpreter uses it to keep its historical error texts).
 	Label string
+	// Origin tags who issued the command — "scenario" (spec-scheduled churn),
+	// "controller" (an attached autoscaler), "replay" (re-injected by the
+	// trace replayer), or "" for direct user injections. Observation-only:
+	// the backends ignore it; the trace recorder persists it so the replayer
+	// can tell spec-regenerated commands from ones it must re-drive.
+	Origin string
 }
 
 func (c Command) String() string {

@@ -28,6 +28,7 @@ type rcRepartition struct {
 	// protocol instead of migrating the shard a second time.
 	released   []bool
 	started    simtime.Time
+	pausedAt   simtime.Time
 	drainedAt  simtime.Time
 	migratedAt simtime.Time
 	bytes      int64
@@ -66,6 +67,7 @@ func (e *Engine) startRepartition(rt *opRuntime, moves []balancer.Move) {
 	// Phase a: pause all upstream executors.
 	e.clock.After(pauseCost, func() {
 		rt.paused = true
+		rp.pausedAt = e.clock.Now()
 		e.awaitDrain(rt, rp)
 	})
 }
@@ -196,8 +198,29 @@ func (e *Engine) finishRepartition(rt *opRuntime, rp *rcRepartition) {
 		sync := rp.drainedAt.Sub(rp.started) + now.Sub(rp.migratedAt)
 		e.r.RepartitionSync += sync
 		rt.repartition = nil
+		// The span's replay counts come from the buffer as it stands at the
+		// resume instant: nothing can land in it between here and replayPaused
+		// (a clock callback runs to completion before any other event).
+		replayN, replayW := 0, int64(0)
+		for _, p := range rt.pauseBuf {
+			replayN++
+			replayW += int64(p.t.Weight)
+		}
 		e.emit(Event{Kind: EventRepartitionFinish, At: now, Node: -1, Operator: rt.op.Name,
-			Detail: fmt.Sprintf("%d move(s), %v total", len(rp.moves), now.Sub(rp.started))})
+			Detail: fmt.Sprintf("%d move(s), %v total", len(rp.moves), now.Sub(rp.started)),
+			Span: &RepartitionSpan{
+				Operator:   rt.op.Name,
+				Start:      rp.started,
+				Pause:      rp.pausedAt.Sub(rp.started),
+				Drain:      rp.drainedAt.Sub(rp.pausedAt),
+				Migrate:    rp.migratedAt.Sub(rp.drainedAt),
+				Reroute:    now.Sub(rp.migratedAt),
+				Moves:      len(rp.moves),
+				InterMoves: inter,
+				Bytes:      rp.bytes,
+				Replayed:   replayN,
+				ReplayedW:  replayW,
+			}})
 		e.pol.RepartitionFinished(rt)
 		if e.onRepartition != nil {
 			e.onRepartition(RepartitionReport{

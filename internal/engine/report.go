@@ -29,11 +29,12 @@ type Totals struct {
 	MigrationTimeTotal  simtime.Duration
 
 	// RC repartition accounting.
-	Repartitions     int
-	RepartitionTime  simtime.Duration // cumulative pause-to-resume time
-	RepartitionSync  simtime.Duration // cumulative pause+drain+update time
-	RepartitionMove  int64            // operator shards moved
-	RepartitionBytes int64            // state bytes moved by repartitions
+	Repartitions        int
+	RepartitionTime     simtime.Duration // cumulative pause-to-resume time
+	RepartitionSync     simtime.Duration // cumulative pause+drain+update time
+	RepartitionMove     int64            // operator shards moved
+	RepartitionBytes    int64            // state bytes moved by repartitions
+	RepartitionReplayed int64            // tuple weight replayed after pauses
 
 	// Cluster churn accounting (scenario subsystem).
 	NodeJoins        int   // nodes added mid-run

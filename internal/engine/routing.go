@@ -124,6 +124,7 @@ func (e *Engine) replayPaused(rt *opRuntime) {
 	rt.pauseBuf = nil
 	e.replaying = true
 	for _, p := range buf {
+		e.r.RepartitionReplayed += int64(p.t.Weight)
 		e.route(p.from, rt.op.ID, p.t)
 	}
 	e.replaying = false

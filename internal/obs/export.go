@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/calib"
+	"repro/internal/run"
+	rtbackend "repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+// Exporter folds a live run's metrics into a scrapeable Prometheus-style
+// text endpoint. Every scrape takes one Snapshot through the handle (safe
+// points on the simulator, the striped-counter fold on the real-time
+// backend), so scraping never perturbs the run — but note the Snapshot rate
+// fields are observer-relative; the exporter publishes only the cumulative
+// counters plus gauges, which are independent of scrape cadence.
+type Exporter struct {
+	h *run.Run
+
+	mu     sync.Mutex
+	ledger func() rtbackend.Ledger
+	traj   *calib.Trajectory
+}
+
+// NewExporter wraps a run handle.
+func NewExporter(h *run.Run) *Exporter { return &Exporter{h: h} }
+
+// SetLedger adds the runtime backend's conservation ledger to the scrape
+// (pass engine.Ledger); the simulator has no ledger and skips it.
+func (x *Exporter) SetLedger(fn func() rtbackend.Ledger) *Exporter {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.ledger = fn
+	return x
+}
+
+// SetCalibration folds a CALIB_N.json trajectory into the scrape: the
+// per-tuple and per-event overheads of every recorded entry become labeled
+// gauges, so dashboards can plot measured hot-path cost next to live rates.
+func (x *Exporter) SetCalibration(tr *calib.Trajectory) *Exporter {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.traj = tr
+	return x
+}
+
+// escapeLabel escapes a metric label value per the text exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WriteMetrics renders one scrape in the text exposition format.
+func (x *Exporter) WriteMetrics(w io.Writer) {
+	s := x.h.Snapshot()
+	p := func(format string, args ...interface{}) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP elasticutor_virtual_seconds Virtual run time at scrape.\n")
+	p("# TYPE elasticutor_virtual_seconds gauge\n")
+	p("elasticutor_virtual_seconds %g\n", simtime.ToMillis(s.Now.Sub(simtime.Time(0)))/1e3)
+	p("# TYPE elasticutor_live_nodes gauge\n")
+	p("elasticutor_live_nodes %d\n", s.LiveNodes)
+	p("# TYPE elasticutor_cores_total gauge\n")
+	p("elasticutor_cores_total %d\n", s.TotalCores)
+	p("# TYPE elasticutor_cores_used gauge\n")
+	p("elasticutor_cores_used %d\n", s.UsedCores)
+	p("# HELP elasticutor_blocked_tuples_total Tuple weight refused by source backpressure since start.\n")
+	p("# TYPE elasticutor_blocked_tuples_total counter\n")
+	p("elasticutor_blocked_tuples_total %d\n", s.Blocked)
+	p("# TYPE elasticutor_migration_bytes_total counter\n")
+	p("elasticutor_migration_bytes_total %d\n", s.MigrationBytes)
+	p("# TYPE elasticutor_reassignments_total counter\n")
+	p("elasticutor_reassignments_total %d\n", s.Reassignments)
+	p("# HELP elasticutor_repartitions_total Completed section-3.3 repartition protocols.\n")
+	p("# TYPE elasticutor_repartitions_total counter\n")
+	p("elasticutor_repartitions_total %d\n", s.Repartitions)
+
+	p("# HELP elasticutor_operator_offered_tuples_total Cumulative tuple weight admitted toward the operator.\n")
+	for _, o := range s.Operators {
+		l := escapeLabel(o.Name)
+		p("elasticutor_operator_executors{operator=%q} %d\n", l, o.Executors)
+		p("elasticutor_operator_cores{operator=%q} %d\n", l, o.Cores)
+		p("elasticutor_operator_offered_tuples_total{operator=%q} %d\n", l, o.Offered)
+		p("elasticutor_operator_processed_tuples_total{operator=%q} %d\n", l, o.Processed)
+		p("elasticutor_operator_queued_tuples{operator=%q} %d\n", l, o.Queued)
+	}
+
+	p("# HELP elasticutor_run_lost_events_total Events dropped from the lossy Events channel (the timeline keeps them).\n")
+	p("# TYPE elasticutor_run_lost_events_total counter\n")
+	p("elasticutor_run_lost_events_total %d\n", x.h.LostEvents())
+
+	x.mu.Lock()
+	ledger, traj := x.ledger, x.traj
+	x.mu.Unlock()
+	if ledger != nil {
+		led := ledger()
+		p("# HELP elasticutor_ledger_admitted_tuples_total Runtime conservation ledger (admitted = processed + drops).\n")
+		p("elasticutor_ledger_admitted_tuples_total %d\n", led.Admitted)
+		p("elasticutor_ledger_processed_tuples_total %d\n", led.Processed)
+		p("elasticutor_ledger_dropped_failure_tuples_total %d\n", led.DroppedFailure)
+		p("elasticutor_ledger_dropped_shutdown_tuples_total %d\n", led.DroppedShutdown)
+		p("elasticutor_ledger_blocked_tuples_total %d\n", led.Blocked)
+		conserved := 0
+		if led.Conserved() {
+			conserved = 1
+		}
+		p("elasticutor_ledger_conserved %d\n", conserved)
+	}
+	if traj != nil {
+		p("# HELP elasticutor_calib_per_tuple_overhead_ns Measured per-tuple hot-path overhead (tools/calibrate trajectory).\n")
+		p("# TYPE elasticutor_calib_per_tuple_overhead_ns gauge\n")
+		entries := append([]calib.TrajectoryEntry(nil), traj.Entries...)
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].Label < entries[j].Label })
+		for _, e := range entries {
+			l := escapeLabel(e.Label)
+			p("elasticutor_calib_per_tuple_overhead_ns{label=%q} %d\n", l, e.PerTupleOverheadNS)
+			if e.PerEventOverheadNS > 0 {
+				p("elasticutor_calib_per_event_overhead_ns{label=%q} %d\n", l, e.PerEventOverheadNS)
+			}
+			if e.TuplesPerSec > 0 {
+				p("elasticutor_calib_tuples_per_sec{label=%q} %g\n", l, e.TuplesPerSec)
+			}
+		}
+	}
+}
+
+// ServeHTTP serves one /metrics scrape.
+func (x *Exporter) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	x.WriteMetrics(w)
+}
+
+// Handler returns the exporter's mux: /metrics always, plus the net/http/
+// pprof endpoints under /debug/pprof/ when withPprof is set (opt-in: the
+// profiler is wired onto this private mux, never the default one).
+func (x *Exporter) Handler(withPprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", x)
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Serve starts the exporter's HTTP listener on addr and returns the bound
+// address (addr may use port 0) and a shutdown func. The server goroutine
+// lives until close is called; serve errors after shutdown are discarded.
+func (x *Exporter) Serve(addr string, withPprof bool) (bound string, close func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: x.Handler(withPprof)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

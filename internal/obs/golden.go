@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+// This file pins the record→replay contract: one fixed (scenario, policy,
+// seed) recording whose structural event sequence and repartition spans are
+// committed as a golden file (tools/gengolden regenerates it). The "rc"
+// policy is the span workhorse — its operator-level §3.3 repartitions are
+// what the span taxonomy describes — and the injected user command exercises
+// the replayer's re-injection path.
+
+// Golden recording configuration.
+const (
+	goldenScenario = "skewdrift"
+	goldenPolicy   = "rc"
+	goldenSeed     = 42
+)
+
+// goldenUserCommand is the pre-start injected user command the golden run
+// carries (deterministic form: pinned virtual time).
+func goldenUserCommand() engine.Command {
+	return engine.SetRateCmd(1.4).AtTime(6 * simtime.Second)
+}
+
+// GoldenRecord runs the pinned configuration on the simulator with a
+// recorder attached and returns the decoded trace and the report.
+func GoldenRecord() (*Trace, *engine.Report, error) {
+	sp, err := scenario.ByName(goldenScenario)
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err := sp.Build(goldenPolicy, goldenSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	h := inst.Handle
+	var buf bytes.Buffer
+	rec := Attach(h, &buf, HeaderForScenario(sp, "sim", goldenPolicy, goldenSeed, 0, "", 0),
+		RecordOptions{SnapshotEvery: 2 * simtime.Second})
+	if err := h.Inject(goldenUserCommand()); err != nil {
+		return nil, nil, err
+	}
+	h.Start(context.Background())
+	rep, runErr := h.Wait()
+	if err := rec.Finish(rep, h.LostEvents(), runErr); err != nil {
+		return nil, nil, err
+	}
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	tr, err := Decode(&buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, rep, nil
+}
+
+// GenerateGolden renders the pinned recording as the committed golden file:
+// the structural event sequence followed by the span lines. Regenerate with
+// tools/gengolden ONLY when a behavior change is intended.
+func GenerateGolden() string {
+	tr, rep, err := GoldenRecord()
+	if err != nil {
+		panic(fmt.Sprintf("obs: golden record failed: %v", err))
+	}
+	if err := CheckSpans(tr.Spans(), rep); err != nil {
+		panic(fmt.Sprintf("obs: golden spans inconsistent: %v", err))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# record→replay golden: scenario=%s policy=%s seed=%d backend=sim\n",
+		goldenScenario, goldenPolicy, goldenSeed)
+	b.WriteString("structural:\n")
+	for _, l := range StructuralSeq(tr.DecodedEvents()) {
+		b.WriteString("  " + l + "\n")
+	}
+	b.WriteString("spans:\n")
+	for _, l := range SpanLines(tr.Spans()) {
+		b.WriteString("  " + l + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/calib"
+	rtbackend "repro/internal/runtime"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+// TestGoldenRecordReplay pins the record→replay contract byte-for-byte: the
+// pinned (scenario, policy, seed) recording's structural event sequence and
+// span lines must match the committed golden, and a replay rebuilt from the
+// trace alone must reproduce both exactly.
+func TestGoldenRecordReplay(t *testing.T) {
+	got := GenerateGolden()
+	want, err := os.ReadFile("testdata/record_replay.golden")
+	if err != nil {
+		t.Fatalf("golden missing (run tools/gengolden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("recorded run diverged from golden (regenerate with tools/gengolden ONLY if intended):\n--- golden ---\n%s\n--- got ---\n%s", want, got)
+	}
+
+	tr, _, err := GoldenRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, rr, err := tr.Replay(context.Background(), ReplayOptions{})
+	if err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+	if rr.Reinjected != 1 {
+		t.Fatalf("expected 1 re-injected user command, got %d", rr.Reinjected)
+	}
+	recSpans := SpanLines(tr.Spans())
+	repSpans := SpanLines(TimelineSpans(rep2.Timeline))
+	if strings.Join(recSpans, "\n") != strings.Join(repSpans, "\n") {
+		t.Fatalf("replayed spans differ:\nrecorded:\n%s\nreplayed:\n%s",
+			strings.Join(recSpans, "\n"), strings.Join(repSpans, "\n"))
+	}
+}
+
+// TestSpanInvariants: the pinned sim run's repartition spans are
+// non-overlapping (the four phases tile [start, finish] exactly — checked
+// against the finish event's timestamp), non-negative, and conserved: the
+// summed replayed tuple weight equals the report's RepartitionReplayed.
+func TestSpanInvariants(t *testing.T) {
+	tr, rep, err := GoldenRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("pinned rc run produced no repartition spans")
+	}
+	if err := CheckSpans(spans, rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repartitions != len(spans) {
+		t.Fatalf("%d spans for %d repartitions", len(spans), rep.Repartitions)
+	}
+	for _, ev := range tr.DecodedEvents() {
+		if ev.Span == nil {
+			continue
+		}
+		s := ev.Span
+		if got := ev.At.Sub(s.Start); got != s.Total() {
+			t.Fatalf("span %s does not tile its window: finish-start=%v, phases sum to %v", s.Operator, got, s.Total())
+		}
+	}
+}
+
+// TestTraceRuntimeRecordConserved records a real-time backend run (the -race
+// CI step drives this test): every goroutine-emitted event and sample lands
+// in the trace, the ledger stays conserved under observation, and the
+// runtime's spans satisfy the same conservation invariant as the sim's.
+func TestTraceRuntimeRecordConserved(t *testing.T) {
+	sp, err := scenario.ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtE, h, err := rtbackend.BuildScenario(sp, "elasticutor", 42,
+		rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec := Attach(h, &buf, HeaderForScenario(sp, "runtime", "elasticutor", 42, 40, "", 0),
+		RecordOptions{SnapshotEvery: simtime.Second})
+	h.Start(context.Background())
+	rep, runErr := h.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if err := rec.Finish(rep, h.LostEvents(), runErr); err != nil {
+		t.Fatal(err)
+	}
+	led := rtE.Ledger()
+	if !led.Conserved() {
+		t.Fatalf("ledger not conserved under recording: %v", led)
+	}
+	tr, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Backend != "runtime" || tr.Header.Spec == nil {
+		t.Fatalf("header incomplete: %+v", tr.Header)
+	}
+	if len(tr.Events) == 0 || len(tr.Snaps) == 0 || tr.End == nil {
+		t.Fatalf("trace incomplete: %d events, %d snaps, end=%v", len(tr.Events), len(tr.Snaps), tr.End)
+	}
+	if err := CheckSpans(tr.Spans(), rep); err != nil {
+		t.Fatal(err)
+	}
+	if tr.End.Processed != rep.Processed || tr.End.LostEvents != h.LostEvents() {
+		t.Fatalf("end record disagrees with report: %+v", tr.End)
+	}
+	// The recorded structural sequence is exactly the timeline's projection.
+	if err := DiffSeq(StructuralSeq(rep.Timeline), StructuralSeq(tr.DecodedEvents())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExporterMetrics scrapes a finished run and checks the text exposition
+// contains the cluster, per-operator, and calibration families (plus pprof
+// wiring only when opted in).
+func TestExporterMetrics(t *testing.T) {
+	sp, err := scenario.ByName("nodedrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sp.Start(context.Background(), "elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	traj := calib.NewTrajectory()
+	traj.Entries = append(traj.Entries, calib.TrajectoryEntry{Label: "TEST", PerTupleOverheadNS: 123})
+	x := NewExporter(h).SetCalibration(traj)
+
+	srv := httptest.NewServer(x.Handler(true))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		"elasticutor_live_nodes ",
+		"elasticutor_cores_total ",
+		"elasticutor_operator_processed_tuples_total{operator=",
+		"elasticutor_run_lost_events_total ",
+		`elasticutor_calib_per_tuple_overhead_ns{label="TEST"} 123`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics scrape missing %q:\n%s", want, text)
+		}
+	}
+	if resp, err := http.Get(srv.URL + "/debug/pprof/"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof opt-in not served: %v %v", resp.StatusCode, err)
+	}
+
+	plain := httptest.NewServer(NewExporter(h).Handler(false))
+	defer plain.Close()
+	if resp, err := http.Get(plain.URL + "/debug/pprof/"); err != nil || resp.StatusCode == http.StatusOK {
+		t.Fatalf("pprof served without opt-in: %v %v", resp.StatusCode, err)
+	}
+}
+
+// TestDecodeRejectsUnknownSchema: the decoder refuses traces from a future
+// format version instead of misreading them.
+func TestDecodeRejectsUnknownSchema(t *testing.T) {
+	in := `{"t":"hdr","hdr":{"schema":"elasticutor-trace/v999","backend":"sim","policy":"rc","seed":1,"duration_ms":1}}`
+	if _, err := Decode(strings.NewReader(in)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"t":"ev","ev":{"at_ms":0,"kind":"node-join","node":0}}`)); err == nil {
+		t.Fatal("headerless trace accepted")
+	}
+}
+
+// TestReplayRequiresSpec: a trace without an embedded spec cannot be
+// rebuilt, and says so.
+func TestReplayRequiresSpec(t *testing.T) {
+	tr := &Trace{Header: Header{Schema: TraceSchema, Backend: "sim", Policy: "rc"}}
+	if _, err := tr.Rebuild(ReplayOptions{}); err == nil {
+		t.Fatal("spec-less trace rebuilt")
+	}
+}

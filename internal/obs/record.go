@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/run"
+	"repro/internal/simtime"
+)
+
+// RecordOptions tunes a recording session.
+type RecordOptions struct {
+	// SnapshotEvery is the virtual-time cadence of periodic snapshot
+	// samples; 0 disables sampling (events and commands still record).
+	SnapshotEvery simtime.Duration
+	// Flush, when set, flushes the underlying writer after every record —
+	// the live-streaming mode (a console tail sees each event as it
+	// happens). Off, records flush at buffer boundaries and on Finish.
+	Flush bool
+}
+
+// Recorder writes a run's NDJSON trace as it executes. Attach wires it onto
+// an unstarted handle; every typed event, applied command, and periodic
+// snapshot then streams to the writer in emission order. Recording is pure
+// observation: on the simulator it never touches the engine's event heap, so
+// a recorded run stays byte-identical to an unrecorded one.
+//
+// Writers are called from the run's emitting goroutines (several at once on
+// the real-time backend); the recorder serializes them internally. Call
+// Finish after Wait to append the end record and flush.
+type Recorder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error // first write error; subsequent records are dropped
+
+	flush bool
+	done  bool
+}
+
+// Attach creates a recorder on w and wires it onto an unstarted run handle.
+// hdr's Schema is stamped; the header record is written immediately so even
+// a cut-off recording identifies itself.
+func Attach(h *run.Run, w io.Writer, hdr Header, opt RecordOptions) *Recorder {
+	hdr.Schema = TraceSchema
+	r := &Recorder{w: bufio.NewWriterSize(w, 32*1024), flush: opt.Flush}
+	r.writeLine(line{T: "hdr", Hdr: &hdr})
+	h.Observe(func(ev engine.Event) { r.writeLine(line{T: "ev", Ev: encodeEvent(ev)}) })
+	h.ObserveCommands(func(cmd engine.Command) { r.writeLine(line{T: "cmd", Cmd: encodeCommand(cmd)}) })
+	if opt.SnapshotEvery > 0 {
+		h.SampleEvery(opt.SnapshotEvery, func(s engine.Snapshot) {
+			r.writeLine(line{T: "snap", Snap: encodeSnapshot(s)})
+		})
+	}
+	return r
+}
+
+// writeLine appends one NDJSON record.
+func (r *Recorder) writeLine(l line) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil || r.done {
+		return
+	}
+	b, err := json.Marshal(l)
+	if err != nil {
+		r.err = fmt.Errorf("obs: encode trace record: %w", err)
+		return
+	}
+	if _, err := r.w.Write(append(b, '\n')); err != nil {
+		r.err = fmt.Errorf("obs: write trace: %w", err)
+		return
+	}
+	if r.flush {
+		if err := r.w.Flush(); err != nil {
+			r.err = fmt.Errorf("obs: flush trace: %w", err)
+		}
+	}
+}
+
+// Finish appends the end record (headline totals from the completed report,
+// the handle's lost-event count, and the run error if any) and flushes.
+// Call it after Wait; it returns the first error of the whole recording.
+func (r *Recorder) Finish(rep *engine.Report, lost int, runErr error) error {
+	r.writeLine(line{T: "end", End: encodeEnd(rep, lost, runErr)})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done = true
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = fmt.Errorf("obs: flush trace: %w", err)
+	}
+	return r.err
+}
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}

@@ -1,0 +1,407 @@
+// Package obs is the observability layer over the Run handle: a versioned
+// NDJSON trace format recording everything a live run exposes (typed events,
+// applied commands, periodic snapshots, §3.3 repartition spans), a recorder
+// that attaches to any run, a replayer that re-drives a recorded run through
+// a fresh handle and diffs the structural event sequence, and a scrapeable
+// metrics exporter. On the simulator backend record→replay is deterministic,
+// which turns any recorded incident into a regression test (see DESIGN.md
+// "Observability layer").
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+// TraceSchema is the trace format version stamped into every header. Bump it
+// on any breaking change to the record shapes; the decoder rejects schemas it
+// does not know.
+const TraceSchema = "elasticutor-trace/v1"
+
+// Header is the first record of every trace: the full rebuild recipe. Spec is
+// the resolved scenario embedded verbatim, so a trace file is self-contained
+// — replay does not depend on built-in names resolving identically or on the
+// original *.json spec still existing on disk.
+type Header struct {
+	Schema     string         `json:"schema"`
+	Backend    string         `json:"backend"` // "sim" | "runtime"
+	Policy     string         `json:"policy"`
+	Scenario   string         `json:"scenario,omitempty"` // display name
+	Seed       uint64         `json:"seed"`
+	DurationMS float64        `json:"duration_ms"`
+	Speedup    float64        `json:"speedup,omitempty"` // runtime clock compression
+	Autoscaler string         `json:"autoscaler,omitempty"`
+	MaxNodes   int            `json:"max_nodes,omitempty"`
+	Spec       *scenario.Spec `json:"spec,omitempty"`
+}
+
+// SpanRecord is the trace form of one engine.RepartitionSpan: the per-phase
+// breakdown of a completed §3.3 pause→drain→migrate→reroute cycle. The four
+// phase durations tile [start, start+total] exactly.
+type SpanRecord struct {
+	Operator   string  `json:"op"`
+	StartMS    float64 `json:"start_ms"`
+	PauseMS    float64 `json:"pause_ms"`
+	DrainMS    float64 `json:"drain_ms"`
+	MigrateMS  float64 `json:"migrate_ms"`
+	RerouteMS  float64 `json:"reroute_ms"`
+	Moves      int     `json:"moves"`
+	InterMoves int     `json:"inter_moves,omitempty"`
+	Bytes      int64   `json:"bytes,omitempty"`
+	Replayed   int     `json:"replayed,omitempty"`
+	ReplayedW  int64   `json:"replayed_w,omitempty"`
+	Aborted    bool    `json:"aborted,omitempty"`
+}
+
+// EventRecord is the trace form of one engine.Event.
+type EventRecord struct {
+	AtMS     float64     `json:"at_ms"`
+	Kind     string      `json:"kind"`
+	Node     int         `json:"node"`
+	Cores    int         `json:"cores,omitempty"`
+	Operator string      `json:"op,omitempty"`
+	Phase    string      `json:"phase,omitempty"`
+	Detail   string      `json:"detail,omitempty"`
+	Span     *SpanRecord `json:"span,omitempty"`
+}
+
+// CmdRecord is the trace form of one applied engine.Command, with AtMS
+// stamped to the virtual apply time — the deterministic re-injection point.
+type CmdRecord struct {
+	AtMS   float64 `json:"at_ms"`
+	Kind   string  `json:"kind"`
+	Node   int     `json:"node,omitempty"`
+	Cores  int     `json:"cores,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	Origin string  `json:"origin,omitempty"`
+	Label  string  `json:"label,omitempty"`
+}
+
+// OpRecord is one operator inside a SnapRecord.
+type OpRecord struct {
+	Name          string  `json:"name"`
+	Executors     int     `json:"execs"`
+	Cores         int     `json:"cores"`
+	OfferedRate   float64 `json:"off_rate"`
+	ProcessedRate float64 `json:"proc_rate"`
+	Offered       int64   `json:"offered"`
+	Processed     int64   `json:"processed"`
+	Queued        int     `json:"queued"`
+}
+
+// SnapRecord is one periodic engine.Snapshot sample. Rate fields are
+// observer-relative (windowed since the previous snapshot by anyone); the
+// cumulative Offered/Processed/Blocked counters are not.
+type SnapRecord struct {
+	AtMS           float64    `json:"at_ms"`
+	Nodes          int        `json:"nodes"`
+	TotalCores     int        `json:"cores"`
+	UsedCores      int        `json:"used"`
+	Blocked        int64      `json:"blocked"`
+	MigrationBytes int64      `json:"mig_bytes,omitempty"`
+	Reassignments  int64      `json:"reassigns,omitempty"`
+	Repartitions   int        `json:"repartitions,omitempty"`
+	Operators      []OpRecord `json:"ops"`
+}
+
+// EndRecord closes a trace with the run's headline totals — enough for a
+// reader to sanity-check completeness without parsing a full report.
+type EndRecord struct {
+	Generated           int64  `json:"generated"`
+	Processed           int64  `json:"processed"`
+	Blocked             int64  `json:"blocked"`
+	Dropped             int64  `json:"dropped"`
+	Events              uint64 `json:"events"`
+	Repartitions        int    `json:"repartitions"`
+	RepartitionReplayed int64  `json:"repartition_replayed"`
+	ChurnErrors         int    `json:"churn_errors"`
+	LostEvents          int    `json:"lost_events"`
+	Err                 string `json:"err,omitempty"`
+}
+
+// line is the on-disk shape of one NDJSON trace line: a type tag plus exactly
+// one populated payload.
+type line struct {
+	T    string       `json:"t"` // "hdr" | "ev" | "cmd" | "snap" | "end"
+	Hdr  *Header      `json:"hdr,omitempty"`
+	Ev   *EventRecord `json:"ev,omitempty"`
+	Cmd  *CmdRecord   `json:"cmd,omitempty"`
+	Snap *SnapRecord  `json:"snap,omitempty"`
+	End  *EndRecord   `json:"end,omitempty"`
+}
+
+// Trace is a fully decoded trace file.
+type Trace struct {
+	Header   Header
+	Events   []EventRecord
+	Commands []CmdRecord
+	Snaps    []SnapRecord
+	End      *EndRecord // nil when the recording was cut off
+}
+
+// ms converts a virtual duration to trace milliseconds.
+func ms(d simtime.Duration) float64 { return simtime.ToMillis(d) }
+
+// msAt converts a virtual time to trace milliseconds.
+func msAt(t simtime.Time) float64 { return simtime.ToMillis(t.Sub(simtime.Time(0))) }
+
+// fromMS converts trace milliseconds back to a virtual duration.
+func fromMS(v float64) simtime.Duration {
+	return simtime.Duration(math.Round(v * float64(simtime.Millisecond)))
+}
+
+// eventKinds maps the wire names back to engine kinds; built from the same
+// String() the encoder uses so the two can never drift.
+var eventKinds = func() map[string]engine.EventKind {
+	m := make(map[string]engine.EventKind)
+	for k := engine.EventNodeJoin; k <= engine.EventCommandApplied; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+var commandKinds = func() map[string]engine.CommandKind {
+	m := make(map[string]engine.CommandKind)
+	for k := engine.CmdAddNode; k <= engine.CmdSetRate; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// encodeEvent converts an engine event to its trace record.
+func encodeEvent(ev engine.Event) *EventRecord {
+	rec := &EventRecord{
+		AtMS:     msAt(ev.At),
+		Kind:     ev.Kind.String(),
+		Node:     ev.Node,
+		Cores:    ev.Cores,
+		Operator: ev.Operator,
+		Phase:    ev.Phase,
+		Detail:   ev.Detail,
+	}
+	if s := ev.Span; s != nil {
+		rec.Span = &SpanRecord{
+			Operator:   s.Operator,
+			StartMS:    msAt(s.Start),
+			PauseMS:    ms(s.Pause),
+			DrainMS:    ms(s.Drain),
+			MigrateMS:  ms(s.Migrate),
+			RerouteMS:  ms(s.Reroute),
+			Moves:      s.Moves,
+			InterMoves: s.InterMoves,
+			Bytes:      s.Bytes,
+			Replayed:   s.Replayed,
+			ReplayedW:  s.ReplayedW,
+			Aborted:    s.Aborted,
+		}
+	}
+	return rec
+}
+
+// DecodeEvent converts a trace record back to an engine event. Unknown kinds
+// decode to a negative EventKind so structural projections skip them — a
+// newer trace remains loadable by an older reader.
+func (rec *EventRecord) DecodeEvent() engine.Event {
+	kind, ok := eventKinds[rec.Kind]
+	if !ok {
+		kind = engine.EventKind(-1)
+	}
+	ev := engine.Event{
+		Kind:     kind,
+		At:       simtime.Time(0).Add(fromMS(rec.AtMS)),
+		Node:     rec.Node,
+		Cores:    rec.Cores,
+		Operator: rec.Operator,
+		Phase:    rec.Phase,
+		Detail:   rec.Detail,
+	}
+	if s := rec.Span; s != nil {
+		ev.Span = &engine.RepartitionSpan{
+			Operator:   s.Operator,
+			Start:      simtime.Time(0).Add(fromMS(s.StartMS)),
+			Pause:      fromMS(s.PauseMS),
+			Drain:      fromMS(s.DrainMS),
+			Migrate:    fromMS(s.MigrateMS),
+			Reroute:    fromMS(s.RerouteMS),
+			Moves:      s.Moves,
+			InterMoves: s.InterMoves,
+			Bytes:      s.Bytes,
+			Replayed:   s.Replayed,
+			ReplayedW:  s.ReplayedW,
+			Aborted:    s.Aborted,
+		}
+	}
+	return ev
+}
+
+// encodeCommand converts an applied command (At = virtual apply time) to its
+// trace record.
+func encodeCommand(cmd engine.Command) *CmdRecord {
+	return &CmdRecord{
+		AtMS:   ms(cmd.At),
+		Kind:   cmd.Kind.String(),
+		Node:   cmd.Node,
+		Cores:  cmd.Cores,
+		Factor: cmd.Factor,
+		Origin: cmd.Origin,
+		Label:  cmd.Label,
+	}
+}
+
+// DecodeCommand converts a trace record back to an injectable command, with
+// At set to the recorded apply time. Unknown kinds return ok=false.
+func (rec *CmdRecord) DecodeCommand() (engine.Command, bool) {
+	kind, ok := commandKinds[rec.Kind]
+	if !ok {
+		return engine.Command{}, false
+	}
+	return engine.Command{
+		Kind:   kind,
+		Node:   rec.Node,
+		Cores:  rec.Cores,
+		Factor: rec.Factor,
+		At:     fromMS(rec.AtMS),
+		Origin: rec.Origin,
+		Label:  rec.Label,
+	}, true
+}
+
+// encodeSnapshot converts an engine snapshot to its trace record.
+func encodeSnapshot(s engine.Snapshot) *SnapRecord {
+	rec := &SnapRecord{
+		AtMS:           msAt(s.Now),
+		Nodes:          s.LiveNodes,
+		TotalCores:     s.TotalCores,
+		UsedCores:      s.UsedCores,
+		Blocked:        s.Blocked,
+		MigrationBytes: s.MigrationBytes,
+		Reassignments:  s.Reassignments,
+		Repartitions:   s.Repartitions,
+	}
+	for _, o := range s.Operators {
+		rec.Operators = append(rec.Operators, OpRecord{
+			Name:          o.Name,
+			Executors:     o.Executors,
+			Cores:         o.Cores,
+			OfferedRate:   o.OfferedRate,
+			ProcessedRate: o.ProcessedRate,
+			Offered:       o.Offered,
+			Processed:     o.Processed,
+			Queued:        o.Queued,
+		})
+	}
+	return rec
+}
+
+// encodeEnd summarizes a completed report as the trace's closing record.
+func encodeEnd(rep *engine.Report, lost int, runErr error) *EndRecord {
+	end := &EndRecord{LostEvents: lost}
+	if runErr != nil {
+		end.Err = runErr.Error()
+	}
+	if rep != nil {
+		end.Generated = rep.Generated
+		end.Processed = rep.Processed
+		end.Blocked = rep.Blocked
+		end.Dropped = rep.Dropped
+		end.Events = rep.Events
+		end.Repartitions = rep.Repartitions
+		end.RepartitionReplayed = rep.RepartitionReplayed
+		end.ChurnErrors = len(rep.ChurnErrors)
+	}
+	return end
+}
+
+// Decode parses an NDJSON trace stream. It validates the schema of the
+// leading header and tolerates a missing end record (a recording cut off
+// mid-run still loads; End stays nil).
+func Decode(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	t := &Trace{}
+	n, sawHdr := 0, false
+	for sc.Scan() {
+		n++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", n, err)
+		}
+		switch l.T {
+		case "hdr":
+			if l.Hdr == nil {
+				return nil, fmt.Errorf("obs: trace line %d: hdr record without payload", n)
+			}
+			if l.Hdr.Schema != TraceSchema {
+				return nil, fmt.Errorf("obs: trace line %d: unknown schema %q (want %s)", n, l.Hdr.Schema, TraceSchema)
+			}
+			t.Header = *l.Hdr
+			sawHdr = true
+		case "ev":
+			if l.Ev != nil {
+				t.Events = append(t.Events, *l.Ev)
+			}
+		case "cmd":
+			if l.Cmd != nil {
+				t.Commands = append(t.Commands, *l.Cmd)
+			}
+		case "snap":
+			if l.Snap != nil {
+				t.Snaps = append(t.Snaps, *l.Snap)
+			}
+		case "end":
+			t.End = l.End
+		default:
+			// Skip unknown record types: a newer writer stays readable.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: trace: %w", err)
+	}
+	if !sawHdr {
+		return nil, fmt.Errorf("obs: trace has no header record")
+	}
+	return t, nil
+}
+
+// Load reads and decodes a trace file.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// DecodedEvents returns the trace's events in engine form.
+func (t *Trace) DecodedEvents() []engine.Event {
+	out := make([]engine.Event, 0, len(t.Events))
+	for i := range t.Events {
+		out = append(out, t.Events[i].DecodeEvent())
+	}
+	return out
+}
+
+// Spans returns the repartition spans recorded in the trace, in completion
+// order.
+func (t *Trace) Spans() []SpanRecord {
+	var out []SpanRecord
+	for i := range t.Events {
+		if t.Events[i].Span != nil {
+			out = append(out, *t.Events[i].Span)
+		}
+	}
+	return out
+}

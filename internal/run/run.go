@@ -36,9 +36,10 @@ import (
 // event-slices of this much virtual time.
 const slice = 100 * simtime.Millisecond
 
-// eventBuffer sizes the Events channel; emission never blocks, so events
-// beyond a slow consumer's lag are dropped (the report timeline keeps all).
-const eventBuffer = 4096
+// defaultEventBuffer sizes the Events channel when SetEventBuffer is not
+// called; emission never blocks, so events beyond a slow consumer's lag are
+// dropped (the report timeline keeps all, LostEvents counts the drops).
+const defaultEventBuffer = 4096
 
 // RuntimeBackend is the contract a self-driving (wall-clock) backend
 // implements; *runtime.Engine satisfies it structurally.
@@ -62,6 +63,9 @@ type RuntimeBackend interface {
 	EveryVirtual(interval simtime.Duration, fn func())
 	// SetOnEvent installs the event observer; pre-Start only.
 	SetOnEvent(fn func(engine.Event))
+	// SetOnCommand installs the applied-command observer (At stamped to the
+	// virtual apply time); pre-Start only.
+	SetOnCommand(fn func(engine.Command))
 }
 
 // marker is a pre-registered timeline annotation (phase transitions, skip
@@ -81,13 +85,22 @@ type Run struct {
 	sim *engine.Engine
 	rt  RuntimeBackend
 
-	mu       sync.Mutex
-	started  bool
-	finished bool
-	timeline []engine.Event
-	markers  []marker
-	events   chan engine.Event
-	lost     int // events dropped from the channel (timeline keeps them)
+	mu            sync.Mutex
+	started       bool
+	finished      bool
+	timeline      []engine.Event
+	markers       []marker
+	events        chan engine.Event
+	eventsExposed bool // Events() has handed the channel out
+	lost          int  // events dropped from the channel (timeline keeps them)
+
+	// Synchronous observers (pre-Start registration): evObservers see every
+	// event in emission order, cmdObservers every applied command with At
+	// stamped to the apply time, samplers periodic snapshots. Unlike the
+	// Events channel these are complete — the trace recorder's feed.
+	evObservers  []func(engine.Event)
+	cmdObservers []func(engine.Command)
+	samplers     []*sampler
 
 	// simulator driver plumbing
 	cmds    chan engine.Command
@@ -129,11 +142,123 @@ func NewRuntime(b RuntimeBackend, d simtime.Duration) *Run {
 func newRun(d simtime.Duration) *Run {
 	return &Run{
 		d:       d,
-		events:  make(chan engine.Event, eventBuffer),
+		events:  make(chan engine.Event, defaultEventBuffer),
 		cmds:    make(chan engine.Command, 64),
 		snapReq: make(chan chan engine.Snapshot),
 		pending: make(map[int]engine.Command),
 		done:    make(chan struct{}),
+	}
+}
+
+// sampler is one registered periodic snapshot observer. On the simulator the
+// due times are served at safe points (like markers, they never touch the
+// engine's event heap — observation cannot perturb a pinned run); on the
+// real-time backend each sampler gets a virtual-time ticker.
+type sampler struct {
+	every simtime.Duration
+	next  simtime.Duration
+	fn    func(engine.Snapshot)
+}
+
+// SetEventBuffer resizes the Events channel (default 4096). Emission never
+// blocks, so a smaller buffer drops more events on a slow consumer (LostEvents
+// counts them; Report.Timeline is always complete). Pre-Start only, and it
+// must precede the first Events() call — the channel identity changes.
+func (r *Run) SetEventBuffer(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		panic("run: SetEventBuffer after Start")
+	}
+	if r.eventsExposed {
+		panic("run: SetEventBuffer after Events")
+	}
+	r.events = make(chan engine.Event, n)
+}
+
+// Observe registers a synchronous event observer: fn sees every event, in
+// emission order, with no loss — unlike the buffered Events channel. fn runs
+// on the emitting goroutine under the handle's lock and must be fast and must
+// not call back into the handle. Pre-Start only.
+func (r *Run) Observe(fn func(engine.Event)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		panic("run: Observe after Start")
+	}
+	r.evObservers = append(r.evObservers, fn)
+}
+
+// ObserveCommands registers a synchronous observer of applied commands: fn
+// sees every command a backend successfully applies (refusals land in
+// Report.ChurnErrors instead), with At stamped to the virtual apply time and
+// Origin preserved. Same constraints as Observe. Pre-Start only.
+func (r *Run) ObserveCommands(fn func(engine.Command)) {
+	r.mu.Lock()
+	started := r.started
+	if !started {
+		r.cmdObservers = append(r.cmdObservers, fn)
+	}
+	wire := !started && len(r.cmdObservers) == 1 && r.rt != nil
+	r.mu.Unlock()
+	if started {
+		panic("run: ObserveCommands after Start")
+	}
+	if wire {
+		r.rt.SetOnCommand(r.observeCommand)
+	}
+}
+
+// observeCommand fans an applied command out to the registered observers.
+func (r *Run) observeCommand(cmd engine.Command) {
+	r.mu.Lock()
+	obs := r.cmdObservers
+	r.mu.Unlock()
+	for _, fn := range obs {
+		fn(cmd)
+	}
+}
+
+// SampleEvery registers a periodic snapshot observer: fn receives a Snapshot
+// at least every interval of virtual time. On the simulator samples are
+// served at the driver's safe points (granularity = the 100 ms slice), so
+// sampling never perturbs the simulation; on the real-time backend fn runs on
+// its own ticker goroutine and must be safe for that. Remember the Snapshot
+// rate fields are observer-relative (see engine.Snapshot); concurrent
+// snapshot consumers shorten each other's windows. Pre-Start only.
+func (r *Run) SampleEvery(interval simtime.Duration, fn func(engine.Snapshot)) {
+	if interval <= 0 {
+		panic("run: SampleEvery with non-positive interval")
+	}
+	r.mu.Lock()
+	started := r.started
+	if !started {
+		r.samplers = append(r.samplers, &sampler{every: interval, next: interval, fn: fn})
+	}
+	r.mu.Unlock()
+	if started {
+		panic("run: SampleEvery after Start")
+	}
+	if r.rt != nil {
+		r.rt.EveryVirtual(interval, func() { fn(r.rt.Snapshot()) })
+	}
+}
+
+// serveSamplers runs every sim sampler whose due time has passed (driver
+// goroutine, at a safe point).
+func (r *Run) serveSamplers(now simtime.Duration) {
+	for _, s := range r.samplers {
+		if s.next > now {
+			continue
+		}
+		snap := r.sim.Snapshot()
+		for s.next <= now {
+			s.next += s.every
+		}
+		s.fn(snap)
 	}
 }
 
@@ -208,6 +333,7 @@ func (r *Run) AttachController(period simtime.Duration, fn func(engine.Snapshot)
 	r.rt.EveryVirtual(period, func() {
 		for _, cmd := range fn(r.rt.Snapshot()) {
 			cmd.At = 0 // next safe point: the tick already fixed the time
+			cmd.Origin = "controller"
 			r.rt.ApplyAsync(cmd)
 		}
 	})
@@ -219,6 +345,7 @@ func (r *Run) AttachController(period simtime.Duration, fn func(engine.Snapshot)
 func (r *Run) serveController(fn func(engine.Snapshot) []engine.Command) {
 	for _, cmd := range fn(r.sim.Snapshot()) {
 		cmd.At = 0
+		cmd.Origin = "controller"
 		r.applySim(cmd)
 	}
 }
@@ -308,6 +435,10 @@ func (r *Run) applySim(cmd engine.Command) {
 		r.emit(engine.Event{Kind: engine.EventCommandApplied, At: r.sim.Clock().Now(),
 			Node: -1, Detail: cmd.String()})
 	}
+	if len(r.cmdObservers) > 0 {
+		cmd.At = simtime.Duration(r.sim.Clock().Now())
+		r.observeCommand(cmd)
+	}
 }
 
 // Start launches the run. It returns immediately; cancel ctx to stop the run
@@ -350,6 +481,7 @@ func (r *Run) driveSim(ctx context.Context) {
 		e.StepUntil(simtime.Time(0).Add(next))
 		now = next
 		nextMarker = r.emitMarkers(nextMarker, now)
+		r.serveSamplers(now)
 		r.serveSafePoint()
 	}
 	// Commands the run ends before applying cannot land any more — both the
@@ -473,22 +605,36 @@ func (r *Run) finish(rep *engine.Report, err error) {
 	close(r.events)
 }
 
-// emit records ev on the timeline and offers it to the Events channel
-// without ever blocking the run.
+// emit records ev on the timeline, hands it to the synchronous observers, and
+// offers it to the Events channel without ever blocking the run. After finish
+// (channel closed) a straggling emission is recorded but never sent.
 func (r *Run) emit(ev engine.Event) {
 	r.mu.Lock()
 	r.timeline = append(r.timeline, ev)
-	select {
-	case r.events <- ev:
-	default:
-		r.lost++
+	for _, fn := range r.evObservers {
+		fn(ev)
+	}
+	if !r.finished {
+		select {
+		case r.events <- ev:
+		default:
+			r.lost++
+		}
 	}
 	r.mu.Unlock()
 }
 
 // Events returns the live event stream. The channel closes when the run
-// completes; slow consumers may miss events (Report.Timeline is complete).
-func (r *Run) Events() <-chan engine.Event { return r.events }
+// completes; slow consumers may miss events (Report.Timeline is complete,
+// LostEvents counts the drops). Size the buffer with SetEventBuffer before
+// the first call.
+func (r *Run) Events() <-chan engine.Event {
+	r.mu.Lock()
+	r.eventsExposed = true
+	ch := r.events
+	r.mu.Unlock()
+	return ch
+}
 
 // Done returns a channel closed when the run has completed.
 func (r *Run) Done() <-chan struct{} { return r.done }

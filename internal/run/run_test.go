@@ -72,3 +72,95 @@ func TestTimelineAndSnapshotsThroughHandle(t *testing.T) {
 		t.Fatalf("inconsistent loss accounting: %d lost, %d kept", h.LostEvents(), len(r.Timeline))
 	}
 }
+
+// TestEventOverflowAccounting pins the Events channel's overflow semantics:
+// with a deliberately tiny buffer and a consumer that never reads until the
+// run is over, emission never blocks, the timeline stays complete, and every
+// timeline event is either delivered (buffered) or counted by LostEvents —
+// nothing vanishes unaccounted.
+func TestEventOverflowAccounting(t *testing.T) {
+	s, err := scenario.ByName("nodedrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Build("elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := inst.Handle
+	h.SetEventBuffer(2)
+	ch := h.Events() // taken before Start, never read until completion
+	h.Start(context.Background())
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	for range ch { // closed at finish; drain what the buffer kept
+		received++
+	}
+	if len(r.Timeline) <= 2 {
+		t.Fatalf("scenario emitted only %d events; the overflow test needs load", len(r.Timeline))
+	}
+	if received != 2 {
+		t.Fatalf("tiny buffer delivered %d events, want exactly its capacity 2", received)
+	}
+	if received+h.LostEvents() != len(r.Timeline) {
+		t.Fatalf("overflow accounting broken: %d received + %d lost != %d timeline events",
+			received, h.LostEvents(), len(r.Timeline))
+	}
+}
+
+// TestEventBufferDefaultLossless: the default buffer absorbs a whole scenario
+// run without loss, so an after-the-fact drain sees the complete timeline.
+func TestEventBufferDefaultLossless(t *testing.T) {
+	s, err := scenario.ByName("nodedrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Start(context.Background(), "elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	for range h.Events() {
+		received++
+	}
+	if h.LostEvents() != 0 {
+		t.Fatalf("default buffer lost %d events", h.LostEvents())
+	}
+	if received != len(r.Timeline) {
+		t.Fatalf("drained %d events, timeline has %d", received, len(r.Timeline))
+	}
+}
+
+// TestSetEventBufferGuards: resizing is pre-Start and pre-Events only — the
+// channel identity changes, so a late resize would strand the consumer.
+func TestSetEventBufferGuards(t *testing.T) {
+	s, err := scenario.ByName("nodedrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := s.Build("elasticutor", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := inst.Handle
+	h.Events()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetEventBuffer after Events did not panic")
+			}
+		}()
+		h.SetEventBuffer(8)
+	}()
+	h.Start(context.Background())
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,19 @@ import (
 // SetOnEvent installs the run-event observer. Must be called before Begin.
 func (e *Engine) SetOnEvent(fn func(engine.Event)) { e.onEvent = fn }
 
+// SetOnCommand installs the applied-command observer: fn sees every command
+// the control goroutine successfully applies, with At stamped to the virtual
+// apply time. Must be called before Begin; nil disables observation.
+func (e *Engine) SetOnCommand(fn func(engine.Command)) { e.onCommand = fn }
+
+// observeCmd reports an applied command to the observer (control goroutine).
+func (e *Engine) observeCmd(cmd engine.Command) {
+	if e.onCommand != nil {
+		cmd.At = simtime.Duration(e.vnow())
+		e.onCommand(cmd)
+	}
+}
+
 func (e *Engine) emit(ev engine.Event) {
 	if e.onEvent != nil {
 		e.onEvent(ev)
@@ -146,13 +159,18 @@ func (e *Engine) applyCmd(cmd engine.Command) {
 	switch cmd.Kind {
 	case engine.CmdAddNode:
 		e.addNode(cmd.Cores)
+		e.observeCmd(cmd)
 	case engine.CmdDrainNode:
 		if err := e.removeNode(cmd.Node, true); err != nil {
 			e.recordCmdError(cmd, err)
+		} else {
+			e.observeCmd(cmd)
 		}
 	case engine.CmdFailNode:
 		if err := e.removeNode(cmd.Node, false); err != nil {
 			e.recordCmdError(cmd, err)
+		} else {
+			e.observeCmd(cmd)
 		}
 	case engine.CmdSetRate:
 		f := cmd.Factor
@@ -162,6 +180,7 @@ func (e *Engine) applyCmd(cmd engine.Command) {
 		e.rateFactor.Store(math.Float64bits(f))
 		e.emit(engine.Event{Kind: engine.EventCommandApplied, At: e.vnow(), Node: -1,
 			Detail: cmd.String()})
+		e.observeCmd(cmd)
 	default:
 		e.recordCmdError(cmd, fmt.Errorf("runtime: unknown command kind %d", int(cmd.Kind)))
 	}

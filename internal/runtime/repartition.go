@@ -37,8 +37,11 @@ func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
 	e.emit(engine.Event{Kind: engine.EventRepartitionStart, At: started, Node: -1,
 		Operator: o.meta.Name, Detail: fmt.Sprintf("%d move(s)", len(moves))})
 
-	// Phase 1: pause. New arrivals buffer at the operator.
+	// Phase 1: pause. New arrivals buffer at the operator. (The simulator
+	// charges an upstream-fan-in sync cost here; the runtime's pause is one
+	// atomic store, so the span's Pause phase is what it really cost.)
 	o.paused.Store(true)
+	pausedAt := e.vnow()
 
 	// Phase 2: drain. Wait until every tuple already admitted has been
 	// processed — queues empty, workers idle.
@@ -110,30 +113,69 @@ func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
 	}
 	o.snapMu.Unlock()
 	e.migrationBytes.Add(movedBytes)
+	migrated := e.vnow()
 
 	o.paused.Store(false)
 	o.bufMu.Lock()
 	buf := o.pauseBuf
 	o.pauseBuf = nil
 	o.bufMu.Unlock()
+	var replayW int64
+	for i := range buf {
+		replayW += int64(buf[i].Weight)
+	}
 	e.replay(o, buf, 0)
 
-	total := e.vnow().Sub(started)
+	finished := e.vnow()
+	total := finished.Sub(started)
+	e.repMu.Lock()
 	if committed {
-		e.repMu.Lock()
 		e.repartitions++
 		e.repartMoves += int64(len(moves))
 		e.repartBytes += movedBytes
 		e.repartSync += drained.Sub(started)
 		e.repartTime += total
-		e.repMu.Unlock()
 	}
+	// Replayed weight is conservation accounting: an aborted (churn-
+	// overtaken) protocol still paused, buffered, and replayed.
+	e.repartReplayed += replayW
+	e.repMu.Unlock()
 	o.repart.Store(false)
-	e.emit(engine.Event{Kind: engine.EventRepartitionFinish, At: e.vnow(), Node: -1,
-		Operator: o.meta.Name, Detail: fmt.Sprintf("%d move(s), %v total", len(moves), total)})
+	e.emit(engine.Event{Kind: engine.EventRepartitionFinish, At: finished, Node: -1,
+		Operator: o.meta.Name, Detail: fmt.Sprintf("%d move(s), %v total", len(moves), total),
+		Span: &engine.RepartitionSpan{
+			Operator:   o.meta.Name,
+			Start:      started,
+			Pause:      pausedAt.Sub(started),
+			Drain:      drained.Sub(pausedAt),
+			Migrate:    migrated.Sub(drained),
+			Reroute:    finished.Sub(migrated),
+			Moves:      len(moves),
+			InterMoves: interMoves(snap, moves),
+			Bytes:      movedBytes,
+			Replayed:   len(buf),
+			ReplayedW:  replayW,
+			Aborted:    !committed,
+		}})
 	// An aborted (churn-overtaken) protocol still finishes from the
 	// policy's point of view: the controller must cool down either way.
 	e.post(func() { e.pol.RepartitionFinished(o) })
+}
+
+// interMoves counts the moves whose source and destination executors live on
+// different nodes — the span's cross-node migration count, judged against the
+// same snapshot the wire-cost model used.
+func interMoves(snap *opSnap, moves []balancer.Move) int {
+	n := 0
+	for _, m := range moves {
+		if m.From < 0 || m.From >= len(snap.execs) || m.To < 0 || m.To >= len(snap.execs) {
+			continue
+		}
+		if snap.execs[m.From].localNode() != snap.execs[m.To].localNode() {
+			n++
+		}
+	}
+	return n
 }
 
 // waitDrained blocks until the operator's admitted-but-unprocessed weight

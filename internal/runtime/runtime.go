@@ -279,6 +279,7 @@ type Engine struct {
 	repartBytes    int64
 	repartTime     simtime.Duration
 	repartSync     simtime.Duration
+	repartReplayed int64
 	migrationBytes atomic.Int64
 	lostStateBytes atomic.Int64
 	retiredExecs   int
@@ -294,6 +295,7 @@ type Engine struct {
 
 	// Run-handle surface (see handle.go).
 	onEvent    func(engine.Event)
+	onCommand  func(engine.Command)
 	cancelCh   chan struct{}
 	cancelMu   sync.Mutex
 	cancelSig  bool
@@ -846,6 +848,7 @@ func (e *Engine) buildReport(d simtime.Duration) *engine.Report {
 	r.RepartitionBytes = e.repartBytes
 	r.RepartitionTime = e.repartTime
 	r.RepartitionSync = e.repartSync
+	r.RepartitionReplayed = e.repartReplayed
 	r.SchedulingWall = append([]time.Duration(nil), e.schedulingWall...)
 	r.NodeJoins = e.nodeJoins
 	r.NodeDrains = e.nodeDrains

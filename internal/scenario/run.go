@@ -288,6 +288,9 @@ func Drive(h *run.Run, s *Spec, z ZipfCtl, keys int) {
 		}
 		cmd.At = secs(ev.atSec)
 		cmd.Label = label
+		// Provenance for the trace recorder: spec-scheduled churn is
+		// regenerated from the spec on replay, not re-injected.
+		cmd.Origin = "scenario"
 		if err := h.Inject(cmd); err != nil {
 			panic(fmt.Sprintf("scenario: pre-start inject refused: %v", err))
 		}

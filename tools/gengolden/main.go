@@ -6,10 +6,12 @@
 // It rewrites internal/policy/testdata/scenarios.golden (reference-run report
 // fingerprints), internal/experiments/testdata/fig8_quick.golden,
 // scenarios_quick.golden, and autoscale_quick.golden (full experiment
-// tables), and internal/scenario/testdata/builtins.golden (one fingerprint
-// per built-in scenario, churn counters included). Regenerate ONLY when a
-// behavior change is intended; the policy, harness, scenario, and
-// experiments tests compare against these bytes.
+// tables), internal/scenario/testdata/builtins.golden (one fingerprint
+// per built-in scenario, churn counters included), and
+// internal/obs/testdata/record_replay.golden (the pinned trace recording's
+// structural event sequence and repartition spans). Regenerate ONLY when a
+// behavior change is intended; the policy, harness, scenario, experiments,
+// and obs tests compare against these bytes.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/golden"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -57,4 +60,6 @@ func main() {
 	write("internal/experiments/testdata/autoscale_quick.golden", buf.String())
 
 	write("internal/scenario/testdata/builtins.golden", scenario.GenerateGoldens())
+
+	write("internal/obs/testdata/record_replay.golden", obs.GenerateGolden())
 }
