@@ -81,6 +81,10 @@ func BenchmarkRuntime(b *testing.B) { runExperiment(b, "runtime") }
 // controllers × load-shape scenarios vs static provisioning).
 func BenchmarkAutoscale(b *testing.B) { runExperiment(b, "autoscale") }
 
+// BenchmarkLatencyAnatomy regenerates the per-stage tail-latency
+// decomposition (4 paradigms × load-burst and node-failure scenarios).
+func BenchmarkLatencyAnatomy(b *testing.B) { runExperiment(b, "latencyanatomy") }
+
 // Component microbenches.
 
 func BenchmarkComponentClockEvents(b *testing.B) {
@@ -189,5 +193,40 @@ func BenchmarkComponentHistogramObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Observe(simtime.Duration(i%1000)*simtime.Microsecond, 1)
+	}
+}
+
+func BenchmarkComponentStageRecorderObserve(b *testing.B) {
+	// The runtime's per-tuple anatomy cost: one sampled observation into a
+	// striped lane, as exec.go pays it for 1-in-N traced tuples. Part of the
+	// blocking CI gate — this is the only per-tuple work the latency-anatomy
+	// layer adds to the hot path.
+	r := metrics.NewStageRecorder(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe(i, metrics.StageObservation{
+			Total:       simtime.Duration(i%1000) * simtime.Microsecond,
+			Service:     simtime.Duration(i%100) * simtime.Microsecond,
+			Repartition: simtime.Duration(i%7) * simtime.Microsecond,
+			Weight:      1,
+		})
+	}
+}
+
+func BenchmarkComponentStageRecorderFold(b *testing.B) {
+	// The window-tick fold: drain 8 lanes into cumulative structures, as
+	// sampleSeries pays it once per second per operator.
+	r := metrics.NewStageRecorder(8)
+	cum := metrics.NewStageSet()
+	cumTotal := metrics.NewHistogram()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			r.Observe(j, metrics.StageObservation{
+				Total: simtime.Duration(j) * simtime.Microsecond, Weight: 1})
+		}
+		r.FoldWindow(cum, cumTotal)
 	}
 }

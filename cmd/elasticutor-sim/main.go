@@ -309,6 +309,7 @@ func main() {
 			x := obs.NewExporter(h)
 			if rtE != nil {
 				x.SetLedger(rtE.Ledger)
+				x.SetLatency(rtE.LatencyAnatomy)
 			}
 			bound, closeSrv, err := x.Serve(*metrics, *pprofOn)
 			if err != nil {

@@ -87,14 +87,24 @@ func (v *view) command(cmd engine.Command) {
 // frame renders one refresh of the live view.
 func (v *view) frame(w *strings.Builder, s engine.Snapshot, total simtime.Duration, title string, lost int) {
 	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "t=%v/%v  nodes=%d  util=%.0f%% (%d/%d cores)  repartitions=%d  reassigns=%d  migration=%.1fMB  blocked=%d  lost-events=%d\n\n",
+	fmt.Fprintf(w, "t=%v/%v  nodes=%d  util=%.0f%% (%d/%d cores)  repartitions=%d  reassigns=%d  migration=%.1fMB  blocked=%d  lost-events=%d\n",
 		s.Now, total, s.LiveNodes, 100*s.Utilization, s.UsedCores, s.TotalCores,
 		s.Repartitions, s.Reassignments, float64(s.MigrationBytes)/(1<<20), s.Blocked, lost)
-
-	fmt.Fprintf(w, "%-14s %5s %5s %12s %12s %10s\n", "OPERATOR", "EXEC", "CORES", "OFFERED/s", "PROCESSED/s", "QUEUED")
+	if s.LatencyWeight > 0 {
+		fmt.Fprintf(w, "latency (last window): p50=%v p95=%v p99=%v max=%v  dominant=%s %.0f%%\n",
+			s.LatencyP50, s.LatencyP95, s.LatencyP99, s.LatencyMax,
+			s.DominantStage, 100*s.DominantShare)
+	}
+	fmt.Fprintf(w, "\n%-14s %5s %5s %12s %12s %10s %10s %10s %12s\n",
+		"OPERATOR", "EXEC", "CORES", "OFFERED/s", "PROCESSED/s", "QUEUED", "P50", "P99", "STAGE")
 	for _, o := range s.Operators {
-		fmt.Fprintf(w, "%-14s %5d %5d %12.0f %12.0f %10d\n",
-			o.Name, o.Executors, o.Cores, o.OfferedRate, o.ProcessedRate, o.Queued)
+		stage := "-"
+		if o.DominantShare > 0 {
+			stage = fmt.Sprintf("%s %.0f%%", o.DominantStage, 100*o.DominantShare)
+		}
+		fmt.Fprintf(w, "%-14s %5d %5d %12.0f %12.0f %10d %10v %10v %12s\n",
+			o.Name, o.Executors, o.Cores, o.OfferedRate, o.ProcessedRate, o.Queued,
+			o.LatP50, o.LatP99, stage)
 	}
 
 	v.mu.Lock()
@@ -223,6 +233,7 @@ func main() {
 		x := obs.NewExporter(h)
 		if rtE != nil {
 			x.SetLedger(rtE.Ledger)
+			x.SetLatency(rtE.LatencyAnatomy)
 		}
 		if *calPath != "" {
 			traj, err := calib.LoadTrajectory(*calPath)

@@ -14,8 +14,8 @@
 // detector.
 //
 // Controllers are registered by name exactly like elasticity policies
-// (ByName/Register); the built-ins are "none", "reactive", "backlog", and
-// "predictive" (see controllers.go).
+// (ByName/Register); the built-ins are "none", "reactive", "backlog",
+// "predictive", and "latency" (see controllers.go).
 package autoscale
 
 import (
@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/run"
 	"repro/internal/simtime"
 )
@@ -70,6 +71,22 @@ type Metrics struct {
 	// It is capped by the backpressure credit limit, so sustained overload
 	// shows up in BlockedFrac, not here.
 	Backlog int
+
+	// LatencyP99 is the end-to-end p99 of the last folded anatomy window
+	// (zero while LatencyWeight is zero — no samples landed yet), and
+	// DominantStage/DominantShare name where that window's latency was
+	// spent. A latency controller should read the stage before acting: a
+	// p99 spike whose dominant stage is repartition is a transient
+	// control-plane stall that extra nodes cannot shorten.
+	LatencyP99    simtime.Duration
+	LatencyWeight uint64
+	DominantStage metrics.Stage
+	DominantShare float64
+
+	// LatencySLO echoes the session's configured latency objective (zero
+	// when none), so a controller can target the same bound the SLO
+	// accounting judges it by.
+	LatencySLO simtime.Duration
 
 	// The session's configured bounds, so controllers can reason about
 	// remaining headroom. CoresPerNode is the marginal node size a scale
@@ -130,6 +147,12 @@ type Config struct {
 	// usually bounds the backlog — set this when the credit window is
 	// larger than the latency budget.
 	BacklogSLO int
+	// LatencySLO optionally adds an end-to-end tail-latency objective: when
+	// > 0, a post-warm-up window whose folded p99 exceeds it is a violation
+	// (windows with no latency samples are not judged). Default 0
+	// (disabled). This is the objective the "latency" controller closes the
+	// loop on.
+	LatencySLO simtime.Duration
 }
 
 func (c Config) withDefaults(liveNodes int) Config {
@@ -230,6 +253,12 @@ func (s *Session) tick(snap engine.Snapshot) []engine.Command {
 		Backlog:     backlog,
 		MinNodes:    s.cfg.MinNodes,
 		MaxNodes:    s.cfg.MaxNodes,
+
+		LatencyP99:    snap.LatencyP99,
+		LatencyWeight: snap.LatencyWeight,
+		DominantStage: snap.DominantStage,
+		DominantShare: snap.DominantShare,
+		LatencySLO:    s.cfg.LatencySLO,
 	}
 	sec := window.Seconds()
 	dAll := offered - s.lastOffered
@@ -274,7 +303,8 @@ func (s *Session) tick(snap engine.Snapshot) []engine.Command {
 	s.stats.Ticks++
 	s.stats.NodeSeconds += window.Seconds() * float64(s.lastNodes)
 	if m.Warm && (m.BlockedFrac > s.cfg.RefusedSLO ||
-		(s.cfg.BacklogSLO > 0 && backlog > s.cfg.BacklogSLO)) {
+		(s.cfg.BacklogSLO > 0 && backlog > s.cfg.BacklogSLO) ||
+		(s.cfg.LatencySLO > 0 && m.LatencyWeight > 0 && m.LatencyP99 > s.cfg.LatencySLO)) {
 		s.stats.SLOViolation += window
 	}
 	if snap.LiveNodes > s.stats.PeakNodes {

@@ -6,12 +6,13 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/simtime"
 )
 
 func TestRegistry(t *testing.T) {
-	want := []string{"backlog", "none", "predictive", "reactive"}
+	want := []string{"backlog", "latency", "none", "predictive", "reactive"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -139,6 +140,71 @@ func TestPredictivePreScalesOnTrend(t *testing.T) {
 	}
 	if d.Delta != -1 {
 		t.Fatalf("no scale-down on a flat comfortable trend: %+v", d)
+	}
+}
+
+// latMetricsAt decorates metricsAt with an anatomy window for latency tests.
+func latMetricsAt(tick int, p99 simtime.Duration, stage metrics.Stage, demandCores float64) Metrics {
+	m := metricsAt(tick, 0.0, demandCores)
+	m.LatencyP99 = p99
+	m.LatencyWeight = 100
+	m.DominantStage = stage
+	m.DominantShare = 0.6
+	m.LatencySLO = 200 * simtime.Millisecond
+	return m
+}
+
+func TestLatencyControllerSLOAndPauseGuard(t *testing.T) {
+	over := 300 * simtime.Millisecond // breaches the 200ms SLO
+	under := 50 * simtime.Millisecond // within downFrac of it
+
+	// Two consecutive breaches (service-bound) scale up; one does not.
+	c := newLatency().(*latencyCtl)
+	if d := c.Decide(latMetricsAt(1, over, metrics.StageService, 40)); d.Delta != 0 {
+		t.Fatalf("scaled up after one breached window: %+v", d)
+	}
+	if d := c.Decide(latMetricsAt(2, over, metrics.StageService, 40)); d.Delta != 1 {
+		t.Fatalf("no scale-up after two breached windows: %+v", d)
+	}
+
+	// Repartition-dominated breaches never scale: a §3.3 pause is transient
+	// and node adds cannot shorten it.
+	c = newLatency().(*latencyCtl)
+	for i := 0; i < 6; i++ {
+		if d := c.Decide(latMetricsAt(1+i, over, metrics.StageRepartition, 40)); d.Delta != 0 {
+			t.Fatalf("scaled on a repartition-bound breach: %+v", d)
+		}
+	}
+
+	// Empty windows are skipped, not treated as healthy: they must not feed
+	// the scale-down streak.
+	c = newLatency().(*latencyCtl)
+	for i := 0; i < 8; i++ {
+		m := latMetricsAt(1+i, 0, metrics.StageQueue, 10)
+		m.LatencyWeight = 0
+		if d := c.Decide(m); d.Delta != 0 {
+			t.Fatalf("acted on an empty anatomy window: %+v", d)
+		}
+	}
+
+	// A comfortable tail plus fitting demand scales down after downAfter.
+	c = newLatency().(*latencyCtl)
+	var d Decision
+	for i := 0; i < 4; i++ {
+		d = c.Decide(latMetricsAt(1+i, under, metrics.StageQueue, 10))
+	}
+	if d.Delta != -1 {
+		t.Fatalf("no scale-down after four comfortable windows: %+v", d)
+	}
+
+	// With no session SLO the controller's default target applies.
+	c = newLatency().(*latencyCtl)
+	m := latMetricsAt(1, 600*simtime.Millisecond, metrics.StageService, 40)
+	m.LatencySLO = 0 // default slo is 500ms; 600ms still breaches
+	c.Decide(m)
+	m.Tick = 2
+	if d := c.Decide(m); d.Delta != 1 {
+		t.Fatalf("default SLO not applied: %+v", d)
 	}
 }
 

@@ -1,6 +1,11 @@
 package autoscale
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
 
 // The built-in controllers. Each encodes one classic autoscaling idiom over
 // the same Metrics view; DESIGN.md "Autoscaling layer" documents the contract
@@ -200,6 +205,81 @@ func (c *predictive) Decide(m Metrics) Decision {
 		c.wait = c.cooldown
 		return Decision{Delta: -1,
 			Reason: fmt.Sprintf("projected %.1f cores fits %.0f", projCores, elasticAfterDrain(m))}
+	}
+	return Decision{}
+}
+
+// latencyCtl closes the loop on the end-to-end tail instead of refused
+// demand: scale up after upAfter consecutive windows whose folded p99 exceeds
+// the target, scale down when the tail sits comfortably under it and the
+// demand would still fit after a drain. Two latency-specific guards:
+//
+//   - Windows with no latency samples (LatencyWeight == 0) are skipped, not
+//     treated as healthy — an empty window says nothing about the tail.
+//   - A breach whose dominant stage is repartition is ignored: that tail is
+//     a §3.3 control-plane pause, transient by construction, and adding
+//     nodes cannot shorten it (it would only trigger more repartitions).
+//
+// The target is the session's Config.LatencySLO when set, else the
+// controller's own default, so `-autoscaler latency` works out of the box.
+type latencyCtl struct {
+	slo                simtime.Duration // fallback target when the session sets none
+	downFrac           float64          // scale down when p99 below this fraction of target
+	upAfter, downAfter int
+	cooldown           int
+
+	hot, cold, wait int
+}
+
+func newLatency() Autoscaler {
+	return &latencyCtl{slo: 500 * simtime.Millisecond, downFrac: 0.5,
+		upAfter: 2, downAfter: 4, cooldown: 2}
+}
+
+func (c *latencyCtl) Name() string { return "latency" }
+
+func (c *latencyCtl) Decide(m Metrics) Decision {
+	if c.wait > 0 {
+		c.wait--
+		return Decision{}
+	}
+	target := m.LatencySLO
+	if target <= 0 {
+		target = c.slo
+	}
+	if m.LatencyWeight == 0 {
+		// No samples landed this window; neither breach nor headroom.
+		return Decision{}
+	}
+	breach := m.LatencyP99 > target
+	pauseBound := breach && m.DominantStage == metrics.StageRepartition
+	fits := m.CoreRate > 0 && m.DemandCores <= elasticAfterDrain(m)
+	switch {
+	case breach && !pauseBound:
+		c.cold = 0
+		c.hot++
+		if c.hot >= c.upAfter {
+			c.hot = 0
+			c.wait = c.cooldown
+			return Decision{Delta: 1,
+				Reason: fmt.Sprintf("p99 %v over SLO %v (dominant %s)", m.LatencyP99, target, m.DominantStage)}
+		}
+	case !breach && m.LatencyP99.Seconds() <= c.downFrac*target.Seconds() && fits && m.BlockedFrac < 0.05:
+		c.hot = 0
+		c.cold++
+		if c.cold >= c.downAfter {
+			c.cold = 0
+			c.wait = c.cooldown
+			return Decision{Delta: -1,
+				Reason: fmt.Sprintf("p99 %v under %.0f%% of SLO %v, demand %.1f cores fits %.0f",
+					m.LatencyP99, 100*c.downFrac, target, m.DemandCores, elasticAfterDrain(m))}
+		}
+	default:
+		c.hot, c.cold = 0, 0
+		if pauseBound {
+			// Repartition-bound breaches reset the streak but never scale.
+			c.hot = 0
+		}
 	}
 	return Decision{}
 }

@@ -17,6 +17,7 @@ var (
 		"reactive":   newReactive,
 		"backlog":    newBacklog,
 		"predictive": newPredictive,
+		"latency":    newLatency,
 	}
 )
 

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/executor"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/simtime"
 	"repro/internal/state"
@@ -198,6 +199,16 @@ type opRuntime struct {
 	// retiredExecs keeps executors churn removed from this operator, so the
 	// per-operator report can still bill their historical stats.
 	retiredExecs []*executor.Executor
+
+	// Latency-anatomy accumulation, folded on the metrics window tick:
+	// winRPStall collects §3.3 pause stall × weight attributed at replay time;
+	// anatTotals are the cumulative post-warm-up per-stage totals; lastHopP50/
+	// lastHopP99 hold the last non-empty window's hop-latency percentiles
+	// (the Snapshot surface).
+	winRPStall simtime.Duration
+	anatTotals [metrics.NumStages]simtime.Duration
+	lastHopP50 simtime.Duration
+	lastHopP99 simtime.Duration
 }
 
 // policy.Operator implementation.
@@ -225,10 +236,12 @@ func (rt *opRuntime) ResetShardLoads() {
 func (rt *opRuntime) Repartitioning() bool { return rt.repartition != nil || rt.paused }
 
 // pendingTuple is a tuple held at the engine while its operator is paused by
-// an RC repartition, remembering where it came from.
+// an RC repartition, remembering where it came from and when it was buffered
+// (the replay attributes the wait to the tuple's repartition stage).
 type pendingTuple struct {
 	from cluster.NodeID
 	t    stream.Tuple
+	at   simtime.Time
 }
 
 // Engine is one configured simulation.
@@ -575,8 +588,14 @@ func (e *Engine) wireExecutor(rt *opRuntime, ex *executor.Executor, measured, si
 		e.inflight[ex] -= w
 	}
 	if sink {
-		ex.OnLatency = func(d simtime.Duration, w int) {
-			e.r.observeLatency(e.clock.Now(), d, w, e.cfg.WarmUp)
+		ex.OnLatency = func(d simtime.Duration, t stream.Tuple) {
+			e.r.observeLatency(e.clock.Now(), metrics.StageObservation{
+				Total:       d,
+				Service:     t.Svc,
+				Repartition: t.RPStall,
+				Migration:   t.MGStall,
+				Weight:      t.Weight,
+			}, e.cfg.WarmUp)
 		}
 	}
 }
@@ -634,15 +653,63 @@ func (e *Engine) Finish(d simtime.Duration) *Report {
 	return e.r
 }
 
-// startSeriesSampling records the 1-second throughput series (Fig 7/16).
+// startSeriesSampling records the 1-second throughput series (Fig 7/16) and
+// folds the latency-anatomy windows. Both ride the same Every callback: the
+// anatomy fold must not add clock events of its own, or every golden-pinned
+// event count would shift.
 func (e *Engine) startSeriesSampling() {
 	e.Every(simtime.Second, func() {
 		now := e.clock.Now()
-		if simtime.Duration(now) <= e.cfg.WarmUp {
-			return
+		warm := simtime.Duration(now) <= e.cfg.WarmUp
+		if !warm {
+			e.r.sampleSeries(now)
 		}
-		e.r.sampleSeries(now)
+		e.foldAnatomy(warm)
 	})
+}
+
+// foldAnatomy drains each executor's anatomy window and the per-operator
+// pause-stall accumulator into the operator's cumulative stage totals. The
+// queue stage is the residual of the hop-latency sum, clamped non-negative.
+// During warm-up the windows are drained and discarded, so the totals cover
+// the measured span only — like every other post-warm-up metric.
+func (e *Engine) foldAnatomy(warm bool) {
+	for _, rt := range e.opsInOrder() {
+		hop := metrics.NewHistogram()
+		var svc, mg simtime.Duration
+		for _, ex := range rt.execs {
+			a := ex.TakeAnatomy()
+			hop.Merge(a.Hop)
+			svc += a.Svc
+			mg += a.MGStall
+		}
+		for _, ex := range rt.retiredExecs {
+			a := ex.TakeAnatomy()
+			hop.Merge(a.Hop)
+			svc += a.Svc
+			mg += a.MGStall
+		}
+		rp := rt.winRPStall
+		rt.winRPStall = 0
+		if warm {
+			continue
+		}
+		// Replayed tuples are re-stamped at route(), so the pause stall (rp)
+		// is *outside* the hop sum; shard-pause buffering (mg) happens after
+		// the stamp and is inside it. Only the latter is subtracted.
+		queue := hop.Sum() - svc - mg
+		if queue < 0 {
+			queue = 0
+		}
+		rt.anatTotals[metrics.StageQueue] += queue
+		rt.anatTotals[metrics.StageService] += svc
+		rt.anatTotals[metrics.StageRepartition] += rp
+		rt.anatTotals[metrics.StageMigration] += mg
+		if hop.Count() > 0 {
+			rt.lastHopP50 = hop.Quantile(0.5)
+			rt.lastHopP99 = hop.Quantile(0.99)
+		}
+	}
 }
 
 // finishReport aggregates executor stats into the report.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	clusterpkg "repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/simtime"
 )
 
@@ -248,6 +249,20 @@ type Snapshot struct {
 	MigrationBytes int64
 	Reassignments  int64
 	Repartitions   int
+
+	// Latency anatomy of the last *folded* metrics window (end-to-end, at
+	// sinks): windowed percentiles plus the dominant stage of that window.
+	// Folds happen at fixed 1-second virtual ticks regardless of observers,
+	// so these fields are observer-independent — safe inputs for a
+	// closed-loop latency-SLO controller. LatencyWeight is the window's
+	// weighted sample count (0 = no samples, percentiles are zeros).
+	LatencyP50    simtime.Duration
+	LatencyP95    simtime.Duration
+	LatencyP99    simtime.Duration
+	LatencyMax    simtime.Duration
+	LatencyWeight uint64
+	DominantStage metrics.Stage
+	DominantShare float64
 }
 
 // OperatorSnapshot is the live view of one operator. Rates are measured over
@@ -273,6 +288,20 @@ type OperatorSnapshot struct {
 	// Queued is the tuple weight admitted but not yet processed (network
 	// transit plus executor queues).
 	Queued int
+	// LatP50/LatP99 are the hop-latency percentiles (admission toward the
+	// operator to processed by it) of the last non-empty anatomy window;
+	// DominantStage/DominantShare name the stage with the largest cumulative
+	// attributed time at this operator.
+	LatP50        simtime.Duration
+	LatP99        simtime.Duration
+	DominantStage metrics.Stage
+	DominantShare float64
+}
+
+// dominantStage returns the stage with the largest total and its share, with
+// the same tie/empty semantics as metrics.StageSet.Dominant.
+func dominantStage(totals [metrics.NumStages]simtime.Duration) (metrics.Stage, float64) {
+	return metrics.DominantOf(totals)
 }
 
 // SetOnEvent installs the run-event observer (the Run handle). Must be set
@@ -326,7 +355,13 @@ func (e *Engine) Snapshot() Snapshot {
 		Blocked:        e.r.Blocked,
 		MigrationBytes: e.r.RepartitionBytes,
 		Repartitions:   e.r.Repartitions,
+		LatencyP50:     e.r.lastWindow.P50,
+		LatencyP95:     e.r.lastWindow.P95,
+		LatencyP99:     e.r.lastWindow.P99,
+		LatencyMax:     e.r.lastWindow.Max,
+		LatencyWeight:  e.r.lastWindow.Weight,
 	}
+	s.DominantStage, s.DominantShare = e.r.lastStages.Dominant()
 	free := 0
 	for n := 0; n < e.cluster.Nodes(); n++ {
 		id := clusterpkg.NodeID(n)
@@ -348,7 +383,10 @@ func (e *Engine) Snapshot() Snapshot {
 			FirstHop:  rt.firstHop,
 			Offered:   rt.offeredW,
 			Processed: rt.processedW,
+			LatP50:    rt.lastHopP50,
+			LatP99:    rt.lastHopP99,
 		}
+		os.DominantStage, os.DominantShare = dominantStage(rt.anatTotals)
 		for i, ex := range rt.execs {
 			os.Queued += e.inflight[ex]
 			os.Cores += len(rt.cores[i])

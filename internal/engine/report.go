@@ -141,6 +141,16 @@ type Report struct {
 	// Latency is the end-to-end distribution at sink operators (post warm-up).
 	Latency *metrics.Histogram
 
+	// LatencyStages decomposes Latency into the four stages of DESIGN.md's
+	// latency anatomy (queue wait, service, repartition stall, migration
+	// stall); the stage sums tile Latency.Sum() exactly on the simulator and
+	// within sampling tolerance on the runtime backend.
+	LatencyStages *metrics.StageSet
+	// LatencyQuantiles is the windowed tail-latency track: one
+	// p50/p95/p99/max point per metrics window (the percentile analogue of
+	// the mean-only LatencySeries).
+	LatencyQuantiles metrics.QuantileSeries
+
 	// SchedulingWall records the wall-clock runtime of each dynamic
 	// scheduling decision (model + Algorithm 1), Table 3's metric.
 	SchedulingWall []time.Duration
@@ -158,16 +168,22 @@ type Report struct {
 	// internal accumulation
 	procRate    *metrics.Rate
 	winLatency  *metrics.Histogram
+	winStages   *metrics.StageSet
+	lastStages  *metrics.StageSet     // last folded window (Snapshot's dominant stage)
+	lastWindow  metrics.QuantilePoint // last folded window quantiles (Snapshot)
 	seriesReady bool
 }
 
 func newReport(p Paradigm, policyName string) *Report {
 	return &Report{
-		Paradigm:   p,
-		Policy:     policyName,
-		Latency:    metrics.NewHistogram(),
-		procRate:   metrics.NewRate(simtime.Second),
-		winLatency: metrics.NewHistogram(),
+		Paradigm:      p,
+		Policy:        policyName,
+		Latency:       metrics.NewHistogram(),
+		LatencyStages: metrics.NewStageSet(),
+		procRate:      metrics.NewRate(simtime.Second),
+		winLatency:    metrics.NewHistogram(),
+		winStages:     metrics.NewStageSet(),
+		lastStages:    metrics.NewStageSet(),
 	}
 }
 
@@ -186,20 +202,27 @@ func (r *Report) observeProcessed(now simtime.Time, w int, warm simtime.Duration
 	r.procRate.Add(now, float64(w))
 }
 
-func (r *Report) observeLatency(now simtime.Time, d simtime.Duration, w int, warm simtime.Duration) {
+func (r *Report) observeLatency(now simtime.Time, o metrics.StageObservation, warm simtime.Duration) {
 	if simtime.Duration(now) < warm {
 		return
 	}
-	r.Latency.Observe(d, w)
-	r.winLatency.Observe(d, w)
+	r.Latency.Observe(o.Total, o.Weight)
+	r.winLatency.Observe(o.Total, o.Weight)
+	r.LatencyStages.Observe(o)
+	r.winStages.Observe(o)
 }
 
-// sampleSeries appends the instantaneous throughput and mean latency points
-// for the current one-second window.
+// sampleSeries appends the instantaneous throughput, mean latency, and
+// windowed-percentile points for the current one-second window, then folds
+// the window structures (quantile point appended before the reset).
 func (r *Report) sampleSeries(now simtime.Time) {
 	r.ThroughputSeries.Append(now, r.procRate.PerSecond(now))
 	r.LatencySeries.Append(now, r.winLatency.Mean().Seconds())
+	r.LatencyQuantiles.AppendWindow(now, r.winLatency)
+	r.lastWindow, _ = r.LatencyQuantiles.Last()
 	r.winLatency.Reset()
+	r.lastStages, r.winStages = r.winStages, r.lastStages
+	r.winStages.Reset()
 }
 
 func (r *Report) finalize() {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/simtime"
 )
 
@@ -15,8 +16,10 @@ func TestReportWarmupFiltering(t *testing.T) {
 	r.observeGenerated(simtime.Time(6*simtime.Second), 10, warm)
 	r.observeProcessed(simtime.Time(simtime.Second), 7, warm)
 	r.observeProcessed(simtime.Time(7*simtime.Second), 7, warm)
-	r.observeLatency(simtime.Time(simtime.Second), simtime.Millisecond, 1, warm)
-	r.observeLatency(simtime.Time(7*simtime.Second), simtime.Millisecond, 1, warm)
+	r.observeLatency(simtime.Time(simtime.Second),
+		metrics.StageObservation{Total: simtime.Millisecond, Weight: 1}, warm)
+	r.observeLatency(simtime.Time(7*simtime.Second),
+		metrics.StageObservation{Total: simtime.Millisecond, Weight: 1}, warm)
 	if r.Generated != 10 || r.Processed != 7 {
 		t.Fatalf("warm-up not excluded: gen=%d proc=%d", r.Generated, r.Processed)
 	}

@@ -98,13 +98,19 @@ func (e *Engine) targetExecutor(rt *opRuntime, k stream.Key) *executor.Executor 
 // the engine (the upstream executors have been told to hold their output).
 func (e *Engine) route(fromNode cluster.NodeID, d stream.OperatorID, t stream.Tuple) {
 	rt := e.ops[d]
+	now := e.clock.Now()
+	// Admission stamp toward this operator: hop latency (Mark → processed)
+	// feeds the per-operator anatomy window. The simulator stamps every tuple;
+	// replayed tuples are re-stamped so their pause wait (already attributed
+	// to RPStall) is not double-counted as queue time.
+	t.Mark = now
 	if !e.replaying {
 		// Replayed tuples were counted offered when they first arrived and
 		// buffered at the paused operator.
 		rt.offeredW += int64(t.Weight)
 	}
 	if rt.paused {
-		rt.pauseBuf = append(rt.pauseBuf, pendingTuple{from: fromNode, t: t})
+		rt.pauseBuf = append(rt.pauseBuf, pendingTuple{from: fromNode, t: t, at: now})
 		return
 	}
 	if rt.opShardLoad != nil {
@@ -122,9 +128,16 @@ func (e *Engine) route(fromNode cluster.NodeID, d stream.OperatorID, t stream.Tu
 func (e *Engine) replayPaused(rt *opRuntime) {
 	buf := rt.pauseBuf
 	rt.pauseBuf = nil
+	now := e.clock.Now()
 	e.replaying = true
 	for _, p := range buf {
 		e.r.RepartitionReplayed += int64(p.t.Weight)
+		// The wait behind the §3.3 pause is repartition stall: stamp it onto
+		// the tuple and into the operator's anatomy window.
+		if stall := now.Sub(p.at); stall > 0 {
+			p.t.RPStall += stall
+			rt.winRPStall += stall * simtime.Duration(p.t.Weight)
+		}
 		e.route(p.from, rt.op.ID, p.t)
 	}
 	e.replaying = false

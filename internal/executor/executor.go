@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/balancer"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/simtime"
 	"repro/internal/state"
 	"repro/internal/stream"
@@ -113,6 +114,9 @@ type queued struct {
 	shard      state.ShardID
 	arrivalSeq uint64
 	label      *reassign // non-nil for labeling tuples
+	// bufAt stamps when the item entered a shard-pause buffer, so the replay
+	// can attribute the stall to the tuple's migration stage.
+	bufAt simtime.Time
 }
 
 type task struct {
@@ -170,6 +174,13 @@ type Executor struct {
 	winShardLoad map[state.ShardID]float64
 	winStart     simtime.Time
 
+	// Latency-anatomy window state (reset by TakeAnatomy, on the metrics
+	// window tick — a different cadence from TakeWindow, which belongs to the
+	// scheduler's measurement loop).
+	anatHop     *metrics.Histogram // source-to-processed hop latency (Mark-based)
+	anatSvc     simtime.Duration   // Σ service duration × weight this window
+	anatMGStall simtime.Duration   // Σ shard-pause stall × weight this window
+
 	// Per-key order bookkeeping (AssertOrder).
 	arrivalSeq   map[stream.Key]uint64
 	processedSeq map[stream.Key]uint64
@@ -177,8 +188,10 @@ type Executor struct {
 	// OnOutput receives tuples the executor emits downstream; the engine
 	// routes them. Called on the local node (the emitter daemon).
 	OnOutput func(ts []stream.Tuple)
-	// OnLatency observes the source-to-processed latency of each tuple batch.
-	OnLatency func(d simtime.Duration, weight int)
+	// OnLatency observes the source-to-processed latency of each tuple batch,
+	// together with the tuple whose stage accumulators (Svc/RPStall/MGStall)
+	// decompose that latency.
+	OnLatency func(d simtime.Duration, t stream.Tuple)
 	// OnProcessed, when set, observes every processed batch (tests).
 	OnProcessed func(t stream.Tuple)
 	// OnDropped, when set, observes tuple weight destroyed inside the
@@ -211,6 +224,7 @@ func New(env Env, cfg Config, firstCore cluster.CoreID) *Executor {
 		pausedBy:     make(map[state.ShardID]*reassign),
 		winShardLoad: make(map[state.ShardID]float64),
 		winStart:     env.Clock().Now(),
+		anatHop:      metrics.NewHistogram(),
 	}
 	if cfg.AssertOrder {
 		e.arrivalSeq = make(map[stream.Key]uint64)
@@ -340,6 +354,7 @@ func (e *Executor) Receive(t stream.Tuple) bool {
 		q.arrivalSeq = e.arrivalSeq[t.Key]
 	}
 	if r := e.pausedBy[sh]; r != nil {
+		q.bufAt = e.env.Clock().Now()
 		r.buffered = append(r.buffered, q)
 		return true
 	}
@@ -399,6 +414,11 @@ func (e *Executor) kick(t *task) {
 	cost := e.cfg.Cost(q.tuple) * simtime.Duration(q.tuple.Weight)
 	t.busyTime += cost
 	e.winBusy += cost
+	// Every real tuple in the batch spends the whole batch cost in service
+	// (they complete together), so the per-tuple service accumulator grows by
+	// cost and the window's weighted total by cost × weight.
+	q.tuple.Svc += cost
+	e.anatSvc += cost * simtime.Duration(q.tuple.Weight)
 	e.env.Clock().After(cost, func() { e.finish(t, q) })
 }
 
@@ -448,13 +468,25 @@ func (e *Executor) finish(t *task, q queued) {
 		if outs[i].Born == 0 {
 			outs[i].Born = tup.Born
 		}
+		// Outputs inherit the stage accumulators like Born, so multi-hop
+		// attribution stays end to end (handler outputs start at zero).
+		if outs[i].Mark == 0 {
+			outs[i].Mark = tup.Mark
+		}
+		outs[i].Svc += tup.Svc
+		outs[i].RPStall += tup.RPStall
+		outs[i].MGStall += tup.MGStall
 	}
 
 	e.inFlight -= tup.Weight
 	e.Stats.ProcessedTuples += int64(tup.Weight)
 	e.winProcessed += int64(tup.Weight)
+	now := e.env.Clock().Now()
+	if tup.Mark != 0 {
+		e.anatHop.Observe(now.Sub(tup.Mark), tup.Weight)
+	}
 	if e.OnLatency != nil {
-		e.OnLatency(e.env.Clock().Now().Sub(tup.Born), tup.Weight)
+		e.OnLatency(now.Sub(tup.Born), tup)
 	}
 	if e.OnProcessed != nil {
 		e.OnProcessed(tup)
@@ -579,6 +611,12 @@ func (e *Executor) completeReassign(r *reassign, movedBytes int) {
 	e.routing[r.shard] = r.dst
 	delete(e.pausedBy, r.shard)
 	for _, q := range r.buffered {
+		// Attribute the time spent behind the shard pause to the tuple's
+		// migration stage before replaying it.
+		if stall := now.Sub(q.bufAt); stall > 0 {
+			q.tuple.MGStall += stall
+			e.anatMGStall += stall * simtime.Duration(q.tuple.Weight)
+		}
 		e.dispatch(q, dst)
 	}
 	src.pendingReassigns--
@@ -774,6 +812,25 @@ func (e *Executor) TakeWindow() Window {
 	e.winShardLoad = make(map[state.ShardID]float64)
 	e.winStart = now
 	return w
+}
+
+// Anatomy is one latency-anatomy window of an executor: the hop-latency
+// histogram (admission stamp to processed) and the weighted stage totals the
+// engine folds into per-operator stage sets at the metrics window tick.
+type Anatomy struct {
+	Hop     *metrics.Histogram // source-to-processed hop latency this window
+	Svc     simtime.Duration   // Σ service duration × weight
+	MGStall simtime.Duration   // Σ shard-pause stall × weight
+}
+
+// TakeAnatomy returns the latency-anatomy measurements since the previous
+// call and resets them. Independent of TakeWindow: anatomy folds on the
+// metrics window tick, the scheduler window on the control cadence.
+func (e *Executor) TakeAnatomy() Anatomy {
+	a := Anatomy{Hop: e.anatHop, Svc: e.anatSvc, MGStall: e.anatMGStall}
+	e.anatHop = metrics.NewHistogram()
+	e.anatSvc, e.anatMGStall = 0, 0
+	return a
 }
 
 // ShardLoadSnapshot returns the current window's per-shard load (for tests).

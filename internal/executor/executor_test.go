@@ -49,7 +49,7 @@ func TestProcessSingleTuple(t *testing.T) {
 	env := newEnv(1)
 	ex := New(env, baseConfig(), 0)
 	var latency simtime.Duration
-	ex.OnLatency = func(d simtime.Duration, w int) { latency = d }
+	ex.OnLatency = func(d simtime.Duration, _ stream.Tuple) { latency = d }
 	env.clock.At(0, func() { ex.Receive(tuple(1, 1, 0)) })
 	env.clock.Run()
 	if ex.Stats.ProcessedTuples != 1 {
@@ -67,7 +67,7 @@ func TestQueueingLatency(t *testing.T) {
 	env := newEnv(1)
 	ex := New(env, baseConfig(), 0)
 	var total simtime.Duration
-	ex.OnLatency = func(d simtime.Duration, w int) { total += d }
+	ex.OnLatency = func(d simtime.Duration, _ stream.Tuple) { total += d }
 	env.clock.At(0, func() {
 		for i := 0; i < 3; i++ {
 			ex.Receive(tuple(1, 1, 0)) // same key, same shard, same task

@@ -105,6 +105,7 @@ var All = []Experiment{
 	{"scenarios", "Scenario sweep: all four policies under load bursts and cluster churn", ScenarioSweep},
 	{"runtime", "Runtime backend: all four policies on goroutines against the wall clock", RuntimeBackend},
 	{"autoscale", "Autoscaling study: closed-loop cluster controllers vs static provisioning", Autoscale},
+	{"latencyanatomy", "Latency anatomy: per-stage decomposition of tail latency across paradigms", LatencyAnatomy},
 }
 
 // ByID returns the experiment with the given ID.

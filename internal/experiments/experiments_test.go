@@ -18,7 +18,8 @@ func parseF(t *testing.T, s string) float64 {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11",
-		"fig12", "fig13", "fig15", "fig16", "table2", "table3", "ablation", "scenarios", "runtime", "autoscale"}
+		"fig12", "fig13", "fig15", "fig16", "table2", "table3", "ablation", "scenarios", "runtime", "autoscale",
+		"latencyanatomy"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(All), len(want))
 	}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/scenario"
+)
+
+// The latency-anatomy study: *where* each paradigm's tail latency comes from.
+// The paper's evaluation reports end-to-end percentiles; this experiment
+// decomposes them into the four stages of DESIGN.md's latency taxonomy
+// (queue wait, service, §3.3 repartition stall, migration delay) and shows
+// the reproduction's version of the paper's §5 story — under load bursts and
+// cluster churn the repartition-stall share of total latency is marginal for
+// Elasticutor's executor-level plane but dominates for operator-level
+// repartitioning (rc), whose global pauses buffer the whole stream. Sim-only
+// and derived from exact per-tuple stage attribution, so the tables are
+// deterministic and golden-pinned.
+
+// laScenarios stress the two churn axes the anatomy separates best: a load
+// burst (queue/service pressure) and a hard node failure (pause pressure).
+var laScenarios = []string{"flashcrowd", "nodefail"}
+
+// laPolicies are the four paper paradigms, in paper order.
+var laPolicies = []string{"static", "rc", "naive-ec", "elasticutor"}
+
+// LatencyAnatomy runs scenario × policy and tabulates the stage decomposition
+// of total end-to-end latency, tail percentiles, the dominant stage, and the
+// windowed p99 peak. Scale is accepted for registry uniformity; the scenarios
+// carry their own (quick) dimensions.
+func LatencyAnatomy(Scale) []Table {
+	shares := Table{
+		ID:     "latencyanatomy-a",
+		Title:  "Latency anatomy: stage shares of total end-to-end latency (q/s/rp/mg %)",
+		Header: append([]string{"scenario"}, laPolicies...),
+		Notes:  "rp = §3.3 repartition stall. Operator-level repartitioning (rc) pays its global pause on every reconfiguration; elasticutor's executor-level plane keeps the stall share marginal",
+	}
+	tails := Table{
+		ID:     "latencyanatomy-b",
+		Title:  "Latency anatomy: end-to-end p50/p99 latency (ms)",
+		Header: append([]string{"scenario"}, laPolicies...),
+	}
+	dom := Table{
+		ID:     "latencyanatomy-c",
+		Title:  "Latency anatomy: dominant stage (share of attributed time)",
+		Header: append([]string{"scenario"}, laPolicies...),
+	}
+	peak := Table{
+		ID:     "latencyanatomy-d",
+		Title:  "Latency anatomy: worst windowed p99 (ms, 1s windows)",
+		Header: append([]string{"scenario"}, laPolicies...),
+		Notes:  "the windowed track exposes transient pause spikes the run-wide percentile averages away",
+	}
+	type cell struct {
+		name   string
+		policy string
+	}
+	var cells []cell
+	for _, name := range laScenarios {
+		for _, p := range laPolicies {
+			cells = append(cells, cell{name, p})
+		}
+	}
+	reports := pmap(cells, func(c cell) *engine.Report {
+		s, err := scenario.ByName(c.name)
+		if err != nil {
+			panic(fmt.Sprintf("latency anatomy: %v", err))
+		}
+		r, err := s.Run(c.policy, 42)
+		if err != nil {
+			panic(fmt.Sprintf("latency anatomy %s/%s: %v", c.name, c.policy, err))
+		}
+		return r
+	})
+	i := 0
+	for _, name := range laScenarios {
+		sharesRow := []string{name}
+		tailsRow := []string{name}
+		domRow := []string{name}
+		peakRow := []string{name}
+		for range laPolicies {
+			r := reports[i]
+			i++
+			sh := r.LatencyStages.Shares()
+			sharesRow = append(sharesRow, fmt.Sprintf("%.0f/%.0f/%.0f/%.0f",
+				100*sh[metrics.StageQueue], 100*sh[metrics.StageService],
+				100*sh[metrics.StageRepartition], 100*sh[metrics.StageMigration]))
+			tailsRow = append(tailsRow, fmt.Sprintf("%s/%s",
+				fmtMS(r.Latency.Quantile(0.5)), fmtMS(r.Latency.Quantile(0.99))))
+			st, share := r.LatencyStages.Dominant()
+			domRow = append(domRow, fmt.Sprintf("%s %.0f%%", st, 100*share))
+			peakRow = append(peakRow, fmtMS(r.LatencyQuantiles.MaxP99()))
+		}
+		shares.Rows = append(shares.Rows, sharesRow)
+		tails.Rows = append(tails.Rows, tailsRow)
+		dom.Rows = append(dom.Rows, domRow)
+		peak.Rows = append(peak.Rows, peakRow)
+	}
+	return []Table{shares, tails, dom, peak}
+}

@@ -56,6 +56,37 @@ func TestAutoscaleGolden(t *testing.T) {
 	}
 }
 
+// latencyAnatomyBytes renders the latency-anatomy tables like the CLI does.
+func latencyAnatomyBytes() []byte {
+	var buf bytes.Buffer
+	for _, tab := range LatencyAnatomy(Quick) {
+		tab.Print(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestLatencyAnatomyGoldenAcrossWorkerCounts pins the stage decomposition —
+// 4 paradigms × {flashcrowd, nodefail}, stage shares, tails, dominant stage,
+// and the windowed p99 peak — byte-for-byte under 1 and 4 workers: stage
+// attribution rides the virtual clock and folds at fixed ticks, so the whole
+// anatomy is as deterministic as the run itself. Regenerate testdata with
+// `go run ./tools/gengolden` only for intended behavior changes.
+func TestLatencyAnatomyGoldenAcrossWorkerCounts(t *testing.T) {
+	want, err := os.ReadFile("testdata/latencyanatomy_quick.golden")
+	if err != nil {
+		t.Fatalf("missing golden file (run `go run ./tools/gengolden`): %v", err)
+	}
+	defer harness.SetDefaultWorkers(0)
+	for _, workers := range []int{1, 4} {
+		harness.SetDefaultWorkers(workers)
+		got := latencyAnatomyBytes()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("latency anatomy with %d workers diverged:\n--- want ---\n%s--- got ---\n%s",
+				workers, want, got)
+		}
+	}
+}
+
 // TestScenarioSweepGoldenAcrossWorkerCounts pins the sweep — 4 policies × 4
 // churn/burst scenarios, including node drain and hard failure — to its
 // recorded tables, byte-identical for 1 and 4 workers.

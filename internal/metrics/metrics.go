@@ -21,7 +21,8 @@ import (
 type Histogram struct {
 	buckets []uint64
 	count   uint64
-	sum     float64 // seconds
+	sum     float64          // seconds (Mean keeps its historical float path)
+	total   simtime.Duration // exact Σ sample × weight (Sum; stage tiling)
 	min     simtime.Duration
 	max     simtime.Duration
 }
@@ -66,6 +67,7 @@ func (h *Histogram) Observe(d simtime.Duration, weight int) {
 	h.buckets[bucketOf(d)] += uint64(weight)
 	h.count += uint64(weight)
 	h.sum += d.Seconds() * float64(weight)
+	h.total += d * simtime.Duration(weight)
 	if d < h.min {
 		h.min = d
 	}
@@ -103,7 +105,9 @@ func (h *Histogram) Max() simtime.Duration {
 
 // Quantile returns the latency at quantile q in [0,1]; q=0.99 gives p99.
 // The value returned is the upper bound of the containing bucket, so it
-// overestimates by at most one bucket's relative width.
+// overestimates by at most one bucket's relative width. q >= 1 returns
+// exactly Max(): the largest sample is the 100th percentile by definition,
+// with no bucket rounding.
 func (h *Histogram) Quantile(q float64) simtime.Duration {
 	if h.count == 0 {
 		return 0
@@ -111,8 +115,8 @@ func (h *Histogram) Quantile(q float64) simtime.Duration {
 	if q < 0 {
 		q = 0
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return h.max
 	}
 	target := uint64(math.Ceil(q * float64(h.count)))
 	if target == 0 {
@@ -132,6 +136,34 @@ func (h *Histogram) Quantile(q float64) simtime.Duration {
 	return h.max
 }
 
+// Sum returns the total observed latency (Σ sample × weight), exact — no
+// float rounding — so stage components can be asserted to tile end-to-end
+// latency to the nanosecond.
+func (h *Histogram) Sum() simtime.Duration {
+	return h.total
+}
+
+// CumulativeLE returns the weighted number of samples recorded in buckets
+// whose upper bound is at most d — the `le` semantics of a Prometheus
+// histogram bucket, subject to this histogram's ~5% bucket rounding.
+func (h *Histogram) CumulativeLE(d simtime.Duration) uint64 {
+	var cum uint64
+	for b, n := range h.buckets {
+		if bucketUpper(b) > d {
+			break
+		}
+		cum += n
+	}
+	return cum
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *Histogram) Clone() *Histogram {
+	c := NewHistogram()
+	c.Merge(h)
+	return c
+}
+
 // Merge adds all samples of other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for b, n := range other.buckets {
@@ -139,6 +171,7 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 	h.count += other.count
 	h.sum += other.sum
+	h.total += other.total
 	if other.count > 0 {
 		if other.min < h.min {
 			h.min = other.min
@@ -156,6 +189,7 @@ func (h *Histogram) Reset() {
 	}
 	h.count = 0
 	h.sum = 0
+	h.total = 0
 	h.min = math.MaxInt64
 	h.max = 0
 }

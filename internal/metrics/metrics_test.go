@@ -71,8 +71,13 @@ func TestHistogramQuantileMonotone(t *testing.T) {
 		}
 		prev = v
 	}
-	if h.Quantile(1.0) != h.Max() && h.Quantile(1.0) > h.Max() {
-		t.Fatalf("q=1 exceeds max")
+	// The q>=1 contract: the 100th percentile is exactly the largest sample,
+	// with no bucket rounding (and anything above 1 clamps to it).
+	if got := h.Quantile(1.0); got != h.Max() {
+		t.Fatalf("Quantile(1.0) = %v, want Max() = %v", got, h.Max())
+	}
+	if got := h.Quantile(1.5); got != h.Max() {
+		t.Fatalf("Quantile(1.5) = %v, want Max() = %v", got, h.Max())
 	}
 }
 

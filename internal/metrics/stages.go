@@ -1,0 +1,298 @@
+package metrics
+
+import (
+	"sync"
+
+	"repro/internal/simtime"
+)
+
+// Stage labels one component of end-to-end tuple latency. The four stages
+// tile a tuple's lifetime exactly: everything that is not measured service
+// time or an explicit repartition/migration stall is queue wait (network
+// transit plus executor task-queue residence), computed as the residual at
+// observation time. DESIGN.md "Latency anatomy" documents the taxonomy.
+type Stage int
+
+// The latency stages, in display order.
+const (
+	// StageQueue is the residual: network transit and executor task-queue
+	// wait — end-to-end latency minus every explicitly attributed stage.
+	StageQueue Stage = iota
+	// StageService is handler execution time (the modeled per-tuple cost on
+	// the simulator, the slept batch cost share on the runtime backend).
+	StageService
+	// StageRepartition is time spent buffered by the §3.3 operator-level
+	// pause (paused routing on the simulator, the op pause buffer on the
+	// runtime backend) and replayed afterwards.
+	StageRepartition
+	// StageMigration is time spent buffered behind an executor-level shard
+	// reassignment (per-shard pause on the simulator; ~0 on the runtime
+	// backend, whose shard handoff commits without per-shard buffering).
+	StageMigration
+
+	// NumStages is the number of latency stages.
+	NumStages
+)
+
+var stageNames = [NumStages]string{"queue", "service", "repartition", "migration"}
+
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// StageObservation is one attributed end-to-end latency sample: the total and
+// the explicitly measured stage components carried by the tuple. The queue
+// stage is not carried — it is the non-negative residual, so the four stages
+// always sum to Total exactly (clamped when measured components overshoot,
+// which only scaled wall clocks can produce).
+type StageObservation struct {
+	Total       simtime.Duration
+	Service     simtime.Duration
+	Repartition simtime.Duration
+	Migration   simtime.Duration
+	Weight      int
+}
+
+// Queue returns the residual queue-wait component of the observation.
+func (o StageObservation) Queue() simtime.Duration {
+	q := o.Total - o.Service - o.Repartition - o.Migration
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// StageSet bundles one latency histogram per stage. Zero value is not ready;
+// use NewStageSet.
+type StageSet struct {
+	h [NumStages]*Histogram
+}
+
+// NewStageSet returns an empty stage set.
+func NewStageSet() *StageSet {
+	s := &StageSet{}
+	for i := range s.h {
+		s.h[i] = NewHistogram()
+	}
+	return s
+}
+
+// Observe records one attributed sample into every stage histogram.
+func (s *StageSet) Observe(o StageObservation) {
+	s.h[StageQueue].Observe(o.Queue(), o.Weight)
+	s.h[StageService].Observe(o.Service, o.Weight)
+	s.h[StageRepartition].Observe(o.Repartition, o.Weight)
+	s.h[StageMigration].Observe(o.Migration, o.Weight)
+}
+
+// Stage returns the histogram of one stage.
+func (s *StageSet) Stage(st Stage) *Histogram { return s.h[st] }
+
+// Merge adds all samples of other into s.
+func (s *StageSet) Merge(other *StageSet) {
+	for i := range s.h {
+		s.h[i].Merge(other.h[i])
+	}
+}
+
+// Reset clears every stage histogram.
+func (s *StageSet) Reset() {
+	for i := range s.h {
+		s.h[i].Reset()
+	}
+}
+
+// Count returns the weighted sample count (identical across stages, since
+// every observation feeds all four).
+func (s *StageSet) Count() uint64 { return s.h[StageQueue].Count() }
+
+// Totals returns the per-stage total time (Σ sample × weight).
+func (s *StageSet) Totals() [NumStages]simtime.Duration {
+	var out [NumStages]simtime.Duration
+	for i := range s.h {
+		out[i] = s.h[i].Sum()
+	}
+	return out
+}
+
+// Total returns the summed end-to-end time across all stages.
+func (s *StageSet) Total() simtime.Duration {
+	var sum simtime.Duration
+	for _, t := range s.Totals() {
+		sum += t
+	}
+	return sum
+}
+
+// Dominant returns the stage with the largest total time share and that
+// share in [0,1]. An empty set reports (StageQueue, 0). Ties resolve to the
+// lowest stage index, so the answer is deterministic.
+func (s *StageSet) Dominant() (Stage, float64) {
+	return DominantOf(s.Totals())
+}
+
+// DominantOf returns the stage with the largest share of the given per-stage
+// totals and that share in [0,1]. Empty totals report (StageQueue, 0); ties
+// resolve to the lowest stage index, so the answer is deterministic.
+func DominantOf(totals [NumStages]simtime.Duration) (Stage, float64) {
+	var sum simtime.Duration
+	best := StageQueue
+	for st, t := range totals {
+		sum += t
+		if t > totals[best] {
+			best = Stage(st)
+		}
+	}
+	if sum == 0 {
+		return StageQueue, 0
+	}
+	return best, totals[best].Seconds() / sum.Seconds()
+}
+
+// Shares returns each stage's fraction of the total attributed time.
+func (s *StageSet) Shares() [NumStages]float64 {
+	totals := s.Totals()
+	var sum simtime.Duration
+	for _, t := range totals {
+		sum += t
+	}
+	var out [NumStages]float64
+	if sum == 0 {
+		return out
+	}
+	for i, t := range totals {
+		out[i] = t.Seconds() / sum.Seconds()
+	}
+	return out
+}
+
+// QuantilePoint is one window of a QuantileSeries: the end-to-end latency
+// quantiles of the samples observed during that window. A window with no
+// samples records zeros with Weight 0.
+type QuantilePoint struct {
+	At                 simtime.Time
+	P50, P95, P99, Max simtime.Duration
+	Weight             uint64
+}
+
+// QuantileSeries is an append-only track of windowed latency percentiles —
+// the tail-latency analogue of the mean-only Series. Points are appended at
+// the metrics window tick from the window histogram about to be reset.
+type QuantileSeries struct {
+	points []QuantilePoint
+}
+
+// AppendWindow folds one window histogram into the series as a point at
+// virtual time at. Call before resetting the window histogram.
+func (q *QuantileSeries) AppendWindow(at simtime.Time, h *Histogram) {
+	p := QuantilePoint{At: at, Weight: h.Count()}
+	if p.Weight > 0 {
+		p.P50 = h.Quantile(0.5)
+		p.P95 = h.Quantile(0.95)
+		p.P99 = h.Quantile(0.99)
+		p.Max = h.Max()
+	}
+	if n := len(q.points); n > 0 && at < q.points[n-1].At {
+		panic("metrics: quantile series time went backwards")
+	}
+	q.points = append(q.points, p)
+}
+
+// Len returns the number of recorded windows.
+func (q *QuantileSeries) Len() int { return len(q.points) }
+
+// Points returns the recorded windows (shared backing array; treat as
+// read-only).
+func (q *QuantileSeries) Points() []QuantilePoint { return q.points }
+
+// Last returns the most recent window, if any.
+func (q *QuantileSeries) Last() (QuantilePoint, bool) {
+	if len(q.points) == 0 {
+		return QuantilePoint{}, false
+	}
+	return q.points[len(q.points)-1], true
+}
+
+// MaxP99 returns the largest windowed p99 across the series — the spike the
+// timeline figures annotate.
+func (q *QuantileSeries) MaxP99() simtime.Duration {
+	var max simtime.Duration
+	for _, p := range q.points {
+		if p.P99 > max {
+			max = p.P99
+		}
+	}
+	return max
+}
+
+// StageRecorder is the concurrent form of a StageSet: per-lane windows that
+// worker goroutines observe into under independent locks, folded into merged
+// window and cumulative structures at the metrics window tick. Same
+// fold-point discipline as the runtime backend's striped counters — the hot
+// path takes one short uncontended lane lock per *sampled* tuple, and the
+// expensive merging happens once per window on the fold goroutine. The
+// simulator uses a single lane (it is single-threaded per run).
+type StageRecorder struct {
+	lanes []recorderLane
+}
+
+type recorderLane struct {
+	mu    sync.Mutex
+	win   *StageSet
+	total *Histogram // end-to-end window histogram (Σ of the stage components)
+	_     [64]byte   // keep neighbouring lanes off one cache line
+}
+
+// NewStageRecorder returns a recorder with n lanes (minimum 1).
+func NewStageRecorder(n int) *StageRecorder {
+	if n < 1 {
+		n = 1
+	}
+	r := &StageRecorder{lanes: make([]recorderLane, n)}
+	for i := range r.lanes {
+		r.lanes[i].win = NewStageSet()
+		r.lanes[i].total = NewHistogram()
+	}
+	return r
+}
+
+// Lanes returns the lane count.
+func (r *StageRecorder) Lanes() int { return len(r.lanes) }
+
+// Observe records one attributed sample on a lane (lane is reduced modulo
+// the lane count, so callers can pass any worker index).
+func (r *StageRecorder) Observe(lane int, o StageObservation) {
+	l := &r.lanes[lane%len(r.lanes)]
+	l.mu.Lock()
+	l.win.Observe(o)
+	l.total.Observe(o.Total, o.Weight)
+	l.mu.Unlock()
+}
+
+// FoldWindow drains every lane's window and returns the merged window stage
+// set and end-to-end histogram. When cum/cumTotal are non-nil the window is
+// also merged into them — the cumulative report structures. Lane windows are
+// reset; no observation is lost (each lane is drained under its own lock).
+func (r *StageRecorder) FoldWindow(cum *StageSet, cumTotal *Histogram) (*StageSet, *Histogram) {
+	win := NewStageSet()
+	winTotal := NewHistogram()
+	for i := range r.lanes {
+		l := &r.lanes[i]
+		l.mu.Lock()
+		win.Merge(l.win)
+		winTotal.Merge(l.total)
+		l.win.Reset()
+		l.total.Reset()
+		l.mu.Unlock()
+	}
+	if cum != nil {
+		cum.Merge(win)
+	}
+	if cumTotal != nil {
+		cumTotal.Merge(winTotal)
+	}
+	return win, winTotal
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestStageObservationResidualTiling(t *testing.T) {
+	o := StageObservation{
+		Total:       100 * simtime.Millisecond,
+		Service:     30 * simtime.Millisecond,
+		Repartition: 20 * simtime.Millisecond,
+		Migration:   10 * simtime.Millisecond,
+		Weight:      2,
+	}
+	if got := o.Queue(); got != 40*simtime.Millisecond {
+		t.Fatalf("Queue residual = %v, want 40ms", got)
+	}
+	// Measured components overshooting total (scaled wall clock) clamp to 0,
+	// never negative.
+	o.Service = 200 * simtime.Millisecond
+	if got := o.Queue(); got != 0 {
+		t.Fatalf("overshoot Queue = %v, want 0", got)
+	}
+}
+
+func TestStageSetObserveAndDominant(t *testing.T) {
+	s := NewStageSet()
+	if st, share := s.Dominant(); st != StageQueue || share != 0 {
+		t.Fatalf("empty Dominant = %v/%v", st, share)
+	}
+	s.Observe(StageObservation{
+		Total: 100 * simtime.Millisecond, Service: 70 * simtime.Millisecond, Weight: 1,
+	})
+	st, share := s.Dominant()
+	if st != StageService {
+		t.Fatalf("Dominant = %v, want service", st)
+	}
+	if share < 0.6 || share > 0.8 {
+		t.Fatalf("service share = %v, want ~0.7", share)
+	}
+	// The four stages tile the total exactly.
+	if got, want := s.Total(), s.Stage(StageQueue).Sum()+s.Stage(StageService).Sum()+
+		s.Stage(StageRepartition).Sum()+s.Stage(StageMigration).Sum(); got != want {
+		t.Fatalf("Total %v != Σ stages %v", got, want)
+	}
+	shares := s.Shares()
+	var sum float64
+	for _, f := range shares {
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	want := map[Stage]string{
+		StageQueue: "queue", StageService: "service",
+		StageRepartition: "repartition", StageMigration: "migration",
+		Stage(99): "unknown",
+	}
+	for st, name := range want {
+		if st.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", st, st.String(), name)
+		}
+	}
+}
+
+func TestQuantileSeries(t *testing.T) {
+	var q QuantileSeries
+	h := NewHistogram()
+	// An empty window records a zero point with weight 0.
+	q.AppendWindow(simtime.Time(simtime.Second), h)
+	for i := 1; i <= 100; i++ {
+		h.Observe(simtime.Duration(i)*simtime.Millisecond, 1)
+	}
+	q.AppendWindow(simtime.Time(2*simtime.Second), h)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	last, ok := q.Last()
+	if !ok || last.Weight != 100 {
+		t.Fatalf("Last = %+v ok=%v", last, ok)
+	}
+	if last.P50 >= last.P99 || last.P99 > last.Max {
+		t.Fatalf("quantiles not ordered: %+v", last)
+	}
+	if last.Max != 100*simtime.Millisecond {
+		t.Fatalf("window max = %v", last.Max)
+	}
+	if got := q.MaxP99(); got != last.P99 {
+		t.Fatalf("MaxP99 = %v, want %v", got, last.P99)
+	}
+	if p0 := q.Points()[0]; p0.Weight != 0 || p0.P99 != 0 {
+		t.Fatalf("empty window point = %+v", p0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time going backwards")
+		}
+	}()
+	q.AppendWindow(simtime.Time(simtime.Second), h)
+}
+
+// TestStageRecorderFoldExactness drives 16 concurrent workers through the
+// recorder and asserts the fold loses nothing: per-stage totals and weighted
+// counts equal the exact sums of everything observed, and a second fold
+// (after the reset) is empty.
+func TestStageRecorderFoldExactness(t *testing.T) {
+	const workers = 16
+	const perWorker = 2000
+	r := NewStageRecorder(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Observe(w, StageObservation{
+					Total:       10 * simtime.Millisecond,
+					Service:     4 * simtime.Millisecond,
+					Repartition: 3 * simtime.Millisecond,
+					Migration:   1 * simtime.Millisecond,
+					Weight:      2,
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	cum := NewStageSet()
+	cumTotal := NewHistogram()
+	win, winTotal := r.FoldWindow(cum, cumTotal)
+
+	const n = workers * perWorker * 2 // weight 2
+	if win.Count() != n || winTotal.Count() != n {
+		t.Fatalf("fold count = %d/%d, want %d", win.Count(), winTotal.Count(), n)
+	}
+	wantTotals := map[Stage]simtime.Duration{
+		StageQueue:       n * 2 * simtime.Millisecond, // 10-4-3-1 residual
+		StageService:     n * 4 * simtime.Millisecond,
+		StageRepartition: n * 3 * simtime.Millisecond,
+		StageMigration:   n * 1 * simtime.Millisecond,
+	}
+	totals := win.Totals()
+	for st, want := range wantTotals {
+		if got := totals[st]; got != want {
+			t.Fatalf("stage %v total = %v, want %v", st, got, want)
+		}
+	}
+	if got, want := winTotal.Sum(), simtime.Duration(n)*10*simtime.Millisecond; got != want {
+		t.Fatalf("end-to-end sum = %v, want %v", got, want)
+	}
+	// The window was merged into the cumulative structures too.
+	if cum.Count() != n || cumTotal.Count() != n {
+		t.Fatalf("cumulative count = %d/%d", cum.Count(), cumTotal.Count())
+	}
+	// Lanes were reset: a second fold is empty.
+	win2, winTotal2 := r.FoldWindow(nil, nil)
+	if win2.Count() != 0 || winTotal2.Count() != 0 {
+		t.Fatalf("second fold not empty: %d/%d", win2.Count(), winTotal2.Count())
+	}
+}
+
+func TestStageRecorderLaneModulo(t *testing.T) {
+	r := NewStageRecorder(0) // clamps to 1 lane
+	if r.Lanes() != 1 {
+		t.Fatalf("Lanes = %d", r.Lanes())
+	}
+	r.Observe(17, StageObservation{Total: simtime.Millisecond, Weight: 1})
+	win, _ := r.FoldWindow(nil, nil)
+	if win.Count() != 1 {
+		t.Fatalf("modulo lane lost the sample: %d", win.Count())
+	}
+}
+
+func TestHistogramSumAndCumulativeLE(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(simtime.Millisecond, 3)
+	h.Observe(simtime.Second, 1)
+	if got, want := h.Sum(), 3*simtime.Millisecond+simtime.Second; got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	if got := h.CumulativeLE(10 * simtime.Millisecond); got != 3 {
+		t.Fatalf("CumulativeLE(10ms) = %d, want 3", got)
+	}
+	if got := h.CumulativeLE(10 * simtime.Second); got != 4 {
+		t.Fatalf("CumulativeLE(10s) = %d, want 4", got)
+	}
+	if got := h.CumulativeLE(0); got != 0 {
+		t.Fatalf("CumulativeLE(0) = %d, want 0", got)
+	}
+	c := h.Clone()
+	c.Observe(simtime.Millisecond, 1)
+	if h.Count() != 4 || c.Count() != 5 {
+		t.Fatalf("Clone not independent: %d/%d", h.Count(), c.Count())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/calib"
+	"repro/internal/metrics"
 	"repro/internal/run"
 	rtbackend "repro/internal/runtime"
 	"repro/internal/simtime"
@@ -25,9 +26,10 @@ import (
 type Exporter struct {
 	h *run.Run
 
-	mu     sync.Mutex
-	ledger func() rtbackend.Ledger
-	traj   *calib.Trajectory
+	mu      sync.Mutex
+	ledger  func() rtbackend.Ledger
+	latency func() (*metrics.Histogram, *metrics.StageSet)
+	traj    *calib.Trajectory
 }
 
 // NewExporter wraps a run handle.
@@ -39,6 +41,18 @@ func (x *Exporter) SetLedger(fn func() rtbackend.Ledger) *Exporter {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.ledger = fn
+	return x
+}
+
+// SetLatency adds the backend's cumulative latency anatomy to the scrape:
+// the end-to-end sink histogram becomes a proper Prometheus histogram family
+// (cumulative le buckets, _sum, _count) and the traced stage decomposition a
+// per-stage time counter. The runtime backend's engine.LatencyAnatomy is the
+// intended accessor; fn must be safe to call from the scrape goroutine.
+func (x *Exporter) SetLatency(fn func() (*metrics.Histogram, *metrics.StageSet)) *Exporter {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.latency = fn
 	return x
 }
 
@@ -59,75 +73,152 @@ func escapeLabel(v string) string {
 	return strings.ReplaceAll(v, `"`, `\"`)
 }
 
-// WriteMetrics renders one scrape in the text exposition format.
+// latencyBuckets is the fixed le ladder of the exported latency histogram, in
+// seconds. Cumulative counts come from Histogram.CumulativeLE, so the exported
+// buckets are exact at the recorder's internal bucket granularity.
+var latencyBuckets = []simtime.Duration{
+	250 * simtime.Microsecond, 500 * simtime.Microsecond,
+	simtime.Millisecond, 2500 * simtime.Microsecond, 5 * simtime.Millisecond,
+	10 * simtime.Millisecond, 25 * simtime.Millisecond, 50 * simtime.Millisecond,
+	100 * simtime.Millisecond, 250 * simtime.Millisecond, 500 * simtime.Millisecond,
+	simtime.Second, 2500 * simtime.Millisecond, 5 * simtime.Second, 10 * simtime.Second,
+}
+
+// WriteMetrics renders one scrape in the text exposition format. Every metric
+// family is emitted as one contiguous group with its HELP and TYPE lines, as
+// the format requires; TestExporterPrometheusLint pins that discipline.
 func (x *Exporter) WriteMetrics(w io.Writer) {
 	s := x.h.Snapshot()
 	p := func(format string, args ...interface{}) { fmt.Fprintf(w, format, args...) }
-
-	p("# HELP elasticutor_virtual_seconds Virtual run time at scrape.\n")
-	p("# TYPE elasticutor_virtual_seconds gauge\n")
-	p("elasticutor_virtual_seconds %g\n", simtime.ToMillis(s.Now.Sub(simtime.Time(0)))/1e3)
-	p("# TYPE elasticutor_live_nodes gauge\n")
-	p("elasticutor_live_nodes %d\n", s.LiveNodes)
-	p("# TYPE elasticutor_cores_total gauge\n")
-	p("elasticutor_cores_total %d\n", s.TotalCores)
-	p("# TYPE elasticutor_cores_used gauge\n")
-	p("elasticutor_cores_used %d\n", s.UsedCores)
-	p("# HELP elasticutor_blocked_tuples_total Tuple weight refused by source backpressure since start.\n")
-	p("# TYPE elasticutor_blocked_tuples_total counter\n")
-	p("elasticutor_blocked_tuples_total %d\n", s.Blocked)
-	p("# TYPE elasticutor_migration_bytes_total counter\n")
-	p("elasticutor_migration_bytes_total %d\n", s.MigrationBytes)
-	p("# TYPE elasticutor_reassignments_total counter\n")
-	p("elasticutor_reassignments_total %d\n", s.Reassignments)
-	p("# HELP elasticutor_repartitions_total Completed section-3.3 repartition protocols.\n")
-	p("# TYPE elasticutor_repartitions_total counter\n")
-	p("elasticutor_repartitions_total %d\n", s.Repartitions)
-
-	p("# HELP elasticutor_operator_offered_tuples_total Cumulative tuple weight admitted toward the operator.\n")
-	for _, o := range s.Operators {
-		l := escapeLabel(o.Name)
-		p("elasticutor_operator_executors{operator=%q} %d\n", l, o.Executors)
-		p("elasticutor_operator_cores{operator=%q} %d\n", l, o.Cores)
-		p("elasticutor_operator_offered_tuples_total{operator=%q} %d\n", l, o.Offered)
-		p("elasticutor_operator_processed_tuples_total{operator=%q} %d\n", l, o.Processed)
-		p("elasticutor_operator_queued_tuples{operator=%q} %d\n", l, o.Queued)
+	fam := func(name, help, typ string) {
+		p("# HELP %s %s\n", name, help)
+		p("# TYPE %s %s\n", name, typ)
 	}
 
-	p("# HELP elasticutor_run_lost_events_total Events dropped from the lossy Events channel (the timeline keeps them).\n")
-	p("# TYPE elasticutor_run_lost_events_total counter\n")
+	fam("elasticutor_virtual_seconds", "Virtual run time at scrape.", "gauge")
+	p("elasticutor_virtual_seconds %g\n", simtime.ToMillis(s.Now.Sub(simtime.Time(0)))/1e3)
+	fam("elasticutor_live_nodes", "Cluster nodes alive.", "gauge")
+	p("elasticutor_live_nodes %d\n", s.LiveNodes)
+	fam("elasticutor_cores", "Cores on live nodes.", "gauge")
+	p("elasticutor_cores %d\n", s.TotalCores)
+	fam("elasticutor_cores_used", "Cores granted or reserved on live nodes.", "gauge")
+	p("elasticutor_cores_used %d\n", s.UsedCores)
+	fam("elasticutor_blocked_tuples_total", "Tuple weight refused by source backpressure since start.", "counter")
+	p("elasticutor_blocked_tuples_total %d\n", s.Blocked)
+	fam("elasticutor_migration_bytes_total", "State bytes moved by reassignments and repartitions.", "counter")
+	p("elasticutor_migration_bytes_total %d\n", s.MigrationBytes)
+	fam("elasticutor_reassignments_total", "Executor-level shard reassignments.", "counter")
+	p("elasticutor_reassignments_total %d\n", s.Reassignments)
+	fam("elasticutor_repartitions_total", "Completed section-3.3 repartition protocols.", "counter")
+	p("elasticutor_repartitions_total %d\n", s.Repartitions)
+
+	// Windowed end-to-end latency quantiles: the last folded metrics window,
+	// identical for every observer (unlike the snapshot's rate fields).
+	fam("elasticutor_latency_window_p50_seconds", "End-to-end latency p50 of the last metrics window.", "gauge")
+	p("elasticutor_latency_window_p50_seconds %g\n", s.LatencyP50.Seconds())
+	fam("elasticutor_latency_window_p95_seconds", "End-to-end latency p95 of the last metrics window.", "gauge")
+	p("elasticutor_latency_window_p95_seconds %g\n", s.LatencyP95.Seconds())
+	fam("elasticutor_latency_window_p99_seconds", "End-to-end latency p99 of the last metrics window.", "gauge")
+	p("elasticutor_latency_window_p99_seconds %g\n", s.LatencyP99.Seconds())
+	fam("elasticutor_latency_window_max_seconds", "End-to-end latency max of the last metrics window.", "gauge")
+	p("elasticutor_latency_window_max_seconds %g\n", s.LatencyMax.Seconds())
+	fam("elasticutor_latency_window_weight", "Weighted sample count of the last latency window.", "gauge")
+	p("elasticutor_latency_window_weight %d\n", s.LatencyWeight)
+	fam("elasticutor_latency_window_dominant_share", "Share of the last window's attributed latency in its dominant stage.", "gauge")
+	p("elasticutor_latency_window_dominant_share{stage=%q} %g\n", s.DominantStage.String(), s.DominantShare)
+
+	fam("elasticutor_operator_executors", "Live executors per operator.", "gauge")
+	for _, o := range s.Operators {
+		p("elasticutor_operator_executors{operator=%q} %d\n", escapeLabel(o.Name), o.Executors)
+	}
+	fam("elasticutor_operator_cores", "Core grants per operator.", "gauge")
+	for _, o := range s.Operators {
+		p("elasticutor_operator_cores{operator=%q} %d\n", escapeLabel(o.Name), o.Cores)
+	}
+	fam("elasticutor_operator_offered_tuples_total", "Cumulative tuple weight admitted toward the operator.", "counter")
+	for _, o := range s.Operators {
+		p("elasticutor_operator_offered_tuples_total{operator=%q} %d\n", escapeLabel(o.Name), o.Offered)
+	}
+	fam("elasticutor_operator_processed_tuples_total", "Cumulative tuple weight processed by the operator.", "counter")
+	for _, o := range s.Operators {
+		p("elasticutor_operator_processed_tuples_total{operator=%q} %d\n", escapeLabel(o.Name), o.Processed)
+	}
+	fam("elasticutor_operator_queued_tuples", "Tuple weight admitted but not yet processed.", "gauge")
+	for _, o := range s.Operators {
+		p("elasticutor_operator_queued_tuples{operator=%q} %d\n", escapeLabel(o.Name), o.Queued)
+	}
+	fam("elasticutor_operator_latency_p50_seconds", "Hop latency p50 of the operator's last anatomy window.", "gauge")
+	for _, o := range s.Operators {
+		p("elasticutor_operator_latency_p50_seconds{operator=%q} %g\n", escapeLabel(o.Name), o.LatP50.Seconds())
+	}
+	fam("elasticutor_operator_latency_p99_seconds", "Hop latency p99 of the operator's last anatomy window.", "gauge")
+	for _, o := range s.Operators {
+		p("elasticutor_operator_latency_p99_seconds{operator=%q} %g\n", escapeLabel(o.Name), o.LatP99.Seconds())
+	}
+	fam("elasticutor_operator_dominant_share", "Share of the operator's cumulative attributed latency in its dominant stage.", "gauge")
+	for _, o := range s.Operators {
+		p("elasticutor_operator_dominant_share{operator=%q,stage=%q} %g\n",
+			escapeLabel(o.Name), o.DominantStage.String(), o.DominantShare)
+	}
+
+	fam("elasticutor_run_lost_events_total", "Events dropped from the lossy Events channel (the timeline keeps them).", "counter")
 	p("elasticutor_run_lost_events_total %d\n", x.h.LostEvents())
 
 	x.mu.Lock()
-	ledger, traj := x.ledger, x.traj
+	ledger, latency, traj := x.ledger, x.latency, x.traj
 	x.mu.Unlock()
 	if ledger != nil {
 		led := ledger()
-		p("# HELP elasticutor_ledger_admitted_tuples_total Runtime conservation ledger (admitted = processed + drops).\n")
+		fam("elasticutor_ledger_admitted_tuples_total", "Runtime conservation ledger: tuple weight admitted.", "counter")
 		p("elasticutor_ledger_admitted_tuples_total %d\n", led.Admitted)
+		fam("elasticutor_ledger_processed_tuples_total", "Runtime conservation ledger: tuple weight processed.", "counter")
 		p("elasticutor_ledger_processed_tuples_total %d\n", led.Processed)
+		fam("elasticutor_ledger_dropped_failure_tuples_total", "Runtime conservation ledger: tuple weight destroyed by node failures.", "counter")
 		p("elasticutor_ledger_dropped_failure_tuples_total %d\n", led.DroppedFailure)
+		fam("elasticutor_ledger_dropped_shutdown_tuples_total", "Runtime conservation ledger: tuple weight swept at shutdown.", "counter")
 		p("elasticutor_ledger_dropped_shutdown_tuples_total %d\n", led.DroppedShutdown)
+		fam("elasticutor_ledger_blocked_tuples_total", "Runtime conservation ledger: tuple weight refused at the source.", "counter")
 		p("elasticutor_ledger_blocked_tuples_total %d\n", led.Blocked)
 		conserved := 0
 		if led.Conserved() {
 			conserved = 1
 		}
+		fam("elasticutor_ledger_conserved", "1 when admitted = processed + drops.", "gauge")
 		p("elasticutor_ledger_conserved %d\n", conserved)
 	}
+	if latency != nil {
+		hist, stages := latency()
+		fam("elasticutor_latency_seconds", "End-to-end sink latency since warm-up (cumulative histogram).", "histogram")
+		for _, le := range latencyBuckets {
+			p("elasticutor_latency_seconds_bucket{le=%q} %d\n",
+				fmt.Sprintf("%g", le.Seconds()), hist.CumulativeLE(le))
+		}
+		p("elasticutor_latency_seconds_bucket{le=\"+Inf\"} %d\n", hist.Count())
+		p("elasticutor_latency_seconds_sum %g\n", hist.Sum().Seconds())
+		p("elasticutor_latency_seconds_count %d\n", hist.Count())
+		fam("elasticutor_latency_stage_seconds_total", "Attributed latency per stage across traced sink samples.", "counter")
+		for _, st := range []metrics.Stage{metrics.StageQueue, metrics.StageService, metrics.StageRepartition, metrics.StageMigration} {
+			p("elasticutor_latency_stage_seconds_total{stage=%q} %g\n",
+				st.String(), stages.Stage(st).Sum().Seconds())
+		}
+	}
 	if traj != nil {
-		p("# HELP elasticutor_calib_per_tuple_overhead_ns Measured per-tuple hot-path overhead (tools/calibrate trajectory).\n")
-		p("# TYPE elasticutor_calib_per_tuple_overhead_ns gauge\n")
 		entries := append([]calib.TrajectoryEntry(nil), traj.Entries...)
 		sort.SliceStable(entries, func(i, j int) bool { return entries[i].Label < entries[j].Label })
+		fam("elasticutor_calib_per_tuple_overhead_ns", "Measured per-tuple hot-path overhead (tools/calibrate trajectory).", "gauge")
 		for _, e := range entries {
-			l := escapeLabel(e.Label)
-			p("elasticutor_calib_per_tuple_overhead_ns{label=%q} %d\n", l, e.PerTupleOverheadNS)
+			p("elasticutor_calib_per_tuple_overhead_ns{label=%q} %d\n", escapeLabel(e.Label), e.PerTupleOverheadNS)
+		}
+		fam("elasticutor_calib_per_event_overhead_ns", "Measured per-event hot-path overhead (tools/calibrate trajectory).", "gauge")
+		for _, e := range entries {
 			if e.PerEventOverheadNS > 0 {
-				p("elasticutor_calib_per_event_overhead_ns{label=%q} %d\n", l, e.PerEventOverheadNS)
+				p("elasticutor_calib_per_event_overhead_ns{label=%q} %d\n", escapeLabel(e.Label), e.PerEventOverheadNS)
 			}
+		}
+		fam("elasticutor_calib_tuples_per_sec", "Measured hot-path throughput (tools/calibrate trajectory).", "gauge")
+		for _, e := range entries {
 			if e.TuplesPerSec > 0 {
-				p("elasticutor_calib_tuples_per_sec{label=%q} %g\n", l, e.TuplesPerSec)
+				p("elasticutor_calib_tuples_per_sec{label=%q} %g\n", escapeLabel(e.Label), e.TuplesPerSec)
 			}
 		}
 	}

@@ -162,8 +162,10 @@ func TestExporterMetrics(t *testing.T) {
 	text := body.String()
 	for _, want := range []string{
 		"elasticutor_live_nodes ",
-		"elasticutor_cores_total ",
+		"elasticutor_cores ",
+		"elasticutor_latency_window_p99_seconds ",
 		"elasticutor_operator_processed_tuples_total{operator=",
+		"elasticutor_operator_latency_p99_seconds{operator=",
 		"elasticutor_run_lost_events_total ",
 		`elasticutor_calib_per_tuple_overhead_ns{label="TEST"} 123`,
 	} {

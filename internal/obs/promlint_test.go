@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/calib"
+	rtbackend "repro/internal/runtime"
+	"repro/internal/scenario"
+)
+
+// promSample is one parsed exposition sample.
+type promSample struct {
+	name   string
+	labels string // raw label block, "" when absent
+	value  float64
+	line   int
+}
+
+// promFamily is one metric family as the linter reconstructs it.
+type promFamily struct {
+	name    string
+	typ     string
+	help    bool
+	samples []promSample
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parseProm parses text-exposition output strictly: every line must be a HELP
+// comment, a TYPE comment, or a sample; HELP and TYPE must precede their
+// family's samples; families must be contiguous (the format requires all
+// lines of one metric as a single group).
+func parseProm(t *testing.T, text string) []*promFamily {
+	t.Helper()
+	var fams []*promFamily
+	byName := make(map[string]*promFamily)
+	var cur *promFamily
+	for i, raw := range strings.Split(text, "\n") {
+		n := i + 1
+		if raw == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, "#") {
+			fields := strings.SplitN(raw, " ", 4)
+			if len(fields) < 4 || fields[0] != "#" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", n, raw)
+			}
+			name := fields[2]
+			if !promNameRe.MatchString(name) {
+				t.Fatalf("line %d: invalid metric name %q", n, name)
+			}
+			if fields[1] == "HELP" {
+				if byName[name] != nil {
+					t.Fatalf("line %d: duplicate or non-contiguous HELP for %q", n, name)
+				}
+				cur = &promFamily{name: name, help: true}
+				byName[name] = cur
+				fams = append(fams, cur)
+				continue
+			}
+			// TYPE: must follow this family's HELP, before any sample.
+			if cur == nil || cur.name != name {
+				t.Fatalf("line %d: TYPE %s outside its family group", n, name)
+			}
+			if cur.typ != "" || len(cur.samples) > 0 {
+				t.Fatalf("line %d: TYPE %s duplicated or after samples", n, name)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+				cur.typ = fields[3]
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", n, fields[3])
+			}
+			continue
+		}
+		s := parsePromSample(t, n, raw)
+		fam := cur
+		if fam == nil {
+			t.Fatalf("line %d: sample %q before any family", n, s.name)
+		}
+		base := s.name
+		if fam.typ == "histogram" {
+			base = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(base,
+				"_bucket"), "_sum"), "_count")
+		}
+		if base != fam.name {
+			t.Fatalf("line %d: sample %q is not grouped under family %q", n, s.name, fam.name)
+		}
+		fam.samples = append(fam.samples, s)
+	}
+	return fams
+}
+
+// parsePromSample parses `name{label="v",...} value` with escaped quotes.
+func parsePromSample(t *testing.T, n int, raw string) promSample {
+	t.Helper()
+	name := raw
+	labels := ""
+	if i := strings.IndexByte(raw, '{'); i >= 0 {
+		j := strings.LastIndexByte(raw, '}')
+		if j < i {
+			t.Fatalf("line %d: unbalanced label braces: %q", n, raw)
+		}
+		name, labels = raw[:i], raw[i+1:j]
+		raw = name + raw[j+1:]
+	}
+	fields := strings.Fields(raw)
+	if len(fields) != 2 {
+		t.Fatalf("line %d: want `name value`, got %q", n, raw)
+	}
+	if !promNameRe.MatchString(fields[0]) {
+		t.Fatalf("line %d: invalid sample name %q", n, fields[0])
+	}
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		t.Fatalf("line %d: sample value %q: %v", n, fields[1], err)
+	}
+	for _, pair := range splitPromLabels(labels) {
+		k, val, ok := strings.Cut(pair, "=")
+		if !ok || !promLabelRe.MatchString(k) {
+			t.Fatalf("line %d: malformed label %q", n, pair)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			t.Fatalf("line %d: unquoted label value %q", n, pair)
+		}
+	}
+	return promSample{name: fields[0], labels: labels, value: v, line: n}
+}
+
+// splitPromLabels splits a raw label block on commas outside quoted values.
+func splitPromLabels(block string) []string {
+	if block == "" {
+		return nil
+	}
+	var out []string
+	depth, start := false, 0
+	for i := 0; i < len(block); i++ {
+		switch block[i] {
+		case '"':
+			if i == 0 || block[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, block[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, block[start:])
+}
+
+// lintProm applies the naming and structure rules beyond raw syntax.
+func lintProm(t *testing.T, fams []*promFamily) {
+	t.Helper()
+	seen := make(map[string]bool)
+	for _, f := range fams {
+		if seen[f.name] {
+			t.Fatalf("family %q appears twice (non-contiguous group)", f.name)
+		}
+		seen[f.name] = true
+		if !strings.HasPrefix(f.name, "elasticutor_") {
+			t.Fatalf("family %q lacks the namespace prefix", f.name)
+		}
+		if !f.help || f.typ == "" {
+			t.Fatalf("family %q missing HELP or TYPE", f.name)
+		}
+		if len(f.samples) == 0 {
+			// Allowed (an operator-labeled family can be empty pre-placement)
+			// but every family the exporter emits here should carry samples.
+			continue
+		}
+		switch f.typ {
+		case "counter":
+			if !strings.HasSuffix(f.name, "_total") {
+				t.Fatalf("counter %q must end in _total", f.name)
+			}
+			for _, s := range f.samples {
+				if s.value < 0 {
+					t.Fatalf("counter %q has negative sample %g", f.name, s.value)
+				}
+			}
+		case "gauge":
+			for _, suf := range []string{"_total", "_sum", "_count", "_bucket"} {
+				if strings.HasSuffix(f.name, suf) {
+					t.Fatalf("gauge %q uses the reserved suffix %s", f.name, suf)
+				}
+			}
+		case "histogram":
+			lintPromHistogram(t, f)
+		}
+		// Unit discipline: any duration-valued family says so in its name.
+		if strings.Contains(f.name, "latency") &&
+			!strings.Contains(f.name, "_seconds") && !strings.Contains(f.name, "_weight") &&
+			!strings.Contains(f.name, "_share") {
+			t.Fatalf("latency family %q does not carry a unit suffix", f.name)
+		}
+		dup := make(map[string]bool)
+		for _, s := range f.samples {
+			key := s.name + "{" + s.labels + "}"
+			if dup[key] {
+				t.Fatalf("duplicate sample %s", key)
+			}
+			dup[key] = true
+		}
+	}
+}
+
+// lintPromHistogram checks the bucket ladder: cumulative non-decreasing
+// counts, a +Inf bucket, and _sum/_count agreement.
+func lintPromHistogram(t *testing.T, f *promFamily) {
+	t.Helper()
+	var last, inf, count float64
+	var sawInf, sawSum, sawCount bool
+	lastLE := ""
+	for _, s := range f.samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le := ""
+			for _, pair := range splitPromLabels(s.labels) {
+				if k, v, _ := strings.Cut(pair, "="); k == "le" {
+					le = strings.Trim(v, `"`)
+				}
+			}
+			if le == "" {
+				t.Fatalf("%s bucket without le label", f.name)
+			}
+			if s.value < last {
+				t.Fatalf("%s buckets not cumulative: le=%q count %g after %g (le=%q)",
+					f.name, le, s.value, last, lastLE)
+			}
+			last, lastLE = s.value, le
+			if le == "+Inf" {
+				sawInf, inf = true, s.value
+			}
+		case strings.HasSuffix(s.name, "_sum"):
+			sawSum = true
+		case strings.HasSuffix(s.name, "_count"):
+			sawCount, count = true, s.value
+		default:
+			t.Fatalf("histogram %q has stray sample %q", f.name, s.name)
+		}
+	}
+	if !sawInf || !sawSum || !sawCount {
+		t.Fatalf("histogram %q incomplete: +Inf=%v sum=%v count=%v", f.name, sawInf, sawSum, sawCount)
+	}
+	if inf != count {
+		t.Fatalf("histogram %q: +Inf bucket %g != count %g", f.name, inf, count)
+	}
+}
+
+// TestExporterPrometheusLint scrapes a finished runtime-backend run with every
+// optional section wired (ledger, latency anatomy, calibration) and holds the
+// output to the text exposition format: HELP/TYPE per family, contiguous
+// groups, namespaced names, counter/gauge suffix rules, and a well-formed
+// latency histogram.
+func TestExporterPrometheusLint(t *testing.T) {
+	sp, err := scenario.ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtE, h, err := rtbackend.BuildScenario(sp, "elasticutor", 42,
+		rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start(context.Background())
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	traj := calib.NewTrajectory()
+	traj.Entries = append(traj.Entries, calib.TrajectoryEntry{
+		Label: "LINT", PerTupleOverheadNS: 7, PerEventOverheadNS: 3, TuplesPerSec: 11})
+	x := NewExporter(h).SetLedger(rtE.Ledger).SetLatency(rtE.LatencyAnatomy).SetCalibration(traj)
+
+	var buf bytes.Buffer
+	x.WriteMetrics(&buf)
+	fams := parseProm(t, buf.String())
+	lintProm(t, fams)
+
+	want := map[string]bool{
+		"elasticutor_latency_seconds":              false,
+		"elasticutor_latency_stage_seconds_total":  false,
+		"elasticutor_latency_window_p99_seconds":   false,
+		"elasticutor_operator_latency_p99_seconds": false,
+		"elasticutor_ledger_conserved":             false,
+	}
+	for _, f := range fams {
+		if _, ok := want[f.name]; ok {
+			if len(f.samples) == 0 {
+				t.Fatalf("family %q emitted without samples", f.name)
+			}
+			want[f.name] = true
+		}
+		if f.name == "elasticutor_latency_seconds" && f.typ != "histogram" {
+			t.Fatalf("elasticutor_latency_seconds is %q, want histogram", f.typ)
+		}
+	}
+	for name, ok := range want {
+		if !ok {
+			t.Fatalf("scrape missing family %q:\n%s", name, buf.String())
+		}
+	}
+	_ = fmt.Sprintf // keep fmt imported if assertions above change
+}

@@ -85,7 +85,10 @@ type CmdRecord struct {
 	Label  string  `json:"label,omitempty"`
 }
 
-// OpRecord is one operator inside a SnapRecord.
+// OpRecord is one operator inside a SnapRecord. The latency-anatomy fields
+// (hop-latency percentiles over the last folded window, cumulative dominant
+// stage) are additive: older elasticutor-trace/v1 readers skip the unknown
+// keys and older traces decode with the fields zero.
 type OpRecord struct {
 	Name          string  `json:"name"`
 	Executors     int     `json:"execs"`
@@ -95,21 +98,34 @@ type OpRecord struct {
 	Offered       int64   `json:"offered"`
 	Processed     int64   `json:"processed"`
 	Queued        int     `json:"queued"`
+	LatP50MS      float64 `json:"lat_p50_ms,omitempty"`
+	LatP99MS      float64 `json:"lat_p99_ms,omitempty"`
+	DominantStage string  `json:"dom_stage,omitempty"`
+	DominantShare float64 `json:"dom_share,omitempty"`
 }
 
 // SnapRecord is one periodic engine.Snapshot sample. Rate fields are
 // observer-relative (windowed since the previous snapshot by anyone); the
 // cumulative Offered/Processed/Blocked counters are not.
 type SnapRecord struct {
-	AtMS           float64    `json:"at_ms"`
-	Nodes          int        `json:"nodes"`
-	TotalCores     int        `json:"cores"`
-	UsedCores      int        `json:"used"`
-	Blocked        int64      `json:"blocked"`
-	MigrationBytes int64      `json:"mig_bytes,omitempty"`
-	Reassignments  int64      `json:"reassigns,omitempty"`
-	Repartitions   int        `json:"repartitions,omitempty"`
-	Operators      []OpRecord `json:"ops"`
+	AtMS           float64 `json:"at_ms"`
+	Nodes          int     `json:"nodes"`
+	TotalCores     int     `json:"cores"`
+	UsedCores      int     `json:"used"`
+	Blocked        int64   `json:"blocked"`
+	MigrationBytes int64   `json:"mig_bytes,omitempty"`
+	Reassignments  int64   `json:"reassigns,omitempty"`
+	Repartitions   int     `json:"repartitions,omitempty"`
+	// End-to-end latency quantiles of the last folded metrics window and the
+	// dominant latency stage of that window (additive v1 fields, see OpRecord).
+	LatencyP50MS  float64    `json:"lat_p50_ms,omitempty"`
+	LatencyP95MS  float64    `json:"lat_p95_ms,omitempty"`
+	LatencyP99MS  float64    `json:"lat_p99_ms,omitempty"`
+	LatencyMaxMS  float64    `json:"lat_max_ms,omitempty"`
+	LatencyWeight uint64     `json:"lat_w,omitempty"`
+	DominantStage string     `json:"dom_stage,omitempty"`
+	DominantShare float64    `json:"dom_share,omitempty"`
+	Operators     []OpRecord `json:"ops"`
 }
 
 // EndRecord closes a trace with the run's headline totals — enough for a
@@ -285,9 +301,18 @@ func encodeSnapshot(s engine.Snapshot) *SnapRecord {
 		MigrationBytes: s.MigrationBytes,
 		Reassignments:  s.Reassignments,
 		Repartitions:   s.Repartitions,
+		LatencyP50MS:   ms(s.LatencyP50),
+		LatencyP95MS:   ms(s.LatencyP95),
+		LatencyP99MS:   ms(s.LatencyP99),
+		LatencyMaxMS:   ms(s.LatencyMax),
+		LatencyWeight:  s.LatencyWeight,
+	}
+	if s.DominantShare > 0 {
+		rec.DominantStage = s.DominantStage.String()
+		rec.DominantShare = s.DominantShare
 	}
 	for _, o := range s.Operators {
-		rec.Operators = append(rec.Operators, OpRecord{
+		op := OpRecord{
 			Name:          o.Name,
 			Executors:     o.Executors,
 			Cores:         o.Cores,
@@ -296,7 +321,14 @@ func encodeSnapshot(s engine.Snapshot) *SnapRecord {
 			Offered:       o.Offered,
 			Processed:     o.Processed,
 			Queued:        o.Queued,
-		})
+			LatP50MS:      ms(o.LatP50),
+			LatP99MS:      ms(o.LatP99),
+		}
+		if o.DominantShare > 0 {
+			op.DominantStage = o.DominantStage.String()
+			op.DominantShare = o.DominantShare
+		}
+		rec.Operators = append(rec.Operators, op)
 	}
 	return rec
 }

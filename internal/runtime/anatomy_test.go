@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// The latency-anatomy conformance suite: stage attribution must tile the
+// end-to-end latency — exactly on the simulator (every sink tuple is
+// observed), within sampling tolerance on the real-time backend (1-in-N
+// source-sampled) — and the two backends must agree on where a workload's
+// latency is spent.
+
+// TestAnatomyStageTilingSim: on the simulator the four stages partition the
+// end-to-end latency with no residue: the stage set's summed attributed time
+// equals the latency histogram's exact sum, observation for observation,
+// because the queue stage is defined as the residual and must never clamp.
+func TestAnatomyStageTilingSim(t *testing.T) {
+	for _, pol := range conformancePolicies {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			inst, err := quickSpec().Build(pol, 42)
+			if err != nil {
+				t.Fatalf("sim build: %v", err)
+			}
+			r := inst.Engine.Run(quickSpec().Duration())
+			if r.Latency.Count() == 0 {
+				t.Fatal("sim run observed no latency samples")
+			}
+			if got, want := r.LatencyStages.Count(), r.Latency.Count(); got != want {
+				t.Fatalf("stage set covers %d weighted samples, latency histogram %d", got, want)
+			}
+			if got, want := r.LatencyStages.Total(), r.Latency.Sum(); got != want {
+				t.Fatalf("stages do not tile end-to-end latency: Σstages=%v, Σlatency=%v (residual clamped?)",
+					got, want)
+			}
+		})
+	}
+}
+
+// TestAnatomyStageTilingRuntime: on the real-time backend the anatomy covers
+// only the 1-in-N source-sampled tuples, so the contract is statistical: a
+// non-empty sampled subset no larger than the full population, whose mean
+// attributed latency tracks the population mean. The sampled set is an
+// unbiased slice of admissions, so a factor-2 band is generous; a tiling bug
+// (double-counted stall, lost service time) lands far outside it.
+func TestAnatomyStageTilingRuntime(t *testing.T) {
+	rt, _, err := BuildScenario(quickSpec(), "elasticutor", 42, quickOpts())
+	if err != nil {
+		t.Fatalf("runtime build: %v", err)
+	}
+	r, err := rt.Run(quickSpec().Duration())
+	if err != nil {
+		t.Fatalf("runtime run: %v", err)
+	}
+	if r.Latency.Count() == 0 {
+		t.Fatal("runtime run observed no latency samples")
+	}
+	st := r.LatencyStages
+	if st.Count() == 0 {
+		t.Fatal("no sampled tuples reached a sink with anatomy attached")
+	}
+	if st.Count() > r.Latency.Count() {
+		t.Fatalf("sampled anatomy (%d) exceeds the full population (%d)", st.Count(), r.Latency.Count())
+	}
+	popMean := r.Latency.Sum().Seconds() / float64(r.Latency.Count())
+	sampMean := st.Total().Seconds() / float64(st.Count())
+	if sampMean < popMean/2 || sampMean > popMean*2 {
+		t.Fatalf("sampled stage total diverges from the population: sampled mean %.4fs, population mean %.4fs",
+			sampMean, popMean)
+	}
+	// The anatomy accessor merges the same cells the report does.
+	lat, stages := rt.LatencyAnatomy()
+	if lat.Count() != r.Latency.Count() || stages.Count() != st.Count() {
+		t.Fatalf("LatencyAnatomy() disagrees with the report: lat %d vs %d, stages %d vs %d",
+			lat.Count(), r.Latency.Count(), stages.Count(), st.Count())
+	}
+}
+
+// TestAnatomyConformanceDominantStage: for the same saturated workload under
+// the same policy, both backends must attribute the bulk of the latency to
+// the same stage. Queueing dominates a backpressured static plane by orders
+// of magnitude, so the structural agreement is robust to backend timing.
+func TestAnatomyConformanceDominantStage(t *testing.T) {
+	spec := quickSpec()
+	inst, err := spec.Build("static", 42)
+	if err != nil {
+		t.Fatalf("sim build: %v", err)
+	}
+	simR := inst.Engine.Run(spec.Duration())
+	simStage, simShare := simR.LatencyStages.Dominant()
+
+	rt, _, err := BuildScenario(spec, "static", 42, quickOpts())
+	if err != nil {
+		t.Fatalf("runtime build: %v", err)
+	}
+	rtR, err := rt.Run(spec.Duration())
+	if err != nil {
+		t.Fatalf("runtime run: %v", err)
+	}
+	rtStage, rtShare := rtR.LatencyStages.Dominant()
+
+	if simStage != metrics.StageQueue {
+		t.Fatalf("sim dominant stage = %s (%.0f%%), want queue on a saturated static plane", simStage, 100*simShare)
+	}
+	if rtStage != simStage {
+		t.Fatalf("backends disagree on the dominant stage: sim %s (%.0f%%), runtime %s (%.0f%%)",
+			simStage, 100*simShare, rtStage, 100*rtShare)
+	}
+	if rtShare < 0.5 {
+		t.Fatalf("runtime dominant stage %s only holds %.0f%% of attributed time", rtStage, 100*rtShare)
+	}
+}
+
+// TestAnatomyWindowedQuantilesFlow: both backends fill the windowed
+// percentile track and the snapshot surfaces it. The snapshot's dominant
+// stage must be one of the four named stages with a sane share.
+func TestAnatomyWindowedQuantilesFlow(t *testing.T) {
+	spec := quickSpec()
+	_, h, err := BuildScenario(spec, "elasticutor", 42, quickOpts())
+	if err != nil {
+		t.Fatalf("runtime build: %v", err)
+	}
+	h.Start(context.Background())
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatencyQuantiles.Len() == 0 {
+		t.Fatal("runtime report has no windowed quantile points")
+	}
+	if r.LatencyQuantiles.MaxP99() <= 0 {
+		t.Fatal("windowed p99 track is all zeros")
+	}
+	s := h.Snapshot()
+	if s.DominantShare < 0 || s.DominantShare > 1 {
+		t.Fatalf("snapshot dominant share out of range: %v", s.DominantShare)
+	}
+	if s.DominantStage < 0 || s.DominantStage >= metrics.NumStages {
+		t.Fatalf("snapshot dominant stage out of range: %v", s.DominantStage)
+	}
+
+	inst, err := spec.Build("elasticutor", 42)
+	if err != nil {
+		t.Fatalf("sim build: %v", err)
+	}
+	simR := inst.Engine.Run(spec.Duration())
+	if simR.LatencyQuantiles.Len() == 0 {
+		t.Fatal("sim report has no windowed quantile points")
+	}
+	if simR.LatencyQuantiles.MaxP99() <= 0 {
+		t.Fatal("sim windowed p99 track is all zeros")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/simtime"
 	"repro/internal/state"
 	"repro/internal/stream"
@@ -232,15 +233,26 @@ func (x *exec) process(ts []stream.Tuple, lane int) {
 
 	var w int64
 	var cost simtime.Duration
+	traced := false
 	for i := range ts {
 		w += int64(ts[i].Weight)
 		cost += x.costOf(ts[i]) * simtime.Duration(ts[i].Weight)
+		traced = traced || ts[i].Mark != 0
 	}
 	x.queuedW.Add(-w)
 	if cost > 0 {
 		x.e.clock.Sleep(cost)
 	}
 	x.winBusyNS.Add(int64(cost))
+	if traced {
+		// A batch completes together, so every traced member experienced the
+		// whole batch's slept cost as service time.
+		for i := range ts {
+			if ts[i].Mark != 0 {
+				ts[i].Svc += cost
+			}
+		}
+	}
 
 	sel := 0
 	if x.o.meta.Handler == nil {
@@ -285,6 +297,14 @@ func (x *exec) process(ts []stream.Tuple, lane int) {
 			if outs[j].Born == 0 {
 				outs[j].Born = t.Born
 			}
+			if t.Mark != 0 {
+				// Outputs of a traced input inherit the trace and its stage
+				// accumulators (re-stamped to the emission time below).
+				outs[j].Mark = t.Mark
+				outs[j].Svc += t.Svc
+				outs[j].RPStall += t.RPStall
+				outs[j].MGStall += t.MGStall
+			}
 			outBytes += int64(outs[j].TotalBytes())
 		}
 	}
@@ -300,6 +320,29 @@ func (x *exec) process(ts []stream.Tuple, lane int) {
 	x.o.processed.Add(lane, w)
 
 	warm := simtime.Duration(now) >= x.e.cfg.WarmUp
+	if traced {
+		// Downstream admission stamp: the next operator's hop window starts
+		// when its input is emitted, not when the trace was born.
+		for j := range outs {
+			if outs[j].Mark != 0 {
+				outs[j].Mark = now
+			}
+		}
+		if warm {
+			// Per-operator anatomy: hop latency (admission → processed) with
+			// this batch's slept cost as the service component; the residual
+			// is task-queue wait.
+			for i := range ts {
+				if ts[i].Mark != 0 {
+					x.o.anat.Observe(lane, metrics.StageObservation{
+						Total:   now.Sub(ts[i].Mark),
+						Service: cost,
+						Weight:  ts[i].Weight,
+					})
+				}
+			}
+		}
+	}
 	if warm && (x.o.measured || x.o.sink) {
 		cell := &x.e.coll.cells[lane&(numLanes-1)]
 		cell.mu.Lock()
@@ -312,6 +355,17 @@ func (x *exec) process(ts []stream.Tuple, lane int) {
 				d := now.Sub(ts[i].Born)
 				cell.lat.Observe(d, ts[i].Weight)
 				cell.winLat.Observe(d, ts[i].Weight)
+				if ts[i].Mark != 0 {
+					obs := metrics.StageObservation{
+						Total:       d,
+						Service:     ts[i].Svc,
+						Repartition: ts[i].RPStall,
+						Migration:   ts[i].MGStall,
+						Weight:      ts[i].Weight,
+					}
+					cell.stage.Observe(obs)
+					cell.winStage.Observe(obs)
+				}
 			}
 		}
 		cell.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/simtime"
 )
 
@@ -209,6 +210,12 @@ func (e *Engine) Snapshot() engine.Snapshot {
 	now := e.vnow()
 	span := now.Sub(e.lastSnapAt).Seconds()
 	s := engine.Snapshot{Now: now, Blocked: e.blocked.Load()}
+	s.LatencyP50 = e.lastWindow.P50
+	s.LatencyP95 = e.lastWindow.P95
+	s.LatencyP99 = e.lastWindow.P99
+	s.LatencyMax = e.lastWindow.Max
+	s.LatencyWeight = e.lastWindow.Weight
+	s.DominantStage, s.DominantShare = e.lastStages.Dominant()
 	e.nodesMu.Lock()
 	for _, n := range e.nodes {
 		if n.alive {
@@ -237,7 +244,10 @@ func (e *Engine) Snapshot() engine.Snapshot {
 			Queued:    int(o.inflight.Load()),
 			Offered:   admitted,
 			Processed: processed,
+			LatP50:    o.latP50,
+			LatP99:    o.latP99,
 		}
+		os.DominantStage, os.DominantShare = metrics.DominantOf(o.anatTotals)
 		for _, x := range execs {
 			os.Cores += x.grantCount()
 		}

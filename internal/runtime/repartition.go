@@ -120,9 +120,24 @@ func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
 	buf := o.pauseBuf
 	o.pauseBuf = nil
 	o.bufMu.Unlock()
-	var replayW int64
+	replayAt := e.vnow()
+	warm := simtime.Duration(replayAt) >= e.cfg.WarmUp
+	var replayW, rpStall int64
 	for i := range buf {
 		replayW += int64(buf[i].Weight)
+		if buf[i].Mark != 0 {
+			// The wait behind the §3.3 pause is repartition stall. Traced
+			// tuples carry it on their accumulator and are re-stamped so the
+			// hop window doesn't count the wait a second time as queue.
+			if stall := replayAt.Sub(buf[i].Mark); stall > 0 {
+				buf[i].RPStall += stall
+				rpStall += int64(stall) * int64(buf[i].Weight)
+			}
+			buf[i].Mark = replayAt
+		}
+	}
+	if rpStall > 0 && warm {
+		o.rpStallNS.Add(rpStall)
 	}
 	e.replay(o, buf, 0)
 

@@ -169,6 +169,19 @@ type op struct {
 
 	// retiredN counts executors cluster churn removed from this operator.
 	retiredN atomic.Int64
+
+	// Latency anatomy. anat collects sampled (traced) hop observations from
+	// workers on per-lane cells; rpStallNS accumulates §3.3 pause stall ×
+	// weight attributed at replay. Both drain at the metrics window tick into
+	// the e.snapMu-guarded fold results below, the Snapshot surface.
+	anat      *metrics.StageRecorder
+	rpStallNS atomic.Int64
+
+	// Guarded by e.snapMu: cumulative post-warm-up per-stage totals and the
+	// last non-empty window's hop-latency percentiles.
+	anatTotals [metrics.NumStages]simtime.Duration
+	latP50     simtime.Duration
+	latP99     simtime.Duration
 }
 
 // policy.Operator implementation. Everything reads atomic snapshots so the
@@ -306,6 +319,10 @@ type Engine struct {
 	lastSnapAt    simtime.Time
 	lastOffered   []int64
 	lastProcessed []int64
+	// Last folded latency window (sampleSeries writes, Snapshot reads; both
+	// under snapMu) — the observer-independent quantile surface.
+	lastWindow metrics.QuantilePoint
+	lastStages *metrics.StageSet
 	// nodesMu orders Snapshot's cross-goroutine reads of the node set
 	// against churn mutations; all other node access stays control-goroutine
 	// single-threaded and takes no lock.
@@ -326,7 +343,9 @@ type collector struct {
 	// Control-goroutine state (sampleSeries folds, buildReport assembles).
 	thr        metrics.Series
 	latSeries  metrics.Series
+	quant      metrics.QuantileSeries
 	winScratch *metrics.Histogram
+	winStages  *metrics.StageSet
 }
 
 // collCell is one lane's share of the collector.
@@ -334,6 +353,8 @@ type collCell struct {
 	mu        sync.Mutex
 	lat       *metrics.Histogram
 	winLat    *metrics.Histogram
+	stage     *metrics.StageSet // cumulative traced sink samples, attributed
+	winStage  *metrics.StageSet
 	procTotal int64 // post-warmup processed weight at the measured operator
 	procWin   int64
 	_         [24]byte // keep neighbouring cells off one cache line
@@ -374,8 +395,12 @@ func New(cfg engine.Config, opt Options) (*Engine, error) {
 	for i := range e.coll.cells {
 		e.coll.cells[i].lat = metrics.NewHistogram()
 		e.coll.cells[i].winLat = metrics.NewHistogram()
+		e.coll.cells[i].stage = metrics.NewStageSet()
+		e.coll.cells[i].winStage = metrics.NewStageSet()
 	}
 	e.coll.winScratch = metrics.NewHistogram()
+	e.coll.winStages = metrics.NewStageSet()
+	e.lastStages = metrics.NewStageSet()
 	e.fastRoute = par != engine.Paradigm(-1)
 	e.creditW = int64(e.queueDepth()) * int64(cfg.Batch)
 	e.rateFactor.Store(math.Float64bits(1))
@@ -482,6 +507,7 @@ func (e *Engine) placeExecutors() error {
 			measured:   mop.ID == measure,
 			opSharded:  pl.OperatorSharded,
 			dynRouting: pl.DynamicRouting,
+			anat:       metrics.NewStageRecorder(numLanes),
 		}
 		count := pl.Executors
 		if count < 1 {
@@ -696,6 +722,9 @@ func (e *Engine) EveryVirtual(interval simtime.Duration, fn func()) {
 
 // sampleSeries folds the per-lane window cells and appends the one-second
 // throughput and latency points (control goroutine — the only series writer).
+// The latency-anatomy windows fold on the same tick: windowed quantiles from
+// the merged window histogram, the traced stage window, and each operator's
+// sampled hop recorder — all landing on the snapMu-guarded Snapshot surface.
 func (e *Engine) sampleSeries() {
 	now := e.vnow()
 	if simtime.Duration(now) <= e.cfg.WarmUp {
@@ -703,6 +732,7 @@ func (e *Engine) sampleSeries() {
 	}
 	var procWin int64
 	e.coll.winScratch.Reset()
+	e.coll.winStages.Reset()
 	for i := range e.coll.cells {
 		c := &e.coll.cells[i]
 		c.mu.Lock()
@@ -710,10 +740,30 @@ func (e *Engine) sampleSeries() {
 		c.procWin = 0
 		e.coll.winScratch.Merge(c.winLat)
 		c.winLat.Reset()
+		e.coll.winStages.Merge(c.winStage)
+		c.winStage.Reset()
 		c.mu.Unlock()
 	}
 	e.coll.thr.Append(now, float64(procWin))
 	e.coll.latSeries.Append(now, e.coll.winScratch.Mean().Seconds())
+	e.coll.quant.AppendWindow(now, e.coll.winScratch)
+
+	e.snapMu.Lock()
+	e.lastWindow, _ = e.coll.quant.Last()
+	e.lastStages, e.coll.winStages = e.coll.winStages, e.lastStages
+	for _, o := range e.opOrder {
+		win, winTotal := o.anat.FoldWindow(nil, nil)
+		totals := win.Totals()
+		o.anatTotals[metrics.StageQueue] += totals[metrics.StageQueue]
+		o.anatTotals[metrics.StageService] += totals[metrics.StageService]
+		o.anatTotals[metrics.StageRepartition] += simtime.Duration(o.rpStallNS.Swap(0))
+		o.anatTotals[metrics.StageMigration] += totals[metrics.StageMigration]
+		if winTotal.Count() > 0 {
+			o.latP50 = winTotal.Quantile(0.5)
+			o.latP99 = winTotal.Quantile(0.99)
+		}
+	}
+	e.snapMu.Unlock()
 }
 
 // shutdown runs the three-phase stop: quiesce sources, drain the dataflow,
@@ -772,6 +822,22 @@ func (e *Engine) sweepResidue() {
 	}
 }
 
+// LatencyAnatomy returns thread-safe clones of the cumulative end-to-end sink
+// latency histogram and its traced per-stage decomposition — the live
+// /metrics surface (obs.Exporter.SetLatency). Safe from any goroutine.
+func (e *Engine) LatencyAnatomy() (*metrics.Histogram, *metrics.StageSet) {
+	lat := metrics.NewHistogram()
+	stages := metrics.NewStageSet()
+	for i := range e.coll.cells {
+		c := &e.coll.cells[i]
+		c.mu.Lock()
+		lat.Merge(c.lat)
+		stages.Merge(c.stage)
+		c.mu.Unlock()
+	}
+	return lat, stages
+}
+
 // Ledger returns the run's conservation account.
 func (e *Engine) Ledger() Ledger {
 	var l Ledger
@@ -809,17 +875,24 @@ func (e *Engine) buildReport(d simtime.Duration) *engine.Report {
 	// Fold the per-lane collector cells (workers are quiesced by now, the
 	// locks are belt-and-braces against a straggling reaper).
 	lat := metrics.NewHistogram()
+	stages := metrics.NewStageSet()
 	var procTotal int64
 	for i := range e.coll.cells {
 		c := &e.coll.cells[i]
 		c.mu.Lock()
 		lat.Merge(c.lat)
+		stages.Merge(c.stage)
 		procTotal += c.procTotal
 		c.mu.Unlock()
 	}
 	r.Latency = lat
+	// Stage decomposition covers the traced sample (1-in-traceEvery batch
+	// events), so its count is a fraction of Latency's — shares and dominant
+	// stages are unbiased, absolute totals are scaled by the sampling rate.
+	r.LatencyStages = stages
 	r.ThroughputSeries = e.coll.thr
 	r.LatencySeries = e.coll.latSeries
+	r.LatencyQuantiles = e.coll.quant
 	r.Processed = procTotal
 	r.Generated = e.generated.Load()
 	r.Blocked = e.blocked.Load()

@@ -13,15 +13,21 @@ import (
 // backpressure observed) at a finer grain than a whole tick's emission.
 const srcFlushTuples = 128
 
+// traceEvery is the latency-anatomy sampling stride: one in every traceEvery
+// emitted batch events is stamped traced (Tuple.Mark) and carries stage
+// accumulators through the dataflow. Untraced batches pay one branch per
+// tuple on the hot path; the full attribution cost is amortized 1-in-N.
+const traceEvery = 8
+
 // srcDst is the source's per-destination routing scratch, reused tick to
 // tick: one pending (not yet flushed) tuple group per destination executor,
 // plus the blocked-weight accumulator folded into the executor counters once
 // per tick.
 type srcDst struct {
 	o       *op
-	snap    *opSnap // destination snapshot, re-read each tick
-	paused  bool    // pause flag, re-read each tick
-	route   int     // executor index of the tuple being admitted
+	snap    *opSnap          // destination snapshot, re-read each tick
+	paused  bool             // pause flag, re-read each tick
+	route   int              // executor index of the tuple being admitted
 	groups  [][]stream.Tuple // per executor index; pool-backed
 	pendW   []int64          // weight pending in groups (credit accounting)
 	blocked []int64          // blocked weight per executor this tick
@@ -51,11 +57,12 @@ func (d *srcDst) refresh() {
 // credit-based backpressure at every first-hop destination — the same
 // admission rule the simulator applies.
 type src struct {
-	e    *Engine
-	op   *stream.Operator
-	drv  *engine.SourceDriver
-	lane int
-	dsts []*srcDst
+	e        *Engine
+	op       *stream.Operator
+	drv      *engine.SourceDriver
+	lane     int
+	traceSeq uint64
+	dsts     []*srcDst
 }
 
 func (s *src) run() {
@@ -126,6 +133,10 @@ func (s *src) emitBatch(n int) {
 			Bytes:   bytes,
 			Born:    now,
 			Payload: payload,
+		}
+		s.traceSeq++
+		if s.traceSeq%traceEvery == 0 {
+			t.Mark = now // sampled: carries the latency-anatomy accumulators
 		}
 		w := int64(t.Weight)
 		full := false

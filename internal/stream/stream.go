@@ -62,6 +62,21 @@ type Tuple struct {
 	Bytes   int          // size of ONE real tuple in bytes
 	Born    simtime.Time // emission time at the source (latency baseline)
 	Payload interface{}  // optional user payload (e.g. an SSE order)
+
+	// Latency-anatomy accumulators (observation only — no control decision
+	// reads them). Mark is the admission stamp toward the current operator:
+	// the simulator stamps every tuple at routing, the runtime backend stamps
+	// only 1-in-N sampled tuples at the source (Mark != 0 means "traced").
+	// Svc/RPStall/MGStall accumulate attributed service time, §3.3
+	// operator-pause stall, and executor shard-reassignment stall across
+	// hops; the sink derives queue wait as the non-negative residual of
+	// (now - Born), so the four stages tile end-to-end latency exactly.
+	// Outputs inherit them from their input like Born, keeping multi-hop
+	// attribution end to end.
+	Mark    simtime.Time
+	Svc     simtime.Duration
+	RPStall simtime.Duration
+	MGStall simtime.Duration
 }
 
 // TotalBytes returns the wire size of the whole batch.

@@ -5,8 +5,9 @@
 //
 // It rewrites internal/policy/testdata/scenarios.golden (reference-run report
 // fingerprints), internal/experiments/testdata/fig8_quick.golden,
-// scenarios_quick.golden, and autoscale_quick.golden (full experiment
-// tables), internal/scenario/testdata/builtins.golden (one fingerprint
+// scenarios_quick.golden, autoscale_quick.golden, and
+// latencyanatomy_quick.golden (full experiment tables),
+// internal/scenario/testdata/builtins.golden (one fingerprint
 // per built-in scenario, churn counters included), and
 // internal/obs/testdata/record_replay.golden (the pinned trace recording's
 // structural event sequence and repartition spans). Regenerate ONLY when a
@@ -58,6 +59,12 @@ func main() {
 		tab.Print(&buf)
 	}
 	write("internal/experiments/testdata/autoscale_quick.golden", buf.String())
+
+	buf.Reset()
+	for _, tab := range experiments.LatencyAnatomy(experiments.Quick) {
+		tab.Print(&buf)
+	}
+	write("internal/experiments/testdata/latencyanatomy_quick.golden", buf.String())
 
 	write("internal/scenario/testdata/builtins.golden", scenario.GenerateGoldens())
 
