@@ -1,0 +1,35 @@
+// elasticutor-node is a standalone node agent for the distributed backend:
+// it dials a control-plane, waits in its arrival pool, and serves whatever
+// node the control-plane binds it to — holding executor shard payloads,
+// burning batch costs, and serializing state for migrations.
+//
+// Start one per node before launching a control-plane with spawning disabled
+// (elasticutor-sim -backend dist -dist-adopt):
+//
+//	elasticutor-node -control 127.0.0.1:7700 &
+//	elasticutor-node -control 127.0.0.1:7700 &
+//	elasticutor-sim -backend dist -dist-listen 127.0.0.1:7700 -dist-adopt ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	dist.MainIfAgent() // also usable as a spawned agent
+	control := flag.String("control", "", "control-plane address to dial (required)")
+	flag.Parse()
+	if *control == "" {
+		fmt.Fprintln(os.Stderr, "elasticutor-node: -control address is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := dist.RunAgent(*control); err != nil {
+		fmt.Fprintf(os.Stderr, "elasticutor-node: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -10,6 +10,9 @@
 //	elasticutor-sim -scenario list           # list built-ins
 //	elasticutor-sim -scenario custom.json    # declarative spec from disk
 //	elasticutor-sim -backend runtime -scenario flashcrowd -speedup 20
+//	elasticutor-sim -backend dist -scenario flashcrowd    # real agent processes
+//	elasticutor-sim -backend dist -dist-listen 127.0.0.1:7001 -dist-adopt   # pre-started agents
+//	elasticutor-sim -backend dist -scenario flashcrowd -obs-listen 127.0.0.1:7070   # live view feed
 //	elasticutor-sim -scenario nodedrain -live       # stream trace records to stderr
 //	elasticutor-sim -scenario skewdrift -trace run.trace   # record a replayable trace
 //	elasticutor-sim -replay run.trace               # re-drive it, diff the structure
@@ -28,9 +31,14 @@
 // virtual times). -backend runtime executes on real goroutines against the
 // wall clock (internal/runtime) instead of the simulator; those runs are not
 // deterministic and additionally print the tuple-conservation ledger.
-// -calibration loads a cost table measured by tools/calibrate into the
-// simulator. Simulator reports go to stdout and are byte-identical across
-// repeated runs and worker counts; progress and timing go to stderr.
+// -backend dist goes one step further: the same control-plane engine runs
+// here, but every executor's work executes in per-node agent OS processes
+// reached over loopback TCP (internal/dist) — by default self-spawned, or
+// adopted from externally started elasticutor-node processes with
+// -dist-listen/-dist-adopt. -calibration loads a cost table measured by
+// tools/calibrate into the simulator. Simulator reports go to stdout and are
+// byte-identical across repeated runs and worker counts; progress and timing
+// go to stderr.
 //
 // Observability (internal/obs): -trace records the run as a versioned NDJSON
 // trace (file path, or '-' for stderr) — every typed event, the applied
@@ -58,6 +66,7 @@ import (
 	"repro/internal/autoscale"
 	"repro/internal/calib"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -111,6 +120,7 @@ func replayTrace(path string, explicit map[string]bool, backend string, speedup 
 }
 
 func main() {
+	dist.MainIfAgent() // self-spawned -backend dist agents re-enter here
 	var (
 		paradigm = flag.String("paradigm", "elasticutor", "elasticity policy name (static | rc | naive-ec | elasticutor | any registered)")
 		scn      = flag.String("scenario", "", "scenario name, spec file (*.json), or 'list' (overrides the workload flags)")
@@ -127,8 +137,11 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 		trials   = flag.Int("trials", 1, "replicate trials with forked per-trial seeds")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent trial workers")
-		backend  = flag.String("backend", "sim", "execution backend: sim (deterministic) | runtime (goroutines, wall clock)")
-		speedup  = flag.Float64("speedup", 20, "runtime backend clock compression factor")
+		backend  = flag.String("backend", "sim", "execution backend: sim (deterministic) | runtime (goroutines, wall clock) | dist (agent processes over TCP)")
+		speedup  = flag.Float64("speedup", 20, "runtime/dist backend clock compression factor")
+		distLsn  = flag.String("dist-listen", "", "dist backend: control-plane listen address ('' = loopback ephemeral)")
+		distAdpt = flag.Bool("dist-adopt", false, "dist backend: adopt externally started elasticutor-node agents instead of self-spawning")
+		obsLsn   = flag.String("obs-listen", "", "publish the run's trace stream on this TCP address for elasticutor-top -connect (single trial only)")
 		calPath  = flag.String("calibration", "", "calibration table (tools/calibrate) loaded into the simulator")
 		live     = flag.Bool("live", false, "stream the run as flushed trace records to stderr while it executes (shorthand for -trace -; single trial only)")
 		tracePth = flag.String("trace", "", "record the run as an NDJSON trace: a file path, or '-' for stderr (single trial only)")
@@ -158,8 +171,8 @@ func main() {
 		}
 		cal = c
 	}
-	if *backend != "sim" && *backend != "runtime" {
-		fmt.Fprintf(os.Stderr, "unknown backend %q (sim | runtime)\n", *backend)
+	if *backend != "sim" && *backend != "runtime" && *backend != "dist" {
+		fmt.Fprintf(os.Stderr, "unknown backend %q (sim | runtime | dist)\n", *backend)
 		os.Exit(2)
 	}
 	// -trace/-live share the recorder; -live is -trace - with per-record
@@ -176,6 +189,10 @@ func main() {
 	if *metrics != "" && *trials > 1 {
 		fmt.Fprintln(os.Stderr, "note: -metrics serves a single trial; ignoring it for -trials > 1")
 		*metrics = ""
+	}
+	if *obsLsn != "" && *trials > 1 {
+		fmt.Fprintln(os.Stderr, "note: -obs-listen publishes a single trial; ignoring it for -trials > 1")
+		*obsLsn = ""
 	}
 
 	if *scn == "list" {
@@ -219,11 +236,11 @@ func main() {
 		*trials = 1
 	}
 
-	// On the runtime backend everything runs through the scenario layer
-	// (whose sampler is locked for concurrent backends); plain workload
+	// On the runtime and dist backends everything runs through the scenario
+	// layer (whose sampler is locked for concurrent backends); plain workload
 	// flags synthesize an equivalent spec.
 	runtimeSpec := spec
-	if *backend == "runtime" && runtimeSpec == nil {
+	if *backend != "sim" && runtimeSpec == nil {
 		runtimeSpec = &scenario.Spec{
 			Name:        "cli",
 			Nodes:       *nodes,
@@ -243,8 +260,8 @@ func main() {
 			},
 		}
 	}
-	if *backend == "runtime" && cal != nil {
-		fmt.Fprintln(os.Stderr, "note: -calibration is a simulator input; the runtime backend measures instead")
+	if *backend != "sim" && cal != nil {
+		fmt.Fprintf(os.Stderr, "note: -calibration is a simulator input; the %s backend measures instead\n", *backend)
 	}
 
 	type trialResult struct {
@@ -270,15 +287,33 @@ func main() {
 	// end record and shuts the metrics listener down.
 	attachObs := func(h *runpkg.Run, sp *scenario.Spec, trialSeed uint64, rtE *rtbackend.Engine) (func(*engine.Report, error) error, error) {
 		var finishers []func(*engine.Report, error) error
-		if traceDest != "" {
-			var w io.Writer = os.Stderr
+		if traceDest != "" || *obsLsn != "" {
+			var writers []io.Writer
 			var file *os.File
-			if traceDest != "-" {
+			if traceDest == "-" {
+				writers = append(writers, os.Stderr)
+			} else if traceDest != "" {
 				f, err := os.Create(traceDest)
 				if err != nil {
 					return nil, err
 				}
-				file, w = f, f
+				file = f
+				writers = append(writers, f)
+			}
+			var srv *obs.LiveServer
+			if *obsLsn != "" {
+				s, err := obs.ListenLive(*obsLsn)
+				if err != nil {
+					return nil, err
+				}
+				srv = s
+				writers = append(writers, srv)
+				fmt.Fprintf(os.Stderr, "live trace stream on %s (elasticutor-top -connect %s)\n",
+					srv.Addr(), srv.Addr())
+			}
+			w := writers[0]
+			if len(writers) > 1 {
+				w = io.MultiWriter(writers...)
 			}
 			var hdr obs.Header
 			if sp != nil {
@@ -294,10 +329,18 @@ func main() {
 				hdr = obs.Header{Backend: *backend, Policy: *paradigm, Scenario: "micro",
 					Seed: trialSeed, DurationMS: simtime.ToMillis(*duration)}
 			}
-			rec := obs.Attach(h, w, hdr, obs.RecordOptions{SnapshotEvery: *liveIvl, Flush: file == nil})
+			// Live consumers (stderr tail, -obs-listen subscribers) need each
+			// record as it happens; a plain file flushes at buffer boundaries.
+			rec := obs.Attach(h, w, hdr, obs.RecordOptions{
+				SnapshotEvery: *liveIvl, Flush: file == nil || *obsLsn != ""})
 			finishers = append(finishers, func(rep *engine.Report, runErr error) error {
+				// Finish (end record) before dropping live subscribers: a
+				// connected viewer sees the run complete, not a cut stream.
 				if err := rec.Finish(rep, h.LostEvents(), runErr); err != nil {
 					return err
+				}
+				if srv != nil {
+					srv.Close()
 				}
 				if file != nil {
 					return file.Close()
@@ -338,6 +381,43 @@ func main() {
 		trialSeed := *seed
 		if ctx.Index > 0 {
 			trialSeed = ctx.Rand.Uint64()
+		}
+		if *backend == "dist" {
+			dOpt := dist.ScenarioOptions{ScenarioOptions: rtbackend.ScenarioOptions{
+				Options: rtbackend.Options{Speedup: *speedup}}}
+			dOpt.Cluster.ListenAddr = *distLsn
+			dOpt.Cluster.NoSpawn = *distAdpt
+			if *distAdpt {
+				// Humans start the agents by hand; give them longer than the
+				// self-spawn default.
+				dOpt.Cluster.SpawnTimeout = 60 * time.Second
+				fmt.Fprintf(os.Stderr, "adopting agents on %s; start them with: elasticutor-node -control <addr>\n", *distLsn)
+			}
+			dE, h, err := dist.BuildScenario(runtimeSpec, *paradigm, trialSeed, dOpt)
+			if err != nil {
+				return trialResult{}, err
+			}
+			fmt.Fprintf(os.Stderr, "control-plane on %s, %d agent(s) bound\n",
+				dE.C.Addr(), len(dE.C.Nodes()))
+			if err := attachScaler(h, runtimeSpec.Warmup()); err != nil {
+				return trialResult{}, err
+			}
+			fin, err := attachObs(h, runtimeSpec, trialSeed, dE.Engine)
+			if err != nil {
+				return trialResult{}, err
+			}
+			h.Start(context.Background())
+			r, err := h.Wait()
+			if fin != nil {
+				if ferr := fin(r, err); ferr != nil {
+					return trialResult{}, ferr
+				}
+			}
+			if err != nil {
+				return trialResult{}, err
+			}
+			led := dE.Ledger()
+			return trialResult{r: r, led: &led}, nil
 		}
 		if *backend == "runtime" {
 			rtE, h, err := rtbackend.BuildScenario(runtimeSpec, *paradigm, trialSeed,
@@ -433,6 +513,9 @@ func main() {
 	}
 	if *backend == "runtime" {
 		what += fmt.Sprintf(" [runtime backend, %gx clock]", *speedup)
+	}
+	if *backend == "dist" {
+		what += fmt.Sprintf(" [dist backend, agent processes, %gx clock]", *speedup)
 	}
 	fmt.Fprintf(os.Stderr, "simulating %s, %d trial(s) × %v virtual time, %d worker(s)…\n",
 		what, *trials, *duration, harness.DefaultWorkers())

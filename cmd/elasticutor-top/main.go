@@ -10,6 +10,12 @@
 //	elasticutor-top -scenario skewdrift -backend sim -paradigm rc
 //	elasticutor-top -scenario flashcrowd -autoscaler reactive -trace run.trace
 //	elasticutor-top -scenario nodedrain -metrics :9090 -pprof
+//	elasticutor-top -connect 127.0.0.1:7070
+//
+// With -connect, top does not start a run at all: it dials the live trace
+// stream another process publishes (elasticutor-sim -obs-listen on the
+// distributed control-plane) and renders the same view from the decoded
+// records — the operator console for a multi-process run.
 //
 // Observation is non-perturbing by construction: snapshots are served at the
 // backends' safe points and the event stream is a lossy tap off the complete
@@ -24,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"strings"
@@ -141,6 +148,69 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
+// connectMode renders a run another process is executing: dial its live trace
+// stream and drive the same view from decoded records. The remote recorder
+// controls the snapshot cadence, so frames redraw as snapshots arrive rather
+// than on a local ticker.
+func connectMode(addr string, plain bool) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("connect %s: %w", addr, err))
+	}
+	defer conn.Close()
+	fmt.Fprintf(os.Stderr, "connected to %s; waiting for trace stream\n", addr)
+
+	v := &view{inflight: make(map[string]simtime.Time)}
+	title := fmt.Sprintf("elasticutor-top — connected %s", addr)
+	var total simtime.Duration
+	render := func(s engine.Snapshot) {
+		var b strings.Builder
+		if !plain {
+			b.WriteString("\x1b[H\x1b[2J")
+		}
+		v.frame(&b, s, total, title, 0)
+		if plain {
+			b.WriteString("\n")
+		}
+		os.Stdout.WriteString(b.String())
+	}
+
+	var end *obs.EndRecord
+	err = obs.Stream(conn, obs.StreamHandler{
+		Header: func(hd obs.Header) {
+			title = fmt.Sprintf("elasticutor-top — %s — scenario=%s policy=%s backend=%s seed=%d",
+				addr, hd.Scenario, hd.Policy, hd.Backend, hd.Seed)
+			if hd.Autoscaler != "" {
+				title += " autoscaler=" + hd.Autoscaler
+			}
+			total = time.Duration(hd.DurationMS) * time.Millisecond
+		},
+		Event: func(rec obs.EventRecord) { v.event(rec.DecodeEvent()) },
+		Command: func(rec obs.CmdRecord) {
+			if cmd, ok := rec.DecodeCommand(); ok {
+				v.command(cmd)
+			}
+		},
+		Snap: func(rec obs.SnapRecord) { render(rec.DecodeSnapshot()) },
+		End:  func(rec obs.EndRecord) { end = &rec },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if end == nil {
+		fmt.Println("\nstream closed before the run ended")
+		return
+	}
+	fmt.Printf("\nrun complete: %d events, %d repartitions (%d tuples replayed), %d lost events\n",
+		end.Events, end.Repartitions, end.RepartitionReplayed, end.LostEvents)
+	fmt.Printf("ledger: generated=%d processed=%d blocked=%d dropped=%d\n",
+		end.Generated, end.Processed, end.Blocked, end.Dropped)
+	if end.Err != "" {
+		fmt.Fprintf(os.Stderr, "remote run error: %s\n", end.Err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	var (
 		scn      = flag.String("scenario", "flashcrowd", "scenario name, spec file (*.json), or 'list'")
@@ -156,9 +226,14 @@ func main() {
 		pprofOn  = flag.Bool("pprof", false, "with -metrics: also serve /debug/pprof/ on the same mux")
 		calPath  = flag.String("calibration-trajectory", "", "CALIB trajectory (CALIB_N.json) folded into /metrics as labeled gauges")
 		plain    = flag.Bool("plain", false, "append frames instead of redrawing in place (CI logs, dumb terminals)")
+		connect  = flag.String("connect", "", "render a remote run: dial this live trace address instead of starting a run")
 	)
 	flag.Parse()
 
+	if *connect != "" {
+		connectMode(*connect, *plain)
+		return
+	}
 	if *scn == "list" {
 		for _, name := range scenario.Names() {
 			s, err := scenario.ByName(name)

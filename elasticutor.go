@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/cluster"
+	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/obs"
@@ -238,8 +239,8 @@ func RunScenario(nameOrPath, policyName string, seed uint64) (*Report, error) {
 // path) on the canonical micro-benchmark topology and returns its live Run
 // handle. Unlike RunScenario it selects an execution backend: Options.Policy
 // names the elasticity policy (default "elasticutor"), Options.Backend picks
-// BackendSim or BackendRuntime (Options.Speedup compresses the latter's
-// clock), Options.Seed seeds the workload, and Options.Autoscaler attaches a
+// BackendSim, BackendRuntime, or BackendDist (Options.Speedup compresses the
+// latter two's clocks), Options.Seed seeds the workload, and Options.Autoscaler attaches a
 // cluster controller (its session warm-up defaults to the scenario's). Other
 // Options fields are the scenario's to decide and are ignored.
 func StartScenario(ctx context.Context, nameOrPath string, opt Options) (*Run, error) {
@@ -262,6 +263,13 @@ func StartScenario(ctx context.Context, nameOrPath string, opt Options) (*Run, e
 	case BackendRuntime:
 		_, hh, err := rtbackend.BuildScenario(sp, pol, opt.Seed,
 			rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: opt.Speedup}, Batch: opt.Batch})
+		if err != nil {
+			return nil, err
+		}
+		h = hh
+	case BackendDist:
+		_, hh, err := dist.BuildScenario(sp, pol, opt.Seed, dist.ScenarioOptions{
+			ScenarioOptions: rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: opt.Speedup}, Batch: opt.Batch}})
 		if err != nil {
 			return nil, err
 		}
@@ -365,14 +373,25 @@ func (b *Builder) Connect(from, to NodeID) {
 
 // Backends. The simulator is the deterministic default; the runtime backend
 // executes the same topology and policy on real goroutines, channels, and
-// the wall clock (see internal/runtime).
+// the wall clock (see internal/runtime); the dist backend keeps the runtime
+// control-plane in this process but runs every node's executor work in
+// per-node agent OS processes reached over TCP (see internal/dist). A binary
+// using BackendDist must call MainIfAgent at the top of main so self-spawned
+// agents can re-enter it.
 const (
 	BackendSim     = "sim"
 	BackendRuntime = "runtime"
+	BackendDist    = "dist"
 )
 
 // Backends lists the selectable execution backends.
-func Backends() []string { return []string{BackendSim, BackendRuntime} }
+func Backends() []string { return []string{BackendSim, BackendRuntime, BackendDist} }
+
+// MainIfAgent hijacks the process when it was spawned as a distributed-run
+// agent (BackendDist re-executes the host binary per node) and never returns
+// in that case. Call it first thing in main of any binary that starts
+// BackendDist runs.
+func MainIfAgent() { dist.MainIfAgent() }
 
 // Options configures a run. Zero values take the paper's defaults.
 type Options struct {
@@ -405,9 +424,10 @@ type Options struct {
 	EventBuffer int
 
 	// Backend selects the execution backend: BackendSim (default, the
-	// deterministic discrete-event simulator) or BackendRuntime (goroutine
+	// deterministic discrete-event simulator), BackendRuntime (goroutine
 	// executors on the wall clock; not deterministic, AssertOrder and
-	// BeforeRun do not apply).
+	// BeforeRun do not apply), or BackendDist (the runtime control-plane
+	// with per-node agent processes over TCP; main must call MainIfAgent).
 	Backend string
 	// Speedup compresses the runtime backend's clock by this factor (20 =
 	// a 20 s run finishes in 1 s of wall time). Ignored by the simulator.
@@ -483,6 +503,8 @@ func (b *Builder) Start(ctx context.Context, opt Options) (*Run, error) {
 		h, _, err = b.simRun(opt)
 	case BackendRuntime:
 		h, err = b.runtimeRun(opt)
+	case BackendDist:
+		h, err = b.distRun(opt)
 	default:
 		return nil, fmt.Errorf("elasticutor: unknown backend %q (have %v)", opt.Backend, Backends())
 	}
@@ -563,6 +585,29 @@ func (b *Builder) runtimeRun(opt Options) (*Run, error) {
 		return nil, err
 	}
 	h := runpkg.NewRuntime(rt, duration)
+	if sp != nil {
+		scenario.Drive(h, sp, nil, 0)
+	}
+	return h, nil
+}
+
+// distRun assembles a wired, unstarted distributed run: the same control
+// plane as runtimeRun, with per-node agent processes (self-spawned through
+// MainIfAgent) carrying the executor work over loopback TCP.
+func (b *Builder) distRun(opt Options) (*Run, error) {
+	if opt.BeforeRun != nil {
+		return nil, fmt.Errorf("elasticutor: BeforeRun requires the sim backend (it schedules on the virtual clock)")
+	}
+	cfg, sp, duration, err := b.config(opt)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dist.New(cfg, rtbackend.Options{Speedup: opt.Speedup}, dist.Options{})
+	if err != nil {
+		return nil, err
+	}
+	h := runpkg.NewRuntime(d, duration)
+	h.OnFinish(func(*engine.Report) { d.C.Close() })
 	if sp != nil {
 		scenario.Drive(h, sp, nil, 0)
 	}

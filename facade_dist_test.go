@@ -1,0 +1,96 @@
+package elasticutor_test
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	elasticutor "repro"
+)
+
+// Facade coverage for the distributed backend: user topologies run on real
+// agent processes behind Options.Backend. The test binary itself is the agent
+// binary — MainIfAgent hijacks the re-executed copies before testing starts.
+
+func TestMain(m *testing.M) {
+	elasticutor.MainIfAgent()
+	os.Exit(m.Run())
+}
+
+// distBuilder assembles a two-operator topology with a synthesized bolt:
+// handlers are user code and cannot cross the process boundary, so the
+// distributed backend models output with Selectivity instead.
+func distBuilder() (*elasticutor.Builder, elasticutor.Options) {
+	b := elasticutor.NewBuilder("dist-facade")
+	src := b.Spout("src", elasticutor.SpoutConfig{
+		Rate: elasticutor.ConstantRate(500),
+		Sample: func(now elasticutor.Time) (elasticutor.Key, int, interface{}) {
+			return elasticutor.Key(uint64(now) % 97), 64, nil
+		},
+	})
+	bolt := b.Bolt("count", elasticutor.BoltConfig{
+		Cost:        time.Millisecond,
+		Selectivity: 0,
+	})
+	b.Connect(src, bolt)
+	return b, elasticutor.Options{
+		Backend:  elasticutor.BackendDist,
+		Speedup:  20,
+		Nodes:    2,
+		Batch:    4,
+		Duration: 2 * time.Second,
+	}
+}
+
+func TestFacadeDistBackend(t *testing.T) {
+	b, opt := distBuilder()
+	r, err := b.Run(opt)
+	if err != nil {
+		t.Fatalf("dist backend run: %v", err)
+	}
+	if r.Processed == 0 {
+		t.Fatal("dist backend processed nothing")
+	}
+}
+
+func TestFacadeDistRejectsHandler(t *testing.T) {
+	b := elasticutor.NewBuilder("dist-handler")
+	src := b.Spout("src", elasticutor.SpoutConfig{
+		Rate: elasticutor.ConstantRate(100),
+		Sample: func(now elasticutor.Time) (elasticutor.Key, int, interface{}) {
+			return elasticutor.Key(1), 64, nil
+		},
+	})
+	bolt := b.Bolt("fn", elasticutor.BoltConfig{
+		Cost:    time.Millisecond,
+		Handler: func(tu elasticutor.Tuple, s elasticutor.State) []elasticutor.Tuple { return nil },
+	})
+	b.Connect(src, bolt)
+	_, err := b.Run(elasticutor.Options{
+		Backend: elasticutor.BackendDist, Nodes: 2, Duration: time.Second, Speedup: 20,
+	})
+	if err == nil || !strings.Contains(err.Error(), "process boundary") {
+		t.Fatalf("want handler rejection, got %v", err)
+	}
+}
+
+func TestFacadeDistStartScenario(t *testing.T) {
+	h, err := elasticutor.StartScenario(context.Background(), "flashcrowd", elasticutor.Options{
+		Backend: elasticutor.BackendDist,
+		Policy:  "elasticutor",
+		Seed:    42,
+		Speedup: 40,
+	})
+	if err != nil {
+		t.Fatalf("start scenario: %v", err)
+	}
+	r, err := h.Wait()
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if r.Processed == 0 {
+		t.Fatal("distributed scenario processed nothing")
+	}
+}

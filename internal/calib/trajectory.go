@@ -13,12 +13,19 @@ import (
 // perf baselines.
 const TrajectorySchema = "elasticutor-calib-trajectory/v1"
 
-// TrajectoryEntry is one measurement point on the trajectory.
+// TrajectoryEntry is one measurement point on the trajectory. The hot-path
+// overheads are always present; the cross-process fields (control delay,
+// serialization, migration bandwidth) record how the same primitives cost
+// when they cross real sockets — populated by distributed-backend
+// calibrations (tools/calibrate -backend dist).
 type TrajectoryEntry struct {
-	Label              string  `json:"label"` // e.g. "PR6"
-	PerTupleOverheadNS int64   `json:"per_tuple_overhead_ns"`
-	PerEventOverheadNS int64   `json:"per_event_overhead_ns,omitempty"`
-	TuplesPerSec       float64 `json:"tuples_per_sec,omitempty"`
+	Label                 string  `json:"label"` // e.g. "PR6"
+	PerTupleOverheadNS    int64   `json:"per_tuple_overhead_ns"`
+	PerEventOverheadNS    int64   `json:"per_event_overhead_ns,omitempty"`
+	TuplesPerSec          float64 `json:"tuples_per_sec,omitempty"`
+	ControlDelayNS        int64   `json:"control_delay_ns,omitempty"`
+	SerializeOverheadNS   int64   `json:"serialize_overhead_ns,omitempty"`
+	MigrationBandwidthBps float64 `json:"migration_bandwidth_bps,omitempty"`
 }
 
 // Trajectory is the CALIB_N.json contents.
@@ -36,9 +43,12 @@ func NewTrajectory() *Trajectory { return &Trajectory{SchemaName: TrajectorySche
 // overwrites, it does not duplicate).
 func (tr *Trajectory) Append(label string, t *Table) {
 	e := TrajectoryEntry{
-		Label:              label,
-		PerTupleOverheadNS: t.PerTupleOverheadNS,
-		PerEventOverheadNS: t.PerEventOverheadNS,
+		Label:                 label,
+		PerTupleOverheadNS:    t.PerTupleOverheadNS,
+		PerEventOverheadNS:    t.PerEventOverheadNS,
+		ControlDelayNS:        t.ControlDelayNS,
+		SerializeOverheadNS:   t.SerializeOverheadNS,
+		MigrationBandwidthBps: t.MigrationBandwidthBps,
 	}
 	if t.PerTupleOverheadNS > 0 {
 		e.TuplesPerSec = float64(time.Second) / float64(t.PerTupleOverheadNS)

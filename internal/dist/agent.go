@@ -1,0 +1,331 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// AgentAddrEnv tells a process to run as an agent instead of its normal
+// main: it holds the control-plane address to dial. The control-plane sets
+// it when spawning agents by re-executing its own binary; cmd/elasticutor-node
+// sets the address from a flag instead.
+const AgentAddrEnv = "ELASTICUTOR_AGENT_ADDR"
+
+// MainIfAgent hijacks the process if it was spawned as an agent: it serves
+// the agent loop against the control-plane named by AgentAddrEnv and exits
+// with the loop's status. Call it first thing in main() (and in TestMain) of
+// any binary the control-plane may re-execute. A no-op when the environment
+// variable is unset.
+func MainIfAgent() {
+	addr := os.Getenv(AgentAddrEnv)
+	if addr == "" {
+		return
+	}
+	if err := RunAgent(addr); err != nil {
+		fmt.Fprintf(os.Stderr, "elasticutor-agent: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// RunAgent dials the control-plane and serves the agent loop until the
+// control-plane shuts the agent down or the connection drops. This is the
+// whole life of a node process: hold executor shard payloads, burn the CPU
+// cost the control-plane ships with each batch, and serialize state in and
+// out for migrations.
+func RunAgent(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: dial control-plane %s: %w", addr, err)
+	}
+	defer c.Close()
+	if err := sendHello(c, os.Getpid()); err != nil {
+		return err
+	}
+	a := &agent{conn: c, execs: make(map[uint32]map[uint32][]byte)}
+	return a.serve()
+}
+
+// agent is one node process's state: shard payloads keyed by executor wire-id
+// then shard, plus the counters the stats tick reports back.
+type agent struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes reply frames
+
+	mu       sync.Mutex
+	execs    map[uint32]map[uint32][]byte
+	resident int64 // total payload bytes held
+
+	batches  int64 // Process requests served
+	burnedNS int64 // wall time burned by Process requests
+
+	node int32 // bound node id (display only)
+}
+
+// serve reads frames until shutdown or connection loss, dispatching each
+// request on its own goroutine (Process sleeps; the read loop must not).
+func (a *agent) serve() error {
+	for {
+		f, err := readFrame(a.conn)
+		if err != nil {
+			return nil // control-plane gone: the agent's life is over
+		}
+		if f.typ == msgShutdown {
+			return nil
+		}
+		go a.handle(f)
+	}
+}
+
+func (a *agent) handle(f frame) {
+	var reply byte
+	var body []byte
+	var err error
+	switch f.typ {
+	case msgBind:
+		r := &reader{b: f.body}
+		node := r.u32()
+		r.u32() // cores: informational (worker pools live control-side)
+		if err = r.err; err == nil {
+			a.mu.Lock()
+			a.node = int32(node)
+			a.mu.Unlock()
+			reply = msgAck
+		}
+	case msgProcess:
+		reply, body, err = a.process(f.body)
+	case msgTouch:
+		a.touch(f.body)
+		return // fire-and-forget
+	case msgTake:
+		reply, body, err = a.take(f.body)
+	case msgPut:
+		reply, body, err = a.put(f.body)
+	case msgTakeAll:
+		reply, body, err = a.takeAll(f.body)
+	case msgPutAll:
+		reply, body, err = a.putAll(f.body)
+	case msgDrop:
+		a.drop(f.body)
+		return
+	case msgPing:
+		reply, body = a.stats()
+	default:
+		err = fmt.Errorf("unknown message type %d", f.typ)
+	}
+	if f.req == 0 {
+		return // no reply expected even on error
+	}
+	if err != nil {
+		reply, body = msgErr, errBody(err.Error())
+	}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	_ = writeFrame(a.conn, reply, f.req, body)
+}
+
+// materialize ensures a shard payload exists, creating perShard nominal bytes
+// on first touch (the agent-side mirror of the control-plane's nominal state
+// model). Caller holds a.mu.
+func (a *agent) materialize(exec, shard uint32, perShard int) []byte {
+	m := a.execs[exec]
+	if m == nil {
+		m = make(map[uint32][]byte)
+		a.execs[exec] = m
+	}
+	p := m[shard]
+	if p == nil && perShard > 0 {
+		p = make([]byte, perShard)
+		binary.LittleEndian.PutUint32(p, shard) // non-trivial content
+		m[shard] = p
+		a.resident += int64(perShard)
+	}
+	return p
+}
+
+// process burns the batch's wall cost and touches its shards: the remote half
+// of one executor batch. The sleep is the cost model — on a loopback test rig
+// the point is that it happens *here*, in the node's own process, behind a
+// real socket round trip.
+func (a *agent) process(body []byte) (byte, []byte, error) {
+	r := &reader{b: body}
+	exec := r.u32()
+	perShard := r.u32()
+	wallNS := r.u64()
+	n := r.u32()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	a.mu.Lock()
+	for i := uint32(0); i < n; i++ {
+		a.materialize(exec, r.u32(), int(perShard))
+	}
+	a.batches++
+	a.burnedNS += int64(wallNS)
+	err := r.err
+	a.mu.Unlock()
+	if err != nil {
+		return 0, nil, err
+	}
+	if wallNS > 0 {
+		time.Sleep(time.Duration(wallNS))
+	}
+	return msgAck, nil, nil
+}
+
+// touch materializes shards without burning cost (state bookkeeping for a
+// batch whose grant ran on another node).
+func (a *agent) touch(body []byte) {
+	r := &reader{b: body}
+	exec := r.u32()
+	perShard := r.u32()
+	n := r.u32()
+	if r.err != nil {
+		return
+	}
+	a.mu.Lock()
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		a.materialize(exec, r.u32(), int(perShard))
+	}
+	a.mu.Unlock()
+}
+
+// take serializes one shard out of the agent: the payload leaves the resident
+// set and the copy into the wire buffer is timed — the measured serialization
+// cost migrations report.
+func (a *agent) take(body []byte) (byte, []byte, error) {
+	r := &reader{b: body}
+	exec := r.u32()
+	perShard := r.u32()
+	shard := r.u32()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	a.mu.Lock()
+	p := a.materialize(exec, shard, int(perShard))
+	if m := a.execs[exec]; m != nil {
+		delete(m, shard)
+		a.resident -= int64(len(p))
+	}
+	a.mu.Unlock()
+	start := time.Now()
+	out := make([]byte, 8+4+len(p))
+	copy(out[12:], p)
+	ser := time.Since(start)
+	binary.LittleEndian.PutUint64(out, uint64(ser))
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(p)))
+	return msgShard, out, nil
+}
+
+// put installs a serialized shard payload.
+func (a *agent) put(body []byte) (byte, []byte, error) {
+	r := &reader{b: body}
+	exec := r.u32()
+	shard := r.u32()
+	n := r.u32()
+	p := r.bytes(int(n))
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	a.mu.Lock()
+	m := a.execs[exec]
+	if m == nil {
+		m = make(map[uint32][]byte)
+		a.execs[exec] = m
+	}
+	a.resident += int64(len(p)) - int64(len(m[shard]))
+	m[shard] = p
+	a.mu.Unlock()
+	return msgAck, nil, nil
+}
+
+// takeAll serializes an executor's entire resident state out of the agent
+// (churn rehoming / retirement source side).
+func (a *agent) takeAll(body []byte) (byte, []byte, error) {
+	r := &reader{b: body}
+	exec := r.u32()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	a.mu.Lock()
+	m := a.execs[exec]
+	delete(a.execs, exec)
+	for _, p := range m {
+		a.resident -= int64(len(p))
+	}
+	a.mu.Unlock()
+	start := time.Now()
+	size := 8 + 4
+	for _, p := range m {
+		size += 8 + len(p)
+	}
+	out := make([]byte, 8+4, size)
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(m)))
+	for sh, p := range m {
+		out = appendU32(out, sh)
+		out = appendU32(out, uint32(len(p)))
+		out = append(out, p...)
+	}
+	binary.LittleEndian.PutUint64(out, uint64(time.Since(start)))
+	return msgShardSet, out, nil
+}
+
+// putAll installs a set of serialized shard payloads.
+func (a *agent) putAll(body []byte) (byte, []byte, error) {
+	r := &reader{b: body}
+	exec := r.u32()
+	count := r.u32()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m := a.execs[exec]
+	if m == nil {
+		m = make(map[uint32][]byte)
+		a.execs[exec] = m
+	}
+	for i := uint32(0); i < count; i++ {
+		sh := r.u32()
+		n := r.u32()
+		p := r.bytes(int(n))
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		a.resident += int64(len(p)) - int64(len(m[sh]))
+		m[sh] = p
+	}
+	return msgAck, nil, nil
+}
+
+// drop discards an executor's state (hard-failure write-off).
+func (a *agent) drop(body []byte) {
+	r := &reader{b: body}
+	exec := r.u32()
+	if r.err != nil {
+		return
+	}
+	a.mu.Lock()
+	for _, p := range a.execs[exec] {
+		a.resident -= int64(len(p))
+	}
+	delete(a.execs, exec)
+	a.mu.Unlock()
+}
+
+// stats is the ping reply: the agent's striped-fold equivalent, reported on
+// the control-plane's 1 s tick.
+func (a *agent) stats() (byte, []byte) {
+	a.mu.Lock()
+	resident, batches, burned := a.resident, a.batches, a.burnedNS
+	a.mu.Unlock()
+	body := make([]byte, 0, 24)
+	body = appendU64(body, uint64(resident))
+	body = appendU64(body, uint64(batches))
+	body = appendU64(body, uint64(burned))
+	return msgStats, body
+}

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/runtime"
+)
+
+// Calibrate measures the distributed backend's real costs on a loopback
+// two-agent fleet: control round-trip time (ping over the socket), state-
+// migration serialize overhead (agent-measured), and migration bandwidth
+// (timed shard transfers through the control plane). The compute-bound
+// fields (per-tuple, per-event, scheduling) come from the in-process runtime
+// calibration — they are properties of the executor hot path, which the
+// distributed backend shares.
+//
+// Where runtime.Calibrate models the wire (in-process map moves at an
+// assumed NIC bandwidth), this measures it: every number that involves a
+// socket comes from an actual socket.
+func Calibrate(opt runtime.CalibrateOptions) (*calib.Table, error) {
+	t, err := runtime.Calibrate(opt)
+	if err != nil {
+		return nil, err
+	}
+	rounds := opt.Rounds
+	if rounds <= 0 {
+		rounds = 64
+	}
+	shardBytes := opt.ShardBytes
+	if shardBytes <= 0 {
+		shardBytes = 32 << 10
+	}
+
+	c, err := NewCluster(Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.StartNodes(2, 1); err != nil {
+		return nil, err
+	}
+
+	// Control RTT: the socket round trip a control-plane mutation pays.
+	rtts := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		a, err := c.agentFor(i % 2)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := a.request(msgPing, nil); err != nil {
+			return nil, fmt.Errorf("dist: calibration ping: %w", err)
+		}
+		rtts = append(rtts, time.Since(start))
+	}
+	t.ControlDelayNS = int64(median(rtts))
+
+	// Migration: bounce one shard of the configured size between the two
+	// agents. Each round trip is take@src (agent-timed serialize) + payload
+	// through the control plane + put@dst — the same path a repartition's
+	// MoveShard takes.
+	rx := runtime.RemoteExec{ID: 1, PerShardBytes: shardBytes}
+	sers := make([]time.Duration, 0, rounds)
+	var moved int64
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		src, dst := i%2, (i+1)%2
+		n, ser, err := c.MoveShard(src, dst, rx, rx, 0)
+		if err != nil {
+			return nil, fmt.Errorf("dist: calibration move: %w", err)
+		}
+		moved += n
+		sers = append(sers, ser)
+	}
+	elapsed := time.Since(start)
+	t.SerializeOverheadNS = int64(median(sers))
+	if sec := elapsed.Seconds(); sec > 0 {
+		t.MigrationBandwidthBps = float64(moved) * 8 / sec
+	}
+	t.Host += " (dist loopback)"
+	return t, nil
+}
+
+func median(s []time.Duration) time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}

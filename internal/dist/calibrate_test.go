@@ -1,0 +1,38 @@
+package dist_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/runtime"
+)
+
+// TestDistCalibrate measures against a real two-agent loopback fleet: the
+// socket-derived fields must be measured (non-zero), and the serialize and
+// control numbers must be real durations, not the modeled constants.
+func TestDistCalibrate(t *testing.T) {
+	tbl, err := dist.Calibrate(runtime.CalibrateOptions{
+		TupleWindow: 30 * time.Millisecond,
+		Rounds:      8,
+	})
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("table invalid: %v", err)
+	}
+	if tbl.ControlDelayNS <= 0 {
+		t.Errorf("control RTT not measured: %d", tbl.ControlDelayNS)
+	}
+	if tbl.MigrationBandwidthBps <= 0 {
+		t.Errorf("migration bandwidth not measured: %f", tbl.MigrationBandwidthBps)
+	}
+	// A loopback socket round trip costs microseconds at minimum; the old
+	// modeled control delay was a sub-microsecond in-process constant. The
+	// point of the distributed backend is that this number is now real.
+	if tbl.ControlDelayNS < int64(time.Microsecond) {
+		t.Errorf("control RTT %v is implausibly small for a socket round trip",
+			time.Duration(tbl.ControlDelayNS))
+	}
+}

@@ -1,0 +1,667 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Options tunes the control-plane's cluster of agent processes.
+type Options struct {
+	// ListenAddr is the address the control-plane listens on for agent
+	// connections. Default "127.0.0.1:0" (loopback, kernel-assigned port).
+	ListenAddr string
+	// NoSpawn disables spawning agents by re-executing this binary: nodes
+	// are served only by externally started agents (cmd/elasticutor-node)
+	// that dial ListenAddr. Default false: spawn on demand.
+	NoSpawn bool
+	// SpawnTimeout bounds the wait for an agent to connect after a spawn
+	// (or, with NoSpawn, for an external agent to show up). Default 10s.
+	SpawnTimeout time.Duration
+	// StatsInterval is the wall period of the agent stats/RTT ping tick.
+	// Default 1s; BuildScenario shrinks it by the run's Speedup so agents
+	// report once per *virtual* second, matching the engine's series tick.
+	StatsInterval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ListenAddr == "" {
+		o.ListenAddr = "127.0.0.1:0"
+	}
+	if o.SpawnTimeout <= 0 {
+		o.SpawnTimeout = 10 * time.Second
+	}
+	if o.StatsInterval <= 0 {
+		o.StatsInterval = time.Second
+	}
+	return o
+}
+
+// Cluster is the control-plane's view of the agent fleet. It implements
+// runtime.Remote: the engine stays the single source of truth for placement,
+// routing, policy, and the ledger, and calls here whenever a cost must be
+// paid where it is real — in the agent process serving a node.
+type Cluster struct {
+	opt Options
+	ln  net.Listener
+
+	mu     sync.Mutex
+	bound  map[int]*aconn // node id → serving agent
+	closed bool
+
+	// arrivals queues freshly handshaken connections (spawned or adopted)
+	// until NodeAdded binds them to a node.
+	arrivals chan *aconn
+
+	// onFail is invoked (off the read loop) when a bound agent's connection
+	// dies unexpectedly — wired to Engine.FailNode.
+	onFail atomic.Value // func(node int)
+
+	rttMu sync.Mutex
+	rtts  []time.Duration // recent control round trips (ping)
+
+	stopPing chan struct{}
+	wg       sync.WaitGroup
+}
+
+// aconn is one agent connection: framed requests with reqID correlation, a
+// single writer mutex, and a read loop that fans replies out to waiters.
+type aconn struct {
+	c    net.Conn
+	pid  int
+	node atomic.Int32 // bound node id, -1 while pooled
+
+	proc *os.Process // non-nil if this agent was spawned by us
+
+	wmu sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	pending map[uint64]chan frame
+	dead    bool
+	seq     uint64
+
+	expected atomic.Bool // deliberate removal in progress: suppress onFail
+
+	stats atomic.Value // agentStats from the last ping
+}
+
+// AgentStats is one agent's counters from its latest 1 s stats tick.
+type AgentStats struct {
+	Node          int
+	PID           int
+	ResidentBytes int64
+	Batches       int64
+	BurnedNS      int64
+}
+
+// NewCluster starts the control-plane listener and its accept loop. Agents
+// (spawned or external) dial Addr() and wait in the arrival pool until a
+// NodeAdded binds them.
+func NewCluster(opt Options) (*Cluster, error) {
+	opt = opt.withDefaults()
+	ln, err := net.Listen("tcp", opt.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen %s: %w", opt.ListenAddr, err)
+	}
+	c := &Cluster{
+		opt:      opt,
+		ln:       ln,
+		bound:    make(map[int]*aconn),
+		arrivals: make(chan *aconn, 64),
+		stopPing: make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.acceptLoop()
+	go c.pingLoop()
+	return c, nil
+}
+
+// Addr is the control-plane's listen address — what agents dial and what
+// cmd/elasticutor-node's -control flag takes.
+func (c *Cluster) Addr() string { return c.ln.Addr().String() }
+
+// OnFail installs the unexpected-agent-death observer (Engine.FailNode).
+func (c *Cluster) OnFail(fn func(node int)) { c.onFail.Store(fn) }
+
+func (c *Cluster) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			pid, err := acceptHello(conn)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			a := &aconn{c: conn, pid: pid, pending: make(map[uint64]chan frame)}
+			a.node.Store(-1)
+			go c.readLoop(a)
+			select {
+			case c.arrivals <- a:
+			default:
+				// Pool overflow: more agents than the run will ever bind.
+				a.close()
+			}
+		}()
+	}
+}
+
+// readLoop fans reply frames out to request waiters; on connection loss it
+// fails every outstanding request and reports an unexpected death.
+func (c *Cluster) readLoop(a *aconn) {
+	for {
+		f, err := readFrame(a.c)
+		if err != nil {
+			break
+		}
+		a.pmu.Lock()
+		ch := a.pending[f.req]
+		delete(a.pending, f.req)
+		a.pmu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+	a.pmu.Lock()
+	a.dead = true
+	for req, ch := range a.pending {
+		delete(a.pending, req)
+		close(ch)
+	}
+	a.pmu.Unlock()
+	a.c.Close()
+	if node := int(a.node.Load()); node >= 0 && !a.expected.Load() {
+		// The agent died under us (crash, kill -9): the node is gone and the
+		// engine must account for it — exactly its FailNode path.
+		if fn, ok := c.onFail.Load().(func(int)); ok && fn != nil {
+			go fn(node)
+		}
+	}
+}
+
+// request sends one frame and blocks for its reply (or connection death).
+func (a *aconn) request(typ byte, body []byte) (frame, error) {
+	ch := make(chan frame, 1)
+	a.pmu.Lock()
+	if a.dead {
+		a.pmu.Unlock()
+		return frame{}, fmt.Errorf("dist: agent for node %d is gone", a.node.Load())
+	}
+	a.seq++
+	req := a.seq
+	a.pending[req] = ch
+	a.pmu.Unlock()
+
+	a.wmu.Lock()
+	err := writeFrame(a.c, typ, req, body)
+	a.wmu.Unlock()
+	if err != nil {
+		a.pmu.Lock()
+		delete(a.pending, req)
+		a.pmu.Unlock()
+		a.c.Close()
+		return frame{}, fmt.Errorf("dist: write to agent for node %d: %w", a.node.Load(), err)
+	}
+	f, ok := <-ch
+	if !ok {
+		return frame{}, fmt.Errorf("dist: agent for node %d died mid-request", a.node.Load())
+	}
+	if f.typ == msgErr {
+		return frame{}, decodeErr(f.body)
+	}
+	return f, nil
+}
+
+// send fires a no-reply frame (reqID 0).
+func (a *aconn) send(typ byte, body []byte) {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	_ = writeFrame(a.c, typ, 0, body)
+}
+
+func (a *aconn) close() {
+	a.expected.Store(true)
+	a.c.Close()
+}
+
+// ---- runtime.Remote ----
+
+// NodeAdded ensures an agent process serves the node: adopt a pooled
+// connection if one is waiting, spawn one otherwise (by re-executing this
+// binary with AgentAddrEnv set), then bind it. Idempotent per node.
+func (c *Cluster) NodeAdded(node, cores int) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("dist: cluster closed")
+	}
+	if _, ok := c.bound[node]; ok {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
+	a, err := c.obtain()
+	if err != nil {
+		return fmt.Errorf("dist: no agent for node %d: %w", node, err)
+	}
+	a.node.Store(int32(node))
+	body := appendU32(appendU32(nil, uint32(node)), uint32(cores))
+	if _, err := a.request(msgBind, body); err != nil {
+		a.close()
+		return fmt.Errorf("dist: bind node %d: %w", node, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		a.close()
+		return fmt.Errorf("dist: cluster closed")
+	}
+	c.bound[node] = a
+	return nil
+}
+
+// obtain returns a handshaken, unbound agent connection: a pooled arrival if
+// one is ready, else (unless NoSpawn) a freshly spawned process's.
+func (c *Cluster) obtain() (*aconn, error) {
+	select {
+	case a := <-c.arrivals:
+		return a, nil
+	default:
+	}
+	var proc *os.Process
+	if !c.opt.NoSpawn {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), AgentAddrEnv+"="+c.Addr())
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("spawn agent: %w", err)
+		}
+		proc = cmd.Process
+		go cmd.Wait() // reap
+	}
+	select {
+	case a := <-c.arrivals:
+		a.proc = proc
+		return a, nil
+	case <-time.After(c.opt.SpawnTimeout):
+		if proc != nil {
+			proc.Kill()
+		}
+		return nil, fmt.Errorf("no agent connected within %v", c.opt.SpawnTimeout)
+	}
+}
+
+// NodeRemoved releases the node's agent. Graceful: orderly shutdown after the
+// engine has evacuated every byte. Hard: kill (or acknowledge a death the
+// read loop already observed). Idempotent.
+func (c *Cluster) NodeRemoved(node int, graceful bool) {
+	c.mu.Lock()
+	a := c.bound[node]
+	delete(c.bound, node)
+	c.mu.Unlock()
+	if a == nil {
+		return
+	}
+	a.expected.Store(true)
+	if graceful {
+		a.send(msgShutdown, nil)
+	} else if a.proc != nil {
+		a.proc.Kill()
+	}
+	a.c.Close()
+}
+
+// agentFor returns the serving connection, or an error that the engine
+// accounts as destroyed-by-failure work.
+func (c *Cluster) agentFor(node int) (*aconn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a := c.bound[node]; a != nil {
+		return a, nil
+	}
+	return nil, fmt.Errorf("dist: no agent serving node %d", node)
+}
+
+// Process ships one batch's cost and shard touches to the node's agent and
+// blocks for the ack — the measured remote service time.
+func (c *Cluster) Process(node int, rx runtime.RemoteExec, wallCost time.Duration, shards []uint32) error {
+	a, err := c.agentFor(node)
+	if err != nil {
+		return err
+	}
+	body := make([]byte, 0, 4+4+8+4+4*len(shards))
+	body = appendU32(body, rx.ID)
+	body = appendU32(body, uint32(rx.PerShardBytes))
+	body = appendU64(body, uint64(wallCost))
+	body = appendU32(body, uint32(len(shards)))
+	for _, s := range shards {
+		body = appendU32(body, s)
+	}
+	_, err = a.request(msgProcess, body)
+	return err
+}
+
+// StateTouch materializes shards at the executor's home agent, fire-and-forget.
+func (c *Cluster) StateTouch(node int, rx runtime.RemoteExec, shards []uint32) {
+	a, err := c.agentFor(node)
+	if err != nil {
+		return
+	}
+	body := make([]byte, 0, 4+4+4+4*len(shards))
+	body = appendU32(body, rx.ID)
+	body = appendU32(body, uint32(rx.PerShardBytes))
+	body = appendU32(body, uint32(len(shards)))
+	for _, s := range shards {
+		body = appendU32(body, s)
+	}
+	a.send(msgTouch, body)
+}
+
+// MoveShard serializes one shard out of the source agent, moves the payload
+// through the control plane, and installs it at the destination agent. The
+// agent-measured serialize time and the payload size come back to the span.
+func (c *Cluster) MoveShard(srcNode, dstNode int, src, dst runtime.RemoteExec, shard uint32) (int64, time.Duration, error) {
+	sa, err := c.agentFor(srcNode)
+	if err != nil {
+		return 0, 0, err
+	}
+	body := appendU32(appendU32(appendU32(nil, src.ID), uint32(src.PerShardBytes)), shard)
+	f, err := sa.request(msgTake, body)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := &reader{b: f.body}
+	ser := time.Duration(r.u64())
+	payload := r.bytes(int(r.u32()))
+	if r.err != nil {
+		return 0, 0, r.err
+	}
+	da, err := c.agentFor(dstNode)
+	if err != nil {
+		return 0, 0, err
+	}
+	put := make([]byte, 0, 4+4+4+len(payload))
+	put = appendU32(put, dst.ID)
+	put = appendU32(put, shard)
+	put = appendU32(put, uint32(len(payload)))
+	put = append(put, payload...)
+	if _, err := da.request(msgPut, put); err != nil {
+		return 0, 0, err
+	}
+	return int64(len(payload)), ser, nil
+}
+
+// takeAll pulls an executor's whole resident state off an agent.
+func (c *Cluster) takeAll(node int, rx runtime.RemoteExec) (shards []uint32, payloads [][]byte, total int64, err error) {
+	a, err := c.agentFor(node)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	f, err := a.request(msgTakeAll, appendU32(nil, rx.ID))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	r := &reader{b: f.body}
+	r.u64() // serialize time: folded into the blocking call's duration
+	count := r.u32()
+	for i := uint32(0); i < count; i++ {
+		sh := r.u32()
+		p := r.bytes(int(r.u32()))
+		if r.err != nil {
+			return nil, nil, 0, r.err
+		}
+		shards = append(shards, sh)
+		payloads = append(payloads, p)
+		total += int64(len(p))
+	}
+	return shards, payloads, total, r.err
+}
+
+// putAll installs shard payloads at an agent.
+func (c *Cluster) putAll(node int, rx runtime.RemoteExec, shards []uint32, payloads [][]byte) error {
+	a, err := c.agentFor(node)
+	if err != nil {
+		return err
+	}
+	size := 4 + 4
+	for _, p := range payloads {
+		size += 8 + len(p)
+	}
+	body := make([]byte, 0, size)
+	body = appendU32(body, rx.ID)
+	body = appendU32(body, uint32(len(shards)))
+	for i, sh := range shards {
+		body = appendU32(body, sh)
+		body = appendU32(body, uint32(len(payloads[i])))
+		body = append(body, payloads[i]...)
+	}
+	_, err = a.request(msgPutAll, body)
+	return err
+}
+
+// MoveExecState relocates an executor's entire resident state between agents.
+func (c *Cluster) MoveExecState(srcNode, dstNode int, rx runtime.RemoteExec) (int64, error) {
+	shards, payloads, total, err := c.takeAll(srcNode, rx)
+	if err != nil {
+		return 0, err
+	}
+	if len(shards) == 0 {
+		return 0, nil
+	}
+	return total, c.putAll(dstNode, rx, shards, payloads)
+}
+
+// RedistributeState scatters a retired executor's shards onto survivors'
+// agents, following the control-plane's shard assignment.
+func (c *Cluster) RedistributeState(srcNode int, src runtime.RemoteExec, dests []runtime.RemoteDest) (int64, error) {
+	shards, payloads, total, err := c.takeAll(srcNode, src)
+	if err != nil {
+		return 0, err
+	}
+	owner := make(map[uint32]int, len(shards)) // shard → dest index
+	for di, d := range dests {
+		for _, sh := range d.Shards {
+			owner[sh] = di
+		}
+	}
+	perDest := make([][]int, len(dests)) // dest index → indices into shards
+	for i, sh := range shards {
+		di, ok := owner[sh]
+		if !ok {
+			di = int(sh) % len(dests) // untracked shard: round-robin like the metadata
+		}
+		perDest[di] = append(perDest[di], i)
+	}
+	var firstErr error
+	for di, idxs := range perDest {
+		if len(idxs) == 0 {
+			continue
+		}
+		shs := make([]uint32, len(idxs))
+		ps := make([][]byte, len(idxs))
+		for j, i := range idxs {
+			shs[j], ps[j] = shards[i], payloads[i]
+		}
+		if err := c.putAll(dests[di].Node, dests[di].Exec, shs, ps); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
+}
+
+// DropExecState discards an executor's agent-side state, fire-and-forget.
+func (c *Cluster) DropExecState(node int, rx runtime.RemoteExec) {
+	a, err := c.agentFor(node)
+	if err != nil {
+		return
+	}
+	a.send(msgDrop, appendU32(nil, rx.ID))
+}
+
+// ---- liveness / stats ----
+
+// pingLoop is the 1 s stats tick: every bound agent reports its counters and
+// the round trip is a control-RTT sample (liveness itself rides the TCP read
+// loop — a dead agent EOFs immediately).
+func (c *Cluster) pingLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opt.StatsInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopPing:
+			return
+		case <-t.C:
+			c.pingOnce()
+		}
+	}
+}
+
+func (c *Cluster) pingOnce() {
+	c.mu.Lock()
+	conns := make([]*aconn, 0, len(c.bound))
+	for _, a := range c.bound {
+		conns = append(conns, a)
+	}
+	c.mu.Unlock()
+	for _, a := range conns {
+		rtt, st, err := c.ping(a)
+		if err != nil {
+			continue
+		}
+		st.Node, st.PID = int(a.node.Load()), a.pid
+		a.stats.Store(st)
+		c.rttMu.Lock()
+		c.rtts = append(c.rtts, rtt)
+		if len(c.rtts) > 256 {
+			c.rtts = c.rtts[len(c.rtts)-256:]
+		}
+		c.rttMu.Unlock()
+	}
+}
+
+func (c *Cluster) ping(a *aconn) (time.Duration, AgentStats, error) {
+	start := time.Now()
+	f, err := a.request(msgPing, nil)
+	if err != nil {
+		return 0, AgentStats{}, err
+	}
+	rtt := time.Since(start)
+	r := &reader{b: f.body}
+	st := AgentStats{
+		ResidentBytes: int64(r.u64()),
+		Batches:       int64(r.u64()),
+		BurnedNS:      int64(r.u64()),
+	}
+	return rtt, st, r.err
+}
+
+// ControlRTT returns the median observed control round trip (0 until the
+// first ping completes).
+func (c *Cluster) ControlRTT() time.Duration {
+	c.rttMu.Lock()
+	defer c.rttMu.Unlock()
+	if len(c.rtts) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), c.rtts...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// Stats returns the latest per-agent counters, ordered by node.
+func (c *Cluster) Stats() []AgentStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]AgentStats, 0, len(c.bound))
+	for _, a := range c.bound {
+		if st, ok := a.stats.Load().(AgentStats); ok {
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// AgentPID returns the OS pid of the agent serving a node (-1 if none) — the
+// handle the agent-failure tests kill.
+func (c *Cluster) AgentPID(node int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a := c.bound[node]; a != nil {
+		return a.pid
+	}
+	return -1
+}
+
+// Nodes returns the node ids currently served by an agent.
+func (c *Cluster) Nodes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.bound))
+	for n := range c.bound {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StartNodes spawns/adopts and binds agents for nodes 0..n-1 — the initial
+// cluster the engine was configured with (churn joins arrive via NodeAdded).
+func (c *Cluster) StartNodes(n, cores int) error {
+	for i := 0; i < n; i++ {
+		if err := c.NodeAdded(i, cores); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts every agent down and releases the listener. Idempotent; safe
+// after (or during) a run.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conns := make([]*aconn, 0, len(c.bound))
+	for _, a := range c.bound {
+		conns = append(conns, a)
+	}
+	c.bound = make(map[int]*aconn)
+	c.mu.Unlock()
+
+	close(c.stopPing)
+	for _, a := range conns {
+		a.expected.Store(true)
+		a.send(msgShutdown, nil)
+		a.c.Close()
+	}
+	c.ln.Close()
+drainPool:
+	for {
+		select {
+		case a := <-c.arrivals:
+			a.close()
+			if a.proc != nil {
+				a.proc.Kill()
+			}
+		default:
+			break drainPool
+		}
+	}
+	c.wg.Wait()
+}

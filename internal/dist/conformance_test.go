@@ -1,0 +1,122 @@
+package dist_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/scenario"
+)
+
+// The backend-conformance suite, extended to the third backend: the same
+// scenario under the same policy must be structurally equivalent on the
+// simulator and the distributed backend — identical executor provisioning, a
+// conserved tuple ledger, zero lost state under graceful churn. The engine
+// making those decisions is literally the runtime control-plane; what this
+// suite pins is that moving the costs out of process (and paying them over
+// real sockets) changes none of the structure.
+
+var conformancePolicies = []string{"static", "rc", "naive-ec", "elasticutor"}
+
+func drainSpec() *scenario.Spec {
+	return &scenario.Spec{
+		Name:        "dist-drain",
+		Nodes:       4,
+		DurationSec: 6,
+		WarmupSec:   1,
+		Workload:    scenario.WorkloadSpec{RateFraction: 0.25},
+		Events:      []scenario.NodeEvent{{Kind: scenario.EventDrain, AtSec: 3, Node: 3}},
+	}
+}
+
+// TestDistConformanceFlashcrowd runs the flash-crowd scenario under all four
+// policies on the simulator and on real agent processes.
+func TestDistConformanceFlashcrowd(t *testing.T) {
+	spec := quickSpec()
+	for _, pol := range conformancePolicies {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			inst, err := spec.Build(pol, 42)
+			if err != nil {
+				t.Fatalf("sim build: %v", err)
+			}
+			simR := inst.Engine.Run(spec.Duration())
+			simCounts := inst.Engine.ExecutorCounts()
+
+			d, _, err := dist.BuildScenario(spec, pol, 42, quickOpts())
+			if err != nil {
+				t.Fatalf("dist build: %v", err)
+			}
+			dR, err := d.Run(spec.Duration())
+			if err != nil {
+				t.Fatalf("dist run: %v", err)
+			}
+			dCounts := d.ExecutorCounts()
+
+			if len(simCounts) != len(dCounts) {
+				t.Fatalf("operator sets differ: sim=%v dist=%v", simCounts, dCounts)
+			}
+			for name, n := range simCounts {
+				if dCounts[name] != n {
+					t.Errorf("executor count for %q: sim=%d dist=%d", name, n, dCounts[name])
+				}
+			}
+			led := d.Ledger()
+			if !led.Conserved() {
+				t.Errorf("dist ledger not conserved: %v", led)
+			}
+			if led.Processed == 0 {
+				t.Errorf("dist processed nothing: %v", led)
+			}
+			if simR.LostStateBytes != 0 || dR.LostStateBytes != 0 {
+				t.Errorf("lost state without failures: sim=%d dist=%d",
+					simR.LostStateBytes, dR.LostStateBytes)
+			}
+			if simR.Policy != dR.Policy {
+				t.Errorf("policy names differ: %q vs %q", simR.Policy, dR.Policy)
+			}
+		})
+	}
+}
+
+// TestDistConformanceDrain checks the graceful-drain contract: the node
+// leaves, its agent's state migrates out over the socket before the process
+// shuts down, and nothing is lost.
+func TestDistConformanceDrain(t *testing.T) {
+	spec := drainSpec()
+	for _, pol := range conformancePolicies {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			simR, err := spec.Run(pol, 42)
+			if err != nil {
+				t.Fatalf("sim: %v", err)
+			}
+			d, _, err := dist.BuildScenario(spec, pol, 42, quickOpts())
+			if err != nil {
+				t.Fatalf("dist build: %v", err)
+			}
+			dR, err := d.Run(spec.Duration())
+			if err != nil {
+				t.Fatalf("dist run: %v", err)
+			}
+			led := d.Ledger()
+			if !led.Conserved() {
+				t.Errorf("dist ledger not conserved: %v", led)
+			}
+			if simR.NodeDrains != 1 || dR.NodeDrains != 1 {
+				t.Errorf("node drains: sim=%d dist=%d, want 1", simR.NodeDrains, dR.NodeDrains)
+			}
+			if simR.LostStateBytes != 0 || dR.LostStateBytes != 0 {
+				t.Errorf("graceful drain lost state: sim=%d dist=%d",
+					simR.LostStateBytes, dR.LostStateBytes)
+			}
+			if led.DroppedFailure != 0 {
+				t.Errorf("graceful drain dropped %d tuples as failures", led.DroppedFailure)
+			}
+			for name, n := range d.ExecutorCounts() {
+				if n < 1 {
+					t.Errorf("operator %q has %d executors after drain", name, n)
+				}
+			}
+		})
+	}
+}

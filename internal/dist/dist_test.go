@@ -1,0 +1,151 @@
+package dist_test
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/runtime"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+// TestMain lets the control-plane spawn agent processes by re-executing this
+// test binary: a spawned copy takes the agent path and never runs tests.
+func TestMain(m *testing.M) {
+	dist.MainIfAgent()
+	os.Exit(m.Run())
+}
+
+func quickSpec() *scenario.Spec {
+	return &scenario.Spec{
+		Name:        "dist-quick",
+		Nodes:       4,
+		DurationSec: 6,
+		WarmupSec:   1,
+		Workload:    scenario.WorkloadSpec{RateFraction: 0.25},
+		Phases: []scenario.Phase{
+			{Kind: scenario.PhaseFlashCrowd, StartSec: 2, DurationSec: 2,
+				Params: map[string]float64{"factor": 2.0}},
+		},
+	}
+}
+
+func quickOpts() dist.ScenarioOptions {
+	return dist.ScenarioOptions{
+		ScenarioOptions: runtime.ScenarioOptions{Options: runtime.Options{Speedup: 20}},
+	}
+}
+
+// TestDistSmoke runs the flash-crowd scenario on real agent processes over
+// loopback sockets: the run must complete, process tuples, and keep the
+// ledger conserved.
+func TestDistSmoke(t *testing.T) {
+	r, led, err := dist.RunScenario(quickSpec(), "elasticutor", 42, quickOpts())
+	if err != nil {
+		t.Fatalf("dist run failed: %v", err)
+	}
+	if !led.Conserved() {
+		t.Fatalf("tuple ledger not conserved: %v", led)
+	}
+	if led.Processed == 0 {
+		t.Fatalf("dist backend processed nothing: %v", led)
+	}
+	if r.Policy != "elasticutor" {
+		t.Fatalf("report policy = %q", r.Policy)
+	}
+	if r.LostStateBytes != 0 {
+		t.Fatalf("lost state without failures: %d", r.LostStateBytes)
+	}
+}
+
+// TestDistAgentKill is the agent-failure contract: kill -9 an agent process
+// mid-run and the engine must observe it as a node failure — grants revoked,
+// lost state written off, every destroyed tuple accounted — and the run must
+// still complete with a conserved ledger.
+func TestDistAgentKill(t *testing.T) {
+	spec := quickSpec()
+	spec.Name = "dist-kill"
+	d, h, err := dist.BuildScenario(spec, "elasticutor", 42, quickOpts())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// At 3 s virtual the cluster is warm and node 3 homes live state; killing
+	// its agent process is indistinguishable from a machine loss.
+	d.AtVirtual(3*simtime.Second, func() {
+		pid := d.C.AgentPID(3)
+		if pid <= 0 {
+			t.Errorf("no agent pid for node 3")
+			return
+		}
+		if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+			t.Errorf("kill agent %d: %v", pid, err)
+		}
+	})
+	if err := d.Begin(spec.Duration()); err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	rep, err := d.WaitDone()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	_ = h
+	led := d.Ledger()
+	if !led.Conserved() {
+		t.Fatalf("ledger not conserved after agent kill: %v", led)
+	}
+	if led.Processed == 0 {
+		t.Fatalf("processed nothing: %v", led)
+	}
+	if rep.NodeFails != 1 {
+		t.Fatalf("node fails = %d, want 1 (killed agent not observed)", rep.NodeFails)
+	}
+	if rep.LostStateBytes == 0 {
+		t.Fatalf("agent kill lost no state bytes")
+	}
+	if d.C.AgentPID(3) != -1 {
+		t.Fatalf("killed agent still bound to node 3")
+	}
+}
+
+// TestDistStats checks the 1 s agent stats tick: after a run long enough for
+// a ping round, agents have reported resident bytes and served batches.
+func TestDistStats(t *testing.T) {
+	spec := quickSpec()
+	spec.Name = "dist-stats"
+	d, _, err := dist.BuildScenario(spec, "elasticutor", 7, quickOpts())
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var stats []dist.AgentStats
+	var rtt time.Duration
+	d.AtVirtual(5*simtime.Second, func() {
+		stats = d.C.Stats()
+		rtt = d.C.ControlRTT()
+	})
+	if err := d.Begin(spec.Duration()); err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	if _, err := d.WaitDone(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(stats) == 0 {
+		t.Fatalf("no agent stats reported by 5s virtual")
+	}
+	var batches, resident int64
+	for _, st := range stats {
+		batches += st.Batches
+		resident += st.ResidentBytes
+	}
+	if batches == 0 {
+		t.Errorf("agents served no batches: %+v", stats)
+	}
+	if resident == 0 {
+		t.Errorf("agents hold no resident state: %+v", stats)
+	}
+	if rtt <= 0 {
+		t.Errorf("no control RTT samples")
+	}
+}

@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/run"
+	"repro/internal/runtime"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+// Engine is a distributed run: the full runtime control-plane (embedded — it
+// keeps placement, routing, policy, safe points, and the ledger) plus the
+// agent fleet carrying the per-node costs. It satisfies run.RuntimeBackend
+// through the embedding; WaitDone is shadowed to release the fleet.
+type Engine struct {
+	*runtime.Engine
+	C *Cluster
+}
+
+// WaitDone waits out the run, then shuts the agent fleet down.
+func (d *Engine) WaitDone() (*engine.Report, error) {
+	rep, err := d.Engine.WaitDone()
+	d.C.Close()
+	return rep, err
+}
+
+// Run executes the run synchronously (Begin + WaitDone) and releases the
+// fleet — the direct-engine form the conformance tests use.
+func (d *Engine) Run(dur simtime.Duration) (*engine.Report, error) {
+	rep, err := d.Engine.Run(dur)
+	d.C.Close()
+	return rep, err
+}
+
+// New assembles a distributed engine around an arbitrary engine.Config — the
+// user-topology form (the facade's Builder). A control-plane listener comes
+// up, one agent binds per initial cluster node, and the runtime engine is
+// built with the fleet as its Remote. The caller owns the run handle; the
+// fleet shuts down when the engine finishes (WaitDone/Run shadowing, or
+// run.Run.OnFinish when driven through a handle).
+func New(cfg engine.Config, rtOpt runtime.Options, copt Options) (*Engine, error) {
+	if copt.StatsInterval <= 0 && rtOpt.Speedup > 1 {
+		copt.StatsInterval = time.Duration(float64(time.Second) / rtOpt.Speedup)
+	}
+	c, err := NewCluster(copt)
+	if err != nil {
+		return nil, err
+	}
+	rtOpt.Remote = c
+	rt, err := runtime.New(cfg, rtOpt)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.OnFail(func(n int) { rt.FailNode(n) })
+	if err := c.StartNodes(cfg.Cluster.Nodes, 0); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Engine{Engine: rt, C: c}, nil
+}
+
+// ScenarioOptions tunes a scenario run on the distributed backend.
+type ScenarioOptions struct {
+	runtime.ScenarioOptions
+	// Cluster tunes the agent fleet (listen address, spawn vs adopt).
+	Cluster Options
+}
+
+// BuildScenario assembles a wired, unstarted distributed run: a control-plane
+// listener, one agent process per initial node (spawned by re-executing this
+// binary, or adopted from cmd/elasticutor-node dials when Cluster.NoSpawn is
+// set), and the runtime engine built with the fleet as its Remote. The run
+// handle, snapshots, events, traces, and the ledger all behave exactly as on
+// the runtime backend — the engine is the same code; only the costs moved out
+// of process.
+func BuildScenario(s *scenario.Spec, policyName string, seed uint64, opt ScenarioOptions) (*Engine, *run.Run, error) {
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opt.Cluster.StatsInterval <= 0 && opt.Speedup > 1 {
+		// One stats tick per virtual second, like the engine's series tick.
+		opt.Cluster.StatsInterval = time.Duration(float64(time.Second) / opt.Speedup)
+	}
+	c, err := NewCluster(opt.Cluster)
+	if err != nil {
+		return nil, nil, err
+	}
+	rtOpt := opt.ScenarioOptions
+	rtOpt.Remote = c
+	rt, h, err := runtime.BuildScenario(s, policyName, seed, rtOpt)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	// An agent dying unexpectedly (crash, kill -9) is a node failure: the
+	// engine revokes grants, writes off the lost state, and keeps the ledger
+	// conserved — its ordinary FailNode path.
+	c.OnFail(func(n int) { rt.FailNode(n) })
+	if err := c.StartNodes(s.Nodes, 0); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	h.OnFinish(func(*engine.Report) { c.Close() })
+	return &Engine{Engine: rt, C: c}, h, nil
+}
+
+// StartScenario builds a distributed scenario and starts it through the run
+// handle.
+func StartScenario(ctx context.Context, s *scenario.Spec, policyName string, seed uint64, opt ScenarioOptions) (*run.Run, *Engine, error) {
+	d, h, err := BuildScenario(s, policyName, seed, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	h.Start(ctx)
+	return h, d, nil
+}
+
+// RunScenario builds and runs a scenario on the distributed backend,
+// returning the report and the control-plane's conservation ledger.
+func RunScenario(s *scenario.Spec, policyName string, seed uint64, opt ScenarioOptions) (*engine.Report, runtime.Ledger, error) {
+	h, d, err := StartScenario(context.Background(), s, policyName, seed, opt)
+	if err != nil {
+		return nil, runtime.Ledger{}, err
+	}
+	r, err := h.Wait()
+	if err != nil {
+		return nil, runtime.Ledger{}, err
+	}
+	return r, d.Ledger(), nil
+}

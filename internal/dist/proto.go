@@ -1,0 +1,213 @@
+// Package dist is the distributed execution backend: the control-plane keeps
+// the entire single-goroutine policy / safe-point discipline of
+// internal/runtime (it *is* runtime.Engine, wired through the Remote seam),
+// while per-node agent processes own the costs the paper argues about — CPU
+// burn and resident shard payloads live in the agent serving an executor's
+// home node, and every migration serializes and ships real bytes over a TCP
+// socket.
+//
+// Wire protocol (version 1, stdlib-only):
+//
+//	handshake   agent → control:  "ELCD" | u16 version | u32 pid
+//	            control → agent:  "ELCD" | u16 version
+//	frame       u32 length | u8 type | u64 reqID | body
+//
+// All integers are little-endian. reqID correlates a reply with its request;
+// reqID 0 marks fire-and-forget messages that take no reply (touch, drop,
+// shutdown). Version negotiation is exact-match: a mismatched agent is
+// rejected at handshake, so frames never need per-field versioning — bumping
+// protoVersion is the versioning rule.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	protoMagic   = "ELCD"
+	protoVersion = 1
+
+	// maxFrame bounds a frame's payload: a defensive limit well above any
+	// real shard-set transfer (corrupt length prefixes fail fast instead of
+	// allocating gigabytes).
+	maxFrame = 1 << 28
+)
+
+// Message types. Replies: ack/err for effects, shard/shardSet for state
+// reads, stats for ping.
+const (
+	msgBind     = byte(1)  // control→agent: u32 node, u32 cores → ack
+	msgProcess  = byte(2)  // control→agent: u32 exec, u32 perShard, u64 wallNS, u32 n, n×u32 shard → ack
+	msgTouch    = byte(3)  // control→agent: u32 exec, u32 perShard, u32 n, n×u32 shard (no reply)
+	msgTake     = byte(4)  // control→agent: u32 exec, u32 perShard, u32 shard → shard
+	msgPut      = byte(5)  // control→agent: u32 exec, u32 shard, u32 len, bytes → ack
+	msgTakeAll  = byte(6)  // control→agent: u32 exec → shardSet
+	msgPutAll   = byte(7)  // control→agent: u32 exec, u32 count, count×(u32 shard, u32 len, bytes) → ack
+	msgDrop     = byte(8)  // control→agent: u32 exec (no reply)
+	msgPing     = byte(9)  // control→agent: empty → stats
+	msgShutdown = byte(10) // control→agent: empty (no reply; agent exits)
+
+	msgAck      = byte(11) // agent→control: empty
+	msgErr      = byte(12) // agent→control: u16 len, string
+	msgShard    = byte(13) // agent→control: u64 serializeNS, u32 len, bytes
+	msgShardSet = byte(14) // agent→control: u64 serializeNS, u32 count, count×(u32 shard, u32 len, bytes)
+	msgStats    = byte(15) // agent→control: u64 residentBytes, u64 batches, u64 burnedNS
+)
+
+// frame is one decoded message.
+type frame struct {
+	typ  byte
+	req  uint64
+	body []byte
+}
+
+// writeFrame emits one length-prefixed frame. Callers serialize writes (one
+// writer mutex per connection).
+func writeFrame(w io.Writer, typ byte, req uint64, body []byte) error {
+	hdr := make([]byte, 4+1+8)
+	binary.LittleEndian.PutUint32(hdr, uint32(1+8+len(body)))
+	hdr[4] = typ
+	binary.LittleEndian.PutUint64(hdr[5:], req)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, enforcing the size bound.
+func readFrame(r io.Reader) (frame, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lb[:])
+	if n < 1+8 || n > maxFrame {
+		return frame{}, fmt.Errorf("dist: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, err
+	}
+	return frame{typ: buf[0], req: binary.LittleEndian.Uint64(buf[1:9]), body: buf[9:]}, nil
+}
+
+// sendHello / acceptHello are the two halves of the connection handshake.
+func sendHello(rw io.ReadWriter, pid int) error {
+	buf := make([]byte, 4+2+4)
+	copy(buf, protoMagic)
+	binary.LittleEndian.PutUint16(buf[4:], protoVersion)
+	binary.LittleEndian.PutUint32(buf[6:], uint32(pid))
+	if _, err := rw.Write(buf); err != nil {
+		return err
+	}
+	var ack [6]byte
+	if _, err := io.ReadFull(rw, ack[:]); err != nil {
+		return err
+	}
+	if string(ack[:4]) != protoMagic || binary.LittleEndian.Uint16(ack[4:]) != protoVersion {
+		return fmt.Errorf("dist: control-plane speaks a different protocol version")
+	}
+	return nil
+}
+
+func acceptHello(rw io.ReadWriter) (pid int, err error) {
+	var buf [10]byte
+	if _, err := io.ReadFull(rw, buf[:]); err != nil {
+		return 0, err
+	}
+	if string(buf[:4]) != protoMagic {
+		return 0, fmt.Errorf("dist: bad hello magic")
+	}
+	if v := binary.LittleEndian.Uint16(buf[4:]); v != protoVersion {
+		return 0, fmt.Errorf("dist: agent speaks protocol v%d, control-plane v%d", v, protoVersion)
+	}
+	ack := make([]byte, 6)
+	copy(ack, protoMagic)
+	binary.LittleEndian.PutUint16(ack[4:], protoVersion)
+	if _, err := rw.Write(ack); err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint32(buf[6:])), nil
+}
+
+// Append/consume helpers for frame bodies.
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// reader consumes a frame body; it latches the first error so codecs can
+// decode a whole message then check once.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	v := r.b[:n:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("dist: truncated frame body")
+	}
+}
+
+// errBody encodes a msgErr payload.
+func errBody(msg string) []byte {
+	if len(msg) > 0xffff {
+		msg = msg[:0xffff]
+	}
+	b := make([]byte, 2, 2+len(msg))
+	binary.LittleEndian.PutUint16(b, uint16(len(msg)))
+	return append(b, msg...)
+}
+
+// decodeErr decodes a msgErr payload.
+func decodeErr(body []byte) error {
+	if len(body) < 2 {
+		return fmt.Errorf("dist: agent error")
+	}
+	n := int(binary.LittleEndian.Uint16(body))
+	if n > len(body)-2 {
+		n = len(body) - 2
+	}
+	return fmt.Errorf("dist: agent: %s", body[2:2+n])
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+// LiveServer fans a run's NDJSON trace stream out to TCP subscribers — the
+// live operator view of a distributed (or any) run. Use it as the Recorder's
+// writer (alone or teed with a file): the control-plane CLI listens here and
+// elasticutor-top -connect renders the stream from anywhere that can reach
+// the socket. The wire format is exactly the trace format, so a subscriber
+// can also just save the stream and replay it later.
+//
+// The first full line (the header record) is cached and sent to late
+// joiners, so a viewer attaching mid-run still knows what it is looking at.
+// Slow subscribers are dropped, never waited on: observation must not stall
+// the run.
+type LiveServer struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	hdr    []byte // first full NDJSON line, replayed to late joiners
+	subs   map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// liveWriteTimeout bounds one subscriber write; a consumer stuck longer is
+// dropped.
+const liveWriteTimeout = 2 * time.Second
+
+// ListenLive starts a live trace server on addr (e.g. "127.0.0.1:0").
+func ListenLive(addr string) (*LiveServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: live listen %s: %w", addr, err)
+	}
+	s := &LiveServer{ln: ln, subs: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr is the address subscribers dial (elasticutor-top -connect).
+func (s *LiveServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *LiveServer) accept() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		if len(s.hdr) > 0 {
+			c.SetWriteDeadline(time.Now().Add(liveWriteTimeout))
+			if _, err := c.Write(s.hdr); err != nil {
+				s.mu.Unlock()
+				c.Close()
+				continue
+			}
+			c.SetWriteDeadline(time.Time{})
+		}
+		s.subs[c] = true
+		s.mu.Unlock()
+	}
+}
+
+// Write broadcasts trace bytes to every subscriber (io.Writer — the
+// Recorder's sink). Never returns an error: a run must not fail because a
+// viewer went away.
+func (s *LiveServer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return len(p), nil
+	}
+	// Cache the header line for late joiners: accumulate until the first
+	// newline (the recorder writes the header before anything else).
+	if hl := len(s.hdr); hl == 0 || s.hdr[hl-1] != '\n' {
+		if i := bytes.IndexByte(p, '\n'); i >= 0 {
+			s.hdr = append(s.hdr, p[:i+1]...)
+		} else {
+			s.hdr = append(s.hdr, p...)
+		}
+	}
+	for c := range s.subs {
+		c.SetWriteDeadline(time.Now().Add(liveWriteTimeout))
+		if _, err := c.Write(p); err != nil {
+			delete(s.subs, c)
+			c.Close()
+			continue
+		}
+		c.SetWriteDeadline(time.Time{})
+	}
+	return len(p), nil
+}
+
+// Subscribers reports the current viewer count.
+func (s *LiveServer) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Close drops every subscriber and stops accepting. Safe to call twice.
+func (s *LiveServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.subs {
+		c.Close()
+	}
+	s.subs = nil
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// StreamHandler receives decoded records from a live trace stream; nil
+// callbacks skip their record type.
+type StreamHandler struct {
+	Header  func(Header)
+	Event   func(EventRecord)
+	Command func(CmdRecord)
+	Snap    func(SnapRecord)
+	End     func(EndRecord)
+}
+
+// Stream decodes an NDJSON trace stream incrementally, invoking the handler
+// per record as each line arrives — the consuming half of LiveServer (works
+// identically on a trace file). Returns nil on clean end-of-stream (the
+// server closing the connection is the normal way a live view ends).
+func Stream(r io.Reader, h StreamHandler) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return fmt.Errorf("obs: stream line %d: %w", n, err)
+		}
+		switch l.T {
+		case "hdr":
+			if l.Hdr != nil && h.Header != nil {
+				if l.Hdr.Schema != TraceSchema {
+					return fmt.Errorf("obs: stream: unknown schema %q (want %s)", l.Hdr.Schema, TraceSchema)
+				}
+				h.Header(*l.Hdr)
+			}
+		case "ev":
+			if l.Ev != nil && h.Event != nil {
+				h.Event(*l.Ev)
+			}
+		case "cmd":
+			if l.Cmd != nil && h.Command != nil {
+				h.Command(*l.Cmd)
+			}
+		case "snap":
+			if l.Snap != nil && h.Snap != nil {
+				h.Snap(*l.Snap)
+			}
+		case "end":
+			if l.End != nil && h.End != nil {
+				h.End(*l.End)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.ErrUnexpectedEOF {
+		return fmt.Errorf("obs: stream: %w", err)
+	}
+	return nil
+}
+
+// parseStage maps a stage's wire name back to its metrics.Stage (built from
+// the same String() the encoder uses). Unknown names return -1.
+func parseStage(name string) metrics.Stage {
+	for s := metrics.Stage(0); s < metrics.NumStages; s++ {
+		if s.String() == name {
+			return s
+		}
+	}
+	return metrics.Stage(-1)
+}
+
+// DecodeSnapshot converts a trace snapshot record back to an engine.Snapshot
+// — the inverse of the encoder, so a live viewer renders remote snapshots
+// with the same code it uses against a local run.
+func (rec *SnapRecord) DecodeSnapshot() engine.Snapshot {
+	s := engine.Snapshot{
+		Now:            simtime.Time(0).Add(fromMS(rec.AtMS)),
+		LiveNodes:      rec.Nodes,
+		TotalCores:     rec.TotalCores,
+		UsedCores:      rec.UsedCores,
+		Blocked:        rec.Blocked,
+		MigrationBytes: rec.MigrationBytes,
+		Reassignments:  rec.Reassignments,
+		Repartitions:   rec.Repartitions,
+		LatencyP50:     fromMS(rec.LatencyP50MS),
+		LatencyP95:     fromMS(rec.LatencyP95MS),
+		LatencyP99:     fromMS(rec.LatencyP99MS),
+		LatencyMax:     fromMS(rec.LatencyMaxMS),
+		LatencyWeight:  rec.LatencyWeight,
+	}
+	if s.TotalCores > 0 {
+		s.Utilization = float64(s.UsedCores) / float64(s.TotalCores)
+	}
+	if rec.DominantShare > 0 {
+		s.DominantStage = parseStage(rec.DominantStage)
+		s.DominantShare = rec.DominantShare
+	}
+	for _, o := range rec.Operators {
+		os := engine.OperatorSnapshot{
+			Name:          o.Name,
+			Executors:     o.Executors,
+			Cores:         o.Cores,
+			OfferedRate:   o.OfferedRate,
+			ProcessedRate: o.ProcessedRate,
+			Offered:       o.Offered,
+			Processed:     o.Processed,
+			Queued:        o.Queued,
+			LatP50:        fromMS(o.LatP50MS),
+			LatP99:        fromMS(o.LatP99MS),
+		}
+		if o.DominantShare > 0 {
+			os.DominantStage = parseStage(o.DominantStage)
+			os.DominantShare = o.DominantShare
+		}
+		s.Operators = append(s.Operators, os)
+	}
+	return s
+}

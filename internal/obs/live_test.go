@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	rtbackend "repro/internal/runtime"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+// TestLiveStream runs a scenario with the recorder writing to a LiveServer
+// and a TCP subscriber decoding the stream: the subscriber must see the
+// header, events, snapshots, and the end record — and a late joiner must
+// still get the cached header.
+func TestLiveStream(t *testing.T) {
+	sp, err := scenario.ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ListenLive("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rtE, h, err := rtbackend.BuildScenario(sp, "elasticutor", 42,
+		rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Attach(h, srv, HeaderForScenario(sp, "runtime", "elasticutor", 42, 40, "", 0),
+		RecordOptions{SnapshotEvery: simtime.Second, Flush: true})
+
+	// Early subscriber: decodes the whole stream.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var mu sync.Mutex
+	var gotHdr Header
+	var snaps, events int
+	var sawEnd bool
+	streamDone := make(chan error, 1)
+	go func() {
+		streamDone <- Stream(conn, StreamHandler{
+			Header: func(hd Header) { mu.Lock(); gotHdr = hd; mu.Unlock() },
+			Event:  func(EventRecord) { mu.Lock(); events++; mu.Unlock() },
+			Snap:   func(SnapRecord) { mu.Lock(); snaps++; mu.Unlock() },
+			End:    func(EndRecord) { mu.Lock(); sawEnd = true; mu.Unlock() },
+		})
+	}()
+
+	h.Start(context.Background())
+	rep, runErr := h.Wait()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if err := rec.Finish(rep, h.LostEvents(), runErr); err != nil {
+		t.Fatal(err)
+	}
+	if !rtE.Ledger().Conserved() {
+		t.Fatalf("ledger not conserved under live streaming: %v", rtE.Ledger())
+	}
+
+	// Late joiner after the run ended: must still receive the cached header.
+	late, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	lateHdr := make(chan Header, 1)
+	go Stream(late, StreamHandler{Header: func(hd Header) { lateHdr <- hd }})
+	select {
+	case hd := <-lateHdr:
+		if hd.Policy != "elasticutor" {
+			t.Errorf("late joiner header policy = %q", hd.Policy)
+		}
+	case <-time.After(5 * time.Second):
+		t.Errorf("late joiner never received the cached header")
+	}
+
+	srv.Close() // EOFs the subscriber; Stream must return cleanly
+	if err := <-streamDone; err != nil {
+		t.Fatalf("stream decode: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotHdr.Schema != TraceSchema || gotHdr.Backend != "runtime" {
+		t.Errorf("header not streamed: %+v", gotHdr)
+	}
+	if events == 0 || snaps == 0 || !sawEnd {
+		t.Errorf("incomplete stream: %d events, %d snaps, end=%v", events, snaps, sawEnd)
+	}
+}
+
+// TestDecodeSnapshotRoundTrip pins the snapshot decode inverse on the fields
+// the live view renders.
+func TestDecodeSnapshotRoundTrip(t *testing.T) {
+	rec := SnapRecord{
+		AtMS: 1500, Nodes: 3, TotalCores: 12, UsedCores: 9, Blocked: 7,
+		MigrationBytes: 4096, Repartitions: 2,
+		LatencyP99MS: 12.5, LatencyWeight: 100,
+		DominantStage: "service", DominantShare: 0.6,
+		Operators: []OpRecord{{Name: "op", Executors: 4, Cores: 6, Queued: 11,
+			Offered: 1000, Processed: 900, DominantStage: "queue", DominantShare: 0.5}},
+	}
+	s := rec.DecodeSnapshot()
+	if s.LiveNodes != 3 || s.TotalCores != 12 || s.UsedCores != 9 {
+		t.Fatalf("cluster fields: %+v", s)
+	}
+	if s.Utilization != 0.75 {
+		t.Errorf("utilization = %f", s.Utilization)
+	}
+	if s.LatencyP99 != 12500*simtime.Microsecond {
+		t.Errorf("p99 = %v", s.LatencyP99)
+	}
+	if s.DominantStage.String() != "service" {
+		t.Errorf("dominant stage = %v", s.DominantStage)
+	}
+	if len(s.Operators) != 1 || s.Operators[0].Executors != 4 ||
+		s.Operators[0].DominantStage.String() != "queue" {
+		t.Errorf("operators: %+v", s.Operators)
+	}
+}

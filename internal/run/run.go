@@ -1,7 +1,8 @@
 // Package run is the first-class run handle of the Elasticutor reproduction:
-// one type that starts, observes, and controls a live run on either execution
-// backend. The facade re-exports it (elasticutor.Run), the scenario
-// interpreter drives both backends through it, and the CLI's -live mode
+// one type that starts, observes, and controls a live run on any of the three
+// execution backends (simulator, goroutine runtime, distributed agent
+// processes). The facade re-exports it (elasticutor.Run), the scenario
+// interpreter drives every backend through it, and the CLI's -live mode
 // renders its event stream.
 //
 // Contract (see DESIGN.md "Run handle"):

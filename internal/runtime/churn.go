@@ -49,6 +49,14 @@ func (e *Engine) addNode(cores int) {
 		cores = e.cfg.Cluster.CoresPerNode
 	}
 	id := len(e.nodes)
+	if e.remote != nil {
+		// The agent must be serving before any grant can land on the node;
+		// a spawn/adopt failure vetoes the join.
+		if err := e.remote.NodeAdded(id, cores); err != nil {
+			e.recordChurnError(fmt.Sprintf("runtime: add node %d: %v", id, err))
+			return
+		}
+	}
 	nd := &node{id: id, cores: cores, alive: true}
 	nd.free.Store(int64(cores))
 	e.nodesMu.Lock()
@@ -101,6 +109,11 @@ func (e *Engine) removeNode(n int, graceful bool) error {
 		kindEv = engine.EventNodeDrain
 	}
 	e.emit(engine.Event{Kind: kindEv, At: e.vnow(), Node: n})
+	if e.remote != nil {
+		// After evacuation: a graceful drain has already migrated every byte
+		// out of the live agent; a failure echo releases a dead one.
+		e.remote.NodeRemoved(n, graceful)
+	}
 	e.pol.CapacityChanged()
 	return nil
 }
@@ -150,10 +163,18 @@ func (e *Engine) evacuateOp(o *op, n int, graceful bool) {
 			bytes := x.stateBytes()
 			if graceful {
 				e.migrationBytes.Add(bytes)
+				if e.remote != nil && newLocal != n {
+					if _, err := e.remote.MoveExecState(n, newLocal, x.remoteExec()); err != nil {
+						e.recordChurnError(fmt.Sprintf("runtime: migrate %s off node %d: %v", x.name, n, err))
+					}
+				}
 			} else {
 				e.lostStateBytes.Add(bytes)
 				e.clearState(x)
 				e.dropQueue(o, x)
+				if e.remote != nil {
+					e.remote.DropExecState(n, x.remoteExec())
+				}
 			}
 		}
 	}
@@ -260,6 +281,9 @@ func (e *Engine) retireExecs(o *op, retire []*exec, graceful bool) {
 		} else {
 			e.lostStateBytes.Add(x.stateBytes())
 			e.clearState(x)
+			if e.remote != nil {
+				e.remote.DropExecState(x.localNode(), x.remoteExec())
+			}
 		}
 	}
 
@@ -337,9 +361,14 @@ func (e *Engine) reapQueue(o *op, x *exec, graceful bool) {
 }
 
 // redistributeState moves a retiring executor's materialized shards onto the
-// survivors (round-robin), returning the bytes migrated.
+// survivors (round-robin), returning the bytes migrated. With a Remote, the
+// agent-side payloads follow the same assignment the metadata takes here.
 func (e *Engine) redistributeState(x *exec, survivors []*exec) int64 {
 	var moved int64
+	var remoteDest map[*exec][]uint32
+	if e.remote != nil {
+		remoteDest = make(map[*exec][]uint32, len(survivors))
+	}
 	i := 0
 	for _, st := range x.stripes {
 		st.mu.Lock()
@@ -351,6 +380,18 @@ func (e *Engine) redistributeState(x *exec, survivors []*exec) int64 {
 			i++
 			dst.putShard(sh, d)
 			moved += int64(d.bytes)
+			if remoteDest != nil {
+				remoteDest[dst] = append(remoteDest[dst], uint32(sh))
+			}
+		}
+	}
+	if e.remote != nil && len(remoteDest) > 0 {
+		dests := make([]RemoteDest, 0, len(remoteDest))
+		for dst, shs := range remoteDest {
+			dests = append(dests, RemoteDest{Node: dst.localNode(), Exec: dst.remoteExec(), Shards: shs})
+		}
+		if _, err := e.remote.RedistributeState(x.localNode(), x.remoteExec(), dests); err != nil {
+			e.recordChurnError(fmt.Sprintf("runtime: redistribute %s state: %v", x.name, err))
 		}
 	}
 	return moved

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/simtime"
@@ -63,6 +64,7 @@ type exec struct {
 
 	zShards       int // shard space (Z, or OpShards for op-sharded layouts)
 	perShardBytes int
+	remoteID      uint32 // wire identity when the engine runs with a Remote
 
 	stripes [numStripes]*stripe
 
@@ -98,6 +100,8 @@ func (e *Engine) newExec(o *op, idx, local int) *exec {
 	for i := range x.stripes {
 		x.stripes[i] = &stripe{shards: make(map[state.ShardID]*shardData)}
 	}
+	e.remoteSeq++
+	x.remoteID = e.remoteSeq
 	x.zShards = e.cfg.Z
 	x.perShardBytes = o.meta.StatePerShard
 	if o.opSharded {
@@ -217,7 +221,7 @@ func (x *exec) runWorker(w *worker) {
 		case <-x.e.stopWorkers:
 			return
 		case ts := <-x.in:
-			x.process(ts, lane)
+			x.process(ts, lane, w.node)
 		}
 	}
 }
@@ -226,8 +230,10 @@ func (x *exec) runWorker(w *worker) {
 // (virtual) wall time once for the whole batch, run the user handler per
 // tuple against the striped state (the stripe lock is held across runs of
 // same-stripe tuples), account per batch on the worker's counter lane, and
-// emit the pooled fan-out downstream. Takes ownership of ts.
-func (x *exec) process(ts []stream.Tuple, lane int) {
+// emit the pooled fan-out downstream. Takes ownership of ts. wnode is the
+// grant (worker) node the batch executes on — in remote mode the agent that
+// burns the CPU cost.
+func (x *exec) process(ts []stream.Tuple, lane, wnode int) {
 	x.active.Add(1)
 	defer x.active.Add(-1)
 
@@ -240,7 +246,35 @@ func (x *exec) process(ts []stream.Tuple, lane int) {
 		traced = traced || ts[i].Mark != 0
 	}
 	x.queuedW.Add(-w)
-	if cost > 0 {
+	if rem := x.e.remote; rem != nil {
+		// Remote execution: the worker's agent burns the cost and the home
+		// agent materializes the touched shards' real payloads; the measured
+		// round trip (dispatch + wire + burn) is the batch's service time.
+		// An unreachable agent destroys the batch with failure accounting —
+		// the node's death reaches the control plane separately.
+		wire := make([]uint32, len(ts))
+		for i := range ts {
+			wire[i] = uint32(x.shardOf(ts[i].Key))
+		}
+		rx := x.remoteExec()
+		home := x.localNode()
+		t0 := time.Now()
+		var err error
+		if wnode == home {
+			err = rem.Process(wnode, rx, x.e.toWall(cost), wire)
+		} else {
+			err = rem.Process(wnode, rx, x.e.toWall(cost), nil)
+			rem.StateTouch(home, rx, wire)
+		}
+		if err != nil {
+			x.o.inflight.Add(lane, -w)
+			x.o.dropFail.Add(w)
+			x.dropped.Add(w)
+			putTupleBuf(ts)
+			return
+		}
+		cost = x.e.toVirtual(time.Since(t0))
+	} else if cost > 0 {
 		x.e.clock.Sleep(cost)
 	}
 	x.winBusyNS.Add(int64(cost))

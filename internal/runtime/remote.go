@@ -1,0 +1,98 @@
+package runtime
+
+import "time"
+
+// Remote offloads the engine's per-node work to out-of-process agents: the
+// distributed backend (internal/dist) implements it over real sockets. The
+// engine keeps everything that must stay at the control plane — placement,
+// routing, the policy host, the §3.3 safe points, admission and the
+// conservation ledger — while the Remote carries the costs the paper argues
+// about to wherever they are real: an executor's CPU burn and resident shard
+// payloads live in the agent process of its home node, and every state
+// migration serializes and transfers actual bytes over the wire.
+//
+// Contract:
+//
+//   - Process and the Move* calls block until the agent acks (they are the
+//     measured costs); an error means the node's agent is unreachable and the
+//     caller accounts the work as destroyed-by-failure. Implementations must
+//     fail fast once a connection dies — workers block in Process.
+//   - NodeAdded is called on the control goroutine before any grant lands on
+//     the new node; an error vetoes the join.
+//   - NodeRemoved(graceful=true) is called after the node's state has been
+//     evacuated; graceful=false may be the echo of a failure the Remote
+//     itself reported (agents observed dead are removed idempotently).
+//   - StateTouch and DropExecState are asynchronous best-effort bookkeeping
+//     (a lost touch only skews a later migration's payload size).
+//
+// Executors are identified by the RemoteID assigned at creation, stable for
+// the engine's lifetime and unique across operators; shard identifiers are
+// the executor-local shard space (Z or OpShards).
+type Remote interface {
+	// NodeAdded ensures an agent process serves the node (spawn or adopt).
+	NodeAdded(node, cores int) error
+	// NodeRemoved releases the node's agent: graceful shuts it down after
+	// the drain, hard kills it (or acknowledges its observed death).
+	NodeRemoved(node int, graceful bool)
+	// Process burns wallCost of CPU time on the node's agent and touches the
+	// executor's shards there (materializing nominal state on first touch).
+	// Blocks until the agent acks — the measured remote service time.
+	Process(node int, exec RemoteExec, wallCost time.Duration, shards []uint32) error
+	// StateTouch materializes shards at the executor's home agent without
+	// burning cost — the state half of a batch processed by a worker granted
+	// on a different node. Asynchronous, best-effort.
+	StateTouch(node int, exec RemoteExec, shards []uint32)
+	// MoveShard serializes one shard out of the source agent, moves the
+	// payload through the control plane, and installs it at the destination
+	// agent, returning the payload size and the agent-measured serialize
+	// time. The wall duration of the whole call is the transfer measurement.
+	MoveShard(srcNode, dstNode int, src, dst RemoteExec, shard uint32) (bytes int64, serialize time.Duration, err error)
+	// MoveExecState relocates an executor's entire resident state between
+	// agents (churn rehoming), returning the bytes transferred.
+	MoveExecState(srcNode, dstNode int, exec RemoteExec) (int64, error)
+	// RedistributeState scatters a retired executor's shards onto surviving
+	// executors' agents, following the control plane's assignment.
+	RedistributeState(srcNode int, src RemoteExec, dests []RemoteDest) (int64, error)
+	// DropExecState discards an executor's agent-side state (hard failure
+	// write-off). Asynchronous, best-effort.
+	DropExecState(node int, exec RemoteExec)
+}
+
+// RemoteExec is the wire identity of one executor: a stable id plus the
+// nominal per-shard byte size agents materialize on first touch.
+type RemoteExec struct {
+	ID            uint32
+	PerShardBytes int
+}
+
+// RemoteDest is one destination of a state redistribution.
+type RemoteDest struct {
+	Node   int
+	Exec   RemoteExec
+	Shards []uint32
+}
+
+// remoteExec returns the executor's wire identity.
+func (x *exec) remoteExec() RemoteExec {
+	return RemoteExec{ID: x.remoteID, PerShardBytes: x.perShardBytes}
+}
+
+// remoteSpeedup is the virtual-per-wall factor remote costs are scaled by:
+// the engine ships wall durations to agents (they have no scaled clock) and
+// converts measured wall round trips back to virtual time.
+func (e *Engine) remoteSpeedup() float64 {
+	if e.opt.Speedup > 1 {
+		return e.opt.Speedup
+	}
+	return 1
+}
+
+// toWall converts a virtual duration to agent wall time.
+func (e *Engine) toWall(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / e.remoteSpeedup())
+}
+
+// toVirtual converts a measured wall duration to virtual time.
+func (e *Engine) toVirtual(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * e.remoteSpeedup())
+}

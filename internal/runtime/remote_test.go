@@ -1,0 +1,176 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/simtime"
+)
+
+// fakeRemote records every Remote call in-process: the seam's contract test,
+// independent of sockets (internal/dist covers the wire).
+type fakeRemote struct {
+	mu         sync.Mutex
+	added      []int
+	removed    map[int]bool
+	processed  int64
+	touched    int64
+	moves      []uint32 // shards moved one at a time (repartition)
+	execMoves  int      // whole-executor relocations (churn rehome)
+	redists    int      // retirement scatters
+	drops      int
+	lastRemove bool // graceful flag of the last NodeRemoved
+}
+
+func (f *fakeRemote) NodeAdded(node, cores int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.added = append(f.added, node)
+	return nil
+}
+
+func (f *fakeRemote) NodeRemoved(node int, graceful bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.removed == nil {
+		f.removed = make(map[int]bool)
+	}
+	f.removed[node] = true
+	f.lastRemove = graceful
+}
+
+func (f *fakeRemote) Process(node int, rx RemoteExec, wallCost time.Duration, shards []uint32) error {
+	if wallCost > 0 {
+		time.Sleep(wallCost)
+	}
+	f.mu.Lock()
+	f.processed++
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeRemote) StateTouch(node int, rx RemoteExec, shards []uint32) {
+	f.mu.Lock()
+	f.touched++
+	f.mu.Unlock()
+}
+
+func (f *fakeRemote) MoveShard(srcNode, dstNode int, src, dst RemoteExec, shard uint32) (int64, time.Duration, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.moves = append(f.moves, shard)
+	return int64(src.PerShardBytes), time.Microsecond, nil
+}
+
+func (f *fakeRemote) MoveExecState(srcNode, dstNode int, rx RemoteExec) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.execMoves++
+	return 0, nil
+}
+
+func (f *fakeRemote) RedistributeState(srcNode int, src RemoteExec, dests []RemoteDest) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.redists++
+	return 0, nil
+}
+
+func (f *fakeRemote) DropExecState(node int, rx RemoteExec) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drops++
+}
+
+func remoteOpts(f *fakeRemote) ScenarioOptions {
+	o := quickOpts()
+	o.Remote = f
+	return o
+}
+
+// TestRemoteSeamRepartition drives the §3.3 protocol on an engine with a
+// Remote installed: every committed move must relocate the agent-side payload
+// (one MoveShard per move), and the modeled wire sleep must be replaced, not
+// duplicated.
+func TestRemoteSeamRepartition(t *testing.T) {
+	f := &fakeRemote{}
+	rt, _, err := BuildScenario(quickSpec(), "rc", 42, remoteOpts(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rt.opOrder[0]
+	before := append([]int(nil), o.snap.Load().routing...)
+	var moves []balancer.Move
+	for s, owner := range before {
+		if owner == 0 {
+			moves = append(moves, balancer.Move{Shard: s, From: 0, To: 1})
+			if len(moves) == 2 {
+				break
+			}
+		}
+	}
+	rt.AtVirtual(2*simtime.Second, func() { rt.startRepartition(o, moves) })
+	r, err := rt.Run(quickSpec().Duration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Repartitions < 1 {
+		t.Fatalf("repartitions = %d, want >= 1", r.Repartitions)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.moves) < len(moves) {
+		t.Errorf("remote moved %d shards, want >= %d", len(f.moves), len(moves))
+	}
+	if f.processed == 0 {
+		t.Errorf("no batches reached the remote")
+	}
+	if !rt.Ledger().Conserved() {
+		t.Errorf("ledger not conserved: %v", rt.Ledger())
+	}
+}
+
+// TestRemoteSeamChurn checks the churn hooks: a drain relocates executor
+// state through the Remote and releases the node gracefully.
+func TestRemoteSeamChurn(t *testing.T) {
+	f := &fakeRemote{}
+	rt, _, err := BuildScenario(drainSpec(), "elasticutor", 42, remoteOpts(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rt.Run(drainSpec().Duration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeDrains != 1 {
+		t.Fatalf("drains = %d, want 1", r.NodeDrains)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.removed[3] {
+		t.Errorf("remote never released node 3: %v", f.removed)
+	}
+	if !f.lastRemove {
+		t.Errorf("drain released node 3 as a failure")
+	}
+	if f.execMoves+f.redists == 0 {
+		t.Errorf("drain moved no executor state through the remote")
+	}
+	if !rt.Ledger().Conserved() {
+		t.Errorf("ledger not conserved: %v", rt.Ledger())
+	}
+}
+
+// TestRemoteRequiresNilClock pins the constructor validation: the Remote
+// contract ships wall durations to agents, which is only sound when the
+// engine's clock is the default Speedup-scaled one.
+func TestRemoteRequiresNilClock(t *testing.T) {
+	f := &fakeRemote{}
+	o := remoteOpts(f)
+	o.Clock = RealClock()
+	if _, _, err := BuildScenario(quickSpec(), "rc", 42, o); err == nil {
+		t.Fatal("Remote with an explicit Clock was accepted")
+	}
+}

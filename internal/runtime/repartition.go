@@ -61,23 +61,28 @@ func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
 
 	// Model the migration's serialization and wire time up front, while the
 	// operator is paused (the simulator charges the same costs on its
-	// virtual clock; here the pause gap is real).
-	var wireBytes int64
-	for _, m := range moves {
-		if m.From < 0 || m.From >= len(snap.execs) || m.To < 0 || m.To >= len(snap.execs) {
-			continue
-		}
-		src, dst := snap.execs[m.From], snap.execs[m.To]
-		if src.localNode() != dst.localNode() {
-			bytes := src.perShardBytes
-			if d := src.peekShardBytes(state.ShardID(m.Shard)); d > 0 {
-				bytes = d
+	// virtual clock; here the pause gap is real). With a Remote the model is
+	// dropped entirely: the commit below serializes and ships actual shard
+	// payloads between agent processes, so the span's Migrate phase is a
+	// socket measurement instead of a constant.
+	if e.remote == nil {
+		var wireBytes int64
+		for _, m := range moves {
+			if m.From < 0 || m.From >= len(snap.execs) || m.To < 0 || m.To >= len(snap.execs) {
+				continue
 			}
-			wireBytes += int64(bytes)
+			src, dst := snap.execs[m.From], snap.execs[m.To]
+			if src.localNode() != dst.localNode() {
+				bytes := src.perShardBytes
+				if d := src.peekShardBytes(state.ShardID(m.Shard)); d > 0 {
+					bytes = d
+				}
+				wireBytes += int64(bytes)
+			}
 		}
-	}
-	if wireBytes > 0 {
-		e.clock.Sleep(e.cfg.SerializeOverhead + wireDuration(wireBytes, e.cfg.Cluster.BandwidthBps))
+		if wireBytes > 0 {
+			e.clock.Sleep(e.cfg.SerializeOverhead + wireDuration(wireBytes, e.cfg.Cluster.BandwidthBps))
+		}
 	}
 
 	// Phases 3+4: migrate state and publish the new routing table as one
@@ -104,6 +109,17 @@ func (e *Engine) runRepartition(o *op, moves []balancer.Move) {
 			}
 			dst.putShard(sh, d)
 			movedBytes += int64(bytes)
+			if e.remote != nil {
+				// Relocate the agent-side payload along with the metadata:
+				// serialize at the source agent, ship the bytes through the
+				// control plane, install at the destination. The blocking
+				// round trip lands in the span's Migrate phase.
+				if _, _, err := e.remote.MoveShard(src.localNode(), dst.localNode(),
+					src.remoteExec(), dst.remoteExec(), uint32(sh)); err != nil {
+					e.recordChurnError(fmt.Sprintf("runtime: move shard %d (%s -> %s): %v",
+						m.Shard, src.name, dst.name, err))
+				}
+			}
 			if m.Shard >= 0 && m.Shard < len(routing) {
 				routing[m.Shard] = m.To
 			}

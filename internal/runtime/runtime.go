@@ -58,6 +58,12 @@ type Options struct {
 	// SourceTick is the token-bucket refill period in virtual time
 	// (default 2 ms).
 	SourceTick time.Duration
+	// Remote, when set, offloads executor CPU burn and resident shard state
+	// to out-of-process per-node agents (see Remote; internal/dist is the
+	// implementation). Requires handler-free operators — user logic cannot
+	// cross the process boundary — and a nil Clock (the engine converts
+	// between virtual and agent wall time through Speedup).
+	Remote Remote
 }
 
 func (o Options) withDefaults() Options {
@@ -262,6 +268,9 @@ type Engine struct {
 	elastic  []*exec // live executors, global scheduler indexing
 	allExecs []*exec // every executor ever created (shutdown sweep)
 
+	remote    Remote // out-of-process agent offload (nil = in-process)
+	remoteSeq uint32 // executor wire-id allocator (placement + control only)
+
 	ctrl chan func()
 
 	// Hot-path routing and admission constants, fixed at New.
@@ -377,10 +386,21 @@ func New(cfg engine.Config, opt Options) (*Engine, error) {
 	} else {
 		par = engine.Paradigm(-1)
 	}
+	if opt.Remote != nil {
+		if opt.Clock != nil {
+			return nil, fmt.Errorf("runtime: Remote requires a nil Clock (agents scale wall time through Speedup)")
+		}
+		for _, mop := range cfg.Topology.Operators() {
+			if mop.Handler != nil {
+				return nil, fmt.Errorf("runtime: Remote cannot run operator %q: handlers do not cross the process boundary", mop.Name)
+			}
+		}
+	}
 	opt = opt.withDefaults()
 	e := &Engine{
 		cfg:         cfg,
 		opt:         opt,
+		remote:      opt.Remote,
 		clock:       opt.Clock,
 		pol:         pol,
 		par:         par,

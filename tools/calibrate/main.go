@@ -9,11 +9,20 @@
 //	go run ./tools/calibrate -trajectory CALIB_6.json -label PR6
 //	                                      # append this machine's per-tuple
 //	                                      # overhead to the perf trajectory
+//	go run ./tools/calibrate -backend dist -trajectory CALIB_9.json -label pr9-dist
+//	                                      # re-measure the cross-process costs
+//	                                      # over real loopback sockets
 //
 // Every number comes from the runtime backend's actual primitives (the
 // executor hot path, the shard move, a real Algorithm-1 invocation), so the
 // simulator's cost table is validated against reality instead of assumed.
 // Numbers are machine-dependent: calibrate on the box you simulate for.
+//
+// -backend dist spawns a two-agent loopback fleet (internal/dist) and
+// replaces the modeled cross-process numbers with measured ones: the control
+// delay becomes a real socket round trip, the serialization overhead is timed
+// inside the agent, and the migration bandwidth is a real shard payload
+// crossing two sockets.
 package main
 
 import (
@@ -23,12 +32,15 @@ import (
 	"time"
 
 	"repro/internal/calib"
+	"repro/internal/dist"
 	rtbackend "repro/internal/runtime"
 )
 
 func main() {
+	dist.MainIfAgent() // -backend dist re-executes this binary as the agents
 	var (
 		out        = flag.String("out", "calibration.json", "output path ('' = stdout only)")
+		backend    = flag.String("backend", "runtime", "what to measure: runtime (in-process) | dist (real loopback sockets)")
 		window     = flag.Duration("window", 300*time.Millisecond, "per-tuple measurement window (wall time)")
 		shardKB    = flag.Int("shard-kb", 32, "migrated shard size in KB")
 		nodes      = flag.Int("nodes", 4, "nodes for the scheduling-invocation measurement")
@@ -39,14 +51,27 @@ func main() {
 	)
 	flag.Parse()
 
-	fmt.Fprintf(os.Stderr, "calibrating the runtime backend (window %v, %d rounds)…\n", *window, *rounds)
-	table, err := rtbackend.Calibrate(rtbackend.CalibrateOptions{
+	copt := rtbackend.CalibrateOptions{
 		TupleWindow: *window,
 		ShardBytes:  *shardKB << 10,
 		Nodes:       *nodes,
 		Executors:   *execs,
 		Rounds:      *rounds,
-	})
+	}
+	var (
+		table *calib.Table
+		err   error
+	)
+	switch *backend {
+	case "runtime":
+		fmt.Fprintf(os.Stderr, "calibrating the runtime backend (window %v, %d rounds)…\n", *window, *rounds)
+		table, err = rtbackend.Calibrate(copt)
+	case "dist":
+		fmt.Fprintf(os.Stderr, "calibrating the distributed backend over loopback sockets (window %v, %d rounds)…\n", *window, *rounds)
+		table, err = dist.Calibrate(copt)
+	default:
+		err = fmt.Errorf("unknown -backend %q (runtime | dist)", *backend)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
