@@ -287,6 +287,7 @@ func main() {
 	// end record and shuts the metrics listener down.
 	attachObs := func(h *runpkg.Run, sp *scenario.Spec, trialSeed uint64, rtE *rtbackend.Engine) (func(*engine.Report, error) error, error) {
 		var finishers []func(*engine.Report, error) error
+		var rec *obs.Recorder
 		if traceDest != "" || *obsLsn != "" {
 			var writers []io.Writer
 			var file *os.File
@@ -331,7 +332,7 @@ func main() {
 			}
 			// Live consumers (stderr tail, -obs-listen subscribers) need each
 			// record as it happens; a plain file flushes at buffer boundaries.
-			rec := obs.Attach(h, w, hdr, obs.RecordOptions{
+			rec = obs.Attach(h, w, hdr, obs.RecordOptions{
 				SnapshotEvery: *liveIvl, Flush: file == nil || *obsLsn != ""})
 			finishers = append(finishers, func(rep *engine.Report, runErr error) error {
 				// Finish (end record) before dropping live subscribers: a
@@ -348,11 +349,37 @@ func main() {
 				return nil
 			})
 		}
+		// Any observation at all gets the invariant watchdog: anomalies ride
+		// the trace (when recording) and the exporter (when scraping). On the
+		// distributed backend the engine's RPC-span feed is wired into both;
+		// ObserveRPC is a no-op false on the in-process backends.
+		var wd *obs.Watchdog
+		if rec != nil || *metrics != "" {
+			wdOpt := obs.WatchdogOptions{}
+			if rtE != nil {
+				wdOpt.Ledger = rtE.Ledger
+			}
+			if rec != nil {
+				wdOpt.OnAnomaly = rec.RecordAnomaly
+			}
+			wd = obs.AttachWatchdog(h, wdOpt)
+			if rtE != nil {
+				rtE.ObserveRPC(func(sp rtbackend.RPCSpan) {
+					if rec != nil {
+						rec.RecordRPC(sp)
+					}
+					wd.ObserveRPC(sp)
+				})
+			}
+		}
 		if *metrics != "" {
 			x := obs.NewExporter(h)
 			if rtE != nil {
 				x.SetLedger(rtE.Ledger)
 				x.SetLatency(rtE.LatencyAnatomy)
+			}
+			if wd != nil {
+				x.SetWatchdog(wd)
 			}
 			bound, closeSrv, err := x.Serve(*metrics, *pprofOn)
 			if err != nil {

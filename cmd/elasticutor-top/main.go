@@ -1,5 +1,5 @@
 // Command elasticutor-top is a terminal live view of one run: it starts a
-// scenario on either backend and renders per-operator offered/processed
+// scenario on any backend and renders per-operator offered/processed
 // rates, executor counts, queue depths, autoscale actions, and in-flight §3.3
 // repartition spans over the run handle's Events()/Snapshot() streams,
 // refreshing in place until the run completes.
@@ -8,6 +8,7 @@
 //
 //	elasticutor-top -scenario flashcrowd -backend runtime -speedup 20
 //	elasticutor-top -scenario skewdrift -backend sim -paradigm rc
+//	elasticutor-top -scenario flashcrowd -backend dist -speedup 40
 //	elasticutor-top -scenario flashcrowd -autoscaler reactive -trace run.trace
 //	elasticutor-top -scenario nodedrain -metrics :9090 -pprof
 //	elasticutor-top -connect 127.0.0.1:7070
@@ -39,6 +40,7 @@ import (
 
 	"repro/internal/autoscale"
 	"repro/internal/calib"
+	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/policy"
@@ -50,14 +52,19 @@ import (
 
 // view is the shared state the event consumer writes and the renderer reads.
 type view struct {
-	mu       sync.Mutex
-	inflight map[string]simtime.Time // operator → repartition start
-	spans    []engine.RepartitionSpan
-	actions  []string // autoscale (controller-origin) commands, newest last
-	recent   []string // recent non-chatty events, newest last
+	mu        sync.Mutex
+	inflight  map[string]simtime.Time // operator → repartition start
+	spans     []engine.RepartitionSpan
+	actions   []string // autoscale (controller-origin) commands, newest last
+	recent    []string // recent non-chatty events, newest last
+	anomalies []string // watchdog anomalies, newest last
 }
 
 const keepLines = 6 // recent-event and action lines retained per frame
+
+// agentStaleAfter is the heartbeat age past which the health pane flags an
+// agent as stale (matches the watchdog's default bound).
+const agentStaleAfter = 5 * time.Second
 
 func (v *view) event(ev engine.Event) {
 	v.mu.Lock()
@@ -76,6 +83,15 @@ func (v *view) event(ev engine.Event) {
 	v.recent = append(v.recent, fmt.Sprintf("%v", ev))
 	if len(v.recent) > keepLines {
 		v.recent = v.recent[len(v.recent)-keepLines:]
+	}
+}
+
+func (v *view) anomaly(s string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.anomalies = append(v.anomalies, s)
+	if len(v.anomalies) > keepLines {
+		v.anomalies = v.anomalies[len(v.anomalies)-keepLines:]
 	}
 }
 
@@ -114,8 +130,32 @@ func (v *view) frame(w *strings.Builder, s engine.Snapshot, total simtime.Durati
 			o.LatP50, o.LatP99, stage)
 	}
 
+	// Per-node agent health (distributed backend only): the self-reported
+	// heartbeat surface, with staleness flagged against the watchdog bound.
+	if len(s.Agents) > 0 {
+		fmt.Fprintf(w, "\n%-5s %8s %6s %9s %10s %6s %10s %10s %9s\n",
+			"NODE", "PID", "GOROS", "HEAP", "RESIDENT", "QUEUE", "BACKLOG", "OFFSET", "AGE")
+		for _, a := range s.Agents {
+			stale := ""
+			if time.Duration(a.Age) > agentStaleAfter {
+				stale = "  !! STALE"
+			}
+			fmt.Fprintf(w, "%-5d %8d %6d %9s %10s %6d %10v %10v %9v%s\n",
+				a.Node, a.PID, a.Goroutines, mb(a.HeapBytes), mb(a.ResidentBytes),
+				a.QueueDepth, time.Duration(a.BurnBacklog).Round(time.Microsecond),
+				time.Duration(a.ClockOffset).Round(time.Microsecond),
+				time.Duration(a.Age).Round(time.Millisecond), stale)
+		}
+	}
+
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	if len(v.anomalies) > 0 {
+		fmt.Fprintf(w, "\nwatchdog anomalies:\n")
+		for _, a := range v.anomalies {
+			fmt.Fprintf(w, "  %s\n", a)
+		}
+	}
 	if len(v.inflight) > 0 {
 		ops := make([]string, 0, len(v.inflight))
 		for op, at := range v.inflight {
@@ -148,14 +188,40 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
+// mb renders a byte count for the health pane.
+func mb(b int64) string { return fmt.Sprintf("%.1fMB", float64(b)/(1<<20)) }
+
+// dialRetry dials the live trace address with bounded backoff: a viewer is
+// often started moments before (or after) the publisher, so a refused
+// connection is usually transient. Gives up after the last attempt.
+func dialRetry(addr string) (net.Conn, error) {
+	const attempts = 5
+	backoff := 500 * time.Millisecond
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if i < attempts-1 {
+			fmt.Fprintf(os.Stderr, "connect %s: %v — retrying in %v (attempt %d/%d)\n",
+				addr, err, backoff, i+1, attempts)
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return nil, fmt.Errorf("connect %s: giving up after %d attempts: %w", addr, attempts, lastErr)
+}
+
 // connectMode renders a run another process is executing: dial its live trace
 // stream and drive the same view from decoded records. The remote recorder
 // controls the snapshot cadence, so frames redraw as snapshots arrive rather
 // than on a local ticker.
 func connectMode(addr string, plain bool) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := dialRetry(addr)
 	if err != nil {
-		fatal(fmt.Errorf("connect %s: %w", addr, err))
+		fatal(err)
 	}
 	defer conn.Close()
 	fmt.Fprintf(os.Stderr, "connected to %s; waiting for trace stream\n", addr)
@@ -192,14 +258,17 @@ func connectMode(addr string, plain bool) {
 			}
 		},
 		Snap: func(rec obs.SnapRecord) { render(rec.DecodeSnapshot()) },
-		End:  func(rec obs.EndRecord) { end = &rec },
+		Anomaly: func(rec obs.AnomalyRecord) {
+			v.anomaly(fmt.Sprintf("%.0fms %s: %s", rec.AtMS, rec.Kind, rec.Detail))
+		},
+		End: func(rec obs.EndRecord) { end = &rec },
 	})
 	if err != nil {
 		fatal(err)
 	}
 	if end == nil {
-		fmt.Println("\nstream closed before the run ended")
-		return
+		fmt.Fprintln(os.Stderr, "\nstream ended before the run completed (publisher exited or connection dropped) — partial view above")
+		os.Exit(1)
 	}
 	fmt.Printf("\nrun complete: %d events, %d repartitions (%d tuples replayed), %d lost events\n",
 		end.Events, end.Repartitions, end.RepartitionReplayed, end.LostEvents)
@@ -212,10 +281,11 @@ func connectMode(addr string, plain bool) {
 }
 
 func main() {
+	dist.MainIfAgent() // self-spawned -backend dist agents re-enter here
 	var (
 		scn      = flag.String("scenario", "flashcrowd", "scenario name, spec file (*.json), or 'list'")
 		paradigm = flag.String("paradigm", "elasticutor", "elasticity policy name")
-		backend  = flag.String("backend", "runtime", "execution backend: runtime (goroutines, wall clock) | sim")
+		backend  = flag.String("backend", "runtime", "execution backend: runtime (goroutines, wall clock) | dist (agent processes) | sim")
 		speedup  = flag.Float64("speedup", 20, "runtime backend clock compression factor")
 		seed     = flag.Uint64("seed", 42, "deterministic seed")
 		scaler   = flag.String("autoscaler", "", "cluster controller name ('' = off)")
@@ -265,6 +335,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case "dist":
+		// Agent processes over loopback TCP; the embedded control-plane
+		// engine carries the ledger and the RPC-span hook, so everything
+		// downstream (watchdog, recorder, exporter) wires exactly as on
+		// the runtime backend — plus the agents health pane fills.
+		d, hh, err := dist.BuildScenario(sp, *paradigm, *seed,
+			dist.ScenarioOptions{ScenarioOptions: rtbackend.ScenarioOptions{
+				Options: rtbackend.Options{Speedup: *speedup}}})
+		if err != nil {
+			fatal(err)
+		}
+		rtE, h = d.Engine, hh
 	case "sim":
 		inst, err := sp.Build(*paradigm, *seed)
 		if err != nil {
@@ -272,7 +354,7 @@ func main() {
 		}
 		h = inst.Handle
 	default:
-		fatal(fmt.Errorf("unknown backend %q (runtime | sim)", *backend))
+		fatal(fmt.Errorf("unknown backend %q (runtime | dist | sim)", *backend))
 	}
 	if *scaler != "" {
 		a, err := autoscale.ByName(*scaler)
@@ -304,12 +386,33 @@ func main() {
 			obs.HeaderForScenario(sp, *backend, *paradigm, *seed, hdrSpeedup, *scaler, *maxNodes),
 			obs.RecordOptions{SnapshotEvery: 2 * simtime.Second})
 	}
+	// The invariant watchdog rides every top session: anomalies show in the
+	// view, in the trace (when recording), and on /metrics (when serving).
+	wdOpt := obs.WatchdogOptions{OnAnomaly: func(a obs.Anomaly) {
+		v.anomaly(fmt.Sprintf("%v %s: %s", a.At, a.Kind, a.Detail))
+		if rec != nil {
+			rec.RecordAnomaly(a)
+		}
+	}}
+	if rtE != nil {
+		wdOpt.Ledger = rtE.Ledger
+	}
+	wd := obs.AttachWatchdog(h, wdOpt)
+	if rtE != nil {
+		rtE.ObserveRPC(func(sp rtbackend.RPCSpan) {
+			if rec != nil {
+				rec.RecordRPC(sp)
+			}
+			wd.ObserveRPC(sp)
+		})
+	}
 	if *metrics != "" {
 		x := obs.NewExporter(h)
 		if rtE != nil {
 			x.SetLedger(rtE.Ledger)
 			x.SetLatency(rtE.LatencyAnatomy)
 		}
+		x.SetWatchdog(wd)
 		if *calPath != "" {
 			traj, err := calib.LoadTrajectory(*calPath)
 			if err != nil {
@@ -380,6 +483,9 @@ loop:
 	if st := rep.Autoscale; st != nil {
 		fmt.Printf("autoscale: %s: %d scale-up(s), %d scale-down(s) over %d ticks\n",
 			st.Controller, st.ScaleUps, st.ScaleDowns, st.Ticks)
+	}
+	if counts := wd.Counts(); len(counts) > 0 {
+		fmt.Printf("watchdog anomalies: %v\n", counts)
 	}
 	if *trace != "" {
 		fmt.Printf("trace: %s\n", *trace)

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	gort "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -63,25 +65,40 @@ type agent struct {
 	batches  int64 // Process requests served
 	burnedNS int64 // wall time burned by Process requests
 
+	inflight    atomic.Int64 // requests accepted but not yet completed (QueueDepth)
+	burnBacklog atomic.Int64 // Process wall cost admitted but not yet burned, ns
+
 	node int32 // bound node id (display only)
 }
 
 // serve reads frames until shutdown or connection loss, dispatching each
-// request on its own goroutine (Process sleeps; the read loop must not).
+// request on its own goroutine (Process sleeps; the read loop must not). The
+// read timestamp a0 is the agent's half of the RPC span decomposition: it is
+// stamped here, before the goroutine dispatch, so the handler's start-time
+// delta measures real scheduling delay.
 func (a *agent) serve() error {
 	for {
 		f, err := readFrame(a.conn)
 		if err != nil {
 			return nil // control-plane gone: the agent's life is over
 		}
+		a0 := time.Now()
 		if f.typ == msgShutdown {
 			return nil
 		}
-		go a.handle(f)
+		a.inflight.Add(1)
+		go a.handle(f, a0)
 	}
 }
 
-func (a *agent) handle(f frame) {
+// handle services one request and, for correlated requests, writes the reply
+// prefixed with the protocol-v2 timing preamble: a0 (frame read), queue
+// (read → here) and service (the switch body). The final timestamp a2 is taken
+// *before* acquiring the write mutex, so contention on wmu, the socket write
+// and the control-side wakeup all land in the span's Reply stage.
+func (a *agent) handle(f frame, a0 time.Time) {
+	defer a.inflight.Add(-1)
+	a1 := time.Now()
 	var reply byte
 	var body []byte
 	var err error
@@ -123,9 +140,15 @@ func (a *agent) handle(f frame) {
 	if err != nil {
 		reply, body = msgErr, errBody(err.Error())
 	}
+	a2 := time.Now()
+	out := make([]byte, replyPreambleLen, replyPreambleLen+len(body))
+	binary.LittleEndian.PutUint64(out, uint64(a0.UnixNano()))
+	binary.LittleEndian.PutUint64(out[8:], uint64(a1.Sub(a0)))
+	binary.LittleEndian.PutUint64(out[16:], uint64(a2.Sub(a1)))
+	out = append(out, body...)
 	a.wmu.Lock()
 	defer a.wmu.Unlock()
-	_ = writeFrame(a.conn, reply, f.req, body)
+	_ = writeFrame(a.conn, reply, f.req, out)
 }
 
 // materialize ensures a shard payload exists, creating perShard nominal bytes
@@ -172,7 +195,9 @@ func (a *agent) process(body []byte) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	if wallNS > 0 {
+		a.burnBacklog.Add(int64(wallNS))
 		time.Sleep(time.Duration(wallNS))
+		a.burnBacklog.Add(-int64(wallNS))
 	}
 	return msgAck, nil, nil
 }
@@ -318,14 +343,27 @@ func (a *agent) drop(body []byte) {
 }
 
 // stats is the ping reply: the agent's striped-fold equivalent, reported on
-// the control-plane's 1 s tick.
+// the control-plane's 1 s tick. Since protocol v2 it doubles as the health
+// heartbeat: goroutine count, heap in use, the in-flight request depth and the
+// admitted-but-unburned Process backlog ride along.
 func (a *agent) stats() (byte, []byte) {
 	a.mu.Lock()
 	resident, batches, burned := a.resident, a.batches, a.burnedNS
 	a.mu.Unlock()
-	body := make([]byte, 0, 24)
+	var ms gort.MemStats
+	gort.ReadMemStats(&ms)
+	body := make([]byte, 0, 56)
 	body = appendU64(body, uint64(resident))
 	body = appendU64(body, uint64(batches))
 	body = appendU64(body, uint64(burned))
+	body = appendU64(body, uint64(gort.NumGoroutine()))
+	body = appendU64(body, ms.HeapAlloc)
+	// The ping being served is itself in flight; report the depth without it.
+	depth := a.inflight.Load() - 1
+	if depth < 0 {
+		depth = 0
+	}
+	body = appendU64(body, uint64(depth))
+	body = appendU64(body, uint64(a.burnBacklog.Load()))
 	return msgStats, body
 }

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/runtime"
 )
 
@@ -67,9 +69,36 @@ type Cluster struct {
 	rttMu sync.Mutex
 	rtts  []time.Duration // recent control round trips (ping)
 
+	// rpc aggregates per-(node, message-type) span windows; onRPC is the
+	// optional per-span observer (runtime.RemoteSpanSource).
+	rpcMu sync.Mutex
+	rpc   map[rpcKey]*rpcAgg
+	onRPC atomic.Value // func(runtime.RPCSpan)
+
 	stopPing chan struct{}
 	wg       sync.WaitGroup
 }
+
+// rpcKey identifies one RPC aggregation population.
+type rpcKey struct {
+	node int
+	typ  byte
+}
+
+// rpcAgg is one population's cumulative count plus a ring of the most recent
+// span samples the windowed percentiles are computed over.
+type rpcAgg struct {
+	count uint64
+	ring  []rpcSample // capacity rpcRingSize
+	next  int         // ring write cursor once full
+}
+
+type rpcSample struct {
+	rtt, wire, agent time.Duration
+}
+
+// rpcRingSize bounds each population's sample window.
+const rpcRingSize = 256
 
 // aconn is one agent connection: framed requests with reqID correlation, a
 // single writer mutex, and a read loop that fans replies out to waiters.
@@ -77,6 +106,7 @@ type aconn struct {
 	c    net.Conn
 	pid  int
 	node atomic.Int32 // bound node id, -1 while pooled
+	cl   *Cluster     // owning cluster (span recording)
 
 	proc *os.Process // non-nil if this agent was spawned by us
 
@@ -90,6 +120,15 @@ type aconn struct {
 	expected atomic.Bool // deliberate removal in progress: suppress onFail
 
 	stats atomic.Value // agentStats from the last ping
+
+	// offset is the NTP-style agent-minus-control clock-offset estimate in
+	// nanoseconds, refreshed by every ping reply: with control timestamps t1
+	// (request written) and t3 (reply read) and agent timestamps a0 (request
+	// read) and a2 (reply written), θ = ((a0−t1)+(a2−t3))/2. It splits each
+	// span's off-control time into wire and agent stages; a θ error moves
+	// time between those stages but never breaks the RTT tiling.
+	offset   atomic.Int64
+	lastPing atomic.Int64 // UnixNano of the last successful ping reply
 }
 
 // AgentStats is one agent's counters from its latest 1 s stats tick.
@@ -99,6 +138,11 @@ type AgentStats struct {
 	ResidentBytes int64
 	Batches       int64
 	BurnedNS      int64
+	// Health surface (protocol v2): self-reported in the same tick.
+	Goroutines    int
+	HeapBytes     int64
+	QueueDepth    int
+	BurnBacklogNS int64
 }
 
 // NewCluster starts the control-plane listener and its accept loop. Agents
@@ -115,6 +159,7 @@ func NewCluster(opt Options) (*Cluster, error) {
 		ln:       ln,
 		bound:    make(map[int]*aconn),
 		arrivals: make(chan *aconn, 64),
+		rpc:      make(map[rpcKey]*rpcAgg),
 		stopPing: make(chan struct{}),
 	}
 	c.wg.Add(2)
@@ -143,7 +188,7 @@ func (c *Cluster) acceptLoop() {
 				conn.Close()
 				return
 			}
-			a := &aconn{c: conn, pid: pid, pending: make(map[uint64]chan frame)}
+			a := &aconn{c: conn, pid: pid, cl: c, pending: make(map[uint64]chan frame)}
 			a.node.Store(-1)
 			go c.readLoop(a)
 			select {
@@ -190,7 +235,14 @@ func (c *Cluster) readLoop(a *aconn) {
 }
 
 // request sends one frame and blocks for its reply (or connection death).
+// Every completed round trip is timed into a runtime.RPCSpan: t0 here, t1
+// after the socket write, t3 on wakeup, joined with the agent's v2 timing
+// preamble. Timestamps are wall-clock UnixNano on both ends — the one
+// representation the clock-offset estimate can map between — and all five
+// stages plus RTT derive from the same values, so the tiling is exact by
+// construction.
 func (a *aconn) request(typ byte, body []byte) (frame, error) {
+	t0 := time.Now().UnixNano()
 	ch := make(chan frame, 1)
 	a.pmu.Lock()
 	if a.dead {
@@ -204,6 +256,7 @@ func (a *aconn) request(typ byte, body []byte) (frame, error) {
 
 	a.wmu.Lock()
 	err := writeFrame(a.c, typ, req, body)
+	t1 := time.Now().UnixNano()
 	a.wmu.Unlock()
 	if err != nil {
 		a.pmu.Lock()
@@ -213,8 +266,19 @@ func (a *aconn) request(typ byte, body []byte) (frame, error) {
 		return frame{}, fmt.Errorf("dist: write to agent for node %d: %w", a.node.Load(), err)
 	}
 	f, ok := <-ch
+	t3 := time.Now().UnixNano()
 	if !ok {
 		return frame{}, fmt.Errorf("dist: agent for node %d died mid-request", a.node.Load())
+	}
+	if len(f.body) < replyPreambleLen {
+		return frame{}, fmt.Errorf("dist: reply from agent for node %d missing timing preamble", a.node.Load())
+	}
+	a0 := int64(binary.LittleEndian.Uint64(f.body))
+	queueNS := int64(binary.LittleEndian.Uint64(f.body[8:]))
+	serviceNS := int64(binary.LittleEndian.Uint64(f.body[16:]))
+	f.body = f.body[replyPreambleLen:]
+	if a.cl != nil {
+		a.cl.recordSpan(a, typ, t0, t1, t3, a0, queueNS, serviceNS, f.typ == msgErr)
 	}
 	if f.typ == msgErr {
 		return frame{}, decodeErr(f.body)
@@ -261,6 +325,9 @@ func (c *Cluster) NodeAdded(node, cores int) error {
 		a.close()
 		return fmt.Errorf("dist: bind node %d: %w", node, err)
 	}
+	// Seed the heartbeat clock so Age measures from bind, not from 1970,
+	// while the first stats tick is still pending.
+	a.lastPing.CompareAndSwap(0, time.Now().UnixNano())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -563,8 +630,138 @@ func (c *Cluster) ping(a *aconn) (time.Duration, AgentStats, error) {
 		ResidentBytes: int64(r.u64()),
 		Batches:       int64(r.u64()),
 		BurnedNS:      int64(r.u64()),
+		Goroutines:    int(r.u64()),
+		HeapBytes:     int64(r.u64()),
+		QueueDepth:    int(r.u64()),
+		BurnBacklogNS: int64(r.u64()),
 	}
 	return rtt, st, r.err
+}
+
+// ---- RPC span telemetry ----
+
+// recordSpan joins one request's control timestamps with the agent's reply
+// preamble into a runtime.RPCSpan, refreshes the connection's clock-offset
+// estimate on ping replies, and feeds the per-(node, type) window aggregate
+// and the OnRPC observer. All timestamps are wall UnixNano; see request.
+func (c *Cluster) recordSpan(a *aconn, typ byte, t0, t1, t3, a0, queueNS, serviceNS int64, errReply bool) {
+	a2 := a0 + queueNS + serviceNS // agent-clock reply-write timestamp
+	if typ == msgPing && !errReply {
+		// NTP-style offset from the symmetric-delay assumption: refresh
+		// *before* building this span so the ping benefits from its own
+		// estimate.
+		a.offset.Store(((a0 - t1) + (a2 - t3)) / 2)
+		a.lastPing.Store(time.Now().UnixNano())
+	}
+	off := a.offset.Load()
+	sp := runtime.RPCSpan{
+		Node:         int(a.node.Load()),
+		Type:         msgName(typ),
+		SendEnqueue:  time.Duration(t1 - t0),
+		Wire:         time.Duration((a0 - off) - t1),
+		AgentQueue:   time.Duration(queueNS),
+		AgentService: time.Duration(serviceNS),
+		Reply:        time.Duration(t3 - (a2 - off)),
+		RTT:          time.Duration(t3 - t0),
+		Offset:       time.Duration(off),
+		Err:          errReply,
+	}
+
+	c.rpcMu.Lock()
+	k := rpcKey{node: sp.Node, typ: typ}
+	agg := c.rpc[k]
+	if agg == nil {
+		agg = &rpcAgg{}
+		c.rpc[k] = agg
+	}
+	agg.count++
+	s := rpcSample{rtt: sp.RTT, wire: sp.Wire + sp.Reply, agent: sp.AgentQueue + sp.AgentService}
+	if len(agg.ring) < rpcRingSize {
+		agg.ring = append(agg.ring, s)
+	} else {
+		agg.ring[agg.next] = s
+		agg.next = (agg.next + 1) % rpcRingSize
+	}
+	c.rpcMu.Unlock()
+
+	if fn, ok := c.onRPC.Load().(func(runtime.RPCSpan)); ok && fn != nil {
+		fn(sp)
+	}
+}
+
+// OnRPC installs the per-span observer (runtime.RemoteSpanSource). fn runs
+// synchronously on request goroutines after each completed round trip.
+func (c *Cluster) OnRPC(fn func(runtime.RPCSpan)) { c.onRPC.Store(fn) }
+
+// RPCWindows aggregates the span windows into engine.RPCWindow rows, ordered
+// by node then message type (runtime.RemoteTelemetry).
+func (c *Cluster) RPCWindows() []engine.RPCWindow {
+	c.rpcMu.Lock()
+	out := make([]engine.RPCWindow, 0, len(c.rpc))
+	for k, agg := range c.rpc {
+		w := engine.RPCWindow{Node: k.node, Type: msgName(k.typ), Count: agg.count}
+		n := len(agg.ring)
+		if n > 0 {
+			rtts := make([]time.Duration, n)
+			var wire, agent time.Duration
+			for i, s := range agg.ring {
+				rtts[i] = s.rtt
+				wire += s.wire
+				agent += s.agent
+			}
+			sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+			w.P50 = rtts[(n-1)*50/100]
+			w.P95 = rtts[(n-1)*95/100]
+			w.P99 = rtts[(n-1)*99/100]
+			w.Max = rtts[n-1]
+			w.Wire = wire / time.Duration(n)
+			w.Agent = agent / time.Duration(n)
+		}
+		out = append(out, w)
+	}
+	c.rpcMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// AgentHealth reports each bound agent's latest self-reported health plus the
+// control-plane's view of its connection, ordered by node
+// (runtime.RemoteTelemetry).
+func (c *Cluster) AgentHealth() []engine.AgentHealth {
+	c.mu.Lock()
+	conns := make([]*aconn, 0, len(c.bound))
+	for _, a := range c.bound {
+		conns = append(conns, a)
+	}
+	c.mu.Unlock()
+	now := time.Now().UnixNano()
+	out := make([]engine.AgentHealth, 0, len(conns))
+	for _, a := range conns {
+		h := engine.AgentHealth{
+			Node:        int(a.node.Load()),
+			PID:         a.pid,
+			ClockOffset: time.Duration(a.offset.Load()),
+		}
+		if st, ok := a.stats.Load().(AgentStats); ok {
+			h.Goroutines = st.Goroutines
+			h.HeapBytes = st.HeapBytes
+			h.ResidentBytes = st.ResidentBytes
+			h.QueueDepth = st.QueueDepth
+			h.BurnBacklog = time.Duration(st.BurnBacklogNS)
+			h.Batches = st.Batches
+		}
+		if lp := a.lastPing.Load(); lp > 0 {
+			h.Age = time.Duration(now - lp)
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
 }
 
 // ControlRTT returns the median observed control round trip (0 until the

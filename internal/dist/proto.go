@@ -6,7 +6,7 @@
 // home node, and every migration serializes and ships real bytes over a TCP
 // socket.
 //
-// Wire protocol (version 1, stdlib-only):
+// Wire protocol (version 2, stdlib-only):
 //
 //	handshake   agent → control:  "ELCD" | u16 version | u32 pid
 //	            control → agent:  "ELCD" | u16 version
@@ -17,6 +17,13 @@
 // shutdown). Version negotiation is exact-match: a mismatched agent is
 // rejected at handshake, so frames never need per-field versioning — bumping
 // protoVersion is the versioning rule.
+//
+// Version 2 prefixes every reply frame's body with a fixed 24-byte timing
+// preamble — u64 a0 (agent UnixNano at frame read), u64 queueNS (read →
+// handler running), u64 serviceNS (handler work) — the agent half of the RPC
+// span decomposition (runtime.RPCSpan). The control side strips it before
+// decoding the payload; ping replies additionally feed the per-connection
+// clock-offset estimate.
 package dist
 
 import (
@@ -27,7 +34,11 @@ import (
 
 const (
 	protoMagic   = "ELCD"
-	protoVersion = 1
+	protoVersion = 2
+
+	// replyPreambleLen is the fixed timing preamble every reply body starts
+	// with: a0 UnixNano | queueNS | serviceNS.
+	replyPreambleLen = 24
 
 	// maxFrame bounds a frame's payload: a defensive limit well above any
 	// real shard-set transfer (corrupt length prefixes fail fast instead of
@@ -53,7 +64,7 @@ const (
 	msgErr      = byte(12) // agent→control: u16 len, string
 	msgShard    = byte(13) // agent→control: u64 serializeNS, u32 len, bytes
 	msgShardSet = byte(14) // agent→control: u64 serializeNS, u32 count, count×(u32 shard, u32 len, bytes)
-	msgStats    = byte(15) // agent→control: u64 residentBytes, u64 batches, u64 burnedNS
+	msgStats    = byte(15) // agent→control: u64 residentBytes, u64 batches, u64 burnedNS, u64 goroutines, u64 heapBytes, u64 queueDepth, u64 burnBacklogNS
 )
 
 // frame is one decoded message.
@@ -188,6 +199,29 @@ func (r *reader) fail() {
 	if r.err == nil {
 		r.err = fmt.Errorf("dist: truncated frame body")
 	}
+}
+
+// msgNames maps control→agent message types to the span label the RPC
+// telemetry uses. Reply types never label spans.
+var msgNames = [...]string{
+	msgBind:     "bind",
+	msgProcess:  "process",
+	msgTouch:    "touch",
+	msgTake:     "take",
+	msgPut:      "put",
+	msgTakeAll:  "take-all",
+	msgPutAll:   "put-all",
+	msgDrop:     "drop",
+	msgPing:     "ping",
+	msgShutdown: "shutdown",
+}
+
+// msgName returns the span label for a message type.
+func msgName(typ byte) string {
+	if int(typ) < len(msgNames) && msgNames[typ] != "" {
+		return msgNames[typ]
+	}
+	return fmt.Sprintf("msg-%d", typ)
 }
 
 // errBody encodes a msgErr payload.

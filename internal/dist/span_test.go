@@ -1,0 +1,177 @@
+package dist_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/runtime"
+)
+
+// TestRPCSpanTiling is the nanosecond contract of the RPC span decomposition
+// against a real spawned agent process: for every completed round trip —
+// bind, process, migration take/put, ping — the five stages must sum to the
+// measured RTT exactly, with no tolerance. The θ-cancelling construction
+// makes this hold regardless of clock-offset estimation error; a failure
+// means torn timestamps, not a bad estimate.
+func TestRPCSpanTiling(t *testing.T) {
+	c, err := dist.NewCluster(dist.Options{StatsInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Close()
+
+	var mu sync.Mutex
+	var spans []runtime.RPCSpan
+	c.OnRPC(func(sp runtime.RPCSpan) {
+		mu.Lock()
+		spans = append(spans, sp)
+		mu.Unlock()
+	})
+
+	if err := c.StartNodes(1, 2); err != nil {
+		t.Fatalf("start nodes: %v", err)
+	}
+	rx := runtime.RemoteExec{ID: 1, PerShardBytes: 512}
+	for i := 0; i < 20; i++ {
+		if err := c.Process(0, rx, 200*time.Microsecond, []uint32{0, 1, 2}); err != nil {
+			t.Fatalf("process %d: %v", i, err)
+		}
+	}
+	// A same-node shard move still pays both serialize legs: take and put
+	// spans with real payload bytes on the wire.
+	if _, _, err := c.MoveShard(0, 0, rx, rx, 1); err != nil {
+		t.Fatalf("move shard: %v", err)
+	}
+	// Let a few ping ticks land so the offset estimate refreshes and the
+	// health surface fills.
+	time.Sleep(150 * time.Millisecond)
+
+	mu.Lock()
+	got := append([]runtime.RPCSpan(nil), spans...)
+	mu.Unlock()
+	if len(got) < 23 { // 1 bind + 20 process + take + put (+ pings)
+		t.Fatalf("recorded %d spans, want at least 23", len(got))
+	}
+	types := make(map[string]int)
+	for i, sp := range got {
+		if sp.Stages() != sp.RTT {
+			t.Errorf("span %d (%s): stages %v + %v + %v + %v + %v = %v, RTT %v — tiling broken",
+				i, sp.Type, sp.SendEnqueue, sp.Wire, sp.AgentQueue, sp.AgentService, sp.Reply,
+				sp.Stages(), sp.RTT)
+		}
+		if sp.RTT <= 0 {
+			t.Errorf("span %d (%s): non-positive RTT %v", i, sp.Type, sp.RTT)
+		}
+		if sp.AgentQueue < 0 || sp.AgentService < 0 {
+			t.Errorf("span %d (%s): negative agent stage: queue=%v service=%v",
+				i, sp.Type, sp.AgentQueue, sp.AgentService)
+		}
+		if sp.Node != 0 {
+			t.Errorf("span %d: node = %d, want 0", i, sp.Node)
+		}
+		types[sp.Type]++
+	}
+	for _, want := range []string{"bind", "process", "take", "put", "ping"} {
+		if types[want] == 0 {
+			t.Errorf("no %q spans recorded (types: %v)", want, types)
+		}
+	}
+	if types["process"] != 20 {
+		t.Errorf("process spans = %d, want 20", types["process"])
+	}
+}
+
+// TestRPCWindowsAndHealth checks the aggregated telemetry surfaces: windowed
+// per-(node, type) RPC percentiles and the agents' self-reported health from
+// the ping tick.
+func TestRPCWindowsAndHealth(t *testing.T) {
+	c, err := dist.NewCluster(dist.Options{StatsInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Close()
+	if err := c.StartNodes(2, 2); err != nil {
+		t.Fatalf("start nodes: %v", err)
+	}
+	rx := runtime.RemoteExec{ID: 9, PerShardBytes: 1024}
+	for node := 0; node < 2; node++ {
+		for i := 0; i < 10; i++ {
+			if err := c.Process(node, rx, 100*time.Microsecond, []uint32{uint32(i)}); err != nil {
+				t.Fatalf("process: %v", err)
+			}
+		}
+	}
+	time.Sleep(150 * time.Millisecond) // at least one stats tick
+
+	wins := c.RPCWindows()
+	byKey := make(map[[2]interface{}]bool)
+	var sawProcess0, sawProcess1 bool
+	for i, w := range wins {
+		if i > 0 {
+			prev := wins[i-1]
+			if w.Node < prev.Node || (w.Node == prev.Node && w.Type < prev.Type) {
+				t.Errorf("windows not ordered: %v after %v", w, prev)
+			}
+		}
+		k := [2]interface{}{w.Node, w.Type}
+		if byKey[k] {
+			t.Errorf("duplicate window for node %d type %s", w.Node, w.Type)
+		}
+		byKey[k] = true
+		if w.Count == 0 {
+			t.Errorf("window %d/%s has zero count", w.Node, w.Type)
+		}
+		if w.Type == "process" {
+			if w.Node == 0 {
+				sawProcess0 = true
+			}
+			if w.Node == 1 {
+				sawProcess1 = true
+			}
+			if w.Count != 10 {
+				t.Errorf("process count on node %d = %d, want 10", w.Node, w.Count)
+			}
+			if w.P50 <= 0 || w.P99 < w.P50 || w.Max < w.P99 {
+				t.Errorf("process window percentiles not monotone: p50=%v p95=%v p99=%v max=%v",
+					w.P50, w.P95, w.P99, w.Max)
+			}
+		}
+	}
+	if !sawProcess0 || !sawProcess1 {
+		t.Fatalf("missing per-node process windows (node0=%v node1=%v): %+v",
+			sawProcess0, sawProcess1, wins)
+	}
+
+	health := c.AgentHealth()
+	if len(health) != 2 {
+		t.Fatalf("agent health rows = %d, want 2", len(health))
+	}
+	for i, h := range health {
+		if h.Node != i {
+			t.Errorf("health row %d: node = %d (want ordered by node)", i, h.Node)
+		}
+		if h.PID <= 0 {
+			t.Errorf("node %d: no pid", h.Node)
+		}
+		if h.Goroutines <= 0 {
+			t.Errorf("node %d: goroutines = %d, want > 0", h.Node, h.Goroutines)
+		}
+		if h.HeapBytes <= 0 {
+			t.Errorf("node %d: heap = %d, want > 0", h.Node, h.HeapBytes)
+		}
+		if h.ResidentBytes != 10*1024 {
+			t.Errorf("node %d: resident = %d, want %d", h.Node, h.ResidentBytes, 10*1024)
+		}
+		if h.Age <= 0 || h.Age > 5*time.Second {
+			t.Errorf("node %d: heartbeat age %v out of range", h.Node, h.Age)
+		}
+		if h.QueueDepth != 0 {
+			t.Errorf("node %d: queue depth %d with no requests in flight", h.Node, h.QueueDepth)
+		}
+		if h.BurnBacklog != 0 {
+			t.Errorf("node %d: burn backlog %v with nothing burning", h.Node, h.BurnBacklog)
+		}
+	}
+}

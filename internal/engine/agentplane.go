@@ -1,0 +1,55 @@
+package engine
+
+import "repro/internal/simtime"
+
+// This file is the distributed-plane telemetry vocabulary: the aggregated
+// control↔agent RPC timing windows and the per-node agent health surface the
+// distributed backend folds into Snapshot. Both are additive observation-only
+// fields — the simulator and the in-process runtime backend leave them empty,
+// and nothing in the engine reads them back.
+//
+// Unlike every other Snapshot field these carry *wall-clock* durations: RPC
+// round trips and agent heartbeats are infrastructure costs measured on the
+// real sockets, not virtual workload time, and scaling them by the run's
+// Speedup would only obscure what the wire actually cost.
+
+// RPCWindow aggregates the recent control↔agent requests of one
+// (node, message-type) population: RTT percentiles over a sliding window of
+// the last samples, plus the window's mean wire and agent time from the
+// per-request span decomposition (see runtime.RPCSpan). Count is cumulative
+// since the run started — the exporter's counter — while the percentiles and
+// means describe only the window.
+type RPCWindow struct {
+	Node  int
+	Type  string // wire message name: "process", "take", "put-all", "ping", …
+	Count uint64 // cumulative requests since start (errors included)
+
+	// RTT percentiles over the sample window (wall clock).
+	P50 simtime.Duration
+	P95 simtime.Duration
+	P99 simtime.Duration
+	Max simtime.Duration
+	// Wire and Agent are the window's mean per-request time on the wire
+	// (both directions) and inside the agent (queue + service).
+	Wire  simtime.Duration
+	Agent simtime.Duration
+}
+
+// AgentHealth is one agent process's self-reported health from its latest
+// ping reply, plus the control-plane's view of the connection (clock offset,
+// report age). A growing Age means the stats tick is failing — the heartbeat
+// staleness the watchdog alarms on.
+type AgentHealth struct {
+	Node int
+	PID  int
+	// Self-reported by the agent in the ping reply.
+	Goroutines    int
+	HeapBytes     int64
+	ResidentBytes int64 // shard payload bytes held
+	QueueDepth    int   // requests accepted but not yet completed
+	BurnBacklog   simtime.Duration // Process wall cost admitted but not yet burned
+	Batches       int64
+	// Control-plane side of the connection.
+	ClockOffset simtime.Duration // estimated agent-minus-control clock offset
+	Age         simtime.Duration // wall time since the last successful ping reply
+}

@@ -263,6 +263,13 @@ type Snapshot struct {
 	LatencyWeight uint64
 	DominantStage metrics.Stage
 	DominantShare float64
+
+	// Distributed-plane telemetry (agentplane.go): populated only when the
+	// run executes on the distributed backend, ordered by node (RPC
+	// additionally by message type). Wall-clock durations — see the file
+	// comment in agentplane.go.
+	RPC    []RPCWindow
+	Agents []AgentHealth
 }
 
 // OperatorSnapshot is the live view of one operator. Rates are measured over

@@ -30,6 +30,7 @@ type Exporter struct {
 	ledger  func() rtbackend.Ledger
 	latency func() (*metrics.Histogram, *metrics.StageSet)
 	traj    *calib.Trajectory
+	wd      *Watchdog
 }
 
 // NewExporter wraps a run handle.
@@ -53,6 +54,16 @@ func (x *Exporter) SetLatency(fn func() (*metrics.Histogram, *metrics.StageSet))
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	x.latency = fn
+	return x
+}
+
+// SetWatchdog folds a watchdog's anomaly counters into the scrape: every
+// kind is emitted (zero until it fires), so alert rules can reference the
+// series before anything goes wrong.
+func (x *Exporter) SetWatchdog(w *Watchdog) *Exporter {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.wd = w
 	return x
 }
 
@@ -164,9 +175,68 @@ func (x *Exporter) WriteMetrics(w io.Writer) {
 	fam("elasticutor_run_lost_events_total", "Events dropped from the lossy Events channel (the timeline keeps them).", "counter")
 	p("elasticutor_run_lost_events_total %d\n", x.h.LostEvents())
 
+	// Distributed-plane telemetry: present only when the run executes on the
+	// distributed backend (the snapshot carries RPC windows and agent health).
+	// These are wall-clock measurements of the control↔agent infrastructure.
+	if len(s.RPC) > 0 {
+		fam("elasticutor_rpc_requests_total", "Control-to-agent requests completed, per node and message type (error replies included).", "counter")
+		for _, w := range s.RPC {
+			p("elasticutor_rpc_requests_total{node=\"%d\",type=%q} %d\n", w.Node, escapeLabel(w.Type), w.Count)
+		}
+		fam("elasticutor_rpc_rtt_p50_seconds", "RPC round-trip p50 over the recent sample window (wall clock).", "gauge")
+		for _, w := range s.RPC {
+			p("elasticutor_rpc_rtt_p50_seconds{node=\"%d\",type=%q} %g\n", w.Node, escapeLabel(w.Type), w.P50.Seconds())
+		}
+		fam("elasticutor_rpc_rtt_p99_seconds", "RPC round-trip p99 over the recent sample window (wall clock).", "gauge")
+		for _, w := range s.RPC {
+			p("elasticutor_rpc_rtt_p99_seconds{node=\"%d\",type=%q} %g\n", w.Node, escapeLabel(w.Type), w.P99.Seconds())
+		}
+		fam("elasticutor_rpc_wire_seconds", "Mean per-request time on the wire and control plane over the window (RTT minus agent time).", "gauge")
+		for _, w := range s.RPC {
+			p("elasticutor_rpc_wire_seconds{node=\"%d\",type=%q} %g\n", w.Node, escapeLabel(w.Type), w.Wire.Seconds())
+		}
+		fam("elasticutor_rpc_agent_seconds", "Mean per-request time inside the agent (queue + service) over the window.", "gauge")
+		for _, w := range s.RPC {
+			p("elasticutor_rpc_agent_seconds{node=\"%d\",type=%q} %g\n", w.Node, escapeLabel(w.Type), w.Agent.Seconds())
+		}
+	}
+	if len(s.Agents) > 0 {
+		fam("elasticutor_agent_goroutines", "Goroutines in the agent process (self-reported on the stats tick).", "gauge")
+		for _, a := range s.Agents {
+			p("elasticutor_agent_goroutines{node=\"%d\"} %d\n", a.Node, a.Goroutines)
+		}
+		fam("elasticutor_agent_heap_bytes", "Agent heap in use (self-reported).", "gauge")
+		for _, a := range s.Agents {
+			p("elasticutor_agent_heap_bytes{node=\"%d\"} %d\n", a.Node, a.HeapBytes)
+		}
+		fam("elasticutor_agent_resident_bytes", "Shard payload bytes resident in the agent.", "gauge")
+		for _, a := range s.Agents {
+			p("elasticutor_agent_resident_bytes{node=\"%d\"} %d\n", a.Node, a.ResidentBytes)
+		}
+		fam("elasticutor_agent_queue_depth", "Requests accepted by the agent but not yet completed.", "gauge")
+		for _, a := range s.Agents {
+			p("elasticutor_agent_queue_depth{node=\"%d\"} %d\n", a.Node, a.QueueDepth)
+		}
+		fam("elasticutor_agent_burn_backlog_seconds", "Process wall cost admitted by the agent but not yet burned.", "gauge")
+		for _, a := range s.Agents {
+			p("elasticutor_agent_burn_backlog_seconds{node=\"%d\"} %g\n", a.Node, a.BurnBacklog.Seconds())
+		}
+		fam("elasticutor_agent_staleness_seconds", "Wall time since the agent's last successful ping reply.", "gauge")
+		for _, a := range s.Agents {
+			p("elasticutor_agent_staleness_seconds{node=\"%d\"} %g\n", a.Node, a.Age.Seconds())
+		}
+	}
+
 	x.mu.Lock()
-	ledger, latency, traj := x.ledger, x.latency, x.traj
+	ledger, latency, traj, wd := x.ledger, x.latency, x.traj, x.wd
 	x.mu.Unlock()
+	if wd != nil {
+		counts := wd.Counts()
+		fam("elasticutor_watchdog_anomalies_total", "Invariant-watchdog anomalies detected, per kind.", "counter")
+		for _, kind := range anomalyKinds {
+			p("elasticutor_watchdog_anomalies_total{kind=%q} %d\n", kind, counts[kind])
+		}
+	}
 	if ledger != nil {
 		led := ledger()
 		fam("elasticutor_ledger_admitted_tuples_total", "Runtime conservation ledger: tuple weight admitted.", "counter")

@@ -143,26 +143,36 @@ type StreamHandler struct {
 	Event   func(EventRecord)
 	Command func(CmdRecord)
 	Snap    func(SnapRecord)
+	RPC     func(RPCRecord)
+	Anomaly func(AnomalyRecord)
 	End     func(EndRecord)
 }
 
 // Stream decodes an NDJSON trace stream incrementally, invoking the handler
 // per record as each line arrives — the consuming half of LiveServer (works
 // identically on a trace file). Returns nil on clean end-of-stream (the
-// server closing the connection is the normal way a live view ends).
+// server closing the connection is the normal way a live view ends). A
+// truncated *final* line — the ordinary tail of a stream cut mid-write when
+// the run or connection dies — is treated as end-of-stream, not an error;
+// only a malformed line with more stream after it fails.
 func Stream(r io.Reader, h StreamHandler) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	n := 0
+	var pendingErr error
 	for sc.Scan() {
 		n++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
+		if pendingErr != nil {
+			return pendingErr
+		}
 		var l line
 		if err := json.Unmarshal(raw, &l); err != nil {
-			return fmt.Errorf("obs: stream line %d: %w", n, err)
+			pendingErr = fmt.Errorf("obs: stream line %d: %w", n, err)
+			continue
 		}
 		switch l.T {
 		case "hdr":
@@ -183,6 +193,14 @@ func Stream(r io.Reader, h StreamHandler) error {
 		case "snap":
 			if l.Snap != nil && h.Snap != nil {
 				h.Snap(*l.Snap)
+			}
+		case "rpc":
+			if l.Rpc != nil && h.RPC != nil {
+				h.RPC(*l.Rpc)
+			}
+		case "anom":
+			if l.Anom != nil && h.Anomaly != nil {
+				h.Anomaly(*l.Anom)
 			}
 		case "end":
 			if l.End != nil && h.End != nil {
@@ -251,6 +269,33 @@ func (rec *SnapRecord) DecodeSnapshot() engine.Snapshot {
 			os.DominantShare = o.DominantShare
 		}
 		s.Operators = append(s.Operators, os)
+	}
+	for _, w := range rec.RPC {
+		s.RPC = append(s.RPC, engine.RPCWindow{
+			Node:  w.Node,
+			Type:  w.Type,
+			Count: w.Count,
+			P50:   simtime.Duration(w.P50NS),
+			P95:   simtime.Duration(w.P95NS),
+			P99:   simtime.Duration(w.P99NS),
+			Max:   simtime.Duration(w.MaxNS),
+			Wire:  simtime.Duration(w.WireNS),
+			Agent: simtime.Duration(w.AgentNS),
+		})
+	}
+	for _, a := range rec.Agents {
+		s.Agents = append(s.Agents, engine.AgentHealth{
+			Node:          a.Node,
+			PID:           a.PID,
+			Goroutines:    a.Goroutines,
+			HeapBytes:     a.HeapBytes,
+			ResidentBytes: a.ResidentBytes,
+			QueueDepth:    a.QueueDepth,
+			BurnBacklog:   simtime.Duration(a.BurnBacklogNS),
+			Batches:       a.Batches,
+			ClockOffset:   simtime.Duration(a.OffsetNS),
+			Age:           simtime.Duration(a.AgeNS),
+		})
 	}
 	return s
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/run"
+	"repro/internal/runtime"
 	"repro/internal/simtime"
 )
 
@@ -39,6 +40,8 @@ type Recorder struct {
 
 	flush bool
 	done  bool
+
+	rpcSeen map[string]uint64 // per-type span counter for hot-path sampling
 }
 
 // Attach creates a recorder on w and wires it onto an unstarted run handle.
@@ -56,6 +59,38 @@ func Attach(h *run.Run, w io.Writer, hdr Header, opt RecordOptions) *Recorder {
 		})
 	}
 	return r
+}
+
+// rpcSampleEvery thins the two hot-path span populations: every batch is a
+// "process" round trip and every stats tick a "ping", so recording each would
+// dwarf the rest of the trace. Rarer types (migrations, binds) record fully.
+const rpcSampleEvery = 128
+
+// RecordRPC appends one RPC span record, sampling the hot-path types: wire
+// this as (or into) the engine's ObserveRPC observer on the distributed
+// backend. Infrequent span types record every occurrence; "process" and
+// "ping" record 1-in-128 per type.
+func (r *Recorder) RecordRPC(sp runtime.RPCSpan) {
+	if sp.Type == "process" || sp.Type == "ping" {
+		r.mu.Lock()
+		if r.rpcSeen == nil {
+			r.rpcSeen = make(map[string]uint64)
+		}
+		n := r.rpcSeen[sp.Type]
+		r.rpcSeen[sp.Type] = n + 1
+		r.mu.Unlock()
+		if n%rpcSampleEvery != 0 {
+			return
+		}
+	}
+	r.writeLine(line{T: "rpc", Rpc: encodeRPC(sp)})
+}
+
+// RecordAnomaly appends one watchdog anomaly record: wire this as (or into)
+// the watchdog's OnAnomaly observer. Anomalies are rare by construction and
+// never sampled.
+func (r *Recorder) RecordAnomaly(a Anomaly) {
+	r.writeLine(line{T: "anom", Anom: encodeAnomaly(a)})
 }
 
 // writeLine appends one NDJSON record.

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testHdrLine is a minimal valid header record for hand-built streams.
+var testHdrLine = fmt.Sprintf(
+	`{"t":"hdr","hdr":{"schema":%q,"backend":"runtime","policy":"elasticutor","seed":7,"duration_ms":1000}}`,
+	TraceSchema) + "\n"
+
+func testEvLine(i int) string {
+	return fmt.Sprintf(`{"t":"ev","ev":{"at_ms":%d,"kind":"node-join","node":%d}}`, i, i) + "\n"
+}
+
+// TestLiveLateJoinConcurrent hammers a LiveServer from several writer
+// goroutines while subscribers join mid-stream: every joiner must receive the
+// cached header as its first record and then decode whatever tail it caught
+// without a single torn line — the server's per-Write lock is what keeps
+// concurrently-written lines from interleaving on the wire.
+func TestLiveLateJoinConcurrent(t *testing.T) {
+	srv, err := ListenLive("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Write([]byte(testHdrLine)); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, lines = 4, 300
+	var stop atomic.Bool
+	var wwg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wwg.Add(1)
+		go func(wr int) {
+			defer wwg.Done()
+			for i := 0; i < lines && !stop.Load(); i++ {
+				srv.Write([]byte(testEvLine(wr*lines + i)))
+			}
+		}(wr)
+	}
+
+	type joiner struct {
+		headerFirst bool // the header arrived before any event
+		outOfOrder  bool // an event arrived before the header
+		events      int
+		err         error
+	}
+	const joiners = 5
+	got := make([]joiner, joiners)
+	var jwg sync.WaitGroup
+	for j := 0; j < joiners; j++ {
+		jwg.Add(1)
+		go func(j *joiner) {
+			defer jwg.Done()
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				j.err = err
+				return
+			}
+			defer conn.Close()
+			j.err = Stream(conn, StreamHandler{
+				Header: func(Header) { j.headerFirst = j.events == 0 },
+				Event: func(EventRecord) {
+					if !j.headerFirst {
+						j.outOfOrder = true
+					}
+					j.events++
+				},
+			})
+		}(&got[j])
+		time.Sleep(2 * time.Millisecond) // stagger the joins across the stream
+	}
+
+	wwg.Wait()
+	// Give the last joiner a moment on the subscriber list, then cut the
+	// stream: Stream must treat the close as a clean end.
+	time.Sleep(50 * time.Millisecond)
+	stop.Store(true)
+	srv.Close()
+	jwg.Wait()
+
+	for i, j := range got {
+		if j.err != nil {
+			t.Errorf("joiner %d: stream error: %v", i, j.err)
+		}
+		if !j.headerFirst {
+			t.Errorf("joiner %d: never saw the cached header first (out-of-order=%v, %d events)",
+				i, j.outOfOrder, j.events)
+		}
+	}
+}
+
+// TestStreamTornTail: a stream cut mid-line — the ordinary tail of a dying
+// publisher — ends cleanly with everything before the tear delivered; a
+// malformed line with more stream after it is corruption and fails.
+func TestStreamTornTail(t *testing.T) {
+	torn := testHdrLine + testEvLine(1) + `{"t":"ev","ev":{"at_ms":2,"ki`
+	var hdr, events int
+	err := Stream(strings.NewReader(torn), StreamHandler{
+		Header: func(Header) { hdr++ },
+		Event:  func(EventRecord) { events++ },
+	})
+	if err != nil {
+		t.Fatalf("torn final line not tolerated: %v", err)
+	}
+	if hdr != 1 || events != 1 {
+		t.Fatalf("delivered %d headers, %d events before the tear; want 1, 1", hdr, events)
+	}
+
+	interior := testHdrLine + `{"t":"ev","ev":{"at_ms":2,"ki` + "\n" + testEvLine(3)
+	err = Stream(strings.NewReader(interior), StreamHandler{})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("interior malformed line not rejected: %v", err)
+	}
+}
+
+// TestDecodeTornTail: same tolerance contract for whole-file decoding — a
+// trace whose writer died mid-record still decodes up to the tear.
+func TestDecodeTornTail(t *testing.T) {
+	torn := testHdrLine + testEvLine(1) + testEvLine(2) + `{"t":"snap","snap":{"at_ms":3`
+	tr, err := Decode(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn final line not tolerated: %v", err)
+	}
+	if len(tr.Events) != 2 || len(tr.Snaps) != 0 {
+		t.Fatalf("decoded %d events, %d snaps; want 2, 0", len(tr.Events), len(tr.Snaps))
+	}
+
+	interior := testHdrLine + `{"t":"ev","ev":{"at_ms":2,"ki` + "\n" + testEvLine(3)
+	if _, err := Decode(strings.NewReader(interior)); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("interior malformed line not rejected: %v", err)
+	}
+}

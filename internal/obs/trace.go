@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/engine"
+	"repro/internal/runtime"
 	"repro/internal/scenario"
 	"repro/internal/simtime"
 )
@@ -126,6 +127,70 @@ type SnapRecord struct {
 	DominantStage string     `json:"dom_stage,omitempty"`
 	DominantShare float64    `json:"dom_share,omitempty"`
 	Operators     []OpRecord `json:"ops"`
+	// Distributed-plane telemetry (additive v1 fields): present only when
+	// the run executed on the distributed backend.
+	RPC    []RPCWindowRecord `json:"rpc,omitempty"`
+	Agents []AgentRecord     `json:"agents,omitempty"`
+}
+
+// RPCRecord is the trace form of one runtime.RPCSpan: the five-stage causal
+// decomposition of a control↔agent round trip on the distributed backend.
+// Stage durations are wall-clock nanoseconds (integers — these are
+// microsecond-scale infrastructure costs, and the tiling invariant
+// send+wire+queue+service+reply == rtt is exact); AtMS stays virtual like
+// every other record. An additive v1 record: older readers skip the unknown
+// "rpc" line type.
+type RPCRecord struct {
+	AtMS float64 `json:"at_ms"`
+	Node int     `json:"node"`
+	Type string  `json:"type"` // wire message name: "process", "take", "ping", …
+
+	SendNS    int64 `json:"send_ns"`
+	WireNS    int64 `json:"wire_ns"`
+	QueueNS   int64 `json:"queue_ns"`
+	ServiceNS int64 `json:"service_ns"`
+	ReplyNS   int64 `json:"reply_ns"`
+	RTTNS     int64 `json:"rtt_ns"`
+	OffsetNS  int64 `json:"offset_ns,omitempty"`
+	Err       bool  `json:"err,omitempty"`
+}
+
+// AnomalyRecord is the trace form of one watchdog anomaly: a live invariant
+// that failed mid-run, with the measured violation. Additive v1 record.
+type AnomalyRecord struct {
+	AtMS   float64 `json:"at_ms"`
+	Kind   string  `json:"kind"` // one of the Anomaly* kind constants
+	Detail string  `json:"detail,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// RPCWindowRecord is one engine.RPCWindow inside a SnapRecord (distributed
+// backend only). Durations are wall-clock nanoseconds.
+type RPCWindowRecord struct {
+	Node    int    `json:"node"`
+	Type    string `json:"type"`
+	Count   uint64 `json:"count"`
+	P50NS   int64  `json:"p50_ns"`
+	P95NS   int64  `json:"p95_ns"`
+	P99NS   int64  `json:"p99_ns"`
+	MaxNS   int64  `json:"max_ns"`
+	WireNS  int64  `json:"wire_ns"`
+	AgentNS int64  `json:"agent_ns"`
+}
+
+// AgentRecord is one engine.AgentHealth inside a SnapRecord (distributed
+// backend only). Durations are wall-clock nanoseconds.
+type AgentRecord struct {
+	Node          int   `json:"node"`
+	PID           int   `json:"pid"`
+	Goroutines    int   `json:"goroutines"`
+	HeapBytes     int64 `json:"heap"`
+	ResidentBytes int64 `json:"resident"`
+	QueueDepth    int   `json:"queue"`
+	BurnBacklogNS int64 `json:"backlog_ns,omitempty"`
+	Batches       int64 `json:"batches,omitempty"`
+	OffsetNS      int64 `json:"offset_ns,omitempty"`
+	AgeNS         int64 `json:"age_ns,omitempty"`
 }
 
 // EndRecord closes a trace with the run's headline totals — enough for a
@@ -146,21 +211,25 @@ type EndRecord struct {
 // line is the on-disk shape of one NDJSON trace line: a type tag plus exactly
 // one populated payload.
 type line struct {
-	T    string       `json:"t"` // "hdr" | "ev" | "cmd" | "snap" | "end"
-	Hdr  *Header      `json:"hdr,omitempty"`
-	Ev   *EventRecord `json:"ev,omitempty"`
-	Cmd  *CmdRecord   `json:"cmd,omitempty"`
-	Snap *SnapRecord  `json:"snap,omitempty"`
-	End  *EndRecord   `json:"end,omitempty"`
+	T    string         `json:"t"` // "hdr" | "ev" | "cmd" | "snap" | "rpc" | "anom" | "end"
+	Hdr  *Header        `json:"hdr,omitempty"`
+	Ev   *EventRecord   `json:"ev,omitempty"`
+	Cmd  *CmdRecord     `json:"cmd,omitempty"`
+	Snap *SnapRecord    `json:"snap,omitempty"`
+	Rpc  *RPCRecord     `json:"rpc,omitempty"`
+	Anom *AnomalyRecord `json:"anom,omitempty"`
+	End  *EndRecord     `json:"end,omitempty"`
 }
 
 // Trace is a fully decoded trace file.
 type Trace struct {
-	Header   Header
-	Events   []EventRecord
-	Commands []CmdRecord
-	Snaps    []SnapRecord
-	End      *EndRecord // nil when the recording was cut off
+	Header    Header
+	Events    []EventRecord
+	Commands  []CmdRecord
+	Snaps     []SnapRecord
+	RPCs      []RPCRecord
+	Anomalies []AnomalyRecord
+	End       *EndRecord // nil when the recording was cut off
 }
 
 // ms converts a virtual duration to trace milliseconds.
@@ -330,7 +399,56 @@ func encodeSnapshot(s engine.Snapshot) *SnapRecord {
 		}
 		rec.Operators = append(rec.Operators, op)
 	}
+	for _, w := range s.RPC {
+		rec.RPC = append(rec.RPC, RPCWindowRecord{
+			Node:    w.Node,
+			Type:    w.Type,
+			Count:   w.Count,
+			P50NS:   int64(w.P50),
+			P95NS:   int64(w.P95),
+			P99NS:   int64(w.P99),
+			MaxNS:   int64(w.Max),
+			WireNS:  int64(w.Wire),
+			AgentNS: int64(w.Agent),
+		})
+	}
+	for _, a := range s.Agents {
+		rec.Agents = append(rec.Agents, AgentRecord{
+			Node:          a.Node,
+			PID:           a.PID,
+			Goroutines:    a.Goroutines,
+			HeapBytes:     a.HeapBytes,
+			ResidentBytes: a.ResidentBytes,
+			QueueDepth:    a.QueueDepth,
+			BurnBacklogNS: int64(a.BurnBacklog),
+			Batches:       a.Batches,
+			OffsetNS:      int64(a.ClockOffset),
+			AgeNS:         int64(a.Age),
+		})
+	}
 	return rec
+}
+
+// encodeRPC converts a completed RPC span to its trace record.
+func encodeRPC(sp runtime.RPCSpan) *RPCRecord {
+	return &RPCRecord{
+		AtMS:      msAt(sp.At),
+		Node:      sp.Node,
+		Type:      sp.Type,
+		SendNS:    int64(sp.SendEnqueue),
+		WireNS:    int64(sp.Wire),
+		QueueNS:   int64(sp.AgentQueue),
+		ServiceNS: int64(sp.AgentService),
+		ReplyNS:   int64(sp.Reply),
+		RTTNS:     int64(sp.RTT),
+		OffsetNS:  int64(sp.Offset),
+		Err:       sp.Err,
+	}
+}
+
+// encodeAnomaly converts a watchdog anomaly to its trace record.
+func encodeAnomaly(a Anomaly) *AnomalyRecord {
+	return &AnomalyRecord{AtMS: msAt(a.At), Kind: a.Kind, Detail: a.Detail, Value: a.Value}
 }
 
 // encodeEnd summarizes a completed report as the trace's closing record.
@@ -354,21 +472,29 @@ func encodeEnd(rep *engine.Report, lost int, runErr error) *EndRecord {
 
 // Decode parses an NDJSON trace stream. It validates the schema of the
 // leading header and tolerates a missing end record (a recording cut off
-// mid-run still loads; End stays nil).
+// mid-run still loads; End stays nil). The same cut-off tolerance extends to a
+// torn final line: a recorder killed mid-write leaves a truncated last record,
+// which is the ordinary shape of an interrupted trace, not corruption — only a
+// malformed line with more trace *after* it is an error.
 func Decode(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	t := &Trace{}
 	n, sawHdr := 0, false
+	var pendingErr error // a malformed line is fatal only if it was not the last
 	for sc.Scan() {
 		n++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
 		var l line
 		if err := json.Unmarshal(raw, &l); err != nil {
-			return nil, fmt.Errorf("obs: trace line %d: %w", n, err)
+			pendingErr = fmt.Errorf("obs: trace line %d: %w", n, err)
+			continue
 		}
 		switch l.T {
 		case "hdr":
@@ -391,6 +517,14 @@ func Decode(r io.Reader) (*Trace, error) {
 		case "snap":
 			if l.Snap != nil {
 				t.Snaps = append(t.Snaps, *l.Snap)
+			}
+		case "rpc":
+			if l.Rpc != nil {
+				t.RPCs = append(t.RPCs, *l.Rpc)
+			}
+		case "anom":
+			if l.Anom != nil {
+				t.Anomalies = append(t.Anomalies, *l.Anom)
 			}
 		case "end":
 			t.End = l.End

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/run"
+	"repro/internal/runtime"
+	"repro/internal/simtime"
+)
+
+// The watchdog continuously checks the invariants a healthy run maintains by
+// construction — the properties the test suite asserts post-mortem, promoted
+// to live detectors. Each violation becomes one typed Anomaly: a trace
+// record, a counter the exporter scrapes, and (via OnAnomaly) anything else
+// the embedder wires. A clean run emits zero anomalies; the fault-injection
+// tests prove each detector fires on its fault and only then.
+//
+// Invariants watched (kinds):
+//
+//	ledger-drift        admitted < processed + dropped: the conservation
+//	                    ledger lost weight (mid-run surplus is in-flight
+//	                    work and legitimate; only a negative residue fires).
+//	span-tiling         a repartition finish event whose elapsed time does
+//	                    not equal the span's four-phase sum.
+//	rpc-tiling          an RPC span whose five stages do not sum to its
+//	                    measured RTT (the decomposition guarantees equality
+//	                    by construction — inequality means torn timestamps).
+//	heartbeat-stale     an agent whose last successful ping reply is older
+//	                    than the staleness bound (wall clock).
+//	repartition-stuck   a repartition started more than the deadline ago
+//	                    (virtual) with no finish event.
+//
+// Each detector latches so one persistent fault yields one anomaly, not one
+// per check tick: ledger-drift once per run, rpc-tiling once per
+// (node, type), heartbeat-stale once per node until the heartbeat recovers,
+// repartition-stuck once per (operator, start).
+
+// Anomaly kind constants.
+const (
+	AnomalyLedgerDrift      = "ledger-drift"
+	AnomalySpanTiling       = "span-tiling"
+	AnomalyRPCTiling        = "rpc-tiling"
+	AnomalyHeartbeatStale   = "heartbeat-stale"
+	AnomalyRepartitionStuck = "repartition-stuck"
+)
+
+// anomalyKinds lists every kind, in the order the exporter emits them.
+var anomalyKinds = []string{
+	AnomalyLedgerDrift,
+	AnomalySpanTiling,
+	AnomalyRPCTiling,
+	AnomalyHeartbeatStale,
+	AnomalyRepartitionStuck,
+}
+
+// Anomaly is one detected invariant violation.
+type Anomaly struct {
+	Kind   string
+	At     simtime.Time // virtual time of detection
+	Detail string
+	Value  float64 // the measured violation, unit per kind (see Detail)
+}
+
+// WatchdogOptions tunes the watchdog's checks.
+type WatchdogOptions struct {
+	// CheckEvery is the virtual cadence of the periodic checks (ledger,
+	// heartbeat, stuck repartitions). Default 1 s.
+	CheckEvery simtime.Duration
+	// HeartbeatStale is the wall-clock age of an agent's last ping reply
+	// beyond which the heartbeat counts as stale. Default 5 s; only
+	// meaningful on the distributed backend (no agents → no check).
+	HeartbeatStale time.Duration
+	// RepartitionDeadline is the virtual duration after which an unfinished
+	// repartition counts as stuck. Default 30 s.
+	RepartitionDeadline simtime.Duration
+	// Ledger, when set, enables the conservation-drift check (the runtime
+	// and distributed backends expose Engine.Ledger; the simulator conserves
+	// structurally).
+	Ledger func() runtime.Ledger
+	// OnAnomaly, when set, observes every anomaly as it fires — wire the
+	// recorder's RecordAnomaly here. Runs on the detecting goroutine.
+	OnAnomaly func(Anomaly)
+}
+
+func (o WatchdogOptions) withDefaults() WatchdogOptions {
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = simtime.Second
+	}
+	if o.HeartbeatStale <= 0 {
+		o.HeartbeatStale = 5 * time.Second
+	}
+	if o.RepartitionDeadline <= 0 {
+		o.RepartitionDeadline = 30 * simtime.Second
+	}
+	return o
+}
+
+// Watchdog is a live invariant checker attached to a Run handle.
+type Watchdog struct {
+	opt WatchdogOptions
+
+	mu        sync.Mutex
+	anomalies []Anomaly
+	counts    map[string]uint64
+
+	ledgerFired bool
+	rpcFired    map[string]bool         // "node/type" → latched
+	staleFired  map[int]bool            // node → latched until recovery
+	inflight    map[string]simtime.Time // operator → repartition start
+	stuckFired  map[string]bool         // "op@startNS" → latched
+}
+
+// AttachWatchdog wires a watchdog onto an unstarted run handle: it observes
+// events for the repartition checks and samples every CheckEvery for the
+// periodic ones. RPC-span checking needs the span feed, which only the
+// distributed backend has — pass the watchdog's ObserveRPC to
+// runtime.Engine.ObserveRPC (or call it from your own observer). Pre-Start
+// only, like every handle registration.
+func AttachWatchdog(h *run.Run, opt WatchdogOptions) *Watchdog {
+	w := NewWatchdog(opt)
+	h.Observe(w.event)
+	h.SampleEvery(w.opt.CheckEvery, w.Check)
+	return w
+}
+
+// NewWatchdog builds an unattached watchdog — the fault-injection tests and
+// stream consumers (which have records, not a handle) drive its detectors
+// directly via event/Check/ObserveRPC.
+func NewWatchdog(opt WatchdogOptions) *Watchdog {
+	return &Watchdog{
+		opt:        opt.withDefaults(),
+		counts:     make(map[string]uint64),
+		rpcFired:   make(map[string]bool),
+		staleFired: make(map[int]bool),
+		inflight:   make(map[string]simtime.Time),
+		stuckFired: make(map[string]bool),
+	}
+}
+
+// fire records one anomaly. Caller holds no lock.
+func (w *Watchdog) fire(a Anomaly) {
+	w.mu.Lock()
+	w.anomalies = append(w.anomalies, a)
+	w.counts[a.Kind]++
+	fn := w.opt.OnAnomaly
+	w.mu.Unlock()
+	if fn != nil {
+		fn(a)
+	}
+}
+
+// event is the handle's event observer: it tracks in-flight repartitions and
+// checks the span-tiling invariant on every finish.
+func (w *Watchdog) event(ev engine.Event) {
+	switch ev.Kind {
+	case engine.EventRepartitionStart:
+		w.mu.Lock()
+		w.inflight[ev.Operator] = ev.At
+		w.mu.Unlock()
+	case engine.EventRepartitionFinish:
+		w.mu.Lock()
+		delete(w.inflight, ev.Operator)
+		w.mu.Unlock()
+		if s := ev.Span; s != nil {
+			elapsed := simtime.Duration(ev.At.Sub(s.Start))
+			if residue := elapsed - s.Total(); residue != 0 {
+				w.fire(Anomaly{
+					Kind: AnomalySpanTiling,
+					At:   ev.At,
+					Detail: fmt.Sprintf("op %s: finish at start+%v but phases sum to %v",
+						s.Operator, elapsed, s.Total()),
+					Value: float64(residue),
+				})
+			}
+		}
+	}
+}
+
+// ObserveRPC checks the five-stage tiling of one completed RPC span. Latched
+// per (node, type): one systematically torn population fires once.
+func (w *Watchdog) ObserveRPC(sp runtime.RPCSpan) {
+	residue := sp.Stages() - sp.RTT
+	if residue == 0 {
+		return
+	}
+	key := fmt.Sprintf("%d/%s", sp.Node, sp.Type)
+	w.mu.Lock()
+	fired := w.rpcFired[key]
+	w.rpcFired[key] = true
+	w.mu.Unlock()
+	if fired {
+		return
+	}
+	w.fire(Anomaly{
+		Kind: AnomalyRPCTiling,
+		At:   sp.At,
+		Detail: fmt.Sprintf("node %d %s: stages sum to %v, RTT %v",
+			sp.Node, sp.Type, sp.Stages(), sp.RTT),
+		Value: float64(residue),
+	})
+}
+
+// Check runs the periodic detectors against one snapshot — the SampleEvery
+// callback, also callable directly (stream consumers, tests).
+func (w *Watchdog) Check(s engine.Snapshot) {
+	w.checkLedger(s.Now)
+	w.checkAgents(s)
+	w.checkStuck(s.Now)
+}
+
+// checkLedger fires on negative conservation residue: admitted weight
+// exceeded by the accounted outcomes means the ledger lost track. A positive
+// residue is in-flight work and normal mid-run.
+func (w *Watchdog) checkLedger(now simtime.Time) {
+	if w.opt.Ledger == nil {
+		return
+	}
+	w.mu.Lock()
+	fired := w.ledgerFired
+	w.mu.Unlock()
+	if fired {
+		return
+	}
+	l := w.opt.Ledger()
+	residue := l.Admitted - l.Processed - l.DroppedFailure - l.DroppedShutdown
+	if residue >= 0 {
+		return
+	}
+	w.mu.Lock()
+	w.ledgerFired = true
+	w.mu.Unlock()
+	w.fire(Anomaly{
+		Kind:   AnomalyLedgerDrift,
+		At:     now,
+		Detail: fmt.Sprintf("conservation residue %d: %v", residue, l),
+		Value:  float64(residue),
+	})
+}
+
+// checkAgents fires per agent whose heartbeat age crossed the staleness
+// bound, re-arming when the heartbeat recovers.
+func (w *Watchdog) checkAgents(s engine.Snapshot) {
+	for _, a := range s.Agents {
+		stale := time.Duration(a.Age) > w.opt.HeartbeatStale
+		w.mu.Lock()
+		fired := w.staleFired[a.Node]
+		w.staleFired[a.Node] = stale
+		w.mu.Unlock()
+		if !stale || fired {
+			continue
+		}
+		w.fire(Anomaly{
+			Kind: AnomalyHeartbeatStale,
+			At:   s.Now,
+			Detail: fmt.Sprintf("node %d (pid %d): last ping reply %v ago (bound %v)",
+				a.Node, a.PID, time.Duration(a.Age).Round(time.Millisecond), w.opt.HeartbeatStale),
+			Value: time.Duration(a.Age).Seconds(),
+		})
+	}
+}
+
+// checkStuck fires per repartition that started more than the deadline of
+// virtual time ago and has not finished.
+func (w *Watchdog) checkStuck(now simtime.Time) {
+	w.mu.Lock()
+	type stuck struct {
+		op    string
+		start simtime.Time
+		age   simtime.Duration
+	}
+	var found []stuck
+	for op, start := range w.inflight {
+		age := simtime.Duration(now.Sub(start))
+		if age <= w.opt.RepartitionDeadline {
+			continue
+		}
+		key := fmt.Sprintf("%s@%d", op, int64(start.Sub(simtime.Time(0))))
+		if w.stuckFired[key] {
+			continue
+		}
+		w.stuckFired[key] = true
+		found = append(found, stuck{op: op, start: start, age: age})
+	}
+	w.mu.Unlock()
+	for _, f := range found {
+		w.fire(Anomaly{
+			Kind: AnomalyRepartitionStuck,
+			At:   now,
+			Detail: fmt.Sprintf("op %s: repartition started at %v still unfinished after %v (deadline %v)",
+				f.op, f.start, f.age, w.opt.RepartitionDeadline),
+			Value: age(f.age),
+		})
+	}
+}
+
+func age(d simtime.Duration) float64 { return simtime.ToMillis(d) / 1e3 }
+
+// Anomalies returns every anomaly fired so far, in detection order.
+func (w *Watchdog) Anomalies() []Anomaly {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Anomaly(nil), w.anomalies...)
+}
+
+// Counts returns the per-kind anomaly totals (zero-valued kinds omitted).
+func (w *Watchdog) Counts() map[string]uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]uint64, len(w.counts))
+	for k, v := range w.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/engine"
+	rtbackend "repro/internal/runtime"
+	"repro/internal/scenario"
+	"repro/internal/simtime"
+)
+
+// The dist-backend tests below spawn agent processes by re-executing the test
+// binary; the re-exec must short-circuit into the agent loop.
+func TestMain(m *testing.M) {
+	dist.MainIfAgent()
+	os.Exit(m.Run())
+}
+
+// kinds asserts the watchdog fired exactly the given multiset of anomaly
+// kinds, in order.
+func kinds(t *testing.T, w *Watchdog, want ...string) {
+	t.Helper()
+	got := w.Anomalies()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d anomalies, want %d: %+v", len(got), len(want), got)
+	}
+	for i, a := range got {
+		if a.Kind != want[i] {
+			t.Fatalf("anomaly %d: kind %q, want %q (%+v)", i, a.Kind, want[i], a)
+		}
+	}
+}
+
+// TestWatchdogLedgerDrift injects a ledger that lost weight (admitted less
+// than the accounted outcomes) and checks the detector fires exactly once no
+// matter how many check ticks see the fault — and never on a healthy or
+// merely in-flight ledger.
+func TestWatchdogLedgerDrift(t *testing.T) {
+	bad := rtbackend.Ledger{Admitted: 100, Processed: 90, DroppedFailure: 20}
+	w := NewWatchdog(WatchdogOptions{Ledger: func() rtbackend.Ledger { return bad }})
+	for i := 0; i < 3; i++ {
+		w.Check(engine.Snapshot{Now: simtime.Time(0).Add(simtime.Duration(i) * simtime.Second)})
+	}
+	kinds(t, w, AnomalyLedgerDrift)
+	if v := w.Anomalies()[0].Value; v != -10 {
+		t.Fatalf("drift value = %g, want -10", v)
+	}
+
+	// Positive residue is in-flight work, not drift.
+	inflight := NewWatchdog(WatchdogOptions{Ledger: func() rtbackend.Ledger {
+		return rtbackend.Ledger{Admitted: 100, Processed: 60}
+	}})
+	inflight.Check(engine.Snapshot{})
+	kinds(t, inflight)
+}
+
+// TestWatchdogSpanTiling injects a repartition finish event whose timestamp
+// does not sit at start + phase-sum and checks exactly one span-tiling
+// anomaly; a correctly tiled finish stays silent.
+func TestWatchdogSpanTiling(t *testing.T) {
+	w := NewWatchdog(WatchdogOptions{})
+	span := &engine.RepartitionSpan{
+		Operator: "join",
+		Start:    simtime.Time(0).Add(simtime.Second),
+		Pause:    10 * simtime.Millisecond,
+		Drain:    20 * simtime.Millisecond,
+		Migrate:  30 * simtime.Millisecond,
+		Reroute:  40 * simtime.Millisecond,
+	}
+	finish := func(at simtime.Time) {
+		w.event(engine.Event{Kind: engine.EventRepartitionStart, At: span.Start, Operator: span.Operator})
+		w.event(engine.Event{Kind: engine.EventRepartitionFinish, At: at, Operator: span.Operator, Span: span})
+	}
+	finish(span.Start.Add(span.Total())) // exact tiling: silent
+	kinds(t, w)
+	finish(span.Start.Add(span.Total() + simtime.Millisecond)) // torn by 1ms
+	kinds(t, w, AnomalySpanTiling)
+	if v := w.Anomalies()[0].Value; v != float64(simtime.Millisecond) {
+		t.Fatalf("tiling residue = %g, want %g", v, float64(simtime.Millisecond))
+	}
+}
+
+// TestWatchdogRPCTiling injects RPC spans whose five stages do not sum to the
+// measured RTT: one anomaly per (node, type) population, however many torn
+// spans arrive; clean spans stay silent.
+func TestWatchdogRPCTiling(t *testing.T) {
+	w := NewWatchdog(WatchdogOptions{})
+	torn := rtbackend.RPCSpan{
+		Node: 2, Type: "process",
+		SendEnqueue: time.Microsecond, Wire: time.Microsecond,
+		AgentQueue: time.Microsecond, AgentService: time.Microsecond, Reply: time.Microsecond,
+		RTT: 6 * time.Microsecond, // stages sum to 5µs
+	}
+	clean := torn
+	clean.RTT = clean.Stages()
+	w.ObserveRPC(clean)
+	kinds(t, w)
+	w.ObserveRPC(torn)
+	w.ObserveRPC(torn) // same population: latched
+	kinds(t, w, AnomalyRPCTiling)
+	other := torn
+	other.Type = "take"
+	w.ObserveRPC(other) // distinct population: fires again
+	kinds(t, w, AnomalyRPCTiling, AnomalyRPCTiling)
+}
+
+// TestWatchdogHeartbeatStale injects an agent whose last ping reply is older
+// than the bound: one anomaly while it stays stale, re-armed after the
+// heartbeat recovers.
+func TestWatchdogHeartbeatStale(t *testing.T) {
+	w := NewWatchdog(WatchdogOptions{HeartbeatStale: 5 * time.Second})
+	snap := func(age time.Duration) engine.Snapshot {
+		return engine.Snapshot{Agents: []engine.AgentHealth{{Node: 1, PID: 4321, Age: age}}}
+	}
+	w.Check(snap(time.Second)) // fresh: silent
+	kinds(t, w)
+	w.Check(snap(8 * time.Second))
+	w.Check(snap(9 * time.Second)) // still the same stall: latched
+	kinds(t, w, AnomalyHeartbeatStale)
+	w.Check(snap(100 * time.Millisecond)) // recovered: re-arms
+	w.Check(snap(7 * time.Second))        // second stall: fires again
+	kinds(t, w, AnomalyHeartbeatStale, AnomalyHeartbeatStale)
+}
+
+// TestWatchdogRepartitionStuck injects a repartition start with no finish and
+// advances virtual time past the deadline: exactly one anomaly per stuck
+// protocol instance, and none once the finish lands.
+func TestWatchdogRepartitionStuck(t *testing.T) {
+	w := NewWatchdog(WatchdogOptions{RepartitionDeadline: 30 * simtime.Second})
+	start := simtime.Time(0).Add(2 * simtime.Second)
+	w.event(engine.Event{Kind: engine.EventRepartitionStart, At: start, Operator: "join"})
+	w.Check(engine.Snapshot{Now: start.Add(29 * simtime.Second)}) // within deadline
+	kinds(t, w)
+	w.Check(engine.Snapshot{Now: start.Add(31 * simtime.Second)})
+	w.Check(engine.Snapshot{Now: start.Add(40 * simtime.Second)}) // same instance: latched
+	kinds(t, w, AnomalyRepartitionStuck)
+	w.event(engine.Event{Kind: engine.EventRepartitionFinish, At: start.Add(41 * simtime.Second), Operator: "join"})
+	w.Check(engine.Snapshot{Now: start.Add(100 * simtime.Second)})
+	kinds(t, w, AnomalyRepartitionStuck)
+}
+
+// TestWatchdogCleanRun attaches the watchdog to a healthy runtime-backend
+// run — ledger check wired — and requires zero anomalies end to end.
+func TestWatchdogCleanRun(t *testing.T) {
+	sp, err := scenario.ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtE, h, err := rtbackend.BuildScenario(sp, "elasticutor", 42,
+		rtbackend.ScenarioOptions{Options: rtbackend.Options{Speedup: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := AttachWatchdog(h, WatchdogOptions{Ledger: rtE.Ledger})
+	h.Start(context.Background())
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	w.Check(h.Snapshot()) // final post-run check against the settled ledger
+	if got := w.Anomalies(); len(got) != 0 {
+		t.Fatalf("clean run fired %d anomalies: %+v", len(got), got)
+	}
+}
+
+// TestWatchdogCleanDistRun runs the distributed backend with the watchdog's
+// RPC check wired into the live span feed and the exporter scraped mid-run:
+// zero anomalies on a healthy fleet, and the scrape carries the
+// distributed-plane families — elasticutor_rpc_*, elasticutor_agent_*, and
+// the zero-valued watchdog counter for every kind — all lint-clean.
+func TestWatchdogCleanDistRun(t *testing.T) {
+	sp, err := scenario.ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, h, err := dist.BuildScenario(sp, "elasticutor", 42,
+		dist.ScenarioOptions{ScenarioOptions: rtbackend.ScenarioOptions{
+			Options: rtbackend.Options{Speedup: 20}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := AttachWatchdog(h, WatchdogOptions{Ledger: d.Ledger})
+	if !d.ObserveRPC(w.ObserveRPC) {
+		t.Fatal("distributed engine rejected the RPC span observer")
+	}
+	x := NewExporter(h).SetLedger(d.Ledger).SetWatchdog(w)
+	h.Start(context.Background())
+
+	// Scrape once the distributed-plane telemetry has data: RPC windows fill
+	// with the first requests, agent health with the first stats tick.
+	var buf bytes.Buffer
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s := h.Snapshot()
+		if len(s.RPC) > 0 && len(s.Agents) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never carried RPC windows and agent health")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	x.WriteMetrics(&buf)
+
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Anomalies(); len(got) != 0 {
+		t.Fatalf("clean distributed run fired %d anomalies: %+v", len(got), got)
+	}
+
+	fams := parseProm(t, buf.String())
+	lintProm(t, fams)
+	want := map[string]bool{
+		"elasticutor_rpc_requests_total":         false,
+		"elasticutor_rpc_rtt_p50_seconds":        false,
+		"elasticutor_rpc_rtt_p99_seconds":        false,
+		"elasticutor_rpc_wire_seconds":           false,
+		"elasticutor_rpc_agent_seconds":          false,
+		"elasticutor_agent_goroutines":           false,
+		"elasticutor_agent_heap_bytes":           false,
+		"elasticutor_agent_resident_bytes":       false,
+		"elasticutor_agent_queue_depth":          false,
+		"elasticutor_agent_burn_backlog_seconds": false,
+		"elasticutor_agent_staleness_seconds":    false,
+		"elasticutor_watchdog_anomalies_total":   false,
+	}
+	for _, f := range fams {
+		if _, ok := want[f.name]; !ok {
+			continue
+		}
+		if len(f.samples) == 0 {
+			t.Fatalf("family %q emitted without samples", f.name)
+		}
+		want[f.name] = true
+		if f.name == "elasticutor_watchdog_anomalies_total" {
+			if len(f.samples) != len(anomalyKinds) {
+				t.Fatalf("watchdog counter has %d kinds, want %d", len(f.samples), len(anomalyKinds))
+			}
+			for _, s := range f.samples {
+				if s.value != 0 {
+					t.Fatalf("clean run scraped nonzero anomaly counter: %s{%s} = %g", s.name, s.labels, s.value)
+				}
+			}
+		}
+	}
+	for name, ok := range want {
+		if !ok {
+			t.Fatalf("mid-run scrape missing family %q:\n%s", name, buf.String())
+		}
+	}
+}

@@ -56,7 +56,8 @@ func (e *Engine) Begin(d simtime.Duration) error {
 	hooks := append([]func(){}, e.hooks...)
 	e.ranMu.Unlock()
 
-	e.start = e.clock.Now()
+	begin := e.clock.Now()
+	e.start.Store(&begin)
 
 	for _, x := range e.elastic {
 		x.startWorkers()
@@ -263,6 +264,10 @@ func (e *Engine) Snapshot() engine.Snapshot {
 	s.MigrationBytes += e.repartBytes
 	s.Repartitions = e.repartitions
 	e.repMu.Unlock()
+	if rt, ok := e.remote.(RemoteTelemetry); ok {
+		s.RPC = rt.RPCWindows()
+		s.Agents = rt.AgentHealth()
+	}
 	e.lastSnapAt = now
 	return s
 }

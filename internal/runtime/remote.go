@@ -1,6 +1,11 @@
 package runtime
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/simtime"
+)
 
 // Remote offloads the engine's per-node work to out-of-process agents: the
 // distributed backend (internal/dist) implements it over real sockets. The
@@ -75,6 +80,70 @@ type RemoteDest struct {
 // remoteExec returns the executor's wire identity.
 func (x *exec) remoteExec() RemoteExec {
 	return RemoteExec{ID: x.remoteID, PerShardBytes: x.perShardBytes}
+}
+
+// RPCSpan is the causal decomposition of one control↔agent request/reply
+// round trip, timed on both ends. The five stages tile the measured RTT
+// *exactly* — SendEnqueue + Wire + AgentQueue + AgentService + Reply ==
+// RTT to the nanosecond, by construction: the control side measures t0
+// (request initiated), t1 (frame written to the socket) and t3 (reply
+// received); the agent reports a0 (frame read), its dispatch queue delay and
+// its service time in a reply preamble; the per-connection clock-offset
+// estimate θ (see the dist ping tick) maps the agent timestamps onto the
+// control clock. θ cancels in the stage sum, so a wrong offset estimate only
+// moves time between the wire stages and the agent stages — it can even push
+// Wire or Reply slightly negative — but never breaks the tiling. All
+// durations are wall clock.
+type RPCSpan struct {
+	Node int
+	Type string       // wire message name: "process", "take", "ping", …
+	At   simtime.Time // virtual time the span completed (stamped by the engine hook)
+
+	SendEnqueue time.Duration // request initiated → frame on the socket
+	Wire        time.Duration // socket → agent read loop (offset-corrected)
+	AgentQueue  time.Duration // agent read → handler goroutine running
+	AgentService time.Duration // handler work, reply preamble excluded
+	Reply       time.Duration // agent reply issued → control waiter woken
+
+	RTT    time.Duration // t3 − t0; identical to Stages()
+	Offset time.Duration // clock-offset estimate used for the wire/agent split
+	Err    bool          // the agent answered with an error reply
+}
+
+// Stages is the sum of the five stage durations — always exactly RTT.
+func (s RPCSpan) Stages() time.Duration {
+	return s.SendEnqueue + s.Wire + s.AgentQueue + s.AgentService + s.Reply
+}
+
+// RemoteTelemetry is the optional telemetry surface of a Remote: aggregated
+// RPC timing windows and per-node agent health for Snapshot. The distributed
+// backend's Cluster implements it; Snapshot fills the corresponding fields
+// whenever the engine's Remote does.
+type RemoteTelemetry interface {
+	RPCWindows() []engine.RPCWindow
+	AgentHealth() []engine.AgentHealth
+}
+
+// RemoteSpanSource is the optional per-request span hook of a Remote: fn is
+// invoked synchronously after every completed request/reply round trip.
+type RemoteSpanSource interface {
+	OnRPC(fn func(RPCSpan))
+}
+
+// ObserveRPC installs fn as the engine's RPC-span observer, stamping each
+// span with the virtual completion time. Returns false when the engine has no
+// Remote or its Remote exposes no spans (the in-process backends). Call
+// before Begin; fn runs on request goroutines and must be cheap.
+func (e *Engine) ObserveRPC(fn func(RPCSpan)) bool {
+	src, ok := e.remote.(RemoteSpanSource)
+	if !ok {
+		return false
+	}
+	src.OnRPC(func(sp RPCSpan) {
+		sp.At = e.vnow()
+		fn(sp)
+	})
+	return true
 }
 
 // remoteSpeedup is the virtual-per-wall factor remote costs are scaled by:

@@ -282,8 +282,10 @@ type Engine struct {
 	done        chan struct{} // phase 2: control plane and protocols stop
 	stopWorkers chan struct{} // phase 3: workers exit
 
-	wg    sync.WaitGroup
-	start time.Time
+	wg sync.WaitGroup
+	// start anchors vnow. Atomic because Begin re-anchors it concurrently
+	// with Snapshot readers (mid-run /metrics scrapes, samplers).
+	start atomic.Pointer[time.Time]
 
 	fatalMu  sync.Mutex
 	fatalErr error
@@ -426,7 +428,8 @@ func New(cfg engine.Config, opt Options) (*Engine, error) {
 	e.rateFactor.Store(math.Float64bits(1))
 	// A pre-Begin epoch so Snapshot's vnow is ~0 before the run starts
 	// (Begin re-anchors it).
-	e.start = e.clock.Now()
+	epoch := e.clock.Now()
+	e.start.Store(&epoch)
 	for n := 0; n < cfg.Cluster.Nodes; n++ {
 		nd := &node{id: n, cores: cfg.Cluster.CoresPerNode, alive: true}
 		nd.free.Store(int64(cfg.Cluster.CoresPerNode))
@@ -608,7 +611,7 @@ func (e *Engine) knobs() policy.Knobs {
 
 // vnow is virtual time since the run started — the policy surface's Now.
 func (e *Engine) vnow() simtime.Time {
-	return simtime.Time(e.clock.Now().Sub(e.start))
+	return simtime.Time(e.clock.Now().Sub(*e.start.Load()))
 }
 
 // fail records the first fatal error (worker/control panic) and triggers an

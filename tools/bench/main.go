@@ -26,8 +26,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -64,8 +66,16 @@ func main() {
 		compare   = flag.String("compare", "", "previous baseline JSON to diff against")
 		filter    = flag.String("comparefilter", "Component|HotPathAdmission|RouteBatch", "regexp choosing which benches -compare diffs")
 		threshold = flag.Float64("threshold", 0.20, "regression threshold for -compare (fraction of baseline ns/op)")
+		history   = flag.Bool("history", false, "aggregate committed BENCH_*.json into a perf-trajectory markdown table on stdout (runs nothing)")
 	)
 	flag.Parse()
+	if *history {
+		if err := writeHistory(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *smoke {
 		*pattern, *benchtime, *out = "Component", "1x", ""
 	}
@@ -189,6 +199,78 @@ func compareBaseline(path string, current map[string]Result, filter *regexp.Rege
 		fmt.Printf("%-44s %12.1f ns/op  %+7.1f%%%s\n", name, cur, delta*100, mark)
 	}
 	return regressions, nil
+}
+
+// writeHistory aggregates every committed BENCH_*.json (numeric order) into
+// one markdown table — benchmark rows, baseline columns, ns/op cells — the
+// whole perf trajectory at a glance. Baselines were recorded by different PRs
+// on comparable boxes; read the table for trends, not absolute truth.
+func writeHistory(w io.Writer) error {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return fmt.Errorf("bench: history: %w", err)
+	}
+	type col struct {
+		label string
+		n     int
+		bm    map[string]Result
+	}
+	var cols []col
+	for _, path := range paths {
+		num := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "BENCH_"), ".json")
+		n, err := strconv.Atoi(num)
+		if err != nil {
+			continue // not part of the numbered trajectory
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("bench: history: %w", err)
+		}
+		var b Baseline
+		if err := json.Unmarshal(data, &b); err != nil {
+			return fmt.Errorf("bench: history: %s: %w", path, err)
+		}
+		cols = append(cols, col{label: num, n: n, bm: b.Benchmarks})
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("bench: history: no BENCH_*.json baselines found (run from the repo root)")
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].n < cols[j].n })
+
+	rowSet := make(map[string]bool)
+	for _, c := range cols {
+		for name := range c.bm {
+			rowSet[name] = true
+		}
+	}
+	rows := make([]string, 0, len(rowSet))
+	for name := range rowSet {
+		rows = append(rows, name)
+	}
+	sort.Strings(rows)
+
+	fmt.Fprintf(w, "| benchmark (ns/op) |")
+	for _, c := range cols {
+		fmt.Fprintf(w, " BENCH_%s |", c.label)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|")
+	for range cols {
+		fmt.Fprintf(w, "---:|")
+	}
+	fmt.Fprintln(w)
+	for _, name := range rows {
+		fmt.Fprintf(w, "| %s |", strings.TrimPrefix(name, "Benchmark"))
+		for _, c := range cols {
+			if r, ok := c.bm[name]; ok && r.NsPerOp > 0 {
+				fmt.Fprintf(w, " %.1f |", r.NsPerOp)
+			} else {
+				fmt.Fprintf(w, " — |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }
 
 // parse extracts benchmark rows from `go test -bench` output. Rows are
